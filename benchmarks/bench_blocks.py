@@ -1,0 +1,101 @@
+"""Experiment E8 — Theorem 6: constant nulls per block inside C_tract.
+
+Paper claim: for settings in ``C_tract``, every block of ``I_can`` has a
+*constant* number of nulls (independent of the instance size), which is
+what makes the per-block homomorphism tests of Figure 3 polynomial.
+
+The bench grows instances for a LAV and a full-Σ_st setting and records
+the maximum nulls per block (must stay flat), then contrasts with the
+CLIQUE setting, where the connected-null structure of ``I_can`` grows with
+the input (the second ``Σ_ts`` dependency chains the null components of
+all ``P``-facts that share an element).
+"""
+
+from __future__ import annotations
+
+from repro import Instance, PDESetting, parse_instance
+from repro.core.blocks import decompose_into_blocks
+from repro.reductions import clique_setting, clique_source_instance
+from repro.solver import canonical_instances
+from repro.workloads import generate_genomics_data, genomics_setting
+
+
+def max_nulls_per_block(setting, source, target) -> tuple[int, int]:
+    _j_can, i_can, _stats = canonical_instances(setting, source, target)
+    blocks = decompose_into_blocks(i_can)
+    biggest = max((block.null_count for block in blocks), default=0)
+    return biggest, len(blocks)
+
+
+def test_lav_blocks_stay_constant(benchmark, table):
+    setting = genomics_setting()
+    sizes = [5, 10, 20, 40]
+    data = {n: generate_genomics_data(proteins=n, seed=1) for n in sizes}
+
+    def run():
+        rows = []
+        for n in sizes:
+            source, target = data[n]
+            biggest, count = max_nulls_per_block(setting, source, target)
+            rows.append([n, count, biggest])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E8: nulls per block, LAV setting (paper: constant)",
+        ["proteins", "#blocks", "max nulls/block"],
+        rows,
+    )
+    ceilings = [row[2] for row in rows]
+    assert max(ceilings) <= 2  # flat, independent of instance size
+
+
+def test_marked_example_blocks(benchmark, table):
+    setting = PDESetting.from_text(
+        source={"S": 2},
+        target={"T": 2},
+        st="S(x1, x2) -> T(x1, y)",
+        ts="T(x1, x2) -> S(w, x2)",
+    )
+    sizes = [4, 8, 16, 32]
+
+    def run():
+        rows = []
+        for n in sizes:
+            source = parse_instance("; ".join(f"S(a{i}, b{i})" for i in range(n)))
+            biggest, count = max_nulls_per_block(setting, source, Instance())
+            assert biggest <= 2
+            rows.append([n, count, biggest])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E8: nulls per block, Definition 8 illustration (paper: constant)",
+        ["|I|", "#blocks", "max nulls/block"],
+        rows,
+    )
+
+
+def test_clique_blocks_grow(benchmark, table):
+    """Outside C_tract the block structure degenerates: the CLIQUE setting
+    chains every P-fact's nulls together through the S-consistency
+    dependencies, so one giant block absorbs all the nulls."""
+    setting = clique_setting()
+    ks = [2, 3, 4]
+
+    def run():
+        rows = []
+        for k in ks:
+            source = clique_source_instance(list(range(5)), [(0, 1), (1, 2)], k)
+            biggest, count = max_nulls_per_block(setting, source, Instance())
+            rows.append([k, count, biggest])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E8 contrast: nulls per block, CLIQUE setting (grows with k)",
+        ["k", "#blocks", "max nulls/block"],
+        rows,
+    )
+    ceilings = [row[2] for row in rows]
+    assert ceilings[-1] > ceilings[0]  # grows with the input

@@ -1,0 +1,148 @@
+"""Experiments E9/E10/E11 — Section 4: the tractability boundary is tight.
+
+Paper claims: each of three minimal relaxations of the ``C_tract``
+conditions makes SOL NP-hard again —
+
+* E9: a target *egd* (``Σ_st``/``Σ_ts`` satisfy conditions (1) + (2.1));
+* E10: a *full target tgd* routed through a copy relation (same
+  conditions);
+* E11: *disjunction* in the right-hand side of ``Σ_ts`` (conditions (1) +
+  (2.2) hold; reduction from 3-colorability).
+
+The bench validates each reduction against its oracle and records the
+search effort growing with the instance, in contrast with the flat effort
+of the tractable class.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Instance
+from repro.reductions import (
+    coloring_setting,
+    coloring_source_instance,
+    egd_boundary_setting,
+    egd_boundary_source_instance,
+    full_tgd_boundary_setting,
+    full_tgd_boundary_source_instance,
+    has_k_clique,
+    is_three_colorable,
+)
+from repro.solver import solve
+from repro.workloads import complete_graph, cycle_graph, erdos_renyi
+
+
+def test_egd_boundary(benchmark, table):
+    setting = egd_boundary_setting()
+    graphs = [
+        ("triangle", ([1, 2, 3], [(1, 2), (2, 3), (1, 3)]), 3),
+        ("path", ([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4)]), 3),
+        ("sparse", erdos_renyi(6, 0.25, seed=3), 3),
+    ]
+
+    def run():
+        rows = []
+        for label, (nodes, edges), k in graphs:
+            source = egd_boundary_source_instance(nodes, edges, k)
+            result = solve(setting, source, Instance())
+            oracle = has_k_clique(nodes, edges, k)
+            assert result.exists == oracle
+            rows.append([label, k, result.exists, result.stats.get("nodes", 0)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E9: target-egd relaxation (CLIQUE-hard; conditions (1)+(2.1) hold)",
+        ["graph", "k", "solution", "search nodes"],
+        rows,
+    )
+
+
+def test_full_tgd_boundary(benchmark, table):
+    setting = full_tgd_boundary_setting()
+    graphs = [
+        ("triangle", ([1, 2, 3], [(1, 2), (2, 3), (1, 3)]), 3),
+        ("path", ([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4)]), 3),
+    ]
+
+    def run():
+        rows = []
+        for label, (nodes, edges), k in graphs:
+            source = full_tgd_boundary_source_instance(nodes, edges, k)
+            result = solve(setting, source, Instance())
+            oracle = has_k_clique(nodes, edges, k)
+            assert result.exists == oracle
+            rows.append([label, k, result.exists, result.stats.get("nodes", 0)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E10: full-target-tgd relaxation (CLIQUE-hard; conditions (1)+(2.1) hold)",
+        ["graph", "k", "solution", "search nodes"],
+        rows,
+    )
+
+
+def test_coloring_boundary(benchmark, table):
+    setting = coloring_setting()
+    graphs = [
+        ("C5 (odd cycle)", cycle_graph(5)),
+        ("C6 (even cycle)", cycle_graph(6)),
+        ("K4", complete_graph(4)),
+        ("random", erdos_renyi(6, 0.5, seed=8)),
+    ]
+
+    def run():
+        rows = []
+        for label, (nodes, edges) in graphs:
+            source = coloring_source_instance(nodes, edges)
+            result = solve(setting, source, Instance())
+            oracle = is_three_colorable(nodes, edges)
+            assert result.exists == oracle
+            rows.append([label, result.exists, oracle, result.stats.get("nodes", 0)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E11: disjunctive Σ_ts (3-COL-hard; conditions (1)+(2.2) hold)",
+        ["graph", "solution", "3-colorable", "search nodes"],
+        rows,
+    )
+
+
+def test_coloring_growth(benchmark, table):
+    """Effort grows on non-3-colorable instances as the graph grows
+    (K4 plus pendant paths keeps instances 'no')."""
+    setting = coloring_setting()
+
+    def hard_instance(extra: int):
+        nodes, edges = complete_graph(4)
+        for index in range(extra):
+            new = 100 + index
+            edges = list(edges) + [(0, new)]
+            nodes = list(nodes) + [new]
+        return nodes, edges
+
+    sizes = [0, 2, 4]
+
+    def run():
+        rows = []
+        for extra in sizes:
+            nodes, edges = hard_instance(extra)
+            source = coloring_source_instance(nodes, edges)
+            started = time.perf_counter()
+            result = solve(setting, source, Instance())
+            elapsed = time.perf_counter() - started
+            assert not result.exists
+            rows.append(
+                [len(nodes), result.stats.get("nodes", 0), f"{elapsed * 1000:.1f} ms"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E11: effort on non-3-colorable instances",
+        ["|V|", "search nodes", "time"],
+        rows,
+    )

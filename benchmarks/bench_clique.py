@@ -1,0 +1,115 @@
+"""Experiment E4 — Theorem 3: NP-hardness via the CLIQUE reduction.
+
+Paper claim: there is a fixed PDE setting with no target constraints
+(acyclic relation-level dependency graph!) whose existence-of-solutions
+problem is NP-complete, and a Boolean conjunctive query whose certain
+answers are coNP-complete.
+
+The bench (a) validates the reduction against a clique oracle on random
+graphs, (b) shows the solver's exponential growth on hard (no-clique)
+instances as ``k`` grows — contrast with the polynomial Figure 3 runs in
+``bench_tractable.py`` — and (c) reproduces the certain-answers variant.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Instance
+from repro.reductions import (
+    certain_answer_query,
+    clique_setting,
+    clique_source_instance,
+    has_k_clique,
+)
+from repro.solver import certain_answers, solve
+from repro.workloads import erdos_renyi, planted_clique
+
+
+def test_reduction_correctness(benchmark, table):
+    setting = clique_setting()
+    graphs = [
+        ("planted k=3", planted_clique(7, 3, 0.15, seed=1), 3),
+        ("sparse", erdos_renyi(7, 0.15, seed=2), 3),
+        ("medium", erdos_renyi(6, 0.45, seed=3), 3),
+        ("dense", erdos_renyi(6, 0.8, seed=4), 3),
+    ]
+
+    def run():
+        rows = []
+        for label, (nodes, edges), k in graphs:
+            source = clique_source_instance(nodes, edges, k)
+            result = solve(setting, source, Instance())
+            oracle = has_k_clique(nodes, edges, k)
+            assert result.exists == oracle
+            rows.append([label, len(nodes), len(edges), k, result.exists, oracle])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E4: SOL(P_clique) == k-clique existence (random graphs)",
+        ["graph", "|V|", "|E|", "k", "solver", "oracle"],
+        rows,
+    )
+
+
+def test_hard_instance_growth(benchmark, table):
+    """No-clique instances force exhaustive search: effort grows with k."""
+    setting = clique_setting()
+    nodes, edges = erdos_renyi(7, 0.3, seed=5)
+    ks = [2, 3, 4]
+
+    def run():
+        rows = []
+        for k in ks:
+            source = clique_source_instance(nodes, edges, k)
+            started = time.perf_counter()
+            result = solve(setting, source, Instance())
+            elapsed = time.perf_counter() - started
+            rows.append(
+                [
+                    k,
+                    result.exists,
+                    result.stats.get("nodes", 0),
+                    f"{elapsed * 1000:.1f} ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E4: search effort vs k (paper: NP-complete, expect super-poly growth "
+        "on 'no' instances)",
+        ["k", "exists", "search nodes", "time"],
+        rows,
+    )
+    # Search effort must grow with k on this graph (not flat).
+    assert rows[-1][2] > rows[0][2]
+
+
+def test_certain_answers_conp(benchmark, table):
+    """The coNP side: certain(∃x P(x,x,x,x)) is false iff G has a k-clique."""
+    setting = clique_setting()
+    query = certain_answer_query()
+    graphs = [
+        ("triangle", ([1, 2, 3], [(1, 2), (2, 3), (1, 3)]), 3),
+        ("path", ([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4)]), 3),
+        ("planted", planted_clique(6, 3, 0.1, seed=9), 3),
+    ]
+
+    def run():
+        rows = []
+        for label, (nodes, edges), k in graphs:
+            source = clique_source_instance(nodes, edges, k, draw_from_nodes=True)
+            result = certain_answers(setting, query, source, Instance())
+            oracle = has_k_clique(nodes, edges, k)
+            assert result.boolean_value is (not oracle)
+            rows.append([label, k, oracle, result.boolean_value])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E4: coNP certain answers (paper: clique iff NOT certain)",
+        ["graph", "k", "k-clique", "certain(q)"],
+        rows,
+    )

@@ -1,0 +1,96 @@
+"""Experiment E1 — Example 1 semantics and its cost.
+
+Paper artifact: Example 1 and the certain-answer computations below
+Definition 4.  The bench validates the exact semantics on every paper
+input and measures the solver cost on scaled-up versions of the
+triangle-ish instance (disjoint copies of it), which stays polynomial —
+the setting is in ``C_tract``.
+"""
+
+from __future__ import annotations
+
+from repro import Instance, PDESetting, parse_instance, parse_query, solve
+from repro.solver import certain_answers
+
+
+def example1_setting() -> PDESetting:
+    return PDESetting.from_text(
+        source={"E": 2},
+        target={"H": 2},
+        st="E(x, z), E(z, y) -> H(x, y)",
+        ts="H(x, y) -> E(x, y)",
+        name="example-1",
+    )
+
+
+def scaled_triangles(copies: int) -> Instance:
+    parts = []
+    for index in range(copies):
+        parts.append(f"E(a{index}, b{index}); E(b{index}, c{index}); E(a{index}, c{index})")
+    return parse_instance("; ".join(parts))
+
+
+def test_example1_semantics(benchmark, table):
+    setting = example1_setting()
+    cases = [
+        ("E(a, b); E(b, c)", False),
+        ("E(a, a)", True),
+        ("E(a, b); E(b, c); E(a, c)", True),
+    ]
+
+    def run():
+        results = []
+        for text, expected in cases:
+            result = solve(setting, parse_instance(text), Instance())
+            assert result.exists is expected
+            results.append((text, result.exists))
+        return results
+
+    results = benchmark(run)
+    table(
+        "E1: Example 1 solution existence (paper: no / unique / two solutions)",
+        ["source instance", "solution exists", "paper"],
+        [[text, got, expected] for (text, expected), (_t, got) in zip(cases, results)],
+    )
+
+
+def test_example1_certain_answers(benchmark, table):
+    setting = example1_setting()
+    query = parse_query("H(x, y), H(y, z)")
+    cases = [
+        ("E(a, a)", True),
+        ("E(a, b); E(b, c); E(a, c)", False),
+    ]
+
+    def run():
+        out = []
+        for text, expected in cases:
+            result = certain_answers(setting, query, parse_instance(text), Instance())
+            assert result.boolean_value is expected
+            out.append((text, result.boolean_value))
+        return out
+
+    results = benchmark(run)
+    table(
+        "E1: certain answers of ∃xyz H(x,y) ∧ H(y,z)",
+        ["source instance", "certain(q)", "paper"],
+        [[text, got, expected] for (text, expected), (_t, got) in zip(cases, results)],
+    )
+
+
+def test_example1_scaling(benchmark, table):
+    """Disjoint copies of the triangle-ish instance: polynomial via Figure 3."""
+    setting = example1_setting()
+    sizes = [4, 8, 16]
+    instances = {n: scaled_triangles(n) for n in sizes}
+
+    def run():
+        rows = []
+        for n in sizes:
+            result = solve(setting, instances[n], Instance())
+            assert result.exists
+            rows.append([n, 3 * n, result.method])
+        return rows
+
+    rows = benchmark(run)
+    table("E1: scaled Example 1 (all solvable)", ["copies", "|I|", "method"], rows)

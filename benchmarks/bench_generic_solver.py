@@ -1,0 +1,110 @@
+"""Experiments E2/E13 — Theorem 1 upper bound and Lemma 2 small solutions.
+
+Paper claims: (E2) SOL(P) is in NP for arbitrary ``Σ_st``/``Σ_ts`` tgds
+with ``Σ_t`` = egds + weakly acyclic tgds — operationally, the generic
+solvers are *complete* and their certificates are polynomial; (E13,
+Lemma 2) whenever a solution exists, one exists of size polynomial in
+``|(I, J)|`` — here, bounded by ``|J_can|``.
+
+The bench cross-validates the valuation search against the brute-force
+oracle on a grid of tiny instances and measures minimal-solution sizes
+against the Lemma 2 bound on growing inputs.
+"""
+
+from __future__ import annotations
+
+from repro import Instance
+from repro.solver import (
+    ValuationSearch,
+    brute_force_exists,
+    minimal_solution_sizes,
+    solve,
+)
+from repro.workloads.instances import random_source
+from repro.workloads.settings import random_glav_setting, random_lav_setting
+
+
+def test_np_procedure_against_oracle(benchmark, table):
+    cases = []
+    for seed in range(5):
+        setting = random_lav_setting(
+            source_relations=1, target_relations=1, st_tgds=1, ts_tgds=1, seed=seed
+        )
+        source = random_source(setting, domain_size=2, facts_per_relation=2, seed=seed)
+        cases.append((seed, setting, source))
+
+    def run():
+        rows = []
+        for seed, setting, source in cases:
+            fast = solve(setting, source, Instance(), method="valuation")
+            slow = brute_force_exists(setting, source, Instance())
+            assert fast.exists == slow
+            rows.append([seed, fast.exists, slow, fast.stats.get("nodes", 0)])
+        return rows
+
+    rows = benchmark(run)
+    table(
+        "E2: valuation search vs exhaustive oracle (tiny random settings)",
+        ["seed", "solver", "oracle", "search nodes"],
+        rows,
+    )
+
+
+def test_small_solution_property(benchmark, table):
+    """Lemma 2: minimal solutions are bounded by |J_can| ≤ poly(|I|+|J|)."""
+    setting = random_glav_setting(seed=4)
+    sizes = [2, 4, 6]
+    sources = {
+        n: random_source(setting, domain_size=4, facts_per_relation=n, seed=n)
+        for n in sizes
+    }
+
+    def run():
+        rows = []
+        for n in sizes:
+            source = sources[n]
+            search = ValuationSearch(setting, source, Instance())
+            bound = len(search.j_can)
+            observed = minimal_solution_sizes(setting, source, Instance(), limit=16)
+            largest = max(observed) if observed else 0
+            assert largest <= bound
+            rows.append([n, len(source), bound, len(observed), largest])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E13: Lemma 2 small-solution bound (|J*| <= |J_can|)",
+        ["facts/rel", "|I|", "|J_can| bound", "#minimal sols", "max |J*|"],
+        rows,
+    )
+
+
+def test_solver_effort_on_random_glav(benchmark, table):
+    """Search effort across random GLAV settings (the NP certificate is
+    small even when the search space is not)."""
+    cases = []
+    for seed in range(6):
+        setting = random_glav_setting(seed=seed)
+        source = random_source(setting, domain_size=4, facts_per_relation=3, seed=seed)
+        cases.append((seed, setting, source))
+
+    def run():
+        rows = []
+        for seed, setting, source in cases:
+            result = solve(setting, source, Instance(), method="valuation")
+            rows.append(
+                [
+                    seed,
+                    result.exists,
+                    result.stats.get("null_count", 0),
+                    result.stats.get("nodes", 0),
+                ]
+            )
+        return rows
+
+    rows = benchmark(run)
+    table(
+        "E2: valuation-search effort on random GLAV settings",
+        ["seed", "exists", "nulls in J_can", "search nodes"],
+        rows,
+    )

@@ -1,0 +1,91 @@
+"""Experiment E15 — Section 2: multi-PDE reduces to a single PDE.
+
+Paper claim: a family of PDE settings sharing one target peer has exactly
+the same space of solutions as the single PDE obtained by merging the
+source schemas and unioning the dependency sets.
+
+The bench checks the equivalence over a grid of candidates and measures
+how the merged solve scales with the number of source peers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Instance, MultiPDESetting, PDESetting, parse_instance
+from repro.solver import solve
+
+
+def make_peer(index: int) -> PDESetting:
+    relation = f"Src{index}"
+    return PDESetting.from_text(
+        source={relation: 2},
+        target={"Hub": 3},
+        st=f"{relation}(x, y) -> Hub(x, y, {index})",
+        ts=f"Hub(x, y, {index}) -> {relation}(x, y)",
+        name=f"peer-{index}",
+    )
+
+
+def peer_source(index: int, facts: int) -> Instance:
+    rows = "; ".join(f"Src{index}(k{i}, v{i})" for i in range(facts))
+    return parse_instance(rows)
+
+
+def test_solution_space_equivalence(benchmark, table):
+    peers = [make_peer(i) for i in range(3)]
+    multi = MultiPDESetting(peers)
+    merged = multi.merge()
+    sources = [peer_source(i, 2) for i in range(3)]
+    union = multi.combine_sources(sources)
+
+    candidates = {
+        "exact import": solve(merged, union, Instance()).solution,
+        "missing fact": parse_instance("Hub(k0, v0, 0)"),
+        "foreign fact": parse_instance("Hub(zz, zz, 9)"),
+        "empty": Instance(),
+    }
+
+    def run():
+        rows = []
+        for label, candidate in candidates.items():
+            if candidate is None:
+                continue
+            multi_says = multi.is_solution(sources, Instance(), candidate)
+            merged_says = merged.is_solution(union, Instance(), candidate)
+            assert multi_says == merged_says
+            rows.append([label, multi_says, merged_says])
+        return rows
+
+    rows = benchmark(run)
+    table(
+        "E15: multi-PDE vs merged single PDE (must agree on every candidate)",
+        ["candidate", "multi-PDE", "merged PDE"],
+        rows,
+    )
+
+
+def test_scaling_with_peer_count(benchmark, table):
+    counts = [2, 4, 8]
+
+    def run():
+        rows = []
+        for count in counts:
+            peers = [make_peer(i) for i in range(count)]
+            multi = MultiPDESetting(peers)
+            merged = multi.merge()
+            sources = [peer_source(i, 3) for i in range(count)]
+            union = multi.combine_sources(sources)
+            started = time.perf_counter()
+            result = solve(merged, union, Instance())
+            elapsed = time.perf_counter() - started
+            assert result.exists
+            rows.append([count, len(union), f"{elapsed * 1000:.1f} ms", result.method])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E15: merged solve scaling with the number of source peers",
+        ["peers", "|I|", "time", "method"],
+        rows,
+    )

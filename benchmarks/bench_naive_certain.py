@@ -1,0 +1,131 @@
+"""Ablation — the naive-evaluation certain-answer screen vs the exact
+coNP procedure.
+
+The paper leaves certain answers for ``C_tract`` open; the library ships a
+polynomial sound under-approximation (naive evaluation over ``J_can``).
+This bench measures (a) the cost gap between the screen and the exact
+procedure as the choice space grows, and (b) the precision of the screen —
+where it is exact and where it undershoots.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Instance, PDESetting, parse_instance, parse_query
+from repro.solver import certain_answers
+from repro.solver.naive_certain import naive_certain_answers
+
+
+def choice_setting() -> PDESetting:
+    return PDESetting.from_text(
+        source={"A": 1, "R": 2},
+        target={"T": 2},
+        st="A(x) -> T(x, y)",
+        ts="T(x, y) -> R(x, y)",
+    )
+
+
+def forced_source(n: int) -> Instance:
+    """n elements, each with exactly one R-successor: all imports forced."""
+    facts = []
+    for index in range(n):
+        facts.append(f"A(a{index})")
+        facts.append(f"R(a{index}, b{index})")
+    return parse_instance("; ".join(facts))
+
+
+def open_source(n: int) -> Instance:
+    """n elements, each with two R-successors: nothing fully certain."""
+    facts = []
+    for index in range(n):
+        facts.append(f"A(a{index})")
+        facts.append(f"R(a{index}, b{index})")
+        facts.append(f"R(a{index}, c{index})")
+    return parse_instance("; ".join(facts))
+
+
+def test_screen_cost_vs_exact(benchmark, table):
+    setting = choice_setting()
+    query = parse_query("q(x, y) :- T(x, y)")
+    sizes = [2, 4, 6]
+
+    def run():
+        rows = []
+        for n in sizes:
+            source = open_source(n)
+            started = time.perf_counter()
+            screen = naive_certain_answers(setting, query, source, Instance())
+            screen_time = time.perf_counter() - started
+            started = time.perf_counter()
+            exact = certain_answers(setting, query, source, Instance())
+            exact_time = time.perf_counter() - started
+            assert screen.answers <= exact.answers
+            rows.append(
+                [
+                    n,
+                    len(screen.answers),
+                    len(exact.answers),
+                    f"{screen_time * 1000:.2f} ms",
+                    f"{exact_time * 1000:.2f} ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "ablation: naive screen vs exact certain answers (open choices)",
+        ["choices", "screen |answers|", "exact |answers|", "screen time", "exact time"],
+        rows,
+    )
+
+
+def test_screen_precision(benchmark, table):
+    """Forced imports: the screen misses them (nulls in J_can) while the
+    exact procedure recovers them — the documented precision boundary."""
+    setting = choice_setting()
+    query = parse_query("q(x, y) :- T(x, y)")
+
+    def run():
+        rows = []
+        for label, source, expected_exact in [
+            ("forced (n=3)", forced_source(3), 3),
+            ("open (n=3)", open_source(3), 0),
+        ]:
+            screen = naive_certain_answers(setting, query, source, Instance())
+            exact = certain_answers(setting, query, source, Instance())
+            assert len(exact.answers) == expected_exact
+            rows.append([label, len(screen.answers), len(exact.answers)])
+        return rows
+
+    rows = benchmark(run)
+    table(
+        "ablation: screen precision (sound, incomplete where Σ_ts pins nulls)",
+        ["instance", "screen", "exact"],
+        rows,
+    )
+
+
+def test_screen_exact_on_ground_j_can(benchmark, table):
+    """With full Σ_st the canonical instance is ground: screen == exact."""
+    setting = PDESetting.from_text(
+        source={"E": 2},
+        target={"H": 2},
+        st="E(x, z), E(z, y) -> H(x, y)",
+        ts="H(x, y) -> E(x, y)",
+    )
+    query = parse_query("q(x, y) :- H(x, y)")
+    source = parse_instance("E(a, b); E(b, c); E(a, c); E(c, c)")
+
+    def run():
+        screen = naive_certain_answers(setting, query, source, Instance())
+        exact = certain_answers(setting, query, source, Instance())
+        assert screen.answers == exact.answers
+        return [[len(screen.answers), len(exact.answers)]]
+
+    rows = benchmark(run)
+    table(
+        "ablation: screen is exact when J_can is ground (full Σ_st)",
+        ["screen", "exact"],
+        rows,
+    )

@@ -1,0 +1,184 @@
+"""Experiment E14 — Section 2: the PDE ↔ PDMS correspondence.
+
+Paper claim: every PDE setting ``P`` translates into a PDMS ``N(P)`` (with
+equality storage descriptions for the source peer and containment
+descriptions for the target peer) so that solutions for ``(I, J)``
+coincide with consistent data instances of ``N(P)``.
+
+The bench checks the equivalence over a batch of candidates — valid
+solutions, near-misses, and tampered assignments — and times the PDMS
+consistency test against the direct Definition 2 test.
+"""
+
+from __future__ import annotations
+
+from repro import Instance, parse_instance
+from repro.pdms import check_correspondence, translate_setting
+from repro.solver import enumerate_solutions, solve
+from repro.workloads import generate_genomics_data, genomics_setting
+
+
+def example1_setting():
+    from repro import PDESetting
+
+    return PDESetting.from_text(
+        source={"E": 2},
+        target={"H": 2},
+        st="E(x, z), E(z, y) -> H(x, y)",
+        ts="H(x, y) -> E(x, y)",
+        name="example-1",
+    )
+
+
+def test_correspondence_on_candidate_batch(benchmark, table):
+    setting = example1_setting()
+    source = parse_instance("E(a, b); E(b, c); E(a, c)")
+    candidates = [
+        ("minimal solution", parse_instance("H(a, c)")),
+        ("larger solution", parse_instance("H(a, b); H(b, c); H(a, c)")),
+        ("missing forced fact", parse_instance("H(a, b)")),
+        ("unbacked fact", parse_instance("H(a, c); H(c, a)")),
+        ("empty candidate", Instance()),
+    ]
+
+    def run():
+        rows = []
+        for label, candidate in candidates:
+            check = check_correspondence(setting, source, Instance(), candidate)
+            assert check.agrees
+            rows.append([label, check.is_pde_solution, check.is_pdms_consistent])
+        return rows
+
+    rows = benchmark(run)
+    table(
+        "E14: PDE solution test vs PDMS consistency (must agree)",
+        ["candidate", "PDE solution", "PDMS consistent"],
+        rows,
+    )
+
+
+def test_correspondence_on_solver_output(benchmark, table):
+    """Every enumerated minimal solution must be PDMS-consistent."""
+    setting = example1_setting()
+    sources = [
+        parse_instance("E(a, a)"),
+        parse_instance("E(a, b); E(b, c); E(a, c)"),
+        parse_instance("E(a, b); E(b, a)"),
+    ]
+
+    def run():
+        rows = []
+        for source in sources:
+            checked = 0
+            for solution in enumerate_solutions(setting, source, Instance(), limit=4):
+                check = check_correspondence(setting, source, Instance(), solution)
+                assert check.is_pdms_consistent
+                checked += 1
+            rows.append([str(source), checked])
+        return rows
+
+    rows = benchmark(run)
+    table(
+        "E14: solver witnesses are PDMS-consistent",
+        ["source", "solutions checked"],
+        rows,
+    )
+
+
+def test_translation_shape(benchmark, table):
+    """Structure of N(P): starred replicas + the right description kinds."""
+    setting = genomics_setting()
+
+    def run():
+        pdms = translate_setting(setting)
+        source_peer = pdms.peer("S")
+        target_peer = pdms.peer("T")
+        assert all(d.kind == "equality" for d in source_peer.storage)
+        assert all(d.kind == "containment" for d in target_peer.storage)
+        return [
+            ["source peer locals", len(list(source_peer.local_schema))],
+            ["target peer locals", len(list(target_peer.local_schema))],
+            ["peer mappings", len(pdms.mappings)],
+        ]
+
+    rows = benchmark(run)
+    table("E14: shape of N(P) for the genomics setting", ["item", "count"], rows)
+
+
+def test_consistency_cost_on_real_data(benchmark, table):
+    """PDMS consistency on a genomics sync result."""
+    setting = genomics_setting()
+    source, target = generate_genomics_data(proteins=15, seed=2)
+    solution = solve(setting, source, target).solution
+
+    def run():
+        check = check_correspondence(setting, source, target, solution)
+        assert check.agrees and check.is_pdms_consistent
+        return check
+
+    benchmark(run)
+    table(
+        "E14: consistency on genomics data",
+        ["|I|", "|J'|"],
+        [[len(source), len(solution)]],
+    )
+
+
+def test_containment_vs_equality_semantics(benchmark, table):
+    """Experiment E16 — the Section 3.2 contrast: the Theorem 3 mappings
+    are acyclic inclusions, harmless under containment-only storage
+    semantics (PTIME, clique-oblivious) but coNP-hard under PDE's equality
+    semantics for the source peer."""
+    from repro.pdms import PDMS, Peer, StorageDescription, star_instance
+    from repro.pdms.acyclic import acyclic_certain_answers
+    from repro.reductions import (
+        certain_answer_query,
+        clique_setting,
+        clique_source_instance,
+    )
+    from repro.solver import certain_answers as pde_certain
+
+    setting = clique_setting()
+    pdms = translate_setting(setting)
+    weakened = PDMS(
+        [
+            Peer(
+                peer.name,
+                peer.schema,
+                peer.local_schema,
+                [
+                    StorageDescription(d.peer_relation, d.query, "containment")
+                    for d in peer.storage
+                ],
+            )
+            for peer in pdms.peers
+        ],
+        pdms.mappings,
+    )
+    query = certain_answer_query()
+    graphs = [
+        ("triangle (3-clique)", ([1, 2, 3], [(1, 2), (2, 3), (1, 3)]), 3),
+        ("path (no 3-clique)", ([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4)]), 3),
+    ]
+
+    def run():
+        rows = []
+        for label, (nodes, edges), k in graphs:
+            source = clique_source_instance(nodes, edges, k, draw_from_nodes=True)
+            containment = acyclic_certain_answers(
+                weakened, star_instance(source), query
+            ).boolean_value
+            pde = pde_certain(setting, query, source, Instance()).boolean_value
+            rows.append([label, containment, pde])
+        return rows
+
+    rows = benchmark(run)
+    table(
+        "E16: certain(∃x P(x,x,x,x)) — containment-only PDMS vs PDE",
+        ["graph", "containment semantics", "PDE semantics"],
+        rows,
+    )
+    # Containment semantics never certifies the query; PDE flips with the
+    # clique (Theorem 3).
+    assert [row[1] for row in rows] == [False, False]
+    assert [row[2] for row in rows] == [False, True]

@@ -1,0 +1,105 @@
+"""Experiments E5/E6/E7 — the polynomial Figure 3 algorithm (Theorem 4,
+Corollaries 1 and 2).
+
+Paper claim: for settings in ``C_tract`` — in particular LAV ``Σ_ts``
+(Corollary 2) and full ``Σ_st`` (Corollary 1) — SOL(P) is decidable in
+polynomial time.  The bench measures the ``ExistsSolution`` runtime as the
+instance grows, checks agreement with the generic NP solver on small
+inputs, and reports the empirical growth exponent (should stay far from
+exponential; roughly quadratic here because the canonical-instance chase
+dominates).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro import Instance, solve
+from repro.workloads import generate_genomics_data, genomics_setting
+from repro.workloads.instances import random_source
+from repro.workloads.settings import random_full_st_setting, random_lav_setting
+
+
+def test_lav_scaling(benchmark, table):
+    """Corollary 2 (LAV Σ_ts) on the genomics scenario, growing sizes."""
+    setting = genomics_setting()
+    sizes = [10, 20, 40, 80]
+    data = {n: generate_genomics_data(proteins=n, seed=7) for n in sizes}
+
+    def run():
+        rows = []
+        for n in sizes:
+            source, target = data[n]
+            started = time.perf_counter()
+            result = solve(setting, source, target)
+            elapsed = time.perf_counter() - started
+            assert result.exists
+            rows.append([n, len(source), f"{elapsed * 1000:.1f} ms", result.method])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E5/E7: Figure 3 on LAV Σ_ts (genomics), paper: polynomial",
+        ["proteins", "|I|", "time", "method"],
+        rows,
+    )
+    # Empirical growth exponent between the two largest sizes.
+    t_small = float(rows[-2][2].split()[0])
+    t_large = float(rows[-1][2].split()[0])
+    if t_small > 0:
+        exponent = math.log(max(t_large, 1e-9) / t_small, 2)
+        print(f"growth exponent (size doubling): {exponent:.2f} (poly expected, << 8)")
+        assert exponent < 8  # far from the exponential blow-up of Theorem 3
+
+
+def test_full_st_scaling(benchmark, table):
+    """Corollary 1 (full Σ_st) on random settings, growing instances."""
+    setting = random_full_st_setting(seed=3)
+    sizes = [8, 16, 32, 64]
+    sources = {
+        n: random_source(setting, domain_size=max(4, n // 2), facts_per_relation=n, seed=n)
+        for n in sizes
+    }
+
+    def run():
+        rows = []
+        for n in sizes:
+            started = time.perf_counter()
+            result = solve(setting, sources[n], Instance())
+            elapsed = time.perf_counter() - started
+            assert result.method == "tractable"
+            rows.append([n, len(sources[n]), result.exists, f"{elapsed * 1000:.1f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "E6: Figure 3 on full Σ_st (random settings), paper: polynomial",
+        ["facts/rel", "|I|", "exists", "time"],
+        rows,
+    )
+
+
+def test_agreement_with_generic_solver(benchmark, table):
+    """Theorem 5 correctness: Figure 3 agrees with the NP valuation search."""
+    pairs = []
+    for seed in range(6):
+        setting = random_lav_setting(seed=seed)
+        source = random_source(setting, domain_size=3, facts_per_relation=2, seed=seed)
+        pairs.append((setting, source))
+
+    def run():
+        rows = []
+        for index, (setting, source) in enumerate(pairs):
+            fast = solve(setting, source, Instance(), method="tractable").exists
+            slow = solve(setting, source, Instance(), method="valuation").exists
+            assert fast == slow
+            rows.append([index, fast, slow])
+        return rows
+
+    rows = benchmark(run)
+    table(
+        "E5: tractable vs generic solver agreement (random LAV settings)",
+        ["setting", "Figure 3", "valuation search"],
+        rows,
+    )

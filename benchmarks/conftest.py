@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one experiment from DESIGN.md's
+per-experiment index.  Benchmarks print the table rows they produce (run
+with ``-s`` to see them); ``pytest-benchmark`` captures the timing
+distributions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print an aligned table of experiment results."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rendered)) if rendered else len(header[i])
+        for i in range(len(header))
+    ]
+    print(f"\n### {title}")
+    print("  ".join(name.ljust(width) for name, width in zip(header, widths)))
+    for row in rendered:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    """Fixture handing the table printer to benchmark bodies."""
+    return print_table

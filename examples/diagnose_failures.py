@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Diagnosing failed syncs and minimizing witnesses.
+
+Production-flavored workflow on top of the solver:
+
+1. a sync fails — `explain()` turns the bare "no solution" into an
+   actionable certificate (the failing block of `I_can`, or the ground
+   target-to-source premise the source refuses to vouch for);
+2. the operator repairs the offending facts and re-runs;
+3. the resulting witness is minimized with `core()` before being applied,
+   so the target ingests no redundant placeholder rows.
+
+Run:  python examples/diagnose_failures.py
+"""
+
+from repro import Instance, PDESetting, parse_instance
+from repro.core import core
+from repro.solver import explain, solve
+
+
+def main() -> None:
+    setting = PDESetting.from_text(
+        source={"catalog": 2, "stock": 2},
+        target={"listing": 2, "offer": 3},
+        st="""
+            catalog(sku, title) -> listing(sku, title)
+            catalog(sku, title), stock(sku, qty) -> offer(sku, qty, price)
+        """,
+        ts="""
+            listing(sku, title) -> catalog(sku, title)
+            offer(sku, qty, price) -> stock(sku, qty)
+        """,
+        name="storefront-sync",
+    )
+
+    source = parse_instance(
+        """
+        catalog(sku1, 'Espresso Machine')
+        catalog(sku2, 'Grinder')
+        stock(sku1, 5)
+        """
+    )
+
+    print("=== attempt 1: target holds a listing the catalog withdrew ===")
+    target = parse_instance("listing(sku9, 'Discontinued Kettle')")
+    diagnosis = explain(setting, source, target)
+    print(f"[{diagnosis.reason}]")
+    print(diagnosis.narrative)
+    print()
+
+    print("=== attempt 2: repaired target ===")
+    repaired = Instance()
+    diagnosis = explain(setting, source, repaired)
+    print(f"[{diagnosis.reason}]")
+    print(diagnosis.narrative)
+    witness = diagnosis.details["solution"]
+    print(f"raw witness ({len(witness)} facts): {witness}")
+    print()
+
+    print("=== minimizing the witness before applying it ===")
+    minimized = core(witness, protect=repaired)
+    print(f"cored witness ({len(minimized)} facts): {minimized}")
+    assert setting.is_solution(source, repaired, minimized)
+    print("cored witness verified as a solution.")
+    print()
+
+    print("=== the price column stays open (no authority constrains it) ===")
+    offers = minimized.facts("offer")
+    for fact in offers:
+        print(f"  offer row: {fact}   (price {fact.args[2]} is a placeholder)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Periodic synchronization: replaying authority snapshots over time.
+
+Drives a :class:`repro.sync.SyncSession` through four rounds against a
+registry whose contents grow, churn, and shrink — showing incremental
+imports, withdrawal-driven retractions, and the protection of the target
+peer's own pinned data.
+
+Run:  python examples/periodic_sync.py
+"""
+
+from repro import PDESetting, parse_instance
+from repro.sync import SyncSession
+
+
+def main() -> None:
+    setting = PDESetting.from_text(
+        source={"registry": 2},
+        target={"mirror": 2},
+        st="registry(name, version) -> mirror(name, version)",
+        ts="mirror(name, version) -> registry(name, version)",
+        name="package-mirror",
+    )
+    pinned = parse_instance("mirror(localpkg, dev)")
+    session = SyncSession(setting, pinned=pinned)
+
+    timeline = [
+        ("day 1: initial publish", "registry(localpkg, dev); registry(alpha, 1); registry(beta, 1)"),
+        ("day 2: beta upgraded", "registry(localpkg, dev); registry(alpha, 1); registry(beta, 1); registry(beta, 2)"),
+        ("day 3: alpha yanked", "registry(localpkg, dev); registry(beta, 1); registry(beta, 2)"),
+        ("day 4: quiet day", "registry(localpkg, dev); registry(beta, 1); registry(beta, 2)"),
+    ]
+
+    for label, snapshot_text in timeline:
+        snapshot = parse_instance(snapshot_text)
+        outcome = session.sync(snapshot)
+        print(f"--- {label} ---")
+        print(f"  ok={outcome.ok}  +{len(outcome.added)}  -{len(outcome.retracted)}")
+        if outcome.added:
+            print(f"  imported:  {outcome.added}")
+        if outcome.retracted:
+            print(f"  retracted: {outcome.retracted}")
+        print(f"  mirror now: {session.state()}")
+        assert setting.is_solution(snapshot, pinned, session.state())
+        print()
+
+    print("pinned local package survived every round:",
+          parse_instance("mirror(localpkg, dev)").contains_instance(pinned))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Example 1, end to end.
+
+Builds the peer data exchange setting
+
+    Σ_st : E(x, z) ∧ E(z, y) → H(x, y)
+    Σ_ts : H(x, y) → E(x, y)
+
+and walks through the three source instances the paper discusses: one with
+no solution, one with a unique solution, and one with several solutions.
+Finishes with the certain-answer computations below Definition 4.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Instance, PDESetting, parse_instance, parse_query, solve
+from repro.solver import certain_answers, enumerate_solutions
+
+
+def main() -> None:
+    setting = PDESetting.from_text(
+        source={"E": 2},
+        target={"H": 2},
+        st="E(x, z), E(z, y) -> H(x, y)",
+        ts="H(x, y) -> E(x, y)",
+        name="example-1",
+    )
+    print(f"Setting: {setting}\n")
+
+    cases = {
+        "open path (no solution)": "E(a, b); E(b, c)",
+        "self-loop (unique solution)": "E(a, a)",
+        "closed path (several solutions)": "E(a, b); E(b, c); E(a, c)",
+    }
+    for label, text in cases.items():
+        source = parse_instance(text)
+        result = solve(setting, source, Instance())
+        print(f"{label}")
+        print(f"  I = {source}")
+        print(f"  solution exists: {result.exists}  (method: {result.method})")
+        if result.exists:
+            print(f"  witness J' = {result.solution}")
+            minimal = list(enumerate_solutions(setting, source, Instance(), limit=5))
+            print(f"  minimal solutions: {[str(s) for s in minimal]}")
+        print()
+
+    query = parse_query("H(x, y), H(y, z)")
+    print(f"Certain answers of the Boolean query  q = {query}")
+    for label, text in [
+        ("I = {E(a,a)}", "E(a, a)"),
+        ("I = {E(a,b), E(b,c), E(a,c)}", "E(a, b); E(b, c); E(a, c)"),
+    ]:
+        source = parse_instance(text)
+        answer = certain_answers(setting, query, source, Instance())
+        print(f"  {label}: certain(q) = {answer.boolean_value}")
+
+
+if __name__ == "__main__":
+    main()

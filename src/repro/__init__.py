@@ -1,0 +1,144 @@
+"""repro — peer data exchange.
+
+A from-scratch reproduction of *"Peer Data Exchange"* (Fuxman, Kolaitis,
+Miller, Tan; PODS 2005): the PDE framework, the chase machinery it builds
+on, the NP/coNP upper-bound procedures, the tractable class ``C_tract``
+with the polynomial ``ExistsSolution`` algorithm of Figure 3, the hardness
+reductions, and the PDMS correspondence.
+
+Quick start::
+
+    from repro import PDESetting, Instance, parse_instance, solve
+
+    setting = PDESetting.from_text(
+        source={"E": 2},
+        target={"H": 2},
+        st="E(x, z), E(z, y) -> H(x, y)",
+        ts="H(x, y) -> E(x, y)",
+    )
+    source = parse_instance("E(a, b); E(b, c); E(a, c)")
+    result = solve(setting, source, Instance())
+    assert result.exists
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    Atom,
+    Block,
+    ChaseResult,
+    ChaseStep,
+    ConjunctiveQuery,
+    Constant,
+    Dependency,
+    DisjunctiveTGD,
+    EGD,
+    Fact,
+    Instance,
+    MultiPDESetting,
+    Null,
+    NullFactory,
+    PDESetting,
+    RelationSymbol,
+    Schema,
+    TGD,
+    UnionOfConjunctiveQueries,
+    Variable,
+    chase,
+    decompose_into_blocks,
+    find_homomorphism,
+    find_instance_homomorphism,
+    has_homomorphism,
+    has_instance_homomorphism,
+    is_weakly_acyclic,
+    parse_dependencies,
+    parse_dependency,
+    parse_instance,
+    parse_query,
+    satisfies,
+    solution_aware_chase,
+)
+from repro.exceptions import (
+    ChaseFailure,
+    ChaseNonTermination,
+    DependencyError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    SolverError,
+)
+from repro.solver import (
+    CertainAnswerResult,
+    minimize_solution,
+    solve_multi,
+    Explanation,
+    explain,
+    naive_certain_answers,
+    SolveResult,
+    certain_answers,
+    enumerate_solutions,
+    find_solution,
+    is_certain,
+    solve,
+)
+from repro.sync import SyncOutcome, SyncSession
+from repro.tractability import CtractReport, classify, is_in_ctract
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Block",
+    "ChaseResult",
+    "ChaseStep",
+    "ConjunctiveQuery",
+    "Constant",
+    "Dependency",
+    "DisjunctiveTGD",
+    "EGD",
+    "Fact",
+    "Instance",
+    "MultiPDESetting",
+    "Null",
+    "NullFactory",
+    "PDESetting",
+    "RelationSymbol",
+    "Schema",
+    "TGD",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "chase",
+    "decompose_into_blocks",
+    "find_homomorphism",
+    "find_instance_homomorphism",
+    "has_homomorphism",
+    "has_instance_homomorphism",
+    "is_weakly_acyclic",
+    "parse_dependencies",
+    "parse_dependency",
+    "parse_instance",
+    "parse_query",
+    "satisfies",
+    "solution_aware_chase",
+    "ChaseFailure",
+    "ChaseNonTermination",
+    "DependencyError",
+    "ParseError",
+    "ReproError",
+    "SchemaError",
+    "SolverError",
+    "CertainAnswerResult",
+    "SolveResult",
+    "certain_answers",
+    "enumerate_solutions",
+    "find_solution",
+    "is_certain",
+    "solve",
+    "SyncOutcome",
+    "SyncSession",
+    "CtractReport",
+    "classify",
+    "is_in_ctract",
+    "__version__",
+]

@@ -1,0 +1,197 @@
+"""Command-line interface for the peer data exchange library.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli classify  setting.json
+    python -m repro.cli describe  setting.json [--dot relations|positions]
+    python -m repro.cli solve     setting.json source.txt [target.txt]
+    python -m repro.cli explain   setting.json source.txt [target.txt]
+    python -m repro.cli certain   setting.json source.txt --query "H(x, y)"
+    python -m repro.cli chase     setting.json source.txt [target.txt]
+
+Setting files use the JSON format of :mod:`repro.io.serialization`;
+instance files use the parser's text syntax (``E(a, b); E(b, c)`` — with
+``#`` comments), or JSON when the filename ends in ``.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance, parse_query
+from repro.core.setting import PDESetting
+from repro.io.serialization import dumps_instance, loads_instance, loads_setting
+from repro.solver import certain_answers, solve
+from repro.solver.explain import explain
+from repro.solver.tractable import canonical_instances
+from repro.tractability import classify
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_setting(path: str) -> PDESetting:
+    return loads_setting(Path(path).read_text())
+
+
+def _load_instance(path: str | None) -> Instance:
+    if path is None:
+        return Instance()
+    text = Path(path).read_text()
+    if path.endswith(".json"):
+        return loads_instance(text)
+    return parse_instance(text)
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    setting = _load_setting(args.setting)
+    report = classify(setting)
+    print(f"setting: {setting}")
+    print(f"in C_tract: {report.in_ctract}  ({report.subclass()})")
+    print(
+        f"conditions: 1={report.condition1}  2.1={report.condition2_1}  "
+        f"2.2={report.condition2_2}"
+    )
+    print(f"Σ_t nonempty: {report.has_target_constraints}")
+    print(f"disjunctive Σ_ts: {report.has_disjunctive_ts}")
+    for violation in report.violations:
+        print(f"  violation: {violation}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    setting = _load_setting(args.setting)
+    source = _load_instance(args.source)
+    target = _load_instance(args.target)
+    result = solve(setting, source, target, method=args.method)
+    print(f"solution exists: {result.exists}  (method: {result.method})")
+    for key, value in sorted(result.stats.items()):
+        print(f"  {key}: {value}")
+    if result.exists:
+        if args.json:
+            print(dumps_instance(result.solution, indent=2))
+        else:
+            print(f"witness: {result.solution.pretty()}")
+    return 0 if result.exists else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    setting = _load_setting(args.setting)
+    source = _load_instance(args.source)
+    target = _load_instance(args.target)
+    explanation = explain(setting, source, target)
+    print(f"[{explanation.reason}]")
+    print(explanation.narrative)
+    return 0 if explanation.exists else 1
+
+
+def _cmd_certain(args: argparse.Namespace) -> int:
+    setting = _load_setting(args.setting)
+    source = _load_instance(args.source)
+    target = _load_instance(args.target)
+    query = parse_query(args.query)
+    result = certain_answers(setting, query, source, target)
+    if not result.solutions_exist:
+        print("no solution exists; certain answers are vacuous")
+    if query.arity == 0:
+        print(f"certain({query}) = {result.boolean_value}")
+    else:
+        print(f"{len(result.answers)} certain answers of {query}:")
+        for row in sorted(result.answers, key=str):
+            print("  (" + ", ".join(str(value) for value in row) + ")")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.report import describe_setting, position_graph_dot, relation_graph_dot
+
+    setting = _load_setting(args.setting)
+    if args.dot == "relations":
+        print(relation_graph_dot(setting), end="")
+    elif args.dot == "positions":
+        print(position_graph_dot(setting), end="")
+    else:
+        print(describe_setting(setting), end="")
+    return 0
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    setting = _load_setting(args.setting)
+    source = _load_instance(args.source)
+    target = _load_instance(args.target)
+    j_can, i_can, stats = canonical_instances(setting, source, target)
+    print("J_can (Σ_st-chase of (I, J), target part):")
+    print("  " + (j_can.pretty().replace("\n", "\n  ") or "(empty)"))
+    print("I_can (Σ_ts-chase of (J_can, ∅), source part):")
+    print("  " + (i_can.pretty().replace("\n", "\n  ") or "(empty)"))
+    for key, value in sorted(stats.items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Peer data exchange: solve, classify, chase, explain.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    classify_cmd = commands.add_parser("classify", help="C_tract classification")
+    classify_cmd.add_argument("setting")
+    classify_cmd.set_defaults(handler=_cmd_classify)
+
+    solve_cmd = commands.add_parser("solve", help="decide SOL(P)(I, J)")
+    solve_cmd.add_argument("setting")
+    solve_cmd.add_argument("source")
+    solve_cmd.add_argument("target", nargs="?")
+    solve_cmd.add_argument(
+        "--method",
+        choices=["auto", "tractable", "valuation", "branching"],
+        default="auto",
+    )
+    solve_cmd.add_argument("--json", action="store_true", help="JSON witness output")
+    solve_cmd.set_defaults(handler=_cmd_solve)
+
+    explain_cmd = commands.add_parser("explain", help="explain the outcome")
+    explain_cmd.add_argument("setting")
+    explain_cmd.add_argument("source")
+    explain_cmd.add_argument("target", nargs="?")
+    explain_cmd.set_defaults(handler=_cmd_explain)
+
+    certain_cmd = commands.add_parser("certain", help="certain answers of a query")
+    certain_cmd.add_argument("setting")
+    certain_cmd.add_argument("source")
+    certain_cmd.add_argument("target", nargs="?")
+    certain_cmd.add_argument("--query", required=True)
+    certain_cmd.set_defaults(handler=_cmd_certain)
+
+    describe_cmd = commands.add_parser(
+        "describe", help="markdown analysis report / DOT graphs"
+    )
+    describe_cmd.add_argument("setting")
+    describe_cmd.add_argument(
+        "--dot", choices=["relations", "positions"], default=None,
+        help="emit a Graphviz graph instead of the markdown report",
+    )
+    describe_cmd.set_defaults(handler=_cmd_describe)
+
+    chase_cmd = commands.add_parser("chase", help="show J_can and I_can")
+    chase_cmd.add_argument("setting")
+    chase_cmd.add_argument("source")
+    chase_cmd.add_argument("target", nargs="?")
+    chase_cmd.set_defaults(handler=_cmd_chase)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

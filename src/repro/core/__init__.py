@@ -1,0 +1,90 @@
+"""Core data model and algorithms: terms, instances, dependencies, chase.
+
+This subpackage contains everything that is independent of the *solvers*:
+the relational data model with labeled nulls, the dependency language
+(tgds, egds, disjunctive tgds), parsing, homomorphism search, conjunctive
+queries, the chase procedures, weak acyclicity, block decomposition, and
+the PDE setting itself.
+"""
+
+from repro.core.atoms import Atom, Fact
+from repro.core.blocks import Block, decompose_into_blocks, null_graph
+from repro.core.cores import core, is_core
+from repro.core.chase import ChaseResult, ChaseStep, chase, satisfies, solution_aware_chase
+from repro.core.dependencies import EGD, TGD, Dependency, DisjunctiveTGD
+from repro.core.dependency_graph import is_acyclic, relation_dependency_graph
+from repro.core.homomorphism import (
+    find_homomorphism,
+    find_instance_homomorphism,
+    has_homomorphism,
+    has_instance_homomorphism,
+    iter_homomorphisms,
+    iter_instance_homomorphisms,
+)
+from repro.core.instance import Instance
+from repro.core.parser import (
+    NullInterner,
+    parse_dependencies,
+    parse_dependency,
+    parse_instance,
+    parse_query,
+)
+from repro.core.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.core.schema import RelationSymbol, Schema
+from repro.core.setting import MultiPDESetting, PDESetting
+from repro.core.terms import Constant, Null, NullFactory, Variable
+from repro.core.weak_acyclicity import (
+    PositionGraph,
+    build_position_graph,
+    chase_step_bound,
+    is_weakly_acyclic,
+    position_ranks,
+)
+
+__all__ = [
+    "Atom",
+    "Fact",
+    "Block",
+    "decompose_into_blocks",
+    "null_graph",
+    "core",
+    "is_core",
+    "ChaseResult",
+    "ChaseStep",
+    "chase",
+    "satisfies",
+    "solution_aware_chase",
+    "EGD",
+    "TGD",
+    "Dependency",
+    "DisjunctiveTGD",
+    "is_acyclic",
+    "relation_dependency_graph",
+    "find_homomorphism",
+    "find_instance_homomorphism",
+    "has_homomorphism",
+    "has_instance_homomorphism",
+    "iter_homomorphisms",
+    "iter_instance_homomorphisms",
+    "Instance",
+    "NullInterner",
+    "parse_dependencies",
+    "parse_dependency",
+    "parse_instance",
+    "parse_query",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "RelationSymbol",
+    "Schema",
+    "MultiPDESetting",
+    "PDESetting",
+    "Constant",
+    "Null",
+    "NullFactory",
+    "Variable",
+    "PositionGraph",
+    "build_position_graph",
+    "chase_step_bound",
+    "is_weakly_acyclic",
+    "position_ranks",
+]

@@ -1,0 +1,134 @@
+"""Atoms and facts.
+
+An :class:`Atom` is a relational atom ``R(t1, ..., tn)`` whose arguments are
+arbitrary terms (variables, constants, or nulls); atoms appear in
+dependencies and queries.  A :class:`Fact` is an atom whose arguments are
+instance terms only (constants or nulls); facts populate instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.terms import (
+    Constant,
+    InstanceTerm,
+    Null,
+    Term,
+    Variable,
+    is_null,
+    is_variable,
+)
+
+__all__ = ["Atom", "Fact", "apply_substitution"]
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A relational atom ``relation(args...)`` over arbitrary terms."""
+
+    relation: str
+    args: tuple[Term, ...]
+
+    def __init__(self, relation: str, args: Sequence[Term]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def variables(self) -> set[Variable]:
+        """Return the set of variables occurring in this atom."""
+        return {arg for arg in self.args if is_variable(arg)}
+
+    def nulls(self) -> set[Null]:
+        """Return the set of nulls occurring in this atom."""
+        return {arg for arg in self.args if is_null(arg)}
+
+    def constants(self) -> set[Constant]:
+        """Return the set of constants occurring in this atom."""
+        return {arg for arg in self.args if isinstance(arg, Constant)}
+
+    def positions_of(self, term: Term) -> list[int]:
+        """Return the 0-based positions at which ``term`` occurs."""
+        return [i for i, arg in enumerate(self.args) if arg == term]
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Atom":
+        """Return a copy with every term replaced by its image in ``mapping``.
+
+        Terms absent from the mapping are left unchanged.
+        """
+        return Atom(self.relation, tuple(mapping.get(arg, arg) for arg in self.args))
+
+    def is_ground(self) -> bool:
+        """Return True if the atom contains no variables."""
+        return not any(is_variable(arg) for arg in self.args)
+
+    def to_fact(self) -> "Fact":
+        """Convert a ground atom to a fact.
+
+        Raises:
+            ValueError: if the atom still contains variables.
+        """
+        if not self.is_ground():
+            raise ValueError(f"atom {self} contains variables and cannot become a fact")
+        return Fact(self.relation, self.args)  # type: ignore[arg-type]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.relation}({rendered})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self.relation!r}, {self.args!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """A fact ``relation(values...)`` whose arguments are constants or nulls."""
+
+    relation: str
+    args: tuple[InstanceTerm, ...]
+
+    def __init__(self, relation: str, args: Sequence[InstanceTerm]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def nulls(self) -> set[Null]:
+        """Return the set of nulls occurring in this fact."""
+        return {arg for arg in self.args if is_null(arg)}
+
+    def constants(self) -> set[Constant]:
+        """Return the set of constants occurring in this fact."""
+        return {arg for arg in self.args if isinstance(arg, Constant)}
+
+    def is_ground(self) -> bool:
+        """Return True if the fact contains no nulls."""
+        return not any(is_null(arg) for arg in self.args)
+
+    def substitute(self, mapping: Mapping[InstanceTerm, InstanceTerm]) -> "Fact":
+        """Return a copy with every value replaced by its image in ``mapping``."""
+        return Fact(self.relation, tuple(mapping.get(arg, arg) for arg in self.args))
+
+    def to_atom(self) -> Atom:
+        """View this fact as an atom (facts are a special case of atoms)."""
+        return Atom(self.relation, self.args)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.relation}({rendered})"
+
+    def __repr__(self) -> str:
+        return f"Fact({self.relation!r}, {self.args!r})"
+
+
+def apply_substitution(atoms: Sequence[Atom], mapping: Mapping[Term, Term]) -> Iterator[Atom]:
+    """Apply ``mapping`` to every atom in ``atoms``, lazily."""
+    return (atom.substitute(mapping) for atom in atoms)

@@ -1,0 +1,108 @@
+"""Block decomposition of an instance (Definition 10).
+
+The *graph of the nulls* of an instance ``K`` has the nulls of ``K`` as
+nodes, with an edge whenever two nulls co-occur in a fact.  A *block* is a
+maximal set of facts whose nulls all come from one connected component of
+that graph; the facts with no nulls at all form one additional block.
+
+Proposition 1 of the paper reduces the homomorphism test ``I_can → I`` to
+one independent test per block, and Theorem 6 bounds the number of nulls
+per block by a constant for settings in ``C_tract`` — which is what makes
+the ``ExistsSolution`` algorithm of Figure 3 polynomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instance import Instance
+from repro.core.terms import Null
+
+__all__ = ["Block", "null_graph", "decompose_into_blocks"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block of tuples: the facts plus the component of nulls they share."""
+
+    facts: Instance
+    nulls: frozenset[Null]
+
+    @property
+    def null_count(self) -> int:
+        """Number of nulls in this block (the quantity bounded by Theorem 6)."""
+        return len(self.nulls)
+
+    def is_ground(self) -> bool:
+        """True for the distinguished null-free block."""
+        return not self.nulls
+
+
+def null_graph(instance: Instance) -> dict[Null, set[Null]]:
+    """Return the graph of the nulls of ``instance`` as an adjacency map.
+
+    Every null of the instance appears as a key, even if isolated.
+    """
+    adjacency: dict[Null, set[Null]] = {}
+    for fact in instance:
+        nulls = list(fact.nulls())
+        for null in nulls:
+            adjacency.setdefault(null, set())
+        for i, first in enumerate(nulls):
+            for second in nulls[i + 1:]:
+                adjacency[first].add(second)
+                adjacency[second].add(first)
+    return adjacency
+
+
+def _connected_components(adjacency: dict[Null, set[Null]]) -> list[set[Null]]:
+    components: list[set[Null]] = []
+    seen: set[Null] = set()
+    for start in adjacency:
+        if start in seen:
+            continue
+        component = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def decompose_into_blocks(instance: Instance) -> list[Block]:
+    """Decompose ``instance`` into its blocks of tuples (Definition 10).
+
+    Returns one :class:`Block` per connected component of the null graph,
+    plus (when the instance has null-free facts) one ground block.  Every
+    fact of the instance belongs to exactly one returned block.
+    """
+    adjacency = null_graph(instance)
+    components = _connected_components(adjacency)
+    component_of: dict[Null, int] = {}
+    for index, component in enumerate(components):
+        for null in component:
+            component_of[null] = index
+
+    members: list[Instance] = [Instance(schema=instance.schema) for _ in components]
+    ground = Instance(schema=instance.schema)
+    for fact in instance:
+        nulls = fact.nulls()
+        if nulls:
+            # All of a fact's nulls are in one component by construction.
+            index = component_of[next(iter(nulls))]
+            members[index].add(fact)
+        else:
+            ground.add(fact)
+
+    blocks = [
+        Block(facts=member, nulls=frozenset(component))
+        for member, component in zip(members, components)
+    ]
+    if ground:
+        blocks.append(Block(facts=ground, nulls=frozenset()))
+    return blocks

@@ -1,0 +1,110 @@
+"""Cores of instances with labeled nulls.
+
+The *core* of an instance ``K`` is a smallest sub-instance ``C ⊆ K`` such
+that ``K`` maps homomorphically into ``C`` (constants fixed).  Cores are
+the canonical "smallest" representatives used throughout the data exchange
+literature (Fagin, Kolaitis, Popa: *Data exchange: getting to the core*,
+reference [7] of the paper); the block machinery of Definition 10 is
+itself adapted from that work.
+
+In peer data exchange, cores give the smallest witness solutions: if
+``J'`` is a solution with nulls treated as values, the core of ``J'``
+relative to the fixed facts of ``J`` is a solution too (target-to-source
+tgds are anti-monotone in the target, and ``Σ_st`` satisfaction transfers
+along the retraction), and no solution obtained by shrinking ``J'`` can be
+smaller.
+
+The implementation searches for *proper retractions* block by block:
+thanks to Proposition 1's block independence, an instance is a core iff
+every block is, and a block shrinks independently of the others.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocks import decompose_into_blocks
+from repro.core.homomorphism import iter_instance_homomorphisms
+from repro.core.instance import Instance
+from repro.core.terms import InstanceTerm, Null
+
+__all__ = ["core", "is_core"]
+
+
+def _retract_block(block_facts: Instance, frozen: Instance) -> Instance | None:
+    """Try to find a proper retraction of one block.
+
+    Searches for a homomorphism from ``block_facts`` into
+    ``block_facts ∪ frozen`` whose image (within the block) is strictly
+    smaller, i.e. that identifies some null with another value.  Returns
+    the retracted block (image facts minus those absorbed into ``frozen``)
+    or None if the block is already a core relative to ``frozen``.
+
+    ``frozen`` holds facts that must stay (the other blocks and any
+    protected facts); mapping block facts onto frozen facts is allowed and
+    shrinks the block.
+    """
+    target = block_facts.union(frozen)
+    block_size = len(block_facts)
+    for mapping in iter_instance_homomorphisms(block_facts, target):
+        if all(null == image for null, image in mapping.items()):
+            continue  # the identity: not a proper retraction
+        image = Instance(schema=block_facts.schema)
+        for fact in block_facts:
+            image.add(fact.substitute(mapping))
+        survivors = Instance(schema=block_facts.schema)
+        for fact in image:
+            if fact not in frozen:
+                survivors.add(fact)
+        if len(survivors) < block_size:
+            return survivors
+    return None
+
+
+def core(instance: Instance, protect: Instance | None = None) -> Instance:
+    """Compute the core of ``instance`` (constants fixed pointwise).
+
+    Args:
+        instance: the instance to minimize; may contain nulls.
+        protect: facts that must survive verbatim (e.g. the original target
+            instance ``J``, which every solution has to contain).  Ground
+            facts are always their own image, so protecting ground facts
+            never changes the result; protecting null-carrying facts does.
+
+    Returns:
+        a sub-instance ``C`` of ``instance`` such that ``instance`` maps
+        homomorphically into ``C`` and no proper sub-instance of ``C`` has
+        that property.  Ground instances are returned unchanged.
+
+    The search is exponential in the number of nulls per block — which is
+    exactly the quantity Theorem 6 bounds by a constant for ``C_tract``
+    settings, so cores of canonical instances are cheap in the tractable
+    class.
+    """
+    protect = protect if protect is not None else Instance()
+    current = instance.copy()
+    improved = True
+    while improved:
+        improved = False
+        for block in decompose_into_blocks(current):
+            if block.is_ground():
+                continue  # ground facts are their own homomorphic image
+            shrinkable = Instance(schema=current.schema)
+            for fact in block.facts:
+                if fact not in protect:
+                    shrinkable.add(fact)
+            if not shrinkable:
+                continue
+            frozen = Instance(schema=current.schema)
+            for fact in current:
+                if fact not in shrinkable:
+                    frozen.add(fact)
+            retracted = _retract_block(shrinkable, frozen)
+            if retracted is not None:
+                current = frozen.union(retracted)
+                improved = True
+                break  # block structure changed: recompute from scratch
+    return current
+
+
+def is_core(instance: Instance) -> bool:
+    """Return True if ``instance`` equals its own core."""
+    return core(instance) == instance

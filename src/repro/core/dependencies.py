@@ -1,0 +1,275 @@
+"""Dependencies: tuple-generating and equality-generating dependencies.
+
+The constraint language of the paper (Section 2):
+
+* a **tgd** ``∀x (φ(x) → ∃y ψ(x, y))`` with conjunctions of atoms on both
+  sides; variables that occur only on the right-hand side are the
+  existentially quantified ``y``;
+* an **egd** ``∀x (φ(x) → z1 = z2)`` with ``z1, z2`` among ``x``;
+* a **disjunctive tgd** whose right-hand side is a disjunction of
+  conjunctions — used only by the paper's 3-colorability boundary example
+  (end of Section 4), and deliberately excluded from ``C_tract``.
+
+Classification helpers identify the syntactic families the paper singles
+out: *full* tgds (no existentials; Corollary 1), *LAV* tgds (single-atom,
+repetition-free left-hand side; Corollary 2), and *GAV* tgds (single-atom,
+existential-free right-hand side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.atoms import Atom
+from repro.core.schema import Schema
+from repro.core.terms import Variable, is_variable
+from repro.exceptions import DependencyError, SchemaError
+
+__all__ = ["TGD", "EGD", "DisjunctiveTGD", "Dependency"]
+
+
+def _collect_variables(atoms: Iterable[Atom]) -> set[Variable]:
+    variables: set[Variable] = set()
+    for atom in atoms:
+        variables |= atom.variables()
+    return variables
+
+
+@dataclass(frozen=True)
+class TGD:
+    """A tuple-generating dependency ``∀x (body → ∃y head)``.
+
+    ``body`` and ``head`` are non-empty tuples of atoms.  The existential
+    variables are derived: they are exactly the head variables that do not
+    occur in the body.
+    """
+
+    body: tuple[Atom, ...]
+    head: tuple[Atom, ...]
+    label: str = field(default="", compare=False)
+
+    def __init__(self, body: Sequence[Atom], head: Sequence[Atom], label: str = ""):
+        if not body:
+            raise DependencyError("a tgd must have a non-empty body")
+        if not head:
+            raise DependencyError("a tgd must have a non-empty head")
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "head", tuple(head))
+        object.__setattr__(self, "label", label)
+        # Variable-structure caches (immutable; queried on every chase step).
+        body_variables = frozenset(_collect_variables(self.body))
+        head_variables = frozenset(_collect_variables(self.head))
+        object.__setattr__(self, "_body_variables", body_variables)
+        object.__setattr__(self, "_head_variables", head_variables)
+        object.__setattr__(self, "_existentials", head_variables - body_variables)
+        object.__setattr__(self, "_frontier", head_variables & body_variables)
+
+    # -- variable structure -------------------------------------------------
+
+    def body_variables(self) -> frozenset[Variable]:
+        """Return the universally quantified variables (those in the body)."""
+        return self._body_variables  # type: ignore[attr-defined]
+
+    def head_variables(self) -> frozenset[Variable]:
+        """Return every variable occurring in the head."""
+        return self._head_variables  # type: ignore[attr-defined]
+
+    def existential_variables(self) -> frozenset[Variable]:
+        """Return the existentially quantified variables ``y``."""
+        return self._existentials  # type: ignore[attr-defined]
+
+    def frontier_variables(self) -> frozenset[Variable]:
+        """Return the variables shared between body and head (the exported ``x``)."""
+        return self._frontier  # type: ignore[attr-defined]
+
+    # -- syntactic classification (Sections 1, 4) ---------------------------
+
+    def is_full(self) -> bool:
+        """True for full tgds ``φ(x) → ψ(x)`` (no existential variables)."""
+        return not self._existentials  # type: ignore[attr-defined]
+
+    def is_lav(self) -> bool:
+        """True for LAV tgds: single body atom with no repeated variables.
+
+        This matches the description below Definition 9: "exactly one
+        literal in its left-hand side which has no repeated variables".
+        """
+        if len(self.body) != 1:
+            return False
+        atom = self.body[0]
+        seen: set[Variable] = set()
+        for arg in atom.args:
+            if is_variable(arg):
+                if arg in seen:
+                    return False
+                seen.add(arg)
+        return True
+
+    def is_gav(self) -> bool:
+        """True for GAV tgds: a single head atom and no existential variables."""
+        return len(self.head) == 1 and self.is_full()
+
+    # -- schema validation ---------------------------------------------------
+
+    def validate(self, body_schema: Schema, head_schema: Schema) -> None:
+        """Check atoms against the schemas of the two sides.
+
+        For a source-to-target tgd, ``body_schema`` is the source schema and
+        ``head_schema`` the target schema; for a target tgd both coincide.
+        """
+        for atom in self.body:
+            if atom.relation not in body_schema:
+                raise SchemaError(
+                    f"body atom {atom} of tgd {self} is not over the expected schema"
+                )
+            body_schema.validate_atom(atom)
+        for atom in self.head:
+            if atom.relation not in head_schema:
+                raise SchemaError(
+                    f"head atom {atom} of tgd {self} is not over the expected schema"
+                )
+            head_schema.validate_atom(atom)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        head = ", ".join(str(atom) for atom in self.head)
+        existentials = self.existential_variables()
+        if existentials:
+            quantified = " ".join(sorted(f"∃{v.name}" for v in existentials))
+            return f"{body} -> {quantified} {head}"
+        return f"{body} -> {head}"
+
+    def __repr__(self) -> str:
+        return f"TGD({self})"
+
+
+@dataclass(frozen=True)
+class EGD:
+    """An equality-generating dependency ``∀x (body → left = right)``."""
+
+    body: tuple[Atom, ...]
+    left: Variable
+    right: Variable
+    label: str = field(default="", compare=False)
+
+    def __init__(self, body: Sequence[Atom], left: Variable, right: Variable, label: str = ""):
+        if not body:
+            raise DependencyError("an egd must have a non-empty body")
+        body = tuple(body)
+        body_variables = _collect_variables(body)
+        for side in (left, right):
+            if side not in body_variables:
+                raise DependencyError(
+                    f"egd equates variable {side} that does not occur in its body"
+                )
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "label", label)
+
+    def body_variables(self) -> set[Variable]:
+        """Return the variables occurring in the body."""
+        return _collect_variables(self.body)
+
+    def validate(self, schema: Schema) -> None:
+        """Check that every body atom is over ``schema``."""
+        for atom in self.body:
+            if atom.relation not in schema:
+                raise SchemaError(
+                    f"body atom {atom} of egd {self} is not over the expected schema"
+                )
+            schema.validate_atom(atom)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{body} -> {self.left} = {self.right}"
+
+    def __repr__(self) -> str:
+        return f"EGD({self})"
+
+
+@dataclass(frozen=True)
+class DisjunctiveTGD:
+    """A tgd whose head is a disjunction of conjunctions of atoms.
+
+    ``∀x (body → ∃y (D1 ∨ D2 ∨ ...))`` where each ``Di`` is a conjunction.
+    The paper uses one such dependency — in the right-hand side of
+    ``Σ_ts`` — to show that allowing disjunction crosses the tractability
+    boundary (3-colorability reduction at the end of Section 4).
+    """
+
+    body: tuple[Atom, ...]
+    disjuncts: tuple[tuple[Atom, ...], ...]
+    label: str = field(default="", compare=False)
+
+    def __init__(
+        self,
+        body: Sequence[Atom],
+        disjuncts: Sequence[Sequence[Atom]],
+        label: str = "",
+    ):
+        if not body:
+            raise DependencyError("a disjunctive tgd must have a non-empty body")
+        if not disjuncts or any(not disjunct for disjunct in disjuncts):
+            raise DependencyError(
+                "a disjunctive tgd must have at least one non-empty disjunct"
+            )
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(
+            self, "disjuncts", tuple(tuple(disjunct) for disjunct in disjuncts)
+        )
+        object.__setattr__(self, "label", label)
+
+    def body_variables(self) -> set[Variable]:
+        """Return the variables occurring in the body."""
+        return _collect_variables(self.body)
+
+    def head_variables(self) -> set[Variable]:
+        """Return every variable occurring in any disjunct."""
+        variables: set[Variable] = set()
+        for disjunct in self.disjuncts:
+            variables |= _collect_variables(disjunct)
+        return variables
+
+    def existential_variables(self) -> set[Variable]:
+        """Return the head variables that do not occur in the body."""
+        return self.head_variables() - self.body_variables()
+
+    def as_tgds(self) -> list[TGD]:
+        """Return one plain tgd per disjunct (useful for per-disjunct checks)."""
+        return [
+            TGD(self.body, disjunct, label=f"{self.label}|{index}" if self.label else "")
+            for index, disjunct in enumerate(self.disjuncts)
+        ]
+
+    def validate(self, body_schema: Schema, head_schema: Schema) -> None:
+        """Check atoms against the schemas of the two sides."""
+        for atom in self.body:
+            if atom.relation not in body_schema:
+                raise SchemaError(
+                    f"body atom {atom} of {self} is not over the expected schema"
+                )
+            body_schema.validate_atom(atom)
+        for disjunct in self.disjuncts:
+            for atom in disjunct:
+                if atom.relation not in head_schema:
+                    raise SchemaError(
+                        f"head atom {atom} of {self} is not over the expected schema"
+                    )
+                head_schema.validate_atom(atom)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        head = " | ".join(
+            "(" + ", ".join(str(atom) for atom in disjunct) + ")"
+            for disjunct in self.disjuncts
+        )
+        return f"{body} -> {head}"
+
+    def __repr__(self) -> str:
+        return f"DisjunctiveTGD({self})"
+
+
+#: Any dependency the library manipulates.
+Dependency = TGD | EGD | DisjunctiveTGD

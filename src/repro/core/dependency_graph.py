@@ -1,0 +1,76 @@
+"""Relation-level dependency graph (Section 3.2 discussion).
+
+Besides the position-level graph of Definition 5, the paper discusses the
+*dependency graph of a PDMS* from Halevy et al.: nodes are the relations of
+the peers, with an edge from ``P`` to ``R`` whenever an inclusion mapping
+has ``P`` on its left-hand side and ``R`` on its right-hand side.  For a
+PDE setting, the inclusion mappings are the tgds of ``Σ_st ∪ Σ_ts ∪ Σ_t``.
+
+The paper's Theorem 3 shows that acyclicity of this graph does *not*
+guarantee tractability for PDE (unlike PDMS with pure containment storage
+descriptions) — the reduction setting used there is acyclic.  The library
+exposes the graph so that tests and benchmarks can verify that claim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.dependencies import EGD, TGD, Dependency, DisjunctiveTGD
+
+__all__ = ["relation_dependency_graph", "is_acyclic"]
+
+
+def relation_dependency_graph(
+    dependencies: Iterable[Dependency],
+) -> dict[str, set[str]]:
+    """Build the relation-level dependency graph of a set of dependencies.
+
+    Edges run from every body relation to every head relation of each tgd
+    (and of each disjunct of a disjunctive tgd).  Egds contribute their body
+    relations as isolated nodes only.
+    """
+    graph: dict[str, set[str]] = {}
+    for dependency in dependencies:
+        if isinstance(dependency, TGD):
+            heads = [atom.relation for atom in dependency.head]
+        elif isinstance(dependency, DisjunctiveTGD):
+            heads = [
+                atom.relation
+                for disjunct in dependency.disjuncts
+                for atom in disjunct
+            ]
+        elif isinstance(dependency, EGD):
+            for atom in dependency.body:
+                graph.setdefault(atom.relation, set())
+            continue
+        else:
+            raise TypeError(f"unknown dependency type {type(dependency)!r}")
+        for atom in dependency.body:
+            targets = graph.setdefault(atom.relation, set())
+            targets.update(heads)
+        for head in heads:
+            graph.setdefault(head, set())
+    return graph
+
+
+def is_acyclic(graph: dict[str, set[str]]) -> bool:
+    """Return True if the directed graph has no cycle (self-loops count)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+
+    def visit(node: str) -> bool:
+        color[node] = GRAY
+        for successor in graph.get(node, ()):
+            state = color.get(successor, WHITE)
+            if state == GRAY:
+                return False
+            if state == WHITE and not visit(successor):
+                return False
+        color[node] = BLACK
+        return True
+
+    for node in graph:
+        if color[node] == WHITE and not visit(node):
+            return False
+    return True

@@ -1,0 +1,260 @@
+"""Homomorphism search.
+
+Two flavors are needed by the paper's algorithms:
+
+* **conjunction-to-instance** matching: find assignments of the variables
+  of a conjunction of atoms ``φ(x)`` so that every atom maps to a fact of
+  an instance.  This powers conjunctive-query evaluation and chase-step
+  applicability tests.
+* **instance-to-instance** homomorphisms: constant-preserving maps of the
+  nulls of one instance so that every fact maps to a fact of another
+  instance.  This is the test at the heart of the ``ExistsSolution``
+  algorithm of Figure 3 ("is there a homomorphism from the block to I?").
+
+Both are implemented by one backtracking matcher that orders atoms by how
+constrained they are (bound-variable count, then relation size), which keeps
+the search shallow on the block-decomposed inputs produced by the solver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.atoms import Atom
+from repro.core.instance import Instance
+from repro.core.terms import Constant, InstanceTerm, Null, Term, Variable, is_null, is_variable
+
+__all__ = [
+    "iter_homomorphisms",
+    "find_homomorphism",
+    "has_homomorphism",
+    "iter_instance_homomorphisms",
+    "find_instance_homomorphism",
+    "has_instance_homomorphism",
+]
+
+Assignment = dict[Variable, InstanceTerm]
+
+
+def _order_atoms(atoms: Sequence[Atom], instance: Instance, bound: set[Variable]) -> list[Atom]:
+    """Greedy join ordering: repeatedly pick the most constrained atom."""
+    remaining = list(atoms)
+    ordered: list[Atom] = []
+    bound = set(bound)
+    while remaining:
+        def cost(atom: Atom) -> tuple[int, int]:
+            free = sum(1 for v in atom.variables() if v not in bound)
+            return (free, instance.count(atom.relation))
+
+        best = min(remaining, key=cost)
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variables()
+    return ordered
+
+
+def iter_homomorphisms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Mapping[Variable, InstanceTerm] | None = None,
+) -> Iterator[Assignment]:
+    """Yield every assignment mapping all ``atoms`` into ``instance``.
+
+    Args:
+        atoms: a conjunction of atoms (variables, constants, nulls allowed;
+            nulls must match instance values exactly).
+        instance: the instance to match into.  It must not be mutated while
+            the iterator is being consumed.
+        partial: optional pre-bound variables that every yielded assignment
+            must extend.
+
+    Yields:
+        dicts from :class:`Variable` to instance values; each yielded dict
+        includes the ``partial`` bindings.
+    """
+    assignment: Assignment = dict(partial) if partial else {}
+    ordered = _order_atoms(atoms, instance, set(assignment))
+    count = len(ordered)
+
+    def candidates(atom: Atom):
+        """Rows worth trying for ``atom`` under the current assignment.
+
+        When some argument position is already determined (a constant, a
+        null, or a bound variable), the instance's positional index yields
+        only the matching rows; the smallest such bucket is used.  With no
+        determined position, the whole relation is scanned.
+        """
+        best = None
+        for position, term in enumerate(atom.args):
+            if is_variable(term):
+                value = assignment.get(term)
+                if value is None:
+                    continue
+            else:
+                value = term
+            bucket = instance.candidate_rows(atom.relation, position, value)
+            if best is None or len(bucket) < len(best):
+                best = bucket
+                if not best:
+                    break
+        if best is None:
+            return instance.rows(atom.relation)
+        return best
+
+    # Iterative backtracking (an explicit stack of row iterators) so that
+    # conjunctions with thousands of atoms — e.g. whole-instance
+    # embeddings of large ground blocks — do not hit the recursion limit.
+    if count == 0:
+        yield dict(assignment)
+        return
+
+    row_iters: list = [iter(candidates(ordered[0]))]
+    bound_stack: list[list[Variable]] = [[]]
+    depth = 0
+    while depth >= 0:
+        atom = ordered[depth]
+        advanced = False
+        for row in row_iters[depth]:
+            newly_bound = bound_stack[depth]
+            matches = True
+            for term, value in zip(atom.args, row):
+                if is_variable(term):
+                    bound = assignment.get(term)
+                    if bound is None:
+                        assignment[term] = value
+                        newly_bound.append(term)
+                    elif bound != value:
+                        matches = False
+                        break
+                elif term != value:
+                    matches = False
+                    break
+            if not matches:
+                for variable in newly_bound:
+                    del assignment[variable]
+                newly_bound.clear()
+                continue
+            if depth + 1 == count:
+                yield dict(assignment)
+                for variable in newly_bound:
+                    del assignment[variable]
+                newly_bound.clear()
+                continue
+            # Descend.
+            depth += 1
+            if depth == len(row_iters):
+                row_iters.append(iter(candidates(ordered[depth])))
+                bound_stack.append([])
+            else:
+                row_iters[depth] = iter(candidates(ordered[depth]))
+            advanced = True
+            break
+        if not advanced:
+            # Exhausted this level: backtrack.
+            depth -= 1
+            if depth >= 0:
+                for variable in bound_stack[depth]:
+                    del assignment[variable]
+                bound_stack[depth].clear()
+
+
+def find_homomorphism(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Mapping[Variable, InstanceTerm] | None = None,
+) -> Assignment | None:
+    """Return one homomorphism from ``atoms`` into ``instance``, or None."""
+    for assignment in iter_homomorphisms(atoms, instance, partial):
+        return assignment
+    return None
+
+
+def has_homomorphism(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Mapping[Variable, InstanceTerm] | None = None,
+) -> bool:
+    """Return True if some homomorphism from ``atoms`` into ``instance`` exists."""
+    return find_homomorphism(atoms, instance, partial) is not None
+
+
+# ---------------------------------------------------------------------------
+# instance-to-instance homomorphisms (constants fixed, nulls mapped)
+# ---------------------------------------------------------------------------
+
+
+def _null_variable(null: Null) -> Variable:
+    """A reserved variable name standing for ``null`` during matching."""
+    return Variable(f"?null{null.label}")
+
+
+def _facts_as_atoms(source: Instance) -> tuple[list[Atom], dict[Variable, Null]]:
+    """View the facts of ``source`` as atoms whose nulls become variables."""
+    atoms: list[Atom] = []
+    back: dict[Variable, Null] = {}
+    for fact in source:
+        args: list[Term] = []
+        for value in fact.args:
+            if is_null(value):
+                variable = _null_variable(value)
+                back[variable] = value
+                args.append(variable)
+            else:
+                args.append(value)
+        atoms.append(Atom(fact.relation, args))
+    return atoms, back
+
+
+def iter_instance_homomorphisms(
+    source: Instance,
+    target: Instance,
+    fixed: Mapping[Null, InstanceTerm] | None = None,
+) -> Iterator[dict[Null, InstanceTerm]]:
+    """Yield constant-preserving homomorphisms from ``source`` into ``target``.
+
+    A homomorphism ``h`` maps every null of ``source`` to a value of
+    ``target`` (constants are fixed pointwise) so that ``h(fact)`` is a fact
+    of ``target`` for every fact of ``source``.
+
+    Args:
+        source: the instance being mapped (may contain nulls).
+        target: the instance mapped into.
+        fixed: optional pre-determined images for some nulls.
+    """
+    if source.is_ground():
+        # A homomorphism fixes constants pointwise, so for a ground source
+        # the only candidate is the identity: containment decides it.
+        if target.contains_instance(source):
+            yield {}
+        return
+    atoms, back = _facts_as_atoms(source)
+    partial: Assignment = {}
+    if fixed:
+        for null, value in fixed.items():
+            partial[_null_variable(null)] = value
+    for assignment in iter_homomorphisms(atoms, target, partial):
+        yield {back[variable]: value for variable, value in assignment.items() if variable in back}
+
+
+def find_instance_homomorphism(
+    source: Instance,
+    target: Instance,
+    fixed: Mapping[Null, InstanceTerm] | None = None,
+) -> dict[Null, InstanceTerm] | None:
+    """Return one constant-preserving homomorphism, or None if none exists."""
+    for mapping in iter_instance_homomorphisms(source, target, fixed):
+        return mapping
+    return None
+
+
+def has_instance_homomorphism(
+    source: Instance,
+    target: Instance,
+    fixed: Mapping[Null, InstanceTerm] | None = None,
+) -> bool:
+    """Return True if ``source`` maps homomorphically into ``target``.
+
+    For ground ``source`` this degenerates to containment, matching the
+    convention that a homomorphism fixes constants.
+    """
+    return find_instance_homomorphism(source, target, fixed) is not None

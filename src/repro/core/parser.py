@@ -1,0 +1,334 @@
+"""Datalog-style text syntax for dependencies, instances, and queries.
+
+Grammar overview (whitespace-insensitive):
+
+* **tgd**: ``E(x, z), E(z, y) -> H(x, y)`` — variables that appear only on
+  the right-hand side are existentially quantified, exactly as the paper
+  writes dependencies with implicit universal quantifiers.
+* **egd**: ``P(x, z, y, w), P(x, z2, y2, w2) -> z = z2``.
+* **disjunctive tgd**: ``E(x, y) -> (R(x), B(y)) | (B(x), R(y))``.
+* **instance facts**: ``E(a, b); E(b, c)`` or newline-separated; bare
+  identifiers denote constants, identifiers starting with ``_`` denote
+  labeled nulls (same name, same null within one parser session).
+* **query**: ``q(x) :- H(x, y), H(y, z)`` or a bare conjunction (Boolean
+  query).
+
+Term conventions inside *dependencies and queries*: a bare identifier is a
+variable; ``'a'`` / ``"a"`` is a string constant; digits form an integer
+constant.  Inside *instances*, bare identifiers are constants (instances
+never contain variables).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.core.atoms import Atom, Fact
+from repro.core.dependencies import EGD, TGD, Dependency, DisjunctiveTGD
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.core.terms import Constant, InstanceTerm, Null, Term, Variable
+from repro.exceptions import ParseError
+
+__all__ = [
+    "parse_dependency",
+    "parse_dependencies",
+    "parse_instance",
+    "parse_query",
+    "NullInterner",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->|:-)
+  | (?P<pipe>\|)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<semicolon>;)
+  | (?P<eq>=)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", text, position)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class NullInterner:
+    """Maps textual null names (``_x``) to stable :class:`Null` objects.
+
+    One interner should be shared across the instance strings of a single
+    scenario so that ``_x`` denotes the same null everywhere.
+    """
+
+    def __init__(self, start: int = 0):
+        self._by_name: dict[str, Null] = {}
+        self._next = start
+
+    def get(self, name: str) -> Null:
+        """Return the null registered for ``name``, creating it if needed."""
+        null = self._by_name.get(name)
+        if null is None:
+            null = Null(self._next, hint=name.lstrip("_"))
+            self._next += 1
+            self._by_name[name] = null
+        return null
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.text!r}", self.text, token.position
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    # -- terms and atoms -----------------------------------------------------
+
+    def parse_term(self, variables_allowed: bool, interner: NullInterner | None) -> Term:
+        token = self.next()
+        if token.kind == "string":
+            return Constant(token.text[1:-1])
+        if token.kind == "number":
+            return Constant(int(token.text))
+        if token.kind == "name":
+            if token.text.startswith("_"):
+                if interner is None:
+                    raise ParseError(
+                        "null values are only allowed inside instances",
+                        self.text,
+                        token.position,
+                    )
+                return interner.get(token.text)
+            if variables_allowed:
+                return Variable(token.text)
+            return Constant(token.text)
+        raise ParseError(f"expected a term, found {token.text!r}", self.text, token.position)
+
+    def parse_atom(self, variables_allowed: bool, interner: NullInterner | None = None) -> Atom:
+        name = self.expect("name")
+        self.expect("lpar")
+        args: list[Term] = []
+        closing = self.peek()
+        if closing is not None and closing.kind == "rpar":
+            self.next()
+            return Atom(name.text, args)
+        while True:
+            args.append(self.parse_term(variables_allowed, interner))
+            token = self.next()
+            if token.kind == "rpar":
+                break
+            if token.kind != "comma":
+                raise ParseError(
+                    f"expected ',' or ')', found {token.text!r}", self.text, token.position
+                )
+        return Atom(name.text, args)
+
+    def parse_conjunction(self, variables_allowed: bool = True) -> list[Atom]:
+        atoms = [self.parse_atom(variables_allowed)]
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "comma":
+                break
+            self.next()
+            atoms.append(self.parse_atom(variables_allowed))
+        return atoms
+
+    # -- dependencies ----------------------------------------------------------
+
+    def parse_dependency(self, label: str = "") -> Dependency:
+        body = self.parse_conjunction()
+        self.expect("arrow")
+        token = self.peek()
+        if token is None:
+            raise ParseError("dependency has no right-hand side", self.text, len(self.text))
+        if token.kind == "lpar":
+            return self._parse_disjunctive_head(body, label)
+        # Distinguish egd (var = var) from tgd head by looking ahead.
+        if token.kind == "name" and self._lookahead_is_equality():
+            left = self.parse_term(variables_allowed=True, interner=None)
+            self.expect("eq")
+            right = self.parse_term(variables_allowed=True, interner=None)
+            self._expect_done()
+            if not isinstance(left, Variable) or not isinstance(right, Variable):
+                raise ParseError("an egd must equate two variables", self.text, token.position)
+            return EGD(body, left, right, label=label)
+        head = self.parse_conjunction()
+        self._expect_done()
+        return TGD(body, head, label=label)
+
+    def _lookahead_is_equality(self) -> bool:
+        after = self.index + 1
+        return after < len(self.tokens) and self.tokens[after].kind == "eq"
+
+    def _parse_disjunctive_head(self, body: list[Atom], label: str) -> DisjunctiveTGD:
+        disjuncts: list[list[Atom]] = []
+        while True:
+            self.expect("lpar")
+            disjuncts.append(self.parse_conjunction())
+            self.expect("rpar")
+            token = self.peek()
+            if token is None or token.kind != "pipe":
+                break
+            self.next()
+        self._expect_done()
+        return DisjunctiveTGD(body, disjuncts, label=label)
+
+    def _expect_done(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise ParseError(
+                f"unexpected trailing input {token.text!r}", self.text, token.position
+            )
+
+    # -- instances ---------------------------------------------------------------
+
+    def parse_facts(self, interner: NullInterner) -> Iterator[Fact]:
+        while not self.at_end():
+            atom = self.parse_atom(variables_allowed=False, interner=interner)
+            yield atom.to_fact()
+            token = self.peek()
+            if token is not None and token.kind == "semicolon":
+                self.next()
+
+
+def parse_dependency(text: str, label: str = "") -> Dependency:
+    """Parse a single dependency (tgd, egd, or disjunctive tgd).
+
+    >>> str(parse_dependency("E(x, z), E(z, y) -> H(x, y)"))
+    'E(x, z), E(z, y) -> H(x, y)'
+    """
+    return _Parser(text).parse_dependency(label=label)
+
+
+def parse_dependencies(text: str) -> list[Dependency]:
+    """Parse a newline/semicolon-separated block of dependencies.
+
+    Blank lines and ``#``-comments are skipped.  A useful way to write a
+    whole Σ in one string, mirroring how the paper lists its constraints.
+    """
+    dependencies: list[Dependency] = []
+    for raw_line in text.replace(";", "\n").splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        dependencies.append(parse_dependency(line))
+    return dependencies
+
+
+def parse_instance(
+    text: str,
+    schema: Schema | None = None,
+    interner: NullInterner | None = None,
+) -> Instance:
+    """Parse an instance from a fact list.
+
+    Facts are separated by semicolons or newlines; ``#`` starts a comment.
+    Bare identifiers are constants; identifiers starting with ``_`` are
+    labeled nulls.
+
+    >>> len(parse_instance("E(a, b); E(b, c)"))
+    2
+    """
+    interner = interner if interner is not None else NullInterner()
+    instance = Instance(schema=schema)
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parser = _Parser(line)
+        for fact in parser.parse_facts(interner):
+            instance.add(fact)
+    return instance
+
+
+def parse_query(text: str):
+    """Parse a conjunctive query.
+
+    Two forms are accepted:
+
+    * rule form ``q(x) :- H(x, y)`` — the head arguments are the free
+      (answer) variables;
+    * bare conjunction ``H(x, y), H(y, z)`` — a Boolean query (no free
+      variables).
+
+    Returns a :class:`repro.core.query.ConjunctiveQuery`.
+    """
+    from repro.core.query import ConjunctiveQuery
+
+    parser = _Parser(text)
+    # Try rule form: name(args) :- body
+    snapshot = parser.index
+    try:
+        head = parser.parse_atom(variables_allowed=True)
+        token = parser.peek()
+        if token is not None and token.kind == "arrow" and token.text == ":-":
+            parser.next()
+            body = parser.parse_conjunction()
+            parser._expect_done()
+            free: list[Variable] = []
+            for arg in head.args:
+                if not isinstance(arg, Variable):
+                    raise ParseError("query head arguments must be variables", text, 0)
+                free.append(arg)
+            return ConjunctiveQuery(body, free, name=head.relation)
+    except ParseError:
+        raise
+    parser.index = snapshot
+    body = parser.parse_conjunction()
+    parser._expect_done()
+    return ConjunctiveQuery(body, [], name="q")

@@ -1,0 +1,248 @@
+"""Conjunctive queries and unions of conjunctive queries.
+
+These are the query classes for which the paper studies certain answers
+(Theorem 2: monotone queries, in particular unions of conjunctive queries,
+have coNP data complexity; Theorem 3: coNP-hardness already for a single
+Boolean conjunctive query).
+
+Evaluation is by homomorphism search; answers never contain nulls unless
+``allow_nulls`` is requested (the certain-answers machinery only ever asks
+for null-free answers, matching the standard semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import iter_homomorphisms
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.core.terms import InstanceTerm, Variable, is_null
+from repro.exceptions import DependencyError, SchemaError
+
+__all__ = ["ConjunctiveQuery", "UnionOfConjunctiveQueries"]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``name(free) :- body``.
+
+    ``free`` lists the answer variables; a query with no free variables is
+    Boolean.  Every free variable must occur in the body.
+    """
+
+    body: tuple[Atom, ...]
+    free: tuple[Variable, ...]
+    name: str = field(default="q", compare=False)
+
+    def __init__(self, body: Sequence[Atom], free: Sequence[Variable] = (), name: str = "q"):
+        if not body:
+            raise DependencyError("a conjunctive query must have a non-empty body")
+        body = tuple(body)
+        body_variables: set[Variable] = set()
+        for atom in body:
+            body_variables |= atom.variables()
+        for variable in free:
+            if variable not in body_variables:
+                raise DependencyError(
+                    f"free variable {variable} does not occur in the query body"
+                )
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "free", tuple(free))
+        object.__setattr__(self, "name", name)
+
+    @property
+    def is_boolean(self) -> bool:
+        """True if the query has no free variables."""
+        return not self.free
+
+    @property
+    def arity(self) -> int:
+        """Number of answer positions."""
+        return len(self.free)
+
+    def validate(self, schema: Schema) -> None:
+        """Check that every body atom is over ``schema``."""
+        for atom in self.body:
+            if atom.relation not in schema:
+                raise SchemaError(f"query atom {atom} is not over the expected schema")
+            schema.validate_atom(atom)
+
+    def iter_answers(
+        self, instance: Instance, allow_nulls: bool = False
+    ) -> Iterator[tuple[InstanceTerm, ...]]:
+        """Yield the answer tuples of this query on ``instance``.
+
+        Duplicate answers (from distinct homomorphisms) are suppressed.
+        Answers containing nulls are dropped unless ``allow_nulls`` is set.
+        """
+        seen: set[tuple[InstanceTerm, ...]] = set()
+        for assignment in iter_homomorphisms(self.body, instance):
+            answer = tuple(assignment[variable] for variable in self.free)
+            if not allow_nulls and any(is_null(value) for value in answer):
+                continue
+            if answer not in seen:
+                seen.add(answer)
+                yield answer
+
+    def answers(
+        self, instance: Instance, allow_nulls: bool = False
+    ) -> set[tuple[InstanceTerm, ...]]:
+        """Return the set of answers of this query on ``instance``."""
+        return set(self.iter_answers(instance, allow_nulls=allow_nulls))
+
+    def holds(self, instance: Instance, answer: tuple[InstanceTerm, ...] = ()) -> bool:
+        """Return True if ``answer`` is an answer of the query on ``instance``.
+
+        For a Boolean query (empty ``answer``) this is query satisfaction.
+        """
+        if len(answer) != len(self.free):
+            raise DependencyError(
+                f"answer {answer} has arity {len(answer)}, query expects {len(self.free)}"
+            )
+        partial = dict(zip(self.free, answer))
+        for _assignment in iter_homomorphisms(self.body, instance, partial):
+            return True
+        return False
+
+    def canonical_instance(self) -> tuple[Instance, tuple[InstanceTerm, ...]]:
+        """Freeze the query into its canonical instance.
+
+        Free variables become constants tagged with the variable name;
+        existential variables become labeled nulls.  Returns the instance
+        together with the frozen answer tuple.  This is the classical
+        device behind the Chandra–Merlin containment test.
+        """
+        from repro.core.terms import Constant, Null
+
+        frozen: dict[Variable, InstanceTerm] = {}
+        for variable in self.free:
+            frozen[variable] = Constant(f"?{variable.name}")
+        next_label = 0
+        for atom in self.body:
+            for variable in sorted(atom.variables(), key=lambda v: v.name):
+                if variable not in frozen:
+                    frozen[variable] = Null(next_label, hint=variable.name)
+                    next_label += 1
+        instance = Instance()
+        for atom in self.body:
+            instance.add(atom.substitute(frozen).to_fact())  # type: ignore[arg-type]
+        answer = tuple(frozen[variable] for variable in self.free)
+        return instance, answer
+
+    def contained_in(self, other: "ConjunctiveQuery") -> bool:
+        """Chandra–Merlin containment test: is ``self ⊆ other``?
+
+        ``self ⊆ other`` iff ``other`` has the frozen answer of ``self``
+        among its answers on the canonical instance of ``self``.  Queries
+        must have the same arity.
+        """
+        if self.arity != other.arity:
+            raise DependencyError(
+                f"containment requires equal arities, got {self.arity} and "
+                f"{other.arity}"
+            )
+        instance, answer = self.canonical_instance()
+        partial = dict(zip(other.free, answer))
+        for _assignment in iter_homomorphisms(other.body, instance, partial):
+            return True
+        return False
+
+    def equivalent_to(self, other: "ConjunctiveQuery") -> bool:
+        """Semantic equivalence: mutual containment."""
+        return self.contained_in(other) and other.contained_in(self)
+
+    def minimize(self) -> "ConjunctiveQuery":
+        """Return an equivalent query with a minimal number of atoms.
+
+        Computes the core of the canonical instance (protecting nothing —
+        free variables are frozen to constants, so they survive any
+        retraction) and reads the query back off the surviving facts.
+        The result is the classical CQ minimization: unique up to variable
+        renaming.
+        """
+        from repro.core.cores import core as core_of
+        from repro.core.terms import Constant, Null
+
+        instance, _answer = self.canonical_instance()
+        minimized = core_of(instance)
+
+        def thaw(value) -> "Variable | Constant":
+            if isinstance(value, Constant) and isinstance(value.value, str) and \
+                    value.value.startswith("?"):
+                return Variable(value.value[1:])
+            if isinstance(value, Null):
+                return Variable(value.hint or f"v{value.label}")
+            return value
+
+        atoms = [
+            Atom(fact.relation, [thaw(value) for value in fact.args])
+            for fact in minimized
+        ]
+        # Deterministic atom order for stable output.
+        atoms.sort(key=str)
+        return ConjunctiveQuery(atoms, self.free, name=self.name)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        free = ", ".join(str(variable) for variable in self.free)
+        return f"{self.name}({free}) :- {body}"
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({self})"
+
+
+@dataclass(frozen=True)
+class UnionOfConjunctiveQueries:
+    """A union of conjunctive queries of identical arity.
+
+    UCQs are the monotone query class highlighted by Theorem 2.
+    """
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+    name: str = field(default="q", compare=False)
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery], name: str = "q"):
+        if not disjuncts:
+            raise DependencyError("a UCQ must have at least one disjunct")
+        arities = {query.arity for query in disjuncts}
+        if len(arities) != 1:
+            raise DependencyError(f"UCQ disjuncts have mixed arities {sorted(arities)}")
+        object.__setattr__(self, "disjuncts", tuple(disjuncts))
+        object.__setattr__(self, "name", name)
+
+    @property
+    def arity(self) -> int:
+        """Number of answer positions (shared by all disjuncts)."""
+        return self.disjuncts[0].arity
+
+    @property
+    def is_boolean(self) -> bool:
+        """True if the UCQ has no free variables."""
+        return self.arity == 0
+
+    def validate(self, schema: Schema) -> None:
+        """Check every disjunct against ``schema``."""
+        for query in self.disjuncts:
+            query.validate(schema)
+
+    def answers(
+        self, instance: Instance, allow_nulls: bool = False
+    ) -> set[tuple[InstanceTerm, ...]]:
+        """Return the union of the disjuncts' answers on ``instance``."""
+        result: set[tuple[InstanceTerm, ...]] = set()
+        for query in self.disjuncts:
+            result |= query.answers(instance, allow_nulls=allow_nulls)
+        return result
+
+    def holds(self, instance: Instance, answer: tuple[InstanceTerm, ...] = ()) -> bool:
+        """Return True if some disjunct accepts ``answer`` on ``instance``."""
+        return any(query.holds(instance, answer) for query in self.disjuncts)
+
+    def __str__(self) -> str:
+        return " ∪ ".join(str(query) for query in self.disjuncts)
+
+    def __repr__(self) -> str:
+        return f"UnionOfConjunctiveQueries({self})"

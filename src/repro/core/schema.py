@@ -1,0 +1,148 @@
+"""Relational schemas.
+
+A :class:`Schema` is a finite collection of relation symbols, each with a
+fixed arity (Section 2, Preliminaries).  Peer data exchange uses two
+disjoint schemas: the *source* schema ``S`` and the *target* schema ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.atoms import Atom, Fact
+from repro.exceptions import SchemaError
+
+__all__ = ["RelationSymbol", "Schema"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class RelationSymbol:
+    """A relation symbol with a fixed arity and optional attribute names.
+
+    Attribute names default to ``#0, #1, ...`` and exist purely to make the
+    *positions* of Definition 5 (the pairs ``(R, A)`` of the dependency
+    graph) readable; they carry no semantics.
+    """
+
+    name: str
+    arity: int
+    attributes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise SchemaError(f"relation {self.name!r} has negative arity {self.arity}")
+        if self.attributes and len(self.attributes) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} declares {len(self.attributes)} attribute "
+                f"names but has arity {self.arity}"
+            )
+        if not self.attributes:
+            object.__setattr__(self, "attributes", tuple(f"#{i}" for i in range(self.arity)))
+
+    def positions(self) -> Iterator[tuple[str, int]]:
+        """Yield the positions ``(name, index)`` of this relation."""
+        for index in range(self.arity):
+            yield (self.name, index)
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """A finite collection of relation symbols, indexed by name."""
+
+    def __init__(self, relations: Iterable[RelationSymbol] = ()):
+        self._relations: dict[str, RelationSymbol] = {}
+        for relation in relations:
+            self.add(relation)
+
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int]) -> "Schema":
+        """Build a schema from a ``{name: arity}`` mapping.
+
+        This is the most convenient constructor for tests and examples::
+
+            Schema.from_arities({"E": 2, "H": 2})
+        """
+        return cls(RelationSymbol(name, arity) for name, arity in arities.items())
+
+    def add(self, relation: RelationSymbol) -> None:
+        """Add a relation symbol; re-adding an identical symbol is a no-op."""
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing != relation:
+            raise SchemaError(
+                f"relation {relation.name!r} already declared with arity "
+                f"{existing.arity}, cannot redeclare with arity {relation.arity}"
+            )
+        self._relations[relation.name] = relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSymbol:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation symbol {name!r}") from None
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def names(self) -> list[str]:
+        """Return the relation names in declaration order."""
+        return list(self._relations)
+
+    def arity_of(self, name: str) -> int:
+        """Return the arity of relation ``name``."""
+        return self[name].arity
+
+    def positions(self) -> list[tuple[str, int]]:
+        """Return every position ``(relation, index)`` of the schema.
+
+        These are the nodes of the dependency graph of Definition 5.
+        """
+        return [pos for relation in self for pos in relation.positions()]
+
+    def disjoint_from(self, other: "Schema") -> bool:
+        """Return True if this schema shares no relation names with ``other``."""
+        return not set(self._relations) & set(other._relations)
+
+    def union(self, other: "Schema") -> "Schema":
+        """Return the union schema ``(S, T)`` of two disjoint schemas.
+
+        Raises:
+            SchemaError: if the schemas share a relation name with
+                conflicting arity.
+        """
+        merged = Schema(self)
+        for relation in other:
+            merged.add(relation)
+        return merged
+
+    def validate_atom(self, atom: Atom) -> None:
+        """Check that ``atom`` names a known relation with the right arity."""
+        declared = self[atom.relation]
+        if declared.arity != atom.arity:
+            raise SchemaError(
+                f"atom {atom} has arity {atom.arity}, but {declared} expects "
+                f"{declared.arity}"
+            )
+
+    def validate_fact(self, fact: Fact) -> None:
+        """Check that ``fact`` names a known relation with the right arity."""
+        self.validate_atom(fact.to_atom())
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(relation) for relation in self) + "}"
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._relations.values())!r})"

@@ -1,0 +1,303 @@
+"""Peer data exchange settings (Definitions 1 and 2).
+
+A :class:`PDESetting` is the quintuple ``P = (S, T, Σ_st, Σ_ts, Σ_t)``:
+
+* ``S`` — source schema, ``T`` — target schema (disjoint);
+* ``Σ_st`` — source-to-target tgds (what the source offers);
+* ``Σ_ts`` — target-to-source tgds (what the target is willing to accept;
+  disjunctive tgds are allowed here only so the paper's 3-colorability
+  boundary example can be expressed);
+* ``Σ_t`` — target tgds and egds.
+
+A target instance ``J'`` is a *solution* for ``(I, J)`` when ``J ⊆ J'``,
+``(I, J') ⊨ Σ_st ∪ Σ_ts`` and ``J' ⊨ Σ_t`` — with ``I`` immutable, which is
+the defining restriction of peer data exchange.
+
+:class:`MultiPDESetting` models several source peers exchanging with one
+target peer; ``merge()`` implements the paper's observation that a
+multi-PDE setting is equivalent to a single PDE over the union of the
+sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.chase import satisfies
+from repro.core.dependencies import EGD, TGD, Dependency, DisjunctiveTGD
+from repro.core.instance import Instance
+from repro.core.parser import parse_dependencies
+from repro.core.schema import Schema
+from repro.core.weak_acyclicity import is_weakly_acyclic
+from repro.exceptions import DependencyError, SchemaError
+
+__all__ = ["PDESetting", "MultiPDESetting"]
+
+
+@dataclass(frozen=True)
+class PDESetting:
+    """A peer data exchange setting ``(S, T, Σ_st, Σ_ts, Σ_t)``."""
+
+    source_schema: Schema
+    target_schema: Schema
+    sigma_st: tuple[TGD, ...]
+    sigma_ts: tuple[TGD | DisjunctiveTGD, ...]
+    sigma_t: tuple[TGD | EGD, ...] = ()
+    name: str = field(default="", compare=False)
+
+    def __init__(
+        self,
+        source_schema: Schema,
+        target_schema: Schema,
+        sigma_st: Sequence[TGD],
+        sigma_ts: Sequence[TGD | DisjunctiveTGD],
+        sigma_t: Sequence[TGD | EGD] = (),
+        name: str = "",
+    ):
+        if not source_schema.disjoint_from(target_schema):
+            raise SchemaError("source and target schemas must be disjoint")
+        object.__setattr__(self, "source_schema", source_schema)
+        object.__setattr__(self, "target_schema", target_schema)
+        object.__setattr__(self, "sigma_st", tuple(sigma_st))
+        object.__setattr__(self, "sigma_ts", tuple(sigma_ts))
+        object.__setattr__(self, "sigma_t", tuple(sigma_t))
+        object.__setattr__(self, "name", name)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_text(
+        cls,
+        source: Mapping[str, int],
+        target: Mapping[str, int],
+        st: str = "",
+        ts: str = "",
+        t: str = "",
+        name: str = "",
+    ) -> "PDESetting":
+        """Build a setting from arity maps and dependency text blocks.
+
+        Example — the paper's Example 1::
+
+            PDESetting.from_text(
+                source={"E": 2},
+                target={"H": 2},
+                st="E(x, z), E(z, y) -> H(x, y)",
+                ts="H(x, y) -> E(x, y)",
+            )
+        """
+        source_schema = Schema.from_arities(source)
+        target_schema = Schema.from_arities(target)
+        sigma_st = parse_dependencies(st)
+        sigma_ts = parse_dependencies(ts)
+        sigma_t = parse_dependencies(t)
+        for dependency in sigma_st:
+            if not isinstance(dependency, TGD):
+                raise DependencyError(f"Σ_st must contain only tgds, got {dependency}")
+        return cls(
+            source_schema,
+            target_schema,
+            sigma_st,  # type: ignore[arg-type]
+            sigma_ts,  # type: ignore[arg-type]
+            sigma_t,  # type: ignore[arg-type]
+            name=name,
+        )
+
+    def _validate(self) -> None:
+        for tgd in self.sigma_st:
+            if not isinstance(tgd, TGD):
+                raise DependencyError(f"Σ_st must contain only tgds, got {tgd}")
+            tgd.validate(self.source_schema, self.target_schema)
+        for dependency in self.sigma_ts:
+            if isinstance(dependency, (TGD, DisjunctiveTGD)):
+                dependency.validate(self.target_schema, self.source_schema)
+            else:
+                raise DependencyError(
+                    f"Σ_ts must contain only (disjunctive) tgds, got {dependency}"
+                )
+        for dependency in self.sigma_t:
+            if isinstance(dependency, TGD):
+                dependency.validate(self.target_schema, self.target_schema)
+            elif isinstance(dependency, EGD):
+                dependency.validate(self.target_schema)
+            else:
+                raise DependencyError(
+                    f"Σ_t must contain only target tgds and egds, got {dependency}"
+                )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def combined_schema(self) -> Schema:
+        """The schema ``(S, T)`` over which joint instances live."""
+        return self.source_schema.union(self.target_schema)
+
+    @property
+    def has_target_constraints(self) -> bool:
+        """True if ``Σ_t`` is non-empty."""
+        return bool(self.sigma_t)
+
+    @property
+    def has_disjunctive_ts(self) -> bool:
+        """True if some target-to-source dependency is disjunctive."""
+        return any(isinstance(d, DisjunctiveTGD) for d in self.sigma_ts)
+
+    def target_tgds(self) -> list[TGD]:
+        """Return the tgds among ``Σ_t``."""
+        return [d for d in self.sigma_t if isinstance(d, TGD)]
+
+    def target_egds(self) -> list[EGD]:
+        """Return the egds among ``Σ_t``."""
+        return [d for d in self.sigma_t if isinstance(d, EGD)]
+
+    def target_tgds_weakly_acyclic(self) -> bool:
+        """True if the target tgds form a weakly acyclic set (Definition 5).
+
+        This is the hypothesis of Theorems 1 and 2; the generic solver
+        checks it before running.
+        """
+        return is_weakly_acyclic(self.target_tgds())
+
+    def all_dependencies(self) -> list[Dependency]:
+        """Return every dependency of the setting, in Σ_st, Σ_ts, Σ_t order."""
+        return [*self.sigma_st, *self.sigma_ts, *self.sigma_t]
+
+    # ------------------------------------------------------------------
+    # instance plumbing and the solution test (Definition 2)
+    # ------------------------------------------------------------------
+
+    def combine(self, source: Instance, target: Instance) -> Instance:
+        """Build the joint instance ``(I, J)`` over the combined schema."""
+        combined = Instance(schema=self.combined_schema)
+        combined.add_all(source)
+        combined.add_all(target)
+        return combined
+
+    def split(self, combined: Instance) -> tuple[Instance, Instance]:
+        """Split a joint instance back into its source and target parts."""
+        return (
+            combined.restrict_to(self.source_schema),
+            combined.restrict_to(self.target_schema),
+        )
+
+    def validate_source_instance(self, source: Instance) -> None:
+        """Check that ``source`` is over ``S`` and contains no nulls."""
+        for fact in source:
+            if fact.relation not in self.source_schema:
+                raise SchemaError(f"source fact {fact} is not over the source schema")
+            self.source_schema.validate_fact(fact)
+
+    def validate_target_instance(self, target: Instance) -> None:
+        """Check that ``target`` is over ``T``."""
+        for fact in target:
+            if fact.relation not in self.target_schema:
+                raise SchemaError(f"target fact {fact} is not over the target schema")
+            self.target_schema.validate_fact(fact)
+
+    def is_solution(self, source: Instance, target: Instance, candidate: Instance) -> bool:
+        """Definition 2: is ``candidate`` a solution for ``(source, target)``?
+
+        Checks ``target ⊆ candidate``, ``(source, candidate) ⊨ Σ_st ∪ Σ_ts``
+        and ``candidate ⊨ Σ_t``.
+        """
+        if not candidate.contains_instance(target):
+            return False
+        combined = self.combine(source, candidate)
+        if not satisfies(combined, self.sigma_st):
+            return False
+        if not satisfies(combined, self.sigma_ts):
+            return False
+        return satisfies(candidate, self.sigma_t)
+
+    def __str__(self) -> str:
+        label = self.name or "PDESetting"
+        return (
+            f"{label}(S={self.source_schema}, T={self.target_schema}, "
+            f"|Σ_st|={len(self.sigma_st)}, |Σ_ts|={len(self.sigma_ts)}, "
+            f"|Σ_t|={len(self.sigma_t)})"
+        )
+
+
+@dataclass(frozen=True)
+class MultiPDESetting:
+    """A family of PDE settings sharing one target peer (Section 2).
+
+    Every member must have the same target schema, and the source schemas
+    must be pairwise disjoint (and disjoint from the target schema).
+    """
+
+    members: tuple[PDESetting, ...]
+    name: str = field(default="", compare=False)
+
+    def __init__(self, members: Sequence[PDESetting], name: str = ""):
+        if not members:
+            raise DependencyError("a multi-PDE setting needs at least one member")
+        target_schema = members[0].target_schema
+        for member in members[1:]:
+            if member.target_schema != target_schema:
+                raise SchemaError("all members of a multi-PDE share the target schema")
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                if not first.source_schema.disjoint_from(second.source_schema):
+                    raise SchemaError("source schemas of a multi-PDE must be disjoint")
+        object.__setattr__(self, "members", tuple(members))
+        object.__setattr__(self, "name", name)
+
+    @property
+    def target_schema(self) -> Schema:
+        """The shared target schema."""
+        return self.members[0].target_schema
+
+    def merge(self) -> PDESetting:
+        """Reduce to a single PDE with the same space of solutions.
+
+        Implements the paper's observation: ``J'`` is a solution for
+        ``((I_1, ..., I_n), J)`` iff it is a solution for
+        ``(I_1 ∪ ... ∪ I_n, J)`` in the merged setting.
+        """
+        source_schema = Schema()
+        sigma_st: list[TGD] = []
+        sigma_ts: list[TGD | DisjunctiveTGD] = []
+        sigma_t: list[TGD | EGD] = []
+        for member in self.members:
+            source_schema = source_schema.union(member.source_schema)
+            sigma_st.extend(member.sigma_st)
+            sigma_ts.extend(member.sigma_ts)
+            sigma_t.extend(member.sigma_t)
+        return PDESetting(
+            source_schema,
+            self.target_schema,
+            sigma_st,
+            sigma_ts,
+            sigma_t,
+            name=self.name or "merged multi-PDE",
+        )
+
+    def combine_sources(self, sources: Iterable[Instance]) -> Instance:
+        """Union the per-peer source instances into one instance."""
+        merged = Instance(schema=self.merge().source_schema)
+        for source in sources:
+            merged.add_all(source)
+        return merged
+
+    def is_solution(
+        self,
+        sources: Sequence[Instance],
+        target: Instance,
+        candidate: Instance,
+    ) -> bool:
+        """True if ``candidate`` is a solution for every member setting."""
+        if len(sources) != len(self.members):
+            raise DependencyError(
+                f"expected {len(self.members)} source instances, got {len(sources)}"
+            )
+        return all(
+            member.is_solution(source, target, candidate)
+            for member, source in zip(self.members, sources)
+        )

@@ -1,0 +1,158 @@
+"""Terms: constants, labeled nulls, and variables.
+
+The paper's data model distinguishes three kinds of values:
+
+* **constants** (``Const`` in the paper) — ordinary database values;
+* **labeled nulls** — placeholder values created by the chase to witness
+  existentially quantified variables; two nulls with different labels are
+  distinct values, and a null may later be identified with a constant or
+  another null by an egd chase step;
+* **variables** — which occur only inside dependencies and queries, never
+  inside instances.
+
+All three are immutable and hashable, so they can live inside frozen facts
+and be used as dictionary keys during homomorphism search.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+__all__ = [
+    "Constant",
+    "Null",
+    "Variable",
+    "Term",
+    "InstanceTerm",
+    "NullFactory",
+    "is_constant",
+    "is_null",
+    "is_variable",
+    "term_sort_key",
+]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Constant:
+    """An ordinary database constant wrapping a Python value.
+
+    The wrapped value must itself be hashable (strings and integers are the
+    common cases).  Constants compare by wrapped value.
+    """
+
+    value: Union[str, int, float, bool]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return self.value
+        return repr(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Null:
+    """A labeled null, identified by an integer label.
+
+    Nulls are created by :class:`NullFactory` during the chase.  The
+    optional ``hint`` records the variable the null witnessed, which makes
+    chase output far easier to read; it does not participate in equality.
+    """
+
+    label: int
+    hint: str = ""
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Null):
+            return NotImplemented
+        return self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash(("Null", self.label))
+
+    def __str__(self) -> str:
+        if self.hint:
+            return f"_{self.hint}{self.label}"
+        return f"_n{self.label}"
+
+    def __repr__(self) -> str:
+        return f"Null({self.label}, {self.hint!r})" if self.hint else f"Null({self.label})"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Variable:
+    """A variable, used only in dependencies and queries."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+#: Any term that may occur in an atom of a dependency or query.
+Term = Union[Constant, Null, Variable]
+
+#: Any term that may occur in an instance fact (no variables).
+InstanceTerm = Union[Constant, Null]
+
+
+def is_constant(term: object) -> bool:
+    """Return True if ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def is_null(term: object) -> bool:
+    """Return True if ``term`` is a :class:`Null`."""
+    return isinstance(term, Null)
+
+
+def is_variable(term: object) -> bool:
+    """Return True if ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def term_sort_key(term: Term) -> tuple[int, str, str]:
+    """A total order over heterogeneous terms, for deterministic output.
+
+    Constants sort first (by type name, then rendered value), then nulls
+    (by label), then variables (by name).  Needed because constants may
+    wrap values of different Python types, which are not mutually
+    comparable.
+    """
+    if isinstance(term, Constant):
+        return (0, type(term.value).__name__, str(term.value))
+    if isinstance(term, Null):
+        return (1, "null", f"{term.label:012d}")
+    return (2, "variable", term.name)
+
+
+class NullFactory:
+    """A thread-safe generator of fresh labeled nulls.
+
+    A single factory should be used per chase run so that every null it
+    hands out is globally fresh within that run.  ``start`` may be used to
+    continue labeling above the nulls already present in an input instance.
+    """
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def fresh(self, hint: str = "") -> Null:
+        """Return a new null with a label never handed out before."""
+        with self._lock:
+            label = next(self._counter)
+        return Null(label, hint)
+
+    @classmethod
+    def above(cls, nulls: Iterable[Null]) -> "NullFactory":
+        """Return a factory whose labels are strictly above every given null."""
+        highest = max((null.label for null in nulls), default=-1)
+        return cls(start=highest + 1)

@@ -1,0 +1,209 @@
+"""Weak acyclicity of a set of tgds (Definition 5).
+
+The *dependency graph* of a set of tgds has one node per position ``(R, i)``
+of the schema.  For every tgd ``φ(x) → ∃y ψ(x, y)`` and every universally
+quantified variable ``x`` occurring in the head:
+
+* a **regular edge** runs from each body position of ``x`` to each head
+  position of ``x``;
+* a **special edge** runs from each body position of ``x`` to each head
+  position of every existentially quantified variable ``y``.
+
+The set is *weakly acyclic* when no cycle goes through a special edge.
+Lemma 1 of the paper relies on weak acyclicity to bound the length of every
+(solution-aware) chase sequence by a polynomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.dependencies import TGD
+from repro.core.terms import is_variable
+
+__all__ = [
+    "Position",
+    "PositionGraph",
+    "build_position_graph",
+    "is_weakly_acyclic",
+    "position_ranks",
+    "chase_step_bound",
+]
+
+#: A position is a pair (relation name, 0-based attribute index).
+Position = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class PositionGraph:
+    """The dependency graph over positions, with edge kinds.
+
+    ``regular`` and ``special`` map each position to the set of positions it
+    points to via edges of that kind.  The same ordered pair may carry both
+    a regular and a special edge, as Definition 5 notes.
+    """
+
+    nodes: frozenset[Position]
+    regular: dict[Position, set[Position]]
+    special: dict[Position, set[Position]]
+
+    def successors(self, node: Position) -> set[Position]:
+        """All successors of ``node``, regardless of edge kind."""
+        return self.regular.get(node, set()) | self.special.get(node, set())
+
+    def special_edges(self) -> list[tuple[Position, Position]]:
+        """Return every special edge as an ordered pair."""
+        return [
+            (source, target)
+            for source, targets in self.special.items()
+            for target in targets
+        ]
+
+    def edge_count(self) -> int:
+        """Total number of distinct (pair, kind) edges."""
+        regular = sum(len(targets) for targets in self.regular.values())
+        special = sum(len(targets) for targets in self.special.values())
+        return regular + special
+
+
+def build_position_graph(tgds: Iterable[TGD]) -> PositionGraph:
+    """Construct the dependency graph of Definition 5 for ``tgds``."""
+    nodes: set[Position] = set()
+    regular: dict[Position, set[Position]] = {}
+    special: dict[Position, set[Position]] = {}
+
+    tgds = list(tgds)
+    for tgd in tgds:
+        for atom in tgd.body + tgd.head:
+            for index in range(atom.arity):
+                nodes.add((atom.relation, index))
+
+    for tgd in tgds:
+        existentials = tgd.existential_variables()
+        head_variables = tgd.head_variables()
+        for variable in tgd.body_variables():
+            if variable not in head_variables:
+                continue
+            body_positions = [
+                (atom.relation, index)
+                for atom in tgd.body
+                for index, arg in enumerate(atom.args)
+                if arg == variable
+            ]
+            variable_head_positions = [
+                (atom.relation, index)
+                for atom in tgd.head
+                for index, arg in enumerate(atom.args)
+                if arg == variable
+            ]
+            existential_head_positions = [
+                (atom.relation, index)
+                for atom in tgd.head
+                for index, arg in enumerate(atom.args)
+                if is_variable(arg) and arg in existentials
+            ]
+            for source in body_positions:
+                regular.setdefault(source, set()).update(variable_head_positions)
+                special.setdefault(source, set()).update(existential_head_positions)
+
+    return PositionGraph(nodes=frozenset(nodes), regular=regular, special=special)
+
+
+def _reachable(graph: PositionGraph, start: Position) -> set[Position]:
+    """Positions reachable from ``start`` via any edges (excluding the empty path)."""
+    seen: set[Position] = set()
+    frontier = list(graph.successors(start))
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(graph.successors(node))
+    return seen
+
+
+def is_weakly_acyclic(tgds: Sequence[TGD]) -> bool:
+    """Return True if ``tgds`` is a weakly acyclic set (Definition 5).
+
+    The set is weakly acyclic when no special edge ``(u, v)`` lies on a
+    cycle, i.e. when ``u`` is never reachable from ``v``.
+
+    Full tgds are always weakly acyclic (they induce no special edges), as
+    are acyclic sets of inclusion dependencies.
+    """
+    graph = build_position_graph(tgds)
+    for source, target in graph.special_edges():
+        if source == target or source in _reachable(graph, target):
+            return False
+    return True
+
+
+def position_ranks(tgds: Sequence[TGD]) -> dict[Position, int]:
+    """Return the *rank* of every position of a weakly acyclic set.
+
+    The rank of a position is the maximum number of special edges on any
+    path of the dependency graph ending at it.  Weak acyclicity makes
+    ranks finite; they stratify the positions by how many "generations" of
+    fresh nulls can flow into them, which is the combinatorial heart of
+    Lemma 1's polynomial bound on chase length.
+
+    Raises:
+        NotWeaklyAcyclicError: if the set is not weakly acyclic (ranks
+            would be unbounded).
+    """
+    from repro.exceptions import NotWeaklyAcyclicError
+
+    if not is_weakly_acyclic(tgds):
+        raise NotWeaklyAcyclicError(
+            "position ranks are only defined for weakly acyclic sets"
+        )
+    graph = build_position_graph(tgds)
+    ranks = {node: 0 for node in graph.nodes}
+    # Bellman-Ford style relaxation; path lengths are bounded by the node
+    # count because no special edge lies on a cycle.
+    for _ in range(len(graph.nodes) + 1):
+        changed = False
+        for source, targets in graph.regular.items():
+            for target in targets:
+                if ranks[source] > ranks[target]:
+                    ranks[target] = ranks[source]
+                    changed = True
+        for source, targets in graph.special.items():
+            for target in targets:
+                if ranks[source] + 1 > ranks[target]:
+                    ranks[target] = ranks[source] + 1
+                    changed = True
+        if not changed:
+            break
+    return ranks
+
+
+def chase_step_bound(tgds: Sequence[TGD], instance_size: int) -> int:
+    """An explicit Lemma 1 budget: a polynomial bound on chase length.
+
+    For a weakly acyclic set, the number of distinct values that can ever
+    appear at a position of rank ``r`` is at most ``n^(c^r)``-ish in
+    general; the standard coarse bound used here is
+    ``(p * n) ^ (r_max + 1)`` values per position, where ``p`` is the
+    number of positions, ``n`` the instance size, and ``r_max`` the
+    maximum rank.  Chase steps add at least one fact each, and facts range
+    over tuples of per-position values, giving the returned bound.
+
+    The point is not tightness — it is having a *certified* finite budget
+    derived from Definition 5 to hand to :func:`repro.core.chase.chase`
+    instead of an arbitrary constant.
+    """
+    tgds = list(tgds)
+    if not tgds:
+        return max(1, instance_size)
+    ranks = position_ranks(tgds)
+    positions = max(1, len(ranks))
+    max_rank = max(ranks.values(), default=0)
+    base = max(2, positions * max(1, instance_size))
+    max_arity = max(
+        (atom.arity for tgd in tgds for atom in (*tgd.body, *tgd.head)),
+        default=1,
+    )
+    values_per_position = base ** (max_rank + 1)
+    return positions * values_per_position ** max(1, max_arity)

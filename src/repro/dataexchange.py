@@ -1,0 +1,125 @@
+"""Classical data exchange: the baseline the paper generalizes.
+
+Data exchange [FKMP, ICDT 2003 — references 8 and 9 of the paper] is the
+special case of peer data exchange with ``Σ_ts = ∅`` and ``J = ∅``.  Its
+algorithmics are entirely different in character:
+
+* with ``Σ_t = ∅``, a solution *always* exists (chase and done);
+* with ``Σ_t`` = egds + a weakly acyclic set of tgds, existence is
+  decidable in polynomial time: the chase either fails (no solution) or
+  yields a *universal solution* that maps homomorphically into every
+  solution;
+* certain answers of unions of conjunctive queries are computed by naive
+  evaluation over the universal solution.
+
+This module implements that baseline directly so that experiments can
+contrast it against the PDE solvers (the paper's Section 1/3 comparisons:
+trivial vs. NP-complete existence, PTIME vs. coNP-complete certain
+answers), and so the test suite can check that the PDE machinery
+degenerates to data exchange when ``Σ_ts`` is dropped.
+"""
+
+from __future__ import annotations
+
+from repro.core.chase import chase
+from repro.core.instance import Instance
+from repro.core.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.core.setting import PDESetting
+from repro.core.terms import InstanceTerm
+from repro.exceptions import ChaseFailure, SolverError
+from repro.solver.results import CertainAnswerResult, SolveResult
+
+__all__ = [
+    "is_data_exchange_setting",
+    "universal_solution",
+    "exists_solution_data_exchange",
+    "certain_answers_data_exchange",
+]
+
+Query = ConjunctiveQuery | UnionOfConjunctiveQueries
+
+
+def is_data_exchange_setting(setting: PDESetting) -> bool:
+    """True when ``setting`` is a plain data exchange setting (``Σ_ts = ∅``)."""
+    return not setting.sigma_ts
+
+
+def _require_data_exchange(setting: PDESetting) -> None:
+    if not is_data_exchange_setting(setting):
+        raise SolverError(
+            "this procedure implements plain data exchange and requires "
+            "Σ_ts = ∅; use repro.solver.solve for peer data exchange"
+        )
+    if not setting.target_tgds_weakly_acyclic():
+        raise SolverError(
+            "data exchange procedures require a weakly acyclic set of "
+            "target tgds (the hypothesis of [FKMP])"
+        )
+
+
+def universal_solution(
+    setting: PDESetting, source: Instance, target: Instance | None = None
+) -> Instance | None:
+    """Compute a universal solution by chasing, or None if the chase fails.
+
+    The result contains labeled nulls and maps homomorphically into every
+    solution for ``(source, target)``.
+
+    Raises:
+        SolverError: if the setting has target-to-source dependencies or
+            non-weakly-acyclic target tgds.
+    """
+    _require_data_exchange(setting)
+    target = target if target is not None else Instance()
+    combined = setting.combine(source, target)
+    try:
+        result = chase(combined, [*setting.sigma_st, *setting.sigma_t])
+    except ChaseFailure:
+        return None
+    return result.instance.restrict_to(setting.target_schema)
+
+
+def exists_solution_data_exchange(
+    setting: PDESetting, source: Instance, target: Instance | None = None
+) -> SolveResult:
+    """Polynomial-time existence test for plain data exchange.
+
+    With ``Σ_t = ∅`` this always returns True (the paper's contrast with
+    PDE, where Example 1 shows solutions can fail to exist even then).
+    """
+    universal = universal_solution(setting, source, target)
+    if universal is None:
+        return SolveResult(exists=False, method="data-exchange-chase")
+    return SolveResult(
+        exists=True, solution=universal, method="data-exchange-chase"
+    )
+
+
+def certain_answers_data_exchange(
+    setting: PDESetting,
+    query: Query,
+    source: Instance,
+    target: Instance | None = None,
+) -> CertainAnswerResult:
+    """Certain answers by naive evaluation over the universal solution.
+
+    Exact for unions of conjunctive queries [FKMP]: the null-free answers
+    over the universal solution are exactly the certain answers.
+    """
+    universal = universal_solution(setting, source, target)
+    if universal is None:
+        vacuous: set[tuple[InstanceTerm, ...]] = {()} if query.arity == 0 else set()
+        return CertainAnswerResult(answers=vacuous, solutions_exist=False)
+    if query.arity == 0:
+        # A Boolean match may go through nulls; it is preserved by the
+        # homomorphism into every solution, so it is certain.
+        answers: set[tuple[InstanceTerm, ...]] = (
+            {()} if query.holds(universal) else set()
+        )
+    else:
+        answers = query.answers(universal, allow_nulls=False)
+    return CertainAnswerResult(
+        answers=answers,
+        solutions_exist=True,
+        stats={"universal_solution_size": len(universal)},
+    )

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the peer data exchange library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "SchemaError",
+    "DependencyError",
+    "ChaseFailure",
+    "ChaseNonTermination",
+    "SolverError",
+    "NotWeaklyAcyclicError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when textual input (dependency, instance, query) is malformed."""
+
+    def __init__(self, message: str, text: str | None = None, position: int | None = None):
+        self.text = text
+        self.position = position
+        if text is not None and position is not None:
+            context = text[max(0, position - 20):position + 20]
+            message = f"{message} (near position {position}: ...{context!r}...)"
+        super().__init__(message)
+
+
+class SchemaError(ReproError):
+    """Raised when facts, atoms, or dependencies do not match a schema.
+
+    Examples: wrong arity, unknown relation symbol, a source-to-target tgd
+    whose left-hand side mentions a target relation.
+    """
+
+
+class DependencyError(ReproError):
+    """Raised when a dependency is structurally invalid.
+
+    Examples: an egd equating variables that do not occur in its body, or a
+    tgd with an empty left-hand side.
+    """
+
+
+class ChaseFailure(ReproError):
+    """Raised when an egd chase step fails (tries to equate two constants).
+
+    Corresponds to the result ``⊥`` of Definition 6 in the paper.  A failing
+    chase certifies that no solution exists for the chased instance.
+    """
+
+
+class ChaseNonTermination(ReproError):
+    """Raised when a chase exceeds its step budget.
+
+    Weakly acyclic dependency sets are guaranteed to terminate (Lemma 1 of
+    the paper); this error signals either a non-weakly-acyclic set or a step
+    budget that is too small.
+    """
+
+    def __init__(self, steps: int):
+        self.steps = steps
+        super().__init__(
+            f"chase did not terminate within {steps} steps; the dependency "
+            f"set may not be weakly acyclic"
+        )
+
+
+class SolverError(ReproError):
+    """Raised when a solver is invoked outside its region of soundness.
+
+    Example: running the Figure 3 tractable algorithm on a setting that is
+    not in C_tract without explicitly forcing it.
+    """
+
+
+class NotWeaklyAcyclicError(ReproError):
+    """Raised when an operation requires a weakly acyclic set of tgds."""

@@ -1,0 +1,25 @@
+"""Input/output: JSON serialization for settings, instances, and results."""
+
+from repro.io.serialization import (
+    dependency_to_text,
+    dumps_instance,
+    dumps_setting,
+    instance_from_dict,
+    instance_to_dict,
+    loads_instance,
+    loads_setting,
+    setting_from_dict,
+    setting_to_dict,
+)
+
+__all__ = [
+    "dependency_to_text",
+    "dumps_instance",
+    "dumps_setting",
+    "instance_from_dict",
+    "instance_to_dict",
+    "loads_instance",
+    "loads_setting",
+    "setting_from_dict",
+    "setting_to_dict",
+]

@@ -1,0 +1,176 @@
+"""JSON serialization for settings, instances, dependencies, and results.
+
+Gives the library a stable on-disk interchange format so that workloads,
+settings, and solver outputs can be saved, diffed, and shipped between
+experiment runs.  The format is deliberately simple:
+
+* terms are tagged objects — ``{"const": v}``, ``{"null": label}`` (with
+  an optional ``"hint"``), dependency/query variables are plain strings;
+* instances are ``{relation: [[term, ...], ...]}``;
+* dependencies round-trip through the parser's text syntax, which is the
+  library's canonical human-readable form;
+* settings carry their schemas as arity maps plus the three dependency
+  blocks.
+
+Everything round-trips: ``loads_x(dumps_x(value)) == value``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.dependencies import EGD, TGD, Dependency, DisjunctiveTGD
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.core.setting import PDESetting
+from repro.core.terms import Constant, InstanceTerm, Null
+from repro.exceptions import ParseError
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "dumps_instance",
+    "loads_instance",
+    "dependency_to_text",
+    "setting_to_dict",
+    "setting_from_dict",
+    "dumps_setting",
+    "loads_setting",
+]
+
+
+# ---------------------------------------------------------------------------
+# terms
+# ---------------------------------------------------------------------------
+
+
+def _term_to_json(term: InstanceTerm) -> dict[str, Any]:
+    if isinstance(term, Constant):
+        return {"const": term.value}
+    if isinstance(term, Null):
+        encoded: dict[str, Any] = {"null": term.label}
+        if term.hint:
+            encoded["hint"] = term.hint
+        return encoded
+    raise TypeError(f"cannot serialize term {term!r}")
+
+
+def _term_from_json(encoded: dict[str, Any]) -> InstanceTerm:
+    if "const" in encoded:
+        return Constant(encoded["const"])
+    if "null" in encoded:
+        return Null(encoded["null"], encoded.get("hint", ""))
+    raise ParseError(f"unknown term encoding {encoded!r}")
+
+
+# ---------------------------------------------------------------------------
+# instances
+# ---------------------------------------------------------------------------
+
+
+def instance_to_dict(instance: Instance) -> dict[str, list[list[dict]]]:
+    """Encode an instance as a plain dict (JSON-ready)."""
+    encoded: dict[str, list[list[dict]]] = {}
+    for relation in sorted(instance.relations()):
+        rows = sorted(
+            instance.tuples(relation),
+            key=lambda row: [repr(value) for value in row],
+        )
+        encoded[relation] = [[_term_to_json(value) for value in row] for row in rows]
+    return encoded
+
+
+def instance_from_dict(
+    encoded: dict[str, list[list[dict]]], schema: Schema | None = None
+) -> Instance:
+    """Decode an instance from :func:`instance_to_dict` output."""
+    from repro.core.atoms import Fact
+
+    instance = Instance(schema=schema)
+    for relation, rows in encoded.items():
+        for row in rows:
+            instance.add(Fact(relation, [_term_from_json(value) for value in row]))
+    return instance
+
+
+def dumps_instance(instance: Instance, indent: int | None = None) -> str:
+    """Serialize an instance to a JSON string."""
+    return json.dumps(instance_to_dict(instance), indent=indent, sort_keys=True)
+
+
+def loads_instance(text: str, schema: Schema | None = None) -> Instance:
+    """Deserialize an instance from :func:`dumps_instance` output."""
+    return instance_from_dict(json.loads(text), schema=schema)
+
+
+# ---------------------------------------------------------------------------
+# dependencies and settings
+# ---------------------------------------------------------------------------
+
+
+def dependency_to_text(dependency: Dependency) -> str:
+    """Render a dependency in the parser's canonical text syntax."""
+    def atom_text(atom) -> str:
+        parts = []
+        for arg in atom.args:
+            if isinstance(arg, Constant):
+                if isinstance(arg.value, str):
+                    parts.append(f"'{arg.value}'")
+                else:
+                    parts.append(repr(arg.value))
+            else:
+                parts.append(str(arg))
+        return f"{atom.relation}({', '.join(parts)})"
+
+    body = ", ".join(atom_text(atom) for atom in dependency.body)
+    if isinstance(dependency, TGD):
+        head = ", ".join(atom_text(atom) for atom in dependency.head)
+        return f"{body} -> {head}"
+    if isinstance(dependency, EGD):
+        return f"{body} -> {dependency.left} = {dependency.right}"
+    if isinstance(dependency, DisjunctiveTGD):
+        head = " | ".join(
+            "(" + ", ".join(atom_text(atom) for atom in disjunct) + ")"
+            for disjunct in dependency.disjuncts
+        )
+        return f"{body} -> {head}"
+    raise TypeError(f"cannot serialize dependency {dependency!r}")
+
+
+def _schema_to_dict(schema: Schema) -> dict[str, int]:
+    return {relation.name: relation.arity for relation in schema}
+
+
+def setting_to_dict(setting: PDESetting) -> dict[str, Any]:
+    """Encode a PDE setting as a plain dict (JSON-ready)."""
+    return {
+        "name": setting.name,
+        "source": _schema_to_dict(setting.source_schema),
+        "target": _schema_to_dict(setting.target_schema),
+        "sigma_st": [dependency_to_text(d) for d in setting.sigma_st],
+        "sigma_ts": [dependency_to_text(d) for d in setting.sigma_ts],
+        "sigma_t": [dependency_to_text(d) for d in setting.sigma_t],
+    }
+
+
+def setting_from_dict(encoded: dict[str, Any]) -> PDESetting:
+    """Decode a setting from :func:`setting_to_dict` output."""
+    return PDESetting.from_text(
+        source=encoded["source"],
+        target=encoded["target"],
+        st="\n".join(encoded.get("sigma_st", [])),
+        ts="\n".join(encoded.get("sigma_ts", [])),
+        t="\n".join(encoded.get("sigma_t", [])),
+        name=encoded.get("name", ""),
+    )
+
+
+def dumps_setting(setting: PDESetting, indent: int | None = None) -> str:
+    """Serialize a setting to a JSON string."""
+    return json.dumps(setting_to_dict(setting), indent=indent, sort_keys=True)
+
+
+def loads_setting(text: str) -> PDESetting:
+    """Deserialize a setting from :func:`dumps_setting` output."""
+    return setting_from_dict(json.loads(text))

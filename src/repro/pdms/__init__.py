@@ -1,0 +1,31 @@
+"""Peer data management system substrate (Section 2 of the paper).
+
+Implements the PDMS fragment of Halevy et al. needed to state the
+PDE ↔ PDMS correspondence: peers with local sources, containment/equality
+storage descriptions, dependency-based peer mappings, and the consistency
+test for data instances.
+"""
+
+from repro.pdms.acyclic import acyclic_certain_answers, canonical_consistent_instance
+from repro.pdms.consistency import CorrespondenceCheck, check_correspondence
+from repro.pdms.model import PDMS, Peer, StorageDescription
+from repro.pdms.translate import (
+    assemble_candidate,
+    star_instance,
+    starred,
+    translate_setting,
+)
+
+__all__ = [
+    "acyclic_certain_answers",
+    "canonical_consistent_instance",
+    "CorrespondenceCheck",
+    "check_correspondence",
+    "PDMS",
+    "Peer",
+    "StorageDescription",
+    "assemble_candidate",
+    "star_instance",
+    "starred",
+    "translate_setting",
+]

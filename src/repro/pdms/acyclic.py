@@ -1,0 +1,114 @@
+"""Certain answers in containment-only, inclusion-mapped PDMS.
+
+Section 3.2 of the paper recalls a tractability result of Halevy et al.:
+if *all* storage descriptions are containment descriptions and all peer
+mappings are inclusion mappings whose dependency graph is acyclic, then
+certain answers of conjunctive queries are computable in polynomial time.
+The paper then points out that its own Theorem 3 setting has exactly such
+acyclic inclusion mappings — the coNP-hardness of PDE comes from the
+*equality* storage descriptions of the source peer (the immutability of
+``I``), not from the mapping topology.
+
+This module implements the tractable containment-only procedure so the
+contrast is executable:
+
+* every storage description ``Q ⊆ R`` and every inclusion mapping (a tgd)
+  only ever *lower-bounds* relations, so a least consistent instance
+  exists: the chase of the local data with the description-induced tgds
+  and the peer mappings;
+* that canonical instance maps homomorphically into every consistent
+  instance, so naive evaluation over it (null-free answers) computes the
+  certain answers of conjunctive queries.
+
+Experiment E16 (``bench_pdms.py`` / ``tests/test_pdms_acyclic.py``) runs
+the Theorem 3 mappings under both semantics: containment-only is
+polynomial and oblivious to cliques; restoring the equality descriptions
+(i.e. genuine PDE) brings back the clique-driven behavior.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom
+from repro.core.chase import chase
+from repro.core.dependencies import TGD, Dependency
+from repro.core.instance import Instance
+from repro.core.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.core.terms import InstanceTerm
+from repro.core.weak_acyclicity import is_weakly_acyclic
+from repro.exceptions import SolverError
+from repro.pdms.model import PDMS
+from repro.solver.results import CertainAnswerResult
+
+__all__ = ["canonical_consistent_instance", "acyclic_certain_answers"]
+
+Query = ConjunctiveQuery | UnionOfConjunctiveQueries
+
+
+def _storage_tgds(pdms: PDMS) -> list[TGD]:
+    """One tgd ``Q(x) → R(x)`` per containment storage description."""
+    tgds = []
+    for peer in pdms.peers:
+        for description in peer.storage:
+            if description.kind != "containment":
+                raise SolverError(
+                    "the acyclic-PDMS procedure requires containment-only "
+                    f"storage descriptions; peer {peer.name!r} declares an "
+                    f"equality description for {description.peer_relation!r} "
+                    "(that is what makes peer data exchange hard — use the "
+                    "PDE solvers instead)"
+                )
+            head = Atom(description.peer_relation, description.query.free)
+            tgds.append(TGD(list(description.query.body), [head]))
+    return tgds
+
+
+def _mapping_tgds(pdms: PDMS) -> list[TGD]:
+    for mapping in pdms.mappings:
+        if not isinstance(mapping, TGD):
+            raise SolverError(
+                "the acyclic-PDMS procedure requires inclusion (tgd) peer "
+                f"mappings only, got {mapping}"
+            )
+    return list(pdms.mappings)  # type: ignore[return-value]
+
+
+def canonical_consistent_instance(pdms: PDMS, local_data: Instance) -> Instance:
+    """Chase the local data into the least consistent instance.
+
+    Requires containment-only storage descriptions and inclusion (tgd)
+    peer mappings forming a weakly acyclic set; under those hypotheses the
+    chase terminates and its result maps homomorphically into every
+    consistent data instance for ``local_data``.
+
+    Returns the full assignment (local sources plus peer relations).
+    """
+    dependencies: list[Dependency] = [*_storage_tgds(pdms), *_mapping_tgds(pdms)]
+    if not is_weakly_acyclic([d for d in dependencies if isinstance(d, TGD)]):
+        raise SolverError(
+            "the storage and mapping tgds are not weakly acyclic; the "
+            "canonical chase is not guaranteed to terminate"
+        )
+    result = chase(local_data, dependencies)
+    return result.instance
+
+
+def acyclic_certain_answers(
+    pdms: PDMS, local_data: Instance, query: Query
+) -> CertainAnswerResult:
+    """Certain answers of ``query`` over all consistent instances.
+
+    Polynomial time: one chase plus one naive evaluation — the Section 3.2
+    contrast with the coNP-complete PDE problem.
+    """
+    canonical = canonical_consistent_instance(pdms, local_data)
+    if query.arity == 0:
+        answers: set[tuple[InstanceTerm, ...]] = (
+            {()} if query.holds(canonical) else set()
+        )
+    else:
+        answers = query.answers(canonical, allow_nulls=False)
+    return CertainAnswerResult(
+        answers=answers,
+        solutions_exist=True,  # least consistent instance always exists
+        stats={"canonical_size": len(canonical)},
+    )

@@ -1,0 +1,56 @@
+"""Checking the PDE ↔ PDMS correspondence of Section 2.
+
+The paper's claim: ``K`` is a solution for ``(I, J)`` in ``P`` iff
+``((I*, I), (J*, K))`` is a consistent data instance for ``(I*, J*)`` in
+``N(P)``.  :func:`check_correspondence` evaluates both sides for a given
+candidate so tests and benchmarks can assert the equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.pdms.translate import assemble_candidate, translate_setting
+
+__all__ = ["CorrespondenceCheck", "check_correspondence"]
+
+
+@dataclass(frozen=True)
+class CorrespondenceCheck:
+    """Both sides of the Section 2 equivalence for one candidate."""
+
+    is_pde_solution: bool
+    is_pdms_consistent: bool
+
+    @property
+    def agrees(self) -> bool:
+        """True when the two formalisms agree on the candidate."""
+        return self.is_pde_solution == self.is_pdms_consistent
+
+
+def check_correspondence(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    candidate: Instance,
+) -> CorrespondenceCheck:
+    """Evaluate the PDE solution test and the PDMS consistency test.
+
+    Args:
+        setting: the PDE setting ``P``.
+        source: the source instance ``I``.
+        target: the target instance ``J``.
+        candidate: the candidate solution ``K`` (a target instance).
+
+    Returns:
+        a :class:`CorrespondenceCheck`; by the paper's Section 2 argument,
+        :attr:`CorrespondenceCheck.agrees` must always be True.
+    """
+    pdms = translate_setting(setting)
+    local_data, assignment = assemble_candidate(setting, source, target, candidate)
+    return CorrespondenceCheck(
+        is_pde_solution=setting.is_solution(source, target, candidate),
+        is_pdms_consistent=pdms.is_consistent(local_data, assignment),
+    )

@@ -1,0 +1,179 @@
+"""A peer data management system (PDMS) model, after Halevy et al. [14].
+
+The paper relates peer data exchange to PDMS (Section 2, "Relationship to
+PDMS").  This module implements the fragment needed for that relationship:
+
+* each **peer** has a visible peer schema and a set of local source
+  relations accessible only to it;
+* **storage descriptions** relate a query over a peer's local sources to a
+  relation of its peer schema — either by *containment* (``Q ⊆ R``: the
+  peer relation may hold more than what is stored) or *equality*
+  (``Q = R``: the peer relation is exactly the stored data);
+* **peer mappings** are constraints over the union of the peer schemas;
+  the translation of a PDE setting uses its tgds and egds directly (the
+  paper notes the translated PDMS has no definitional mappings).
+
+A *data instance* assigns values to the local sources; a *consistency
+candidate* additionally assigns the peer relations.  The candidate is
+consistent when it extends the data instance on the local sources and
+satisfies every storage description and peer mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.chase import satisfies
+from repro.core.dependencies import Dependency
+from repro.core.homomorphism import iter_homomorphisms
+from repro.core.instance import Instance
+from repro.core.query import ConjunctiveQuery
+from repro.core.schema import Schema
+from repro.core.terms import is_null
+from repro.exceptions import SchemaError
+
+__all__ = ["StorageDescription", "Peer", "PDMS"]
+
+
+@dataclass(frozen=True)
+class StorageDescription:
+    """A storage description ``Q ⊆ R`` or ``Q = R`` for one peer.
+
+    ``query`` ranges over the peer's local sources; ``peer_relation`` names
+    a relation of the peer schema with the same arity as the query.
+    """
+
+    peer_relation: str
+    query: ConjunctiveQuery
+    kind: str  # "containment" or "equality"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("containment", "equality"):
+            raise ValueError(f"unknown storage description kind {self.kind!r}")
+
+    def holds(self, local: Instance, peer_view: Instance) -> bool:
+        """Check the description against local data and the peer relation.
+
+        The comparison uses the stored rows verbatim (instances may contain
+        nulls; nulls are treated as plain values here, matching the
+        containment semantics of [14]).
+        """
+        stored = {
+            tuple(assignment[v] for v in self.query.free)
+            for assignment in iter_homomorphisms(self.query.body, local)
+        }
+        visible = set(peer_view.tuples(self.peer_relation))
+        if self.kind == "containment":
+            return stored <= visible
+        return stored == visible
+
+    def __str__(self) -> str:
+        symbol = "⊆" if self.kind == "containment" else "="
+        return f"{self.query} {symbol} {self.peer_relation}"
+
+
+@dataclass(frozen=True)
+class Peer:
+    """One peer: a visible schema, local sources, and storage descriptions."""
+
+    name: str
+    schema: Schema
+    local_schema: Schema
+    storage: tuple[StorageDescription, ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        local_schema: Schema,
+        storage: Sequence[StorageDescription] = (),
+    ):
+        if not schema.disjoint_from(local_schema):
+            raise SchemaError(
+                f"peer {name!r}: peer schema and local sources must be disjoint"
+            )
+        for description in storage:
+            if description.peer_relation not in schema:
+                raise SchemaError(
+                    f"peer {name!r}: storage description targets unknown "
+                    f"relation {description.peer_relation!r}"
+                )
+            for atom in description.query.body:
+                if atom.relation not in local_schema:
+                    raise SchemaError(
+                        f"peer {name!r}: storage query atom {atom} is not over "
+                        f"the local sources"
+                    )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "local_schema", local_schema)
+        object.__setattr__(self, "storage", tuple(storage))
+
+
+@dataclass(frozen=True)
+class PDMS:
+    """A peer data management system: peers plus peer mappings."""
+
+    peers: tuple[Peer, ...]
+    mappings: tuple[Dependency, ...]
+    name: str = field(default="", compare=False)
+
+    def __init__(
+        self,
+        peers: Sequence[Peer],
+        mappings: Iterable[Dependency],
+        name: str = "",
+    ):
+        peers = tuple(peers)
+        seen: Schema = Schema()
+        for peer in peers:
+            if not seen.disjoint_from(peer.schema) or not seen.disjoint_from(
+                peer.local_schema
+            ):
+                raise SchemaError(f"peer {peer.name!r} overlaps earlier schemas")
+            seen = seen.union(peer.schema).union(peer.local_schema)
+        object.__setattr__(self, "peers", peers)
+        object.__setattr__(self, "mappings", tuple(mappings))
+        object.__setattr__(self, "name", name)
+
+    def peer(self, name: str) -> Peer:
+        """Return the peer named ``name``."""
+        for peer in self.peers:
+            if peer.name == name:
+                return peer
+        raise KeyError(f"no peer named {name!r}")
+
+    def peer_schema(self) -> Schema:
+        """The union of all visible peer schemas."""
+        union = Schema()
+        for peer in self.peers:
+            union = union.union(peer.schema)
+        return union
+
+    def local_schema(self) -> Schema:
+        """The union of all local source schemas."""
+        union = Schema()
+        for peer in self.peers:
+            union = union.union(peer.local_schema)
+        return union
+
+    def is_consistent(self, local_data: Instance, candidate: Instance) -> bool:
+        """Is ``candidate`` a consistent data instance for ``local_data``?
+
+        ``local_data`` assigns the local sources of every peer;
+        ``candidate`` assigns both the local sources and the peer schemas.
+        Consistency requires: (1) ``candidate`` agrees with ``local_data``
+        on the local sources, (2) every storage description holds, and (3)
+        every peer mapping holds over the peer relations of ``candidate``.
+        """
+        locals_in_candidate = candidate.restrict_to(self.local_schema())
+        if locals_in_candidate != local_data.restrict_to(self.local_schema()):
+            return False
+        peer_view = candidate.restrict_to(self.peer_schema())
+        for peer in self.peers:
+            local = candidate.restrict_to(peer.local_schema)
+            for description in peer.storage:
+                if not description.holds(local, peer_view):
+                    return False
+        return satisfies(candidate, self.mappings)

@@ -1,0 +1,110 @@
+"""The PDE → PDMS translation of Section 2.
+
+For a PDE setting ``P = (S, T, Σ_st, Σ_ts, Σ_t)``, the PDMS ``N(P)`` has
+two peers:
+
+* peer ``S`` with local sources ``S_i*`` (one starred replica per source
+  relation) and *equality* storage descriptions ``S_i* = S_i`` — the
+  source data are immutable and fully visible;
+* peer ``T`` with local sources ``T_j*`` and *containment* storage
+  descriptions ``T_j* ⊆ T_j`` — the target may be augmented;
+* peer mappings given by ``Σ_st ∪ Σ_ts ∪ Σ_t`` verbatim (no definitional
+  mappings).
+
+The correspondence: ``K`` is a solution for ``(I, J)`` in ``P`` iff the
+assignment ``((I*, I), (J*, K))`` is a consistent data instance for the
+data instance ``(I*, J*)`` of ``N(P)``, where starred instances are copies
+of ``I`` and ``J`` over the local replicas.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom, Fact
+from repro.core.instance import Instance
+from repro.core.query import ConjunctiveQuery
+from repro.core.schema import RelationSymbol, Schema
+from repro.core.setting import PDESetting
+from repro.core.terms import Variable
+from repro.pdms.model import PDMS, Peer, StorageDescription
+
+__all__ = ["starred", "translate_setting", "star_instance", "assemble_candidate"]
+
+
+def starred(relation: str) -> str:
+    """The name of the local replica of ``relation`` (``R`` → ``R_star``)."""
+    return f"{relation}_star"
+
+
+def _identity_query(relation: str, arity: int) -> ConjunctiveQuery:
+    variables = [Variable(f"x{i}") for i in range(arity)]
+    return ConjunctiveQuery(
+        [Atom(starred(relation), variables)], variables, name=f"{relation}_view"
+    )
+
+
+def _star_schema(schema: Schema) -> Schema:
+    return Schema(
+        RelationSymbol(starred(relation.name), relation.arity) for relation in schema
+    )
+
+
+def translate_setting(setting: PDESetting) -> PDMS:
+    """Build the PDMS ``N(P)`` for a PDE setting ``P``."""
+    source_peer = Peer(
+        name="S",
+        schema=setting.source_schema,
+        local_schema=_star_schema(setting.source_schema),
+        storage=[
+            StorageDescription(
+                peer_relation=relation.name,
+                query=_identity_query(relation.name, relation.arity),
+                kind="equality",
+            )
+            for relation in setting.source_schema
+        ],
+    )
+    target_peer = Peer(
+        name="T",
+        schema=setting.target_schema,
+        local_schema=_star_schema(setting.target_schema),
+        storage=[
+            StorageDescription(
+                peer_relation=relation.name,
+                query=_identity_query(relation.name, relation.arity),
+                kind="containment",
+            )
+            for relation in setting.target_schema
+        ],
+    )
+    return PDMS(
+        peers=[source_peer, target_peer],
+        mappings=setting.all_dependencies(),
+        name=f"N({setting.name})" if setting.name else "N(P)",
+    )
+
+
+def star_instance(instance: Instance) -> Instance:
+    """Copy ``instance`` onto the starred local replicas."""
+    replica = Instance()
+    for fact in instance:
+        replica.add(Fact(starred(fact.relation), fact.args))
+    return replica
+
+
+def assemble_candidate(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    candidate_solution: Instance,
+) -> tuple[Instance, Instance]:
+    """Build the PDMS data instance and consistency candidate.
+
+    Returns ``(local_data, candidate)`` where ``local_data = (I*, J*)`` and
+    ``candidate = ((I*, I), (J*, K))`` — the assignment whose consistency
+    in ``N(P)`` is equivalent to ``K`` being a solution for ``(I, J)``.
+    """
+    local_data = star_instance(source).union(star_instance(target))
+    candidate = local_data.copy()
+    candidate.add_all(source)
+    candidate.add_all(candidate_solution)
+    return local_data, candidate

@@ -1,0 +1,43 @@
+"""Hardness reductions from the paper.
+
+* :mod:`repro.reductions.clique` — the CLIQUE reduction of Theorem 3
+  (NP-hardness of SOL, coNP-hardness of certain answers).
+* :mod:`repro.reductions.boundary` — the Section 4 minimal relaxations
+  with target egds and with full target tgds.
+* :mod:`repro.reductions.coloring` — the 3-colorability reduction with
+  disjunctive target-to-source dependencies.
+"""
+
+from repro.reductions.boundary import (
+    egd_boundary_setting,
+    egd_boundary_source_instance,
+    full_tgd_boundary_setting,
+    full_tgd_boundary_source_instance,
+)
+from repro.reductions.clique import (
+    certain_answer_query,
+    clique_setting,
+    clique_source_instance,
+    has_k_clique,
+    normalize_graph,
+)
+from repro.reductions.coloring import (
+    coloring_setting,
+    coloring_source_instance,
+    is_three_colorable,
+)
+
+__all__ = [
+    "egd_boundary_setting",
+    "egd_boundary_source_instance",
+    "full_tgd_boundary_setting",
+    "full_tgd_boundary_source_instance",
+    "certain_answer_query",
+    "clique_setting",
+    "clique_source_instance",
+    "has_k_clique",
+    "normalize_graph",
+    "coloring_setting",
+    "coloring_source_instance",
+    "is_three_colorable",
+]

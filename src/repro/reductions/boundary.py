@@ -1,0 +1,138 @@
+"""The Section 4 boundary settings: minimal relaxations that cross into
+NP-hardness even though ``Σ_st`` and ``Σ_ts`` satisfy the ``C_tract``
+conditions.
+
+Two settings are built here (the third — disjunctive ``Σ_ts`` — lives in
+:mod:`repro.reductions.coloring`):
+
+* :func:`egd_boundary_setting` — ``Σ_st``/``Σ_ts`` satisfy conditions (1)
+  and (2.1) of Definition 9, but ``Σ_t`` contains target *egds*; CLIQUE
+  reduces to SOL.
+* :func:`full_tgd_boundary_setting` — ``Σ_st``/``Σ_ts`` satisfy conditions
+  (1) and (2.1), but ``Σ_t`` contains *full target tgds* routing the
+  consistency check through a copy relation ``S'``; CLIQUE reduces to SOL.
+
+**Fidelity note.** As with Theorem 3 (see :mod:`repro.reductions.clique`),
+the paper displays a single consistency dependency per setting and appeals
+to the property "one associated node per element"; realizing that property
+requires the symmetric variants as well, which we include.  Each added
+dependency has the same shape as the displayed one (a target egd in the
+first setting, a full target tgd in the second), so the minimality claims
+— "a single kind of relaxation suffices for NP-hardness" — are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.reductions.clique import Edge, normalize_graph
+
+__all__ = [
+    "egd_boundary_setting",
+    "egd_boundary_source_instance",
+    "full_tgd_boundary_setting",
+    "full_tgd_boundary_source_instance",
+]
+
+
+def egd_boundary_setting() -> PDESetting:
+    """The first boundary setting: target egds only.
+
+    ``Σ_st`` and ``Σ_ts`` satisfy conditions (1) and (2.1) of Definition 9
+    (every ``Σ_ts`` dependency is LAV), yet SOL is NP-hard because of the
+    target egds.
+    """
+    return PDESetting.from_text(
+        source={"D": 2, "E": 2},
+        target={"P": 4},
+        st="D(x, y) -> P(x, z, y, w)",
+        ts="P(x, z, y, w) -> E(z, w)",
+        t="""
+            P(x, z, y, w), P(x, z2, y2, w2) -> z = z2
+            P(x, z, y, w), P(x2, z2, y, w2) -> w = w2
+            P(x, z, y, w), P(y, z2, y2, w2) -> w = z2
+        """,
+        name="egd boundary (Section 4)",
+    )
+
+
+def egd_boundary_source_instance(
+    nodes: Iterable[Hashable], edges: Iterable[Edge], k: int
+) -> Instance:
+    """Source instance for the egd boundary setting: ``D`` = inequality on
+    ``a_1..a_k``, ``E`` = the graph's symmetric irreflexive edge relation.
+
+    ``G`` has a ``k``-clique iff a solution for ``(I, ∅)`` exists (k ≥ 2).
+    """
+    if k < 2:
+        raise ValueError("the reduction needs k >= 2")
+    _nodes, symmetric = normalize_graph(nodes, edges)
+    elements = [f"a{i}" for i in range(1, k + 1)]
+    return Instance.from_tuples(
+        {
+            "D": [
+                (first, second)
+                for first in elements
+                for second in elements
+                if first != second
+            ],
+            "E": sorted(symmetric),
+        }
+    )
+
+
+def full_tgd_boundary_setting() -> PDESetting:
+    """The second boundary setting: full target tgds through a copy ``S'``.
+
+    ``Σ_st`` copies ``S`` into ``S'`` and posts the ``D`` pairs; the full
+    target tgds derive ``S'`` consistency facts; ``Σ_ts`` exports ``S'``
+    back to ``S`` (LAV) and edges to ``E``.  Conditions (1) and (2.1) hold
+    for ``Σ_st``/``Σ_ts``, yet SOL is NP-hard.
+    """
+    return PDESetting.from_text(
+        source={"D": 2, "S": 2, "E": 2},
+        target={"P": 4, "Sp": 2},
+        st="""
+            S(z, w) -> Sp(z, w)
+            D(x, y) -> P(x, z, y, w)
+        """,
+        ts="""
+            Sp(z, z2) -> S(z, z2)
+            P(x, z, y, w) -> E(z, w)
+        """,
+        t="""
+            P(x, z, y, w), P(x, z2, y2, w2) -> Sp(z, z2)
+            P(x, z, y, w), P(x2, z2, y, w2) -> Sp(w, w2)
+            P(x, z, y, w), P(y, z2, y2, w2) -> Sp(w, z2)
+        """,
+        name="full-tgd boundary (Section 4)",
+    )
+
+
+def full_tgd_boundary_source_instance(
+    nodes: Iterable[Hashable], edges: Iterable[Edge], k: int
+) -> Instance:
+    """Source instance for the full-tgd boundary setting.
+
+    ``D`` = inequality on ``a_1..a_k``, ``S`` = equality on ``V``, ``E`` =
+    the graph's edges.  ``G`` has a ``k``-clique iff a solution exists
+    (k ≥ 2).
+    """
+    if k < 2:
+        raise ValueError("the reduction needs k >= 2")
+    node_list, symmetric = normalize_graph(nodes, edges)
+    elements = [f"a{i}" for i in range(1, k + 1)]
+    return Instance.from_tuples(
+        {
+            "D": [
+                (first, second)
+                for first in elements
+                for second in elements
+                if first != second
+            ],
+            "S": [(v, v) for v in node_list],
+            "E": sorted(symmetric),
+        }
+    )

@@ -1,0 +1,164 @@
+"""The CLIQUE reduction of Theorem 3.
+
+The setting has source schema ``{D/2, S/2, E/2}``, target schema ``{P/4}``
+and no target constraints:
+
+* ``Σ_st``: ``D(x, y) → ∃z ∃w P(x, z, y, w)``;
+* ``Σ_ts``: ``P(x, z, y, w) → E(z, w)`` plus the association-consistency
+  dependencies concluding in ``S``.
+
+Given a graph ``G = (V, E)`` and ``k ≥ 2``, the source instance
+``I(G, k)`` consists of the inequality relation ``D`` on ``k`` fresh
+elements ``a_1, ..., a_k``, the equality relation ``S = {(v, v) | v ∈ V}``,
+and the (symmetric, irreflexive) edge relation of ``G``.  Then ``G`` has a
+``k``-clique iff a solution for ``(I(G, k), ∅)`` exists.
+
+**Fidelity note.** The paper's proof sketch lists a single consistency
+dependency, ``P(x,z,y,w) ∧ P(x,z',y',w') → S(z,z')``, and describes its
+role as "an element in a_1, ..., a_k cannot be associated with two
+distinct nodes of G".  Read literally, that one dependency only makes the
+*first* component of the association functional, which is not sufficient
+for the stated equivalence (a single edge would admit a solution for any
+``k``).  We therefore materialize the described property in full, with two
+additional dependencies of the same shape that make the second component
+functional and tie the two components together.  All three share the
+features the paper analyzes (two-literal left-hand sides whose marked
+variables violate condition 2.2 while respecting condition 1), so the
+setting still witnesses every claim of Sections 3.2 and 4.
+
+For the coNP-hardness of certain answers, the same construction is used
+with the ``a_i`` drawn from ``V`` (padding ``V`` when ``k > |V|``) and the
+Boolean query ``∃x P(x, x, x, x)``: ``G`` has a ``k``-clique iff the query
+is *not* certain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.instance import Instance
+from repro.core.query import ConjunctiveQuery
+from repro.core.parser import parse_query
+from repro.core.setting import PDESetting
+
+__all__ = [
+    "clique_setting",
+    "clique_source_instance",
+    "certain_answer_query",
+    "has_k_clique",
+    "normalize_graph",
+]
+
+Edge = tuple[Hashable, Hashable]
+
+
+def clique_setting() -> PDESetting:
+    """Build the PDE setting of Theorem 3 (no target constraints)."""
+    return PDESetting.from_text(
+        source={"D": 2, "S": 2, "E": 2},
+        target={"P": 4},
+        st="D(x, y) -> P(x, z, y, w)",
+        ts="""
+            P(x, z, y, w) -> E(z, w)
+            P(x, z, y, w), P(x, z2, y2, w2) -> S(z, z2)
+            P(x, z, y, w), P(x2, z2, y, w2) -> S(w, w2)
+            P(x, z, y, w), P(y, z2, y2, w2) -> S(w, z2)
+        """,
+        name="clique-reduction (Theorem 3)",
+    )
+
+
+def normalize_graph(
+    nodes: Iterable[Hashable], edges: Iterable[Edge]
+) -> tuple[list[Hashable], set[Edge]]:
+    """Normalize a graph: collect nodes, symmetrize edges, drop self-loops."""
+    node_list = list(dict.fromkeys(nodes))
+    node_set = set(node_list)
+    symmetric: set[Edge] = set()
+    for u, v in edges:
+        if u == v:
+            continue
+        for endpoint in (u, v):
+            if endpoint not in node_set:
+                node_set.add(endpoint)
+                node_list.append(endpoint)
+        symmetric.add((u, v))
+        symmetric.add((v, u))
+    return node_list, symmetric
+
+
+def clique_source_instance(
+    nodes: Iterable[Hashable],
+    edges: Iterable[Edge],
+    k: int,
+    draw_from_nodes: bool = False,
+) -> Instance:
+    """Build the source instance ``I(G, k)`` of Theorem 3.
+
+    Args:
+        nodes: the vertices of ``G``.
+        edges: the edges of ``G`` (symmetrized, self-loops dropped).
+        k: the clique size; must be at least 2 for the equivalence to hold.
+        draw_from_nodes: draw the elements ``a_1, ..., a_k`` from ``V``
+            itself (the certain-answers variant of the proof); ``V`` is
+            padded with fresh elements when ``k > |V|``, exactly as the
+            paper suggests.
+
+    Returns:
+        an :class:`Instance` over the source schema of
+        :func:`clique_setting`.
+    """
+    if k < 2:
+        raise ValueError("the reduction needs k >= 2")
+    node_list, symmetric = normalize_graph(nodes, edges)
+
+    if draw_from_nodes:
+        pool = list(node_list)
+        index = 0
+        while len(pool) < k:
+            pool.append(f"__pad{index}")
+            index += 1
+        elements = pool[:k]
+        s_nodes = list(dict.fromkeys(node_list + pool))
+    else:
+        elements = [f"a{i}" for i in range(1, k + 1)]
+        s_nodes = node_list
+
+    tuples: dict[str, list[tuple]] = {
+        "D": [
+            (first, second)
+            for first in elements
+            for second in elements
+            if first != second
+        ],
+        "S": [(v, v) for v in s_nodes],
+        "E": sorted(symmetric),
+    }
+    return Instance.from_tuples(tuples)
+
+
+def certain_answer_query() -> ConjunctiveQuery:
+    """The Boolean query ``∃x P(x, x, x, x)`` from Theorem 3."""
+    return parse_query("P(x, x, x, x)")
+
+
+def has_k_clique(
+    nodes: Sequence[Hashable], edges: Iterable[Edge], k: int
+) -> bool:
+    """Reference oracle: does ``G`` contain a ``k``-clique?
+
+    Exhaustive over node combinations; fine for the small graphs used in
+    tests and benchmarks.
+    """
+    node_list, symmetric = normalize_graph(nodes, edges)
+    if k <= 0:
+        return True
+    if k == 1:
+        return bool(node_list)
+    for combo in itertools.combinations(node_list, k):
+        if all(
+            (u, v) in symmetric for u, v in itertools.combinations(combo, 2)
+        ):
+            return True
+    return False

@@ -1,0 +1,80 @@
+"""The 3-colorability boundary setting (end of Section 4).
+
+Shows that allowing *disjunction* in the right-hand side of target-to-
+source dependencies crosses the tractability boundary even with no target
+constraints and with conditions (1) and (2.2) of Definition 9 satisfied.
+
+Source schema: ``{E/2, R/1, B/1, G/1}``; target schema: ``{Ep/2, C/2}``.
+
+* ``Σ_st``: ``E(x, y) → ∃u C(x, u)`` and ``E(x, y) → Ep(x, y)``;
+* ``Σ_ts``: ``Ep(x, y) ∧ C(x, u) ∧ C(y, v) →`` the disjunction of the six
+  ordered pairs of distinct colors over ``(u, v)``.
+
+With ``I = (E, R={r}, G={g}, B={b})`` and ``J = ∅``, the graph ``E`` is
+3-colorable iff a solution exists.  (The paper's displayed formula mixes
+``∧``/``∨`` typographically; the intended right-hand side is the
+disjunction of the six conjunctions, which is what we build.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.reductions.clique import Edge, normalize_graph
+
+__all__ = [
+    "coloring_setting",
+    "coloring_source_instance",
+    "is_three_colorable",
+]
+
+
+def coloring_setting() -> PDESetting:
+    """Build the disjunctive-``Σ_ts`` setting of the 3-COL reduction."""
+    disjuncts = " | ".join(
+        f"({first}(u), {second}(v))"
+        for first, second in itertools.permutations(("R", "B", "G"), 2)
+    )
+    return PDESetting.from_text(
+        source={"E": 2, "R": 1, "B": 1, "G": 1},
+        target={"Ep": 2, "C": 2},
+        st="""
+            E(x, y) -> C(x, u)
+            E(x, y) -> Ep(x, y)
+        """,
+        ts=f"Ep(x, y), C(x, u), C(y, v) -> {disjuncts}",
+        name="3-colorability boundary (Section 4)",
+    )
+
+
+def coloring_source_instance(
+    nodes: Iterable[Hashable], edges: Iterable[Edge]
+) -> Instance:
+    """Build the source instance: the graph's edges plus one color constant
+    per color relation."""
+    _nodes, symmetric = normalize_graph(nodes, edges)
+    return Instance.from_tuples(
+        {
+            "E": sorted(symmetric),
+            "R": [("r",)],
+            "B": [("b",)],
+            "G": [("g",)],
+        }
+    )
+
+
+def is_three_colorable(
+    nodes: Sequence[Hashable], edges: Iterable[Edge]
+) -> bool:
+    """Reference oracle: brute-force 3-colorability over the node list."""
+    node_list, symmetric = normalize_graph(nodes, edges)
+    if not node_list:
+        return True
+    for coloring in itertools.product(range(3), repeat=len(node_list)):
+        color = dict(zip(node_list, coloring))
+        if all(color[u] != color[v] for (u, v) in symmetric):
+            return True
+    return False

@@ -1,0 +1,150 @@
+"""Human-readable analysis reports for PDE settings.
+
+``describe_setting`` assembles everything the library can derive
+statically from a setting — classification against Definition 9, marked
+positions/variables, dependency-graph shape, weak acyclicity of the
+target constraints, recommended solver — into a markdown document, for
+documentation or code review of a deployed exchange.
+
+``position_graph_dot`` and ``relation_graph_dot`` render the two
+dependency graphs (Definition 5's position graph with its special edges,
+and the PDMS-style relation graph of Section 3.2) in Graphviz DOT syntax.
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency_graph import is_acyclic, relation_dependency_graph
+from repro.core.setting import PDESetting
+from repro.core.weak_acyclicity import build_position_graph
+from repro.io.serialization import dependency_to_text
+from repro.tractability.classifier import classify
+from repro.tractability.marking import marked_positions, marked_variables
+from repro.solver.valuation_search import supports_valuation_search
+
+__all__ = ["describe_setting", "position_graph_dot", "relation_graph_dot"]
+
+
+def _solver_for(setting: PDESetting) -> str:
+    report = classify(setting)
+    if report.in_ctract:
+        return "tractable (Figure 3 ExistsSolution — polynomial time)"
+    if supports_valuation_search(setting):
+        return "valuation-search (complete NP procedure over the nulls of J_can)"
+    return "branching-chase (complete for egds + weakly acyclic target tgds)"
+
+
+def describe_setting(setting: PDESetting) -> str:
+    """Return a markdown analysis report for ``setting``."""
+    report = classify(setting)
+    positions = marked_positions(setting.sigma_st)
+    lines: list[str] = []
+    lines.append(f"# Setting analysis: {setting.name or 'unnamed PDE setting'}")
+    lines.append("")
+    lines.append(f"* source schema: `{setting.source_schema}`")
+    lines.append(f"* target schema: `{setting.target_schema}`")
+    lines.append("")
+
+    lines.append("## Dependencies")
+    lines.append("")
+    for title, block in (
+        ("Σ_st (source-to-target)", setting.sigma_st),
+        ("Σ_ts (target-to-source)", setting.sigma_ts),
+        ("Σ_t (target constraints)", setting.sigma_t),
+    ):
+        lines.append(f"### {title}")
+        if not block:
+            lines.append("*(empty)*")
+        for dependency in block:
+            lines.append(f"- `{dependency_to_text(dependency)}`")
+        lines.append("")
+
+    lines.append("## Tractability (Definitions 8-9)")
+    lines.append("")
+    lines.append(f"* in C_tract: **{report.in_ctract}** ({report.subclass()})")
+    lines.append(
+        f"* condition 1: {report.condition1}; condition 2.1: "
+        f"{report.condition2_1}; condition 2.2: {report.condition2_2}"
+    )
+    if positions:
+        rendered = ", ".join(f"({name}, {index})" for name, index in sorted(positions))
+        lines.append(f"* marked positions: {rendered}")
+    else:
+        lines.append("* marked positions: none (Σ_st is full)")
+    for dependency in setting.sigma_ts:
+        marked = marked_variables(dependency, positions)
+        if marked:
+            rendered = ", ".join(sorted(v.name for v in marked))
+            lines.append(
+                f"* marked variables of `{dependency_to_text(dependency)}`: {rendered}"
+            )
+    for violation in report.violations:
+        lines.append(f"* violation: {violation}")
+    lines.append("")
+
+    lines.append("## Structure")
+    lines.append("")
+    graph = relation_dependency_graph(setting.all_dependencies())
+    lines.append(f"* relation-level dependency graph acyclic: {is_acyclic(graph)}")
+    lines.append(
+        f"* target tgds weakly acyclic: {setting.target_tgds_weakly_acyclic()}"
+    )
+    position_graph = build_position_graph(
+        [d for d in setting.all_dependencies() if hasattr(d, "head")
+         and not hasattr(d, "disjuncts")]
+    )
+    lines.append(
+        f"* position graph: {len(position_graph.nodes)} positions, "
+        f"{position_graph.edge_count()} edges "
+        f"({len(position_graph.special_edges())} special)"
+    )
+    lines.append("")
+    lines.append("## Recommended solver")
+    lines.append("")
+    lines.append(f"* `solve()` will dispatch to: {_solver_for(setting)}")
+    return "\n".join(lines) + "\n"
+
+
+def relation_graph_dot(setting: PDESetting) -> str:
+    """Render the relation-level dependency graph in DOT syntax.
+
+    Source relations are drawn as boxes, target relations as ellipses.
+    """
+    graph = relation_dependency_graph(setting.all_dependencies())
+    lines = ["digraph relations {", "  rankdir=LR;"]
+    for node in sorted(graph):
+        shape = "box" if node in setting.source_schema else "ellipse"
+        lines.append(f'  "{node}" [shape={shape}];')
+    for node in sorted(graph):
+        for successor in sorted(graph[node]):
+            lines.append(f'  "{node}" -> "{successor}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def position_graph_dot(setting: PDESetting) -> str:
+    """Render Definition 5's position graph in DOT syntax.
+
+    Special edges (the ones weak acyclicity forbids on cycles) are drawn
+    dashed and labeled ``*``.
+    """
+    tgds = [
+        d for d in setting.all_dependencies()
+        if hasattr(d, "head") and not hasattr(d, "disjuncts")
+    ]
+    graph = build_position_graph(tgds)
+    lines = ["digraph positions {", "  rankdir=LR;"]
+    for name, index in sorted(graph.nodes):
+        lines.append(f'  "{name}.{index}";')
+    for source, targets in sorted(graph.regular.items()):
+        for target in sorted(targets):
+            lines.append(
+                f'  "{source[0]}.{source[1]}" -> "{target[0]}.{target[1]}";'
+            )
+    for source, targets in sorted(graph.special.items()):
+        for target in sorted(targets):
+            lines.append(
+                f'  "{source[0]}.{source[1]}" -> "{target[0]}.{target[1]}" '
+                f'[style=dashed, label="*"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,55 @@
+"""Solvers for the algorithmic problems of peer data exchange.
+
+* :func:`solve` / :func:`find_solution` — the existence-of-solutions
+  problem SOL(P), with automatic dispatch between the polynomial Figure 3
+  algorithm (``C_tract``), the NP valuation search (``Σ_t = ∅``), and the
+  branching chase (target constraints).
+* :func:`certain_answers` / :func:`is_certain` — certain answers of
+  monotone target queries (Theorem 2 semantics).
+* :func:`enumerate_solutions` — the minimal-solution family.
+* :func:`brute_force_exists` — the naive oracle used in tests.
+"""
+
+from repro.solver.branching_chase import BranchingChaseSolver, exists_solution_branching
+from repro.solver.certain_answers import certain_answers, is_certain
+from repro.solver.enumeration import (
+    brute_force_exists,
+    enumerate_solutions,
+    minimal_solution_sizes,
+)
+from repro.solver.exists_solution import find_solution, solve
+from repro.solver.explain import Explanation, explain
+from repro.solver.minimize import minimize_solution
+from repro.solver.multi import solve_multi
+from repro.solver.naive_certain import naive_certain_answers
+from repro.solver.results import CertainAnswerResult, SolveResult
+from repro.solver.tractable import canonical_instances, exists_solution_tractable
+from repro.solver.valuation_search import (
+    ValuationSearch,
+    exists_solution_valuation,
+    iter_minimal_solutions,
+)
+
+__all__ = [
+    "BranchingChaseSolver",
+    "exists_solution_branching",
+    "certain_answers",
+    "is_certain",
+    "brute_force_exists",
+    "enumerate_solutions",
+    "minimal_solution_sizes",
+    "find_solution",
+    "solve",
+    "Explanation",
+    "explain",
+    "naive_certain_answers",
+    "solve_multi",
+    "minimize_solution",
+    "CertainAnswerResult",
+    "SolveResult",
+    "canonical_instances",
+    "exists_solution_tractable",
+    "ValuationSearch",
+    "exists_solution_valuation",
+    "iter_minimal_solutions",
+]

@@ -1,0 +1,286 @@
+"""Complete solver for settings with target constraints (Σ_t ≠ ∅).
+
+Theorem 1 places ``SOL(P)`` in NP when ``Σ_t`` is a union of egds and a
+weakly acyclic set of tgds.  The certificate behind that bound is a *small*
+solution produced by a solution-aware chase (Lemma 2): every existential
+variable is witnessed either by a fresh value or by a value already
+present.  This module searches that certificate space directly:
+
+* **egd steps** are deterministic: the two values are merged (nulls give
+  way to constants); equating two distinct constants kills the branch
+  (the ``⊥`` of Definition 6);
+* **tgd steps** (for violated ``Σ_st`` or ``Σ_t`` tgds) branch over the
+  possible witnesses of each existential variable — any value of
+  ``adom(I) ∪ adom(K)`` or a fresh null;
+* **Σ_ts pruning**: a premise of a target-to-source tgd whose exported
+  values are all constants and whose conclusion cannot embed into ``I``
+  can never be repaired (the source is immutable and target facts are
+  never retracted), so the branch dies immediately.  Premises exporting
+  nulls are re-checked only at branch completion, because an egd may still
+  merge the null into a usable constant.
+
+A branch with no applicable dependency whose instance satisfies ``Σ_ts``
+is a solution.  Failed sub-states are memoized, which collapses the many
+witness orderings that lead to the same instance.
+
+Weak acyclicity of the target tgds (checked up front) bounds the chase
+depth of every branch, so the search terminates; a node budget guards
+experiment code against the exponential worst case that Theorem 3 makes
+unavoidable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.core.atoms import Atom, Fact
+from repro.core.dependencies import EGD, TGD, DisjunctiveTGD
+from repro.core.homomorphism import find_homomorphism, iter_homomorphisms
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.core.terms import (
+    Constant,
+    InstanceTerm,
+    Null,
+    NullFactory,
+    Variable,
+    is_null,
+    is_variable,
+    term_sort_key,
+)
+from repro.exceptions import SolverError
+from repro.solver.results import SolveResult
+
+__all__ = ["BranchingChaseSolver", "exists_solution_branching"]
+
+#: Default ceiling on search nodes.
+DEFAULT_NODE_BUDGET = 500_000
+
+
+def _instantiate(atoms: tuple[Atom, ...], assignment: dict[Variable, InstanceTerm]) -> list[Fact]:
+    facts = []
+    for atom in atoms:
+        args = [
+            assignment[arg] if is_variable(arg) else arg  # type: ignore[index]
+            for arg in atom.args
+        ]
+        facts.append(Fact(atom.relation, args))  # type: ignore[arg-type]
+    return facts
+
+
+class BranchingChaseSolver:
+    """Search over solution-aware chase branches for one ``(I, J)`` input."""
+
+    def __init__(
+        self,
+        setting: PDESetting,
+        source: Instance,
+        target: Instance,
+        node_budget: int = DEFAULT_NODE_BUDGET,
+        require_weak_acyclicity: bool = True,
+    ):
+        setting.validate_source_instance(source)
+        setting.validate_target_instance(target)
+        if require_weak_acyclicity and not setting.target_tgds_weakly_acyclic():
+            raise SolverError(
+                "the branching-chase solver requires weakly acyclic target "
+                "tgds (the hypothesis of Theorem 1); pass "
+                "require_weak_acyclicity=False to try anyway"
+            )
+        self.setting = setting
+        self.source = source
+        self.target = target
+        self.node_budget = node_budget
+        self.stats: dict[str, int] = {"nodes": 0, "egd_merges": 0, "branch_failures": 0}
+        self._nulls = NullFactory.above(target.nulls())
+        self._failed: set[frozenset] = set()
+
+    # ------------------------------------------------------------------
+    # dependency checks
+    # ------------------------------------------------------------------
+
+    def _state_key(self, k: Instance) -> frozenset:
+        return frozenset((fact.relation, fact.args) for fact in k)
+
+    def _apply_egds(self, k: Instance) -> Instance | None:
+        """Apply the target egds to a fixpoint; None signals branch failure."""
+        changed = True
+        while changed:
+            changed = False
+            for egd in self.setting.target_egds():
+                for assignment in iter_homomorphisms(egd.body, k):
+                    left = assignment[egd.left]
+                    right = assignment[egd.right]
+                    if left == right:
+                        continue
+                    if isinstance(left, Constant) and isinstance(right, Constant):
+                        self.stats["branch_failures"] += 1
+                        return None
+                    if isinstance(left, Constant):
+                        kept, dropped = left, right
+                    elif isinstance(right, Constant):
+                        kept, dropped = right, left
+                    else:
+                        kept, dropped = sorted((left, right))  # type: ignore[type-var]
+                    k = k.rename({dropped: kept})
+                    self.stats["egd_merges"] += 1
+                    changed = True
+                    break
+                if changed:
+                    break
+        return k
+
+    def _ts_violation(self, k: Instance, constants_only: bool) -> bool:
+        """Is some ``Σ_ts`` premise in ``k`` without a conclusion in ``I``?
+
+        With ``constants_only`` True, only premises whose exported values
+        are all constants count (the irreparable ones used for pruning).
+        """
+        for dependency in self.setting.sigma_ts:
+            body_variables = dependency.body_variables()
+            for assignment in iter_homomorphisms(dependency.body, k):
+                exported = {
+                    variable: value
+                    for variable, value in assignment.items()
+                    if variable in body_variables
+                }
+                if constants_only and any(is_null(v) for v in exported.values()):
+                    continue
+                if not self._conclusion_holds(dependency, exported):
+                    return True
+        return False
+
+    def _conclusion_holds(self, dependency, exported: dict[Variable, InstanceTerm]) -> bool:
+        if isinstance(dependency, TGD):
+            relevant = self._restrict(exported, dependency.head)
+            return find_homomorphism(dependency.head, self.source, relevant) is not None
+        for disjunct in dependency.disjuncts:
+            relevant = self._restrict(exported, disjunct)
+            if find_homomorphism(list(disjunct), self.source, relevant) is not None:
+                return True
+        return False
+
+    @staticmethod
+    def _restrict(exported: dict[Variable, InstanceTerm], atoms) -> dict[Variable, InstanceTerm]:
+        used: set[Variable] = set()
+        for atom in atoms:
+            used |= atom.variables()
+        return {v: value for v, value in exported.items() if v in used}
+
+    def _violated_tgd(
+        self, k: Instance
+    ) -> tuple[TGD, dict[Variable, InstanceTerm]] | None:
+        """Find a violated Σ_st or Σ_t tgd, with its body assignment."""
+        combined = self.setting.combine(self.source, k)
+        for tgd in self.setting.sigma_st:
+            for assignment in iter_homomorphisms(tgd.body, combined):
+                frontier = {
+                    v: assignment[v] for v in tgd.frontier_variables()
+                }
+                if find_homomorphism(tgd.head, k, frontier) is None:
+                    return tgd, assignment
+        for tgd in self.setting.target_tgds():
+            for assignment in iter_homomorphisms(tgd.body, k):
+                frontier = {
+                    v: assignment[v] for v in tgd.frontier_variables()
+                }
+                if find_homomorphism(tgd.head, k, frontier) is None:
+                    return tgd, assignment
+        return None
+
+    # ------------------------------------------------------------------
+    # the search
+    # ------------------------------------------------------------------
+
+    def iter_solutions(self) -> Iterator[Instance]:
+        """Yield the solutions reachable by the branching chase.
+
+        The yielded family contains a sub-instance of every solution, so it
+        suffices both for deciding existence and for certain answers of
+        monotone queries.
+        """
+        yield from self._expand(self.target.copy())
+
+    def _expand(self, k: Instance) -> Iterator[Instance]:
+        self.stats["nodes"] += 1
+        if self.stats["nodes"] > self.node_budget:
+            raise SolverError(
+                f"branching chase exceeded node budget {self.node_budget}"
+            )
+        merged = self._apply_egds(k)
+        if merged is None:
+            return
+        k = merged
+        key = self._state_key(k)
+        if key in self._failed:
+            return
+        if self._ts_violation(k, constants_only=True):
+            self.stats["branch_failures"] += 1
+            self._failed.add(key)
+            return
+
+        violated = self._violated_tgd(k)
+        if violated is None:
+            # Chase-complete: accept iff Σ_ts holds in full.
+            if self._ts_violation(k, constants_only=False):
+                self.stats["branch_failures"] += 1
+                self._failed.add(key)
+                return
+            yield k
+            return
+
+        tgd, assignment = violated
+        existentials = sorted(tgd.existential_variables(), key=lambda v: v.name)
+        domain: list[InstanceTerm] = sorted(
+            set(self.source.active_domain()) | set(k.active_domain()),
+            key=term_sort_key,
+        )
+        produced = False
+        fresh = {variable: self._nulls.fresh(hint=variable.name) for variable in existentials}
+        # With Σ_ts obligations, witnesses usually must be source constants,
+        # so try the active domain first; without them, a fresh null always
+        # works (plain data exchange) and should be tried first.
+        if self.setting.sigma_ts:
+            options = [[*domain, fresh[variable]] for variable in existentials]
+        else:
+            options = [[fresh[variable], *domain] for variable in existentials]
+        for choice in itertools.product(*options):
+            extended = dict(assignment)
+            extended.update(zip(existentials, choice))
+            child = k.copy()
+            child.add_all(_instantiate(tgd.head, extended))
+            for solution in self._expand(child):
+                produced = True
+                yield solution
+        if not produced:
+            self._failed.add(key)
+
+
+def exists_solution_branching(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    require_weak_acyclicity: bool = True,
+) -> SolveResult:
+    """Decide ``SOL(P)(I, J)`` with the branching-chase solver.
+
+    Complete for ``Σ_t`` = egds + weakly acyclic tgds (and, a fortiori,
+    ``Σ_t = ∅``, though the valuation search is faster there).
+    """
+    solver = BranchingChaseSolver(
+        setting,
+        source,
+        target,
+        node_budget=node_budget,
+        require_weak_acyclicity=require_weak_acyclicity,
+    )
+    for solution in solver.iter_solutions():
+        return SolveResult(
+            exists=True,
+            solution=solution,
+            method="branching-chase",
+            stats=dict(solver.stats),
+        )
+    return SolveResult(exists=False, method="branching-chase", stats=dict(solver.stats))

@@ -1,0 +1,131 @@
+"""Certain answers of target queries (Definition 4, Theorem 2).
+
+A tuple ``t`` is a *certain answer* of a query ``q`` on ``(I, J)`` when
+every solution ``J'`` satisfies ``q[t]``.  For monotone queries, Lemma 2
+reduces the universal quantification over all (infinitely many) solutions
+to the finite family of *minimal* solutions: if any solution falsifies
+``q[t]``, the minimal solution beneath it falsifies it too, by
+monotonicity.  The procedures here therefore search the minimal-solution
+family for a falsifying witness — the complement problem is in NP, placing
+certain answers in coNP exactly as Theorem 2 states.
+
+For settings with ``Σ_t = ∅`` the minimal solutions are the consistent
+valuations of the nulls of ``J_can`` (see
+:mod:`repro.solver.valuation_search`); the falsification test is pushed
+into the leaf predicate of that search, so pruning still applies.  For
+settings with target constraints the branching-chase family is used.
+
+Conventions: when *no* solution exists, every tuple is vacuously certain;
+:class:`~repro.solver.results.CertainAnswerResult.solutions_exist` reports
+this case so callers can distinguish it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.instance import Instance
+from repro.core.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.core.setting import PDESetting
+from repro.core.terms import InstanceTerm
+from repro.solver.branching_chase import BranchingChaseSolver
+from repro.solver.results import CertainAnswerResult
+from repro.solver.valuation_search import ValuationSearch, supports_valuation_search
+
+__all__ = ["certain_answers", "is_certain"]
+
+Query = ConjunctiveQuery | UnionOfConjunctiveQueries
+
+
+def _minimal_solutions(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    node_budget: int | None,
+    query: Query | None = None,
+) -> Iterator[Instance]:
+    """Yield a family of solutions containing a sub-instance of every
+    solution (up to renaming of nulls invisible to ``Σ_ts`` and ``query``)."""
+    if supports_valuation_search(setting):
+        relevant = (query,) if query is not None else ()
+        search = ValuationSearch(setting, source, target, relevant_queries=relevant)
+        yield from search.iter_valuations(node_budget=node_budget)
+    else:
+        budget = node_budget if node_budget is not None else 500_000
+        solver = BranchingChaseSolver(setting, source, target, node_budget=budget)
+        yield from solver.iter_solutions()
+
+
+def is_certain(
+    setting: PDESetting,
+    query: Query,
+    source: Instance,
+    target: Instance,
+    answer: tuple[InstanceTerm, ...] = (),
+    node_budget: int | None = None,
+) -> bool:
+    """Is ``answer`` a certain answer of ``query`` on ``(source, target)``?
+
+    For a Boolean query pass the empty tuple.  Vacuously True when no
+    solution exists.  ``query`` must be monotone (conjunctive queries and
+    UCQs are); the procedure is unsound for non-monotone queries.
+    """
+    if supports_valuation_search(setting):
+        # Push the falsification test into the valuation search so its
+        # pruning applies: accept only valuations falsifying q[answer].
+        search = ValuationSearch(setting, source, target, relevant_queries=(query,))
+        for _falsifier in search.iter_valuations(
+            leaf_predicate=lambda candidate: not query.holds(candidate, answer),
+            node_budget=node_budget,
+        ):
+            return False
+        return True
+    for solution in _minimal_solutions(setting, source, target, node_budget, query=query):
+        if not query.holds(solution, answer):
+            return False
+    return True
+
+
+def certain_answers(
+    setting: PDESetting,
+    query: Query,
+    source: Instance,
+    target: Instance,
+    node_budget: int | None = None,
+) -> CertainAnswerResult:
+    """Compute the certain answers of ``query`` on ``(source, target)``.
+
+    The candidate answers are the null-free answers of ``query`` on one
+    (arbitrary) minimal solution — every certain answer must be among
+    them.  Each candidate is then checked with :func:`is_certain`.
+
+    For a Boolean query the result's :attr:`boolean_value` is the certain
+    truth value.
+
+    Returns:
+        a :class:`CertainAnswerResult`.  When no solution exists,
+        ``solutions_exist`` is False and, per the standard convention,
+        ``answers`` is ``{()}`` for Boolean queries (vacuously true) and
+        the empty set otherwise (there are no candidate tuples to report).
+    """
+    stats: dict = {}
+    first_solution: Instance | None = None
+    for solution in _minimal_solutions(setting, source, target, node_budget, query=query):
+        first_solution = solution
+        break
+    if first_solution is None:
+        vacuous: set[tuple] = {()} if query.arity == 0 else set()
+        return CertainAnswerResult(answers=vacuous, solutions_exist=False, stats=stats)
+
+    candidates: list[tuple[InstanceTerm, ...]]
+    if query.arity == 0:
+        candidates = [()] if query.holds(first_solution) else []
+    else:
+        candidates = sorted(query.answers(first_solution, allow_nulls=False))
+    stats["candidates"] = len(candidates)
+
+    certain: set[tuple] = set()
+    for candidate in candidates:
+        if is_certain(setting, query, source, target, candidate, node_budget=node_budget):
+            certain.add(candidate)
+    return CertainAnswerResult(answers=certain, solutions_exist=True, stats=stats)

@@ -1,0 +1,136 @@
+"""Solution enumeration and the brute-force reference solver.
+
+``enumerate_solutions`` yields a family of solutions that contains a
+sub-instance of every solution (the "minimal" family used by the certain-
+answers machinery).  ``brute_force_exists`` is an independent, maximally
+naive decision procedure used by the test suite to cross-validate the real
+solvers on tiny inputs: it enumerates *every* target instance over a
+bounded value pool and tests Definition 2 directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.core.atoms import Fact
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.core.terms import Constant, InstanceTerm, term_sort_key
+from repro.solver.branching_chase import BranchingChaseSolver
+from repro.solver.valuation_search import (
+    iter_minimal_solutions,
+    supports_valuation_search,
+)
+
+__all__ = ["enumerate_solutions", "brute_force_exists", "minimal_solution_sizes"]
+
+
+def enumerate_solutions(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    limit: int | None = None,
+    node_budget: int | None = None,
+) -> Iterator[Instance]:
+    """Yield (deduplicated) minimal solutions for ``(source, target)``.
+
+    For ``Σ_t = ∅`` these are the consistent valuations of the nulls of
+    ``J_can``; otherwise they are the terminal instances of the branching
+    chase.  ``limit`` caps the number of yielded solutions.
+    """
+    if supports_valuation_search(setting):
+        iterator: Iterator[Instance] = iter_minimal_solutions(
+            setting, source, target, node_budget=node_budget
+        )
+    else:
+        budget = node_budget if node_budget is not None else 500_000
+        solver = BranchingChaseSolver(setting, source, target, node_budget=budget)
+
+        def deduplicated() -> Iterator[Instance]:
+            seen: set[frozenset] = set()
+            for solution in solver.iter_solutions():
+                key = frozenset((fact.relation, fact.args) for fact in solution)
+                if key not in seen:
+                    seen.add(key)
+                    yield solution
+
+        iterator = deduplicated()
+    for index, solution in enumerate(iterator):
+        if limit is not None and index >= limit:
+            return
+        yield solution
+
+
+def minimal_solution_sizes(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    limit: int | None = 64,
+) -> list[int]:
+    """Return the sizes of (up to ``limit``) minimal solutions.
+
+    Used by the Lemma 2 experiment: every size must be polynomial in
+    ``len(source) + len(target)`` — in fact bounded by ``|J_can|``.
+    """
+    return [len(s) for s in enumerate_solutions(setting, source, target, limit=limit)]
+
+
+def _candidate_facts(
+    setting: PDESetting, values: list[InstanceTerm]
+) -> list[Fact]:
+    """Every possible target fact over the given value pool."""
+    facts = []
+    for relation in setting.target_schema:
+        for combo in itertools.product(values, repeat=relation.arity):
+            facts.append(Fact(relation.name, combo))
+    return facts
+
+
+def brute_force_exists(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    extra_fresh: int = 1,
+    max_added_facts: int | None = None,
+) -> bool:
+    """Decide SOL(P) by exhaustive enumeration (tiny inputs only).
+
+    Enumerates every superset of ``target`` over the active domain plus
+    ``extra_fresh`` fresh constants, up to ``max_added_facts`` added facts,
+    and applies Definition 2 verbatim.
+
+    Two approximations make this tractable, both justified by the paper:
+
+    * *value pool*: by Lemma 2's small-solution argument, solutions only
+      ever need values from the active domain plus a bounded number of
+      fresh ones; ``extra_fresh`` controls the latter;
+    * *size bound*: minimal solutions have at most ``|J_can|`` facts plus
+      the closure under ``Σ_t``; when ``max_added_facts`` is None, a bound
+      derived from the ``Σ_st``-chase of the input is used.
+
+    The test suite uses this solely as a cross-check oracle on tiny inputs.
+    """
+    values: list[InstanceTerm] = sorted(
+        set(source.active_domain()) | set(target.active_domain()),
+        key=term_sort_key,
+    )
+    values += [Constant(f"__fresh{i}") for i in range(extra_fresh)]
+    pool = [fact for fact in _candidate_facts(setting, values) if fact not in target]
+
+    if max_added_facts is None:
+        from repro.core.chase import chase
+
+        combined = setting.combine(source, target)
+        chased = chase(combined, setting.sigma_st)
+        j_can_size = len(chased.instance.restrict_to(setting.target_schema))
+        # Slack for Σ_t tgd closures of the valued facts.
+        max_added_facts = j_can_size + 2 * len(setting.target_tgds()) + 1
+
+    for size in range(min(max_added_facts, len(pool)) + 1):
+        for combo in itertools.combinations(pool, size):
+            candidate = target.copy()
+            candidate.add_all(combo)
+            if setting.is_solution(source, target, candidate):
+                return True
+    return False

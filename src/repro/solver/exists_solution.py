@@ -1,0 +1,89 @@
+"""Top-level entry point for the existence-of-solutions problem SOL(P).
+
+``solve`` dispatches to the appropriate procedure:
+
+* settings in ``C_tract`` (Definition 9) run the polynomial-time
+  ``ExistsSolution`` algorithm of Figure 3;
+* settings whose ``Σ_t`` consists of egds and full tgds (including
+  ``Σ_t = ∅``) outside ``C_tract`` run the complete NP valuation search
+  over the nulls of ``J_can``;
+* settings with existential target tgds run the branching-chase solver
+  (complete for egds + weakly acyclic target tgds, per Theorem 1).
+
+``find_solution`` additionally returns a witness solution.
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.solver.branching_chase import exists_solution_branching
+from repro.solver.results import SolveResult
+from repro.solver.tractable import exists_solution_tractable
+from repro.solver.valuation_search import (
+    exists_solution_valuation,
+    supports_valuation_search,
+)
+from repro.tractability.classifier import classify
+
+__all__ = ["solve", "find_solution"]
+
+
+def solve(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    method: str = "auto",
+    node_budget: int | None = None,
+) -> SolveResult:
+    """Decide whether a solution exists for ``(source, target)`` in ``setting``.
+
+    Args:
+        setting: the PDE setting.
+        source: the source instance ``I`` (immutable peer; must be
+            null-free).
+        target: the target instance ``J``.
+        method: ``"auto"`` (default dispatch), or force one of
+            ``"tractable"``, ``"valuation"``, ``"branching"``.
+        node_budget: optional cap on search nodes for the NP procedures.
+
+    Returns:
+        a :class:`SolveResult`; ``result.solution`` is a witness when one
+        exists.
+
+    Raises:
+        SolverError: if a forced method is unsound/unsupported for the
+            setting, or a node budget is exhausted.
+    """
+    if method == "tractable":
+        return exists_solution_tractable(setting, source, target)
+    if method == "valuation":
+        return exists_solution_valuation(setting, source, target, node_budget=node_budget)
+    if method == "branching":
+        budget = node_budget if node_budget is not None else 500_000
+        return exists_solution_branching(setting, source, target, node_budget=budget)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+
+    report = classify(setting)
+    if report.in_ctract:
+        return exists_solution_tractable(setting, source, target, check_membership=False)
+    if supports_valuation_search(setting):
+        return exists_solution_valuation(setting, source, target, node_budget=node_budget)
+    budget = node_budget if node_budget is not None else 500_000
+    return exists_solution_branching(setting, source, target, node_budget=budget)
+
+
+def find_solution(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    method: str = "auto",
+    node_budget: int | None = None,
+) -> Instance | None:
+    """Return a witness solution for ``(source, target)``, or None.
+
+    Thin wrapper over :func:`solve` for callers that only need the witness.
+    """
+    result = solve(setting, source, target, method=method, node_budget=node_budget)
+    return result.solution if result.exists else None

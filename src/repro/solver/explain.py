@@ -1,0 +1,182 @@
+"""Explanations for solution-existence outcomes.
+
+When a sync fails, "no solution exists" is rarely enough for the person
+operating the target peer — they need to know *which* data the source
+refuses to vouch for.  This module turns solver outcomes into structured
+explanations:
+
+* ``solution-found`` — a witness and the solver that produced it;
+* ``failing-block`` — for ``C_tract`` settings: the block of the canonical
+  source requirement ``I_can`` that has no homomorphism into ``I``
+  (Theorem 5's certificate of unsolvability), together with the ``Σ_ts``
+  dependencies that generated it;
+* ``ground-premise-violation`` — a target-to-source premise over *ground*
+  facts (often facts of ``J`` itself) whose conclusion the source does not
+  contain; such a premise can never be repaired, whatever the valuation;
+* ``exhausted-search`` — the NP search ruled out every candidate; the
+  explanation carries the search statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.blocks import decompose_into_blocks
+from repro.core.dependencies import TGD, DisjunctiveTGD
+from repro.core.homomorphism import find_homomorphism, has_instance_homomorphism, iter_homomorphisms
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.solver.exists_solution import solve
+from repro.solver.tractable import canonical_instances
+from repro.tractability.classifier import classify
+
+__all__ = ["Explanation", "explain"]
+
+
+@dataclass
+class Explanation:
+    """A structured account of a solution-existence outcome.
+
+    Attributes:
+        exists: whether a solution exists.
+        reason: one of ``solution-found``, ``failing-block``,
+            ``ground-premise-violation``, ``exhausted-search``.
+        narrative: a human-readable multi-line summary.
+        details: machine-readable payload (witness, failing facts, stats).
+    """
+
+    exists: bool
+    reason: str
+    narrative: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.narrative
+
+
+def _ground_premise_violation(
+    setting: PDESetting, source: Instance, target_facts: Instance
+) -> tuple | None:
+    """Find a ``Σ_ts`` premise over ground target facts with no conclusion.
+
+    Returns ``(dependency, bound_facts)`` or None.  Such a violation is a
+    definitive certificate: the matched facts are in every candidate
+    solution, the source is immutable, so no solution exists.
+    """
+    ground = Instance(schema=target_facts.schema)
+    for fact in target_facts:
+        if fact.is_ground():
+            ground.add(fact)
+    for dependency in setting.sigma_ts:
+        body_variables = dependency.body_variables()
+        for assignment in iter_homomorphisms(dependency.body, ground):
+            exported = {
+                variable: value
+                for variable, value in assignment.items()
+                if variable in body_variables
+            }
+            satisfied = False
+            if isinstance(dependency, TGD):
+                used = set().union(*(atom.variables() for atom in dependency.head))
+                relevant = {v: value for v, value in exported.items() if v in used}
+                satisfied = find_homomorphism(dependency.head, source, relevant) is not None
+            elif isinstance(dependency, DisjunctiveTGD):
+                for disjunct in dependency.disjuncts:
+                    used = set().union(*(atom.variables() for atom in disjunct))
+                    relevant = {v: value for v, value in exported.items() if v in used}
+                    if find_homomorphism(list(disjunct), source, relevant) is not None:
+                        satisfied = True
+                        break
+            if not satisfied:
+                bound = [atom.substitute(assignment) for atom in dependency.body]
+                return dependency, bound
+    return None
+
+
+def explain(setting: PDESetting, source: Instance, target: Instance) -> Explanation:
+    """Solve ``(source, target)`` and explain the outcome.
+
+    For ``C_tract`` settings, failures come with the Theorem 5 certificate
+    (the non-embeddable block of ``I_can``); otherwise the explanation
+    reports a definitive ground premise violation when one exists, or the
+    exhausted-search statistics.
+    """
+    result = solve(setting, source, target)
+    if result.exists:
+        return Explanation(
+            exists=True,
+            reason="solution-found",
+            narrative=(
+                f"A solution exists (found by the {result.method} solver); "
+                f"the witness adds {len(result.solution) - len(target)} facts "
+                f"to the target."
+            ),
+            details={"solution": result.solution, "method": result.method,
+                     "stats": result.stats},
+        )
+
+    report = classify(setting)
+    if report.in_ctract:
+        j_can, i_can, _stats = canonical_instances(setting, source, target)
+        for block in decompose_into_blocks(i_can):
+            if not has_instance_homomorphism(block.facts, source):
+                if block.is_ground():
+                    # For the ground block the certificate is exactly the
+                    # missing facts; don't drown them in satisfied ones.
+                    missing = Instance(schema=block.facts.schema)
+                    for fact in block.facts:
+                        if fact not in source:
+                            missing.add(fact)
+                    certificate = missing
+                else:
+                    certificate = block.facts
+                facts = sorted(str(fact) for fact in certificate)
+                narrative = (
+                    "No solution exists. The target-to-source constraints "
+                    "require the source to contain an embedding of these "
+                    "I_can facts, and it does not:\n  "
+                    + "\n  ".join(facts)
+                )
+                return Explanation(
+                    exists=False,
+                    reason="failing-block",
+                    narrative=narrative,
+                    details={"block": certificate, "nulls": set(block.nulls),
+                             "j_can": j_can, "i_can": i_can},
+                )
+
+    # Generic settings: look for a definitive ground violation first.
+    from repro.core.chase import chase
+
+    combined = setting.combine(source, target)
+    chased = chase(combined, setting.sigma_st)
+    j_can = chased.instance.restrict_to(setting.target_schema)
+    violation = _ground_premise_violation(setting, source, j_can)
+    if violation is not None:
+        dependency, bound = violation
+        rendered = ", ".join(str(atom) for atom in bound)
+        narrative = (
+            f"No solution exists. The premise {{{rendered}}} of the "
+            f"target-to-source dependency\n  {dependency}\nis forced into "
+            f"every candidate solution, but the source contains no matching "
+            f"conclusion (and the source cannot be modified)."
+        )
+        return Explanation(
+            exists=False,
+            reason="ground-premise-violation",
+            narrative=narrative,
+            details={"dependency": dependency, "premise": bound},
+        )
+
+    narrative = (
+        "No solution exists: the search ruled out every way of completing "
+        "the canonical target instance "
+        f"({result.stats.get('nodes', '?')} search nodes explored)."
+    )
+    return Explanation(
+        exists=False,
+        reason="exhausted-search",
+        narrative=narrative,
+        details={"stats": result.stats},
+    )

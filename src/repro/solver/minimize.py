@@ -1,0 +1,76 @@
+"""Lemma 2, constructively: shrink any solution to a small one.
+
+Lemma 2 of the paper proves that whenever a solution exists, a solution of
+polynomial size exists *inside it*, by running the solution-aware chase
+(Definitions 6-7) of ``(I, J)`` against the given solution: existential
+witnesses are drawn from the solution, so the chase result is a
+sub-instance of it, and its length is polynomially bounded (Lemma 1).
+
+``minimize_solution`` packages that construction as a public operation:
+hand it any (possibly bloated) solution and get back the small solution
+``J*`` the lemma promises.  The result
+
+* contains the protected target instance ``J``;
+* is a sub-instance of the given solution;
+* satisfies ``Σ_st`` and ``Σ_t`` by chase fixpoint, and ``Σ_ts`` because
+  target-to-source constraints are anti-monotone in the target.
+
+Combine with :func:`repro.core.cores.core` for the smallest witnesses:
+Lemma 2 trims to the chase-needed facts; coring then folds redundant
+null-carrying facts.
+"""
+
+from __future__ import annotations
+
+from repro.core.chase import solution_aware_chase
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SolverError
+
+__all__ = ["minimize_solution"]
+
+
+def minimize_solution(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    solution: Instance,
+) -> Instance:
+    """Extract the Lemma 2 small solution ``J*`` from ``solution``.
+
+    Args:
+        setting: the PDE setting; ``Σ_t`` must be egds plus a weakly
+            acyclic set of tgds (the hypothesis of Lemmas 1-2).
+        source: the source instance ``I``.
+        target: the target instance ``J`` (survives into the result).
+        solution: any solution for ``(source, target)``.
+
+    Returns:
+        a solution ``J*`` with ``target ⊆ J* ⊆ solution`` whose size is
+        bounded by the solution-aware chase of ``(I, J)``.
+
+    Raises:
+        SolverError: if ``solution`` is not actually a solution, or the
+            target tgds are not weakly acyclic.
+    """
+    if not setting.target_tgds_weakly_acyclic():
+        raise SolverError(
+            "Lemma 2 requires a weakly acyclic set of target tgds"
+        )
+    if not setting.is_solution(source, target, solution):
+        raise SolverError("the given instance is not a solution for (I, J)")
+
+    combined_start = setting.combine(source, target)
+    combined_solution = setting.combine(source, solution)
+    dependencies = [*setting.sigma_st, *setting.sigma_t]
+    result = solution_aware_chase(combined_start, dependencies, combined_solution)
+    j_star = result.instance.restrict_to(setting.target_schema)
+
+    # Σ_ts holds on any sub-instance of a solution (anti-monotonicity);
+    # the assertion below is defense in depth, not part of the argument.
+    if not setting.is_solution(source, target, j_star):
+        raise AssertionError(
+            "solution-aware chase produced a non-solution; this contradicts "
+            "Lemma 2 and indicates a library bug"
+        )
+    return j_star

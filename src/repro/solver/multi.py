@@ -1,0 +1,55 @@
+"""Solving multi-PDE settings directly.
+
+Section 2's observation — a multi-PDE setting is equivalent to the merged
+single PDE over the union of its sources — makes solving trivial to
+delegate; this module packages the delegation (merge, combine, solve,
+verify per member) behind one call.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.instance import Instance
+from repro.core.setting import MultiPDESetting
+from repro.solver.exists_solution import solve
+from repro.solver.results import SolveResult
+from repro.exceptions import DependencyError
+
+__all__ = ["solve_multi"]
+
+
+def solve_multi(
+    multi: MultiPDESetting,
+    sources: Sequence[Instance],
+    target: Instance,
+    method: str = "auto",
+    node_budget: int | None = None,
+) -> SolveResult:
+    """Decide solution existence for a multi-PDE setting.
+
+    Args:
+        multi: the family of member settings (shared target schema).
+        sources: one source instance per member, in member order.
+        target: the target peer's instance ``J``.
+        method, node_budget: forwarded to :func:`repro.solver.solve`.
+
+    Returns:
+        the merged-setting :class:`SolveResult`; when a witness exists it
+        is additionally verified against every member setting (defense in
+        depth for the Section 2 equivalence).
+    """
+    if len(sources) != len(multi.members):
+        raise DependencyError(
+            f"expected {len(multi.members)} source instances, got {len(sources)}"
+        )
+    merged = multi.merge()
+    union = multi.combine_sources(sources)
+    result = solve(merged, union, target, method=method, node_budget=node_budget)
+    if result.exists and result.solution is not None:
+        if not multi.is_solution(list(sources), target, result.solution):
+            raise AssertionError(
+                "merged-setting witness failed a member setting: the "
+                "Section 2 equivalence was violated (library bug)"
+            )
+    return result

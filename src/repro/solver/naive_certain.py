@@ -1,0 +1,95 @@
+"""Naive evaluation on the canonical instance: a sound, polynomial
+under-approximation of certain answers.
+
+The paper leaves the complexity of certain answers for ``C_tract`` open
+(Conclusions).  This module implements the classical *naive evaluation*
+technique from data exchange, adapted to PDE: evaluate the query over the
+canonical pre-solution ``J_can`` (the ``Σ_st``-chase of ``(I, J)``) and
+keep only the null-free answers.
+
+**Soundness.**  Every solution ``J_sol`` contains a constant-preserving
+homomorphic image ``h(J_can)`` (Lemma 3).  If ``t ∈ q(J_can)`` is
+null-free, then by monotonicity and homomorphism-preservation
+``h(t) = t ∈ q(J_sol)`` — so ``t`` is a certain answer whenever at least
+one solution exists (and vacuously otherwise).
+
+**Incompleteness.**  The converse can fail: an answer may be certain
+because *every* consistent valuation of the nulls produces it, without
+being witnessed null-freely in ``J_can`` itself (e.g. when ``Σ_ts`` forces
+a null to a unique constant).  ``certain_answers`` remains the exact
+procedure; this one is the polynomial-time screen to run first.
+
+For plain data exchange (``Σ_ts = ∅``, ``Σ_t`` weakly acyclic), naive
+evaluation over the chase is exact for unions of conjunctive queries
+[FKMP03]; the tests exercise both the agreement there and the strictness
+of the approximation in genuine PDE settings.
+"""
+
+from __future__ import annotations
+
+from repro.core.chase import chase
+from repro.core.instance import Instance
+from repro.core.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.core.setting import PDESetting
+from repro.core.terms import InstanceTerm
+from repro.solver.results import CertainAnswerResult
+
+__all__ = ["naive_certain_answers"]
+
+Query = ConjunctiveQuery | UnionOfConjunctiveQueries
+
+
+def naive_certain_answers(
+    setting: PDESetting,
+    query: Query,
+    source: Instance,
+    target: Instance,
+) -> CertainAnswerResult:
+    """Compute the naive-evaluation under-approximation of certain answers.
+
+    Evaluates ``query`` over ``J_can`` (the ``Σ_st ∪ Σ_t``-chase of
+    ``(I, J)``) and returns its null-free answers.  Every returned tuple is
+    a genuine certain answer *provided a solution exists*; the result's
+    ``stats["sound_if_solvable"]`` flag records this caveat — callers that
+    need an unconditional answer should first check solvability (or use
+    :func:`repro.solver.certain_answers`).
+
+    Runs in polynomial time: one chase plus one query evaluation — no
+    search over valuations.
+    """
+    from repro.exceptions import ChaseFailure
+
+    combined = setting.combine(source, target)
+    dependencies = list(setting.sigma_st)
+    # Target tgds/egds refine J_can and can only make naive evaluation more
+    # precise; they are safe to chase alongside (still a sub-instance of
+    # every solution up to homomorphism).
+    dependencies += list(setting.sigma_t)
+    try:
+        chased = chase(combined, dependencies)
+    except ChaseFailure:
+        # A failing egd chase certifies that no solution exists: the
+        # canonical instance maps into every solution, so the constant
+        # clash would occur there too.  Certain answers are vacuous.
+        vacuous: set[tuple[InstanceTerm, ...]] = {()} if query.arity == 0 else set()
+        return CertainAnswerResult(
+            answers=vacuous,
+            solutions_exist=False,
+            stats={"chase_failed": True},
+        )
+    j_can = chased.instance.restrict_to(setting.target_schema)
+
+    answers: set[tuple[InstanceTerm, ...]]
+    if query.arity == 0:
+        answers = {()} if query.holds(j_can) else set()
+    else:
+        answers = query.answers(j_can, allow_nulls=False)
+    return CertainAnswerResult(
+        answers=answers,
+        solutions_exist=True,  # not decided here; see the docstring
+        stats={
+            "j_can_size": len(j_can),
+            "chase_steps": chased.step_count,
+            "sound_if_solvable": True,
+        },
+    )

@@ -1,0 +1,58 @@
+"""Result types returned by the solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.instance import Instance
+
+__all__ = ["SolveResult", "CertainAnswerResult"]
+
+
+@dataclass
+class SolveResult:
+    """The outcome of an existence-of-solutions decision (``SOL(P)``).
+
+    Attributes:
+        exists: whether a solution exists for the given ``(I, J)``.
+        solution: a witness solution when one exists and the solver can
+            produce one cheaply (all solvers in this library can); None
+            when ``exists`` is False.
+        method: which procedure decided the instance (``"tractable"``,
+            ``"valuation-search"``, or ``"branching-chase"``).
+        stats: solver-specific counters (chase steps, blocks, nulls per
+            block, search nodes, ...), useful for the benchmark harness.
+    """
+
+    exists: bool
+    solution: Instance | None = None
+    method: str = ""
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.exists
+
+
+@dataclass
+class CertainAnswerResult:
+    """The outcome of a certain-answers computation.
+
+    Attributes:
+        answers: the set of certain answer tuples (for a Boolean query,
+            either ``{()}`` for true or ``set()`` for false).
+        solutions_exist: whether any solution exists at all.  When False,
+            the certain answers are vacuously "everything"; ``answers``
+            then holds the candidate tuples that were requested (or ``{()}``
+            for Boolean queries), and callers should consult this flag.
+        stats: solver counters.
+    """
+
+    answers: set[tuple]
+    solutions_exist: bool
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def boolean_value(self) -> bool:
+        """For a Boolean query: is the query certainly true?"""
+        return () in self.answers

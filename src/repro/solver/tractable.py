@@ -1,0 +1,133 @@
+"""The polynomial-time ``ExistsSolution`` algorithm of Figure 3.
+
+For a PDE setting in ``C_tract`` (no target constraints), the algorithm:
+
+1. chases ``(I, J)`` with ``Σ_st``, obtaining the canonical target
+   pre-solution ``J_can``;
+2. chases ``(J_can, ∅)`` with ``Σ_ts``, obtaining the canonical source
+   requirement ``I_can`` (which may contain nulls from ``J_can`` as well as
+   fresh nulls for the existentials of ``Σ_ts``);
+3. decomposes ``I_can`` into blocks (Definition 10) and tests, per block,
+   whether it maps homomorphically into ``I``.
+
+Theorem 5 shows a solution exists iff ``I_can`` maps homomorphically into
+``I``; Proposition 1 justifies the per-block decomposition; Theorem 6 shows
+each block has a constant number of nulls for ``C_tract`` settings, making
+every per-block test polynomial.
+
+When all blocks embed, a witness solution ``J_img`` is assembled exactly as
+in the proof of Theorem 5: the nulls of ``J_can`` that made it into
+``I_can`` are replaced by their homomorphic images; the remaining nulls are
+kept as values.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocks import decompose_into_blocks
+from repro.core.chase import chase
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.core.terms import InstanceTerm, Null
+from repro.solver.results import SolveResult
+from repro.tractability.classifier import classify
+from repro.exceptions import SolverError
+
+__all__ = ["canonical_instances", "exists_solution_tractable"]
+
+
+def canonical_instances(
+    setting: PDESetting, source: Instance, target: Instance
+) -> tuple[Instance, Instance, dict]:
+    """Compute ``(J_can, I_can)`` for ``(source, target)``.
+
+    ``J_can`` is the result of chasing ``(I, J)`` with ``Σ_st`` (target
+    part); ``I_can`` is the result of chasing ``(J_can, ∅)`` with ``Σ_ts``
+    (source part).  Also returns chase statistics.
+    """
+    combined = setting.combine(source, target)
+    st_result = chase(combined, setting.sigma_st)
+    j_can = st_result.instance.restrict_to(setting.target_schema)
+
+    # Chase (J_can, ∅): start from J_can alone over the combined schema so
+    # the Σ_ts heads land in (what becomes) I_can, not in I.
+    j_can_combined = Instance(schema=setting.combined_schema)
+    j_can_combined.add_all(j_can)
+    ts_result = chase(j_can_combined, setting.sigma_ts)
+    i_can = ts_result.instance.restrict_to(setting.source_schema)
+
+    stats = {
+        "st_chase_steps": st_result.step_count,
+        "ts_chase_steps": ts_result.step_count,
+        "j_can_size": len(j_can),
+        "i_can_size": len(i_can),
+    }
+    return j_can, i_can, stats
+
+
+def _assemble_solution(
+    j_can: Instance,
+    i_can: Instance,
+    homomorphism: dict[Null, InstanceTerm],
+) -> Instance:
+    """Build ``J_img = h_J(J_can)`` as in the proof of Theorem 5.
+
+    ``h_J`` agrees with the block homomorphism on the nulls shared between
+    ``J_can`` and ``I_can`` and is the identity elsewhere.
+    """
+    shared = j_can.nulls() & i_can.nulls()
+    mapping = {
+        null: homomorphism[null] for null in shared if null in homomorphism
+    }
+    return j_can.rename(mapping)
+
+
+def exists_solution_tractable(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    check_membership: bool = True,
+) -> SolveResult:
+    """Run the ``ExistsSolution`` algorithm of Figure 3.
+
+    Args:
+        setting: the PDE setting; must be in ``C_tract`` for the algorithm
+            to be correct (Theorem 4).
+        source: the source instance ``I`` (null-free).
+        target: the target instance ``J``.
+        check_membership: verify ``C_tract`` membership first and raise
+            :class:`SolverError` otherwise.  Disable only for experiments
+            that deliberately run the algorithm outside its class.
+
+    Returns:
+        a :class:`SolveResult`; when a solution exists, ``solution`` holds
+        the witness ``J_img`` of Theorem 5.
+    """
+    if check_membership:
+        report = classify(setting)
+        if not report.in_ctract:
+            raise SolverError(
+                "setting is not in C_tract; the Figure 3 algorithm would be "
+                "unsound: " + "; ".join(report.violations)
+            )
+    setting.validate_source_instance(source)
+    setting.validate_target_instance(target)
+
+    j_can, i_can, stats = canonical_instances(setting, source, target)
+    blocks = decompose_into_blocks(i_can)
+    stats["blocks"] = len(blocks)
+    stats["max_nulls_per_block"] = max((block.null_count for block in blocks), default=0)
+
+    # Import locally to avoid a hard cycle with the homomorphism helpers.
+    from repro.core.homomorphism import find_instance_homomorphism
+
+    combined_mapping: dict[Null, InstanceTerm] = {}
+    for block in blocks:
+        mapping = find_instance_homomorphism(block.facts, source)
+        if mapping is None:
+            return SolveResult(exists=False, method="tractable", stats=stats)
+        combined_mapping.update(mapping)
+
+    solution = _assemble_solution(j_can, i_can, combined_mapping)
+    return SolveResult(
+        exists=True, solution=solution, method="tractable", stats=stats
+    )

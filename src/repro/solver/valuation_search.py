@@ -1,0 +1,532 @@
+"""Complete NP decision procedure via valuation of the nulls of ``J_can``.
+
+The procedure implements the small-solution argument behind Theorem 1.
+Let ``J_can`` be the ``Σ_st``-chase of ``(I, J)``:
+
+* every solution contains a constant-preserving homomorphic image of
+  ``J_can`` (Lemma 3), and for ``Σ_t`` consisting of *egds and full tgds*
+  the ``Σ_t``-closure of that image (plus ``J``) is itself a solution —
+  ``Σ_st`` holds because homomorphic images preserve the witnessed
+  conjunctions, ``Σ_ts`` because target-to-source tgds are anti-monotone
+  in the target (removing target facts only removes premises; the source
+  side is immutable), and full-tgd closures of sub-instances of a model
+  stay inside the model;
+* conversely, any constant-preserving valuation ``v`` of the nulls of
+  ``J_can`` whose closed instance satisfies ``Σ_ts`` and the target egds
+  yields a solution.
+
+The complete valuation space maps each null of ``J_can`` independently to
+``adom(I) ∪ adom(J_can) ∪ {itself}``; when ``Σ_t`` contains egds, a null
+may additionally merge into an earlier null (two nulls equated by an egd
+must receive the same value).  Inventing values outside the active domain
+is never needed: a fresh shared value can only create additional ``Σ_ts``
+premises that no source fact can discharge.
+
+Settings whose ``Σ_t`` contains an *existential* target tgd are rejected —
+their closures mint new nulls that would need valuation in turn; the
+branching-chase solver handles them.
+
+The search assigns nulls one at a time with incremental violation
+detection: whenever a fact of ``J_can`` becomes fully valued, every
+``Σ_ts`` premise and every target egd completed by that fact is checked.
+Because every assigned value is final (egd repairs are represented as
+merge choices, never applied after the fact), a detected violation prunes
+the subtree soundly.  A leaf predicate hook lets the certain-answers
+machinery reject valuations whose induced solution satisfies a query
+(searching for a falsifying solution).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.core.atoms import Atom, Fact
+from repro.core.chase import chase
+from repro.core.dependencies import EGD, TGD, DisjunctiveTGD
+from repro.core.homomorphism import find_homomorphism, iter_homomorphisms
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.core.terms import InstanceTerm, Null, Variable, is_variable, term_sort_key
+from repro.exceptions import SolverError
+from repro.solver.results import SolveResult
+
+__all__ = [
+    "ValuationSearch",
+    "supports_valuation_search",
+    "exists_solution_valuation",
+    "iter_minimal_solutions",
+]
+
+
+def supports_valuation_search(setting: PDESetting) -> bool:
+    """True when ``Σ_t`` contains only egds and full tgds (or is empty)."""
+    for dependency in setting.sigma_t:
+        if isinstance(dependency, TGD) and not dependency.is_full():
+            return False
+    return True
+
+
+class ValuationSearch:
+    """Backtracking search over valuations of the nulls of ``J_can``.
+
+    Instances of this class are single-use per ``(setting, I, J)``; the
+    entry points below wrap it.
+    """
+
+    def __init__(
+        self,
+        setting: PDESetting,
+        source: Instance,
+        target: Instance,
+        relevant_queries: Sequence = (),
+    ):
+        if not supports_valuation_search(setting):
+            raise SolverError(
+                "the valuation search handles Σ_t consisting of egds and "
+                "full tgds only; use the branching-chase solver for "
+                "existential target tgds"
+            )
+        setting.validate_source_instance(source)
+        setting.validate_target_instance(target)
+        self.setting = setting
+        self.source = source
+        self.target = target
+        self._egds = setting.target_egds()
+        self._full_tgds = setting.target_tgds()
+        self.stats: dict[str, int] = {"nodes": 0, "violations": 0}
+
+        combined = setting.combine(source, target)
+        st_result = chase(combined, setting.sigma_st)
+        self.j_can = st_result.instance.restrict_to(setting.target_schema)
+        self.stats["st_chase_steps"] = st_result.step_count
+        self.stats["j_can_size"] = len(self.j_can)
+
+        self.nulls = sorted(self.j_can.nulls())
+        self.stats["null_count"] = len(self.nulls)
+        self._domain = self._candidate_domain()
+        self._facts = list(self.j_can)
+        self._facts_of_null: dict[Null, list[int]] = {null: [] for null in self.nulls}
+        self._pending: list[int] = []
+        for index, fact in enumerate(self._facts):
+            fact_nulls = fact.nulls()
+            self._pending.append(len(fact_nulls))
+            for null in fact_nulls:
+                self._facts_of_null[null].append(index)
+        # Order nulls by how many facts they touch (most constrained first).
+        self.nulls.sort(key=lambda null: -len(self._facts_of_null[null]))
+        self._fixable = self._fixable_nulls(relevant_queries)
+        self.stats["fixed_nulls"] = len(self._fixable)
+
+    def _fixable_nulls(self, relevant_queries: Sequence) -> set[Null]:
+        """Nulls whose valuation cannot matter: fix them to themselves.
+
+        A position ``(R, i)`` is *sensitive* when some atom over ``R`` in a
+        ``Σ_ts`` body (or in a caller-supplied query body) holds, at index
+        ``i``, a constant, a variable with more than one occurrence in the
+        dependency body, a variable exported to the conclusion, or a free
+        variable of the query.  A null occurring only at insensitive
+        positions can never influence premise matching, exported values, or
+        query answers, so the single valuation "itself" is exhaustive —
+        this collapses e.g. unconstrained provenance/batch columns that
+        would otherwise multiply the search space by |adom| each.
+
+        Only applied when ``Σ_t = ∅``: target constraints can copy values
+        between positions, which would require propagating sensitivity.
+        """
+        if self.setting.sigma_t:
+            return set()
+        sensitive: set[tuple[str, int]] = set()
+
+        def mark(atoms, protected_variables, occurrence_counts) -> None:
+            for atom in atoms:
+                for index, term in enumerate(atom.args):
+                    if not is_variable(term):
+                        sensitive.add((atom.relation, index))
+                    elif (
+                        occurrence_counts.get(term, 0) > 1
+                        or term in protected_variables
+                    ):
+                        sensitive.add((atom.relation, index))
+
+        for dependency in self.setting.sigma_ts:
+            counts: dict = {}
+            for atom in dependency.body:
+                for term in atom.args:
+                    if is_variable(term):
+                        counts[term] = counts.get(term, 0) + 1
+            exported = set()
+            if isinstance(dependency, TGD):
+                for atom in dependency.head:
+                    exported |= atom.variables()
+            else:
+                for disjunct in dependency.disjuncts:
+                    for atom in disjunct:
+                        exported |= atom.variables()
+            mark(dependency.body, exported, counts)
+
+        for query in relevant_queries:
+            parts = getattr(query, "disjuncts", None) or [query]
+            for part in parts:
+                counts = {}
+                for atom in part.body:
+                    for term in atom.args:
+                        if is_variable(term):
+                            counts[term] = counts.get(term, 0) + 1
+                mark(part.body, set(part.free), counts)
+
+        fixable: set[Null] = set()
+        for null in self.nulls:
+            touches_sensitive = False
+            for index in self._facts_of_null[null]:
+                fact = self._facts[index]
+                for position, value in enumerate(fact.args):
+                    if value == null and (fact.relation, position) in sensitive:
+                        touches_sensitive = True
+                        break
+                if touches_sensitive:
+                    break
+            if not touches_sensitive:
+                fixable.add(null)
+        return fixable
+
+    def _candidate_domain(self) -> list[InstanceTerm]:
+        """Constants a null may be assigned to (besides staying itself)."""
+        values: set[InstanceTerm] = set(self.source.constants())
+        values |= self.j_can.constants()
+        for dependency in self.setting.all_dependencies():
+            atoms: list[Atom] = list(dependency.body)
+            if isinstance(dependency, TGD):
+                atoms += list(dependency.head)
+            elif isinstance(dependency, DisjunctiveTGD):
+                for disjunct in dependency.disjuncts:
+                    atoms += list(disjunct)
+            for atom in atoms:
+                values |= atom.constants()
+        return sorted(values, key=term_sort_key)
+
+    # ------------------------------------------------------------------
+    # incremental violation checks
+    # ------------------------------------------------------------------
+
+    def _premise_violated(self, decided: Instance, new_fact: Fact) -> bool:
+        """Check every ``Σ_ts`` premise completed by ``new_fact``.
+
+        Returns True when a premise matches within ``decided`` (pinning one
+        body atom to the new fact) but its conclusion cannot be embedded in
+        the source instance.  Sound because assigned values are final.
+        """
+        for dependency in self.setting.sigma_ts:
+            body = list(dependency.body)
+            for pin_index, atom in enumerate(body):
+                if atom.relation != new_fact.relation:
+                    continue
+                pinned = self._unify(atom, new_fact)
+                if pinned is None:
+                    continue
+                rest = body[:pin_index] + body[pin_index + 1:]
+                for assignment in iter_homomorphisms(rest, decided, pinned):
+                    if not self._conclusion_holds(dependency, assignment):
+                        self.stats["violations"] += 1
+                        return True
+        return False
+
+    def _egd_violated(self, decided: Instance, new_fact: Fact) -> bool:
+        """Check every target egd whose body is completed by ``new_fact``."""
+        for egd in self._egds:
+            body = list(egd.body)
+            for pin_index, atom in enumerate(body):
+                if atom.relation != new_fact.relation:
+                    continue
+                pinned = self._unify(atom, new_fact)
+                if pinned is None:
+                    continue
+                rest = body[:pin_index] + body[pin_index + 1:]
+                for assignment in iter_homomorphisms(rest, decided, pinned):
+                    if assignment[egd.left] != assignment[egd.right]:
+                        self.stats["violations"] += 1
+                        return True
+        return False
+
+    @staticmethod
+    def _unify(atom: Atom, fact: Fact) -> dict[Variable, InstanceTerm] | None:
+        """Match one body atom against one fact, returning variable bindings."""
+        bindings: dict[Variable, InstanceTerm] = {}
+        for term, value in zip(atom.args, fact.args):
+            if is_variable(term):
+                bound = bindings.get(term)
+                if bound is None:
+                    bindings[term] = value
+                elif bound != value:
+                    return None
+            elif term != value:
+                return None
+        return bindings
+
+    def _conclusion_holds(
+        self,
+        dependency: TGD | DisjunctiveTGD,
+        assignment: dict[Variable, InstanceTerm],
+    ) -> bool:
+        """Can the dependency's conclusion be embedded in the source?"""
+        body_variables = dependency.body_variables()
+        exported = {
+            variable: value
+            for variable, value in assignment.items()
+            if variable in body_variables
+        }
+        if isinstance(dependency, TGD):
+            relevant = self._restrict(exported, dependency.head)
+            return find_homomorphism(dependency.head, self.source, relevant) is not None
+        for disjunct in dependency.disjuncts:
+            relevant = self._restrict(exported, disjunct)
+            if find_homomorphism(list(disjunct), self.source, relevant) is not None:
+                return True
+        return False
+
+    @staticmethod
+    def _restrict(
+        exported: dict[Variable, InstanceTerm], atoms: Sequence[Atom]
+    ) -> dict[Variable, InstanceTerm]:
+        used: set[Variable] = set()
+        for atom in atoms:
+            used |= atom.variables()
+        return {v: value for v, value in exported.items() if v in used}
+
+    # ------------------------------------------------------------------
+    # incremental closure under the full target tgds
+    # ------------------------------------------------------------------
+
+    def _absorb(self, decided: Instance, fact: Fact, added: list[Fact]) -> bool:
+        """Register ``fact`` (already added) and derive its consequences.
+
+        Checks the ``Σ_ts`` premises and target egds completed by the fact,
+        then fires every full target tgd whose body is completed by it,
+        cascading through the derived facts.  Every fact this call adds to
+        ``decided`` is appended to ``added`` so the caller can undo it on
+        backtrack.  Returns False as soon as a violation is found.
+
+        Keeping ``decided`` closed under the full tgds during the search is
+        what lets ``Σ_t``-routed consistency constraints (e.g. the
+        full-tgd boundary setting of Section 4) prune high in the tree
+        instead of only at the leaves.
+        """
+        queue = [fact]
+        while queue:
+            current = queue.pop()
+            if self._premise_violated(decided, current):
+                return False
+            if self._egds and self._egd_violated(decided, current):
+                return False
+            derived: list[Fact] = []
+            for tgd in self._full_tgds:
+                body = list(tgd.body)
+                for pin_index, atom in enumerate(body):
+                    if atom.relation != current.relation:
+                        continue
+                    pinned = self._unify(atom, current)
+                    if pinned is None:
+                        continue
+                    rest = body[:pin_index] + body[pin_index + 1:]
+                    for assignment in iter_homomorphisms(rest, decided, pinned):
+                        for head_atom in tgd.head:
+                            args = [
+                                assignment[arg] if is_variable(arg) else arg
+                                for arg in head_atom.args
+                            ]
+                            derived.append(Fact(head_atom.relation, args))  # type: ignore[arg-type]
+            for new_fact in derived:
+                if decided.add(new_fact):
+                    added.append(new_fact)
+                    queue.append(new_fact)
+        return True
+
+    # ------------------------------------------------------------------
+    # leaf closure for Σ_t (full tgds + egds)
+    # ------------------------------------------------------------------
+
+    def _close_candidate(self, candidate: Instance) -> Instance | None:
+        """Close ``candidate`` under the full target tgds; reject on egds.
+
+        Full tgds only ever add fully determined facts, so the closure is
+        deterministic.  Egds are *tested*, never applied: a merge of two
+        values is represented in the search space as a valuation choice, so
+        an actual inequality here means this valuation yields no solution.
+        Returns the closed instance, or None on an egd or ``Σ_ts`` failure.
+        """
+        closed = candidate.copy()
+        changed = True
+        while changed:
+            changed = False
+            for egd in self._egds:
+                for assignment in iter_homomorphisms(egd.body, closed):
+                    if assignment[egd.left] != assignment[egd.right]:
+                        return None
+            for tgd in self._full_tgds:
+                for assignment in iter_homomorphisms(tgd.body, closed):
+                    for atom in tgd.head:
+                        args = [
+                            assignment[arg] if is_variable(arg) else arg
+                            for arg in atom.args
+                        ]
+                        if closed.add(Fact(atom.relation, args)):  # type: ignore[arg-type]
+                            changed = True
+        # Closure facts may introduce new Σ_ts premises: re-check in full.
+        from repro.core.chase import satisfies
+
+        combined = self.setting.combine(self.source, closed)
+        if not satisfies(combined, self.setting.sigma_ts):
+            return None
+        return closed
+
+    # ------------------------------------------------------------------
+    # the search
+    # ------------------------------------------------------------------
+
+    def iter_valuations(
+        self,
+        leaf_predicate: Callable[[Instance], bool] | None = None,
+        node_budget: int | None = None,
+    ) -> Iterator[Instance]:
+        """Yield every candidate solution induced by a consistent valuation.
+
+        For ``Σ_t = ∅`` these are the valued instances ``v(J_can)``; with
+        target constraints they are the ``Σ_t``-closures of those
+        instances.  Every yielded instance is a solution and every solution
+        contains one of them.
+
+        Args:
+            leaf_predicate: optional extra acceptance test on the candidate
+                solution; valuations failing it are skipped (but the search
+                continues).
+            node_budget: optional cap on visited search nodes; exceeded
+                budgets raise :class:`SolverError`.
+        """
+        decided = Instance(schema=self.setting.target_schema)
+        pending = list(self._pending)
+        valuation: dict[Null, InstanceTerm] = {}
+
+        # Seed with the facts of J_can that contain no nulls at all.
+        seed_added: list[Fact] = []
+        for index, fact in enumerate(self._facts):
+            if pending[index] == 0:
+                if decided.add(fact):
+                    seed_added.append(fact)
+                    if not self._absorb(decided, fact, seed_added):
+                        return
+
+        yield from self._search(
+            0, decided, pending, valuation, leaf_predicate, node_budget
+        )
+
+    def _leaf(
+        self,
+        decided: Instance,
+        leaf_predicate: Callable[[Instance], bool] | None,
+    ) -> Iterator[Instance]:
+        candidate = decided.copy()
+        if self.setting.sigma_t:
+            closed = self._close_candidate(candidate)
+            if closed is None:
+                return
+            candidate = closed
+        if leaf_predicate is None or leaf_predicate(candidate):
+            yield candidate
+
+    def _search(
+        self,
+        depth: int,
+        decided: Instance,
+        pending: list[int],
+        valuation: dict[Null, InstanceTerm],
+        leaf_predicate: Callable[[Instance], bool] | None,
+        node_budget: int | None,
+    ) -> Iterator[Instance]:
+        self.stats["nodes"] += 1
+        if node_budget is not None and self.stats["nodes"] > node_budget:
+            raise SolverError(f"valuation search exceeded node budget {node_budget}")
+        if depth == len(self.nulls):
+            yield from self._leaf(decided, leaf_predicate)
+            return
+
+        null = self.nulls[depth]
+        if null in self._fixable:
+            options: list[InstanceTerm] = [null]
+        else:
+            options = [null, *self._domain]
+            if self._egds:
+                # With egds, two nulls may have to be equated: allow merging
+                # into any earlier (already decided) null.
+                options += self.nulls[:depth]
+        for value in options:
+            valuation[null] = value
+            completed: list[Fact] = []
+            consistent = True
+            for index in self._facts_of_null[null]:
+                pending[index] -= 1
+                if pending[index] == 0:
+                    fact = self._facts[index].substitute(valuation)
+                    if decided.add(fact):
+                        completed.append(fact)
+                        if not self._absorb(decided, fact, completed):
+                            consistent = False
+                            break
+            if consistent:
+                yield from self._search(
+                    depth + 1, decided, pending, valuation, leaf_predicate, node_budget
+                )
+            # Undo.
+            for fact in completed:
+                decided.discard(fact)
+            for index in self._facts_of_null[null]:
+                pending[index] += 1
+        del valuation[null]
+
+
+def exists_solution_valuation(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    node_budget: int | None = None,
+) -> SolveResult:
+    """Decide ``SOL(P)(I, J)`` when ``Σ_t`` has only egds and full tgds.
+
+    Complete for arbitrary ``Σ_st`` tgds and arbitrary (possibly
+    disjunctive) ``Σ_ts`` tgds.  Worst-case exponential, as Theorem 3 says
+    it must be (unless P = NP).
+    """
+    search = ValuationSearch(setting, source, target)
+    for candidate in search.iter_valuations(node_budget=node_budget):
+        return SolveResult(
+            exists=True,
+            solution=candidate,
+            method="valuation-search",
+            stats=dict(search.stats),
+        )
+    return SolveResult(exists=False, method="valuation-search", stats=dict(search.stats))
+
+
+def iter_minimal_solutions(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    node_budget: int | None = None,
+    relevant_queries: Sequence = (),
+) -> Iterator[Instance]:
+    """Yield the canonical minimal solutions (duplicates suppressed).
+
+    Every solution of the setting contains one of the yielded instances up
+    to renaming of nulls that neither ``Σ_ts`` nor the ``relevant_queries``
+    can observe, so this family suffices for deciding certain answers of
+    those monotone queries (Lemma 2 / Theorem 2).  Callers that will
+    evaluate a query over the yielded solutions must list it in
+    ``relevant_queries`` so the sensitivity analysis keeps the nulls it can
+    observe unfixed.
+    """
+    search = ValuationSearch(setting, source, target, relevant_queries=relevant_queries)
+    seen: set[frozenset] = set()
+    for candidate in search.iter_valuations(node_budget=node_budget):
+        key = frozenset((fact.relation, fact.args) for fact in candidate)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield candidate

@@ -1,0 +1,6 @@
+"""Incremental peer synchronization: periodic sync sessions over a PDE
+setting, per the paper's motivating Swiss-Prot scenario."""
+
+from repro.sync.session import SyncOutcome, SyncSession
+
+__all__ = ["SyncOutcome", "SyncSession"]

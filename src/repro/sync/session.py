@@ -1,0 +1,215 @@
+"""Incremental peer synchronization sessions.
+
+The paper's motivating scenario (Introduction) is *periodic*: "at regular
+intervals of time, the university database is willing to receive new data
+from Swiss-Prot".  Re-solving from scratch at every interval wastes the
+work of previous rounds; a :class:`SyncSession` maintains the materialized
+target state across rounds and only processes the delta.
+
+Model per round:
+
+* the source peer publishes a new snapshot ``I_t`` (facts may be added or
+  withdrawn — the source is authoritative, so withdrawals are legitimate);
+* the target's current materialized state ``M_{t-1}`` plays the role of
+  ``J`` — except that facts imported in earlier rounds which the source no
+  longer vouches for must not block the sync: the session distinguishes
+  *pinned* facts (the target's own data, which must survive, per
+  Definition 2's ``J ⊆ J'``) from *imported* facts (materialized from
+  earlier rounds, which may be retracted when the authority withdraws
+  their justification);
+* the session solves ``SOL(P)(I_t, pinned)`` seeded with the still-valid
+  imported facts and reports the round's delta.
+
+The incremental trick: imported facts that are still consistent with
+``I_t`` are passed as part of the target instance, so the solver's chase
+starts from the previous materialization instead of from scratch; facts
+that lost their justification are retracted first (and reported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chase import satisfies
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SolverError
+from repro.solver.exists_solution import solve
+
+__all__ = ["SyncOutcome", "SyncSession"]
+
+
+@dataclass
+class SyncOutcome:
+    """The result of one synchronization round.
+
+    Attributes:
+        ok: the round produced a consistent materialization.
+        added: facts newly imported this round.
+        retracted: previously imported facts dropped because the source no
+            longer vouches for them.
+        state: the materialized target state after the round.
+        reason: when ``ok`` is False, why the round was rejected.
+    """
+
+    ok: bool
+    added: Instance
+    retracted: Instance
+    state: Instance
+    reason: str = ""
+
+    @property
+    def changed(self) -> bool:
+        """Did the round modify the materialized state?"""
+        return bool(len(self.added) or len(self.retracted))
+
+
+@dataclass
+class SyncSession:
+    """A long-lived synchronization session between two peers.
+
+    Args:
+        setting: the PDE setting governing the exchange.
+        pinned: the target peer's own facts — the ``J`` of Definition 2;
+            every materialization must contain them.
+    """
+
+    setting: PDESetting
+    pinned: Instance = field(default_factory=Instance)
+    _imported: Instance = field(default_factory=Instance)
+    rounds: int = 0
+
+    def state(self) -> Instance:
+        """The current materialized target state (pinned + imported)."""
+        return self.pinned.union(self._imported)
+
+    def _still_justified(self, source: Instance) -> tuple[Instance, Instance]:
+        """Split imported facts into (still consistent, to retract).
+
+        An imported fact survives iff keeping it cannot violate ``Σ_ts``:
+        we keep the maximal subset of imported facts such that the target
+        fragment they form satisfies the target-to-source constraints
+        against the new source.  Because ``Σ_ts`` is anti-monotone in the
+        target, greedy removal of facts participating in violated premises
+        reaches such a subset.
+        """
+        survivors = self.pinned.union(self._imported)
+        retracted = Instance(schema=self.setting.target_schema)
+        changed = True
+        while changed:
+            changed = False
+            combined = self.setting.combine(source, survivors)
+            if satisfies(combined, self.setting.sigma_ts):
+                break
+            # Drop one imported fact from some violated premise and retry.
+            from repro.core.homomorphism import iter_homomorphisms
+            from repro.core.dependencies import TGD
+
+            for dependency in self.setting.sigma_ts:
+                for assignment in iter_homomorphisms(dependency.body, survivors):
+                    exported = {
+                        v: value
+                        for v, value in assignment.items()
+                        if v in dependency.body_variables()
+                    }
+                    from repro.core.homomorphism import find_homomorphism
+
+                    satisfied = False
+                    if isinstance(dependency, TGD):
+                        used = set()
+                        for atom in dependency.head:
+                            used |= atom.variables()
+                        relevant = {v: val for v, val in exported.items() if v in used}
+                        satisfied = (
+                            find_homomorphism(dependency.head, source, relevant)
+                            is not None
+                        )
+                    else:
+                        for disjunct in dependency.disjuncts:
+                            used = set()
+                            for atom in disjunct:
+                                used |= atom.variables()
+                            relevant = {
+                                v: val for v, val in exported.items() if v in used
+                            }
+                            if (
+                                find_homomorphism(list(disjunct), source, relevant)
+                                is not None
+                            ):
+                                satisfied = True
+                                break
+                    if satisfied:
+                        continue
+                    # Retract the first non-pinned fact of the premise.
+                    premise_facts = [
+                        atom.substitute(assignment).to_fact()
+                        for atom in dependency.body
+                    ]
+                    dropped = False
+                    for fact in premise_facts:
+                        if fact in self._imported and fact not in self.pinned:
+                            survivors.discard(fact)
+                            retracted.add(fact)
+                            dropped = True
+                            break
+                    if dropped:
+                        changed = True
+                        break
+                if changed:
+                    break
+            else:
+                break
+        kept = Instance(schema=self.setting.target_schema)
+        for fact in survivors:
+            if fact in self._imported and fact not in retracted:
+                kept.add(fact)
+        return kept, retracted
+
+    def sync(self, source: Instance, node_budget: int | None = None) -> SyncOutcome:
+        """Run one synchronization round against a new source snapshot.
+
+        Returns a :class:`SyncOutcome`; when the round is rejected (the
+        *pinned* facts themselves are incompatible with the new source),
+        the materialized state is left unchanged.
+        """
+        self.rounds += 1
+        kept, retracted = self._still_justified(source)
+        seed = self.pinned.union(kept)
+        try:
+            result = solve(self.setting, source, seed, node_budget=node_budget)
+        except SolverError as error:
+            return SyncOutcome(
+                ok=False,
+                added=Instance(),
+                retracted=Instance(),
+                state=self.state(),
+                reason=str(error),
+            )
+        if not result.exists:
+            return SyncOutcome(
+                ok=False,
+                added=Instance(),
+                retracted=Instance(),
+                state=self.state(),
+                reason=(
+                    "the target's pinned facts are incompatible with the new "
+                    "source snapshot"
+                ),
+            )
+
+        new_state = result.solution
+        added = Instance(schema=self.setting.target_schema)
+        previous = self.state()
+        for fact in new_state:
+            if fact not in previous:
+                added.add(fact)
+        self._imported = Instance(schema=self.setting.target_schema)
+        for fact in new_state:
+            if fact not in self.pinned:
+                self._imported.add(fact)
+        return SyncOutcome(
+            ok=True,
+            added=added,
+            retracted=retracted,
+            state=self.state(),
+        )

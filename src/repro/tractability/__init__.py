@@ -1,0 +1,16 @@
+"""Tractability analysis: marked positions/variables and the C_tract class.
+
+Implements Definitions 8 and 9 of the paper, with diagnostic reports
+explaining membership decisions.
+"""
+
+from repro.tractability.classifier import CtractReport, classify, is_in_ctract
+from repro.tractability.marking import marked_positions, marked_variables
+
+__all__ = [
+    "CtractReport",
+    "classify",
+    "is_in_ctract",
+    "marked_positions",
+    "marked_variables",
+]

@@ -1,0 +1,201 @@
+"""The tractable class ``C_tract`` (Definition 9) and its classifier.
+
+A PDE setting with no target constraints is in ``C_tract`` when:
+
+1. for every tgd ``D`` of ``Σ_ts``, every marked variable of ``D`` appears
+   at most once in the left-hand side of ``D``; and
+2. one of:
+
+   * **2.1** the left-hand side of every tgd of ``Σ_ts`` is a single
+     literal; or
+   * **2.2** for every tgd ``D`` of ``Σ_ts`` and every pair of marked
+     variables that appear together in a conjunct of the right-hand side,
+     either they appear together in some conjunct of the left-hand side,
+     or neither appears in the left-hand side at all.
+
+Two prominent subclasses (Corollaries 1 and 2): settings whose ``Σ_st``
+consists of full tgds, and settings whose ``Σ_ts`` consists of LAV tgds.
+The classifier reports which conditions hold, every violation it finds,
+and the recognized subclass, so solvers and tests can explain dispatch
+decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core.dependencies import TGD, DisjunctiveTGD
+from repro.core.setting import PDESetting
+from repro.core.terms import Variable
+from repro.tractability.marking import body_occurrence_count, marked_positions, marked_variables
+
+__all__ = ["CtractReport", "classify", "is_in_ctract"]
+
+
+@dataclass(frozen=True)
+class CtractReport:
+    """The result of classifying a setting against Definition 9.
+
+    Attributes:
+        in_ctract: overall membership verdict.
+        condition1: condition 1 holds (marked variables not repeated in any
+            left-hand side).
+        condition2_1: condition 2.1 holds (every ``Σ_ts`` left-hand side is
+            a single literal).
+        condition2_2: condition 2.2 holds (co-occurring marked variables are
+            body-adjacent or body-absent).
+        has_target_constraints: the setting has a non-empty ``Σ_t`` —
+            ``C_tract`` is only defined for settings without them.
+        has_disjunctive_ts: ``Σ_ts`` contains a disjunctive tgd, which falls
+            outside Definition 9.
+        lav_ts: every ``Σ_ts`` dependency is a LAV tgd (Corollary 2).
+        full_st: every ``Σ_st`` tgd is full (Corollary 1).
+        violations: human-readable explanations of each failed check.
+    """
+
+    in_ctract: bool
+    condition1: bool
+    condition2_1: bool
+    condition2_2: bool
+    has_target_constraints: bool
+    has_disjunctive_ts: bool
+    lav_ts: bool
+    full_st: bool
+    violations: tuple[str, ...] = field(default=())
+
+    def subclass(self) -> str:
+        """Return the recognized subclass name, for reporting."""
+        if self.full_st and self.lav_ts:
+            return "full Σ_st + LAV Σ_ts"
+        if self.full_st:
+            return "full Σ_st (Corollary 1)"
+        if self.lav_ts:
+            return "LAV Σ_ts (Corollary 2)"
+        if self.in_ctract:
+            return "general C_tract"
+        return "not in C_tract"
+
+
+def _condition1_violations(
+    dependency: TGD | DisjunctiveTGD, marked: set[Variable]
+) -> list[str]:
+    violations = []
+    for variable in sorted(marked, key=lambda v: v.name):
+        occurrences = body_occurrence_count(dependency.body, variable)
+        if occurrences > 1:
+            violations.append(
+                f"condition 1: marked variable {variable} occurs {occurrences} "
+                f"times in the left-hand side of {dependency}"
+            )
+    return violations
+
+
+def _pairs_in_conjuncts(
+    atoms, marked: set[Variable]
+) -> set[frozenset[Variable]]:
+    """Pairs of distinct marked variables co-occurring in some atom."""
+    pairs: set[frozenset[Variable]] = set()
+    for atom in atoms:
+        present = sorted(
+            (v for v in atom.variables() if v in marked), key=lambda v: v.name
+        )
+        for first, second in combinations(set(present), 2):
+            pairs.add(frozenset((first, second)))
+    return pairs
+
+
+def _condition2_2_violations(
+    dependency: TGD | DisjunctiveTGD, marked: set[Variable]
+) -> list[str]:
+    body_variables = dependency.body_variables()
+    body_pairs = _pairs_in_conjuncts(dependency.body, marked)
+    if isinstance(dependency, TGD):
+        head_atoms = list(dependency.head)
+    else:
+        # For reporting purposes, a disjunctive head is checked over the
+        # atoms of all its disjuncts ("conjunct" in Definition 9 means a
+        # single atom).  Membership in C_tract is still denied separately,
+        # because disjunction falls outside the tgd language of the class.
+        head_atoms = [atom for disjunct in dependency.disjuncts for atom in disjunct]
+    violations = []
+    for pair in sorted(
+        _pairs_in_conjuncts(head_atoms, marked),
+        key=lambda p: sorted(v.name for v in p),
+    ):
+        if pair in body_pairs:
+            continue  # 2.2 (a): adjacent in some body conjunct
+        if not (pair & body_variables):
+            continue  # 2.2 (b): neither occurs in the body
+        first, second = sorted(pair, key=lambda v: v.name)
+        violations.append(
+            f"condition 2.2: marked variables {first} and {second} co-occur in "
+            f"the right-hand side of {dependency} but are neither body-adjacent "
+            f"nor both body-absent"
+        )
+    return violations
+
+
+def classify(setting: PDESetting) -> CtractReport:
+    """Classify ``setting`` against Definition 9, with full diagnostics."""
+    violations: list[str] = []
+
+    has_target_constraints = setting.has_target_constraints
+    if has_target_constraints:
+        violations.append(
+            "C_tract is defined for settings with no target constraints, "
+            f"but Σ_t has {len(setting.sigma_t)} dependencies"
+        )
+    has_disjunctive_ts = setting.has_disjunctive_ts
+    if has_disjunctive_ts:
+        violations.append(
+            "Σ_ts contains a disjunctive tgd, which falls outside Definition 9"
+        )
+
+    positions = marked_positions(setting.sigma_st)
+
+    condition1 = True
+    condition2_1 = True
+    condition2_2 = True
+    for dependency in setting.sigma_ts:
+        marked = marked_variables(dependency, positions)
+        failures = _condition1_violations(dependency, marked)
+        if failures:
+            condition1 = False
+            violations.extend(failures)
+        if len(dependency.body) != 1:
+            condition2_1 = False
+        failures = _condition2_2_violations(dependency, marked)
+        if failures:
+            condition2_2 = False
+            violations.extend(failures)
+    if not condition2_1 and not condition2_2:
+        violations.append("condition 2: neither 2.1 nor 2.2 holds")
+
+    lav_ts = all(
+        isinstance(d, TGD) and d.is_lav() for d in setting.sigma_ts
+    )
+    full_st = all(tgd.is_full() for tgd in setting.sigma_st)
+
+    in_ctract = (
+        not has_target_constraints
+        and not has_disjunctive_ts
+        and condition1
+        and (condition2_1 or condition2_2)
+    )
+    return CtractReport(
+        in_ctract=in_ctract,
+        condition1=condition1,
+        condition2_1=condition2_1,
+        condition2_2=condition2_2,
+        has_target_constraints=has_target_constraints,
+        has_disjunctive_ts=has_disjunctive_ts,
+        lav_ts=lav_ts,
+        full_st=full_st,
+        violations=tuple(violations),
+    )
+
+
+def is_in_ctract(setting: PDESetting) -> bool:
+    """Return True if ``setting`` belongs to ``C_tract`` (Definition 9)."""
+    return classify(setting).in_ctract

@@ -1,0 +1,78 @@
+"""Marked positions and marked variables (Definition 8).
+
+For a PDE setting with no target constraints:
+
+* the ``i``-th position of a target relation ``T`` is **marked** when some
+  source-to-target tgd has a head atom ``T(z1, ..., zn)`` whose ``i``-th
+  argument is an existentially quantified variable — i.e. a chase of
+  ``Σ_st`` may place a labeled null there;
+* a variable ``z`` of a target-to-source tgd is **marked** when it occurs
+  at a marked position of a body atom, or when it is existentially
+  quantified — i.e. the corresponding value of a chase of ``Σ_ts`` may be
+  a labeled null.
+
+These notions drive the definition of the tractable class ``C_tract``
+(Definition 9) implemented in :mod:`repro.tractability.classifier`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.dependencies import TGD, DisjunctiveTGD
+from repro.core.terms import Variable, is_variable
+
+__all__ = ["marked_positions", "marked_variables"]
+
+
+def marked_positions(sigma_st: Iterable[TGD]) -> set[tuple[str, int]]:
+    """Return the marked positions ``(relation, index)`` of the target schema.
+
+    A position is marked when some tgd of ``Σ_st`` writes an existentially
+    quantified variable into it.
+    """
+    marked: set[tuple[str, int]] = set()
+    for tgd in sigma_st:
+        existentials = tgd.existential_variables()
+        for atom in tgd.head:
+            for index, arg in enumerate(atom.args):
+                if is_variable(arg) and arg in existentials:
+                    marked.add((atom.relation, index))
+    return marked
+
+
+def marked_variables(
+    ts_dependency: TGD | DisjunctiveTGD,
+    positions: set[tuple[str, int]],
+) -> set[Variable]:
+    """Return the marked variables of one target-to-source dependency.
+
+    A variable is marked when (1) it occurs at a marked position of a body
+    atom, or (2) it is existentially quantified.  The two cases are
+    mutually exclusive (an existential variable never occurs in the body).
+
+    Args:
+        ts_dependency: a dependency of ``Σ_ts``.
+        positions: the marked positions, from :func:`marked_positions`.
+    """
+    marked: set[Variable] = set()
+    for atom in ts_dependency.body:
+        for index, arg in enumerate(atom.args):
+            if is_variable(arg) and (atom.relation, index) in positions:
+                marked.add(arg)
+    marked |= ts_dependency.existential_variables()
+    return marked
+
+
+def body_occurrence_count(
+    body: Sequence, variable: Variable
+) -> int:
+    """Count the total occurrences of ``variable`` across the body atoms.
+
+    Condition 1 of Definition 9 requires every marked variable to appear
+    *at most once* in the left-hand side — counting occurrences, not atoms,
+    so a repeated variable inside a single atom also violates it.
+    """
+    return sum(
+        1 for atom in body for arg in atom.args if arg == variable
+    )

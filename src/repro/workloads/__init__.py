@@ -1,0 +1,50 @@
+"""Synthetic workload generators: graphs, random settings, random
+instances, and the genomics scenario of the paper's Introduction."""
+
+from repro.workloads.graphs import (
+    bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    planted_clique,
+)
+from repro.workloads.instances import (
+    consistent_pair,
+    instance_family,
+    random_instance,
+    random_source,
+)
+from repro.workloads.scenarios import (
+    generate_genomics_data,
+    generate_procurement_data,
+    genomics_setting,
+    procurement_setting,
+)
+from repro.workloads.settings import (
+    exact_view_setting,
+    random_full_st_setting,
+    random_glav_setting,
+    random_lav_setting,
+)
+
+__all__ = [
+    "bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi",
+    "path_graph",
+    "planted_clique",
+    "consistent_pair",
+    "instance_family",
+    "random_instance",
+    "random_source",
+    "generate_genomics_data",
+    "generate_procurement_data",
+    "genomics_setting",
+    "procurement_setting",
+    "exact_view_setting",
+    "random_full_st_setting",
+    "random_glav_setting",
+    "random_lav_setting",
+]

@@ -1,0 +1,80 @@
+"""Random and structured graph generators for the hardness experiments.
+
+All generators return ``(nodes, edges)`` with undirected edges given once
+as ordered pairs; the reduction builders symmetrize them.  A seeded
+:class:`random.Random` keeps every experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Hashable
+
+__all__ = [
+    "erdos_renyi",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "planted_clique",
+    "bipartite_graph",
+]
+
+Graph = tuple[list[Hashable], list[tuple[Hashable, Hashable]]]
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """An Erdős–Rényi graph ``G(n, p)`` on nodes ``0..n-1``."""
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    edges = [
+        (u, v) for u, v in itertools.combinations(nodes, 2) if rng.random() < p
+    ]
+    return nodes, edges
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    nodes = list(range(n))
+    return nodes, list(itertools.combinations(nodes, 2))
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` (even cycles are 2-colorable, odd cycles need 3)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    nodes = list(range(n))
+    return nodes, [(i, (i + 1) % n) for i in range(n)]
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n``."""
+    nodes = list(range(n))
+    return nodes, [(i, i + 1) for i in range(n - 1)]
+
+
+def planted_clique(n: int, k: int, p: float, seed: int = 0) -> Graph:
+    """An Erdős–Rényi graph with a planted ``k``-clique on random nodes.
+
+    Guarantees a ``k``-clique exists, making it the "yes"-instance
+    generator for the Theorem 3 experiments.
+    """
+    rng = random.Random(seed)
+    nodes, edges = erdos_renyi(n, p, seed=rng.randrange(1 << 30))
+    members = rng.sample(nodes, k)
+    edge_set = set(edges)
+    for u, v in itertools.combinations(members, 2):
+        if (u, v) not in edge_set and (v, u) not in edge_set:
+            edge_set.add((u, v))
+    return nodes, sorted(edge_set)
+
+
+def bipartite_graph(n_left: int, n_right: int, p: float, seed: int = 0) -> Graph:
+    """A random bipartite graph (always 2-colorable, never has a triangle)."""
+    rng = random.Random(seed)
+    left = [("L", i) for i in range(n_left)]
+    right = [("R", i) for i in range(n_right)]
+    edges = [
+        (u, v) for u in left for v in right if rng.random() < p
+    ]
+    return left + right, edges

@@ -1,0 +1,121 @@
+"""Random instance generators for PDE settings.
+
+Two generation modes matter for the experiments:
+
+* **unconstrained** random instances (:func:`random_instance`), which for a
+  setting with target-to-source constraints are frequently unsatisfiable —
+  these exercise the "no solution" path;
+* **satisfiable-by-construction** inputs (:func:`consistent_pair`), built
+  by sampling a source instance, chasing the source-to-target dependencies,
+  grounding the nulls into source values, and keeping only target facts
+  that respect ``Σ_ts`` — these exercise the "solution exists" path at
+  scale, which is what the tractable-algorithm benchmarks need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.chase import chase
+from repro.core.instance import Instance
+from repro.core.atoms import Fact
+from repro.core.schema import Schema
+from repro.core.setting import PDESetting
+from repro.core.terms import Constant, InstanceTerm, is_null
+
+__all__ = ["random_instance", "random_source", "consistent_pair"]
+
+
+def random_instance(
+    schema: Schema,
+    domain_size: int = 8,
+    facts_per_relation: int = 6,
+    seed: int = 0,
+    prefix: str = "c",
+) -> Instance:
+    """A random ground instance over ``schema``.
+
+    Values are drawn uniformly from a pool of ``domain_size`` constants
+    named ``{prefix}0 .. {prefix}{domain_size-1}``.
+    """
+    rng = random.Random(seed)
+    pool = [Constant(f"{prefix}{i}") for i in range(domain_size)]
+    instance = Instance(schema=schema)
+    for relation in schema:
+        for _ in range(facts_per_relation):
+            instance.add(
+                Fact(relation.name, [rng.choice(pool) for _ in range(relation.arity)])
+            )
+    return instance
+
+
+def random_source(
+    setting: PDESetting,
+    domain_size: int = 8,
+    facts_per_relation: int = 6,
+    seed: int = 0,
+) -> Instance:
+    """A random ground source instance for ``setting``."""
+    return random_instance(
+        setting.source_schema, domain_size, facts_per_relation, seed=seed
+    )
+
+
+def _ground_nulls(instance: Instance, pool: list[InstanceTerm], rng: random.Random) -> Instance:
+    """Replace every null of ``instance`` by a random pool value."""
+    mapping = {null: rng.choice(pool) for null in instance.nulls()}
+    return instance.rename(mapping)
+
+
+def consistent_pair(
+    setting: PDESetting,
+    domain_size: int = 8,
+    facts_per_relation: int = 6,
+    target_keep: float = 0.5,
+    seed: int = 0,
+) -> tuple[Instance, Instance]:
+    """A ``(source, target)`` pair biased toward having a solution.
+
+    The source is random; a candidate target is derived by chasing the
+    source with ``Σ_st`` and grounding the resulting nulls into source
+    values, then a random subset of candidate facts that do not create
+    unsatisfiable ``Σ_ts`` premises is kept as the initial target ``J``.
+    The pair is *biased* toward satisfiability, not guaranteed — callers
+    that need a guarantee should check with the solver.
+    """
+    rng = random.Random(seed)
+    source = random_source(setting, domain_size, facts_per_relation, seed=seed)
+    combined = setting.combine(source, Instance())
+    chased = chase(combined, setting.sigma_st)
+    candidate = chased.instance.restrict_to(setting.target_schema)
+    pool: list[InstanceTerm] = sorted(
+        source.constants(), key=lambda c: str(c.value)
+    )
+    if pool:
+        candidate = _ground_nulls(candidate, pool, rng)
+    target = Instance(schema=setting.target_schema)
+    for fact in candidate:
+        if rng.random() < target_keep and not fact.nulls():
+            target.add(fact)
+    return source, target
+
+
+def instance_family(
+    setting: PDESetting,
+    sizes: list[int],
+    seed: int = 0,
+) -> Iterator[tuple[int, Instance, Instance]]:
+    """Yield ``(size, source, target)`` triples of growing size.
+
+    Used by scaling benchmarks: ``size`` controls both the domain and the
+    facts per relation.
+    """
+    for index, size in enumerate(sizes):
+        source, target = consistent_pair(
+            setting,
+            domain_size=max(4, size),
+            facts_per_relation=size,
+            seed=seed + index,
+        )
+        yield size, source, target

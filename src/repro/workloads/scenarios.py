@@ -1,0 +1,201 @@
+"""The genomics scenario from the paper's Introduction.
+
+The motivating example: the source peer is an authoritative genomic
+database (Swiss-Prot); the target peer is a university database under a
+different schema, already populated with its own data.  Periodically the
+university imports new Swiss-Prot data, but (a) it cannot write back to
+Swiss-Prot, and (b) it restricts the import to data it considers relevant
+— which is exactly a PDE setting with constraints in both directions.
+
+We ship a synthetic but structurally faithful rendition:
+
+Source schema (the authoritative peer):
+    ``protein(acc, name, organism)`` — curated protein entries;
+    ``annotation(acc, go_term)`` — GO-term annotations;
+    ``citation(acc, pmid)`` — literature references.
+
+Target schema (the university peer):
+    ``local_protein(acc, name, organism)``;
+    ``local_annotation(acc, go_term)``;
+    ``evidence(acc, pmid, batch)`` — citations tagged with an import batch.
+
+Constraints:
+    ``Σ_st``: every source protein must appear locally; every annotation of
+    a locally known organism's protein must appear locally; citations are
+    imported with an (existential) batch id.
+    ``Σ_ts``: the target only accepts proteins, annotations, and evidence
+    that the authority actually vouches for (exact-membership
+    restrictions, LAV — so the scenario sits inside ``C_tract``).
+
+The data generator can inject "stale" local facts that the authority does
+not vouch for, producing inputs with no solution — the situation the
+university's curators must repair before an import can succeed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+
+__all__ = [
+    "genomics_setting",
+    "generate_genomics_data",
+    "procurement_setting",
+    "generate_procurement_data",
+]
+
+
+def genomics_setting() -> PDESetting:
+    """The Swiss-Prot-style peer data exchange setting of the Introduction."""
+    return PDESetting.from_text(
+        source={"protein": 3, "annotation": 2, "citation": 2},
+        target={"local_protein": 3, "local_annotation": 2, "evidence": 3},
+        st="""
+            protein(acc, name, org) -> local_protein(acc, name, org)
+            protein(acc, name, org), annotation(acc, term) -> local_annotation(acc, term)
+            citation(acc, pmid) -> evidence(acc, pmid, batch)
+        """,
+        ts="""
+            local_protein(acc, name, org) -> protein(acc, name, org)
+            local_annotation(acc, term) -> annotation(acc, term)
+            evidence(acc, pmid, batch) -> citation(acc, pmid)
+        """,
+        name="genomics-sync",
+    )
+
+
+def generate_genomics_data(
+    proteins: int = 20,
+    annotations_per_protein: int = 2,
+    citations_per_protein: int = 1,
+    local_fraction: float = 0.3,
+    stale_local_facts: int = 0,
+    seed: int = 0,
+) -> tuple[Instance, Instance]:
+    """Generate a synthetic ``(source, target)`` pair for the scenario.
+
+    Args:
+        proteins: number of source protein entries.
+        annotations_per_protein: GO annotations per entry.
+        citations_per_protein: literature references per entry.
+        local_fraction: fraction of authority data already present locally.
+        stale_local_facts: number of local facts the authority does *not*
+            vouch for; any positive number makes the input unsolvable
+            (the target refuses its own stale data under ``Σ_ts``).
+        seed: RNG seed.
+
+    Returns:
+        ``(source, target)`` instances for :func:`genomics_setting`.
+    """
+    rng = random.Random(seed)
+    organisms = ["human", "mouse", "yeast", "ecoli"]
+    source_rows: dict[str, list[tuple]] = {"protein": [], "annotation": [], "citation": []}
+    target_rows: dict[str, list[tuple]] = {
+        "local_protein": [],
+        "local_annotation": [],
+        "evidence": [],
+    }
+
+    for index in range(proteins):
+        acc = f"P{index:05d}"
+        name = f"PROT_{index}"
+        organism = rng.choice(organisms)
+        source_rows["protein"].append((acc, name, organism))
+        if rng.random() < local_fraction:
+            target_rows["local_protein"].append((acc, name, organism))
+        for a in range(annotations_per_protein):
+            term = f"GO:{rng.randint(1000, 9999):07d}"
+            source_rows["annotation"].append((acc, term))
+            if rng.random() < local_fraction:
+                target_rows["local_annotation"].append((acc, term))
+        for c in range(citations_per_protein):
+            pmid = f"PMID{rng.randint(10_000, 99_999)}"
+            source_rows["citation"].append((acc, pmid))
+            if rng.random() < local_fraction:
+                target_rows["evidence"].append((acc, pmid, f"batch{rng.randint(0, 3)}"))
+
+    for index in range(stale_local_facts):
+        # A protein the authority has since withdrawn: no matching source
+        # fact exists, so Σ_ts can never be satisfied.
+        target_rows["local_protein"].append(
+            (f"STALE{index:04d}", f"WITHDRAWN_{index}", "unknown")
+        )
+
+    return (
+        Instance.from_tuples(source_rows),
+        Instance.from_tuples(target_rows),
+    )
+
+
+def procurement_setting() -> PDESetting:
+    """A compliance scenario: a regulator feeds a manufacturer's database.
+
+    The source peer is a regulator's registry (certifications and audits);
+    the target peer is the manufacturer's procurement database.  The
+    manufacturer imports approved-vendor records, but its own purchase
+    orders (target-only facts) must be *backed* by regulator audits — a
+    target-to-source restriction — and a target egd enforces one active
+    batch per (supplier, part) order line.
+
+    The target egd takes the setting out of ``C_tract`` (target
+    constraints are present), so this scenario exercises the generic
+    valuation-search path on realistic-looking data.
+    """
+    return PDESetting.from_text(
+        source={"certified": 2, "audited": 2, "recalled": 1},
+        target={"approved_vendor": 2, "order_line": 3},
+        st="""
+            certified(supplier, standard) -> approved_vendor(supplier, standard)
+        """,
+        ts="""
+            approved_vendor(supplier, standard) -> certified(supplier, standard)
+            order_line(supplier, part, batch) -> audited(supplier, year)
+        """,
+        t="""
+            order_line(supplier, part, batch), order_line(supplier, part, batch2) -> batch = batch2
+        """,
+        name="procurement-compliance",
+    )
+
+
+def generate_procurement_data(
+    suppliers: int = 10,
+    parts_per_supplier: int = 2,
+    unaudited_orders: int = 0,
+    seed: int = 0,
+) -> tuple[Instance, Instance]:
+    """Generate a ``(source, target)`` pair for the procurement scenario.
+
+    Args:
+        suppliers: number of certified suppliers in the registry.
+        parts_per_supplier: order lines per supplier in the target.
+        unaudited_orders: order lines referencing suppliers the regulator
+            has never audited; any positive number makes the input
+            unsolvable (the audit-backing constraint cannot be met).
+        seed: RNG seed.
+    """
+    rng = random.Random(seed)
+    standards = ["iso9001", "iso14001", "as9100"]
+    source_rows: dict[str, list[tuple]] = {"certified": [], "audited": [], "recalled": []}
+    target_rows: dict[str, list[tuple]] = {"approved_vendor": [], "order_line": []}
+
+    for index in range(suppliers):
+        supplier = f"sup{index:03d}"
+        source_rows["certified"].append((supplier, rng.choice(standards)))
+        source_rows["audited"].append((supplier, 2020 + rng.randint(0, 5)))
+        for part_index in range(parts_per_supplier):
+            part = f"part{index:03d}_{part_index}"
+            batch = f"batch{rng.randint(100, 999)}"
+            target_rows["order_line"].append((supplier, part, batch))
+
+    for index in range(unaudited_orders):
+        target_rows["order_line"].append(
+            (f"ghost{index:02d}", f"gpart{index:02d}", "batch000")
+        )
+
+    return (
+        Instance.from_tuples(source_rows),
+        Instance.from_tuples(target_rows),
+    )

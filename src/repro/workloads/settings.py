@@ -1,0 +1,221 @@
+"""Random PDE setting generators.
+
+Used by the tractability and upper-bound experiments: families of settings
+inside ``C_tract`` (LAV ``Σ_ts``; full ``Σ_st``) and general GLAV settings
+outside it.  Generation is seeded and purely syntactic; the companion
+module :mod:`repro.workloads.instances` generates data for them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.atoms import Atom
+from repro.core.dependencies import TGD
+from repro.core.schema import RelationSymbol, Schema
+from repro.core.setting import PDESetting
+from repro.core.terms import Variable
+
+__all__ = [
+    "random_lav_setting",
+    "random_full_st_setting",
+    "random_glav_setting",
+    "random_weakly_acyclic_tgds",
+    "exact_view_setting",
+]
+
+
+def _make_schema(prefix: str, relations: int, max_arity: int, rng: random.Random) -> Schema:
+    return Schema(
+        RelationSymbol(f"{prefix}{i}", rng.randint(2, max_arity))
+        for i in range(relations)
+    )
+
+
+def _variables(n: int) -> list[Variable]:
+    return [Variable(f"x{i}") for i in range(n)]
+
+
+def _random_st_tgd(
+    source: Schema,
+    target: Schema,
+    rng: random.Random,
+    body_atoms: int,
+    existentials: int,
+) -> TGD:
+    """A random source-to-target tgd with a connected variable pool."""
+    pool = _variables(6)
+    body = []
+    for _ in range(body_atoms):
+        relation = rng.choice(list(source))
+        body.append(Atom(relation.name, [rng.choice(pool) for _ in range(relation.arity)]))
+    body_variables = sorted({v for atom in body for v in atom.variables()}, key=lambda v: v.name)
+    head_pool = body_variables + [Variable(f"y{i}") for i in range(existentials)]
+    relation = rng.choice(list(target))
+    head = [Atom(relation.name, [rng.choice(head_pool) for _ in range(relation.arity)])]
+    return TGD(body, head)
+
+
+def _random_lav_ts_tgd(source: Schema, target: Schema, rng: random.Random) -> TGD:
+    """A LAV target-to-source tgd: single repetition-free body atom."""
+    relation = rng.choice(list(target))
+    variables = _variables(relation.arity)
+    body = [Atom(relation.name, variables)]
+    head_pool = variables + [Variable("w0"), Variable("w1")]
+    source_relation = rng.choice(list(source))
+    head = [
+        Atom(source_relation.name, [rng.choice(head_pool) for _ in range(source_relation.arity)])
+    ]
+    return TGD(body, head)
+
+
+def random_lav_setting(
+    source_relations: int = 2,
+    target_relations: int = 2,
+    st_tgds: int = 3,
+    ts_tgds: int = 2,
+    max_arity: int = 3,
+    seed: int = 0,
+) -> PDESetting:
+    """A random setting with LAV ``Σ_ts`` — always in ``C_tract``
+    (Corollary 2)."""
+    rng = random.Random(seed)
+    source = _make_schema("S", source_relations, max_arity, rng)
+    target = _make_schema("T", target_relations, max_arity, rng)
+    sigma_st = [
+        _random_st_tgd(source, target, rng, body_atoms=rng.randint(1, 2), existentials=rng.randint(0, 2))
+        for _ in range(st_tgds)
+    ]
+    sigma_ts = [_random_lav_ts_tgd(source, target, rng) for _ in range(ts_tgds)]
+    return PDESetting(source, target, sigma_st, sigma_ts, name=f"random-lav-{seed}")
+
+
+def random_full_st_setting(
+    source_relations: int = 2,
+    target_relations: int = 2,
+    st_tgds: int = 3,
+    ts_tgds: int = 2,
+    max_arity: int = 3,
+    seed: int = 0,
+) -> PDESetting:
+    """A random setting with full ``Σ_st`` — always in ``C_tract``
+    (Corollary 1).  ``Σ_ts`` may have multi-atom bodies."""
+    rng = random.Random(seed)
+    source = _make_schema("S", source_relations, max_arity, rng)
+    target = _make_schema("T", target_relations, max_arity, rng)
+    sigma_st = [
+        _random_st_tgd(source, target, rng, body_atoms=rng.randint(1, 2), existentials=0)
+        for _ in range(st_tgds)
+    ]
+    sigma_ts = []
+    for _ in range(ts_tgds):
+        pool = _variables(5)
+        body = []
+        for _ in range(rng.randint(1, 2)):
+            relation = rng.choice(list(target))
+            body.append(Atom(relation.name, [rng.choice(pool) for _ in range(relation.arity)]))
+        body_variables = sorted(
+            {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+        )
+        head_pool = body_variables + [Variable("w0")]
+        relation = rng.choice(list(source))
+        head = [Atom(relation.name, [rng.choice(head_pool) for _ in range(relation.arity)])]
+        sigma_ts.append(TGD(body, head))
+    return PDESetting(source, target, sigma_st, sigma_ts, name=f"random-full-{seed}")
+
+
+def random_glav_setting(
+    source_relations: int = 2,
+    target_relations: int = 2,
+    st_tgds: int = 3,
+    ts_tgds: int = 2,
+    max_arity: int = 3,
+    seed: int = 0,
+) -> PDESetting:
+    """A random unconstrained GLAV setting (may or may not be in C_tract)."""
+    rng = random.Random(seed)
+    source = _make_schema("S", source_relations, max_arity, rng)
+    target = _make_schema("T", target_relations, max_arity, rng)
+    sigma_st = [
+        _random_st_tgd(source, target, rng, body_atoms=rng.randint(1, 2), existentials=rng.randint(0, 2))
+        for _ in range(st_tgds)
+    ]
+    sigma_ts = []
+    for _ in range(ts_tgds):
+        pool = _variables(5)
+        body = []
+        for _ in range(rng.randint(1, 2)):
+            relation = rng.choice(list(target))
+            body.append(Atom(relation.name, [rng.choice(pool) for _ in range(relation.arity)]))
+        body_variables = sorted(
+            {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+        )
+        head_pool = body_variables + [Variable("w0"), Variable("w1")]
+        relation = rng.choice(list(source))
+        head = [Atom(relation.name, [rng.choice(head_pool) for _ in range(relation.arity)])]
+        sigma_ts.append(TGD(body, head))
+    return PDESetting(source, target, sigma_st, sigma_ts, name=f"random-glav-{seed}")
+
+
+def exact_view_setting() -> PDESetting:
+    """The GLAV-with-exact-views pattern from Section 2.
+
+    ``φ(x) → ∃y ψ(x, y)`` together with ``ψ(x, y) → φ(x)`` asserts that the
+    target view contains exactly the tuples of the source query.
+    """
+    return PDESetting.from_text(
+        source={"Orders": 2, "Customers": 2},
+        target={"View": 2},
+        st="Orders(c, item), Customers(c, region) -> View(c, item)",
+        ts="View(c, item) -> Orders(c, item), Customers(c, w)",
+        name="exact-view (Section 2)",
+    )
+
+
+def random_weakly_acyclic_tgds(
+    layers: int = 3,
+    relations_per_layer: int = 2,
+    tgds: int = 4,
+    max_arity: int = 3,
+    seed: int = 0,
+) -> list[TGD]:
+    """Generate a random set of tgds that is weakly acyclic by construction.
+
+    Relations are stratified into layers; every tgd's head relation lives
+    in a strictly higher layer than all of its body relations, so every
+    edge of the Definition 5 dependency graph points strictly upward and
+    no cycle (special or otherwise) can exist.  Used by the property-based
+    suite to exercise :func:`repro.core.weak_acyclicity.is_weakly_acyclic`
+    and the chase-budget machinery on arbitrary shapes.
+    """
+    rng = random.Random(seed)
+    layer_relations: list[list[RelationSymbol]] = []
+    for layer in range(layers):
+        layer_relations.append(
+            [
+                RelationSymbol(f"L{layer}R{index}", rng.randint(1, max_arity))
+                for index in range(relations_per_layer)
+            ]
+        )
+
+    result: list[TGD] = []
+    pool = _variables(5)
+    for _ in range(tgds):
+        body_layer = rng.randrange(layers - 1)
+        head_layer = rng.randrange(body_layer + 1, layers)
+        body = []
+        for _ in range(rng.randint(1, 2)):
+            relation = rng.choice(layer_relations[body_layer])
+            body.append(
+                Atom(relation.name, [rng.choice(pool) for _ in range(relation.arity)])
+            )
+        body_variables = sorted(
+            {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+        )
+        head_pool = body_variables + [Variable("w0"), Variable("w1")]
+        relation = rng.choice(layer_relations[head_layer])
+        head = [
+            Atom(relation.name, [rng.choice(head_pool) for _ in range(relation.arity)])
+        ]
+        result.append(TGD(body, head))
+    return result

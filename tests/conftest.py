@@ -1,0 +1,43 @@
+"""Shared fixtures: the paper's worked examples as reusable objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, PDESetting, parse_instance
+
+
+@pytest.fixture
+def example1_setting() -> PDESetting:
+    """The PDE setting of Example 1: E-paths of length 2 to H-edges."""
+    return PDESetting.from_text(
+        source={"E": 2},
+        target={"H": 2},
+        st="E(x, z), E(z, y) -> H(x, y)",
+        ts="H(x, y) -> E(x, y)",
+        name="example-1",
+    )
+
+
+@pytest.fixture
+def marked_example_setting() -> PDESetting:
+    """The marking illustration below Definition 8:
+    S(x1, x2) → ∃y T(x1, y) and T(x1, x2) → ∃w S(w, x2)."""
+    return PDESetting.from_text(
+        source={"S": 2},
+        target={"T": 2},
+        st="S(x1, x2) -> T(x1, y)",
+        ts="T(x1, x2) -> S(w, x2)",
+        name="definition-8-illustration",
+    )
+
+
+@pytest.fixture
+def empty_target() -> Instance:
+    return Instance()
+
+
+@pytest.fixture
+def triangle_ish_source() -> Instance:
+    """The third input of Example 1: E(a,b), E(b,c), E(a,c)."""
+    return parse_instance("E(a, b); E(b, c); E(a, c)")

@@ -1,0 +1,229 @@
+"""Coverage for corners of the public API not exercised elsewhere."""
+
+import pytest
+
+from repro import (
+    Instance,
+    PDESetting,
+    RelationSymbol,
+    Schema,
+    parse_dependency,
+    parse_instance,
+    parse_query,
+)
+from repro.core.blocks import Block
+from repro.core.weak_acyclicity import build_position_graph
+
+
+class TestDunderSurfaces:
+    def test_setting_str(self, example1_setting):
+        rendered = str(example1_setting)
+        assert "example-1" in rendered
+        assert "|Σ_st|=1" in rendered
+
+    def test_instance_repr(self):
+        instance = parse_instance("E(a, b)")
+        assert "1 facts" in repr(instance)
+
+    def test_atom_repr_roundtrip(self):
+        from repro.core.atoms import Atom
+        from repro.core.terms import Variable
+
+        atom = Atom("R", [Variable("x")])
+        assert "R" in repr(atom)
+
+    def test_tgd_repr(self):
+        tgd = parse_dependency("E(x, y) -> H(x, y)")
+        assert repr(tgd).startswith("TGD(")
+
+    def test_query_repr(self):
+        query = parse_query("q(x) :- E(x, y)")
+        assert "ConjunctiveQuery" in repr(query)
+
+    def test_schema_str_and_repr(self):
+        schema = Schema.from_arities({"E": 2})
+        assert str(schema) == "{E/2}"
+        assert "RelationSymbol" in repr(schema)
+
+
+class TestBlockSurface:
+    def test_block_null_count_and_ground(self):
+        from repro.core.blocks import decompose_into_blocks
+        from repro.core.terms import Null
+
+        instance = Instance.from_tuples({"E": [(Null(0), "a"), ("b", "c")]})
+        blocks = decompose_into_blocks(instance)
+        ground = [b for b in blocks if b.is_ground()]
+        nullful = [b for b in blocks if not b.is_ground()]
+        assert len(ground) == 1 and ground[0].null_count == 0
+        assert len(nullful) == 1 and nullful[0].null_count == 1
+
+
+class TestPositionGraphSurface:
+    def test_successors_merges_edge_kinds(self):
+        graph = build_position_graph([parse_dependency("E(x, y) -> H(x, w)")])
+        successors = graph.successors(("E", 0))
+        assert ("H", 0) in successors  # regular
+        assert ("H", 1) in successors  # special
+
+    def test_no_successors(self):
+        graph = build_position_graph([parse_dependency("E(x, y) -> H(x, w)")])
+        assert graph.successors(("H", 1)) == set()
+
+
+class TestInstanceFactsAccessor:
+    def test_facts_all(self):
+        instance = parse_instance("E(a, b); F(c)")
+        assert len(instance.facts()) == 2
+
+    def test_facts_single_relation(self):
+        instance = parse_instance("E(a, b); F(c)")
+        assert len(instance.facts("E")) == 1
+        assert instance.facts("missing") == []
+
+
+class TestSolveResultSurface:
+    def test_bool_conversion(self, example1_setting):
+        from repro import solve
+
+        positive = solve(example1_setting, parse_instance("E(a, a)"), Instance())
+        negative = solve(
+            example1_setting, parse_instance("E(a, b); E(b, c)"), Instance()
+        )
+        assert bool(positive) and not bool(negative)
+
+
+class TestChaseStepRendering:
+    def test_tgd_step_str(self):
+        from repro.core.chase import chase
+
+        result = chase(
+            parse_instance("E(a, b)"), [parse_dependency("E(x, y) -> H(x, y)")]
+        )
+        assert "tgd step" in str(result.steps[0])
+
+    def test_egd_step_str(self):
+        from repro.core.chase import chase
+        from repro.core.terms import Null
+
+        instance = Instance.from_tuples({"P": [("a", Null(0)), ("a", "b")]})
+        result = chase(
+            instance, [parse_dependency("P(x, y), P(x, y2) -> y = y2")]
+        )
+        assert any("egd step" in str(step) for step in result.steps)
+
+
+class TestRelationSymbolSurface:
+    def test_named_attributes(self):
+        relation = RelationSymbol("protein", 3, ("acc", "name", "org"))
+        assert relation.attributes == ("acc", "name", "org")
+
+    def test_zero_arity(self):
+        relation = RelationSymbol("Flag", 0)
+        assert list(relation.positions()) == []
+
+
+class TestSettingTextErrors:
+    def test_helpful_error_for_swapped_sides(self):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError) as excinfo:
+            PDESetting.from_text(
+                source={"E": 2},
+                target={"H": 2},
+                st="H(x, y) -> E(x, y)",
+            )
+        assert "not over the expected schema" in str(excinfo.value)
+
+
+class TestNullInternerSurface:
+    def test_interner_start(self):
+        from repro.core.parser import NullInterner
+
+        interner = NullInterner(start=100)
+        assert interner.get("_a").label == 100
+        assert interner.get("_b").label == 101
+        assert interner.get("_a").label == 100  # stable
+
+
+class TestCertainAnswerResultSurface:
+    def test_boolean_value_property(self, example1_setting):
+        from repro.solver import certain_answers
+
+        result = certain_answers(
+            example1_setting,
+            parse_query("H(x, y)"),
+            parse_instance("E(a, a)"),
+            Instance(),
+        )
+        assert result.boolean_value is (() in result.answers)
+
+
+class TestRemainingPublicSurface:
+    def test_apply_substitution(self):
+        from repro.core.atoms import Atom, apply_substitution
+        from repro.core.terms import Constant, Variable
+
+        atoms = [Atom("E", [Variable("x"), Variable("y")])]
+        out = list(apply_substitution(atoms, {Variable("x"): Constant("a")}))
+        assert out[0].args[0] == Constant("a")
+
+    def test_iter_answers_streams(self):
+        query = parse_query("q(x) :- E(x, y)")
+        instance = parse_instance("E(a, b); E(c, d)")
+        first = next(query.iter_answers(instance))
+        assert first in {(v,) for v in instance.active_domain()}
+
+    def test_dict_serialization_functions(self):
+        from repro.io import (
+            instance_from_dict,
+            instance_to_dict,
+            setting_from_dict,
+            setting_to_dict,
+        )
+        from repro.workloads import genomics_setting
+
+        instance = parse_instance("E(a, b)")
+        assert instance_from_dict(instance_to_dict(instance)) == instance
+        setting = genomics_setting()
+        restored = setting_from_dict(setting_to_dict(setting))
+        assert restored.sigma_st == setting.sigma_st
+
+    def test_supports_valuation_search(self, example1_setting):
+        from repro.solver.valuation_search import supports_valuation_search
+
+        assert supports_valuation_search(example1_setting)
+        bad = PDESetting.from_text(
+            source={"A": 1},
+            target={"T": 1, "U": 2},
+            st="A(x) -> T(x)",
+            t="T(x) -> U(x, w)",
+        )
+        assert not supports_valuation_search(bad)
+
+    def test_body_occurrence_count(self):
+        from repro.core.terms import Variable
+        from repro.tractability.marking import body_occurrence_count
+
+        tgd = parse_dependency("H(x, y), H(y, z) -> E(x, z)")
+        assert body_occurrence_count(tgd.body, Variable("y")) == 2
+        assert body_occurrence_count(tgd.body, Variable("x")) == 1
+        assert body_occurrence_count(tgd.body, Variable("q")) == 0
+
+    def test_instance_family_generator(self):
+        from repro.workloads import random_lav_setting
+        from repro.workloads.instances import instance_family
+
+        setting = random_lav_setting(seed=0)
+        triples = list(instance_family(setting, sizes=[2, 4], seed=1))
+        assert [size for size, _s, _t in triples] == [2, 4]
+        for _size, source, target in triples:
+            setting.validate_source_instance(source)
+            setting.validate_target_instance(target)
+
+    def test_build_parser_help(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        help_text = parser.format_help()
+        assert "solve" in help_text and "classify" in help_text

@@ -1,0 +1,89 @@
+"""Unit tests for atoms and facts."""
+
+import pytest
+
+from repro.core.atoms import Atom, Fact
+from repro.core.terms import Constant, Null, Variable
+
+
+class TestAtom:
+    def test_arity(self):
+        atom = Atom("R", [Variable("x"), Constant("a")])
+        assert atom.arity == 2
+
+    def test_variables(self):
+        atom = Atom("R", [Variable("x"), Constant("a"), Variable("x"), Variable("y")])
+        assert atom.variables() == {Variable("x"), Variable("y")}
+
+    def test_constants(self):
+        atom = Atom("R", [Variable("x"), Constant("a")])
+        assert atom.constants() == {Constant("a")}
+
+    def test_nulls(self):
+        atom = Atom("R", [Null(1), Constant("a")])
+        assert atom.nulls() == {Null(1)}
+
+    def test_positions_of(self):
+        x = Variable("x")
+        atom = Atom("R", [x, Constant("a"), x])
+        assert atom.positions_of(x) == [0, 2]
+
+    def test_substitute(self):
+        atom = Atom("R", [Variable("x"), Variable("y")])
+        image = atom.substitute({Variable("x"): Constant("a")})
+        assert image == Atom("R", [Constant("a"), Variable("y")])
+
+    def test_substitute_leaves_original_unchanged(self):
+        atom = Atom("R", [Variable("x")])
+        atom.substitute({Variable("x"): Constant("a")})
+        assert atom.args == (Variable("x"),)
+
+    def test_is_ground(self):
+        assert Atom("R", [Constant("a"), Null(0)]).is_ground()
+        assert not Atom("R", [Variable("x")]).is_ground()
+
+    def test_to_fact_on_ground_atom(self):
+        fact = Atom("R", [Constant("a")]).to_fact()
+        assert isinstance(fact, Fact)
+        assert fact.args == (Constant("a"),)
+
+    def test_to_fact_rejects_variables(self):
+        with pytest.raises(ValueError):
+            Atom("R", [Variable("x")]).to_fact()
+
+    def test_equality_and_hash(self):
+        first = Atom("R", [Variable("x")])
+        second = Atom("R", (Variable("x"),))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_str(self):
+        assert str(Atom("R", [Variable("x"), Constant("a")])) == "R(x, a)"
+
+    def test_zero_arity(self):
+        atom = Atom("Flag", [])
+        assert atom.arity == 0
+        assert atom.is_ground()
+
+
+class TestFact:
+    def test_nulls_and_constants(self):
+        fact = Fact("R", [Constant("a"), Null(2)])
+        assert fact.nulls() == {Null(2)}
+        assert fact.constants() == {Constant("a")}
+
+    def test_is_ground(self):
+        assert Fact("R", [Constant("a")]).is_ground()
+        assert not Fact("R", [Null(0)]).is_ground()
+
+    def test_substitute_renames_nulls(self):
+        fact = Fact("R", [Null(0), Constant("a")])
+        renamed = fact.substitute({Null(0): Constant("b")})
+        assert renamed == Fact("R", [Constant("b"), Constant("a")])
+
+    def test_to_atom_roundtrip(self):
+        fact = Fact("R", [Constant("a"), Null(1)])
+        assert fact.to_atom().to_fact() == fact
+
+    def test_hashable(self):
+        assert len({Fact("R", [Constant("a")]), Fact("R", (Constant("a"),))}) == 1

@@ -1,0 +1,78 @@
+"""Unit tests for block decomposition (Definition 10)."""
+
+from repro.core.blocks import decompose_into_blocks, null_graph
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.terms import Null
+
+
+def nulls_instance(*rows):
+    return Instance.from_tuples({"E": list(rows)})
+
+
+class TestNullGraph:
+    def test_cooccurrence_edges(self):
+        instance = nulls_instance((Null(0), Null(1)), (Null(1), Null(2)))
+        graph = null_graph(instance)
+        assert Null(1) in graph[Null(0)]
+        assert Null(2) in graph[Null(1)]
+        assert Null(2) not in graph[Null(0)]
+
+    def test_isolated_null_present(self):
+        instance = nulls_instance((Null(0), "a"))
+        graph = null_graph(instance)
+        assert graph == {Null(0): set()}
+
+    def test_ground_instance_empty_graph(self):
+        assert null_graph(parse_instance("E(a, b)")) == {}
+
+
+class TestDecomposition:
+    def test_ground_instance_single_ground_block(self):
+        blocks = decompose_into_blocks(parse_instance("E(a, b); E(b, c)"))
+        assert len(blocks) == 1
+        assert blocks[0].is_ground()
+        assert len(blocks[0].facts) == 2
+
+    def test_empty_instance_no_blocks(self):
+        assert decompose_into_blocks(Instance()) == []
+
+    def test_connected_nulls_one_block(self):
+        instance = nulls_instance((Null(0), Null(1)), (Null(1), Null(2)))
+        blocks = decompose_into_blocks(instance)
+        assert len(blocks) == 1
+        assert blocks[0].null_count == 3
+
+    def test_disconnected_nulls_separate_blocks(self):
+        instance = nulls_instance((Null(0), "a"), (Null(1), "b"))
+        blocks = decompose_into_blocks(instance)
+        assert len(blocks) == 2
+        assert all(block.null_count == 1 for block in blocks)
+
+    def test_mixed_ground_and_null_blocks(self):
+        instance = nulls_instance((Null(0), "a"), ("b", "c"))
+        blocks = decompose_into_blocks(instance)
+        kinds = sorted(block.is_ground() for block in blocks)
+        assert kinds == [False, True]
+
+    def test_blocks_partition_facts(self):
+        instance = nulls_instance(
+            (Null(0), Null(1)), (Null(2), "a"), ("b", "c"), (Null(0), "d")
+        )
+        blocks = decompose_into_blocks(instance)
+        total = sum(len(block.facts) for block in blocks)
+        assert total == len(instance)
+        merged = Instance()
+        for block in blocks:
+            merged.add_all(block.facts)
+        assert merged == instance
+
+    def test_chain_through_shared_fact(self):
+        # Nulls 0 and 2 are connected through null 1 even though they never
+        # co-occur directly.
+        instance = Instance.from_tuples(
+            {"E": [(Null(0), Null(1))], "F": [(Null(1), Null(2))]}
+        )
+        blocks = decompose_into_blocks(instance)
+        assert len(blocks) == 1
+        assert blocks[0].nulls == frozenset({Null(0), Null(1), Null(2)})

@@ -1,0 +1,82 @@
+"""Experiments E9-E10: the Section 4 boundary settings with target
+constraints."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.reductions import (
+    egd_boundary_setting,
+    egd_boundary_source_instance,
+    full_tgd_boundary_setting,
+    full_tgd_boundary_source_instance,
+    has_k_clique,
+)
+from repro.solver import solve
+from repro.tractability import classify
+
+TRIANGLE = ([1, 2, 3], [(1, 2), (2, 3), (1, 3)])
+PATH3 = ([1, 2, 3], [(1, 2), (2, 3)])
+EDGE = ([1, 2, 3], [(1, 2)])
+
+
+class TestEgdBoundary:
+    @pytest.mark.parametrize(
+        "graph,k",
+        [(TRIANGLE, 3), (TRIANGLE, 2), (PATH3, 3), (PATH3, 2), (EDGE, 3), (EDGE, 2)],
+    )
+    def test_solution_iff_clique(self, graph, k):
+        nodes, edges = graph
+        want = has_k_clique(nodes, edges, k)
+        source = egd_boundary_source_instance(nodes, edges, k)
+        got = solve(egd_boundary_setting(), source, Instance()).exists
+        assert got == want, (graph, k)
+
+    def test_witness_valid(self):
+        setting = egd_boundary_setting()
+        source = egd_boundary_source_instance(*TRIANGLE, 3)
+        result = solve(setting, source, Instance())
+        assert result.exists
+        assert setting.is_solution(source, Instance(), result.solution)
+
+    def test_conditions_satisfied_modulo_target_egds(self):
+        report = classify(egd_boundary_setting())
+        assert report.condition1 and report.condition2_1
+        assert report.has_target_constraints
+        assert not report.in_ctract
+
+    def test_only_egds_in_sigma_t(self):
+        setting = egd_boundary_setting()
+        assert setting.target_tgds() == []
+        assert len(setting.target_egds()) == 3
+
+
+class TestFullTgdBoundary:
+    @pytest.mark.parametrize(
+        "graph,k",
+        [(TRIANGLE, 3), (PATH3, 3), (PATH3, 2), (EDGE, 2)],
+    )
+    def test_solution_iff_clique(self, graph, k):
+        nodes, edges = graph
+        want = has_k_clique(nodes, edges, k)
+        source = full_tgd_boundary_source_instance(nodes, edges, k)
+        got = solve(full_tgd_boundary_setting(), source, Instance()).exists
+        assert got == want, (graph, k)
+
+    def test_witness_valid(self):
+        setting = full_tgd_boundary_setting()
+        source = full_tgd_boundary_source_instance(*TRIANGLE, 3)
+        result = solve(setting, source, Instance())
+        assert result.exists
+        assert setting.is_solution(source, Instance(), result.solution)
+
+    def test_conditions_satisfied_modulo_target_tgds(self):
+        report = classify(full_tgd_boundary_setting())
+        assert report.condition1 and report.condition2_1
+        assert report.has_target_constraints
+        assert not report.in_ctract
+
+    def test_only_full_tgds_in_sigma_t(self):
+        setting = full_tgd_boundary_setting()
+        assert setting.target_egds() == []
+        assert all(tgd.is_full() for tgd in setting.target_tgds())
+        assert setting.target_tgds_weakly_acyclic()

@@ -1,0 +1,143 @@
+"""Tests for the branching-chase solver (Σ_t ≠ ∅; Theorem 1 upper bound)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SolverError
+from repro.solver import (
+    BranchingChaseSolver,
+    brute_force_exists,
+    exists_solution_branching,
+)
+
+
+@pytest.fixture
+def key_setting() -> PDESetting:
+    """A target key constraint interacting with Σ_st and Σ_ts."""
+    return PDESetting.from_text(
+        source={"A": 2, "R": 2},
+        target={"T": 2},
+        st="A(x, q) -> T(x, y)",
+        ts="T(x, y) -> R(x, y)",
+        t="T(x, y), T(x, y2) -> y = y2",
+    )
+
+
+class TestEgdSettings:
+    def test_key_forces_unique_witness(self, key_setting):
+        source = parse_instance("A(a, 1); R(a, b)")
+        result = exists_solution_branching(key_setting, source, Instance())
+        assert result.exists
+        assert key_setting.is_solution(source, Instance(), result.solution)
+
+    def test_conflicting_requirements_unsolvable(self, key_setting):
+        # J forces T(a, c) and T(a, d): the key egd fails on constants.
+        source = parse_instance("A(a, 1); R(a, c); R(a, d)")
+        target = parse_instance("T(a, c); T(a, d)")
+        assert not exists_solution_branching(key_setting, source, target).exists
+
+    def test_key_with_single_prefill(self, key_setting):
+        source = parse_instance("A(a, 1); R(a, c); R(a, d)")
+        target = parse_instance("T(a, c)")
+        result = exists_solution_branching(key_setting, source, target)
+        assert result.exists
+        assert result.solution.contains_instance(target)
+
+    def test_egd_merge_breaks_ts(self, key_setting):
+        # The only R-edge from a is (a, b); but J pins T(a, z) with z != b
+        # having no R-backing: unsolvable.
+        source = parse_instance("A(a, 1); R(a, b)")
+        target = parse_instance("T(a, z)")
+        assert not exists_solution_branching(key_setting, source, target).exists
+
+
+class TestTargetTgdSettings:
+    def test_full_target_tgd_closure(self):
+        setting = PDESetting.from_text(
+            source={"A": 2, "R": 2},
+            target={"T": 2},
+            st="A(x, y) -> T(x, y)",
+            ts="T(x, y) -> R(x, y)",
+            t="T(x, y) -> T(y, x)",
+        )
+        # Symmetric closure of T must be R-backed in both directions.
+        good = parse_instance("A(a, b); R(a, b); R(b, a)")
+        bad = parse_instance("A(a, b); R(a, b)")
+        assert exists_solution_branching(setting, good, Instance()).exists
+        assert not exists_solution_branching(setting, bad, Instance()).exists
+
+    def test_existential_target_tgd(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 1, "U": 2},
+            st="A(x) -> T(x)",
+            ts="U(x, y) -> R(x, y)",
+            t="T(x) -> U(x, y)",
+        )
+        good = parse_instance("A(a); R(a, b)")
+        bad = parse_instance("A(a); R(c, d)")
+        assert exists_solution_branching(setting, good, Instance()).exists
+        assert not exists_solution_branching(setting, bad, Instance()).exists
+
+    def test_non_weakly_acyclic_rejected(self):
+        setting = PDESetting.from_text(
+            source={"A": 1},
+            target={"T": 2},
+            st="A(x) -> T(x, x)",
+            t="T(x, y) -> T(y, z)",
+        )
+        with pytest.raises(SolverError):
+            exists_solution_branching(setting, parse_instance("A(a)"), Instance())
+
+    def test_plain_data_exchange_always_solvable(self):
+        # No Σ_ts, weakly acyclic Σ_t: solutions always exist [FKMP03].
+        setting = PDESetting.from_text(
+            source={"A": 2},
+            target={"T": 2, "U": 2},
+            st="A(x, y) -> T(x, y)",
+            t="T(x, y) -> U(x, w)",
+        )
+        source = parse_instance("A(a, b); A(c, d)")
+        result = exists_solution_branching(setting, source, Instance())
+        assert result.exists
+        assert setting.is_solution(source, Instance(), result.solution)
+
+
+class TestAgainstBruteForce:
+    def test_key_setting_agreement(self, key_setting):
+        cases = [
+            "A(a, 1); R(a, b)",
+            "A(a, 1); R(c, d)",
+            "A(a, 1); A(c, 2); R(a, b); R(c, d)",
+            "A(a, 1); A(a, 2); R(a, b)",
+        ]
+        for text in cases:
+            source = parse_instance(text)
+            fast = exists_solution_branching(key_setting, source, Instance()).exists
+            slow = brute_force_exists(key_setting, source, Instance(), extra_fresh=1)
+            assert fast == slow, text
+
+
+class TestSolverMechanics:
+    def test_node_budget(self, key_setting):
+        source = parse_instance("A(a, 1); R(a, b)")
+        with pytest.raises(SolverError):
+            exists_solution_branching(key_setting, source, Instance(), node_budget=1)
+
+    def test_stats(self, key_setting):
+        source = parse_instance("A(a, 1); R(a, b)")
+        result = exists_solution_branching(key_setting, source, Instance())
+        assert result.stats["nodes"] >= 1
+
+    def test_iter_solutions_all_valid(self, key_setting):
+        source = parse_instance("A(a, 1); R(a, b); R(a, c)")
+        solver = BranchingChaseSolver(key_setting, source, Instance())
+        found = 0
+        for solution in solver.iter_solutions():
+            assert key_setting.is_solution(source, Instance(), solution)
+            found += 1
+            if found > 10:
+                break
+        assert found >= 2  # T(a, b) and T(a, c) both reachable

@@ -1,0 +1,125 @@
+"""Tests for certain answers (Definition 4, Theorems 2-3)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance, parse_query
+from repro.core.query import UnionOfConjunctiveQueries
+from repro.core.setting import PDESetting
+from repro.core.terms import Constant
+from repro.solver import certain_answers, is_certain
+
+
+class TestExample1Queries:
+    """The worked certain-answer computations below Definition 4."""
+
+    def test_self_loop_makes_query_certain(self, example1_setting):
+        query = parse_query("H(x, y), H(y, z)")
+        result = certain_answers(
+            example1_setting, query, parse_instance("E(a, a)"), Instance()
+        )
+        assert result.solutions_exist
+        assert result.boolean_value is True
+
+    def test_triangle_ish_makes_query_uncertain(self, example1_setting):
+        query = parse_query("H(x, y), H(y, z)")
+        result = certain_answers(
+            example1_setting,
+            query,
+            parse_instance("E(a, b); E(b, c); E(a, c)"),
+            Instance(),
+        )
+        # {H(a, c)} is a solution falsifying the query.
+        assert result.solutions_exist
+        assert result.boolean_value is False
+
+    def test_vacuous_certainty_without_solutions(self, example1_setting):
+        query = parse_query("H(x, y), H(y, z)")
+        result = certain_answers(
+            example1_setting, query, parse_instance("E(a, b); E(b, c)"), Instance()
+        )
+        assert not result.solutions_exist
+        assert result.boolean_value is True  # vacuously certain
+
+
+class TestNonBooleanQueries:
+    @pytest.fixture
+    def setting(self) -> PDESetting:
+        return PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+            ts="T(x, y) -> R(x, y)",
+        )
+
+    def test_forced_answer_is_certain(self, setting):
+        # Only one R-edge from a: every solution contains T(a, b).
+        source = parse_instance("A(a); R(a, b)")
+        query = parse_query("q(x, y) :- T(x, y)")
+        result = certain_answers(setting, query, source, Instance())
+        assert result.answers == {(Constant("a"), Constant("b"))}
+
+    def test_choice_destroys_certainty(self, setting):
+        # Two R-edges from a: neither T(a, b) nor T(a, c) is certain,
+        # but the projection to the first column is.
+        source = parse_instance("A(a); R(a, b); R(a, c)")
+        full = parse_query("q(x, y) :- T(x, y)")
+        proj = parse_query("q(x) :- T(x, y)")
+        assert certain_answers(setting, full, source, Instance()).answers == set()
+        assert certain_answers(setting, proj, source, Instance()).answers == {
+            (Constant("a"),)
+        }
+
+    def test_is_certain_individual_tuples(self, setting):
+        source = parse_instance("A(a); R(a, b); R(a, c)")
+        query = parse_query("q(x, y) :- T(x, y)")
+        assert not is_certain(
+            setting, query, source, Instance(), (Constant("a"), Constant("b"))
+        )
+        proj = parse_query("q(x) :- T(x, y)")
+        assert is_certain(setting, proj, source, Instance(), (Constant("a"),))
+
+    def test_target_facts_are_certain(self, setting):
+        # J itself appears in every solution.
+        source = parse_instance("A(a); R(a, b); R(q, r)")
+        target = parse_instance("T(q, r)")
+        query = parse_query("q(x, y) :- T(x, y)")
+        result = certain_answers(setting, query, source, target)
+        assert (Constant("q"), Constant("r")) in result.answers
+
+
+class TestUCQCertainAnswers:
+    def test_union_certainty(self, example1_setting):
+        # H(a,c) or H(c,a): the only solution family always has H(a, c).
+        ucq = UnionOfConjunctiveQueries(
+            [parse_query("H('a', 'c')"), parse_query("H('c', 'a')")]
+        )
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        result = certain_answers(example1_setting, ucq, source, Instance())
+        assert result.boolean_value is True
+
+    def test_ucq_not_certain_when_both_disjuncts_avoidable(self, example1_setting):
+        ucq = UnionOfConjunctiveQueries(
+            [parse_query("H('a', 'b')"), parse_query("H('b', 'c')")]
+        )
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        # The minimal solution {H(a, c)} falsifies both disjuncts.
+        result = certain_answers(example1_setting, ucq, source, Instance())
+        assert result.boolean_value is False
+
+
+class TestWithTargetConstraints:
+    def test_certainty_under_key(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+            ts="T(x, y) -> R(x, y)",
+            t="T(x, y), T(x, y2) -> y = y2",
+        )
+        source = parse_instance("A(a); R(a, b); R(a, c)")
+        target = parse_instance("T(a, b)")
+        # With T(a, b) pinned and the key, T(a, c) can never appear.
+        query = parse_query("q(x, y) :- T(x, y)")
+        result = certain_answers(setting, query, source, target)
+        assert result.answers == {(Constant("a"), Constant("b"))}

@@ -1,0 +1,207 @@
+"""Unit tests for the standard chase procedure."""
+
+import pytest
+
+from repro.core.chase import chase, satisfies
+from repro.core.instance import Instance
+from repro.core.parser import parse_dependencies, parse_dependency, parse_instance
+from repro.core.terms import Constant, Null
+from repro.exceptions import ChaseFailure, ChaseNonTermination, DependencyError
+
+
+class TestTgdChase:
+    def test_gav_copy(self):
+        result = chase(parse_instance("E(a, b)"), [parse_dependency("E(x, y) -> H(x, y)")])
+        assert result.instance.count("H") == 1
+        assert result.step_count == 1
+
+    def test_transitive_closure(self):
+        tgds = [parse_dependency("E(x, y), E(y, z) -> E(x, z)")]
+        result = chase(parse_instance("E(a, b); E(b, c); E(c, d)"), tgds)
+        assert result.instance.count("E") == 6  # full transitive closure of a path
+
+    def test_existential_creates_null(self):
+        result = chase(parse_instance("E(a, b)"), [parse_dependency("E(x, y) -> H(x, w)")])
+        h_facts = result.instance.facts("H")
+        assert len(h_facts) == 1
+        assert len(h_facts[0].nulls()) == 1
+
+    def test_restricted_chase_reuses_witness(self):
+        # One H-fact for 'a' satisfies both E-facts from 'a'.
+        tgds = [parse_dependency("E(x, y) -> H(x, w)")]
+        result = chase(parse_instance("E(a, b); E(a, c)"), tgds)
+        assert result.instance.count("H") == 1
+
+    def test_satisfied_tgd_no_steps(self):
+        tgds = [parse_dependency("E(x, y) -> H(x, y)")]
+        result = chase(parse_instance("E(a, b); H(a, b)"), tgds)
+        assert result.step_count == 0
+
+    def test_fresh_nulls_above_existing(self):
+        instance = Instance.from_tuples({"E": [("a", Null(10))]})
+        result = chase(instance, [parse_dependency("E(x, y) -> H(x, w)")])
+        new_nulls = result.instance.nulls() - {Null(10)}
+        assert all(null.label > 10 for null in new_nulls)
+
+    def test_provenance_records_added_facts(self):
+        result = chase(parse_instance("E(a, b)"), [parse_dependency("E(x, y) -> H(x, y)")])
+        assert len(result.steps) == 1
+        assert result.steps[0].added_facts[0].relation == "H"
+
+    def test_new_facts_delta(self):
+        original = parse_instance("E(a, b)")
+        result = chase(original, [parse_dependency("E(x, y) -> H(x, y)")])
+        delta = result.new_facts(original)
+        assert delta.relations() == ["H"]
+
+    def test_input_not_mutated(self):
+        original = parse_instance("E(a, b)")
+        chase(original, [parse_dependency("E(x, y) -> H(x, y)")])
+        assert original.relations() == ["E"]
+
+    def test_multiple_head_atoms(self):
+        tgds = [parse_dependency("E(x, y) -> H(x, w), H(w, y)")]
+        result = chase(parse_instance("E(a, b)"), tgds)
+        assert result.instance.count("H") == 2
+        # Both head facts share the same fresh null.
+        nulls = set()
+        for fact in result.instance.facts("H"):
+            nulls |= fact.nulls()
+        assert len(nulls) == 1
+
+
+class TestEgdChase:
+    def test_merge_null_into_constant(self):
+        instance = Instance.from_tuples({"P": [("a", Null(0)), ("a", "b")]})
+        egd = parse_dependency("P(x, y), P(x, y2) -> y = y2")
+        result = chase(instance, [egd])
+        assert result.instance == parse_instance("P(a, b)")
+
+    def test_merge_null_into_null(self):
+        instance = Instance.from_tuples({"P": [("a", Null(0)), ("a", Null(1))]})
+        egd = parse_dependency("P(x, y), P(x, y2) -> y = y2")
+        result = chase(instance, [egd])
+        assert len(result.instance) == 1
+        assert result.instance.nulls() == {Null(0)}  # lower label kept
+
+    def test_constant_clash_fails(self):
+        egd = parse_dependency("P(x, y), P(x, y2) -> y = y2")
+        with pytest.raises(ChaseFailure):
+            chase(parse_instance("P(a, b); P(a, c)"), [egd])
+
+    def test_egd_then_tgd_interaction(self):
+        dependencies = parse_dependencies(
+            """
+            P(x, y), P(x, y2) -> y = y2
+            P(x, y) -> Q(y)
+            """
+        )
+        instance = Instance.from_tuples({"P": [("a", Null(0)), ("a", "b")]})
+        result = chase(instance, dependencies)
+        assert result.instance.tuples("Q") == frozenset({(Constant("b"),)})
+
+
+class TestTermination:
+    def test_weakly_acyclic_terminates(self):
+        tgds = [parse_dependency("E(x, y) -> H(x, w)")]
+        result = chase(parse_instance("E(a, b)"), tgds)
+        assert result.rounds >= 1
+
+    def test_non_weakly_acyclic_hits_budget(self):
+        tgds = [parse_dependency("H(x, y) -> H(y, z)")]
+        with pytest.raises(ChaseNonTermination):
+            chase(parse_instance("H(a, b)"), tgds, max_steps=50)
+
+    def test_disjunctive_rejected(self):
+        dep = parse_dependency("E(x, y) -> (R(x)) | (B(x))")
+        with pytest.raises(DependencyError):
+            chase(parse_instance("E(a, b)"), [dep])
+
+
+class TestSatisfies:
+    def test_tgd_satisfaction(self):
+        tgd = parse_dependency("E(x, y) -> H(x, y)")
+        assert satisfies(parse_instance("E(a, b); H(a, b)"), [tgd])
+        assert not satisfies(parse_instance("E(a, b)"), [tgd])
+
+    def test_tgd_with_existential(self):
+        tgd = parse_dependency("E(x, y) -> H(x, w)")
+        assert satisfies(parse_instance("E(a, b); H(a, zzz)"), [tgd])
+        assert not satisfies(parse_instance("E(a, b); H(b, zzz)"), [tgd])
+
+    def test_egd_satisfaction(self):
+        egd = parse_dependency("P(x, y), P(x, y2) -> y = y2")
+        assert satisfies(parse_instance("P(a, b)"), [egd])
+        assert not satisfies(parse_instance("P(a, b); P(a, c)"), [egd])
+
+    def test_disjunctive_satisfaction(self):
+        dep = parse_dependency("E(x, y) -> (R(x)) | (B(x))")
+        assert satisfies(parse_instance("E(a, b); B(a)"), [dep])
+        assert satisfies(parse_instance("E(a, b); R(a)"), [dep])
+        assert not satisfies(parse_instance("E(a, b); R(b)"), [dep])
+
+    def test_disjunctive_with_existential(self):
+        dep = parse_dependency("E(x, y) -> (R(x, u)) | (B(x, u))")
+        assert satisfies(parse_instance("E(a, b); B(a, q)"), [dep])
+        assert not satisfies(parse_instance("E(a, b); B(c, q)"), [dep])
+
+    def test_empty_dependency_set(self):
+        assert satisfies(parse_instance("E(a, b)"), [])
+
+    def test_chase_result_satisfies_dependencies(self):
+        tgds = parse_dependencies(
+            """
+            E(x, y) -> H(x, w)
+            H(x, y) -> G(y)
+            """
+        )
+        result = chase(parse_instance("E(a, b); E(b, c)"), tgds)
+        assert satisfies(result.instance, tgds)
+
+
+class TestProvenance:
+    def test_added_fact_traced_to_step(self):
+        from repro.core.atoms import Fact
+        from repro.core.terms import Constant
+
+        result = chase(
+            parse_instance("E(a, b)"), [parse_dependency("E(x, y) -> H(x, y)")]
+        )
+        step = result.provenance_of(Fact("H", (Constant("a"), Constant("b"))))
+        assert step is not None
+        assert step.dependency == parse_dependency("E(x, y) -> H(x, y)")
+
+    def test_input_fact_has_no_provenance(self):
+        from repro.core.atoms import Fact
+        from repro.core.terms import Constant
+
+        result = chase(
+            parse_instance("E(a, b)"), [parse_dependency("E(x, y) -> H(x, y)")]
+        )
+        assert result.provenance_of(Fact("E", (Constant("a"), Constant("b")))) is None
+
+    def test_unknown_fact_has_no_provenance(self):
+        from repro.core.atoms import Fact
+        from repro.core.terms import Constant
+
+        result = chase(parse_instance("E(a, b)"), [])
+        assert result.provenance_of(Fact("Z", (Constant("q"),))) is None
+
+    def test_fact_rewritten_by_egd_still_traced(self):
+        from repro.core.atoms import Fact
+        from repro.core.terms import Constant
+
+        dependencies = parse_dependencies(
+            """
+            E(x, y) -> H(x, w)
+            H(x, y), P(x, y2) -> y = y2
+            """
+        )
+        instance = parse_instance("E(a, b); P(a, c)")
+        result = chase(instance, dependencies)
+        # The tgd adds H(a, _w); the egd then merges _w with c.
+        final = Fact("H", (Constant("a"), Constant("c")))
+        assert final in result.instance
+        step = result.provenance_of(final)
+        assert step is not None
+        assert step.added_facts  # it was the tgd step

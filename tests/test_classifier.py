@@ -1,0 +1,156 @@
+"""Tests for the C_tract classifier (Definition 9) against every example
+the paper discusses."""
+
+from repro.core.setting import PDESetting
+from repro.reductions import (
+    clique_setting,
+    coloring_setting,
+    egd_boundary_setting,
+    full_tgd_boundary_setting,
+)
+from repro.tractability import classify, is_in_ctract
+
+
+class TestPaperExamples:
+    def test_example1_in_ctract(self, example1_setting):
+        report = classify(example1_setting)
+        assert report.in_ctract
+        assert report.lav_ts
+        assert report.full_st
+
+    def test_definition8_illustration_in_ctract(self, marked_example_setting):
+        # LAV Σ_ts (single literal, no repeated variables) => conditions
+        # 1 and 2.1 hold.
+        report = classify(marked_example_setting)
+        assert report.in_ctract
+        assert report.condition2_1
+
+    def test_clique_setting_not_in_ctract(self):
+        report = classify(clique_setting())
+        assert not report.in_ctract
+        # Condition 1 holds (each marked variable occurs once per lhs);
+        # conditions 2.1 and 2.2 both fail, exactly as Section 4 analyzes.
+        assert report.condition1
+        assert not report.condition2_1
+        assert not report.condition2_2
+        assert report.violations
+
+    def test_egd_boundary_st_ts_satisfy_conditions(self):
+        report = classify(egd_boundary_setting())
+        assert not report.in_ctract  # Σ_t is non-empty
+        assert report.has_target_constraints
+        assert report.condition1
+        assert report.condition2_1
+        assert report.lav_ts
+
+    def test_full_tgd_boundary_st_ts_satisfy_conditions(self):
+        report = classify(full_tgd_boundary_setting())
+        assert not report.in_ctract
+        assert report.has_target_constraints
+        assert report.condition1
+        assert report.condition2_1
+
+    def test_coloring_setting_conditions_hold_but_disjunction_excludes(self):
+        # The paper: "Σ_st and Σ_ts satisfy conditions (1) and (2.2)" yet
+        # the setting is intractable because of the disjunction.
+        report = classify(coloring_setting())
+        assert not report.in_ctract
+        assert report.has_disjunctive_ts
+        assert report.condition1
+        assert report.condition2_2
+
+
+class TestSubclasses:
+    def test_full_st_implies_ctract(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(y, x)",
+            ts="H(x, y), H(y, z) -> E(x, w), E(w, z)",
+        )
+        report = classify(setting)
+        assert report.in_ctract
+        assert report.full_st
+        assert "Corollary 1" in report.subclass() or "full" in report.subclass()
+
+    def test_lav_ts_implies_ctract(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, w)",
+            ts="H(x, y) -> E(x, w)",
+        )
+        report = classify(setting)
+        assert report.in_ctract
+        assert report.lav_ts
+
+    def test_condition1_violation(self):
+        # Marked variable appears twice in the lhs of a ts tgd.
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, w)",  # marks (H, 1)
+            ts="H(x, y), H(z, y) -> E(x, z)",  # y marked, occurs twice
+        )
+        report = classify(setting)
+        assert not report.condition1
+        assert not report.in_ctract
+
+    def test_condition1_violation_within_single_atom(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(w, w)",  # marks (H, 0) and (H, 1)
+            ts="H(y, y) -> E(y, y)",  # y marked, occurs twice in one atom
+        )
+        assert not classify(setting).condition1
+
+    def test_condition2_2_body_adjacent_pair_ok(self):
+        # Marked u, v co-occur in the rhs AND together in one lhs atom.
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(u, v)",  # marks both positions of H
+            ts="H(u, v) -> E(u, v)",
+        )
+        report = classify(setting)
+        assert report.condition2_2
+        assert report.in_ctract
+
+    def test_condition2_2_body_absent_pair_ok(self):
+        # Marked pair (w1, w2) are existentials: absent from the lhs.
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(y, x)",
+            ts="H(x, y), H(y, z) -> E(w1, w2)",
+        )
+        report = classify(setting)
+        assert report.condition2_2
+        assert report.in_ctract
+
+    def test_condition2_2_distance_two_violation(self):
+        # The paper's point: connected via a path of length two is NOT
+        # enough — the clique setting's z, z2 are connected through x.
+        report = classify(clique_setting())
+        assert any("condition 2.2" in violation for violation in report.violations)
+
+    def test_target_constraints_exclude_from_ctract(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, y)",
+            ts="H(x, y) -> E(x, y)",
+            t="H(x, y), H(x, y2) -> y = y2",
+        )
+        report = classify(setting)
+        assert report.has_target_constraints
+        assert not report.in_ctract
+
+    def test_is_in_ctract_helper(self, example1_setting):
+        assert is_in_ctract(example1_setting)
+        assert not is_in_ctract(clique_setting())
+
+    def test_subclass_reporting(self, example1_setting):
+        assert classify(example1_setting).subclass() == "full Σ_st + LAV Σ_ts"
+        assert classify(clique_setting()).subclass() == "not in C_tract"

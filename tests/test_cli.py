@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import dumps_setting
+from repro.workloads import genomics_setting
+
+
+@pytest.fixture
+def example1_files(tmp_path, example1_setting):
+    setting_path = tmp_path / "setting.json"
+    setting_path.write_text(dumps_setting(example1_setting, indent=2))
+    good = tmp_path / "good.txt"
+    good.write_text("E(a, b); E(b, c); E(a, c)")
+    bad = tmp_path / "bad.txt"
+    bad.write_text("E(a, b); E(b, c)")
+    return setting_path, good, bad
+
+
+class TestSolveCommand:
+    def test_solvable_exit_zero(self, example1_files, capsys):
+        setting, good, _bad = example1_files
+        code = main(["solve", str(setting), str(good)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solution exists: True" in out
+        assert "H" in out
+
+    def test_unsolvable_exit_one(self, example1_files, capsys):
+        setting, _good, bad = example1_files
+        code = main(["solve", str(setting), str(bad)])
+        assert code == 1
+        assert "solution exists: False" in capsys.readouterr().out
+
+    def test_forced_method(self, example1_files, capsys):
+        setting, good, _bad = example1_files
+        code = main(["solve", str(setting), str(good), "--method", "valuation"])
+        assert code == 0
+        assert "valuation-search" in capsys.readouterr().out
+
+    def test_json_witness(self, example1_files, capsys):
+        setting, good, _bad = example1_files
+        main(["solve", str(setting), str(good), "--json"])
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        decoded = json.loads(payload)
+        assert "H" in decoded
+
+    def test_target_instance_argument(self, example1_files, tmp_path, capsys):
+        setting, good, _bad = example1_files
+        target = tmp_path / "target.txt"
+        target.write_text("H(a, c)")
+        code = main(["solve", str(setting), str(good), str(target)])
+        assert code == 0
+
+
+class TestClassifyCommand:
+    def test_ctract_setting(self, example1_files, capsys):
+        setting, _good, _bad = example1_files
+        code = main(["classify", str(setting)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "in C_tract: True" in out
+
+    def test_genomics(self, tmp_path, capsys):
+        path = tmp_path / "genomics.json"
+        path.write_text(dumps_setting(genomics_setting()))
+        main(["classify", str(path)])
+        assert "LAV" in capsys.readouterr().out
+
+
+class TestCertainCommand:
+    def test_boolean_query(self, example1_files, capsys):
+        setting, good, _bad = example1_files
+        code = main(["certain", str(setting), str(good), "--query", "H(x, y), H(y, z)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "certain" in out and "False" in out
+
+    def test_open_query(self, example1_files, capsys):
+        setting, good, _bad = example1_files
+        main(["certain", str(setting), str(good), "--query", "q(x, y) :- H(x, y)"])
+        out = capsys.readouterr().out
+        assert "certain answers" in out
+        assert "(a, c)" in out
+
+
+class TestExplainCommand:
+    def test_failing_block_explained(self, example1_files, capsys):
+        setting, _good, bad = example1_files
+        code = main(["explain", str(setting), str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "failing-block" in out
+        assert "E(a, c)" in out
+
+
+class TestChaseCommand:
+    def test_canonical_instances_printed(self, example1_files, capsys):
+        setting, good, _bad = example1_files
+        code = main(["chase", str(setting), str(good)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "J_can" in out and "I_can" in out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestDescribeCommand:
+    def test_markdown_report(self, example1_files, capsys):
+        setting, _good, _bad = example1_files
+        code = main(["describe", str(setting)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# Setting analysis" in out
+        assert "Recommended solver" in out
+
+    def test_dot_output(self, example1_files, capsys):
+        setting, _good, _bad = example1_files
+        main(["describe", str(setting), "--dot", "relations"])
+        out = capsys.readouterr().out
+        assert out.startswith("digraph relations {")
+
+    def test_position_dot_output(self, example1_files, capsys):
+        setting, _good, _bad = example1_files
+        main(["describe", str(setting), "--dot", "positions"])
+        out = capsys.readouterr().out
+        assert out.startswith("digraph positions {")

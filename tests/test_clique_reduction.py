@@ -1,0 +1,122 @@
+"""Experiment E4: the CLIQUE reduction of Theorem 3."""
+
+import itertools
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.dependency_graph import is_acyclic, relation_dependency_graph
+from repro.reductions import (
+    certain_answer_query,
+    clique_setting,
+    clique_source_instance,
+    has_k_clique,
+    normalize_graph,
+)
+from repro.solver import certain_answers, solve
+from repro.tractability import classify
+
+
+TRIANGLE = ([1, 2, 3], [(1, 2), (2, 3), (1, 3)])
+PATH4 = ([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4)])
+K4 = (list(range(4)), list(itertools.combinations(range(4), 2)))
+
+
+class TestReductionCorrectness:
+    @pytest.mark.parametrize(
+        "graph,k,expected",
+        [
+            (TRIANGLE, 3, True),
+            (TRIANGLE, 2, True),
+            (PATH4, 3, False),
+            (PATH4, 2, True),
+            (K4, 4, True),
+            (K4, 3, True),
+            (([1, 2], []), 2, False),
+        ],
+    )
+    def test_solution_iff_clique(self, graph, k, expected):
+        nodes, edges = graph
+        assert has_k_clique(nodes, edges, k) is expected
+        source = clique_source_instance(nodes, edges, k)
+        assert solve(clique_setting(), source, Instance()).exists is expected
+
+    def test_exhaustive_small_graphs(self):
+        """Every graph on 3 nodes, k in {2, 3}."""
+        setting = clique_setting()
+        nodes = [1, 2, 3]
+        all_edges = list(itertools.combinations(nodes, 2))
+        for r in range(len(all_edges) + 1):
+            for chosen in itertools.combinations(all_edges, r):
+                for k in (2, 3):
+                    want = has_k_clique(nodes, chosen, k)
+                    source = clique_source_instance(nodes, chosen, k)
+                    got = solve(setting, source, Instance()).exists
+                    assert got == want, (chosen, k)
+
+    def test_witness_is_valid(self):
+        setting = clique_setting()
+        nodes, edges = TRIANGLE
+        source = clique_source_instance(nodes, edges, 3)
+        result = solve(setting, source, Instance())
+        assert result.exists
+        assert setting.is_solution(source, Instance(), result.solution)
+
+    def test_k_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            clique_source_instance([1], [], 1)
+
+
+class TestSettingShape:
+    def test_not_in_ctract_but_conditions_analyzed(self):
+        report = classify(clique_setting())
+        assert not report.in_ctract
+        assert report.condition1  # marked variables appear once per lhs
+
+    def test_acyclic_relation_dependency_graph(self):
+        """Section 3.2: the reduction setting's dependency graph is acyclic,
+        so acyclicity alone cannot ensure tractability."""
+        graph = relation_dependency_graph(clique_setting().all_dependencies())
+        assert is_acyclic(graph)
+
+    def test_no_target_constraints(self):
+        assert not clique_setting().has_target_constraints
+
+
+class TestCertainAnswersVariant:
+    def test_query_not_certain_iff_clique(self):
+        setting = clique_setting()
+        query = certain_answer_query()
+        for (nodes, edges), k, has_clique in [
+            (TRIANGLE, 3, True),
+            (PATH4, 3, False),
+            (PATH4, 2, True),
+        ]:
+            source = clique_source_instance(nodes, edges, k, draw_from_nodes=True)
+            result = certain_answers(setting, query, source, Instance())
+            # G has a k-clique iff certain(q) = false.
+            assert result.boolean_value is (not has_clique), (nodes, edges, k)
+
+    def test_padding_when_k_exceeds_nodes(self):
+        setting = clique_setting()
+        query = certain_answer_query()
+        source = clique_source_instance([1, 2], [(1, 2)], 3, draw_from_nodes=True)
+        result = certain_answers(setting, query, source, Instance())
+        # No 3-clique in a 2-node graph: certain(q) = true (vacuously,
+        # since no solution exists).
+        assert result.boolean_value is True
+        assert not result.solutions_exist
+
+
+class TestNormalizeGraph:
+    def test_symmetrizes(self):
+        _nodes, edges = normalize_graph([1, 2], [(1, 2)])
+        assert (2, 1) in edges
+
+    def test_drops_self_loops(self):
+        _nodes, edges = normalize_graph([1], [(1, 1)])
+        assert edges == set()
+
+    def test_collects_nodes_from_edges(self):
+        nodes, _edges = normalize_graph([], [(1, 2)])
+        assert set(nodes) == {1, 2}

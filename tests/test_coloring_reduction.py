@@ -1,0 +1,91 @@
+"""Experiment E11: the 3-colorability reduction with disjunctive Σ_ts."""
+
+import itertools
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.reductions import (
+    coloring_setting,
+    coloring_source_instance,
+    is_three_colorable,
+)
+from repro.solver import solve
+from repro.tractability import classify
+from repro.workloads import cycle_graph
+
+
+class TestReductionCorrectness:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (([1, 2, 3], [(1, 2), (2, 3), (1, 3)]), True),  # triangle
+            ((list(range(4)), list(itertools.combinations(range(4), 2))), False),  # K4
+            (cycle_graph(5), True),  # odd cycle
+            (([1, 2], [(1, 2)]), True),  # single edge
+        ],
+    )
+    def test_solution_iff_three_colorable(self, graph, expected):
+        nodes, edges = graph
+        assert is_three_colorable(nodes, edges) is expected
+        source = coloring_source_instance(nodes, edges)
+        assert solve(coloring_setting(), source, Instance()).exists is expected
+
+    def test_witness_valid(self):
+        setting = coloring_setting()
+        nodes, edges = cycle_graph(5)
+        source = coloring_source_instance(nodes, edges)
+        result = solve(setting, source, Instance())
+        assert result.exists
+        assert setting.is_solution(source, Instance(), result.solution)
+
+    def test_witness_encodes_coloring(self):
+        setting = coloring_setting()
+        nodes, edges = [1, 2, 3], [(1, 2), (2, 3), (1, 3)]
+        source = coloring_source_instance(nodes, edges)
+        result = solve(setting, source, Instance())
+        colors = {}
+        for fact in result.solution.facts("C"):
+            colors[fact.args[0]] = fact.args[1]
+        # Adjacent nodes received distinct colors.
+        for fact in result.solution.facts("Ep"):
+            u, v = fact.args
+            assert colors[u] != colors[v]
+
+
+class TestSettingShape:
+    def test_disjunction_excludes_from_ctract(self):
+        report = classify(coloring_setting())
+        assert report.has_disjunctive_ts
+        assert not report.in_ctract
+
+    def test_conditions_1_and_2_2_hold(self):
+        # The paper's observation: the non-disjunctive conditions of
+        # Definition 9 are all satisfied — disjunction alone is to blame.
+        report = classify(coloring_setting())
+        assert report.condition1
+        assert report.condition2_2
+
+    def test_no_target_constraints(self):
+        assert not coloring_setting().has_target_constraints
+
+    def test_six_color_disjuncts(self):
+        setting = coloring_setting()
+        disjunctive = [d for d in setting.sigma_ts if hasattr(d, "disjuncts")]
+        assert len(disjunctive) == 1
+        assert len(disjunctive[0].disjuncts) == 6
+
+
+class TestOracle:
+    def test_empty_graph_colorable(self):
+        assert is_three_colorable([], [])
+
+    def test_k4_not_colorable(self):
+        nodes = list(range(4))
+        assert not is_three_colorable(nodes, list(itertools.combinations(nodes, 2)))
+
+    def test_bipartite_colorable(self):
+        from repro.workloads import bipartite_graph
+
+        nodes, edges = bipartite_graph(3, 3, 0.8, seed=1)
+        assert is_three_colorable(nodes, edges)

@@ -1,0 +1,117 @@
+"""Tests for core computation (reference [7] machinery)."""
+
+from repro.core.cores import core, is_core
+from repro.core.homomorphism import has_instance_homomorphism
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.terms import Null
+
+
+def with_nulls(*rows):
+    return Instance.from_tuples({"E": list(rows)})
+
+
+class TestCore:
+    def test_ground_instance_is_its_own_core(self):
+        instance = parse_instance("E(a, b); E(b, c)")
+        assert core(instance) == instance
+        assert is_core(instance)
+
+    def test_redundant_null_fact_removed(self):
+        # E(a, _n) is subsumed by E(a, b).
+        instance = with_nulls(("a", Null(0)), ("a", "b"))
+        minimized = core(instance)
+        assert minimized == parse_instance("E(a, b)")
+
+    def test_null_fact_without_subsumer_kept(self):
+        instance = with_nulls(("a", Null(0)))
+        assert core(instance) == instance
+
+    def test_chain_of_redundancy(self):
+        # Both null facts fold onto the ground fact.
+        instance = with_nulls(("a", Null(0)), ("a", Null(1)), ("a", "b"))
+        assert core(instance) == parse_instance("E(a, b)")
+
+    def test_null_to_null_folding(self):
+        # Two parallel null facts with no ground anchor: they fold onto one.
+        instance = with_nulls(("a", Null(0)), ("a", Null(1)))
+        minimized = core(instance)
+        assert len(minimized) == 1
+        assert len(minimized.nulls()) == 1
+
+    def test_connected_block_folds_as_unit(self):
+        # E(_x, _y), E(_y, _x) can fold onto a ground 2-cycle.
+        instance = Instance.from_tuples(
+            {"E": [(Null(0), Null(1)), (Null(1), Null(0)), ("a", "b"), ("b", "a")]}
+        )
+        assert core(instance) == parse_instance("E(a, b); E(b, a)")
+
+    def test_triangle_with_null_path(self):
+        # Classic: a null path of length 2 folds onto a self-loop.
+        instance = Instance.from_tuples(
+            {"E": [(Null(0), Null(1)), (Null(1), Null(2)), ("a", "a")]}
+        )
+        assert core(instance) == parse_instance("E(a, a)")
+
+    def test_core_is_homomorphic_image(self):
+        instance = Instance.from_tuples(
+            {"E": [(Null(0), Null(1)), ("a", Null(2)), ("a", "b"), ("c", "d")]}
+        )
+        minimized = core(instance)
+        assert instance.contains_instance(minimized)
+        assert has_instance_homomorphism(instance, minimized)
+
+    def test_core_idempotent(self):
+        instance = Instance.from_tuples(
+            {"E": [(Null(0), Null(1)), ("a", Null(2)), ("a", "b")]}
+        )
+        once = core(instance)
+        assert core(once) == once
+        assert is_core(once)
+
+    def test_protect_keeps_facts(self):
+        instance = with_nulls(("a", Null(0)), ("a", "b"))
+        protected = with_nulls(("a", Null(0)))
+        minimized = core(instance, protect=protected)
+        assert minimized == instance  # the redundant fact is protected
+
+    def test_cross_relation_block(self):
+        instance = Instance.from_tuples(
+            {
+                "E": [("a", Null(0)), ("a", "b")],
+                "F": [(Null(0),), ("b",)],
+            }
+        )
+        minimized = core(instance)
+        assert minimized == parse_instance("E(a, b); F(b)")
+
+    def test_empty_instance(self):
+        assert core(Instance()) == Instance()
+
+    def test_isolated_incomparable_nulls_kept(self):
+        instance = Instance.from_tuples(
+            {"E": [("a", Null(0))], "F": [(Null(1),)]}
+        )
+        assert core(instance) == instance
+
+
+class TestCoreOfSolutions:
+    def test_core_of_witness_is_solution(self):
+        """Solutions stay solutions after coring (Σ_ts is anti-monotone and
+        the Σ_st witnesses survive as homomorphic images)."""
+        from repro import PDESetting, solve
+
+        setting = PDESetting.from_text(
+            source={"A": 1},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+        )
+        source = parse_instance("A(a); A(b)")
+        witness = solve(setting, source, Instance()).solution
+        bloated = witness.union(
+            Instance.from_tuples({"T": [("a", Null(901)), ("a", Null(902))]})
+        )
+        assert setting.is_solution(source, Instance(), bloated)
+        minimized = core(bloated)
+        assert setting.is_solution(source, Instance(), minimized)
+        assert len(minimized) <= len(witness)

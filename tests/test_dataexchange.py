@@ -1,0 +1,141 @@
+"""Tests for the classical data exchange baseline and the paper's
+PDE-vs-data-exchange contrasts."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance, parse_query
+from repro.core.setting import PDESetting
+from repro.core.terms import Constant
+from repro.dataexchange import (
+    certain_answers_data_exchange,
+    exists_solution_data_exchange,
+    is_data_exchange_setting,
+    universal_solution,
+)
+from repro.exceptions import SolverError
+from repro.solver import certain_answers, solve
+
+
+@pytest.fixture
+def de_setting() -> PDESetting:
+    return PDESetting.from_text(
+        source={"E": 2},
+        target={"H": 2, "G": 2},
+        st="E(x, z), E(z, y) -> H(x, y)",
+        t="H(x, y) -> G(x, w)",
+    )
+
+
+class TestUniversalSolution:
+    def test_chase_builds_universal(self, de_setting):
+        universal = universal_solution(de_setting, parse_instance("E(a, b); E(b, c)"))
+        assert universal is not None
+        assert universal.count("H") == 1
+        assert universal.count("G") == 1
+        assert len(universal.nulls()) == 1
+
+    def test_rejects_ts_dependencies(self, example1_setting):
+        with pytest.raises(SolverError):
+            universal_solution(example1_setting, parse_instance("E(a, a)"))
+
+    def test_rejects_non_weakly_acyclic(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, y)",
+            t="H(x, y) -> H(y, z)",
+        )
+        with pytest.raises(SolverError):
+            universal_solution(setting, parse_instance("E(a, b)"))
+
+    def test_failing_egd_gives_none(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, y)",
+            t="H(x, y), H(x, y2) -> y = y2",
+        )
+        source = parse_instance("E(a, b); E(a, c)")
+        assert universal_solution(setting, source) is None
+
+    def test_is_data_exchange_setting(self, de_setting, example1_setting):
+        assert is_data_exchange_setting(de_setting)
+        assert not is_data_exchange_setting(example1_setting)
+
+
+class TestExistence:
+    def test_always_exists_without_target_constraints(self):
+        """The paper's contrast: data exchange with Σ_t = ∅ always has
+        solutions, unlike PDE (Example 1)."""
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, z), E(z, y) -> H(x, y)",
+        )
+        for text in ["E(a, b); E(b, c)", "E(a, a)", "E(a, b)"]:
+            result = exists_solution_data_exchange(setting, parse_instance(text))
+            assert result.exists
+
+    def test_agrees_with_pde_dispatcher(self, de_setting):
+        for text in ["E(a, b); E(b, c)", "E(a, a)"]:
+            source = parse_instance(text)
+            baseline = exists_solution_data_exchange(de_setting, source)
+            pde = solve(de_setting, source, Instance())
+            assert baseline.exists == pde.exists
+
+    def test_universal_is_valid_solution(self, de_setting):
+        source = parse_instance("E(a, b); E(b, c)")
+        result = exists_solution_data_exchange(de_setting, source)
+        assert de_setting.is_solution(source, Instance(), result.solution)
+
+    def test_egd_failure_detected(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, y)",
+            t="H(x, y), H(x, y2) -> y = y2",
+        )
+        source = parse_instance("E(a, b); E(a, c)")
+        assert not exists_solution_data_exchange(setting, source).exists
+        assert not solve(setting, source, Instance()).exists
+
+
+class TestCertainAnswers:
+    def test_naive_evaluation_exact(self, de_setting):
+        source = parse_instance("E(a, b); E(b, c); E(c, d)")
+        query = parse_query("q(x, y) :- H(x, y)")
+        baseline = certain_answers_data_exchange(de_setting, query, source)
+        exact = certain_answers(de_setting, query, source, Instance())
+        assert baseline.answers == exact.answers
+        assert baseline.answers == {
+            (Constant("a"), Constant("c")),
+            (Constant("b"), Constant("d")),
+        }
+
+    def test_null_positions_not_certain(self, de_setting):
+        source = parse_instance("E(a, b); E(b, c)")
+        query = parse_query("q(x, w) :- G(x, w)")
+        baseline = certain_answers_data_exchange(de_setting, query, source)
+        assert baseline.answers == set()  # w is a null in every minimal view
+
+    def test_boolean_query_through_null_certain(self, de_setting):
+        source = parse_instance("E(a, b); E(b, c)")
+        query = parse_query("G(x, w)")
+        baseline = certain_answers_data_exchange(de_setting, query, source)
+        exact = certain_answers(de_setting, query, source, Instance())
+        assert baseline.boolean_value is True
+        assert exact.boolean_value is True
+
+    def test_vacuous_on_failure(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, y)",
+            t="H(x, y), H(x, y2) -> y = y2",
+        )
+        source = parse_instance("E(a, b); E(a, c)")
+        query = parse_query("H(x, y)")
+        result = certain_answers_data_exchange(setting, query, source)
+        assert not result.solutions_exist
+        assert result.boolean_value is True

@@ -1,0 +1,133 @@
+"""Unit tests for tgds, egds, and disjunctive tgds."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.dependencies import EGD, TGD, DisjunctiveTGD
+from repro.core.parser import parse_dependency
+from repro.core.schema import Schema
+from repro.core.terms import Variable
+from repro.exceptions import DependencyError, SchemaError
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+class TestTGD:
+    def test_existential_variables(self):
+        tgd = parse_dependency("E(x, y) -> H(x, z)")
+        assert tgd.existential_variables() == {z}
+        assert tgd.frontier_variables() == {x}
+
+    def test_body_and_head_variables(self):
+        tgd = parse_dependency("E(x, y) -> H(x, z)")
+        assert tgd.body_variables() == {x, y}
+        assert tgd.head_variables() == {x, z}
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DependencyError):
+            TGD([], [Atom("H", [x])])
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(DependencyError):
+            TGD([Atom("E", [x])], [])
+
+    def test_full_detection(self):
+        assert parse_dependency("E(x, y) -> H(y, x)").is_full()
+        assert not parse_dependency("E(x, y) -> H(x, z)").is_full()
+
+    def test_lav_detection(self):
+        assert parse_dependency("H(x, y) -> E(x, y)").is_lav()
+        assert parse_dependency("H(x, y) -> E(x, z), E(z, y)").is_lav()
+        # Repeated variable in the single body atom: not LAV.
+        assert not parse_dependency("H(x, x) -> E(x, x)").is_lav()
+        # Two body atoms: not LAV.
+        assert not parse_dependency("H(x, y), H(y, z) -> E(x, z)").is_lav()
+
+    def test_gav_detection(self):
+        assert parse_dependency("E(x, z), E(z, y) -> H(x, y)").is_gav()
+        assert not parse_dependency("E(x, y) -> H(x, z)").is_gav()
+        assert not parse_dependency("E(x, y) -> H(x, y), H(y, x)").is_gav()
+
+    def test_validate_schemas(self):
+        tgd = parse_dependency("E(x, y) -> H(x, y)")
+        tgd.validate(Schema.from_arities({"E": 2}), Schema.from_arities({"H": 2}))
+        with pytest.raises(SchemaError):
+            tgd.validate(Schema.from_arities({"H": 2}), Schema.from_arities({"E": 2}))
+
+    def test_validate_arity(self):
+        tgd = parse_dependency("E(x, y) -> H(x, y)")
+        with pytest.raises(SchemaError):
+            tgd.validate(Schema.from_arities({"E": 3}), Schema.from_arities({"H": 2}))
+
+    def test_str_shows_existentials(self):
+        tgd = parse_dependency("E(x, y) -> H(x, z)")
+        assert "∃z" in str(tgd)
+
+    def test_equality(self):
+        first = parse_dependency("E(x, y) -> H(x, y)")
+        second = parse_dependency("E(x, y) -> H(x, y)")
+        assert first == second
+
+
+class TestEGD:
+    def test_parse_and_fields(self):
+        egd = parse_dependency("P(x, z, y, w), P(x, z2, y2, w2) -> z = z2")
+        assert isinstance(egd, EGD)
+        assert egd.left == z
+        assert egd.right == Variable("z2")
+
+    def test_variables_must_occur_in_body(self):
+        with pytest.raises(DependencyError):
+            EGD([Atom("P", [x, y])], x, w)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DependencyError):
+            EGD([], x, x)
+
+    def test_validate(self):
+        egd = parse_dependency("P(x, y), P(x, y2) -> y = y2")
+        egd.validate(Schema.from_arities({"P": 2}))
+        with pytest.raises(SchemaError):
+            egd.validate(Schema.from_arities({"Q": 2}))
+
+    def test_str(self):
+        egd = parse_dependency("P(x, y), P(x, y2) -> y = y2")
+        assert str(egd) == "P(x, y), P(x, y2) -> y = y2"
+
+
+class TestDisjunctiveTGD:
+    def test_parse(self):
+        dep = parse_dependency("E(x, y) -> (R(x), B(y)) | (B(x), R(y))")
+        assert isinstance(dep, DisjunctiveTGD)
+        assert len(dep.disjuncts) == 2
+
+    def test_existential_variables(self):
+        dep = parse_dependency("E(x, y) -> (R(u)) | (B(u))")
+        assert dep.existential_variables() == {Variable("u")}
+
+    def test_as_tgds(self):
+        dep = parse_dependency("E(x, y) -> (R(x)) | (B(y))")
+        tgds = dep.as_tgds()
+        assert len(tgds) == 2
+        assert all(isinstance(t, TGD) for t in tgds)
+        assert tgds[0].head[0].relation == "R"
+
+    def test_empty_disjunct_rejected(self):
+        with pytest.raises(DependencyError):
+            DisjunctiveTGD([Atom("E", [x, y])], [[]])
+
+    def test_no_disjuncts_rejected(self):
+        with pytest.raises(DependencyError):
+            DisjunctiveTGD([Atom("E", [x, y])], [])
+
+    def test_validate(self):
+        dep = parse_dependency("Ep(x, y) -> (R(x)) | (B(y))")
+        dep.validate(
+            Schema.from_arities({"Ep": 2}),
+            Schema.from_arities({"R": 1, "B": 1}),
+        )
+        with pytest.raises(SchemaError):
+            dep.validate(
+                Schema.from_arities({"Ep": 2}),
+                Schema.from_arities({"R": 1}),
+            )

@@ -1,0 +1,62 @@
+"""Tests for the relation-level dependency graph (Section 3.2)."""
+
+from repro.core.dependency_graph import is_acyclic, relation_dependency_graph
+from repro.core.parser import parse_dependencies, parse_dependency
+
+
+class TestGraphConstruction:
+    def test_tgd_edges(self):
+        graph = relation_dependency_graph([parse_dependency("E(x, y) -> H(x, y)")])
+        assert graph == {"E": {"H"}, "H": set()}
+
+    def test_multi_atom_edges(self):
+        graph = relation_dependency_graph(
+            [parse_dependency("A(x), B(x) -> C(x), D(x)")]
+        )
+        assert graph["A"] == {"C", "D"}
+        assert graph["B"] == {"C", "D"}
+
+    def test_egd_contributes_nodes_only(self):
+        graph = relation_dependency_graph(
+            [parse_dependency("P(x, y), P(x, y2) -> y = y2")]
+        )
+        assert graph == {"P": set()}
+
+    def test_disjunctive_edges(self):
+        graph = relation_dependency_graph(
+            [parse_dependency("E(x, y) -> (R(x)) | (B(y))")]
+        )
+        assert graph["E"] == {"R", "B"}
+
+
+class TestAcyclicity:
+    def test_acyclic(self):
+        graph = {"A": {"B"}, "B": {"C"}, "C": set()}
+        assert is_acyclic(graph)
+
+    def test_cycle(self):
+        graph = {"A": {"B"}, "B": {"A"}}
+        assert not is_acyclic(graph)
+
+    def test_self_loop(self):
+        assert not is_acyclic({"A": {"A"}})
+
+    def test_empty(self):
+        assert is_acyclic({})
+
+    def test_example1_setting_is_cyclic(self, example1_setting):
+        # E -> H (Σ_st) and H -> E (Σ_ts): a relation-level cycle.
+        graph = relation_dependency_graph(example1_setting.all_dependencies())
+        assert not is_acyclic(graph)
+
+    def test_dependencies_spanning_graph(self):
+        dependencies = parse_dependencies(
+            """
+            D(x, y) -> P(x, z, y, w)
+            P(x, z, y, w) -> E(z, w)
+            """
+        )
+        graph = relation_dependency_graph(dependencies)
+        assert is_acyclic(graph)
+        assert graph["D"] == {"P"}
+        assert graph["P"] == {"E"}

@@ -1,0 +1,120 @@
+"""Tests for solution enumeration and the brute-force oracle (E13)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.solver import (
+    brute_force_exists,
+    enumerate_solutions,
+    minimal_solution_sizes,
+    solve,
+)
+
+
+@pytest.fixture
+def choice_setting() -> PDESetting:
+    return PDESetting.from_text(
+        source={"A": 1, "R": 2},
+        target={"T": 2},
+        st="A(x) -> T(x, y)",
+        ts="T(x, y) -> R(x, y)",
+    )
+
+
+class TestEnumerateSolutions:
+    def test_counts_choices(self, choice_setting):
+        source = parse_instance("A(a); R(a, b); R(a, c); R(a, d)")
+        solutions = list(enumerate_solutions(choice_setting, source, Instance()))
+        assert len(solutions) == 3
+
+    def test_limit(self, choice_setting):
+        source = parse_instance("A(a); R(a, b); R(a, c); R(a, d)")
+        solutions = list(
+            enumerate_solutions(choice_setting, source, Instance(), limit=2)
+        )
+        assert len(solutions) == 2
+
+    def test_all_yielded_are_solutions(self, choice_setting):
+        source = parse_instance("A(a); A(b); R(a, x); R(a, y); R(b, z)")
+        for solution in enumerate_solutions(choice_setting, source, Instance()):
+            assert choice_setting.is_solution(source, Instance(), solution)
+
+    def test_empty_when_unsolvable(self, choice_setting):
+        source = parse_instance("A(a)")
+        assert list(enumerate_solutions(choice_setting, source, Instance())) == []
+
+    def test_with_target_constraints(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+            ts="T(x, y) -> R(x, y)",
+            t="T(x, y), T(x, y2) -> y = y2",
+        )
+        source = parse_instance("A(a); R(a, b); R(a, c)")
+        solutions = list(enumerate_solutions(setting, source, Instance()))
+        # The key holds within each solution, so each picks one witness.
+        assert len(solutions) == 2
+        for solution in solutions:
+            assert setting.is_solution(source, Instance(), solution)
+
+    def test_with_existential_target_tgds_uses_branching(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 1, "U": 2},
+            st="A(x) -> T(x)",
+            ts="U(x, y) -> R(x, y)",
+            t="T(x) -> U(x, y)",
+        )
+        source = parse_instance("A(a); R(a, b)")
+        solutions = list(
+            enumerate_solutions(setting, source, Instance(), node_budget=50_000)
+        )
+        assert solutions
+        for solution in solutions:
+            assert setting.is_solution(source, Instance(), solution)
+
+
+class TestLemma2Sizes:
+    def test_sizes_bounded_by_polynomial(self, choice_setting):
+        # Lemma 2: minimal solutions are polynomial in |(I, J)|; here the
+        # bound is |J_can| = number of A-facts.
+        for n in (1, 3, 5):
+            facts = "; ".join(f"A(a{i})" for i in range(n))
+            edges = "; ".join(f"R(a{i}, b{i})" for i in range(n))
+            source = parse_instance(facts + "; " + edges)
+            sizes = minimal_solution_sizes(choice_setting, source, Instance())
+            assert sizes
+            assert all(size <= n for size in sizes)
+
+
+class TestBruteForce:
+    def test_agrees_with_solver_on_small_inputs(self, choice_setting):
+        cases = [
+            "A(a); R(a, b)",
+            "A(a)",
+            "A(a); R(b, c)",
+            "A(a); A(b); R(a, c); R(b, c)",
+        ]
+        for text in cases:
+            source = parse_instance(text)
+            fast = solve(choice_setting, source, Instance()).exists
+            slow = brute_force_exists(choice_setting, source, Instance())
+            assert fast == slow, text
+
+    def test_respects_existing_target(self, choice_setting):
+        source = parse_instance("A(a); R(a, b)")
+        target = parse_instance("T(z, z)")
+        assert not brute_force_exists(choice_setting, source, target)
+
+    def test_fresh_values_used_when_needed(self):
+        # No Σ_ts: the existential can be witnessed by anything, including
+        # a fresh value not in the active domain.
+        setting = PDESetting.from_text(
+            source={"A": 1},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+        )
+        assert brute_force_exists(setting, parse_instance("A(a)"), Instance())

@@ -1,0 +1,70 @@
+"""Experiment E1: the full Example 1 walkthrough, end to end.
+
+Reproduces every claim the paper makes about its running example, through
+the public API.
+"""
+
+from repro import Instance, enumerate_solutions, parse_instance, parse_query, solve
+from repro.solver import certain_answers
+
+
+class TestExample1Semantics:
+    def test_no_solution_for_open_path(self, example1_setting):
+        # I = {E(a,b), E(b,c)}, J = ∅: H(a, c) is forced but E(a, c) is
+        # missing, so no solution exists.
+        result = solve(example1_setting, parse_instance("E(a, b); E(b, c)"), Instance())
+        assert not result.exists
+
+    def test_unique_solution_for_self_loop(self, example1_setting):
+        # I = {E(a,a)}: J' = {H(a,a)} is the only solution.
+        source = parse_instance("E(a, a)")
+        result = solve(example1_setting, source, Instance())
+        assert result.exists
+        assert result.solution == parse_instance("H(a, a)")
+        minimal = list(enumerate_solutions(example1_setting, source, Instance()))
+        assert minimal == [parse_instance("H(a, a)")]
+
+    def test_two_solutions_for_triangle_ish(self, example1_setting, triangle_ish_source):
+        # Both {H(a,c)} and {H(a,b), H(b,c), H(a,c)} are solutions.
+        small = parse_instance("H(a, c)")
+        large = parse_instance("H(a, b); H(b, c); H(a, c)")
+        assert example1_setting.is_solution(triangle_ish_source, Instance(), small)
+        assert example1_setting.is_solution(triangle_ish_source, Instance(), large)
+
+    def test_solutions_not_unique_up_to_isomorphism(
+        self, example1_setting, triangle_ish_source
+    ):
+        small = parse_instance("H(a, c)")
+        large = parse_instance("H(a, b); H(b, c); H(a, c)")
+        assert len(small) != len(large)  # not isomorphic
+
+
+class TestExample1CertainAnswers:
+    def test_certain_true_on_self_loop(self, example1_setting):
+        query = parse_query("H(x, y), H(y, z)")
+        result = certain_answers(
+            example1_setting, query, parse_instance("E(a, a)"), Instance()
+        )
+        assert result.boolean_value is True
+
+    def test_certain_false_on_triangle_ish(self, example1_setting, triangle_ish_source):
+        query = parse_query("H(x, y), H(y, z)")
+        result = certain_answers(
+            example1_setting, query, triangle_ish_source, Instance()
+        )
+        assert result.boolean_value is False
+
+
+class TestExample1DataExchangeContrast:
+    def test_without_ts_solutions_always_exist(self):
+        # The paper's contrast: drop Σ_ts and Σ_t, and solutions always
+        # exist in plain data exchange.
+        from repro import PDESetting
+
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, z), E(z, y) -> H(x, y)",
+        )
+        for text in ["E(a, b); E(b, c)", "E(a, a)", "E(a, b)"]:
+            assert solve(setting, parse_instance(text), Instance()).exists

@@ -1,0 +1,27 @@
+"""Smoke tests: every shipped example script runs cleanly."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "genomics_sync.py", "clique_reduction.py"} <= names
+    assert len(EXAMPLES) >= 3

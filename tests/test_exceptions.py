@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ChaseFailure,
+    ChaseNonTermination,
+    DependencyError,
+    NotWeaklyAcyclicError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    SolverError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ParseError,
+            SchemaError,
+            DependencyError,
+            ChaseFailure,
+            SolverError,
+            NotWeaklyAcyclicError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catchable_as_library_error(self):
+        from repro.core.parser import parse_dependency
+
+        with pytest.raises(ReproError):
+            parse_dependency("not a dependency !!!")
+
+    def test_parse_error_context(self):
+        error = ParseError("bad token", text="E(x,, y)", position=4)
+        assert "position 4" in str(error)
+        assert error.position == 4
+
+    def test_parse_error_without_context(self):
+        assert str(ParseError("plain message")) == "plain message"
+
+    def test_chase_non_termination_records_steps(self):
+        error = ChaseNonTermination(123)
+        assert error.steps == 123
+        assert "123" in str(error)

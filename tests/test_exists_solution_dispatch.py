@@ -1,0 +1,92 @@
+"""Tests for the solver dispatcher."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SolverError
+from repro.reductions import clique_setting, clique_source_instance
+from repro.solver import find_solution, solve
+
+
+class TestAutoDispatch:
+    def test_ctract_routes_to_tractable(self, example1_setting):
+        result = solve(example1_setting, parse_instance("E(a, a)"), Instance())
+        assert result.method == "tractable"
+
+    def test_non_ctract_routes_to_valuation(self):
+        setting = clique_setting()
+        source = clique_source_instance([1, 2], [(1, 2)], 2)
+        result = solve(setting, source, Instance())
+        assert result.method == "valuation-search"
+
+    def test_egd_target_constraints_route_to_valuation(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+            ts="T(x, y) -> R(x, y)",
+            t="T(x, y), T(x, y2) -> y = y2",
+        )
+        result = solve(setting, parse_instance("A(a); R(a, b)"), Instance())
+        assert result.method == "valuation-search"
+
+    def test_existential_target_tgds_route_to_branching(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 1, "U": 2},
+            st="A(x) -> T(x)",
+            ts="U(x, y) -> R(x, y)",
+            t="T(x) -> U(x, y)",
+        )
+        result = solve(setting, parse_instance("A(a); R(a, b)"), Instance())
+        assert result.method == "branching-chase"
+
+
+class TestForcedMethods:
+    def test_force_valuation_on_ctract_setting(self, example1_setting):
+        result = solve(
+            example1_setting, parse_instance("E(a, a)"), Instance(), method="valuation"
+        )
+        assert result.method == "valuation-search"
+        assert result.exists
+
+    def test_force_branching_on_ctract_setting(self, example1_setting):
+        result = solve(
+            example1_setting, parse_instance("E(a, a)"), Instance(), method="branching"
+        )
+        assert result.method == "branching-chase"
+        assert result.exists
+
+    def test_force_tractable_off_class_raises(self):
+        setting = clique_setting()
+        source = clique_source_instance([1, 2], [(1, 2)], 2)
+        with pytest.raises(SolverError):
+            solve(setting, source, Instance(), method="tractable")
+
+    def test_unknown_method_rejected(self, example1_setting):
+        with pytest.raises(ValueError):
+            solve(example1_setting, parse_instance("E(a, a)"), Instance(), method="magic")
+
+    def test_methods_agree(self, example1_setting):
+        for text in ["E(a, a)", "E(a, b); E(b, c)", "E(a, b); E(b, c); E(a, c)"]:
+            source = parse_instance(text)
+            results = {
+                method: solve(example1_setting, source, Instance(), method=method).exists
+                for method in ("tractable", "valuation", "branching")
+            }
+            assert len(set(results.values())) == 1, (text, results)
+
+
+class TestFindSolution:
+    def test_returns_witness(self, example1_setting):
+        source = parse_instance("E(a, a)")
+        witness = find_solution(example1_setting, source, Instance())
+        assert witness == parse_instance("H(a, a)")
+
+    def test_returns_none_when_unsolvable(self, example1_setting):
+        assert (
+            find_solution(example1_setting, parse_instance("E(a, b); E(b, c)"), Instance())
+            is None
+        )

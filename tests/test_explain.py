@@ -1,0 +1,65 @@
+"""Tests for the explanation layer."""
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.solver.explain import explain
+from repro.reductions import clique_setting, clique_source_instance
+from repro.workloads import generate_genomics_data, genomics_setting
+
+
+class TestSolutionFound:
+    def test_reports_method_and_witness(self, example1_setting):
+        explanation = explain(example1_setting, parse_instance("E(a, a)"), Instance())
+        assert explanation.exists
+        assert explanation.reason == "solution-found"
+        assert explanation.details["solution"] == parse_instance("H(a, a)")
+        assert "tractable" in explanation.narrative
+
+
+class TestFailingBlock:
+    def test_ctract_failure_names_the_block(self, example1_setting):
+        explanation = explain(
+            example1_setting, parse_instance("E(a, b); E(b, c)"), Instance()
+        )
+        assert not explanation.exists
+        assert explanation.reason == "failing-block"
+        # The failing block is the required-but-missing E(a, c).
+        assert explanation.details["block"] == parse_instance("E(a, c)")
+        assert "E(a, c)" in explanation.narrative
+
+    def test_genomics_stale_facts_explained(self):
+        setting = genomics_setting()
+        source, target = generate_genomics_data(
+            proteins=5, stale_local_facts=1, seed=3
+        )
+        explanation = explain(setting, source, target)
+        assert not explanation.exists
+        assert explanation.reason == "failing-block"
+        assert "STALE" in explanation.narrative
+
+
+class TestGroundPremiseViolation:
+    def test_pinned_target_fact_without_backing(self):
+        setting = clique_setting()
+        source = clique_source_instance([1, 2], [(1, 2)], 2)
+        # Pin a P-fact whose (z, w) pair is not an edge.
+        target = parse_instance("P(a1, 1, a2, 1)")
+        explanation = explain(setting, source, target)
+        assert not explanation.exists
+        assert explanation.reason == "ground-premise-violation"
+        assert "P(a1, 1, a2, 1)" in explanation.narrative
+
+
+class TestExhaustedSearch:
+    def test_no_clique_reported_as_exhausted(self):
+        setting = clique_setting()
+        source = clique_source_instance([1, 2, 3], [(1, 2)], 3)
+        explanation = explain(setting, source, Instance())
+        assert not explanation.exists
+        assert explanation.reason == "exhausted-search"
+        assert "search" in explanation.narrative
+
+    def test_str_is_narrative(self, example1_setting):
+        explanation = explain(example1_setting, parse_instance("E(a, a)"), Instance())
+        assert str(explanation) == explanation.narrative

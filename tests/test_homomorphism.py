@@ -1,0 +1,123 @@
+"""Unit tests for homomorphism search."""
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import (
+    find_homomorphism,
+    find_instance_homomorphism,
+    has_homomorphism,
+    has_instance_homomorphism,
+    iter_homomorphisms,
+    iter_instance_homomorphisms,
+)
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.terms import Constant, Null, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestConjunctionMatching:
+    def test_single_atom(self):
+        instance = parse_instance("E(a, b); E(b, c)")
+        matches = list(iter_homomorphisms([Atom("E", [x, y])], instance))
+        assert len(matches) == 2
+
+    def test_join(self):
+        instance = parse_instance("E(a, b); E(b, c); E(c, d)")
+        atoms = [Atom("E", [x, y]), Atom("E", [y, z])]
+        matches = list(iter_homomorphisms(atoms, instance))
+        assert len(matches) == 2  # a-b-c and b-c-d
+
+    def test_repeated_variable(self):
+        instance = parse_instance("E(a, a); E(a, b)")
+        matches = list(iter_homomorphisms([Atom("E", [x, x])], instance))
+        assert len(matches) == 1
+        assert matches[0][x] == Constant("a")
+
+    def test_constant_in_atom(self):
+        instance = parse_instance("E(a, b); E(b, c)")
+        matches = list(iter_homomorphisms([Atom("E", [Constant("a"), y])], instance))
+        assert len(matches) == 1
+        assert matches[0][y] == Constant("b")
+
+    def test_partial_binding_respected(self):
+        instance = parse_instance("E(a, b); E(b, c)")
+        matches = list(
+            iter_homomorphisms([Atom("E", [x, y])], instance, {x: Constant("b")})
+        )
+        assert len(matches) == 1
+        assert matches[0][y] == Constant("c")
+
+    def test_no_match(self):
+        instance = parse_instance("E(a, b)")
+        assert find_homomorphism([Atom("F", [x])], instance) is None
+        assert not has_homomorphism([Atom("E", [x, x])], instance)
+
+    def test_null_in_atom_matches_exactly(self):
+        instance = Instance.from_tuples({"E": [(Null(0), "b")]})
+        assert has_homomorphism([Atom("E", [Null(0), y])], instance)
+        assert not has_homomorphism([Atom("E", [Null(1), y])], instance)
+
+    def test_variable_can_bind_null(self):
+        instance = Instance.from_tuples({"E": [(Null(0), "b")]})
+        match = find_homomorphism([Atom("E", [x, y])], instance)
+        assert match[x] == Null(0)
+
+    def test_empty_conjunction_yields_identity(self):
+        matches = list(iter_homomorphisms([], parse_instance("E(a, b)")))
+        assert matches == [{}]
+
+    def test_cross_relation_join(self):
+        instance = parse_instance("E(a, b); F(b)")
+        atoms = [Atom("E", [x, y]), Atom("F", [y])]
+        assert has_homomorphism(atoms, instance)
+        atoms = [Atom("E", [x, y]), Atom("F", [x])]
+        assert not has_homomorphism(atoms, instance)
+
+
+class TestInstanceHomomorphism:
+    def test_ground_is_containment(self):
+        small = parse_instance("E(a, b)")
+        big = parse_instance("E(a, b); E(b, c)")
+        assert has_instance_homomorphism(small, big)
+        assert not has_instance_homomorphism(big, small)
+
+    def test_nulls_map_to_values(self):
+        source = Instance.from_tuples({"E": [("a", Null(0))]})
+        target = parse_instance("E(a, b)")
+        mapping = find_instance_homomorphism(source, target)
+        assert mapping == {Null(0): Constant("b")}
+
+    def test_constants_are_fixed(self):
+        source = Instance.from_tuples({"E": [("a", Null(0))]})
+        target = parse_instance("E(b, c)")
+        assert not has_instance_homomorphism(source, target)
+
+    def test_shared_null_consistency(self):
+        source = Instance.from_tuples({"E": [("a", Null(0))], "F": [(Null(0),)]})
+        target = parse_instance("E(a, b); F(c)")
+        assert not has_instance_homomorphism(source, target)
+        target2 = parse_instance("E(a, b); F(b)")
+        assert has_instance_homomorphism(source, target2)
+
+    def test_null_can_map_to_null(self):
+        source = Instance.from_tuples({"E": [("a", Null(0))]})
+        target = Instance.from_tuples({"E": [("a", Null(7))]})
+        mapping = find_instance_homomorphism(source, target)
+        assert mapping == {Null(0): Null(7)}
+
+    def test_fixed_images(self):
+        source = Instance.from_tuples({"E": [("a", Null(0))]})
+        target = parse_instance("E(a, b); E(a, c)")
+        mapping = find_instance_homomorphism(
+            source, target, fixed={Null(0): Constant("c")}
+        )
+        assert mapping == {Null(0): Constant("c")}
+
+    def test_iter_counts_all(self):
+        source = Instance.from_tuples({"E": [("a", Null(0))]})
+        target = parse_instance("E(a, b); E(a, c)")
+        assert len(list(iter_instance_homomorphisms(source, target))) == 2
+
+    def test_empty_source_always_maps(self):
+        assert has_instance_homomorphism(Instance(), Instance())

@@ -1,0 +1,151 @@
+"""Integration tests: the three solver implementations and the brute-force
+oracle must agree, on hand-built and on randomly generated inputs."""
+
+import random
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.solver import brute_force_exists, solve
+from repro.tractability import classify
+from repro.workloads import (
+    consistent_pair,
+    random_full_st_setting,
+    random_glav_setting,
+    random_instance,
+    random_lav_setting,
+)
+
+
+def _tiny_source(setting, seed):
+    return random_instance(setting.source_schema, domain_size=3, facts_per_relation=2, seed=seed)
+
+
+class TestSolverAgreementOnRandomSettings:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lav_settings_tractable_vs_valuation(self, seed):
+        setting = random_lav_setting(seed=seed)
+        assert classify(setting).in_ctract
+        for instance_seed in range(3):
+            source = _tiny_source(setting, instance_seed)
+            tractable = solve(setting, source, Instance(), method="tractable").exists
+            valuation = solve(setting, source, Instance(), method="valuation").exists
+            assert tractable == valuation, (seed, instance_seed)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_full_settings_tractable_vs_valuation(self, seed):
+        setting = random_full_st_setting(seed=seed)
+        for instance_seed in range(3):
+            source = _tiny_source(setting, instance_seed)
+            tractable = solve(setting, source, Instance(), method="tractable").exists
+            valuation = solve(setting, source, Instance(), method="valuation").exists
+            assert tractable == valuation, (seed, instance_seed)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_glav_settings_valuation_vs_branching(self, seed):
+        setting = random_glav_setting(seed=seed)
+        for instance_seed in range(2):
+            source = _tiny_source(setting, instance_seed)
+            valuation = solve(setting, source, Instance(), method="valuation").exists
+            branching = solve(
+                setting, source, Instance(), method="branching", node_budget=200_000
+            ).exists
+            assert valuation == branching, (seed, instance_seed)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_witnesses_are_solutions(self, seed):
+        setting = random_glav_setting(seed=seed)
+        source = _tiny_source(setting, seed)
+        result = solve(setting, source, Instance())
+        if result.exists:
+            assert setting.is_solution(source, Instance(), result.solution)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_against_brute_force_on_tiny_inputs(self, seed):
+        setting = random_lav_setting(
+            source_relations=1, target_relations=1, st_tgds=1, ts_tgds=1, seed=seed
+        )
+        rng = random.Random(seed)
+        source = random_instance(
+            setting.source_schema, domain_size=2, facts_per_relation=2, seed=rng.randrange(99)
+        )
+        fast = solve(setting, source, Instance()).exists
+        slow = brute_force_exists(setting, source, Instance())
+        assert fast == slow, seed
+
+
+class TestConsistentPairsRoundTrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_solver_handles_generated_pairs(self, seed):
+        setting = random_lav_setting(seed=seed)
+        source, target = consistent_pair(setting, domain_size=4, facts_per_relation=3, seed=seed)
+        result = solve(setting, source, target)
+        if result.exists:
+            assert setting.is_solution(source, target, result.solution)
+
+
+class TestEndToEndScenario:
+    def test_genomics_pipeline(self):
+        """Full pipeline: generate data, dispatch, solve, verify, query."""
+        from repro.core.parser import parse_query
+        from repro.solver import certain_answers
+        from repro.workloads import generate_genomics_data, genomics_setting
+
+        setting = genomics_setting()
+        source, target = generate_genomics_data(proteins=6, seed=11)
+        result = solve(setting, source, target)
+        assert result.exists and result.method == "tractable"
+
+        # Every source protein accession is certainly imported.
+        query = parse_query("q(acc) :- local_protein(acc, name, org)")
+        answers = certain_answers(setting, query, source, target)
+        source_accessions = {row[0] for row in source.tuples("protein")}
+        assert {answer[0] for answer in answers.answers} == source_accessions
+
+
+class TestDisjunctiveCrossSolver:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_coloring_valuation_vs_branching(self, seed):
+        # Small graphs: the branching solver's witness space for the
+        # disjunctive setting grows very fast with the node count.
+        from repro.reductions import coloring_setting, coloring_source_instance
+        from repro.workloads import erdos_renyi
+
+        setting = coloring_setting()
+        nodes, edges = erdos_renyi(4, 0.6, seed=seed)
+        source = coloring_source_instance(nodes, edges)
+        valuation = solve(setting, source, Instance(), method="valuation").exists
+        branching = solve(
+            setting, source, Instance(), method="branching", node_budget=200_000
+        ).exists
+        assert valuation == branching, seed
+
+    def test_coloring_witness_checked_by_is_solution(self):
+        from repro.reductions import coloring_setting, coloring_source_instance
+        from repro.workloads import cycle_graph
+
+        setting = coloring_setting()
+        source = coloring_source_instance(*cycle_graph(7))
+        result = solve(setting, source, Instance())
+        assert result.exists
+        assert setting.is_solution(source, Instance(), result.solution)
+
+
+class TestMinimizePipeline:
+    def test_solve_minimize_core_pipeline(self):
+        """solve -> Lemma-2 minimize -> core: each stage preserves
+        solution-hood and never grows the witness."""
+        from repro.core import core
+        from repro.solver import minimize_solution
+        from repro.workloads import generate_genomics_data, genomics_setting
+
+        setting = genomics_setting()
+        source, target = generate_genomics_data(proteins=5, seed=8)
+        witness = solve(setting, source, target).solution
+        bloated = witness.union(witness)  # no-op union; then add real bloat
+        trimmed = minimize_solution(setting, source, target, bloated)
+        cored = core(trimmed, protect=target)
+        assert setting.is_solution(source, target, trimmed)
+        assert setting.is_solution(source, target, cored)
+        assert len(cored) <= len(trimmed) <= len(bloated)

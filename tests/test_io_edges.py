@@ -1,0 +1,92 @@
+"""Edge-case tests for the io layer and CLI file handling."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.io import dumps_instance, dumps_setting, loads_instance, loads_setting
+from repro.io.serialization import instance_from_dict
+from repro.exceptions import ParseError
+
+
+class TestSerializationErrors:
+    def test_unknown_term_encoding_rejected(self):
+        with pytest.raises(ParseError):
+            instance_from_dict({"E": [[{"mystery": 1}, {"const": "a"}]]})
+
+    def test_schema_enforced_on_load(self):
+        from repro.core.schema import Schema
+        from repro.exceptions import SchemaError
+
+        payload = dumps_instance(parse_instance("E(a)"))
+        with pytest.raises(SchemaError):
+            loads_instance(payload, schema=Schema.from_arities({"E": 2}))
+
+    def test_malformed_json_raises_cleanly(self):
+        with pytest.raises(json.JSONDecodeError):
+            loads_instance("{not json")
+
+    def test_setting_round_trip_preserves_disjuncts(self):
+        from repro.reductions import coloring_setting
+
+        restored = loads_setting(dumps_setting(coloring_setting()))
+        disjunctive = [d for d in restored.sigma_ts if hasattr(d, "disjuncts")]
+        assert len(disjunctive) == 1
+        assert len(disjunctive[0].disjuncts) == 6
+
+    def test_indent_parameter(self):
+        text = dumps_instance(parse_instance("E(a, b)"), indent=2)
+        assert "\n" in text
+        assert loads_instance(text) == parse_instance("E(a, b)")
+
+
+class TestCliFileHandling:
+    def test_json_instance_input(self, tmp_path, example1_setting, capsys):
+        setting_path = tmp_path / "setting.json"
+        setting_path.write_text(dumps_setting(example1_setting))
+        source_path = tmp_path / "source.json"
+        source_path.write_text(dumps_instance(parse_instance("E(a, a)")))
+        code = main(["solve", str(setting_path), str(source_path)])
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_missing_file_raises_file_not_found(self, tmp_path, example1_setting):
+        setting_path = tmp_path / "setting.json"
+        setting_path.write_text(dumps_setting(example1_setting))
+        with pytest.raises(FileNotFoundError):
+            main(["solve", str(setting_path), str(tmp_path / "missing.txt")])
+
+    def test_empty_target_file(self, tmp_path, example1_setting, capsys):
+        setting_path = tmp_path / "setting.json"
+        setting_path.write_text(dumps_setting(example1_setting))
+        source_path = tmp_path / "source.txt"
+        source_path.write_text("E(a, a)")
+        target_path = tmp_path / "target.txt"
+        target_path.write_text("# nothing yet\n")
+        code = main(["solve", str(setting_path), str(source_path), str(target_path)])
+        assert code == 0
+
+    def test_certain_with_target(self, tmp_path, example1_setting, capsys):
+        setting_path = tmp_path / "setting.json"
+        setting_path.write_text(dumps_setting(example1_setting))
+        source_path = tmp_path / "source.txt"
+        source_path.write_text("E(a, b); E(b, c); E(a, c)")
+        target_path = tmp_path / "target.txt"
+        target_path.write_text("H(a, b)")
+        code = main(
+            [
+                "certain",
+                str(setting_path),
+                str(source_path),
+                str(target_path),
+                "--query",
+                "q(x, y) :- H(x, y)",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # H(a, b) is pinned by the target, hence certain.
+        assert "(a, b)" in out

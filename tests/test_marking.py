@@ -1,0 +1,81 @@
+"""Tests for marked positions and marked variables (Definition 8)."""
+
+from repro.core.parser import parse_dependencies, parse_dependency
+from repro.core.terms import Variable
+from repro.tractability.marking import marked_positions, marked_variables
+
+
+class TestMarkedPositions:
+    def test_definition8_illustration(self):
+        # Σ_st: S(x1, x2) → ∃y T(x1, y): only (T, 1) is marked.
+        sigma_st = [parse_dependency("S(x1, x2) -> T(x1, y)")]
+        assert marked_positions(sigma_st) == {("T", 1)}
+
+    def test_clique_setting_positions(self):
+        # Σ_st: D(x, y) → ∃z∃w P(x, z, y, w): positions 2 and 4 of P
+        # (0-based indices 1 and 3) are marked.
+        sigma_st = [parse_dependency("D(x, y) -> P(x, z, y, w)")]
+        assert marked_positions(sigma_st) == {("P", 1), ("P", 3)}
+
+    def test_full_tgds_mark_nothing(self):
+        sigma_st = parse_dependencies(
+            """
+            E(x, y) -> H(y, x)
+            E(x, y), E(y, z) -> H(x, z)
+            """
+        )
+        assert marked_positions(sigma_st) == set()
+
+    def test_union_across_tgds(self):
+        sigma_st = parse_dependencies(
+            """
+            A(x) -> T(x, y)
+            B(x) -> T(w, x)
+            """
+        )
+        assert marked_positions(sigma_st) == {("T", 0), ("T", 1)}
+
+    def test_empty_sigma_st(self):
+        assert marked_positions([]) == set()
+
+
+class TestMarkedVariables:
+    def test_definition8_illustration(self):
+        # Σ_ts: T(x1, x2) → ∃w S(w, x2): marked variables are x2 (at the
+        # marked position (T, 1)) and w (existential).
+        positions = {("T", 1)}
+        ts = parse_dependency("T(x1, x2) -> S(w, x2)")
+        assert marked_variables(ts, positions) == {Variable("x2"), Variable("w")}
+
+    def test_clique_first_ts_tgd(self):
+        positions = {("P", 1), ("P", 3)}
+        ts = parse_dependency("P(x, z, y, w) -> E(z, w)")
+        assert marked_variables(ts, positions) == {Variable("z"), Variable("w")}
+
+    def test_clique_second_ts_tgd(self):
+        positions = {("P", 1), ("P", 3)}
+        ts = parse_dependency("P(x, z, y, w), P(x, z2, y2, w2) -> S(z, z2)")
+        assert marked_variables(ts, positions) == {
+            Variable("z"),
+            Variable("w"),
+            Variable("z2"),
+            Variable("w2"),
+        }
+
+    def test_existentials_always_marked(self):
+        ts = parse_dependency("T(x1, x2) -> S(x1, w)")
+        assert marked_variables(ts, set()) == {Variable("w")}
+
+    def test_variable_at_marked_position_is_marked_even_if_absent_from_head(self):
+        positions = {("T", 1)}
+        ts = parse_dependency("T(x1, x2) -> S(x1, x1)")
+        assert marked_variables(ts, positions) == {Variable("x2")}
+
+    def test_variable_at_unmarked_position_not_marked(self):
+        ts = parse_dependency("T(x1, x2) -> S(x1, x2)")
+        assert marked_variables(ts, set()) == set()
+
+    def test_disjunctive_ts_marked_variables(self):
+        positions = {("C", 1)}
+        ts = parse_dependency("Ep(x, y), C(x, u), C(y, v) -> (R(u), B(v)) | (B(u), R(v))")
+        assert marked_variables(ts, positions) == {Variable("u"), Variable("v")}

@@ -1,0 +1,140 @@
+"""The production matcher vs a simple reference implementation.
+
+After the iterative rewrite (explicit backtracking stack + positional
+index), this suite pins the matcher to a deliberately naive recursive
+reference on randomized inputs: same match sets, always.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom, Fact
+from repro.core.homomorphism import iter_homomorphisms
+from repro.core.instance import Instance
+from repro.core.terms import Constant, Variable, is_variable
+
+MATCH_SETTINGS = settings(
+    max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def reference_matches(atoms, instance, partial=None):
+    """Naive cartesian-product matcher used as the oracle."""
+    results = []
+
+    def extend(index, assignment):
+        if index == len(atoms):
+            results.append(dict(assignment))
+            return
+        atom = atoms[index]
+        for row in instance.tuples(atom.relation):
+            candidate = dict(assignment)
+            ok = True
+            for term, value in zip(atom.args, row):
+                if is_variable(term):
+                    if term in candidate and candidate[term] != value:
+                        ok = False
+                        break
+                    candidate[term] = value
+                elif term != value:
+                    ok = False
+                    break
+            if ok:
+                extend(index + 1, candidate)
+
+    extend(0, dict(partial) if partial else {})
+    return results
+
+
+def canonical(matches):
+    return sorted(
+        [tuple(sorted((v.name, repr(val)) for v, val in match.items()))
+         for match in matches]
+    )
+
+
+values = st.sampled_from([Constant("a"), Constant("b"), Constant("c")])
+variables = st.sampled_from([Variable(name) for name in "xyzuv"])
+terms = st.one_of(values, variables)
+
+atoms_strategy = st.lists(
+    st.one_of(
+        st.builds(lambda a, b: Atom("E", (a, b)), terms, terms),
+        st.builds(lambda a: Atom("F", (a,)), terms),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+instances_strategy = st.builds(
+    lambda e_rows, f_rows: Instance(
+        [Fact("E", row) for row in e_rows] + [Fact("F", row) for row in f_rows]
+    ),
+    st.lists(st.tuples(values, values), max_size=6),
+    st.lists(st.tuples(values), max_size=3),
+)
+
+
+class TestAgainstReference:
+    @MATCH_SETTINGS
+    @given(atoms_strategy, instances_strategy)
+    def test_same_match_sets(self, atoms, instance):
+        fast = list(iter_homomorphisms(atoms, instance))
+        slow = reference_matches(atoms, instance)
+        assert canonical(fast) == canonical(slow)
+
+    @MATCH_SETTINGS
+    @given(atoms_strategy, instances_strategy, values)
+    def test_same_match_sets_with_partial(self, atoms, instance, pinned):
+        partial = {Variable("x"): pinned}
+        fast = list(iter_homomorphisms(atoms, instance, partial))
+        slow = reference_matches(atoms, instance, partial)
+        assert canonical(fast) == canonical(slow)
+
+
+class TestMatcherEdgeCases:
+    def test_empty_conjunction(self):
+        instance = Instance([Fact("E", (Constant("a"), Constant("b")))])
+        assert list(iter_homomorphisms([], instance)) == [{}]
+
+    def test_empty_conjunction_with_partial(self):
+        partial = {Variable("x"): Constant("a")}
+        matches = list(iter_homomorphisms([], Instance(), partial))
+        assert matches == [partial]
+
+    def test_very_deep_conjunction_no_recursion_error(self):
+        """Thousands of atoms must not overflow the interpreter stack."""
+        n = 3000
+        facts = [Fact("E", (Constant(i), Constant(i + 1))) for i in range(n)]
+        instance = Instance(facts)
+        atoms = [Atom("E", (Constant(i), Constant(i + 1))) for i in range(n)]
+        matches = list(iter_homomorphisms(atoms, instance))
+        assert matches == [{}]
+
+    def test_generator_can_be_abandoned(self):
+        """Taking only the first match must leave no broken state behind."""
+        instance = Instance(
+            [Fact("E", (Constant("a"), Constant(i))) for i in range(10)]
+        )
+        atom = Atom("E", (Variable("x"), Variable("y")))
+        iterator = iter_homomorphisms([atom, atom], instance)
+        first = next(iterator)
+        assert Variable("x") in first
+        del iterator  # abandoning mid-search is fine
+
+    def test_atom_with_all_positions_bound_uses_index(self):
+        instance = Instance([Fact("E", (Constant("a"), Constant("b")))])
+        atoms = [Atom("E", (Constant("a"), Constant("b")))]
+        assert list(iter_homomorphisms(atoms, instance)) == [{}]
+        atoms = [Atom("E", (Constant("a"), Constant("zzz")))]
+        assert list(iter_homomorphisms(atoms, instance)) == []
+
+    def test_index_stays_consistent_after_mutation(self):
+        instance = Instance([Fact("E", (Constant("a"), Constant("b")))])
+        # Force the index to build.
+        assert instance.candidate_rows("E", 0, Constant("a"))
+        instance.add(Fact("E", (Constant("a"), Constant("c"))))
+        assert len(instance.candidate_rows("E", 0, Constant("a"))) == 2
+        instance.discard(Fact("E", (Constant("a"), Constant("b"))))
+        assert len(instance.candidate_rows("E", 0, Constant("a"))) == 1
+        assert instance.candidate_rows("E", 1, Constant("b")) == set()

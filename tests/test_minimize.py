@@ -1,0 +1,90 @@
+"""Tests for the constructive Lemma 2 (minimize_solution)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SolverError
+from repro.solver import solve
+from repro.solver.minimize import minimize_solution
+
+
+@pytest.fixture
+def setting() -> PDESetting:
+    return PDESetting.from_text(
+        source={"E": 2},
+        target={"H": 2},
+        st="E(x, z), E(z, y) -> H(x, y)",
+        ts="H(x, y) -> E(x, y)",
+    )
+
+
+class TestMinimizeSolution:
+    def test_bloated_solution_shrinks(self, setting):
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        bloated = parse_instance("H(a, b); H(b, c); H(a, c)")
+        assert setting.is_solution(source, Instance(), bloated)
+        small = minimize_solution(setting, source, Instance(), bloated)
+        assert small == parse_instance("H(a, c)")
+
+    def test_result_between_target_and_solution(self, setting):
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        target = parse_instance("H(a, b)")
+        bloated = parse_instance("H(a, b); H(b, c); H(a, c)")
+        small = minimize_solution(setting, source, target, bloated)
+        assert small.contains_instance(target)
+        assert bloated.contains_instance(small)
+        assert setting.is_solution(source, target, small)
+
+    def test_minimal_solution_is_fixpoint(self, setting):
+        source = parse_instance("E(a, a)")
+        solution = solve(setting, source, Instance()).solution
+        assert minimize_solution(setting, source, Instance(), solution) == solution
+
+    def test_non_solution_rejected(self, setting):
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        with pytest.raises(SolverError):
+            minimize_solution(
+                setting, source, Instance(), parse_instance("H(a, b)")
+            )
+
+    def test_with_target_constraints(self):
+        keyed = PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+            ts="T(x, y) -> R(x, y)",
+            t="T(x, y), T(x, y2) -> y = y2",
+        )
+        source = parse_instance("A(a); R(a, b)")
+        solution = parse_instance("T(a, b)")
+        small = minimize_solution(keyed, source, Instance(), solution)
+        assert small == solution
+
+    def test_non_weakly_acyclic_rejected(self):
+        setting = PDESetting.from_text(
+            source={"A": 1},
+            target={"T": 2},
+            st="A(x) -> T(x, x)",
+            t="T(x, y) -> T(y, z)",
+        )
+        with pytest.raises(SolverError):
+            minimize_solution(
+                setting, parse_instance("A(a)"), Instance(), Instance()
+            )
+
+    def test_size_bounded_regardless_of_bloat(self, setting):
+        """Lemma 2's point: the output size is a function of (I, J), not of
+        the input solution's size."""
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        sizes = []
+        for extra in (0, 5, 20):
+            bloated = parse_instance("H(a, b); H(b, c); H(a, c)")
+            for index in range(extra):
+                # Extra E-backed H facts bloat the solution arbitrarily.
+                bloated.add_all(parse_instance(f"H(a, c)"))
+            bloated = bloated.union(parse_instance("H(a, c)"))
+            small = minimize_solution(setting, source, Instance(), bloated)
+            sizes.append(len(small))
+        assert len(set(sizes)) == 1  # identical output size every time

@@ -1,0 +1,131 @@
+"""Tests for multi-PDE settings and their reduction to a single PDE
+(Section 2, experiment E15)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import MultiPDESetting, PDESetting
+from repro.exceptions import DependencyError, SchemaError
+from repro.solver import solve
+
+
+def make_members():
+    first = PDESetting.from_text(
+        source={"A": 2},
+        target={"H": 2},
+        st="A(x, y) -> H(x, y)",
+        ts="H(x, y) -> A(x, y)",
+        name="peer-A",
+    )
+    second = PDESetting.from_text(
+        source={"B": 2},
+        target={"H": 2},
+        st="B(x, y) -> H(y, x)",
+        name="peer-B",
+    )
+    return first, second
+
+
+class TestConstruction:
+    def test_shared_target_required(self):
+        first, _ = make_members()
+        other = PDESetting.from_text(source={"B": 2}, target={"G": 2})
+        with pytest.raises(SchemaError):
+            MultiPDESetting([first, other])
+
+    def test_disjoint_sources_required(self):
+        first, _ = make_members()
+        clone = PDESetting.from_text(source={"A": 2}, target={"H": 2})
+        with pytest.raises(SchemaError):
+            MultiPDESetting([first, clone])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DependencyError):
+            MultiPDESetting([])
+
+
+class TestMerge:
+    def test_merged_schema_is_union(self):
+        multi = MultiPDESetting(make_members())
+        merged = multi.merge()
+        assert set(merged.source_schema.names()) == {"A", "B"}
+        assert set(merged.target_schema.names()) == {"H"}
+
+    def test_merged_dependencies_are_concatenated(self):
+        multi = MultiPDESetting(make_members())
+        merged = multi.merge()
+        assert len(merged.sigma_st) == 2
+        assert len(merged.sigma_ts) == 1
+
+    def test_solution_space_equivalence(self):
+        """The paper's claim: J' solves the multi-PDE iff it solves the
+        merged single PDE on the union of the sources."""
+        multi = MultiPDESetting(make_members())
+        merged = multi.merge()
+        source_a = parse_instance("A(a, b)")
+        source_b = parse_instance("B(c, d)")
+        union = multi.combine_sources([source_a, source_b])
+
+        candidates = [
+            parse_instance("H(a, b); H(d, c)"),
+            parse_instance("H(a, b)"),
+            parse_instance("H(a, b); H(d, c); H(x, y)"),
+            Instance(),
+        ]
+        for candidate in candidates:
+            multi_says = multi.is_solution([source_a, source_b], Instance(), candidate)
+            merged_says = merged.is_solution(union, Instance(), candidate)
+            assert multi_says == merged_says
+
+    def test_solver_on_merged_setting(self):
+        # B(b, a) contributes H(a, b), which peer A's Σ_ts accepts because
+        # A(a, b) exists.
+        multi = MultiPDESetting(make_members())
+        merged = multi.merge()
+        sources = [parse_instance("A(a, b)"), parse_instance("B(b, a)")]
+        union = multi.combine_sources(sources)
+        result = solve(merged, union, Instance())
+        assert result.exists
+        assert multi.is_solution(sources, Instance(), result.solution)
+
+    def test_solver_detects_cross_peer_rejection(self):
+        # Peer B's contribution H(d, c) is not vouched for by peer A's
+        # source, so the ts-constraint of peer A makes the merged input
+        # unsolvable — an interaction only visible after merging.
+        multi = MultiPDESetting(make_members())
+        merged = multi.merge()
+        union = multi.combine_sources(
+            [parse_instance("A(a, b)"), parse_instance("B(c, d)")]
+        )
+        assert not solve(merged, union, Instance()).exists
+
+    def test_wrong_source_count_rejected(self):
+        multi = MultiPDESetting(make_members())
+        with pytest.raises(DependencyError):
+            multi.is_solution([parse_instance("A(a, b)")], Instance(), Instance())
+
+
+class TestSolveMulti:
+    def test_solves_and_verifies(self):
+        from repro.solver.multi import solve_multi
+
+        multi = MultiPDESetting(make_members())
+        sources = [parse_instance("A(a, b)"), parse_instance("B(b, a)")]
+        result = solve_multi(multi, sources, Instance())
+        assert result.exists
+        assert multi.is_solution(sources, Instance(), result.solution)
+
+    def test_unsolvable_family(self):
+        from repro.solver.multi import solve_multi
+
+        multi = MultiPDESetting(make_members())
+        sources = [parse_instance("A(a, b)"), parse_instance("B(c, d)")]
+        assert not solve_multi(multi, sources, Instance()).exists
+
+    def test_source_count_checked(self):
+        from repro.solver.multi import solve_multi
+
+        multi = MultiPDESetting(make_members())
+        with pytest.raises(DependencyError):
+            solve_multi(multi, [parse_instance("A(a, b)")], Instance())

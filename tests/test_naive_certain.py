@@ -1,0 +1,102 @@
+"""Tests for the naive-evaluation certain-answer under-approximation."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance, parse_query
+from repro.core.setting import PDESetting
+from repro.core.terms import Constant
+from repro.solver import certain_answers, solve
+from repro.solver.naive_certain import naive_certain_answers
+
+
+class TestSoundness:
+    def test_subset_of_exact_on_example1(self, example1_setting):
+        query = parse_query("q(x, y) :- H(x, y)")
+        for text in ["E(a, a)", "E(a, b); E(b, c); E(a, c)", "E(a, b); E(b, a)"]:
+            source = parse_instance(text)
+            if not solve(example1_setting, source, Instance()).exists:
+                continue
+            naive = naive_certain_answers(example1_setting, query, source, Instance())
+            exact = certain_answers(example1_setting, query, source, Instance())
+            assert naive.answers <= exact.answers, text
+
+    def test_exact_on_full_st_settings(self, example1_setting):
+        # Full Σ_st => J_can is ground => naive evaluation is exact here.
+        query = parse_query("q(x, y) :- H(x, y)")
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        naive = naive_certain_answers(example1_setting, query, source, Instance())
+        exact = certain_answers(example1_setting, query, source, Instance())
+        assert naive.answers == exact.answers
+
+    def test_boolean_query_through_nulls_is_sound(self):
+        # The boolean query matches J_can only through a null; it is still
+        # certain because homomorphic images preserve the match.
+        setting = PDESetting.from_text(
+            source={"A": 1},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+        )
+        query = parse_query("T(x, y)")
+        source = parse_instance("A(a)")
+        naive = naive_certain_answers(setting, query, source, Instance())
+        exact = certain_answers(setting, query, source, Instance())
+        assert naive.boolean_value is True
+        assert exact.boolean_value is True
+
+
+class TestIncompleteness:
+    def test_strictly_weaker_when_ts_forces_nulls(self):
+        """Σ_ts forces the null to the unique R-successor, so T(a, b) is
+        certain — but J_can only shows T(a, _y), which naive evaluation
+        cannot return."""
+        setting = PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+            ts="T(x, y) -> R(x, y)",
+        )
+        query = parse_query("q(x, y) :- T(x, y)")
+        source = parse_instance("A(a); R(a, b)")
+        naive = naive_certain_answers(setting, query, source, Instance())
+        exact = certain_answers(setting, query, source, Instance())
+        assert naive.answers == set()
+        assert exact.answers == {(Constant("a"), Constant("b"))}
+        assert naive.answers < exact.answers
+
+
+class TestTargetConstraints:
+    def test_egd_chase_refines_naive_answers(self):
+        # The key egd merges the null with the pinned constant, making the
+        # naive answer exact in this case.
+        setting = PDESetting.from_text(
+            source={"A": 1},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+            t="T(x, y), T(x, y2) -> y = y2",
+        )
+        query = parse_query("q(x, y) :- T(x, y)")
+        source = parse_instance("A(a)")
+        target = parse_instance("T(a, b)")
+        naive = naive_certain_answers(setting, query, source, target)
+        assert naive.answers == {(Constant("a"), Constant("b"))}
+
+    def test_failing_egd_chase_reports_no_solutions(self):
+        setting = PDESetting.from_text(
+            source={"A": 2},
+            target={"T": 2},
+            st="A(x, y) -> T(x, y)",
+            t="T(x, y), T(x, y2) -> y = y2",
+        )
+        source = parse_instance("A(a, b); A(a, c)")
+        query = parse_query("T(x, y)")
+        naive = naive_certain_answers(setting, query, source, Instance())
+        assert not naive.solutions_exist
+        assert naive.boolean_value is True  # vacuous
+
+    def test_polynomial_cost_stats(self, example1_setting):
+        query = parse_query("H(x, y)")
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        naive = naive_certain_answers(example1_setting, query, source, Instance())
+        assert naive.stats["j_can_size"] >= 1
+        assert naive.stats["sound_if_solvable"] is True

@@ -1,0 +1,154 @@
+"""Unit tests for the text frontend."""
+
+import pytest
+
+from repro.core.dependencies import EGD, TGD, DisjunctiveTGD
+from repro.core.parser import (
+    NullInterner,
+    parse_dependencies,
+    parse_dependency,
+    parse_instance,
+    parse_query,
+)
+from repro.core.query import ConjunctiveQuery
+from repro.core.schema import Schema
+from repro.core.terms import Constant, Variable
+from repro.exceptions import ParseError
+
+
+class TestDependencyParsing:
+    def test_simple_tgd(self):
+        tgd = parse_dependency("E(x, z), E(z, y) -> H(x, y)")
+        assert isinstance(tgd, TGD)
+        assert len(tgd.body) == 2
+        assert len(tgd.head) == 1
+
+    def test_existentials_inferred(self):
+        tgd = parse_dependency("D(x, y) -> P(x, z, y, w)")
+        assert tgd.existential_variables() == {Variable("z"), Variable("w")}
+
+    def test_egd(self):
+        egd = parse_dependency("P(x, y), P(x, y2) -> y = y2")
+        assert isinstance(egd, EGD)
+
+    def test_disjunctive(self):
+        dep = parse_dependency("E(x, y) -> (R(x)) | (B(x)) | (G(x))")
+        assert isinstance(dep, DisjunctiveTGD)
+        assert len(dep.disjuncts) == 3
+
+    def test_constants_in_dependency(self):
+        tgd = parse_dependency("E(x, 'special') -> H(x, 42)")
+        assert Constant("special") in tgd.body[0].constants()
+        assert Constant(42) in tgd.head[0].constants()
+
+    def test_primed_variable_names(self):
+        tgd = parse_dependency("P(x, z), P(x, z') -> S(z, z')")
+        assert Variable("z'") in tgd.body_variables()
+
+    def test_label(self):
+        tgd = parse_dependency("E(x, y) -> H(x, y)", label="copy")
+        assert tgd.label == "copy"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dependency("E(x, y) -> H(x, y) H(y, x)")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dependency("E(x, y)")
+
+    def test_egd_requires_variables(self):
+        with pytest.raises(ParseError):
+            parse_dependency("E(x, y) -> x = 'a'")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dependency("E(x, y -> H(x, y)")
+
+    def test_parse_dependencies_block(self):
+        block = """
+            # source-to-target
+            E(x, z), E(z, y) -> H(x, y)
+            H(x, y) -> E(x, y)  # exact view back
+        """
+        deps = parse_dependencies(block)
+        assert len(deps) == 2
+
+    def test_parse_dependencies_semicolons(self):
+        deps = parse_dependencies("E(x, y) -> H(x, y); H(x, y) -> E(x, y)")
+        assert len(deps) == 2
+
+
+class TestInstanceParsing:
+    def test_simple(self):
+        instance = parse_instance("E(a, b); E(b, c)")
+        assert len(instance) == 2
+
+    def test_bare_names_are_constants(self):
+        instance = parse_instance("E(a, b)")
+        assert Constant("a") in instance.active_domain()
+
+    def test_numbers(self):
+        instance = parse_instance("E(1, 2)")
+        assert Constant(1) in instance.active_domain()
+
+    def test_quoted_strings(self):
+        instance = parse_instance("E('hello world?', b)")
+        assert Constant("hello world?") in instance.active_domain()
+
+    def test_nulls_with_underscore(self):
+        instance = parse_instance("E(a, _n); E(_n, b)")
+        nulls = instance.nulls()
+        assert len(nulls) == 1
+
+    def test_distinct_null_names_distinct_nulls(self):
+        instance = parse_instance("E(_n1, _n2)")
+        assert len(instance.nulls()) == 2
+
+    def test_shared_interner_across_strings(self):
+        interner = NullInterner()
+        first = parse_instance("E(a, _n)", interner=interner)
+        second = parse_instance("F(_n)", interner=interner)
+        assert first.nulls() == second.nulls()
+
+    def test_comments_and_blank_lines(self):
+        instance = parse_instance(
+            """
+            # the triangle-ish instance
+            E(a, b)
+            E(b, c)  # second edge
+            """
+        )
+        assert len(instance) == 2
+
+    def test_schema_enforced(self):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            parse_instance("E(a)", schema=Schema.from_arities({"E": 2}))
+
+    def test_newline_separated(self):
+        instance = parse_instance("E(a, b)\nE(b, c)")
+        assert len(instance) == 2
+
+
+class TestQueryParsing:
+    def test_boolean_query(self):
+        query = parse_query("H(x, y), H(y, z)")
+        assert isinstance(query, ConjunctiveQuery)
+        assert query.is_boolean
+
+    def test_rule_form(self):
+        query = parse_query("q(x, z) :- H(x, y), H(y, z)")
+        assert query.free == (Variable("x"), Variable("z"))
+        assert query.name == "q"
+
+    def test_rule_head_must_use_variables(self):
+        with pytest.raises(ParseError):
+            parse_query("q('a') :- H(x, y)")
+
+    def test_free_variable_must_occur_in_body(self):
+        from repro.exceptions import DependencyError
+
+        with pytest.raises(DependencyError):
+            parse_query("q(u) :- H(x, y)")

@@ -1,0 +1,91 @@
+"""Property-based fuzz tests for the parser and serialization layers."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.dependencies import TGD
+from repro.core.parser import parse_dependency, parse_instance
+from repro.core.terms import Constant, Variable
+from repro.exceptions import ReproError
+from repro.io import dependency_to_text, dumps_instance, loads_instance
+
+FUZZ_SETTINGS = settings(
+    max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+identifiers = st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True)
+relation_names = st.from_regex(r"[A-Z][a-zA-Z0-9]{0,5}", fullmatch=True)
+
+terms = st.one_of(
+    identifiers.map(Variable),
+    st.integers(min_value=-99, max_value=99).map(Constant),
+    st.from_regex(r"[a-z0-9 _.:-]{0,8}", fullmatch=True).map(Constant),
+)
+
+atoms = st.builds(
+    Atom,
+    relation_names,
+    st.lists(terms, min_size=1, max_size=4),
+)
+
+
+def _closed_tgds(body, head):
+    """Build a tgd only when both sides are nonempty (enforced by strategy)."""
+    return TGD(body, head)
+
+
+tgds = st.builds(
+    _closed_tgds,
+    st.lists(atoms, min_size=1, max_size=3),
+    st.lists(atoms, min_size=1, max_size=2),
+)
+
+
+class TestDependencyRoundTrip:
+    @FUZZ_SETTINGS
+    @given(tgds)
+    def test_text_round_trip(self, tgd):
+        rendered = dependency_to_text(tgd)
+        assert parse_dependency(rendered) == tgd
+
+
+class TestInstanceRoundTrip:
+    values = st.one_of(
+        st.integers(min_value=-99, max_value=99).map(Constant),
+        st.from_regex(r"[a-z0-9 _.:-]{0,8}", fullmatch=True).map(Constant),
+    )
+
+    @FUZZ_SETTINGS
+    @given(
+        st.dictionaries(
+            relation_names,
+            st.lists(st.tuples(values, values), max_size=4),
+            max_size=3,
+        )
+    )
+    def test_json_round_trip(self, raw):
+        from repro.core.instance import Instance
+
+        instance = Instance.from_tuples(raw)
+        assert loads_instance(dumps_instance(instance)) == instance
+
+
+class TestParserRobustness:
+    @FUZZ_SETTINGS
+    @given(st.text(max_size=40))
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        """The parser either succeeds or raises a library error — never an
+        internal exception like IndexError or KeyError."""
+        try:
+            parse_dependency(text)
+        except ReproError:
+            pass
+
+    @FUZZ_SETTINGS
+    @given(st.text(alphabet="EHab(),;->= xyz_0123456789'", max_size=40))
+    def test_near_miss_inputs(self, text):
+        try:
+            parse_instance(text)
+        except ReproError:
+            pass

@@ -1,0 +1,182 @@
+"""Tests for the PDMS substrate and the Section 2 correspondence (E14)."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.query import ConjunctiveQuery
+from repro.core.schema import Schema
+from repro.core.terms import Variable
+from repro.exceptions import SchemaError
+from repro.pdms import (
+    PDMS,
+    Peer,
+    StorageDescription,
+    assemble_candidate,
+    check_correspondence,
+    star_instance,
+    starred,
+    translate_setting,
+)
+from repro.solver import solve
+
+x, y = Variable("x"), Variable("y")
+
+
+def identity_query(relation: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery([Atom(relation, [x, y])], [x, y])
+
+
+class TestStorageDescription:
+    def test_containment_holds(self):
+        description = StorageDescription("R", identity_query("R_star"), "containment")
+        local = parse_instance("R_star(a, b)")
+        peer_view = parse_instance("R(a, b); R(c, d)")
+        assert description.holds(local, peer_view)
+
+    def test_containment_fails(self):
+        description = StorageDescription("R", identity_query("R_star"), "containment")
+        local = parse_instance("R_star(a, b)")
+        assert not description.holds(local, parse_instance("R(c, d)"))
+
+    def test_equality(self):
+        description = StorageDescription("R", identity_query("R_star"), "equality")
+        local = parse_instance("R_star(a, b)")
+        assert description.holds(local, parse_instance("R(a, b)"))
+        assert not description.holds(local, parse_instance("R(a, b); R(c, d)"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            StorageDescription("R", identity_query("R_star"), "fuzzy")
+
+
+class TestPeer:
+    def test_overlapping_schemas_rejected(self):
+        schema = Schema.from_arities({"R": 2})
+        with pytest.raises(SchemaError):
+            Peer("p", schema, schema)
+
+    def test_storage_must_target_peer_relation(self):
+        with pytest.raises(SchemaError):
+            Peer(
+                "p",
+                Schema.from_arities({"R": 2}),
+                Schema.from_arities({"R_star": 2}),
+                [StorageDescription("Q", identity_query("R_star"), "equality")],
+            )
+
+    def test_storage_query_over_local_sources(self):
+        with pytest.raises(SchemaError):
+            Peer(
+                "p",
+                Schema.from_arities({"R": 2}),
+                Schema.from_arities({"R_star": 2}),
+                [StorageDescription("R", identity_query("Other"), "equality")],
+            )
+
+
+class TestTranslation:
+    def test_starred_names(self):
+        assert starred("E") == "E_star"
+
+    def test_two_peers(self, example1_setting):
+        pdms = translate_setting(example1_setting)
+        assert [peer.name for peer in pdms.peers] == ["S", "T"]
+
+    def test_source_peer_equality_descriptions(self, example1_setting):
+        pdms = translate_setting(example1_setting)
+        source_peer = pdms.peer("S")
+        assert all(d.kind == "equality" for d in source_peer.storage)
+
+    def test_target_peer_containment_descriptions(self, example1_setting):
+        pdms = translate_setting(example1_setting)
+        target_peer = pdms.peer("T")
+        assert all(d.kind == "containment" for d in target_peer.storage)
+
+    def test_mappings_are_setting_dependencies(self, example1_setting):
+        pdms = translate_setting(example1_setting)
+        assert len(pdms.mappings) == 2
+
+    def test_star_instance(self):
+        replica = star_instance(parse_instance("E(a, b)"))
+        assert replica.relations() == ["E_star"]
+
+
+class TestCorrespondence:
+    def test_valid_solution_is_consistent(self, example1_setting, triangle_ish_source):
+        check = check_correspondence(
+            example1_setting,
+            triangle_ish_source,
+            Instance(),
+            parse_instance("H(a, c)"),
+        )
+        assert check.is_pde_solution
+        assert check.is_pdms_consistent
+        assert check.agrees
+
+    def test_invalid_candidate_is_inconsistent(
+        self, example1_setting, triangle_ish_source
+    ):
+        check = check_correspondence(
+            example1_setting,
+            triangle_ish_source,
+            Instance(),
+            parse_instance("H(a, b)"),  # missing the forced H(a, c)
+        )
+        assert not check.is_pde_solution
+        assert not check.is_pdms_consistent
+        assert check.agrees
+
+    def test_candidate_dropping_target_fact_is_inconsistent(self, example1_setting):
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        target = parse_instance("H(a, c)")
+        # A candidate that drops J's fact violates the containment storage
+        # description (and J ⊆ J' on the PDE side).
+        check = check_correspondence(example1_setting, source, target, Instance())
+        assert not check.is_pde_solution
+        assert not check.is_pdms_consistent
+
+    def test_agreement_on_solver_witnesses(self, example1_setting):
+        for text in ["E(a, a)", "E(a, b); E(b, c); E(a, c)"]:
+            source = parse_instance(text)
+            result = solve(example1_setting, source, Instance())
+            assert result.exists
+            check = check_correspondence(
+                example1_setting, source, Instance(), result.solution
+            )
+            assert check.agrees and check.is_pdms_consistent
+
+    def test_candidate_mutating_source_is_inconsistent(self, example1_setting):
+        # Build the candidate by hand with an extra source fact: the
+        # equality storage description of the source peer must reject it.
+        source = parse_instance("E(a, a)")
+        pdms = translate_setting(example1_setting)
+        local, candidate = assemble_candidate(
+            example1_setting, source, Instance(), parse_instance("H(a, a)")
+        )
+        assert pdms.is_consistent(local, candidate)
+        tampered = candidate.copy()
+        tampered.add_all(parse_instance("E(q, q)"))
+        assert not pdms.is_consistent(local, tampered)
+
+
+class TestPDMSModel:
+    def test_peer_lookup(self, example1_setting):
+        pdms = translate_setting(example1_setting)
+        assert pdms.peer("S").name == "S"
+        with pytest.raises(KeyError):
+            pdms.peer("missing")
+
+    def test_schema_unions(self, example1_setting):
+        pdms = translate_setting(example1_setting)
+        assert set(pdms.peer_schema().names()) == {"E", "H"}
+        assert set(pdms.local_schema().names()) == {"E_star", "H_star"}
+
+    def test_overlapping_peers_rejected(self):
+        schema = Schema.from_arities({"R": 2})
+        local = Schema.from_arities({"R_star": 2})
+        peer = Peer("p", schema, local)
+        clone = Peer("q", schema, Schema.from_arities({"Q_star": 2}))
+        with pytest.raises(SchemaError):
+            PDMS([peer, clone], [])

@@ -1,0 +1,133 @@
+"""Experiment E16: containment-only acyclic PDMS is tractable; the
+equality storage descriptions are what make PDE hard (Section 3.2)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_query
+from repro.exceptions import SolverError
+from repro.pdms import PDMS, Peer, StorageDescription, star_instance, translate_setting
+from repro.reductions import certain_answer_query, clique_setting, clique_source_instance
+from repro.pdms.acyclic import acyclic_certain_answers, canonical_consistent_instance
+from repro.solver import certain_answers
+
+
+def containment_weakened(pdms: PDMS) -> PDMS:
+    """Replace every equality storage description by a containment one."""
+    peers = []
+    for peer in pdms.peers:
+        weakened = [
+            StorageDescription(d.peer_relation, d.query, "containment")
+            for d in peer.storage
+        ]
+        peers.append(Peer(peer.name, peer.schema, peer.local_schema, weakened))
+    return PDMS(peers, pdms.mappings, name=pdms.name + " (containment-only)")
+
+
+class TestCanonicalInstance:
+    def test_least_instance_contains_local_data(self, example1_setting):
+        pdms = containment_weakened(translate_setting(example1_setting))
+        from repro.core.parser import parse_instance
+
+        local = star_instance(parse_instance("E(a, b); E(b, c)"))
+        canonical = canonical_consistent_instance(pdms, local)
+        assert canonical.contains_instance(local)
+        # Storage descriptions copy the stars into the peer relations, the
+        # Σ_st mapping derives H(a, c), and — the containment-semantics
+        # hallmark — the Σ_ts mapping then grows the *source* relation with
+        # the reflected E(a, c), something genuine PDE forbids.
+        assert canonical.count("H") >= 1
+        assert canonical.count("E") == 3
+
+    def test_canonical_is_consistent(self, example1_setting):
+        from repro.core.parser import parse_instance
+
+        pdms = containment_weakened(translate_setting(example1_setting))
+        local = star_instance(parse_instance("E(a, a)"))
+        canonical = canonical_consistent_instance(pdms, local)
+        assert pdms.is_consistent(local, canonical)
+
+    def test_equality_descriptions_rejected(self, example1_setting):
+        pdms = translate_setting(example1_setting)  # has equality for S
+        with pytest.raises(SolverError):
+            canonical_consistent_instance(pdms, Instance())
+
+
+class TestSection32Contrast:
+    """The paper's point: the Theorem 3 mappings are acyclic inclusions —
+    harmless under containment semantics, coNP-hard under PDE."""
+
+    def test_containment_semantics_is_clique_oblivious(self):
+        setting = clique_setting()
+        pdms = containment_weakened(translate_setting(setting))
+        query = certain_answer_query()
+
+        with_clique = clique_source_instance(
+            [1, 2, 3], [(1, 2), (2, 3), (1, 3)], 3, draw_from_nodes=True
+        )
+        without_clique = clique_source_instance(
+            [1, 2, 3, 4], [(1, 2), (2, 3), (3, 4)], 3, draw_from_nodes=True
+        )
+        results = []
+        for source in (with_clique, without_clique):
+            local = star_instance(source)
+            answer = acyclic_certain_answers(pdms, local, query)
+            results.append(answer.boolean_value)
+        # Containment-only: the target may stay empty, so the existential
+        # query is never certain — regardless of cliques.
+        assert results == [False, False]
+
+    def test_pde_semantics_sees_the_clique(self):
+        setting = clique_setting()
+        query = certain_answer_query()
+        with_clique = clique_source_instance(
+            [1, 2, 3], [(1, 2), (2, 3), (1, 3)], 3, draw_from_nodes=True
+        )
+        without_clique = clique_source_instance(
+            [1, 2, 3, 4], [(1, 2), (2, 3), (3, 4)], 3, draw_from_nodes=True
+        )
+        has = certain_answers(setting, query, with_clique, Instance())
+        lacks = certain_answers(setting, query, without_clique, Instance())
+        # PDE: clique iff NOT certain (Theorem 3).
+        assert has.boolean_value is False
+        assert lacks.boolean_value is True
+
+    def test_containment_certain_answers_sound(self, example1_setting):
+        """Where both semantics apply, containment answers are a lower
+        bound for PDE certain answers on the peer relations."""
+        from repro.core.parser import parse_instance
+
+        pdms = containment_weakened(translate_setting(example1_setting))
+        source = parse_instance("E(a, a)")
+        local = star_instance(source)
+        query = parse_query("q(x, y) :- H(x, y)")
+        containment = acyclic_certain_answers(pdms, local, query)
+        pde = certain_answers(example1_setting, query, source, Instance())
+        assert containment.answers <= pde.answers
+
+
+class TestTractability:
+    def test_polynomial_scaling(self):
+        """Canonical-chase certain answers stay fast as instances grow."""
+        import time
+
+        from repro.core.parser import parse_instance
+
+        setting = clique_setting()
+        pdms = containment_weakened(translate_setting(setting))
+        query = certain_answer_query()
+        timings = []
+        for n in (4, 8, 16):
+            source = clique_source_instance(
+                list(range(n)),
+                [(i, i + 1) for i in range(n - 1)],
+                3,
+                draw_from_nodes=True,
+            )
+            local = star_instance(source)
+            started = time.perf_counter()
+            acyclic_certain_answers(pdms, local, query)
+            timings.append(time.perf_counter() - started)
+        # Generous envelope: quadrupling the size must stay far below an
+        # exponential blow-up.
+        assert timings[-1] < max(timings[0], 0.001) * 500

@@ -1,0 +1,264 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Fact
+from repro.core.blocks import decompose_into_blocks
+from repro.core.chase import chase, satisfies
+from repro.core.homomorphism import (
+    find_instance_homomorphism,
+    has_instance_homomorphism,
+)
+from repro.core.instance import Instance
+from repro.core.parser import parse_dependencies, parse_query
+from repro.core.terms import Constant, Null
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+values = st.one_of(
+    st.sampled_from([Constant("a"), Constant("b"), Constant("c"), Constant("d")]),
+    st.builds(Null, st.integers(min_value=0, max_value=3)),
+)
+
+binary_facts = st.builds(lambda u, v: Fact("E", (u, v)), values, values)
+unary_facts = st.builds(lambda u: Fact("F", (u,)), values)
+facts = st.one_of(binary_facts, unary_facts)
+instances = st.lists(facts, max_size=12).map(Instance)
+
+ground_values = st.sampled_from(
+    [Constant("a"), Constant("b"), Constant("c"), Constant("d")]
+)
+ground_binary = st.builds(lambda u, v: Fact("E", (u, v)), ground_values, ground_values)
+ground_instances = st.lists(ground_binary, max_size=10).map(Instance)
+
+COMMON_SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ---------------------------------------------------------------------------
+# homomorphism properties
+# ---------------------------------------------------------------------------
+
+
+class TestHomomorphismProperties:
+    @COMMON_SETTINGS
+    @given(instances)
+    def test_identity_homomorphism(self, instance):
+        assert has_instance_homomorphism(instance, instance)
+
+    @COMMON_SETTINGS
+    @given(instances, instances)
+    def test_subset_implies_homomorphism_into_union(self, first, second):
+        union = first.union(second)
+        assert has_instance_homomorphism(first, union)
+        assert has_instance_homomorphism(second, union)
+
+    @COMMON_SETTINGS
+    @given(instances, instances, instances)
+    def test_composition(self, a, b, c):
+        ab = find_instance_homomorphism(a, b)
+        bc = find_instance_homomorphism(b, c)
+        if ab is not None and bc is not None:
+            assert has_instance_homomorphism(a, c)
+
+    @COMMON_SETTINGS
+    @given(instances)
+    def test_homomorphic_image_of_rename(self, instance):
+        mapping = {null: Constant("a") for null in instance.nulls()}
+        renamed = instance.rename(mapping)
+        assert has_instance_homomorphism(instance, renamed)
+
+
+# ---------------------------------------------------------------------------
+# block properties
+# ---------------------------------------------------------------------------
+
+
+class TestBlockProperties:
+    @COMMON_SETTINGS
+    @given(instances)
+    def test_blocks_partition_facts(self, instance):
+        blocks = decompose_into_blocks(instance)
+        merged = Instance()
+        total = 0
+        for block in blocks:
+            total += len(block.facts)
+            merged.add_all(block.facts)
+        assert total == len(instance)
+        assert merged == instance
+
+    @COMMON_SETTINGS
+    @given(instances)
+    def test_blocks_partition_nulls(self, instance):
+        blocks = decompose_into_blocks(instance)
+        seen: set[Null] = set()
+        for block in blocks:
+            assert not (block.nulls & seen)
+            seen |= block.nulls
+        assert seen == instance.nulls()
+
+    @COMMON_SETTINGS
+    @given(instances)
+    def test_block_facts_only_use_block_nulls(self, instance):
+        for block in decompose_into_blocks(instance):
+            for fact in block.facts:
+                assert fact.nulls() <= block.nulls
+
+    @COMMON_SETTINGS
+    @given(instances, instances)
+    def test_blockwise_homomorphism_equivalence(self, source, target):
+        """Proposition 1: hom(I_can -> I) iff every block maps."""
+        whole = has_instance_homomorphism(source, target)
+        blockwise = all(
+            has_instance_homomorphism(block.facts, target)
+            for block in decompose_into_blocks(source)
+        )
+        assert whole == blockwise
+
+
+# ---------------------------------------------------------------------------
+# chase properties
+# ---------------------------------------------------------------------------
+
+TGD_SETS = [
+    "E(x, y) -> E(y, x)",
+    "E(x, y), E(y, z) -> E(x, z)",
+    "E(x, y) -> F(x)",
+    "E(x, y) -> G(x, w)\nG(x, w) -> F(w)",
+]
+
+
+class TestChaseProperties:
+    @COMMON_SETTINGS
+    @given(ground_instances, st.sampled_from(TGD_SETS))
+    def test_chase_fixpoint_satisfies(self, instance, text):
+        dependencies = parse_dependencies(text)
+        result = chase(instance, dependencies)
+        assert satisfies(result.instance, dependencies)
+
+    @COMMON_SETTINGS
+    @given(ground_instances, st.sampled_from(TGD_SETS))
+    def test_chase_extends_input(self, instance, text):
+        result = chase(instance, parse_dependencies(text))
+        assert result.instance.contains_instance(instance)
+
+    @COMMON_SETTINGS
+    @given(ground_instances, st.sampled_from(TGD_SETS))
+    def test_chase_idempotent(self, instance, text):
+        dependencies = parse_dependencies(text)
+        once = chase(instance, dependencies)
+        twice = chase(once.instance, dependencies)
+        assert twice.step_count == 0
+        assert twice.instance == once.instance
+
+    @COMMON_SETTINGS
+    @given(ground_instances)
+    def test_satisfied_instance_not_chased(self, instance):
+        symmetric = instance.copy()
+        for fact in list(symmetric):
+            symmetric.add(Fact("E", (fact.args[1], fact.args[0])))
+        result = chase(symmetric, parse_dependencies("E(x, y) -> E(y, x)"))
+        assert result.step_count == 0
+
+
+# ---------------------------------------------------------------------------
+# query properties
+# ---------------------------------------------------------------------------
+
+
+class TestQueryProperties:
+    @COMMON_SETTINGS
+    @given(ground_instances, ground_instances)
+    def test_cq_monotone(self, small, extra):
+        query = parse_query("q(x, z) :- E(x, y), E(y, z)")
+        big = small.union(extra)
+        assert query.answers(small) <= query.answers(big)
+
+    @COMMON_SETTINGS
+    @given(ground_instances)
+    def test_boolean_cq_reflexive_on_self_joins(self, instance):
+        query = parse_query("E(x, y)")
+        assert query.holds(instance) == bool(len(instance))
+
+
+# ---------------------------------------------------------------------------
+# core properties
+# ---------------------------------------------------------------------------
+
+
+class TestCoreProperties:
+    @COMMON_SETTINGS
+    @given(instances)
+    def test_core_is_contained_and_equivalent(self, instance):
+        from repro.core.cores import core
+
+        minimized = core(instance)
+        assert instance.contains_instance(minimized)
+        assert has_instance_homomorphism(instance, minimized)
+        assert has_instance_homomorphism(minimized, instance)
+
+    @COMMON_SETTINGS
+    @given(instances)
+    def test_core_idempotent(self, instance):
+        from repro.core.cores import core
+
+        once = core(instance)
+        assert core(once) == once
+
+    @COMMON_SETTINGS
+    @given(ground_instances)
+    def test_ground_instances_are_cores(self, instance):
+        from repro.core.cores import core
+
+        assert core(instance) == instance
+
+
+# ---------------------------------------------------------------------------
+# weak acyclicity properties over generated stratified sets
+# ---------------------------------------------------------------------------
+
+
+class TestStratifiedTgdProperties:
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=0, max_value=500))
+    def test_stratified_sets_are_weakly_acyclic(self, seed):
+        from repro.core.weak_acyclicity import is_weakly_acyclic
+        from repro.workloads.settings import random_weakly_acyclic_tgds
+
+        tgds = random_weakly_acyclic_tgds(seed=seed)
+        assert is_weakly_acyclic(tgds)
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=0, max_value=200))
+    def test_chase_terminates_within_certified_budget(self, seed):
+        from repro.core.atoms import Fact
+        from repro.core.weak_acyclicity import chase_step_bound
+        from repro.workloads.settings import random_weakly_acyclic_tgds
+
+        tgds = random_weakly_acyclic_tgds(seed=seed, tgds=3)
+        # Seed a tiny instance over the layer-0 relations of the set.
+        instance = Instance()
+        for tgd in tgds:
+            for atom in tgd.body:
+                instance.add(
+                    Fact(atom.relation, tuple(Constant("a") for _ in atom.args))
+                )
+        budget = min(chase_step_bound(tgds, len(instance)), 100_000)
+        result = chase(instance, tgds, max_steps=budget)
+        assert result.step_count <= budget
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=0, max_value=200))
+    def test_ranks_bounded_by_layers(self, seed):
+        from repro.core.weak_acyclicity import position_ranks
+        from repro.workloads.settings import random_weakly_acyclic_tgds
+
+        layers = 3
+        tgds = random_weakly_acyclic_tgds(layers=layers, seed=seed)
+        ranks = position_ranks(tgds)
+        # Strict upward stratification: at most layers-1 special hops.
+        assert all(rank <= layers - 1 for rank in ranks.values())

@@ -1,0 +1,102 @@
+"""Unit tests for conjunctive queries and UCQs."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.parser import parse_instance, parse_query
+from repro.core.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.core.schema import Schema
+from repro.core.terms import Constant, Null, Variable
+from repro.core.instance import Instance
+from repro.exceptions import DependencyError, SchemaError
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestConjunctiveQuery:
+    def test_boolean_holds(self):
+        query = parse_query("E(x, y), E(y, z)")
+        assert query.holds(parse_instance("E(a, b); E(b, c)"))
+        assert not query.holds(parse_instance("E(a, b)"))
+
+    def test_answers(self):
+        query = parse_query("q(x) :- E(x, y)")
+        answers = query.answers(parse_instance("E(a, b); E(b, c)"))
+        assert answers == {(Constant("a"),), (Constant("b"),)}
+
+    def test_answers_deduplicated(self):
+        query = parse_query("q(x) :- E(x, y)")
+        answers = query.answers(parse_instance("E(a, b); E(a, c)"))
+        assert answers == {(Constant("a"),)}
+
+    def test_null_answers_dropped_by_default(self):
+        query = parse_query("q(y) :- E(x, y)")
+        instance = Instance.from_tuples({"E": [("a", Null(0))]})
+        assert query.answers(instance) == set()
+        assert query.answers(instance, allow_nulls=True) == {(Null(0),)}
+
+    def test_holds_with_answer_tuple(self):
+        query = parse_query("q(x) :- E(x, y)")
+        instance = parse_instance("E(a, b)")
+        assert query.holds(instance, (Constant("a"),))
+        assert not query.holds(instance, (Constant("b"),))
+
+    def test_holds_wrong_arity_rejected(self):
+        query = parse_query("q(x) :- E(x, y)")
+        with pytest.raises(DependencyError):
+            query.holds(parse_instance("E(a, b)"), (Constant("a"), Constant("b")))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DependencyError):
+            ConjunctiveQuery([], [])
+
+    def test_validate(self):
+        query = parse_query("E(x, y)")
+        query.validate(Schema.from_arities({"E": 2}))
+        with pytest.raises(SchemaError):
+            query.validate(Schema.from_arities({"F": 2}))
+
+    def test_str(self):
+        assert str(parse_query("q(x) :- E(x, y)")) == "q(x) :- E(x, y)"
+
+
+class TestUCQ:
+    def make_ucq(self):
+        return UnionOfConjunctiveQueries(
+            [parse_query("q(x) :- E(x, y)"), parse_query("q(x) :- F(x)")]
+        )
+
+    def test_answers_union(self):
+        ucq = self.make_ucq()
+        answers = ucq.answers(parse_instance("E(a, b); F(c)"))
+        assert answers == {(Constant("a"),), (Constant("c"),)}
+
+    def test_holds(self):
+        ucq = self.make_ucq()
+        assert ucq.holds(parse_instance("F(c)"), (Constant("c"),))
+        assert not ucq.holds(parse_instance("F(c)"), (Constant("a"),))
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(DependencyError):
+            UnionOfConjunctiveQueries(
+                [parse_query("q(x) :- E(x, y)"), parse_query("E(x, y)")]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(DependencyError):
+            UnionOfConjunctiveQueries([])
+
+    def test_boolean_ucq(self):
+        ucq = UnionOfConjunctiveQueries(
+            [parse_query("E(x, x)"), parse_query("F(x)")]
+        )
+        assert ucq.is_boolean
+        assert ucq.holds(parse_instance("F(a)"))
+        assert not ucq.holds(parse_instance("E(a, b)"))
+
+    def test_monotonicity(self):
+        # UCQ answers only grow when facts are added (Theorem 2 hypothesis).
+        ucq = self.make_ucq()
+        small = parse_instance("E(a, b)")
+        big = parse_instance("E(a, b); F(c)")
+        assert ucq.answers(small) <= ucq.answers(big)

@@ -1,0 +1,123 @@
+"""Tests for conjunctive-query containment (Chandra-Merlin)."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.terms import Constant, Null
+from repro.exceptions import DependencyError
+
+
+class TestCanonicalInstance:
+    def test_free_variables_become_tagged_constants(self):
+        query = parse_query("q(x) :- E(x, y)")
+        instance, answer = query.canonical_instance()
+        assert answer == (Constant("?x"),)
+        assert len(instance) == 1
+
+    def test_existential_variables_become_nulls(self):
+        query = parse_query("q(x) :- E(x, y), E(y, z)")
+        instance, _answer = query.canonical_instance()
+        assert len(instance.nulls()) == 2
+
+    def test_join_structure_preserved(self):
+        query = parse_query("q(x) :- E(x, y), E(y, x)")
+        instance, _answer = query.canonical_instance()
+        rows = list(instance.tuples("E"))
+        assert len(rows) == 2
+        # The join variable appears in both rows.
+        values = [value for row in rows for value in row]
+        y_null = next(v for v in values if isinstance(v, Null))
+        assert values.count(y_null) == 2
+
+
+class TestContainment:
+    def test_longer_path_contained_in_shorter(self):
+        """Paths of length 2 are contained in 'has an outgoing edge'."""
+        path2 = parse_query("q(x) :- E(x, y), E(y, z)")
+        edge = parse_query("q(x) :- E(x, y)")
+        assert path2.contained_in(edge)
+        assert not edge.contained_in(path2)
+
+    def test_self_containment(self):
+        query = parse_query("q(x, z) :- E(x, y), E(y, z)")
+        assert query.contained_in(query)
+        assert query.equivalent_to(query)
+
+    def test_equivalence_up_to_redundancy(self):
+        lean = parse_query("q(x) :- E(x, y)")
+        redundant = parse_query("q(x) :- E(x, y), E(x, y2)")
+        assert lean.equivalent_to(redundant)
+
+    def test_incomparable_queries(self):
+        loop = parse_query("q(x) :- E(x, x)")
+        edge = parse_query("q(x) :- E(x, y)")
+        assert loop.contained_in(edge)
+        assert not edge.contained_in(loop)
+
+    def test_boolean_containment(self):
+        triangle = parse_query("E(x, y), E(y, z), E(z, x)")
+        cycle = parse_query("E(x, y), E(y, x)")
+        # A 2-cycle maps into the canonical triangle? No: needs E both ways.
+        assert not triangle.contained_in(cycle)
+        # Every triangle has an edge.
+        edge = parse_query("E(x, y)")
+        assert triangle.contained_in(edge)
+
+    def test_different_relations_not_contained(self):
+        first = parse_query("q(x) :- E(x, y)")
+        second = parse_query("q(x) :- F(x, y)")
+        assert not first.contained_in(second)
+
+    def test_arity_mismatch_rejected(self):
+        unary = parse_query("q(x) :- E(x, y)")
+        binary = parse_query("q(x, y) :- E(x, y)")
+        with pytest.raises(DependencyError):
+            unary.contained_in(binary)
+
+    def test_containment_with_constants(self):
+        specific = parse_query("q(x) :- E(x, 'a')")
+        general = parse_query("q(x) :- E(x, y)")
+        assert specific.contained_in(general)
+        assert not general.contained_in(specific)
+
+
+class TestMinimization:
+    def test_redundant_atom_removed(self):
+        query = parse_query("q(x) :- E(x, y), E(x, y2)")
+        minimized = query.minimize()
+        assert len(minimized.body) == 1
+        assert minimized.equivalent_to(query)
+
+    def test_partial_redundancy(self):
+        query = parse_query("q(x) :- E(x, y), E(y, z), E(x, w)")
+        minimized = query.minimize()
+        assert len(minimized.body) == 2
+        assert minimized.equivalent_to(query)
+
+    def test_already_minimal_unchanged_in_size(self):
+        query = parse_query("q(x, z) :- E(x, y), E(y, z)")
+        assert len(query.minimize().body) == 2
+
+    def test_boolean_components_fold(self):
+        query = parse_query("E(x, y), E(u, v)")
+        minimized = query.minimize()
+        assert len(minimized.body) == 1
+        assert minimized.equivalent_to(query)
+
+    def test_self_loop_absorbs_edge(self):
+        query = parse_query("q(x) :- E(x, x), E(x, y)")
+        minimized = query.minimize()
+        assert len(minimized.body) == 1
+        assert minimized.equivalent_to(query)
+
+    def test_free_variables_preserved(self):
+        query = parse_query("q(x, z) :- E(x, y), E(y, z), E(x, w)")
+        minimized = query.minimize()
+        assert minimized.free == query.free
+        assert minimized.equivalent_to(query)
+
+    def test_minimize_idempotent(self):
+        query = parse_query("q(x) :- E(x, y), E(y, z), E(x, w)")
+        once = query.minimize()
+        twice = once.minimize()
+        assert len(once.body) == len(twice.body)

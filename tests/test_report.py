@@ -1,0 +1,77 @@
+"""Tests for the analysis report and DOT exports."""
+
+from repro.report import describe_setting, position_graph_dot, relation_graph_dot
+from repro.reductions import clique_setting, coloring_setting
+from repro.workloads import genomics_setting
+
+
+class TestDescribeSetting:
+    def test_ctract_setting_report(self, example1_setting):
+        report = describe_setting(example1_setting)
+        assert "in C_tract: **True**" in report
+        assert "Figure 3" in report
+        assert "E(x, z), E(z, y) -> H(x, y)" in report
+
+    def test_clique_setting_report(self):
+        report = describe_setting(clique_setting())
+        assert "in C_tract: **False**" in report
+        assert "valuation-search" in report
+        assert "marked positions: (P, 1), (P, 3)" in report
+        assert "violation:" in report
+
+    def test_marked_variables_listed(self):
+        report = describe_setting(clique_setting())
+        assert "marked variables" in report
+        assert "z" in report and "w" in report
+
+    def test_full_st_reports_no_marks(self, marked_example_setting):
+        from repro import PDESetting
+
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(y, x)",
+            ts="H(x, y) -> E(x, y)",
+        )
+        report = describe_setting(setting)
+        assert "marked positions: none" in report
+
+    def test_disjunctive_setting_report(self):
+        report = describe_setting(coloring_setting())
+        assert "disjunct" in report.lower() or "violation" in report
+
+    def test_genomics_report_structure(self):
+        report = describe_setting(genomics_setting())
+        assert report.startswith("# Setting analysis: genomics-sync")
+        assert "## Dependencies" in report
+        assert "## Tractability" in report
+        assert "## Recommended solver" in report
+
+
+class TestDotExports:
+    def test_relation_graph_dot(self, example1_setting):
+        dot = relation_graph_dot(example1_setting)
+        assert dot.startswith("digraph relations {")
+        assert '"E" [shape=box];' in dot
+        assert '"H" [shape=ellipse];' in dot
+        assert '"E" -> "H";' in dot
+        assert '"H" -> "E";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_position_graph_dot_special_edges(self):
+        from repro import PDESetting
+
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, w)",
+        )
+        dot = position_graph_dot(setting)
+        assert '"E.0" -> "H.0";' in dot
+        assert 'style=dashed' in dot  # the special edge to the null position
+
+    def test_dot_is_text_only(self, example1_setting):
+        for render in (relation_graph_dot, position_graph_dot):
+            dot = render(example1_setting)
+            assert isinstance(dot, str)
+            assert dot.count("{") == dot.count("}")

@@ -1,0 +1,92 @@
+"""Unit tests for relation symbols and schemas."""
+
+import pytest
+
+from repro.core.atoms import Atom, Fact
+from repro.core.schema import RelationSymbol, Schema
+from repro.core.terms import Constant, Variable
+from repro.exceptions import SchemaError
+
+
+class TestRelationSymbol:
+    def test_default_attribute_names(self):
+        relation = RelationSymbol("R", 3)
+        assert relation.attributes == ("#0", "#1", "#2")
+
+    def test_explicit_attribute_names(self):
+        relation = RelationSymbol("P", 2, ("acc", "name"))
+        assert relation.attributes == ("acc", "name")
+
+    def test_attribute_count_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("P", 2, ("only_one",))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", -1)
+
+    def test_positions(self):
+        assert list(RelationSymbol("R", 2).positions()) == [("R", 0), ("R", 1)]
+
+    def test_str(self):
+        assert str(RelationSymbol("R", 2)) == "R/2"
+
+
+class TestSchema:
+    def test_from_arities(self):
+        schema = Schema.from_arities({"E": 2, "H": 3})
+        assert schema.arity_of("E") == 2
+        assert schema.arity_of("H") == 3
+
+    def test_contains(self):
+        schema = Schema.from_arities({"E": 2})
+        assert "E" in schema
+        assert "H" not in schema
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema()["E"]
+
+    def test_conflicting_redeclaration_rejected(self):
+        schema = Schema.from_arities({"E": 2})
+        with pytest.raises(SchemaError):
+            schema.add(RelationSymbol("E", 3))
+
+    def test_idempotent_redeclaration_allowed(self):
+        schema = Schema.from_arities({"E": 2})
+        schema.add(RelationSymbol("E", 2))
+        assert len(schema) == 1
+
+    def test_positions(self):
+        schema = Schema.from_arities({"E": 2, "U": 1})
+        assert set(schema.positions()) == {("E", 0), ("E", 1), ("U", 0)}
+
+    def test_disjoint_from(self):
+        source = Schema.from_arities({"E": 2})
+        target = Schema.from_arities({"H": 2})
+        assert source.disjoint_from(target)
+        assert not source.disjoint_from(Schema.from_arities({"E": 2}))
+
+    def test_union(self):
+        union = Schema.from_arities({"E": 2}).union(Schema.from_arities({"H": 2}))
+        assert set(union.names()) == {"E", "H"}
+
+    def test_union_conflict_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_arities({"E": 2}).union(Schema.from_arities({"E": 3}))
+
+    def test_validate_atom_arity(self):
+        schema = Schema.from_arities({"E": 2})
+        schema.validate_atom(Atom("E", [Variable("x"), Variable("y")]))
+        with pytest.raises(SchemaError):
+            schema.validate_atom(Atom("E", [Variable("x")]))
+
+    def test_validate_fact(self):
+        schema = Schema.from_arities({"E": 2})
+        schema.validate_fact(Fact("E", [Constant("a"), Constant("b")]))
+        with pytest.raises(SchemaError):
+            schema.validate_fact(Fact("F", [Constant("a")]))
+
+    def test_equality(self):
+        assert Schema.from_arities({"E": 2}) == Schema.from_arities({"E": 2})
+        assert Schema.from_arities({"E": 2}) != Schema.from_arities({"E": 3})

@@ -1,0 +1,190 @@
+"""Structural tests for the Section 5 machinery behind Theorem 4.
+
+These tests execute the *proof structure*, not just the end-to-end
+algorithm: the homomorphism diagram of Theorem 5 (Figure 2), and the
+block-origin lemmas (Lemmas 6-8) that bound the nulls per block.
+"""
+
+import pytest
+
+from repro.core.blocks import decompose_into_blocks
+from repro.core.chase import chase
+from repro.core.homomorphism import has_instance_homomorphism
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.solver import canonical_instances, enumerate_solutions, solve
+
+
+@pytest.fixture
+def lav_setting() -> PDESetting:
+    """Condition 2.1 (single-literal Σ_ts bodies) with existentials on
+    both sides — the hard case for the lemmas."""
+    return PDESetting.from_text(
+        source={"S": 2},
+        target={"T": 2},
+        st="S(x1, x2) -> T(x1, y)",
+        ts="T(x1, x2) -> S(w, x2)",
+    )
+
+
+@pytest.fixture
+def condition22_setting() -> PDESetting:
+    """Condition 2.2 via full Σ_st: marked variables are Σ_ts existentials."""
+    return PDESetting.from_text(
+        source={"S": 2},
+        target={"T": 2},
+        st="S(x1, x2) -> T(x2, x1)",
+        ts="T(x1, x2) -> S(w1, w2), S(w2, x1)",
+    )
+
+
+class TestTheorem5Diagram:
+    """Figure 2: the four homomorphism arrows of the (⇒) direction."""
+
+    def chase_ts(self, setting, target_instance):
+        """Chase (J?, ∅) with Σ_ts and return the source part."""
+        combined = Instance(schema=setting.combined_schema)
+        combined.add_all(target_instance)
+        result = chase(combined, setting.sigma_ts)
+        return result.instance.restrict_to(setting.source_schema)
+
+    def test_arrows_compose(self, lav_setting):
+        source = parse_instance("S(a, b); S(c, d)")
+        target = Instance()
+        j_can, i_can, _stats = canonical_instances(lav_setting, source, target)
+
+        result = solve(lav_setting, source, target)
+        assert result.exists
+        j_sol = result.solution
+
+        # Arrow 1: J_can -> J_sol (Lemma 3).
+        assert has_instance_homomorphism(j_can, j_sol)
+
+        # I' = chase of (J_sol, ∅) with Σ_ts.
+        i_prime = self.chase_ts(lav_setting, j_sol)
+
+        # Arrow 2: I_can -> I' (Lemma 4, chases of hom-related instances).
+        assert has_instance_homomorphism(i_can, i_prime)
+
+        # Arrow 3: I' -> I (J_sol is a solution, so its Σ_ts requirements
+        # embed into the immutable source).
+        assert has_instance_homomorphism(i_prime, source)
+
+        # Arrow 4 (the composition): I_can -> I — Theorem 5's criterion.
+        assert has_instance_homomorphism(i_can, source)
+
+    def test_criterion_negative_direction(self, lav_setting):
+        # No S-fact can back the required Σ_ts conclusion: T's x2-null maps
+        # to S's second column, but S is empty in the relevant spot.
+        source = parse_instance("S(a, b)")
+        target = parse_instance("T(q, r)")  # requires S(_, r): absent
+        j_can, i_can, _stats = canonical_instances(lav_setting, source, target)
+        assert not has_instance_homomorphism(i_can, source)
+        assert not solve(lav_setting, source, target).exists
+
+    def test_criterion_matches_solver_on_grid(self, lav_setting):
+        sources = [
+            "S(a, b)",
+            "S(a, b); S(b, a)",
+            "S(a, a)",
+        ]
+        targets = ["", "T(a, b)", "T(q, b)", "T(q, r)"]
+        for source_text in sources:
+            for target_text in targets:
+                source = parse_instance(source_text)
+                target = parse_instance(target_text)
+                j_can, i_can, _stats = canonical_instances(
+                    lav_setting, source, target
+                )
+                criterion = has_instance_homomorphism(i_can, source)
+                solved = solve(lav_setting, source, target).exists
+                assert criterion == solved, (source_text, target_text)
+
+
+class TestLemma6BlockOrigins:
+    """Condition 2.1: every block of I_can is the chase of one J_can block."""
+
+    def test_block_counts_correspond(self, lav_setting):
+        source = parse_instance("; ".join(f"S(a{i}, b{i})" for i in range(5)))
+        j_can, i_can, _stats = canonical_instances(lav_setting, source, Instance())
+        j_blocks = decompose_into_blocks(j_can)
+        i_blocks = decompose_into_blocks(i_can)
+        # One T-fact (one block) per S-fact; each chases to one I_can block.
+        null_j_blocks = [b for b in j_blocks if not b.is_ground()]
+        null_i_blocks = [b for b in i_blocks if not b.is_ground()]
+        assert len(null_i_blocks) == len(null_j_blocks)
+
+    def test_i_can_block_nulls_trace_to_one_j_block(self, lav_setting):
+        source = parse_instance("; ".join(f"S(a{i}, b{i})" for i in range(4)))
+        j_can, i_can, _stats = canonical_instances(lav_setting, source, Instance())
+        j_blocks = decompose_into_blocks(j_can)
+        for i_block in decompose_into_blocks(i_can):
+            shared = i_block.nulls & j_can.nulls()
+            if not shared:
+                continue
+            # All shared nulls must come from a single J_can block (Lemma 7).
+            owners = {
+                index
+                for index, j_block in enumerate(j_blocks)
+                if shared & j_block.nulls
+            }
+            assert len(owners) == 1
+
+
+class TestLemma8NullOriginSeparation:
+    """Condition 2.2: each I_can block's nulls come from Σ_st or Σ_ts,
+    never both."""
+
+    def test_no_mixed_blocks(self, condition22_setting):
+        source = parse_instance("; ".join(f"S(a{i}, b{i})" for i in range(4)))
+        j_can, i_can, _stats = canonical_instances(
+            condition22_setting, source, Instance()
+        )
+        st_nulls = j_can.nulls()
+        for block in decompose_into_blocks(i_can):
+            if block.is_ground():
+                continue
+            from_st = block.nulls & st_nulls
+            from_ts = block.nulls - st_nulls
+            assert not (from_st and from_ts), (
+                "Lemma 8 violated: block mixes Σ_st nulls "
+                f"{from_st} with Σ_ts nulls {from_ts}"
+            )
+
+    def test_lav_setting_also_separates(self, lav_setting):
+        source = parse_instance("; ".join(f"S(a{i}, b{i})" for i in range(4)))
+        j_can, i_can, _stats = canonical_instances(lav_setting, source, Instance())
+        st_nulls = j_can.nulls()
+        for block in decompose_into_blocks(i_can):
+            if block.is_ground():
+                continue
+            from_st = block.nulls & st_nulls
+            from_ts = block.nulls - st_nulls
+            # With single-literal bodies the chase may thread a Σ_st null
+            # and a fresh Σ_ts null through one tuple, but Theorem 6 still
+            # bounds the total per block.
+            assert block.null_count <= 2
+
+
+class TestTheorem6Constant:
+    def test_bound_across_sizes_and_settings(self, lav_setting, condition22_setting):
+        for setting, bound in ((lav_setting, 2), (condition22_setting, 2)):
+            for n in (2, 6, 12):
+                source = parse_instance(
+                    "; ".join(f"S(a{i}, b{i})" for i in range(n))
+                )
+                _j_can, i_can, _stats = canonical_instances(
+                    setting, source, Instance()
+                )
+                blocks = decompose_into_blocks(i_can)
+                worst = max((b.null_count for b in blocks), default=0)
+                assert worst <= bound, (setting.name, n, worst)
+
+
+class TestMinimalSolutionsRespectDiagram:
+    def test_every_minimal_solution_receives_j_can(self, lav_setting):
+        source = parse_instance("S(a, b); S(b, c)")
+        j_can, _i_can, _stats = canonical_instances(lav_setting, source, Instance())
+        for solution in enumerate_solutions(lav_setting, source, Instance(), limit=8):
+            assert has_instance_homomorphism(j_can, solution)

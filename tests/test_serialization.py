@@ -1,0 +1,83 @@
+"""Round-trip tests for the JSON serialization layer."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_dependency, parse_instance
+from repro.core.terms import Null
+from repro.io import (
+    dependency_to_text,
+    dumps_instance,
+    dumps_setting,
+    loads_instance,
+    loads_setting,
+)
+from repro.reductions import clique_setting, coloring_setting, egd_boundary_setting
+from repro.workloads import genomics_setting
+
+
+class TestInstanceRoundTrip:
+    def test_ground(self):
+        instance = parse_instance("E(a, b); E(b, c); F(1)")
+        assert loads_instance(dumps_instance(instance)) == instance
+
+    def test_with_nulls(self):
+        instance = Instance.from_tuples({"E": [("a", Null(3, "y")), (Null(3), "b")]})
+        restored = loads_instance(dumps_instance(instance))
+        assert restored == instance
+        assert restored.nulls() == {Null(3)}
+
+    def test_numeric_and_string_constants(self):
+        instance = parse_instance("E(1, 'one'); E(2, 'two')")
+        assert loads_instance(dumps_instance(instance)) == instance
+
+    def test_empty(self):
+        assert loads_instance(dumps_instance(Instance())) == Instance()
+
+    def test_deterministic_output(self):
+        first = parse_instance("E(a, b); E(b, c)")
+        second = parse_instance("E(b, c); E(a, b)")
+        assert dumps_instance(first) == dumps_instance(second)
+
+
+class TestDependencyText:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "E(x, z), E(z, y) -> H(x, y)",
+            "D(x, y) -> P(x, z, y, w)",
+            "P(x, z, y, w), P(x, z2, y2, w2) -> z = z2",
+            "E(x, y) -> (R(x), B(y)) | (B(x), R(y))",
+            "E(x, 'lit') -> H(x, 42)",
+        ],
+    )
+    def test_round_trip(self, text):
+        dependency = parse_dependency(text)
+        rendered = dependency_to_text(dependency)
+        assert parse_dependency(rendered) == dependency
+
+
+class TestSettingRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [clique_setting, coloring_setting, egd_boundary_setting, genomics_setting],
+    )
+    def test_round_trip(self, factory):
+        setting = factory()
+        restored = loads_setting(dumps_setting(setting))
+        assert restored.source_schema == setting.source_schema
+        assert restored.target_schema == setting.target_schema
+        assert restored.sigma_st == setting.sigma_st
+        assert restored.sigma_ts == setting.sigma_ts
+        assert restored.sigma_t == setting.sigma_t
+        assert restored.name == setting.name
+
+    def test_round_trip_preserves_solver_behavior(self, example1_setting):
+        from repro.solver import solve
+
+        restored = loads_setting(dumps_setting(example1_setting))
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        assert (
+            solve(restored, source, Instance()).exists
+            == solve(example1_setting, source, Instance()).exists
+        )

@@ -1,0 +1,151 @@
+"""Unit tests for PDE settings (Definitions 1-2)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.core.schema import Schema
+from repro.exceptions import DependencyError, SchemaError
+
+
+class TestConstruction:
+    def test_from_text(self, example1_setting):
+        assert len(example1_setting.sigma_st) == 1
+        assert len(example1_setting.sigma_ts) == 1
+        assert not example1_setting.has_target_constraints
+
+    def test_disjoint_schemas_required(self):
+        with pytest.raises(SchemaError):
+            PDESetting.from_text(source={"E": 2}, target={"E": 2})
+
+    def test_st_atoms_validated(self):
+        with pytest.raises(SchemaError):
+            PDESetting.from_text(
+                source={"E": 2},
+                target={"H": 2},
+                st="H(x, y) -> E(x, y)",  # sides swapped
+            )
+
+    def test_ts_atoms_validated(self):
+        with pytest.raises(SchemaError):
+            PDESetting.from_text(
+                source={"E": 2},
+                target={"H": 2},
+                ts="E(x, y) -> H(x, y)",  # sides swapped
+            )
+
+    def test_t_atoms_validated(self):
+        with pytest.raises(SchemaError):
+            PDESetting.from_text(
+                source={"E": 2},
+                target={"H": 2},
+                t="E(x, y) -> H(x, y)",  # E is a source relation
+            )
+
+    def test_egd_rejected_in_st(self):
+        with pytest.raises(DependencyError):
+            PDESetting.from_text(
+                source={"E": 2},
+                target={"H": 2},
+                st="E(x, y), E(x, y2) -> y = y2",
+            )
+
+    def test_egd_allowed_in_t(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            t="H(x, y), H(x, y2) -> y = y2",
+        )
+        assert len(setting.target_egds()) == 1
+
+    def test_disjunctive_allowed_in_ts_only(self):
+        setting = PDESetting.from_text(
+            source={"E": 2, "R": 1, "B": 1},
+            target={"H": 2},
+            ts="H(x, y) -> (R(x)) | (B(x))",
+        )
+        assert setting.has_disjunctive_ts
+        with pytest.raises(DependencyError):
+            PDESetting.from_text(
+                source={"E": 2},
+                target={"H": 2, "R1": 1, "B1": 1},
+                st="E(x, y) -> (R1(x)) | (B1(x))",
+            )
+
+
+class TestStructure:
+    def test_combined_schema(self, example1_setting):
+        assert set(example1_setting.combined_schema.names()) == {"E", "H"}
+
+    def test_combine_and_split(self, example1_setting):
+        source = parse_instance("E(a, b)")
+        target = parse_instance("H(a, b)")
+        combined = example1_setting.combine(source, target)
+        assert len(combined) == 2
+        back_source, back_target = example1_setting.split(combined)
+        assert back_source == source
+        assert back_target == target
+
+    def test_target_tgds_weakly_acyclic(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            t="H(x, y) -> H(x, z)",
+        )
+        assert setting.target_tgds_weakly_acyclic()
+        bad = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            t="H(x, y) -> H(y, z)",
+        )
+        assert not bad.target_tgds_weakly_acyclic()
+
+    def test_all_dependencies_order(self, example1_setting):
+        deps = example1_setting.all_dependencies()
+        assert len(deps) == 2
+
+    def test_validate_instances(self, example1_setting):
+        example1_setting.validate_source_instance(parse_instance("E(a, b)"))
+        example1_setting.validate_target_instance(parse_instance("H(a, b)"))
+        with pytest.raises(SchemaError):
+            example1_setting.validate_source_instance(parse_instance("H(a, b)"))
+        with pytest.raises(SchemaError):
+            example1_setting.validate_target_instance(parse_instance("E(a, b)"))
+
+
+class TestIsSolution:
+    def test_example1_valid_solution(self, example1_setting, triangle_ish_source):
+        solution = parse_instance("H(a, c)")
+        assert example1_setting.is_solution(triangle_ish_source, Instance(), solution)
+
+    def test_example1_other_solution(self, example1_setting, triangle_ish_source):
+        solution = parse_instance("H(a, b); H(b, c); H(a, c)")
+        assert example1_setting.is_solution(triangle_ish_source, Instance(), solution)
+
+    def test_candidate_must_contain_target(self, example1_setting, triangle_ish_source):
+        target = parse_instance("H(a, c)")
+        # The empty candidate does not contain J.
+        assert not example1_setting.is_solution(triangle_ish_source, target, Instance())
+
+    def test_sigma_st_violation_detected(self, example1_setting, triangle_ish_source):
+        # Missing the required H(a, c) for the path a->b->c.
+        assert not example1_setting.is_solution(
+            triangle_ish_source, Instance(), parse_instance("H(a, b)")
+        )
+
+    def test_sigma_ts_violation_detected(self, example1_setting, triangle_ish_source):
+        # H(c, a) has no E(c, a) backing it.
+        candidate = parse_instance("H(a, c); H(c, a)")
+        assert not example1_setting.is_solution(triangle_ish_source, Instance(), candidate)
+
+    def test_sigma_t_checked(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, y)",
+            t="H(x, y), H(x, y2) -> y = y2",
+        )
+        source = parse_instance("E(a, b); E(a, c)")
+        candidate = parse_instance("H(a, b); H(a, c)")
+        assert not setting.is_solution(source, Instance(), candidate)

@@ -1,0 +1,95 @@
+"""Unit tests for the solution-aware chase (Definitions 6 and 7, Lemmas 1-2)."""
+
+import pytest
+
+from repro.core.chase import chase, satisfies, solution_aware_chase
+from repro.core.parser import parse_dependencies, parse_dependency, parse_instance
+from repro.exceptions import ChaseFailure
+
+
+class TestSolutionAwareChase:
+    def test_witnesses_come_from_solution(self):
+        tgd = parse_dependency("E(x, y) -> H(x, w)")
+        start = parse_instance("E(a, b)")
+        solution = parse_instance("E(a, b); H(a, c); H(a, d)")
+        result = solution_aware_chase(start, [tgd], solution)
+        # No fresh nulls: the witness is a value of the solution.
+        assert result.instance.is_ground()
+        assert solution.contains_instance(result.instance)
+
+    def test_result_contained_in_solution(self):
+        tgds = parse_dependencies(
+            """
+            E(x, y) -> H(x, w)
+            H(x, y) -> G(y, w)
+            """
+        )
+        start = parse_instance("E(a, b)")
+        solution = parse_instance("E(a, b); H(a, h1); G(h1, g1); G(b, g2)")
+        result = solution_aware_chase(start, tgds, solution)
+        assert solution.contains_instance(result.instance)
+        assert satisfies(result.instance, tgds)
+
+    def test_smaller_than_solution(self):
+        # Lemma 2's point: the solution-aware chase extracts a small
+        # sub-solution even when the given solution is bloated.
+        tgd = parse_dependency("E(x, y) -> H(x, w)")
+        start = parse_instance("E(a, b)")
+        bloated = parse_instance(
+            "E(a, b); H(a, w1); H(q, q1); H(q, q2); H(q, q3); H(q, q4)"
+        )
+        result = solution_aware_chase(start, [tgd], bloated)
+        assert len(result.instance) < len(bloated)
+
+    def test_requires_containment(self):
+        tgd = parse_dependency("E(x, y) -> H(x, w)")
+        with pytest.raises(ChaseFailure):
+            solution_aware_chase(
+                parse_instance("E(a, b)"), [tgd], parse_instance("H(a, c)")
+            )
+
+    def test_rejects_non_solution(self):
+        # The given "solution" violates the tgd: no witness available.
+        tgd = parse_dependency("E(x, y) -> H(x, w)")
+        start = parse_instance("E(a, b)")
+        with pytest.raises(ChaseFailure):
+            solution_aware_chase(start, [tgd], parse_instance("E(a, b); H(b, c)"))
+
+    def test_no_steps_when_already_satisfied(self):
+        tgd = parse_dependency("E(x, y) -> H(x, y)")
+        start = parse_instance("E(a, b); H(a, b)")
+        result = solution_aware_chase(start, [tgd], start)
+        assert result.step_count == 0
+
+    def test_with_egds(self):
+        dependencies = parse_dependencies(
+            """
+            E(x, y) -> H(x, w)
+            H(x, y), H(x, y2) -> y = y2
+            """
+        )
+        start = parse_instance("E(a, b)")
+        solution = parse_instance("E(a, b); H(a, c)")
+        result = solution_aware_chase(start, dependencies, solution)
+        assert result.instance.tuples("H") == solution.tuples("H")
+
+
+class TestLemma1LengthBound:
+    def test_chase_length_polynomial_for_weakly_acyclic(self):
+        # For a weakly acyclic (here: one-pass) set, the number of steps is
+        # bounded by a polynomial in |K|; empirically it is linear here.
+        tgd = parse_dependency("E(x, y) -> H(x, w)")
+        for n in (2, 4, 8, 16):
+            facts = "; ".join(f"E(a{i}, b{i})" for i in range(n))
+            start = parse_instance(facts)
+            solution = start.copy()
+            solution.add_all(parse_instance("; ".join(f"H(a{i}, c)" for i in range(n))))
+            result = solution_aware_chase(start, [tgd], solution)
+            assert result.step_count == n
+
+    def test_standard_chase_matches_length_shape(self):
+        tgd = parse_dependency("E(x, y) -> H(x, w)")
+        for n in (2, 4, 8):
+            facts = "; ".join(f"E(a{i}, b{i})" for i in range(n))
+            result = chase(parse_instance(facts), [tgd])
+            assert result.step_count == n

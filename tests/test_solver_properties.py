@@ -1,0 +1,125 @@
+"""Property-based tests for the solvers (hypothesis).
+
+Small random instances over fixed settings: the independent solver
+implementations must agree with each other and with direct verification of
+Definition 2 on their witnesses.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Fact
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.core.terms import Constant
+from repro.solver import solve
+from repro.solver.certain_answers import is_certain
+from repro.core.parser import parse_query
+
+EXAMPLE1 = PDESetting.from_text(
+    source={"E": 2},
+    target={"H": 2},
+    st="E(x, z), E(z, y) -> H(x, y)",
+    ts="H(x, y) -> E(x, y)",
+)
+
+CHOICE = PDESetting.from_text(
+    source={"A": 1, "R": 2},
+    target={"T": 2},
+    st="A(x) -> T(x, y)",
+    ts="T(x, y) -> R(x, y)",
+)
+
+KEYED = PDESetting.from_text(
+    source={"A": 1, "R": 2},
+    target={"T": 2},
+    st="A(x) -> T(x, y)",
+    ts="T(x, y) -> R(x, y)",
+    t="T(x, y), T(x, y2) -> y = y2",
+)
+
+values = st.sampled_from([Constant("a"), Constant("b"), Constant("c")])
+
+e_instances = st.lists(
+    st.builds(lambda u, v: Fact("E", (u, v)), values, values), max_size=6
+).map(Instance)
+
+ar_instances = st.builds(
+    lambda a_facts, r_facts: Instance(a_facts + r_facts),
+    st.lists(st.builds(lambda u: Fact("A", (u,)), values), max_size=3),
+    st.lists(st.builds(lambda u, v: Fact("R", (u, v)), values, values), max_size=4),
+)
+
+SOLVER_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestSolverAgreement:
+    @SOLVER_SETTINGS
+    @given(e_instances)
+    def test_example1_tractable_vs_valuation(self, source):
+        tractable = solve(EXAMPLE1, source, Instance(), method="tractable").exists
+        valuation = solve(EXAMPLE1, source, Instance(), method="valuation").exists
+        assert tractable == valuation
+
+    @SOLVER_SETTINGS
+    @given(e_instances)
+    def test_example1_valuation_vs_branching(self, source):
+        valuation = solve(EXAMPLE1, source, Instance(), method="valuation").exists
+        branching = solve(EXAMPLE1, source, Instance(), method="branching").exists
+        assert valuation == branching
+
+    @SOLVER_SETTINGS
+    @given(ar_instances)
+    def test_choice_setting_valuation_vs_branching(self, source):
+        valuation = solve(CHOICE, source, Instance(), method="valuation").exists
+        branching = solve(CHOICE, source, Instance(), method="branching").exists
+        assert valuation == branching
+
+    @SOLVER_SETTINGS
+    @given(ar_instances)
+    def test_keyed_setting_valuation_vs_branching(self, source):
+        valuation = solve(KEYED, source, Instance(), method="valuation").exists
+        branching = solve(KEYED, source, Instance(), method="branching").exists
+        assert valuation == branching
+
+
+class TestWitnessValidity:
+    @SOLVER_SETTINGS
+    @given(e_instances)
+    def test_example1_witness_satisfies_definition2(self, source):
+        result = solve(EXAMPLE1, source, Instance())
+        if result.exists:
+            assert EXAMPLE1.is_solution(source, Instance(), result.solution)
+
+    @SOLVER_SETTINGS
+    @given(ar_instances)
+    def test_keyed_witness_satisfies_definition2(self, source):
+        result = solve(KEYED, source, Instance())
+        if result.exists:
+            assert KEYED.is_solution(source, Instance(), result.solution)
+
+
+class TestCertainAnswerInvariants:
+    @SOLVER_SETTINGS
+    @given(ar_instances)
+    def test_certain_implies_in_witness(self, source):
+        """A certain answer appears in every solution, in particular in the
+        solver's witness."""
+        query = parse_query("q(x, y) :- T(x, y)")
+        result = solve(CHOICE, source, Instance())
+        if not result.exists:
+            return
+        witness_answers = query.answers(result.solution)
+        for row in witness_answers:
+            if is_certain(CHOICE, query, source, Instance(), row):
+                assert row in witness_answers
+
+    @SOLVER_SETTINGS
+    @given(ar_instances)
+    def test_vacuous_certainty_iff_unsolvable(self, source):
+        query = parse_query("T(x, y)")
+        solvable = solve(CHOICE, source, Instance()).exists
+        if not solvable:
+            assert is_certain(CHOICE, query, source, Instance())

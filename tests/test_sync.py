@@ -1,0 +1,129 @@
+"""Tests for incremental synchronization sessions."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.sync import SyncSession
+from repro.workloads import generate_genomics_data, genomics_setting
+
+
+@pytest.fixture
+def registry_setting() -> PDESetting:
+    return PDESetting.from_text(
+        source={"reg": 2},
+        target={"db": 2},
+        st="reg(k, v) -> db(k, v)",
+        ts="db(k, v) -> reg(k, v)",
+        name="registry",
+    )
+
+
+class TestBasicRounds:
+    def test_first_round_imports_everything(self, registry_setting):
+        session = SyncSession(registry_setting)
+        outcome = session.sync(parse_instance("reg(a, 1); reg(b, 2)"))
+        assert outcome.ok
+        assert len(outcome.added) == 2
+        assert len(outcome.retracted) == 0
+        assert session.state() == parse_instance("db(a, 1); db(b, 2)")
+
+    def test_idempotent_round(self, registry_setting):
+        session = SyncSession(registry_setting)
+        source = parse_instance("reg(a, 1)")
+        session.sync(source)
+        outcome = session.sync(source)
+        assert outcome.ok
+        assert not outcome.changed
+
+    def test_additions_are_incremental(self, registry_setting):
+        session = SyncSession(registry_setting)
+        session.sync(parse_instance("reg(a, 1)"))
+        outcome = session.sync(parse_instance("reg(a, 1); reg(b, 2)"))
+        assert outcome.ok
+        assert outcome.added == parse_instance("db(b, 2)")
+
+    def test_withdrawal_retracts_import(self, registry_setting):
+        session = SyncSession(registry_setting)
+        session.sync(parse_instance("reg(a, 1); reg(b, 2)"))
+        outcome = session.sync(parse_instance("reg(a, 1)"))
+        assert outcome.ok
+        assert outcome.retracted == parse_instance("db(b, 2)")
+        assert session.state() == parse_instance("db(a, 1)")
+
+    def test_round_counter(self, registry_setting):
+        session = SyncSession(registry_setting)
+        session.sync(parse_instance("reg(a, 1)"))
+        session.sync(parse_instance("reg(a, 1)"))
+        assert session.rounds == 2
+
+
+class TestPinnedFacts:
+    def test_pinned_facts_survive(self, registry_setting):
+        pinned = parse_instance("db(own, data)")
+        session = SyncSession(registry_setting, pinned=pinned)
+        # The source must vouch for the pinned fact, else rejection.
+        outcome = session.sync(parse_instance("reg(own, data); reg(a, 1)"))
+        assert outcome.ok
+        assert session.state().contains_instance(pinned)
+
+    def test_unvouched_pinned_fact_rejects_round(self, registry_setting):
+        pinned = parse_instance("db(own, data)")
+        session = SyncSession(registry_setting, pinned=pinned)
+        outcome = session.sync(parse_instance("reg(a, 1)"))
+        assert not outcome.ok
+        assert "pinned" in outcome.reason
+        # State unchanged on rejection.
+        assert session.state() == pinned
+
+    def test_pinned_never_retracted_by_withdrawal(self, registry_setting):
+        pinned = parse_instance("db(own, data)")
+        session = SyncSession(registry_setting, pinned=pinned)
+        session.sync(parse_instance("reg(own, data); reg(a, 1)"))
+        outcome = session.sync(parse_instance("reg(own, data)"))
+        assert outcome.ok
+        assert outcome.retracted == parse_instance("db(a, 1)")
+        assert session.state() == pinned
+
+
+class TestSolutionInvariant:
+    def test_state_is_always_a_solution(self, registry_setting):
+        session = SyncSession(registry_setting)
+        snapshots = [
+            "reg(a, 1); reg(b, 2)",
+            "reg(a, 1); reg(b, 2); reg(c, 3)",
+            "reg(b, 2); reg(c, 3)",
+            "reg(c, 3)",
+        ]
+        for text in snapshots:
+            source = parse_instance(text)
+            outcome = session.sync(source)
+            assert outcome.ok
+            assert registry_setting.is_solution(
+                source, session.pinned, session.state()
+            )
+
+    def test_genomics_session(self):
+        setting = genomics_setting()
+        session = SyncSession(setting)
+        first, _ = generate_genomics_data(proteins=6, seed=1)
+        second, _ = generate_genomics_data(proteins=9, seed=1)
+        outcome1 = session.sync(first)
+        outcome2 = session.sync(second)
+        assert outcome1.ok and outcome2.ok
+        assert len(outcome2.added) > 0
+        assert setting.is_solution(second, Instance(), session.state())
+
+    def test_incremental_matches_from_scratch(self, registry_setting):
+        from repro.solver import solve
+
+        session = SyncSession(registry_setting)
+        session.sync(parse_instance("reg(a, 1)"))
+        session.sync(parse_instance("reg(a, 1); reg(b, 2)"))
+        fresh = solve(
+            registry_setting,
+            parse_instance("reg(a, 1); reg(b, 2)"),
+            Instance(),
+        ).solution
+        assert session.state() == fresh

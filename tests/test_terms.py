@@ -1,0 +1,115 @@
+"""Unit tests for the term model (constants, nulls, variables)."""
+
+import pytest
+
+from repro.core.terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Variable,
+    is_constant,
+    is_null,
+    is_variable,
+    term_sort_key,
+)
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant("1")
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+    def test_str_of_string_constant(self):
+        assert str(Constant("swissprot")) == "swissprot"
+
+    def test_str_of_numeric_constant(self):
+        assert str(Constant(42)) == "42"
+
+    def test_repr_roundtrip(self):
+        assert eval(repr(Constant("a"))) == Constant("a")
+
+
+class TestNull:
+    def test_equality_by_label_only(self):
+        assert Null(3, "x") == Null(3, "y")
+        assert Null(3) != Null(4)
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Null(3, "x")) == hash(Null(3, "other"))
+
+    def test_not_equal_to_constant(self):
+        assert Null(0) != Constant(0)
+        assert Constant(0) != Null(0)
+
+    def test_str_uses_hint(self):
+        assert str(Null(7, "z")) == "_z7"
+        assert str(Null(7)) == "_n7"
+
+    def test_distinct_from_variable(self):
+        assert Null(1) != Variable("x")
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_ordering(self):
+        assert sorted([Variable("z"), Variable("a")]) == [Variable("a"), Variable("z")]
+
+
+class TestPredicates:
+    def test_is_constant(self):
+        assert is_constant(Constant("a"))
+        assert not is_constant(Null(0))
+        assert not is_constant(Variable("x"))
+
+    def test_is_null(self):
+        assert is_null(Null(0))
+        assert not is_null(Constant("a"))
+
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant("x"))
+
+
+class TestNullFactory:
+    def test_fresh_labels_are_distinct(self):
+        factory = NullFactory()
+        labels = {factory.fresh().label for _ in range(100)}
+        assert len(labels) == 100
+
+    def test_fresh_carries_hint(self):
+        assert NullFactory().fresh(hint="y").hint == "y"
+
+    def test_above_skips_existing_labels(self):
+        factory = NullFactory.above([Null(5), Null(9)])
+        assert factory.fresh().label == 10
+
+    def test_above_empty_starts_at_zero(self):
+        assert NullFactory.above([]).fresh().label == 0
+
+    def test_start_parameter(self):
+        assert NullFactory(start=100).fresh().label == 100
+
+
+class TestSortKey:
+    def test_heterogeneous_constants_sortable(self):
+        values = [Constant(2), Constant("a"), Constant(1), Constant("b")]
+        ordered = sorted(values, key=term_sort_key)
+        assert ordered.index(Constant(1)) < ordered.index(Constant(2))
+        assert ordered.index(Constant("a")) < ordered.index(Constant("b"))
+
+    def test_constants_before_nulls_before_variables(self):
+        ordered = sorted(
+            [Variable("x"), Null(0), Constant("a")], key=term_sort_key
+        )
+        assert ordered == [Constant("a"), Null(0), Variable("x")]
+
+    def test_nulls_sorted_numerically(self):
+        ordered = sorted([Null(10), Null(2)], key=term_sort_key)
+        assert ordered == [Null(2), Null(10)]

@@ -1,0 +1,148 @@
+"""Tests for the Figure 3 ExistsSolution algorithm (Theorems 4-6)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SolverError
+from repro.reductions import clique_setting, clique_source_instance
+from repro.solver import (
+    canonical_instances,
+    exists_solution_tractable,
+    exists_solution_valuation,
+)
+from repro.core.blocks import decompose_into_blocks
+
+
+class TestCanonicalInstances:
+    def test_example1(self, example1_setting, triangle_ish_source):
+        j_can, i_can, stats = canonical_instances(
+            example1_setting, triangle_ish_source, Instance()
+        )
+        # Paths of length 2: only a->b->c, so J_can = {H(a, c)}.
+        assert j_can == parse_instance("H(a, c)")
+        # Σ_ts then requires E(a, c).
+        assert i_can == parse_instance("E(a, c)")
+
+    def test_existing_target_included(self, example1_setting):
+        source = parse_instance("E(a, b); E(b, c)")
+        target = parse_instance("H(q, r)")
+        j_can, i_can, _stats = canonical_instances(example1_setting, source, target)
+        assert parse_instance("H(q, r)").contains_instance(
+            j_can.restrict_to(example1_setting.target_schema)
+        ) or target.contains_instance(target)  # target facts survive into J_can
+        assert j_can.contains_instance(target)
+        # I_can demands both E(a, c) (from chase) and E(q, r) (from J).
+        assert i_can.contains_instance(parse_instance("E(a, c); E(q, r)"))
+
+    def test_nulls_propagate_to_i_can(self, marked_example_setting):
+        source = parse_instance("S(a, b)")
+        j_can, i_can, _stats = canonical_instances(
+            marked_example_setting, source, Instance()
+        )
+        # J_can = {T(a, _y)}; I_can = {S(_w, _y)}: the null _y of J_can
+        # reappears in I_can, plus a fresh null _w.
+        assert len(j_can.nulls()) == 1
+        assert len(i_can.nulls()) == 2
+        assert j_can.nulls() <= i_can.nulls()
+
+
+class TestExistsSolutionTractable:
+    def test_example1_all_three_inputs(self, example1_setting):
+        no_sol = parse_instance("E(a, b); E(b, c)")
+        unique = parse_instance("E(a, a)")
+        two_sols = parse_instance("E(a, b); E(b, c); E(a, c)")
+        assert not exists_solution_tractable(example1_setting, no_sol, Instance()).exists
+        assert exists_solution_tractable(example1_setting, unique, Instance()).exists
+        assert exists_solution_tractable(example1_setting, two_sols, Instance()).exists
+
+    def test_witness_is_valid_solution(self, example1_setting, triangle_ish_source):
+        result = exists_solution_tractable(
+            example1_setting, triangle_ish_source, Instance()
+        )
+        assert result.exists
+        assert example1_setting.is_solution(
+            triangle_ish_source, Instance(), result.solution
+        )
+
+    def test_witness_with_existentials(self, marked_example_setting):
+        source = parse_instance("S(a, b)")
+        result = exists_solution_tractable(marked_example_setting, source, Instance())
+        assert result.exists
+        assert marked_example_setting.is_solution(source, Instance(), result.solution)
+
+    def test_nonempty_target_instance(self, example1_setting):
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        target = parse_instance("H(a, c)")
+        result = exists_solution_tractable(example1_setting, source, target)
+        assert result.exists
+        assert result.solution.contains_instance(target)
+
+    def test_target_fact_without_backing_fails(self, example1_setting):
+        source = parse_instance("E(a, b)")
+        target = parse_instance("H(q, r)")  # no E(q, r) in the source
+        assert not exists_solution_tractable(example1_setting, source, target).exists
+
+    def test_membership_check_rejects_clique_setting(self):
+        setting = clique_setting()
+        source = clique_source_instance([1, 2, 3], [(1, 2)], 2)
+        with pytest.raises(SolverError):
+            exists_solution_tractable(setting, source, Instance())
+
+    def test_membership_check_can_be_disabled(self):
+        setting = clique_setting()
+        source = clique_source_instance([1, 2, 3], [(1, 2)], 2)
+        # Unsound in general, but it must at least run.
+        result = exists_solution_tractable(
+            setting, source, Instance(), check_membership=False
+        )
+        assert result.method == "tractable"
+
+    def test_stats_populated(self, example1_setting, triangle_ish_source):
+        result = exists_solution_tractable(
+            example1_setting, triangle_ish_source, Instance()
+        )
+        assert "blocks" in result.stats
+        assert "max_nulls_per_block" in result.stats
+
+    def test_agrees_with_valuation_search_on_lav(self, example1_setting):
+        inputs = [
+            "E(a, b); E(b, c)",
+            "E(a, a)",
+            "E(a, b); E(b, c); E(a, c)",
+            "E(a, b); E(b, a)",
+            "E(a, b); E(b, c); E(c, a)",
+        ]
+        for text in inputs:
+            source = parse_instance(text)
+            tractable = exists_solution_tractable(example1_setting, source, Instance())
+            generic = exists_solution_valuation(example1_setting, source, Instance())
+            assert tractable.exists == generic.exists, text
+
+
+class TestTheorem6BlockBound:
+    def test_lav_blocks_have_bounded_nulls(self, marked_example_setting):
+        # Growing inputs: nulls per I_can block stay constant (Theorem 6).
+        for n in (1, 3, 6, 10):
+            source = parse_instance("; ".join(f"S(a{i}, b{i})" for i in range(n)))
+            _j_can, i_can, _stats = canonical_instances(
+                marked_example_setting, source, Instance()
+            )
+            blocks = decompose_into_blocks(i_can)
+            assert blocks, "expected at least one block"
+            assert max(block.null_count for block in blocks) <= 2
+
+    def test_full_st_blocks_have_bounded_nulls(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(y, x)",
+            ts="H(x, y), H(y, z) -> E(x, w), E(w, z)",
+        )
+        for n in (2, 4, 8):
+            source = parse_instance("; ".join(f"E(a{i}, a{i + 1})" for i in range(n)))
+            _j_can, i_can, _stats = canonical_instances(setting, source, Instance())
+            blocks = decompose_into_blocks(i_can)
+            if blocks:
+                assert max(block.null_count for block in blocks) <= 1

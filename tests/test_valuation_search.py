@@ -1,0 +1,174 @@
+"""Tests for the generic NP valuation-search solver (Theorem 1, Σ_t = ∅)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SolverError
+from repro.solver import (
+    ValuationSearch,
+    brute_force_exists,
+    exists_solution_valuation,
+    iter_minimal_solutions,
+)
+
+
+@pytest.fixture
+def chain_setting() -> PDESetting:
+    """Σ_st introduces nulls; Σ_ts forces them into source values."""
+    return PDESetting.from_text(
+        source={"A": 1, "R": 2},
+        target={"T": 2},
+        st="A(x) -> T(x, y)",
+        ts="T(x, y) -> R(x, y)",
+    )
+
+
+class TestValuationSolver:
+    def test_null_must_map_into_source(self, chain_setting):
+        source = parse_instance("A(a); R(a, b)")
+        result = exists_solution_valuation(chain_setting, source, Instance())
+        assert result.exists
+        assert chain_setting.is_solution(source, Instance(), result.solution)
+
+    def test_unsatisfiable_when_no_r_edge(self, chain_setting):
+        source = parse_instance("A(a); R(c, d)")
+        assert not exists_solution_valuation(chain_setting, source, Instance()).exists
+
+    def test_two_nulls_independent(self, chain_setting):
+        source = parse_instance("A(a); A(b); R(a, u); R(b, v)")
+        result = exists_solution_valuation(chain_setting, source, Instance())
+        assert result.exists
+
+    def test_null_can_stay_fresh_when_unconstrained(self):
+        # No Σ_ts: any chase result is already a solution; nulls stay.
+        setting = PDESetting.from_text(
+            source={"A": 1},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+        )
+        source = parse_instance("A(a)")
+        result = exists_solution_valuation(setting, source, Instance())
+        assert result.exists
+        assert result.solution.nulls()  # the witness keeps the null as value
+
+    def test_rejects_existential_target_tgds(self):
+        setting = PDESetting.from_text(
+            source={"A": 1},
+            target={"T": 2, "U": 2},
+            st="A(x) -> T(x, y)",
+            t="T(x, y) -> U(x, w)",  # existential target tgd
+        )
+        with pytest.raises(SolverError):
+            exists_solution_valuation(setting, parse_instance("A(a)"), Instance())
+
+    def test_supports_egds_and_full_target_tgds(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+            ts="T(x, y) -> R(x, y)",
+            t="T(x, y), T(x, y2) -> y = y2",
+        )
+        source = parse_instance("A(a); R(a, b)")
+        result = exists_solution_valuation(setting, source, Instance())
+        assert result.exists
+        assert setting.is_solution(source, Instance(), result.solution)
+
+    def test_node_budget_enforced(self, chain_setting):
+        source = parse_instance(
+            "; ".join(f"A(a{i})" for i in range(8))
+            + "; "
+            + "; ".join(f"R(a{i}, b{i})" for i in range(8))
+        )
+        with pytest.raises(SolverError):
+            exists_solution_valuation(chain_setting, source, Instance(), node_budget=2)
+
+    def test_stats_counters(self, chain_setting):
+        source = parse_instance("A(a); R(a, b)")
+        result = exists_solution_valuation(chain_setting, source, Instance())
+        assert result.stats["null_count"] == 1
+        assert result.stats["nodes"] >= 1
+
+    def test_agrees_with_brute_force_example1(self, example1_setting):
+        for text in ["E(a, b); E(b, c)", "E(a, a)", "E(a, b); E(b, a)"]:
+            source = parse_instance(text)
+            fast = exists_solution_valuation(example1_setting, source, Instance()).exists
+            slow = brute_force_exists(example1_setting, source, Instance())
+            assert fast == slow, text
+
+    def test_agrees_with_brute_force_chain(self, chain_setting):
+        cases = [
+            ("A(a); R(a, b)", None),
+            ("A(a); R(c, d)", None),
+            ("A(a); A(c); R(a, b); R(c, c)", None),
+        ]
+        for text, _ in cases:
+            source = parse_instance(text)
+            fast = exists_solution_valuation(chain_setting, source, Instance()).exists
+            slow = brute_force_exists(chain_setting, source, Instance(), extra_fresh=1)
+            assert fast == slow, text
+
+    def test_existing_target_facts_respected(self, chain_setting):
+        source = parse_instance("A(a); R(a, b)")
+        target = parse_instance("T(q, r)")  # R(q, r) missing from the source
+        assert not exists_solution_valuation(chain_setting, source, target).exists
+
+    def test_disjunctive_ts_supported(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "R": 1, "B": 1},
+            target={"T": 2},
+            st="A(x) -> T(x, u)",
+            ts="T(x, u) -> (R(u)) | (B(u))",
+        )
+        source = parse_instance("A(a); B(bval)")
+        result = exists_solution_valuation(setting, source, Instance())
+        assert result.exists
+        assert setting.is_solution(source, Instance(), result.solution)
+        # Without any color fact there is no valuation.
+        assert not exists_solution_valuation(
+            setting, parse_instance("A(a)"), Instance()
+        ).exists
+
+
+class TestMinimalSolutions:
+    def test_example1_two_minimal_solutions_input(self, example1_setting):
+        source = parse_instance("E(a, b); E(b, c); E(a, c)")
+        solutions = list(iter_minimal_solutions(example1_setting, source, Instance()))
+        # J_can = {H(a, c)} is ground: exactly one minimal solution.
+        assert solutions == [parse_instance("H(a, c)")]
+
+    def test_multiple_valuations_multiple_solutions(self, chain_setting):
+        source = parse_instance("A(a); R(a, b); R(a, c)")
+        solutions = list(iter_minimal_solutions(chain_setting, source, Instance()))
+        assert len(solutions) == 2  # T(a, b) and T(a, c)
+
+    def test_deduplication(self):
+        # Two J_can facts that collapse to the same valued fact.
+        setting = PDESetting.from_text(
+            source={"A": 1, "B": 1, "R": 2},
+            target={"T": 2},
+            st="""
+                A(x) -> T(x, y)
+                B(x) -> T(x, y)
+            """,
+            ts="T(x, y) -> R(x, y)",
+        )
+        source = parse_instance("A(a); B(a); R(a, b)")
+        solutions = list(iter_minimal_solutions(setting, source, Instance()))
+        assert solutions == [parse_instance("T(a, b)")]
+
+    def test_every_minimal_solution_is_a_solution(self, chain_setting):
+        source = parse_instance("A(a); A(b); R(a, u); R(a, w); R(b, v)")
+        for solution in iter_minimal_solutions(chain_setting, source, Instance()):
+            assert chain_setting.is_solution(source, Instance(), solution)
+
+
+class TestLemma2SmallSolutions:
+    def test_minimal_solutions_bounded_by_j_can(self, chain_setting):
+        source = parse_instance("A(a); A(b); R(a, u); R(b, v); R(b, w)")
+        search = ValuationSearch(chain_setting, source, Instance())
+        bound = len(search.j_can)
+        for solution in search.iter_valuations():
+            assert len(solution) <= bound

@@ -1,0 +1,120 @@
+"""Tests for the sensitivity analysis that fixes unconstrained nulls."""
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance, parse_query
+from repro.core.setting import PDESetting
+from repro.core.terms import Constant
+from repro.solver import ValuationSearch, certain_answers, solve
+from repro.solver.enumeration import enumerate_solutions
+
+
+def provenance_setting() -> PDESetting:
+    """The batch column of `log` is never constrained by Σ_ts."""
+    return PDESetting.from_text(
+        source={"event": 2},
+        target={"log": 3},
+        st="event(kind, actor) -> log(kind, actor, batch)",
+        ts="log(kind, actor, batch) -> event(kind, actor)",
+    )
+
+
+class TestFixableNulls:
+    def test_unconstrained_nulls_fixed(self):
+        setting = provenance_setting()
+        source = parse_instance("; ".join(f"event(k{i}, u{i})" for i in range(10)))
+        search = ValuationSearch(setting, source, Instance())
+        assert search.stats["fixed_nulls"] == 10
+        # The search space collapses to a single valuation.
+        solutions = list(search.iter_valuations())
+        assert len(solutions) == 1
+
+    def test_constrained_nulls_not_fixed(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "R": 2},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+            ts="T(x, y) -> R(x, y)",  # y exported: sensitive
+        )
+        source = parse_instance("A(a); R(a, b)")
+        search = ValuationSearch(setting, source, Instance())
+        assert search.stats["fixed_nulls"] == 0
+
+    def test_join_positions_are_sensitive(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "Flag": 1},
+            target={"T": 2, "U": 2},
+            st="A(x) -> T(x, y), U(y, x)",
+            # y joins the two atoms: its value matters for matching.
+            ts="T(x, y), U(y, x2) -> Flag(x)",
+        )
+        source = parse_instance("A(a); Flag(a)")
+        search = ValuationSearch(setting, source, Instance())
+        assert search.stats["fixed_nulls"] == 0
+
+    def test_constants_in_ts_body_are_sensitive(self):
+        setting = PDESetting.from_text(
+            source={"A": 1, "Flag": 1},
+            target={"T": 2},
+            st="A(x) -> T(x, y)",
+            ts="T(x, 'special') -> Flag(x)",
+        )
+        source = parse_instance("A(a)")
+        search = ValuationSearch(setting, source, Instance())
+        # The null sits where the constant is matched: must stay free.
+        assert search.stats["fixed_nulls"] == 0
+
+    def test_fixing_disabled_with_target_constraints(self):
+        setting = PDESetting.from_text(
+            source={"event": 2},
+            target={"log": 3},
+            st="event(kind, actor) -> log(kind, actor, batch)",
+            ts="log(kind, actor, batch) -> event(kind, actor)",
+            t="log(kind, actor, b), log(kind, actor, b2) -> b = b2",
+        )
+        source = parse_instance("event(k, u)")
+        search = ValuationSearch(setting, source, Instance())
+        assert search.stats["fixed_nulls"] == 0
+
+
+class TestCorrectnessPreserved:
+    def test_existence_agrees_with_branching(self):
+        setting = provenance_setting()
+        source = parse_instance("event(k1, u1); event(k2, u2)")
+        fast = solve(setting, source, Instance(), method="valuation").exists
+        slow = solve(setting, source, Instance(), method="branching").exists
+        assert fast == slow is True
+
+    def test_query_relevant_nulls_stay_free(self):
+        """A query over the batch column forces those nulls to stay free:
+        without the query in relevant_queries, certainty answers about the
+        batch would be wrong."""
+        setting = provenance_setting()
+        source = parse_instance("event(k, u)")
+        query = parse_query("q(b) :- log(k2, a2, b)")
+        result = certain_answers(setting, query, source, Instance())
+        # No batch value is certain (it could be anything).
+        assert result.answers == set()
+
+    def test_certainty_of_insensitive_projection(self):
+        setting = provenance_setting()
+        source = parse_instance("event(k, u)")
+        query = parse_query("q(kind, actor) :- log(kind, actor, b)")
+        result = certain_answers(setting, query, source, Instance())
+        assert result.answers == {(Constant("k"), Constant("u"))}
+
+    def test_enumeration_with_relevant_queries(self):
+        from repro.solver.valuation_search import iter_minimal_solutions
+
+        setting = provenance_setting()
+        source = parse_instance("event(k, u)")
+        query = parse_query("q(b) :- log(k2, a2, b)")
+        fixed = list(iter_minimal_solutions(setting, source, Instance()))
+        free = list(
+            iter_minimal_solutions(
+                setting, source, Instance(), relevant_queries=(query,)
+            )
+        )
+        # With the query declared relevant, the batch null enumerates over
+        # the domain as well.
+        assert len(fixed) == 1
+        assert len(free) > 1

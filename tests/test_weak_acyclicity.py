@@ -1,0 +1,177 @@
+"""Unit tests for weak acyclicity (Definition 5)."""
+
+import pytest
+
+from repro.core.parser import parse_dependencies, parse_dependency
+from repro.core.weak_acyclicity import (
+    build_position_graph,
+    is_weakly_acyclic,
+)
+
+
+class TestPositionGraph:
+    def test_regular_edges(self):
+        graph = build_position_graph([parse_dependency("E(x, y) -> H(y, x)")])
+        assert ("H", 0) in graph.regular[("E", 1)]
+        assert ("H", 1) in graph.regular[("E", 0)]
+        assert not graph.special_edges()
+
+    def test_special_edges(self):
+        graph = build_position_graph([parse_dependency("E(x, y) -> H(x, w)")])
+        assert (("E", 0), ("H", 1)) in graph.special_edges()
+
+    def test_body_only_variable_contributes_nothing(self):
+        graph = build_position_graph([parse_dependency("E(x, y) -> H(x, x)")])
+        assert ("E", 1) not in graph.regular
+
+    def test_nodes_cover_all_positions(self):
+        graph = build_position_graph([parse_dependency("E(x, y) -> H(x, w)")])
+        assert graph.nodes == frozenset({("E", 0), ("E", 1), ("H", 0), ("H", 1)})
+
+    def test_edge_count(self):
+        graph = build_position_graph([parse_dependency("E(x, y) -> H(x, w)")])
+        # regular (E,0)->(H,0); special (E,0)->(H,1)
+        assert graph.edge_count() == 2
+
+    def test_both_edge_kinds_between_same_pair(self):
+        # x lands in (H,0); w existential also in (H,0) via second atom.
+        graph = build_position_graph(
+            [parse_dependency("E(x, y) -> H(x, x), H(w, w)")]
+        )
+        assert ("H", 0) in graph.regular[("E", 0)]
+        assert ("H", 0) in graph.special.get(("E", 0), set())
+
+
+class TestWeakAcyclicity:
+    def test_full_tgds_always_weakly_acyclic(self):
+        tgds = parse_dependencies(
+            """
+            E(x, y) -> H(y, x)
+            H(x, y), H(y, z) -> H(x, z)
+            """
+        )
+        assert is_weakly_acyclic(tgds)
+
+    def test_self_special_loop_not_weakly_acyclic(self):
+        assert not is_weakly_acyclic([parse_dependency("H(x, y) -> H(y, z)")])
+
+    def test_one_shot_existential_weakly_acyclic(self):
+        # H(x, y) -> ∃z H(x, z): the special edge (H,0)->(H,1) lies on no
+        # cycle, so the set is weakly acyclic.
+        assert is_weakly_acyclic([parse_dependency("H(x, y) -> H(x, z)")])
+
+    def test_two_tgd_special_cycle(self):
+        tgds = parse_dependencies(
+            """
+            A(x) -> B(x, w)
+            B(x, y) -> A(y)
+            """
+        )
+        assert not is_weakly_acyclic(tgds)
+
+    def test_acyclic_inclusion_dependencies(self):
+        tgds = parse_dependencies(
+            """
+            A(x, y) -> B(x, y)
+            B(x, y) -> C(x, w)
+            """
+        )
+        assert is_weakly_acyclic(tgds)
+
+    def test_regular_cycle_alone_is_fine(self):
+        # A pure regular cycle (copy back and forth) has no special edge.
+        tgds = parse_dependencies(
+            """
+            A(x, y) -> B(x, y)
+            B(x, y) -> A(x, y)
+            """
+        )
+        assert is_weakly_acyclic(tgds)
+
+    def test_empty_set(self):
+        assert is_weakly_acyclic([])
+
+    def test_special_edge_reaching_back_through_regular_path(self):
+        # special: (A,0) -> (B,1); regular path: (B,1) -> (A,0). Cycle
+        # through a special edge => not weakly acyclic.
+        tgds = parse_dependencies(
+            """
+            A(x) -> B(x, w)
+            B(x, y) -> A(y)
+            """
+        )
+        assert not is_weakly_acyclic(tgds)
+
+
+class TestPositionRanks:
+    def test_full_tgds_rank_zero(self):
+        from repro.core.weak_acyclicity import position_ranks
+
+        ranks = position_ranks(parse_dependencies("E(x, y) -> H(y, x)"))
+        assert set(ranks.values()) == {0}
+
+    def test_single_existential_rank_one(self):
+        from repro.core.weak_acyclicity import position_ranks
+
+        ranks = position_ranks(parse_dependencies("E(x, y) -> H(x, w)"))
+        assert ranks[("H", 1)] == 1
+        assert ranks[("E", 0)] == 0
+        assert ranks[("H", 0)] == 0
+
+    def test_cascaded_existentials_increase_rank(self):
+        from repro.core.weak_acyclicity import position_ranks
+
+        ranks = position_ranks(
+            parse_dependencies(
+                """
+                A(x) -> B(x, w)
+                B(x, y) -> C(y, v)
+                """
+            )
+        )
+        assert ranks[("B", 1)] == 1
+        assert ranks[("C", 1)] == 2
+        # The copied position inherits rank through the regular edge.
+        assert ranks[("C", 0)] == 1
+
+    def test_non_weakly_acyclic_rejected(self):
+        from repro.core.weak_acyclicity import position_ranks
+        from repro.exceptions import NotWeaklyAcyclicError
+
+        with pytest.raises(NotWeaklyAcyclicError):
+            position_ranks(parse_dependencies("H(x, y) -> H(y, z)"))
+
+
+class TestChaseStepBound:
+    def test_bound_covers_actual_chase(self):
+        from repro.core.chase import chase
+        from repro.core.parser import parse_instance
+        from repro.core.weak_acyclicity import chase_step_bound
+
+        tgds = parse_dependencies(
+            """
+            E(x, y) -> G(x, w)
+            G(x, w) -> F(w)
+            E(x, y), E(y, z) -> E2(x, z)
+            """
+        )
+        for n in (3, 6, 10):
+            instance = parse_instance(
+                "; ".join(f"E(a{i}, a{i + 1})" for i in range(n))
+            )
+            bound = chase_step_bound(tgds, len(instance))
+            result = chase(instance, tgds, max_steps=bound)
+            assert result.step_count <= bound
+
+    def test_empty_set_bound(self):
+        from repro.core.weak_acyclicity import chase_step_bound
+
+        assert chase_step_bound([], 5) >= 1
+
+    def test_bound_is_finite_polynomial_object(self):
+        from repro.core.weak_acyclicity import chase_step_bound
+
+        tgds = parse_dependencies("E(x, y) -> H(x, w)")
+        small = chase_step_bound(tgds, 10)
+        large = chase_step_bound(tgds, 20)
+        assert small < large < 10 ** 18  # finite, monotone in instance size

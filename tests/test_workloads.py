@@ -1,0 +1,195 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.solver import solve
+from repro.tractability import classify
+from repro.workloads import (
+    bipartite_graph,
+    complete_graph,
+    consistent_pair,
+    cycle_graph,
+    erdos_renyi,
+    exact_view_setting,
+    generate_genomics_data,
+    genomics_setting,
+    path_graph,
+    planted_clique,
+    random_full_st_setting,
+    random_glav_setting,
+    random_instance,
+    random_lav_setting,
+)
+from repro.reductions import has_k_clique
+
+
+class TestGraphGenerators:
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(10, 0.5, seed=3) == erdos_renyi(10, 0.5, seed=3)
+        assert erdos_renyi(10, 0.5, seed=3) != erdos_renyi(10, 0.5, seed=4)
+
+    def test_erdos_renyi_extremes(self):
+        _nodes, none = erdos_renyi(6, 0.0, seed=1)
+        _nodes, all_edges = erdos_renyi(6, 1.0, seed=1)
+        assert none == []
+        assert len(all_edges) == 15
+
+    def test_complete_graph(self):
+        nodes, edges = complete_graph(5)
+        assert len(edges) == 10
+        assert has_k_clique(nodes, edges, 5)
+
+    def test_cycle_graph(self):
+        nodes, edges = cycle_graph(5)
+        assert len(edges) == 5
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path_graph(self):
+        nodes, edges = path_graph(4)
+        assert len(edges) == 3
+        assert not has_k_clique(nodes, edges, 3)
+
+    def test_planted_clique_guarantee(self):
+        for seed in range(5):
+            nodes, edges = planted_clique(10, 4, 0.1, seed=seed)
+            assert has_k_clique(nodes, edges, 4), seed
+
+    def test_bipartite_triangle_free(self):
+        nodes, edges = bipartite_graph(4, 4, 0.9, seed=2)
+        assert not has_k_clique(nodes, edges, 3)
+
+
+class TestSettingGenerators:
+    def test_lav_settings_in_ctract(self):
+        for seed in range(8):
+            report = classify(random_lav_setting(seed=seed))
+            assert report.in_ctract, seed
+            assert report.lav_ts, seed
+
+    def test_full_st_settings_in_ctract(self):
+        for seed in range(8):
+            report = classify(random_full_st_setting(seed=seed))
+            assert report.in_ctract, seed
+            assert report.full_st, seed
+
+    def test_glav_settings_valid(self):
+        for seed in range(8):
+            setting = random_glav_setting(seed=seed)
+            assert setting.sigma_st and setting.sigma_ts
+
+    def test_deterministic(self):
+        assert str(random_lav_setting(seed=1).sigma_st) == str(
+            random_lav_setting(seed=1).sigma_st
+        )
+
+    def test_exact_view_setting_semantics(self):
+        from repro.core.parser import parse_instance
+
+        setting = exact_view_setting()
+        source = parse_instance("Orders(c1, widget); Customers(c1, emea)")
+        result = solve(setting, source, Instance())
+        assert result.exists
+        # The view must contain exactly the joined tuple.
+        assert result.solution.count("View") == 1
+
+
+class TestInstanceGenerators:
+    def test_random_instance_shape(self):
+        setting = random_lav_setting(seed=0)
+        instance = random_instance(setting.source_schema, 5, 4, seed=1)
+        for relation in setting.source_schema:
+            assert instance.count(relation.name) <= 4
+
+    def test_random_instance_deterministic(self):
+        setting = random_lav_setting(seed=0)
+        first = random_instance(setting.source_schema, 5, 4, seed=9)
+        second = random_instance(setting.source_schema, 5, 4, seed=9)
+        assert first == second
+
+    def test_consistent_pair_target_contained_in_ground_chase(self):
+        setting = random_lav_setting(seed=2)
+        source, target = consistent_pair(setting, seed=2)
+        # Target facts are ground (nulls were grounded into source values).
+        assert target.is_ground()
+
+
+class TestGenomicsScenario:
+    def test_setting_is_lav_and_tractable(self):
+        report = classify(genomics_setting())
+        assert report.in_ctract
+        assert report.lav_ts
+
+    def test_clean_data_solvable(self):
+        setting = genomics_setting()
+        source, target = generate_genomics_data(proteins=8, seed=3)
+        result = solve(setting, source, target)
+        assert result.exists
+        assert setting.is_solution(source, target, result.solution)
+
+    def test_stale_data_unsolvable(self):
+        setting = genomics_setting()
+        source, target = generate_genomics_data(proteins=8, stale_local_facts=2, seed=3)
+        assert not solve(setting, source, target).exists
+
+    def test_solution_imports_all_authority_proteins(self):
+        setting = genomics_setting()
+        source, target = generate_genomics_data(proteins=6, seed=5)
+        solution = solve(setting, source, target).solution
+        assert solution.count("local_protein") == source.count("protein")
+
+    def test_deterministic(self):
+        assert generate_genomics_data(proteins=5, seed=7) == generate_genomics_data(
+            proteins=5, seed=7
+        )
+
+
+class TestProcurementScenario:
+    def test_setting_outside_ctract(self):
+        from repro.workloads.scenarios import procurement_setting
+
+        report = classify(procurement_setting())
+        assert not report.in_ctract
+        assert report.has_target_constraints
+
+    def test_compliant_data_solvable(self):
+        from repro.workloads.scenarios import (
+            generate_procurement_data,
+            procurement_setting,
+        )
+
+        setting = procurement_setting()
+        source, target = generate_procurement_data(suppliers=6, seed=4)
+        result = solve(setting, source, target)
+        assert result.exists
+        assert result.method == "valuation-search"
+        assert setting.is_solution(source, target, result.solution)
+
+    def test_unaudited_orders_unsolvable(self):
+        from repro.workloads.scenarios import (
+            generate_procurement_data,
+            procurement_setting,
+        )
+
+        setting = procurement_setting()
+        source, target = generate_procurement_data(
+            suppliers=6, unaudited_orders=1, seed=4
+        )
+        assert not solve(setting, source, target).exists
+
+    def test_batch_key_enforced(self):
+        from repro.core.parser import parse_instance
+        from repro.workloads.scenarios import procurement_setting
+
+        setting = procurement_setting()
+        source = parse_instance("certified(s1, iso9001); audited(s1, 2024)")
+        target = parse_instance(
+            "order_line(s1, p1, b1); order_line(s1, p1, b2)"
+        )
+        assert not solve(setting, source, target).exists
+
+    def test_deterministic(self):
+        from repro.workloads.scenarios import generate_procurement_data
+
+        assert generate_procurement_data(seed=5) == generate_procurement_data(seed=5)
