@@ -1,0 +1,49 @@
+"""Static analysis ("setting lint") for peer data exchange settings.
+
+The paper's tractability story is static: whether the polynomial
+``ExistsSolution`` algorithm applies is decided by inspecting the
+dependencies alone — marked variables (Definition 9), weak acyclicity
+(Theorems 1–2), and the three NP-hard relaxations of Section 4 — before
+any instance is seen.  This package turns those inspections into a
+rule-based diagnostics engine with stable codes (``PDE001``...),
+severities, source spans, and fix hints, exposed three ways:
+
+* the library API: :func:`analyze`, returning an :class:`AnalysisReport`;
+* the CLI: ``python -m repro.cli lint setting.json --format text|json``
+  with CI exit codes (0 clean / 1 warnings / 2 errors);
+* the solver hook: :func:`dispatch_explanation`, quoted in
+  ``solve()``'s stats and errors to explain NP fallbacks.
+
+See :mod:`repro.analysis.codes` for the full code table.
+"""
+
+from repro.analysis.codes import CODES, CodeInfo, ERROR, INFO, WARNING
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.engine import (
+    analyze,
+    analyze_dict,
+    analyze_text,
+    dispatch_explanation,
+)
+from repro.analysis.render import LintRun, render_json, render_text
+from repro.analysis.rules import RULES, Rule, RuleContext
+
+__all__ = [
+    "AnalysisReport",
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "LintRun",
+    "RULES",
+    "Rule",
+    "RuleContext",
+    "WARNING",
+    "analyze",
+    "analyze_dict",
+    "analyze_text",
+    "dispatch_explanation",
+    "render_json",
+    "render_text",
+]

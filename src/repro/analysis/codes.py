@@ -1,0 +1,104 @@
+"""The stable diagnostic code table of the setting linter.
+
+Codes are grouped by hundreds band:
+
+* ``PDE0xx`` — well-formedness errors: the setting is not a legal PDE
+  setting at all (Definitions 1 and 2 do not apply).
+* ``PDE1xx`` — complexity-boundary findings: the setting is legal but
+  falls outside the tractable class ``C_tract`` (Definition 9), so
+  ``SOL(P)`` is (or may be) NP-hard and the solver must fall back to the
+  NP procedures.  Each of the three Section 4 relaxations has its own
+  code, as do the two Definition 9 condition failures.
+* ``PDE2xx`` — hygiene: the setting works, but carries dead weight
+  (duplicate, subsumed, or unfireable dependencies; unused relations).
+
+Codes are append-only: once released, a code keeps its meaning forever so
+CI suppressions (``lint_ignore``) and tooling stay stable across versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CodeInfo", "CODES", "ERROR", "WARNING", "INFO", "SEVERITY_RANK"]
+
+#: Severity levels, ordered from worst to mildest.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Rank for sorting and exit-code computation (lower = more severe).
+SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """One row of the diagnostic code table."""
+
+    code: str
+    rule: str
+    severity: str
+    summary: str
+
+
+def _table(rows: list[tuple[str, str, str, str]]) -> dict[str, CodeInfo]:
+    table = {}
+    for code, rule, severity, summary in rows:
+        if code in table:
+            raise ValueError(f"duplicate diagnostic code {code}")
+        table[code] = CodeInfo(code, rule, severity, summary)
+    return table
+
+
+#: Every diagnostic code the engine can emit, keyed by code.
+CODES: dict[str, CodeInfo] = _table([
+    # -- well-formedness (errors) -----------------------------------------
+    ("PDE000", "load-failure", ERROR,
+     "the setting file could not be parsed or decoded"),
+    ("PDE001", "unknown-relation", ERROR,
+     "an atom uses a relation that is in neither schema"),
+    ("PDE002", "arity-mismatch", ERROR,
+     "an atom's argument count differs from the declared arity"),
+    ("PDE003", "wrong-side-relation", ERROR,
+     "a dependency reads or writes a relation of the wrong peer "
+     "(e.g. a Σ_st head over a source relation)"),
+    ("PDE004", "misplaced-dependency", ERROR,
+     "a dependency kind is not allowed in its block "
+     "(egd outside Σ_t, disjunction outside Σ_ts)"),
+    ("PDE005", "overlapping-schemas", ERROR,
+     "source and target schemas share a relation name"),
+    ("PDE006", "unsafe-egd", ERROR,
+     "an egd equates a variable that does not occur in its body"),
+    # -- complexity boundaries (warnings / info) --------------------------
+    ("PDE101", "target-egd", WARNING,
+     "Σ_t contains an egd — the first Section 4 relaxation; "
+     "SOL(P) is NP-hard (CLIQUE reduction)"),
+    ("PDE102", "full-target-tgd", WARNING,
+     "Σ_t contains a full tgd — the second Section 4 relaxation; "
+     "SOL(P) is NP-hard (CLIQUE reduction)"),
+    ("PDE103", "disjunctive-ts", WARNING,
+     "Σ_ts contains a disjunctive tgd — the third Section 4 relaxation; "
+     "SOL(P) is NP-hard (3-colorability reduction)"),
+    ("PDE104", "non-weakly-acyclic-target", WARNING,
+     "the target tgds are not weakly acyclic — outside the hypotheses of "
+     "Theorems 1 and 2; the chase may not terminate"),
+    ("PDE105", "marked-variable-repeated", WARNING,
+     "condition 1 of Definition 9 fails: a marked variable repeats in a "
+     "Σ_ts left-hand side"),
+    ("PDE106", "condition2-violated", WARNING,
+     "condition 2 of Definition 9 fails: neither 2.1 (single-literal lhs) "
+     "nor 2.2 (marked co-occurrence) holds"),
+    ("PDE107", "existential-target-tgd", INFO,
+     "Σ_t contains an existential tgd — the solver routes to the "
+     "branching chase (Theorem 1 territory)"),
+    # -- hygiene (warnings / info) ----------------------------------------
+    ("PDE201", "duplicate-dependency", WARNING,
+     "the same dependency appears more than once in a block"),
+    ("PDE202", "subsumed-dependency", INFO,
+     "a tgd is logically implied by another dependency in its block"),
+    ("PDE203", "unused-relation", INFO,
+     "a declared relation appears in no dependency"),
+    ("PDE204", "dead-rule", INFO,
+     "a dependency reads a target relation that no tgd head writes, so it "
+     "can only fire on facts preloaded in the target instance J"),
+])

@@ -1,0 +1,192 @@
+"""Structured diagnostic records produced by the setting linter.
+
+A :class:`Diagnostic` is one finding: a stable code from
+:mod:`repro.analysis.codes`, a severity, a human-readable message, an
+optional source span (the :class:`~repro.core.dependencies.Provenance`
+of the offending dependency), and an optional fix hint.  An
+:class:`AnalysisReport` aggregates the findings for one setting and
+knows how to turn them into CI exit codes and JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.analysis.codes import CODES, ERROR, INFO, SEVERITY_RANK, WARNING
+from repro.core.dependencies import Provenance
+
+__all__ = ["Diagnostic", "AnalysisReport"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    Attributes:
+        code: stable code (``PDE001``...), from the table in
+            :mod:`repro.analysis.codes`.
+        severity: ``"error"``, ``"warning"``, or ``"info"``.
+        message: what is wrong, naming the offending dependency/relation.
+        rule: kebab-case rule name (``"target-egd"``), mirrors the code.
+        span: where — the provenance of the offending dependency, when
+            known.
+        hint: how to fix or silence the finding, when the rule has advice.
+    """
+
+    code: str
+    severity: str
+    message: str
+    rule: str = ""
+    span: Provenance | None = None
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        info = CODES.get(self.code)
+        if info is None:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity not in SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if not self.rule:
+            object.__setattr__(self, "rule", info.rule)
+
+    def location(self) -> str:
+        """Render the span as ``source:line:column``, or ``"-"``."""
+        return self.span.label() if self.span is not None else "-"
+
+    def render(self) -> str:
+        """One-line text rendering, GCC style."""
+        line = f"{self.location()}: {self.severity} {self.code} [{self.rule}] {self.message}"
+        if self.hint:
+            line += f"\n    hint: {self.hint}"
+        return line
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready encoding (machine-readable lint output)."""
+        encoded: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.span is not None:
+            encoded["span"] = {
+                "source": self.span.source,
+                "line": self.span.line,
+                "column": self.span.column,
+                "text": self.span.text,
+            }
+        if self.hint:
+            encoded["hint"] = self.hint
+        return encoded
+
+
+def _sort_key(diagnostic: Diagnostic) -> tuple:
+    span = diagnostic.span
+    return (
+        SEVERITY_RANK[diagnostic.severity],
+        diagnostic.code,
+        span.source if span else "",
+        span.line if span else 0,
+        span.column if span else 0,
+        diagnostic.message,
+    )
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """All diagnostics for one setting, sorted most-severe first.
+
+    Attributes:
+        setting_name: the analyzed setting's name (may be empty).
+        diagnostics: the findings, sorted by (severity, code, span).
+        ignored: codes that were suppressed via ``ignore=`` / the
+            ``lint_ignore`` key of a setting file, with how many findings
+            each suppressed.
+    """
+
+    setting_name: str
+    diagnostics: tuple[Diagnostic, ...]
+    ignored: tuple[tuple[str, int], ...] = field(default=())
+
+    @classmethod
+    def build(
+        cls,
+        setting_name: str,
+        diagnostics: Iterable[Diagnostic],
+        ignore: Iterable[str] = (),
+    ) -> "AnalysisReport":
+        """Sort ``diagnostics``, applying the ``ignore`` suppression list."""
+        ignore = set(ignore)
+        kept: list[Diagnostic] = []
+        suppressed: dict[str, int] = {code: 0 for code in sorted(ignore)}
+        for diagnostic in diagnostics:
+            if diagnostic.code in ignore:
+                suppressed[diagnostic.code] += 1
+            else:
+                kept.append(diagnostic)
+        return cls(
+            setting_name=setting_name,
+            diagnostics=tuple(sorted(kept, key=_sort_key)),
+            ignored=tuple(sorted(suppressed.items())),
+        )
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- severity tallies ---------------------------------------------------
+
+    def errors(self) -> list[Diagnostic]:
+        """The error-severity findings."""
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        """The warning-severity findings."""
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    def infos(self) -> list[Diagnostic]:
+        """The info-severity findings."""
+        return [d for d in self.diagnostics if d.severity == INFO]
+
+    def codes(self) -> list[str]:
+        """The distinct codes present, in severity order."""
+        seen: list[str] = []
+        for diagnostic in self.diagnostics:
+            if diagnostic.code not in seen:
+                seen.append(diagnostic.code)
+        return seen
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing (of any severity) was found."""
+        return not self.diagnostics
+
+    def exit_code(self) -> int:
+        """CI convention: 2 with errors, 1 with warnings, 0 otherwise.
+
+        Info findings never fail a build.
+        """
+        if self.errors():
+            return 2
+        if self.warnings():
+            return 1
+        return 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready encoding of the whole report."""
+        return {
+            "setting": self.setting_name,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "ignored": [
+                {"code": code, "suppressed": count} for code, count in self.ignored
+            ],
+            "summary": {
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "infos": len(self.infos()),
+            },
+            "exit_code": self.exit_code(),
+        }

@@ -1,0 +1,151 @@
+"""The analysis engine: run the lint rules, produce an :class:`AnalysisReport`.
+
+Three entry points, by input kind:
+
+* :func:`analyze` — a constructed :class:`~repro.core.setting.PDESetting`;
+* :func:`analyze_dict` / :func:`analyze_text` — raw JSON, so that settings
+  too malformed to construct still yield diagnostics (``PDE000``/``PDE006``)
+  instead of exceptions; honors the optional ``lint_ignore`` key of setting
+  files (a list of codes to suppress — the inline annotation form used to
+  ship known-NP-hard example settings without failing CI);
+* :func:`dispatch_explanation` — a cheap boundary-rules-only pass the
+  solver dispatcher uses to explain *why* it fell back to an NP procedure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.analysis.codes import CODES, ERROR
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.rules import RuleContext, rules_for
+from repro.core.setting import PDESetting
+from repro.exceptions import DependencyError, ParseError, ReproError, SchemaError
+from repro.io.serialization import setting_from_dict
+
+__all__ = [
+    "analyze",
+    "analyze_dict",
+    "analyze_text",
+    "dispatch_explanation",
+]
+
+
+def analyze(
+    setting: PDESetting,
+    ignore: Iterable[str] = (),
+    categories: Iterable[str] | None = None,
+) -> AnalysisReport:
+    """Run the lint rules over ``setting`` and return the report.
+
+    Args:
+        setting: the setting to analyze; may have been built with
+            ``validate=False`` — the well-formedness rules then report the
+            breakage as diagnostics.
+        ignore: diagnostic codes to suppress (recorded in the report).
+        categories: restrict to rule categories (``"well-formedness"``,
+            ``"boundary"``, ``"hygiene"``); None runs everything.
+    """
+    context = RuleContext(setting)
+    diagnostics: list[Diagnostic] = []
+    for rule in rules_for(categories):
+        diagnostics.extend(rule.check(context))
+    return AnalysisReport.build(setting.name, diagnostics, ignore=ignore)
+
+
+def _load_failure(message: str, ignore: Iterable[str] = ()) -> AnalysisReport:
+    return AnalysisReport.build(
+        "",
+        [Diagnostic("PDE000", ERROR, message, rule=CODES["PDE000"].rule)],
+        ignore=ignore,
+    )
+
+
+def analyze_dict(
+    encoded: dict[str, Any], ignore: Iterable[str] = ()
+) -> AnalysisReport:
+    """Analyze a JSON-decoded setting dict, diagnosing construction failures.
+
+    The setting is built with ``validate=False`` so rule-level diagnostics
+    cover schema mismatches; failures that prevent construction entirely
+    (unparsable dependency text, structurally impossible dependencies)
+    become ``PDE000``/``PDE006`` diagnostics.  Codes listed under the
+    dict's ``lint_ignore`` key are suppressed in addition to ``ignore``.
+    """
+    declared = encoded.get("lint_ignore", ())
+    if isinstance(declared, str):
+        # "lint_ignore": "PDE101" — accept the obvious shorthand instead of
+        # silently iterating the string character by character.
+        declared = (declared,)
+    ignore = set(ignore) | set(declared)
+    try:
+        setting = setting_from_dict(encoded, validate=False)
+    except ParseError as error:
+        return _load_failure(f"unparsable dependency: {error}", ignore)
+    except DependencyError as error:
+        if "egd equates variable" in str(error):
+            return AnalysisReport.build(
+                encoded.get("name", ""),
+                [
+                    Diagnostic(
+                        "PDE006",
+                        ERROR,
+                        str(error),
+                        rule=CODES["PDE006"].rule,
+                        hint="every equated variable must occur in the egd body",
+                    )
+                ],
+                ignore=ignore,
+            )
+        return _load_failure(f"malformed dependency: {error}", ignore)
+    except (SchemaError, ReproError) as error:
+        return _load_failure(f"malformed setting: {error}", ignore)
+    except (KeyError, TypeError, ValueError) as error:
+        return _load_failure(
+            f"malformed setting file: {type(error).__name__}: {error}", ignore
+        )
+    return analyze(setting, ignore=ignore)
+
+
+def analyze_text(text: str, ignore: Iterable[str] = ()) -> AnalysisReport:
+    """Analyze a setting given as JSON text (the on-disk format)."""
+    try:
+        encoded = json.loads(text)
+    except json.JSONDecodeError as error:
+        return _load_failure(f"invalid JSON: {error}", ignore)
+    if not isinstance(encoded, dict):
+        return _load_failure(
+            f"a setting file must hold a JSON object, got {type(encoded).__name__}",
+            ignore,
+        )
+    return analyze_dict(encoded, ignore=ignore)
+
+
+def dispatch_explanation(setting: PDESetting, in_ctract: bool | None = None) -> str:
+    """One line explaining the solver dispatch decision, quoting lint codes.
+
+    Runs only the cheap boundary rules.  Callers that already classified the
+    setting pass ``in_ctract`` to skip the recomputation.
+    """
+    if in_ctract is None:
+        from repro.tractability.classifier import is_in_ctract
+
+        in_ctract = is_in_ctract(setting)
+    if in_ctract:
+        return (
+            "setting is in C_tract (Definition 9); the polynomial "
+            "ExistsSolution algorithm (Figure 3) applies"
+        )
+    report = analyze(setting, categories=("boundary",))
+    if report.clean:
+        # Outside C_tract with no boundary finding should not happen; keep
+        # the explanation honest if a future rule gap opens one.
+        return "setting is outside C_tract (no boundary diagnostic; see classify())"
+    counts: dict[str, int] = {}
+    for diagnostic in report:
+        counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+    rendered = ", ".join(
+        f"{code} [{CODES[code].rule}] x{counts[code]}" for code in report.codes()
+    )
+    return f"setting is outside C_tract: {rendered}; falling back to an NP procedure"

@@ -1,0 +1,69 @@
+"""Rendering for lint runs: text for humans, JSON for tooling.
+
+A lint run covers one or more setting files; each contributes an
+:class:`~repro.analysis.diagnostics.AnalysisReport`.  The run's exit code
+is the worst per-file exit code (2 errors / 1 warnings / 0 clean), the CI
+convention the ``repro.cli lint`` subcommand exposes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import AnalysisReport
+
+__all__ = ["LintRun", "render_text", "render_json"]
+
+
+@dataclass
+class LintRun:
+    """The reports of one lint invocation, keyed by input path."""
+
+    reports: list[tuple[str, AnalysisReport]] = field(default_factory=list)
+
+    def add(self, path: str, report: AnalysisReport) -> None:
+        """Record the report for one input file."""
+        self.reports.append((path, report))
+
+    def exit_code(self) -> int:
+        """Worst exit code across all files (0 when no files were linted)."""
+        return max((report.exit_code() for _, report in self.reports), default=0)
+
+
+def render_text(run: LintRun) -> str:
+    """Human-readable rendering: per-file diagnostics plus a summary line."""
+    lines: list[str] = []
+    total_errors = total_warnings = total_infos = 0
+    for path, report in run.reports:
+        for diagnostic in report:
+            lines.append(f"{path}: {diagnostic.render()}")
+        for code, suppressed in report.ignored:
+            if suppressed:
+                lines.append(
+                    f"{path}: note: {suppressed} {code} finding(s) suppressed "
+                    f"via lint_ignore"
+                )
+        total_errors += len(report.errors())
+        total_warnings += len(report.warnings())
+        total_infos += len(report.infos())
+    checked = len(run.reports)
+    lines.append(
+        f"{checked} setting(s) checked: {total_errors} error(s), "
+        f"{total_warnings} warning(s), {total_infos} info(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun, indent: int | None = 2) -> str:
+    """Machine-readable rendering: one JSON document for the whole run."""
+    return json.dumps(
+        {
+            "files": [
+                {"path": path, **report.to_dict()} for path, report in run.reports
+            ],
+            "exit_code": run.exit_code(),
+        },
+        indent=indent,
+        sort_keys=False,
+    )

@@ -1,0 +1,526 @@
+"""The lint rules of the setting analyzer, grouped by category.
+
+Every rule is a generator ``rule(ctx) -> Iterator[Diagnostic]`` registered
+with a primary diagnostic code and a category:
+
+* ``well-formedness`` — is the quintuple a legal PDE setting at all?
+  These run without assuming the setting validated (the engine builds
+  settings with ``validate=False`` precisely so these rules get to see
+  the breakage and report *all* of it, not just the first exception).
+* ``boundary`` — which side of the Section 4 tractability boundary does
+  the setting sit on, and why?  These are the rules the solver dispatcher
+  quotes when it explains a fallback to the NP procedures.
+* ``hygiene`` — dead weight: duplicates, subsumed tgds (via the chase
+  implication test), unused relations, rules that cannot fire.
+
+Rules never raise on malformed settings; they degrade to whatever they
+can still check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.analysis.codes import CODES
+from repro.analysis.diagnostics import Diagnostic
+from repro.core.chase import chase
+from repro.core.dependencies import EGD, TGD, Dependency, DisjunctiveTGD
+from repro.core.homomorphism import has_homomorphism
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.core.terms import Constant
+from repro.core.weak_acyclicity import is_weakly_acyclic
+from repro.exceptions import ChaseFailure, ChaseNonTermination
+from repro.tractability.classifier import (
+    condition1_violations,
+    condition2_2_violations,
+)
+from repro.tractability.marking import marked_positions, marked_variables
+
+__all__ = ["Rule", "RULES", "RuleContext", "CATEGORIES", "rules_for"]
+
+CATEGORIES = ("well-formedness", "boundary", "hygiene")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    code: str
+    name: str
+    category: str
+    check: Callable[["RuleContext"], Iterator[Diagnostic]]
+
+
+RULES: list[Rule] = []
+
+
+def _register(code: str, category: str):
+    if category not in CATEGORIES:
+        raise ValueError(f"unknown rule category {category!r}")
+
+    def decorator(func: Callable[["RuleContext"], Iterator[Diagnostic]]):
+        RULES.append(Rule(code, CODES[code].rule, category, func))
+        return func
+
+    return decorator
+
+
+def rules_for(categories=None) -> list[Rule]:
+    """The registered rules, optionally restricted to ``categories``."""
+    if categories is None:
+        return list(RULES)
+    wanted = set(categories)
+    return [rule for rule in RULES if rule.category in wanted]
+
+
+class RuleContext:
+    """Shared state for one analysis run: the setting plus cached helpers."""
+
+    def __init__(self, setting: PDESetting):
+        self.setting = setting
+
+    def diag(
+        self,
+        code: str,
+        message: str,
+        dependency: Dependency | None = None,
+        hint: str = "",
+    ) -> Diagnostic:
+        """Build a diagnostic, deriving severity/rule from the code table
+        and the span from the dependency's provenance."""
+        info = CODES[code]
+        return Diagnostic(
+            code=code,
+            severity=info.severity,
+            message=message,
+            rule=info.rule,
+            span=dependency.provenance if dependency is not None else None,
+            hint=hint,
+        )
+
+    # -- cached structure ---------------------------------------------------
+
+    def blocks(self) -> list[tuple[str, tuple[Dependency, ...]]]:
+        """The three dependency blocks with their canonical names."""
+        setting = self.setting
+        return [
+            ("sigma_st", setting.sigma_st),
+            ("sigma_ts", setting.sigma_ts),
+            ("sigma_t", setting.sigma_t),
+        ]
+
+    def marked(self):
+        """Marked positions of the target schema (Definition 8), cached."""
+        cached = getattr(self, "_marked", None)
+        if cached is None:
+            cached = marked_positions(
+                [d for d in self.setting.sigma_st if isinstance(d, TGD)]
+            )
+            self._marked = cached
+        return cached
+
+
+# ---------------------------------------------------------------------------
+# well-formedness
+# ---------------------------------------------------------------------------
+
+
+@_register("PDE005", "well-formedness")
+def overlapping_schemas(ctx: RuleContext) -> Iterator[Diagnostic]:
+    setting = ctx.setting
+    shared = sorted(set(setting.source_schema.names()) & set(setting.target_schema.names()))
+    for name in shared:
+        yield ctx.diag(
+            "PDE005",
+            f"relation {name!r} is declared in both the source and the target "
+            f"schema; PDE settings require disjoint schemas (Definition 1)",
+            hint="rename one of the two relations",
+        )
+
+
+@_register("PDE004", "well-formedness")
+def misplaced_dependency(ctx: RuleContext) -> Iterator[Diagnostic]:
+    setting = ctx.setting
+    for dependency in setting.sigma_st:
+        if not isinstance(dependency, TGD):
+            kind = "an egd" if isinstance(dependency, EGD) else "a disjunctive tgd"
+            yield ctx.diag(
+                "PDE004",
+                f"Σ_st admits only plain tgds, but contains {kind}: {dependency}",
+                dependency,
+                hint="move egds to Σ_t; disjunction is only allowed in Σ_ts",
+            )
+    for dependency in setting.sigma_ts:
+        if isinstance(dependency, EGD):
+            yield ctx.diag(
+                "PDE004",
+                f"Σ_ts admits only (disjunctive) tgds, but contains an egd: "
+                f"{dependency}",
+                dependency,
+                hint="egds belong in Σ_t",
+            )
+    for dependency in setting.sigma_t:
+        if isinstance(dependency, DisjunctiveTGD):
+            yield ctx.diag(
+                "PDE004",
+                f"Σ_t admits only tgds and egds, but contains a disjunctive "
+                f"tgd: {dependency}",
+                dependency,
+                hint="disjunction is only allowed in Σ_ts",
+            )
+
+
+def _atom_side_diagnostics(
+    ctx: RuleContext,
+    dependency: Dependency,
+    atoms,
+    side: str,
+    expected_name: str,
+) -> Iterator[Diagnostic]:
+    """Unknown-relation / wrong-side / arity checks for one side of a
+    dependency.  ``expected_name`` is ``"source"`` or ``"target"``."""
+    setting = ctx.setting
+    expected = (
+        setting.source_schema if expected_name == "source" else setting.target_schema
+    )
+    other = (
+        setting.target_schema if expected_name == "source" else setting.source_schema
+    )
+    for atom in atoms:
+        if atom.relation not in expected:
+            if atom.relation in other:
+                yield ctx.diag(
+                    "PDE003",
+                    f"the {side} of {dependency} uses relation {atom.relation!r}, "
+                    f"which belongs to the {'target' if expected_name == 'source' else 'source'} "
+                    f"schema (the {side} must be over the {expected_name} schema)",
+                    dependency,
+                    hint="swap the dependency into the block that reads/writes "
+                    "the right peer, or fix the relation name",
+                )
+            else:
+                yield ctx.diag(
+                    "PDE001",
+                    f"the {side} of {dependency} uses relation {atom.relation!r}, "
+                    f"which is declared in neither schema",
+                    dependency,
+                    hint=f"declare {atom.relation!r} in the {expected_name} "
+                    f"schema or fix the spelling",
+                )
+            continue
+        declared = expected.arity_of(atom.relation)
+        if atom.arity != declared:
+            yield ctx.diag(
+                "PDE002",
+                f"atom {atom} in the {side} of {dependency} has "
+                f"{atom.arity} arguments, but {atom.relation!r} is declared "
+                f"with arity {declared}",
+                dependency,
+            )
+
+
+@_register("PDE001", "well-formedness")
+def schema_conformance(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Unknown relations (PDE001), wrong-side relations (PDE003), and
+    arity mismatches (PDE002) across all three blocks."""
+    setting = ctx.setting
+    for dependency in setting.sigma_st:
+        if isinstance(dependency, TGD):
+            yield from _atom_side_diagnostics(
+                ctx, dependency, dependency.body, "body", "source"
+            )
+            yield from _atom_side_diagnostics(
+                ctx, dependency, dependency.head, "head", "target"
+            )
+    for dependency in setting.sigma_ts:
+        if isinstance(dependency, (TGD, DisjunctiveTGD)):
+            yield from _atom_side_diagnostics(
+                ctx, dependency, dependency.body, "body", "target"
+            )
+            heads = (
+                dependency.head
+                if isinstance(dependency, TGD)
+                else [atom for disjunct in dependency.disjuncts for atom in disjunct]
+            )
+            yield from _atom_side_diagnostics(ctx, dependency, heads, "head", "source")
+    for dependency in setting.sigma_t:
+        if isinstance(dependency, (TGD, EGD)):
+            yield from _atom_side_diagnostics(
+                ctx, dependency, dependency.body, "body", "target"
+            )
+        if isinstance(dependency, TGD):
+            yield from _atom_side_diagnostics(
+                ctx, dependency, dependency.head, "head", "target"
+            )
+
+
+# ---------------------------------------------------------------------------
+# complexity boundaries (Section 4, Definition 9)
+# ---------------------------------------------------------------------------
+
+
+@_register("PDE101", "boundary")
+def target_egd(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for dependency in ctx.setting.target_egds():
+        yield ctx.diag(
+            "PDE101",
+            f"Σ_t contains the egd {dependency}; C_tract (Definition 9) is "
+            f"only defined for settings with Σ_t = ∅, and a target egd alone "
+            f"already makes SOL(P) NP-hard (Section 4, first relaxation: "
+            f"CLIQUE reduces to it)",
+            dependency,
+            hint="drop the egd or accept the NP valuation-search fallback",
+        )
+
+
+@_register("PDE102", "boundary")
+def full_target_tgd(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for dependency in ctx.setting.target_tgds():
+        if dependency.is_full():
+            yield ctx.diag(
+                "PDE102",
+                f"Σ_t contains the full tgd {dependency}; a full target tgd "
+                f"alone already makes SOL(P) NP-hard (Section 4, second "
+                f"relaxation: CLIQUE reduces to it)",
+                dependency,
+                hint="drop the tgd or accept the NP valuation-search fallback",
+            )
+
+
+@_register("PDE103", "boundary")
+def disjunctive_ts(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for dependency in ctx.setting.sigma_ts:
+        if isinstance(dependency, DisjunctiveTGD):
+            yield ctx.diag(
+                "PDE103",
+                f"Σ_ts contains the disjunctive tgd {dependency}; disjunction "
+                f"in Σ_ts falls outside Definition 9 and makes SOL(P) NP-hard "
+                f"(Section 4, third relaxation: 3-colorability reduces to it)",
+                dependency,
+                hint="split the disjunction into separate settings or accept "
+                "the NP fallback",
+            )
+
+
+@_register("PDE107", "boundary")
+def existential_target_tgd(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for dependency in ctx.setting.target_tgds():
+        if not dependency.is_full():
+            yield ctx.diag(
+                "PDE107",
+                f"Σ_t contains the existential tgd {dependency}; the solver "
+                f"routes such settings to the branching chase (complete for "
+                f"egds plus weakly acyclic target tgds, Theorem 1)",
+                dependency,
+            )
+
+
+@_register("PDE104", "boundary")
+def non_weakly_acyclic_target(ctx: RuleContext) -> Iterator[Diagnostic]:
+    tgds = ctx.setting.target_tgds()
+    if not tgds or is_weakly_acyclic(tgds):
+        return
+    culprit = next((d for d in tgds if not d.is_full()), tgds[0])
+    yield ctx.diag(
+        "PDE104",
+        "the target tgds of Σ_t are not weakly acyclic (Definition 5): some "
+        "special edge of the position graph lies on a cycle, so the chase "
+        "has no polynomial termination guarantee (Lemma 1 does not apply) "
+        "and the branching solver falls outside Theorem 1's completeness "
+        "hypotheses",
+        culprit,
+        hint="break the cycle through the existential position, e.g. by "
+        "splitting the relation; `repro.core.weak_acyclicity` shows the graph",
+    )
+
+
+@_register("PDE105", "boundary")
+def marked_variable_repeated(ctx: RuleContext) -> Iterator[Diagnostic]:
+    positions = ctx.marked()
+    for dependency in ctx.setting.sigma_ts:
+        if not isinstance(dependency, (TGD, DisjunctiveTGD)):
+            continue
+        marked = marked_variables(dependency, positions)
+        for message in condition1_violations(dependency, marked):
+            yield ctx.diag(
+                "PDE105",
+                f"{message} — condition 1 of Definition 9 fails, so the "
+                f"setting is outside C_tract and SOL(P) loses its polynomial "
+                f"guarantee",
+                dependency,
+                hint="a marked variable (one that may be bound to a labeled "
+                "null) must occur at most once in a Σ_ts left-hand side",
+            )
+
+
+@_register("PDE106", "boundary")
+def condition2_violated(ctx: RuleContext) -> Iterator[Diagnostic]:
+    positions = ctx.marked()
+    dependencies = [
+        d for d in ctx.setting.sigma_ts if isinstance(d, (TGD, DisjunctiveTGD))
+    ]
+    failures_2_2: list[tuple[Dependency, str]] = []
+    multi_literal = [d for d in dependencies if len(d.body) != 1]
+    for dependency in dependencies:
+        marked = marked_variables(dependency, positions)
+        for message in condition2_2_violations(dependency, marked):
+            failures_2_2.append((dependency, message))
+    if not multi_literal or not failures_2_2:
+        return  # condition 2.1 or 2.2 holds; condition 2 is satisfied
+    for dependency, message in failures_2_2:
+        yield ctx.diag(
+            "PDE106",
+            f"{message} — and some Σ_ts left-hand side has more than one "
+            f"literal, so neither condition 2.1 nor 2.2 of Definition 9 "
+            f"holds and the setting is outside C_tract",
+            dependency,
+            hint="either reduce every Σ_ts lhs to a single literal (2.1) or "
+            "make co-occurring marked variables body-adjacent or body-absent "
+            "(2.2)",
+        )
+    for dependency in multi_literal:
+        yield ctx.diag(
+            "PDE106",
+            f"condition 2.1: the left-hand side of {dependency} has "
+            f"{len(dependency.body)} literals (a single literal is required), "
+            f"and condition 2.2 fails elsewhere in Σ_ts, so condition 2 of "
+            f"Definition 9 does not hold",
+            dependency,
+        )
+
+
+# ---------------------------------------------------------------------------
+# hygiene
+# ---------------------------------------------------------------------------
+
+
+@_register("PDE201", "hygiene")
+def duplicate_dependency(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for block, dependencies in ctx.blocks():
+        first_seen: dict[Dependency, int] = {}
+        for index, dependency in enumerate(dependencies):
+            if dependency in first_seen:
+                yield ctx.diag(
+                    "PDE201",
+                    f"{block}[{index}] repeats {block}[{first_seen[dependency]}]: "
+                    f"{dependency}",
+                    dependency,
+                    hint="delete the duplicate",
+                )
+            else:
+                first_seen[dependency] = index
+
+
+def _tgd_implies(premise: TGD, conclusion: TGD) -> bool:
+    """Chase-based logical implication test: does ``premise ⊨ conclusion``?
+
+    Freeze the conclusion's body into its canonical instance, chase with the
+    premise, and check that the conclusion's head (frontier frozen, existentials
+    free) maps in.  A bounded chase keeps the test safe on pathological input
+    (an overrun conservatively reports "not implied").
+    """
+    frozen = {
+        variable: Constant(f"?{variable.name}")
+        for variable in conclusion.body_variables()
+    }
+    canonical = Instance()
+    for atom in conclusion.body:
+        canonical.add(atom.substitute(frozen).to_fact())  # type: ignore[arg-type]
+    try:
+        chased = chase(canonical, [premise], max_steps=200)
+    except (ChaseFailure, ChaseNonTermination):
+        return False
+    bound = {
+        variable: frozen[variable] for variable in conclusion.frontier_variables()
+    }
+    head = [atom.substitute(bound) for atom in conclusion.head]
+    return has_homomorphism(head, chased.instance)
+
+
+@_register("PDE202", "hygiene")
+def subsumed_dependency(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for block, dependencies in ctx.blocks():
+        tgds = [
+            (index, d) for index, d in enumerate(dependencies) if isinstance(d, TGD)
+        ]
+        for index, conclusion in tgds:
+            for other_index, premise in tgds:
+                if other_index == index or premise == conclusion:
+                    continue
+                if _tgd_implies(premise, conclusion):
+                    yield ctx.diag(
+                        "PDE202",
+                        f"{block}[{index}] ({conclusion}) is implied by "
+                        f"{block}[{other_index}] ({premise}) and never adds "
+                        f"facts of its own",
+                        conclusion,
+                        hint="drop the subsumed tgd",
+                    )
+                    break  # one subsumer is enough; avoid O(n) repeats
+
+
+def _mentioned_relations(dependency: Dependency) -> set[str]:
+    mentioned = {atom.relation for atom in dependency.body}
+    if isinstance(dependency, TGD):
+        mentioned |= {atom.relation for atom in dependency.head}
+    elif isinstance(dependency, DisjunctiveTGD):
+        for disjunct in dependency.disjuncts:
+            mentioned |= {atom.relation for atom in disjunct}
+    return mentioned
+
+
+@_register("PDE203", "hygiene")
+def unused_relation(ctx: RuleContext) -> Iterator[Diagnostic]:
+    setting = ctx.setting
+    used: set[str] = set()
+    for dependency in setting.all_dependencies():
+        used |= _mentioned_relations(dependency)
+    for schema_name, schema in (
+        ("source", setting.source_schema),
+        ("target", setting.target_schema),
+    ):
+        for relation in schema:
+            if relation.name not in used:
+                yield ctx.diag(
+                    "PDE203",
+                    f"{schema_name} relation {relation} appears in no "
+                    f"dependency; it never participates in the exchange",
+                    hint="remove the declaration, or add the missing "
+                    "dependency",
+                )
+
+
+@_register("PDE204", "hygiene")
+def dead_rule(ctx: RuleContext) -> Iterator[Diagnostic]:
+    setting = ctx.setting
+    writable: set[str] = set()
+    for dependency in setting.sigma_st:
+        if isinstance(dependency, TGD):
+            writable |= {atom.relation for atom in dependency.head}
+    for dependency in setting.target_tgds():
+        writable |= {atom.relation for atom in dependency.head}
+    for block, dependencies in (
+        ("sigma_ts", setting.sigma_ts),
+        ("sigma_t", setting.sigma_t),
+    ):
+        for dependency in dependencies:
+            unwritten = sorted(
+                {
+                    atom.relation
+                    for atom in dependency.body
+                    if atom.relation in setting.target_schema
+                    and atom.relation not in writable
+                }
+            )
+            if unwritten:
+                rendered = ", ".join(repr(name) for name in unwritten)
+                yield ctx.diag(
+                    "PDE204",
+                    f"{block} dependency {dependency} reads target relation(s) "
+                    f"{rendered} that no tgd head ever writes; it can only "
+                    f"fire on facts preloaded in the target instance J",
+                    dependency,
+                    hint="if that is intended, suppress PDE204 via lint_ignore",
+                )

@@ -3,6 +3,7 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro.cli classify  setting.json
+    python -m repro.cli lint      setting.json [more.json ...] [--format text|json]
     python -m repro.cli describe  setting.json [--dot relations|positions]
     python -m repro.cli solve     setting.json source.txt [target.txt]
     python -m repro.cli explain   setting.json source.txt [target.txt]
@@ -11,7 +12,11 @@ Usage (after ``pip install -e .``)::
 
 Setting files use the JSON format of :mod:`repro.io.serialization`;
 instance files use the parser's text syntax (``E(a, b); E(b, c)`` — with
-``#`` comments), or JSON when the filename ends in ``.json``.
+``#`` comments), or JSON when the filename ends in ``.json`` (sniffed
+case-insensitively, so ``SETTING.JSON`` works too).
+
+``lint`` exits 0 on clean settings, 1 when the worst finding is a
+warning, and 2 on errors — the CI convention.
 """
 
 from __future__ import annotations
@@ -32,15 +37,23 @@ from repro.tractability import classify
 __all__ = ["main", "build_parser"]
 
 
+def _is_json_path(path: str) -> bool:
+    """File-type sniffing by suffix, case-insensitive (``a.JSON`` is JSON)."""
+    return Path(path).suffix.lower() == ".json"
+
+
 def _load_setting(path: str) -> PDESetting:
-    return loads_setting(Path(path).read_text())
+    # Settings are JSON-only; the sniff exists so a future text format can
+    # dispatch here the same way instances do.
+    text = Path(path).read_text()
+    return loads_setting(text)
 
 
 def _load_instance(path: str | None) -> Instance:
     if path is None:
         return Instance()
     text = Path(path).read_text()
-    if path.endswith(".json"):
+    if _is_json_path(path):
         return loads_instance(text)
     return parse_instance(text)
 
@@ -59,6 +72,31 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     for violation in report.violations:
         print(f"  violation: {violation}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintRun, analyze_text, render_json, render_text
+
+    run = LintRun()
+    for path in args.settings:
+        try:
+            text = Path(path).read_text()
+        except OSError as error:
+            from repro.analysis import AnalysisReport, Diagnostic
+
+            run.add(
+                path,
+                AnalysisReport.build(
+                    "", [Diagnostic("PDE000", "error", f"cannot read file: {error}")]
+                ),
+            )
+            continue
+        run.add(path, analyze_text(text))
+    if args.format == "json":
+        print(render_json(run))
+    else:
+        print(render_text(run))
+    return run.exit_code()
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -142,6 +180,16 @@ def build_parser() -> argparse.ArgumentParser:
     classify_cmd = commands.add_parser("classify", help="C_tract classification")
     classify_cmd.add_argument("setting")
     classify_cmd.set_defaults(handler=_cmd_classify)
+
+    lint_cmd = commands.add_parser(
+        "lint", help="static diagnostics for setting files (exit 0/1/2)"
+    )
+    lint_cmd.add_argument("settings", nargs="+", help="setting JSON files")
+    lint_cmd.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+    lint_cmd.set_defaults(handler=_cmd_lint)
 
     solve_cmd = commands.add_parser("solve", help="decide SOL(P)(I, J)")
     solve_cmd.add_argument("setting")

@@ -26,7 +26,35 @@ from repro.core.schema import Schema
 from repro.core.terms import Variable, is_variable
 from repro.exceptions import DependencyError, SchemaError
 
-__all__ = ["TGD", "EGD", "DisjunctiveTGD", "Dependency"]
+__all__ = ["TGD", "EGD", "DisjunctiveTGD", "Dependency", "Provenance"]
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a dependency came from, for diagnostics and error spans.
+
+    The parser attaches one of these to every dependency it builds, so
+    static analysis (:mod:`repro.analysis`) can point at the offending
+    tgd/egd instead of merely naming it.  ``line`` and ``column`` are
+    1-based and relative to the enclosing document (for a setting loaded
+    from JSON, the line is the 1-based index into the dependency block's
+    list); ``source`` names the block or file (``"sigma_st"``,
+    ``"setting.json"``).  Provenance never participates in equality —
+    the same dependency parsed from two places compares equal.
+    """
+
+    text: str = ""
+    line: int = 1
+    column: int = 1
+    source: str = ""
+
+    def label(self) -> str:
+        """Render as a compact ``source:line:column`` location string."""
+        prefix = f"{self.source}:" if self.source else ""
+        return f"{prefix}{self.line}:{self.column}"
+
+    def __str__(self) -> str:
+        return self.label()
 
 
 def _collect_variables(atoms: Iterable[Atom]) -> set[Variable]:
@@ -48,8 +76,15 @@ class TGD:
     body: tuple[Atom, ...]
     head: tuple[Atom, ...]
     label: str = field(default="", compare=False)
+    provenance: Provenance | None = field(default=None, compare=False, repr=False)
 
-    def __init__(self, body: Sequence[Atom], head: Sequence[Atom], label: str = ""):
+    def __init__(
+        self,
+        body: Sequence[Atom],
+        head: Sequence[Atom],
+        label: str = "",
+        provenance: Provenance | None = None,
+    ):
         if not body:
             raise DependencyError("a tgd must have a non-empty body")
         if not head:
@@ -57,6 +92,7 @@ class TGD:
         object.__setattr__(self, "body", tuple(body))
         object.__setattr__(self, "head", tuple(head))
         object.__setattr__(self, "label", label)
+        object.__setattr__(self, "provenance", provenance)
         # Variable-structure caches (immutable; queried on every chase step).
         body_variables = frozenset(_collect_variables(self.body))
         head_variables = frozenset(_collect_variables(self.head))
@@ -152,8 +188,16 @@ class EGD:
     left: Variable
     right: Variable
     label: str = field(default="", compare=False)
+    provenance: Provenance | None = field(default=None, compare=False, repr=False)
 
-    def __init__(self, body: Sequence[Atom], left: Variable, right: Variable, label: str = ""):
+    def __init__(
+        self,
+        body: Sequence[Atom],
+        left: Variable,
+        right: Variable,
+        label: str = "",
+        provenance: Provenance | None = None,
+    ):
         if not body:
             raise DependencyError("an egd must have a non-empty body")
         body = tuple(body)
@@ -167,6 +211,7 @@ class EGD:
         object.__setattr__(self, "left", left)
         object.__setattr__(self, "right", right)
         object.__setattr__(self, "label", label)
+        object.__setattr__(self, "provenance", provenance)
 
     def body_variables(self) -> set[Variable]:
         """Return the variables occurring in the body."""
@@ -202,12 +247,14 @@ class DisjunctiveTGD:
     body: tuple[Atom, ...]
     disjuncts: tuple[tuple[Atom, ...], ...]
     label: str = field(default="", compare=False)
+    provenance: Provenance | None = field(default=None, compare=False, repr=False)
 
     def __init__(
         self,
         body: Sequence[Atom],
         disjuncts: Sequence[Sequence[Atom]],
         label: str = "",
+        provenance: Provenance | None = None,
     ):
         if not body:
             raise DependencyError("a disjunctive tgd must have a non-empty body")
@@ -220,6 +267,7 @@ class DisjunctiveTGD:
             self, "disjuncts", tuple(tuple(disjunct) for disjunct in disjuncts)
         )
         object.__setattr__(self, "label", label)
+        object.__setattr__(self, "provenance", provenance)
 
     def body_variables(self) -> set[Variable]:
         """Return the variables occurring in the body."""
@@ -239,7 +287,12 @@ class DisjunctiveTGD:
     def as_tgds(self) -> list[TGD]:
         """Return one plain tgd per disjunct (useful for per-disjunct checks)."""
         return [
-            TGD(self.body, disjunct, label=f"{self.label}|{index}" if self.label else "")
+            TGD(
+                self.body,
+                disjunct,
+                label=f"{self.label}|{index}" if self.label else "",
+                provenance=self.provenance,
+            )
             for index, disjunct in enumerate(self.disjuncts)
         ]
 

@@ -25,7 +25,7 @@ import re
 from typing import Iterator
 
 from repro.core.atoms import Atom, Fact
-from repro.core.dependencies import EGD, TGD, Dependency, DisjunctiveTGD
+from repro.core.dependencies import EGD, TGD, Dependency, DisjunctiveTGD, Provenance
 from repro.core.instance import Instance
 from repro.core.schema import Schema
 from repro.core.terms import Constant, InstanceTerm, Null, Term, Variable
@@ -190,14 +190,20 @@ class _Parser:
 
     # -- dependencies ----------------------------------------------------------
 
-    def parse_dependency(self, label: str = "") -> Dependency:
+    def parse_dependency(
+        self, label: str = "", provenance: Provenance | None = None
+    ) -> Dependency:
         body = self.parse_conjunction()
-        self.expect("arrow")
+        arrow = self.expect("arrow")
         token = self.peek()
         if token is None:
-            raise ParseError("dependency has no right-hand side", self.text, len(self.text))
+            raise ParseError(
+                "dependency has no right-hand side",
+                self.text,
+                arrow.position + len(arrow.text),
+            )
         if token.kind == "lpar":
-            return self._parse_disjunctive_head(body, label)
+            return self._parse_disjunctive_head(body, label, provenance)
         # Distinguish egd (var = var) from tgd head by looking ahead.
         if token.kind == "name" and self._lookahead_is_equality():
             left = self.parse_term(variables_allowed=True, interner=None)
@@ -206,16 +212,18 @@ class _Parser:
             self._expect_done()
             if not isinstance(left, Variable) or not isinstance(right, Variable):
                 raise ParseError("an egd must equate two variables", self.text, token.position)
-            return EGD(body, left, right, label=label)
+            return EGD(body, left, right, label=label, provenance=provenance)
         head = self.parse_conjunction()
         self._expect_done()
-        return TGD(body, head, label=label)
+        return TGD(body, head, label=label, provenance=provenance)
 
     def _lookahead_is_equality(self) -> bool:
         after = self.index + 1
         return after < len(self.tokens) and self.tokens[after].kind == "eq"
 
-    def _parse_disjunctive_head(self, body: list[Atom], label: str) -> DisjunctiveTGD:
+    def _parse_disjunctive_head(
+        self, body: list[Atom], label: str, provenance: Provenance | None = None
+    ) -> DisjunctiveTGD:
         disjuncts: list[list[Atom]] = []
         while True:
             self.expect("lpar")
@@ -226,7 +234,7 @@ class _Parser:
                 break
             self.next()
         self._expect_done()
-        return DisjunctiveTGD(body, disjuncts, label=label)
+        return DisjunctiveTGD(body, disjuncts, label=label, provenance=provenance)
 
     def _expect_done(self) -> None:
         token = self.peek()
@@ -246,27 +254,45 @@ class _Parser:
                 self.next()
 
 
-def parse_dependency(text: str, label: str = "") -> Dependency:
+def parse_dependency(
+    text: str, label: str = "", provenance: Provenance | None = None
+) -> Dependency:
     """Parse a single dependency (tgd, egd, or disjunctive tgd).
+
+    The returned dependency carries a :class:`Provenance` (the given one,
+    or a fresh single-line one over ``text``) so diagnostics can point at
+    its definition site.
 
     >>> str(parse_dependency("E(x, z), E(z, y) -> H(x, y)"))
     'E(x, z), E(z, y) -> H(x, y)'
     """
-    return _Parser(text).parse_dependency(label=label)
+    if provenance is None:
+        provenance = Provenance(text=text.strip())
+    return _Parser(text).parse_dependency(label=label, provenance=provenance)
 
 
-def parse_dependencies(text: str) -> list[Dependency]:
+def parse_dependencies(text: str, source: str = "") -> list[Dependency]:
     """Parse a newline/semicolon-separated block of dependencies.
 
     Blank lines and ``#``-comments are skipped.  A useful way to write a
     whole Σ in one string, mirroring how the paper lists its constraints.
+    Every parsed dependency carries a :class:`Provenance` with its 1-based
+    line and column within ``text`` (``source`` names the block, e.g.
+    ``"sigma_st"``), so lint diagnostics and parse errors agree on spans.
     """
     dependencies: list[Dependency] = []
-    for raw_line in text.replace(";", "\n").splitlines():
-        line = raw_line.split("#", 1)[0].strip()
-        if not line:
-            continue
-        dependencies.append(parse_dependency(line))
+    for lineno, raw_line in enumerate(text.splitlines(), 1):
+        line = raw_line.split("#", 1)[0]
+        offset = 0
+        for segment in line.split(";"):
+            stripped = segment.strip()
+            if stripped:
+                column = offset + len(segment) - len(segment.lstrip()) + 1
+                provenance = Provenance(
+                    text=stripped, line=lineno, column=column, source=source
+                )
+                dependencies.append(parse_dependency(stripped, provenance=provenance))
+            offset += len(segment) + 1
     return dependencies
 
 
@@ -313,6 +339,8 @@ def parse_query(text: str):
     parser = _Parser(text)
     # Try rule form: name(args) :- body
     snapshot = parser.index
+    start = parser.peek()
+    head_position = start.position if start is not None else 0
     try:
         head = parser.parse_atom(variables_allowed=True)
         token = parser.peek()
@@ -323,7 +351,9 @@ def parse_query(text: str):
             free: list[Variable] = []
             for arg in head.args:
                 if not isinstance(arg, Variable):
-                    raise ParseError("query head arguments must be variables", text, 0)
+                    raise ParseError(
+                        "query head arguments must be variables", text, head_position
+                    )
                 free.append(arg)
             return ConjunctiveQuery(body, free, name=head.relation)
     except ParseError:

@@ -54,8 +54,16 @@ class PDESetting:
         sigma_ts: Sequence[TGD | DisjunctiveTGD],
         sigma_t: Sequence[TGD | EGD] = (),
         name: str = "",
+        validate: bool = True,
     ):
-        if not source_schema.disjoint_from(target_schema):
+        """Build a setting; with ``validate=False`` no well-formedness check runs.
+
+        Skipping validation admits malformed settings (overlapping schemas,
+        arity mismatches, dependencies on the wrong side) so that the static
+        analyzer (:mod:`repro.analysis`) can *diagnose* them instead of dying
+        on the first exception.  Every other consumer should validate.
+        """
+        if validate and not source_schema.disjoint_from(target_schema):
             raise SchemaError("source and target schemas must be disjoint")
         object.__setattr__(self, "source_schema", source_schema)
         object.__setattr__(self, "target_schema", target_schema)
@@ -63,7 +71,8 @@ class PDESetting:
         object.__setattr__(self, "sigma_ts", tuple(sigma_ts))
         object.__setattr__(self, "sigma_t", tuple(sigma_t))
         object.__setattr__(self, "name", name)
-        self._validate()
+        if validate:
+            self._validate()
 
     # ------------------------------------------------------------------
     # construction
@@ -78,6 +87,7 @@ class PDESetting:
         ts: str = "",
         t: str = "",
         name: str = "",
+        validate: bool = True,
     ) -> "PDESetting":
         """Build a setting from arity maps and dependency text blocks.
 
@@ -92,12 +102,15 @@ class PDESetting:
         """
         source_schema = Schema.from_arities(source)
         target_schema = Schema.from_arities(target)
-        sigma_st = parse_dependencies(st)
-        sigma_ts = parse_dependencies(ts)
-        sigma_t = parse_dependencies(t)
-        for dependency in sigma_st:
-            if not isinstance(dependency, TGD):
-                raise DependencyError(f"Σ_st must contain only tgds, got {dependency}")
+        sigma_st = parse_dependencies(st, source="sigma_st")
+        sigma_ts = parse_dependencies(ts, source="sigma_ts")
+        sigma_t = parse_dependencies(t, source="sigma_t")
+        if validate:
+            for dependency in sigma_st:
+                if not isinstance(dependency, TGD):
+                    raise DependencyError(
+                        f"Σ_st must contain only tgds, got {dependency}"
+                    )
         return cls(
             source_schema,
             target_schema,
@@ -105,6 +118,7 @@ class PDESetting:
             sigma_ts,  # type: ignore[arg-type]
             sigma_t,  # type: ignore[arg-type]
             name=name,
+            validate=validate,
         )
 
     def _validate(self) -> None:

@@ -24,14 +24,26 @@ class ReproError(Exception):
 
 
 class ParseError(ReproError):
-    """Raised when textual input (dependency, instance, query) is malformed."""
+    """Raised when textual input (dependency, instance, query) is malformed.
+
+    When ``text`` and ``position`` are given, the error derives the 1-based
+    ``line`` and ``column`` of the offending character, and its message
+    renders the same ``line L, column C`` span that lint diagnostics use.
+    """
 
     def __init__(self, message: str, text: str | None = None, position: int | None = None):
         self.text = text
         self.position = position
+        self.line: int | None = None
+        self.column: int | None = None
         if text is not None and position is not None:
+            self.line = text.count("\n", 0, position) + 1
+            self.column = position - text.rfind("\n", 0, position)
             context = text[max(0, position - 20):position + 20]
-            message = f"{message} (near position {position}: ...{context!r}...)"
+            message = (
+                f"{message} (line {self.line}, column {self.column}, "
+                f"position {position}: ...{context!r}...)"
+            )
         super().__init__(message)
 
 

@@ -154,8 +154,13 @@ def setting_to_dict(setting: PDESetting) -> dict[str, Any]:
     }
 
 
-def setting_from_dict(encoded: dict[str, Any]) -> PDESetting:
-    """Decode a setting from :func:`setting_to_dict` output."""
+def setting_from_dict(encoded: dict[str, Any], validate: bool = True) -> PDESetting:
+    """Decode a setting from :func:`setting_to_dict` output.
+
+    With ``validate=False`` the setting is built without well-formedness
+    checks, so :mod:`repro.analysis` can lint malformed inputs; dependency
+    provenance lines then index into the JSON arrays (1-based).
+    """
     return PDESetting.from_text(
         source=encoded["source"],
         target=encoded["target"],
@@ -163,6 +168,7 @@ def setting_from_dict(encoded: dict[str, Any]) -> PDESetting:
         ts="\n".join(encoded.get("sigma_ts", [])),
         t="\n".join(encoded.get("sigma_t", [])),
         name=encoded.get("name", ""),
+        validate=validate,
     )
 
 
@@ -171,6 +177,6 @@ def dumps_setting(setting: PDESetting, indent: int | None = None) -> str:
     return json.dumps(setting_to_dict(setting), indent=indent, sort_keys=True)
 
 
-def loads_setting(text: str) -> PDESetting:
+def loads_setting(text: str, validate: bool = True) -> PDESetting:
     """Deserialize a setting from :func:`dumps_setting` output."""
-    return setting_from_dict(json.loads(text))
+    return setting_from_dict(json.loads(text), validate=validate)

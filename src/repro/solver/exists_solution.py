@@ -10,6 +10,12 @@
 * settings with existential target tgds run the branching-chase solver
   (complete for egds + weakly acyclic target tgds, per Theorem 1).
 
+Every auto-dispatched result carries a ``stats["dispatch"]`` line from
+:func:`repro.analysis.dispatch_explanation` quoting the static-analysis
+codes (``PDE101``...) that pushed the setting off the polynomial path; the
+same explanation is attached to the :class:`SolverError` raised when the
+tractable algorithm is forced on a setting outside ``C_tract``.
+
 ``find_solution`` additionally returns a witness solution.
 """
 
@@ -17,6 +23,7 @@ from __future__ import annotations
 
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
+from repro.exceptions import SolverError
 from repro.solver.branching_chase import exists_solution_branching
 from repro.solver.results import SolveResult
 from repro.solver.tractable import exists_solution_tractable
@@ -55,8 +62,18 @@ def solve(
         SolverError: if a forced method is unsound/unsupported for the
             setting, or a node budget is exhausted.
     """
+    # Imported lazily: repro.analysis depends on the tractability layer, and
+    # keeping it out of module import time keeps the solver import-light.
+    from repro.analysis import dispatch_explanation
+
     if method == "tractable":
-        return exists_solution_tractable(setting, source, target)
+        if not classify(setting).in_ctract:
+            raise SolverError(
+                "the ExistsSolution algorithm of Figure 3 is only sound for "
+                "C_tract settings "
+                f"[{dispatch_explanation(setting, in_ctract=False)}]"
+            )
+        return exists_solution_tractable(setting, source, target, check_membership=False)
     if method == "valuation":
         return exists_solution_valuation(setting, source, target, node_budget=node_budget)
     if method == "branching":
@@ -68,10 +85,16 @@ def solve(
     report = classify(setting)
     if report.in_ctract:
         return exists_solution_tractable(setting, source, target, check_membership=False)
+    explanation = dispatch_explanation(setting, in_ctract=False)
     if supports_valuation_search(setting):
-        return exists_solution_valuation(setting, source, target, node_budget=node_budget)
-    budget = node_budget if node_budget is not None else 500_000
-    return exists_solution_branching(setting, source, target, node_budget=budget)
+        result = exists_solution_valuation(
+            setting, source, target, node_budget=node_budget
+        )
+    else:
+        budget = node_budget if node_budget is not None else 500_000
+        result = exists_solution_branching(setting, source, target, node_budget=budget)
+    result.stats.setdefault("dispatch", explanation)
+    return result
 
 
 def find_solution(

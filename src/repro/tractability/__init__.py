@@ -4,12 +4,20 @@ Implements Definitions 8 and 9 of the paper, with diagnostic reports
 explaining membership decisions.
 """
 
-from repro.tractability.classifier import CtractReport, classify, is_in_ctract
+from repro.tractability.classifier import (
+    CtractReport,
+    classify,
+    condition1_violations,
+    condition2_2_violations,
+    is_in_ctract,
+)
 from repro.tractability.marking import marked_positions, marked_variables
 
 __all__ = [
     "CtractReport",
     "classify",
+    "condition1_violations",
+    "condition2_2_violations",
     "is_in_ctract",
     "marked_positions",
     "marked_variables",

@@ -30,7 +30,13 @@ from repro.core.setting import PDESetting
 from repro.core.terms import Variable
 from repro.tractability.marking import body_occurrence_count, marked_positions, marked_variables
 
-__all__ = ["CtractReport", "classify", "is_in_ctract"]
+__all__ = [
+    "CtractReport",
+    "classify",
+    "is_in_ctract",
+    "condition1_violations",
+    "condition2_2_violations",
+]
 
 
 @dataclass(frozen=True)
@@ -77,9 +83,13 @@ class CtractReport:
         return "not in C_tract"
 
 
-def _condition1_violations(
+def condition1_violations(
     dependency: TGD | DisjunctiveTGD, marked: set[Variable]
 ) -> list[str]:
+    """Per-dependency condition 1 checks, one message per repeated marked
+    variable.  Shared by :func:`classify` and the lint rules of
+    :mod:`repro.analysis`, so the two always report identical text.
+    """
     violations = []
     for variable in sorted(marked, key=lambda v: v.name):
         occurrences = body_occurrence_count(dependency.body, variable)
@@ -105,9 +115,12 @@ def _pairs_in_conjuncts(
     return pairs
 
 
-def _condition2_2_violations(
+def condition2_2_violations(
     dependency: TGD | DisjunctiveTGD, marked: set[Variable]
 ) -> list[str]:
+    """Per-dependency condition 2.2 checks, one message per offending pair
+    of marked variables.  Shared with the lint rules of :mod:`repro.analysis`.
+    """
     body_variables = dependency.body_variables()
     body_pairs = _pairs_in_conjuncts(dependency.body, marked)
     if isinstance(dependency, TGD):
@@ -157,19 +170,28 @@ def classify(setting: PDESetting) -> CtractReport:
     condition1 = True
     condition2_1 = True
     condition2_2 = True
+    multi_literal: list[TGD | DisjunctiveTGD] = []
     for dependency in setting.sigma_ts:
         marked = marked_variables(dependency, positions)
-        failures = _condition1_violations(dependency, marked)
+        failures = condition1_violations(dependency, marked)
         if failures:
             condition1 = False
             violations.extend(failures)
         if len(dependency.body) != 1:
             condition2_1 = False
-        failures = _condition2_2_violations(dependency, marked)
+            multi_literal.append(dependency)
+        failures = condition2_2_violations(dependency, marked)
         if failures:
             condition2_2 = False
             violations.extend(failures)
     if not condition2_1 and not condition2_2:
+        # Only when condition 2 fails outright do the 2.1 details matter;
+        # a multi-literal lhs is fine on its own as long as 2.2 holds.
+        for dependency in multi_literal:
+            violations.append(
+                f"condition 2.1: the left-hand side of {dependency} has "
+                f"{len(dependency.body)} literals (a single literal is required)"
+            )
         violations.append("condition 2: neither 2.1 nor 2.2 holds")
 
     lav_ts = all(

@@ -1,0 +1,398 @@
+"""Tests for the static-analysis engine (``repro.analysis``).
+
+Covers the diagnostic data model, the rule families (well-formedness,
+boundary, hygiene), suppression, and the solver's dispatch explanation —
+in particular that the three Section-4 relaxations and non-weak-acyclicity
+each carry a distinct stable code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    analyze,
+    analyze_dict,
+    analyze_text,
+    dispatch_explanation,
+)
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SolverError
+from repro.io.serialization import setting_to_dict
+from repro.reductions import (
+    clique_setting,
+    coloring_setting,
+    egd_boundary_setting,
+    full_tgd_boundary_setting,
+)
+from repro.solver import solve
+
+
+def codes_of(report: AnalysisReport) -> set[str]:
+    return {diagnostic.code for diagnostic in report}
+
+
+class TestDiagnosticModel:
+    def test_rule_defaults_from_code_table(self):
+        diagnostic = Diagnostic("PDE101", "warning", "msg")
+        assert diagnostic.rule == CODES["PDE101"].rule == "target-egd"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("PDE999", "error", "msg")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("PDE001", "fatal", "msg")
+
+    def test_render_mentions_code_rule_and_location(self):
+        diagnostic = Diagnostic("PDE002", "error", "bad arity", hint="fix it")
+        rendered = diagnostic.render()
+        assert "PDE002" in rendered
+        assert "[arity-mismatch]" in rendered
+        assert rendered.startswith("-: ")  # no span
+        assert "hint: fix it" in rendered
+
+    def test_report_sorted_most_severe_first(self):
+        report = AnalysisReport.build(
+            "s",
+            [
+                Diagnostic("PDE203", "info", "unused"),
+                Diagnostic("PDE101", "warning", "egd"),
+                Diagnostic("PDE002", "error", "arity"),
+            ],
+        )
+        assert [d.severity for d in report] == ["error", "warning", "info"]
+        assert report.exit_code() == 2
+
+    def test_exit_codes(self):
+        assert AnalysisReport.build("s", []).exit_code() == 0
+        assert (
+            AnalysisReport.build("s", [Diagnostic("PDE203", "info", "m")]).exit_code()
+            == 0
+        )
+        assert (
+            AnalysisReport.build(
+                "s", [Diagnostic("PDE101", "warning", "m")]
+            ).exit_code()
+            == 1
+        )
+        assert (
+            AnalysisReport.build("s", [Diagnostic("PDE002", "error", "m")]).exit_code()
+            == 2
+        )
+
+    def test_suppression_recorded(self):
+        report = AnalysisReport.build(
+            "s",
+            [Diagnostic("PDE101", "warning", "m"), Diagnostic("PDE101", "warning", "n")],
+            ignore=["PDE101"],
+        )
+        assert report.clean
+        assert report.exit_code() == 0
+        assert ("PDE101", 2) in report.ignored
+
+    def test_to_dict_roundtrips_through_json(self):
+        report = AnalysisReport.build("s", [Diagnostic("PDE101", "warning", "m")])
+        decoded = json.loads(json.dumps(report.to_dict()))
+        assert decoded["summary"]["warnings"] == 1
+        assert decoded["exit_code"] == 1
+
+
+class TestWellFormednessRules:
+    def test_clean_ctract_setting(self, example1_setting):
+        report = analyze(example1_setting)
+        assert report.clean
+        assert report.exit_code() == 0
+
+    def test_arity_mismatch_is_error(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 3},
+            st="E(x, y) -> H(x, y)",
+            validate=False,
+        )
+        report = analyze(setting)
+        assert "PDE002" in codes_of(report)
+        assert report.exit_code() == 2
+        [diagnostic] = [d for d in report if d.code == "PDE002"]
+        assert "arity 3" in diagnostic.message
+
+    def test_unknown_relation_is_error(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> Hedge(x, y)",
+            validate=False,
+        )
+        report = analyze(setting)
+        assert "PDE001" in codes_of(report)
+        [diagnostic] = [d for d in report if d.code == "PDE001"]
+        assert "'Hedge'" in diagnostic.message
+
+    def test_wrong_side_relation_is_error(self):
+        # Σ_ts head writes a *target* relation: source relations only may
+        # appear in Σ_ts heads.
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, y)",
+            ts="H(x, y) -> H(y, x)",
+            validate=False,
+        )
+        report = analyze(setting)
+        assert "PDE003" in codes_of(report)
+
+    def test_overlapping_schemas_reported(self):
+        setting = PDESetting.from_text(
+            source={"R": 2},
+            target={"R": 2},
+            validate=False,
+        )
+        report = analyze(setting)
+        assert "PDE005" in codes_of(report)
+
+    def test_span_points_at_offending_dependency(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, z), E(z, y) -> H(x, y)\nE(x, y) -> H(x, y, y)",
+            validate=False,
+        )
+        report = analyze(setting)
+        [diagnostic] = [d for d in report if d.code == "PDE002"]
+        assert diagnostic.span is not None
+        assert diagnostic.span.source == "sigma_st"
+        assert diagnostic.span.line == 2
+        assert diagnostic.location() == "sigma_st:2:1"
+
+
+class TestBoundaryRules:
+    """The Section-4 relaxations each carry a distinct code."""
+
+    def test_target_egd_is_pde101(self):
+        report = analyze(egd_boundary_setting())
+        assert "PDE101" in codes_of(report)
+        assert report.exit_code() == 1  # warning-only: NP-hard but legal
+
+    def test_full_target_tgd_is_pde102(self):
+        report = analyze(full_tgd_boundary_setting())
+        assert "PDE102" in codes_of(report)
+        assert report.exit_code() == 1
+
+    def test_disjunctive_ts_is_pde103(self):
+        report = analyze(coloring_setting())
+        assert "PDE103" in codes_of(report)
+        assert report.exit_code() == 1
+
+    def test_condition2_failure_is_pde106(self):
+        report = analyze(clique_setting())
+        assert "PDE106" in codes_of(report)
+
+    def test_non_weakly_acyclic_target_is_pde104(self):
+        setting = PDESetting.from_text(
+            source={"S": 1},
+            target={"T": 2},
+            st="S(x) -> T(x, x)",
+            t="T(x, y) -> T(y, z)",
+        )
+        report = analyze(setting)
+        assert "PDE104" in codes_of(report)
+        assert "PDE107" in codes_of(report)  # existential target tgd info
+
+    def test_weakly_acyclic_target_not_flagged(self):
+        setting = PDESetting.from_text(
+            source={"S": 1},
+            target={"T": 2, "U": 1},
+            st="S(x) -> T(x, x)",
+            t="T(x, y) -> U(x)",
+        )
+        report = analyze(setting)
+        assert "PDE104" not in codes_of(report)
+
+    def test_distinct_codes_across_relaxations(self):
+        """Acceptance criterion: the four boundary shapes are telling apart."""
+        flagged = {
+            "PDE101": egd_boundary_setting(),
+            "PDE102": full_tgd_boundary_setting(),
+            "PDE103": coloring_setting(),
+            "PDE106": clique_setting(),
+        }
+        for expected, setting in flagged.items():
+            assert expected in codes_of(analyze(setting)), expected
+
+    def test_marked_variable_repeated_is_pde105(self):
+        # A marked (null-able) variable occurring twice in a Σ_ts lhs.
+        setting = PDESetting.from_text(
+            source={"S": 1},
+            target={"T": 2},
+            st="S(x) -> T(x, y)",
+            ts="T(x, x) -> S(x)",
+        )
+        report = analyze(setting)
+        assert "PDE105" in codes_of(report)
+        [diagnostic] = [d for d in report if d.code == "PDE105"]
+        assert "condition 1" in diagnostic.message
+
+
+class TestHygieneRules:
+    def test_duplicate_dependency(self):
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, y)\nE(x, y) -> H(x, y)",
+        )
+        report = analyze(setting)
+        assert "PDE201" in codes_of(report)
+
+    def test_subsumed_dependency(self):
+        # The second tgd is implied by the first (stronger body).
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(x, y)\nE(x, y), E(y, x) -> H(x, y)",
+        )
+        report = analyze(setting)
+        [diagnostic] = [d for d in report if d.code == "PDE202"]
+        assert "sigma_st[1]" in diagnostic.message
+
+    def test_unused_relation(self):
+        setting = PDESetting.from_text(
+            source={"E": 2, "Spare": 1},
+            target={"H": 2},
+            st="E(x, y) -> H(x, y)",
+        )
+        report = analyze(setting)
+        [diagnostic] = [d for d in report if d.code == "PDE203"]
+        assert "Spare" in diagnostic.message
+
+    def test_dead_rule(self):
+        # Σ_ts reads a target relation no tgd head ever writes.
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2, "Ghost": 1},
+            st="E(x, y) -> H(x, y)",
+            ts="Ghost(x) -> E(x, x)",
+        )
+        report = analyze(setting)
+        [diagnostic] = [d for d in report if d.code == "PDE204"]
+        assert "'Ghost'" in diagnostic.message
+
+    def test_clean_setting_has_no_hygiene_findings(self, example1_setting):
+        assert analyze(example1_setting).clean
+
+
+class TestRawInputAnalysis:
+    def test_analyze_dict_on_valid_setting(self, example1_setting):
+        report = analyze_dict(setting_to_dict(example1_setting))
+        assert report.clean
+
+    def test_lint_ignore_key_suppresses(self):
+        encoded = setting_to_dict(egd_boundary_setting())
+        encoded["lint_ignore"] = ["PDE101"]
+        report = analyze_dict(encoded)
+        assert report.exit_code() == 0
+        assert any(code == "PDE101" and count for code, count in report.ignored)
+
+    def test_lint_ignore_accepts_bare_string(self):
+        encoded = setting_to_dict(egd_boundary_setting())
+        encoded["lint_ignore"] = "PDE101"  # shorthand for ["PDE101"]
+        report = analyze_dict(encoded)
+        assert report.exit_code() == 0
+        assert ("PDE101", 3) in report.ignored
+
+    def test_unparsable_dependency_is_pde000(self):
+        encoded = {
+            "source": {"E": 2},
+            "target": {"H": 2},
+            "sigma_st": ["E(x, y) -> "],
+        }
+        report = analyze_dict(encoded)
+        assert codes_of(report) == {"PDE000"}
+        assert report.exit_code() == 2
+
+    def test_unsafe_egd_is_pde006(self):
+        encoded = {
+            "source": {"E": 2},
+            "target": {"H": 2},
+            "sigma_t": ["H(x, y) -> x = z"],
+        }
+        report = analyze_dict(encoded)
+        assert codes_of(report) == {"PDE006"}
+
+    def test_invalid_json_text(self):
+        report = analyze_text("{not json")
+        assert codes_of(report) == {"PDE000"}
+        assert report.exit_code() == 2
+
+    def test_non_object_json_text(self):
+        report = analyze_text("[1, 2, 3]")
+        assert codes_of(report) == {"PDE000"}
+
+    def test_malformed_schema_survives_as_diagnostics(self):
+        # An arity mismatch cannot construct with validate=True, but the
+        # analyzer reports it instead of raising.
+        encoded = {
+            "source": {"E": 2},
+            "target": {"H": 3},
+            "sigma_st": ["E(x, y) -> H(x, y)"],
+        }
+        report = analyze_dict(encoded)
+        assert "PDE002" in codes_of(report)
+
+
+class TestDispatchExplanation:
+    def test_in_ctract_message(self, example1_setting):
+        explanation = dispatch_explanation(example1_setting)
+        assert "C_tract" in explanation
+        assert "Figure 3" in explanation
+
+    def test_quotes_distinct_codes(self):
+        assert "PDE101" in dispatch_explanation(egd_boundary_setting())
+        assert "PDE102" in dispatch_explanation(full_tgd_boundary_setting())
+        assert "PDE103" in dispatch_explanation(coloring_setting())
+        assert "PDE106" in dispatch_explanation(clique_setting())
+
+    def test_solve_attaches_dispatch_stat(self):
+        setting = egd_boundary_setting()
+        result = solve(setting, parse_instance("D(a, b)"), parse_instance(""))
+        assert "dispatch" in result.stats
+        assert "PDE101" in result.stats["dispatch"]
+
+    def test_forced_tractable_error_explains(self):
+        setting = egd_boundary_setting()
+        with pytest.raises(SolverError, match="PDE101"):
+            solve(
+                setting,
+                parse_instance("D(a, b)"),
+                parse_instance(""),
+                method="tractable",
+            )
+
+    def test_tractable_setting_has_no_dispatch_stat(
+        self, example1_setting, triangle_ish_source, empty_target
+    ):
+        result = solve(example1_setting, triangle_ish_source, empty_target)
+        assert "dispatch" not in result.stats
+
+
+class TestCodeTable:
+    def test_codes_well_formed(self):
+        for code, info in CODES.items():
+            assert code.startswith("PDE") and len(code) == 6
+            assert info.severity in {"error", "warning", "info"}
+            assert info.rule and info.summary
+
+    def test_error_band_and_warning_band(self):
+        for code, info in CODES.items():
+            band = int(code[3])
+            if band == 0:
+                assert info.severity == "error"
+            else:
+                assert info.severity in {"warning", "info"}

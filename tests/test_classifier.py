@@ -154,3 +154,60 @@ class TestSubclasses:
     def test_subclass_reporting(self, example1_setting):
         assert classify(example1_setting).subclass() == "full Σ_st + LAV Σ_ts"
         assert classify(clique_setting()).subclass() == "not in C_tract"
+
+
+class TestViolationMessages:
+    """``CtractReport.violations`` names the offending tgd and variable,
+    one entry per failed condition of Definition 9."""
+
+    def test_condition1_violation_names_tgd_and_variable(self):
+        setting = PDESetting.from_text(
+            source={"S": 1},
+            target={"T": 2},
+            st="S(x) -> T(x, y)",
+            ts="T(x, x) -> S(x)",
+        )
+        report = classify(setting)
+        assert not report.condition1
+        [violation] = [v for v in report.violations if v.startswith("condition 1")]
+        assert "marked variable x occurs 2 times" in violation
+        assert "T(x, x) -> S(x)" in violation
+
+    def test_condition2_1_violation_names_tgd_and_literal_count(self):
+        report = classify(clique_setting())
+        assert not report.condition2_1
+        per_tgd = [v for v in report.violations if v.startswith("condition 2.1")]
+        assert len(per_tgd) == 3  # one per multi-literal Σ_ts tgd
+        assert all("has 2 literals" in v for v in per_tgd)
+        assert any("P(x, z, y, w), P(x, z2, y2, w2) -> S(z, z2)" in v for v in per_tgd)
+
+    def test_condition2_2_violation_names_marked_pair(self):
+        report = classify(clique_setting())
+        assert not report.condition2_2
+        per_pair = [v for v in report.violations if v.startswith("condition 2.2")]
+        assert any(
+            "marked variables z and z2 co-occur" in v
+            and "P(x, z, y, w), P(x, z2, y2, w2) -> S(z, z2)" in v
+            for v in per_pair
+        )
+        assert all("neither body-adjacent nor both body-absent" in v for v in per_pair)
+
+    def test_condition2_summary_present_when_both_fail(self):
+        report = classify(clique_setting())
+        assert "condition 2: neither 2.1 nor 2.2 holds" in report.violations
+
+    def test_no_condition2_violations_when_2_1_holds(self):
+        # Multi-literal lhs nowhere: 2.1 holds, so no per-tgd 2.1 entries
+        # even if 2.2 would fail.
+        setting = PDESetting.from_text(
+            source={"E": 2},
+            target={"H": 2},
+            st="E(x, y) -> H(y, x)",
+            ts="H(x, y) -> E(x, y)",
+        )
+        report = classify(setting)
+        assert report.condition2_1
+        assert not any(v.startswith("condition 2") for v in report.violations)
+
+    def test_clean_setting_has_no_violations(self, example1_setting):
+        assert classify(example1_setting).violations == ()

@@ -25,7 +25,9 @@ def referenced_paths():
             yield path.name, match.group(1), match.group(2)
 
 
-PATHS = sorted(set(referenced_paths()))
+# The attribute may be None (bare module reference): key on "" instead so
+# the same module can appear both bare and with attributes.
+PATHS = sorted(set(referenced_paths()), key=lambda ref: (ref[0], ref[1], ref[2] or ""))
 
 
 @pytest.mark.parametrize(

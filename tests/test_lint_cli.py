@@ -1,0 +1,130 @@
+"""Tests for the ``lint`` CLI subcommand and its exit-code contract.
+
+Acceptance cases: exit 2 on a setting with an arity error, exit 1 on a
+warning-only NP-hard boundary setting, exit 0 on a clean C_tract setting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _is_json_path, main
+from repro.io import dumps_setting
+from repro.reductions import egd_boundary_setting
+
+
+@pytest.fixture
+def clean_path(tmp_path, example1_setting):
+    path = tmp_path / "clean.json"
+    path.write_text(dumps_setting(example1_setting, indent=2))
+    return path
+
+
+@pytest.fixture
+def warning_path(tmp_path):
+    path = tmp_path / "boundary.json"
+    path.write_text(dumps_setting(egd_boundary_setting(), indent=2))
+    return path
+
+
+@pytest.fixture
+def error_path(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text(
+        json.dumps(
+            {
+                "source": {"E": 2},
+                "target": {"H": 2},
+                "sigma_st": ["E(x, y) -> H(x, y, y)"],
+            }
+        )
+    )
+    return path
+
+
+class TestExitCodes:
+    def test_clean_setting_exits_zero(self, clean_path, capsys):
+        assert main(["lint", str(clean_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_warning_only_boundary_exits_one(self, warning_path, capsys):
+        assert main(["lint", str(warning_path)]) == 1
+        out = capsys.readouterr().out
+        assert "PDE101" in out
+        assert "warning" in out
+
+    def test_arity_error_exits_two(self, error_path, capsys):
+        assert main(["lint", str(error_path)]) == 2
+        out = capsys.readouterr().out
+        assert "PDE002" in out
+        assert "error" in out
+
+    def test_worst_code_wins_across_files(self, clean_path, warning_path, error_path):
+        assert main(["lint", str(clean_path), str(warning_path)]) == 1
+        assert main(["lint", str(clean_path), str(error_path), str(warning_path)]) == 2
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.json")]) == 2
+        assert "PDE000" in capsys.readouterr().out
+
+    def test_invalid_json_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{oops")
+        assert main(["lint", str(path)]) == 2
+        assert "PDE000" in capsys.readouterr().out
+
+
+class TestOutputFormats:
+    def test_text_lines_carry_path_and_span(self, warning_path, capsys):
+        main(["lint", str(warning_path)])
+        out = capsys.readouterr().out
+        assert str(warning_path) in out
+        assert "sigma_t:1:1" in out  # provenance of the first egd
+
+    def test_json_format(self, warning_path, capsys):
+        code = main(["lint", "--format", "json", str(warning_path)])
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["exit_code"] == code == 1
+        [entry] = decoded["files"]
+        assert entry["path"] == str(warning_path)
+        assert entry["summary"]["warnings"] >= 1
+        codes = {d["code"] for d in entry["diagnostics"]}
+        assert "PDE101" in codes
+
+    def test_json_format_multiple_files(self, clean_path, error_path, capsys):
+        main(["lint", "--format", "json", str(clean_path), str(error_path)])
+        decoded = json.loads(capsys.readouterr().out)
+        assert len(decoded["files"]) == 2
+        assert decoded["exit_code"] == 2
+
+    def test_suppression_note_rendered(self, tmp_path, capsys):
+        encoded = json.loads(dumps_setting(egd_boundary_setting()))
+        encoded["lint_ignore"] = ["PDE101"]
+        path = tmp_path / "annotated.json"
+        path.write_text(json.dumps(encoded))
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed via lint_ignore" in out
+
+
+class TestFileSniffing:
+    def test_json_suffix_case_insensitive(self):
+        assert _is_json_path("setting.json")
+        assert _is_json_path("SETTING.JSON")
+        assert _is_json_path("weird.JsOn")
+        assert not _is_json_path("instance.txt")
+        assert not _is_json_path("jsonfile")
+
+    def test_uppercase_json_instance_loads(self, tmp_path, example1_setting, capsys):
+        setting_path = tmp_path / "setting.json"
+        setting_path.write_text(dumps_setting(example1_setting, indent=2))
+        source = tmp_path / "SOURCE.JSON"
+        edges = [["a", "b"], ["b", "c"], ["a", "c"]]
+        source.write_text(
+            json.dumps({"E": [[{"const": v} for v in edge] for edge in edges]})
+        )
+        assert main(["solve", str(setting_path), str(source)]) == 0
+        assert "solution exists: True" in capsys.readouterr().out

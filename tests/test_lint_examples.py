@@ -1,0 +1,61 @@
+"""The shipped example settings must lint clean (the CI gate of the repo).
+
+Boundary examples are deliberately NP-hard and annotate themselves with a
+``lint_ignore`` key; a regression that surfaces new findings — or that
+breaks the suppression mechanism — fails here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze, analyze_text
+from repro.cli import main
+from repro.workloads import (
+    exact_view_setting,
+    genomics_setting,
+)
+
+SETTINGS_DIR = Path(__file__).resolve().parent.parent / "examples" / "settings"
+SETTING_FILES = sorted(SETTINGS_DIR.glob("*.json"))
+
+
+def test_examples_directory_present():
+    assert SETTING_FILES, f"no example settings found under {SETTINGS_DIR}"
+
+
+@pytest.mark.parametrize("path", SETTING_FILES, ids=lambda p: p.name)
+def test_example_setting_lints_clean(path):
+    report = analyze_text(path.read_text())
+    assert report.exit_code() == 0, [d.render() for d in report]
+
+
+@pytest.mark.parametrize("path", SETTING_FILES, ids=lambda p: p.name)
+def test_boundary_examples_declare_their_suppressions(path):
+    # Every lint_ignore entry must actually suppress something — a stale
+    # annotation is itself a smell.
+    encoded = json.loads(path.read_text())
+    report = analyze_text(path.read_text())
+    for code in encoded.get("lint_ignore", ()):
+        suppressed = dict(report.ignored).get(code, 0)
+        assert suppressed > 0, f"{path.name}: lint_ignore lists {code} needlessly"
+
+
+def test_cli_lints_all_examples_clean(capsys):
+    code = main(["lint", *map(str, SETTING_FILES)])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert f"{len(SETTING_FILES)} setting(s) checked" in out
+
+
+class TestBenchmarkFixtureSettings:
+    """The settings the benchmarks/examples build programmatically."""
+
+    def test_genomics_setting_clean(self):
+        assert analyze(genomics_setting()).clean
+
+    def test_exact_view_setting_clean(self):
+        assert analyze(exact_view_setting()).clean

@@ -152,3 +152,59 @@ class TestQueryParsing:
 
         with pytest.raises(DependencyError):
             parse_query("q(u) :- H(x, y)")
+
+
+class TestProvenance:
+    """Dependency objects carry the token positions they were parsed from."""
+
+    def test_parse_dependency_default_provenance(self):
+        dependency = parse_dependency("E(x, y) -> H(x, y)")
+        assert dependency.provenance is not None
+        assert dependency.provenance.text == "E(x, y) -> H(x, y)"
+        assert dependency.provenance.line == 1
+
+    def test_parse_dependencies_tracks_lines_and_columns(self):
+        text = "E(x, z), E(z, y) -> H(x, y)\n# comment\n  H(x, y) -> E(x, y)"
+        first, second = parse_dependencies(text, source="sigma_st")
+        assert (first.provenance.line, first.provenance.column) == (1, 1)
+        assert (second.provenance.line, second.provenance.column) == (3, 3)
+        assert second.provenance.source == "sigma_st"
+        assert second.provenance.label() == "sigma_st:3:3"
+
+    def test_semicolon_separated_columns(self):
+        text = "E(x, y) -> H(x, y); H(x, y) -> E(x, y)"
+        first, second = parse_dependencies(text)
+        assert first.provenance.column == 1
+        assert second.provenance.column == 21
+
+    def test_provenance_does_not_affect_equality(self):
+        plain = parse_dependency("E(x, y) -> H(x, y)")
+        (tracked,) = parse_dependencies("\n\nE(x, y) -> H(x, y)")
+        assert plain == tracked
+        assert tracked.provenance.line == 3
+
+
+class TestParseErrorPositions:
+    """ParseError carries real token positions, rendered as line/column."""
+
+    def test_missing_rhs_points_past_arrow(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse_dependency("E(x, y) ->   ")
+        assert exc_info.value.position == 10  # just past the arrow token
+
+    def test_query_head_argument_position(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse_query("  q(1) :- E(x, y)")
+        assert exc_info.value.position == 2  # at the head atom, not position 0
+
+    def test_line_and_column_in_message(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse_dependencies("E(x, y) -> H(x, y)\nE(x y) -> H(x, y)")
+        error = exc_info.value
+        assert error.line == 1  # segment-relative text starts at the segment
+        assert "line 1, column" in str(error)
+
+    def test_multiline_error_derives_line(self):
+        error = ParseError("boom", text="ab\ncd\nef", position=4)
+        assert (error.line, error.column) == (2, 2)
+        assert "line 2, column 2" in str(error)
