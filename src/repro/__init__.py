@@ -60,13 +60,23 @@ from repro.core import (
     solution_aware_chase,
 )
 from repro.exceptions import (
+    BudgetExceeded,
     ChaseFailure,
     ChaseNonTermination,
     DependencyError,
+    InvariantViolation,
+    JournalError,
     ParseError,
     ReproError,
     SchemaError,
     SolverError,
+)
+from repro.runtime import (
+    Budget,
+    CancellationToken,
+    RetryPolicy,
+    SessionJournal,
+    SolveStatus,
 )
 from repro.solver import (
     CertainAnswerResult,
@@ -121,13 +131,21 @@ __all__ = [
     "parse_query",
     "satisfies",
     "solution_aware_chase",
+    "BudgetExceeded",
     "ChaseFailure",
     "ChaseNonTermination",
     "DependencyError",
+    "InvariantViolation",
+    "JournalError",
     "ParseError",
     "ReproError",
     "SchemaError",
     "SolverError",
+    "Budget",
+    "CancellationToken",
+    "RetryPolicy",
+    "SessionJournal",
+    "SolveStatus",
     "CertainAnswerResult",
     "SolveResult",
     "certain_answers",

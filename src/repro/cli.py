@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli explain   setting.json source.txt [target.txt]
     python -m repro.cli certain   setting.json source.txt --query "H(x, y)"
     python -m repro.cli chase     setting.json source.txt [target.txt]
+    python -m repro.cli sync      setting.json snap1.txt [snap2.txt ...]
 
 Setting files use the JSON format of :mod:`repro.io.serialization`;
 instance files use the parser's text syntax (``E(a, b); E(b, c)`` — with
@@ -17,6 +18,15 @@ case-insensitively, so ``SETTING.JSON`` works too).
 
 ``lint`` exits 0 on clean settings, 1 when the worst finding is a
 warning, and 2 on errors — the CI convention.
+
+Governance: ``solve``, ``certain``, and ``sync`` accept ``--deadline
+SECONDS`` and ``--budget NODES``, building a non-strict
+:class:`repro.runtime.Budget`.  A computation that exhausts its budget
+exits with code 4 (degraded: the printed result is partial), distinct
+from 1 (a definitive negative answer).  ``sync`` replays one round per
+snapshot file, optionally journaling to ``--journal`` for crash-safe
+resumption, and exits 4 when any round degraded, else 1 when any round
+was rejected, else 0.
 """
 
 from __future__ import annotations
@@ -29,12 +39,16 @@ from repro.core.instance import Instance
 from repro.core.parser import parse_instance, parse_query
 from repro.core.setting import PDESetting
 from repro.io.serialization import dumps_instance, loads_instance, loads_setting
+from repro.runtime import Budget, RetryPolicy, SessionJournal
 from repro.solver import certain_answers, solve
 from repro.solver.explain import explain
 from repro.solver.tractable import canonical_instances
 from repro.tractability import classify
 
 __all__ = ["main", "build_parser"]
+
+#: Exit code for degraded (budget-exhausted / deadline / cancelled) results.
+EXIT_DEGRADED = 4
 
 
 def _is_json_path(path: str) -> bool:
@@ -56,6 +70,26 @@ def _load_instance(path: str | None) -> Instance:
     if _is_json_path(path):
         return loads_instance(text)
     return parse_instance(text)
+
+
+def _build_budget(args: argparse.Namespace) -> Budget | None:
+    """A non-strict budget from ``--deadline`` / ``--budget``, or None."""
+    deadline = getattr(args, "deadline", None)
+    node_cap = getattr(args, "budget", None)
+    if deadline is None and node_cap is None:
+        return None
+    return Budget(wall_time_s=deadline, node_cap=node_cap, strict=False)
+
+
+def _add_budget_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="wall-clock deadline; on expiry the result degrades (exit 4)",
+    )
+    command.add_argument(
+        "--budget", type=int, metavar="NODES",
+        help="search-node cap; on exhaustion the result degrades (exit 4)",
+    )
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -103,8 +137,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     setting = _load_setting(args.setting)
     source = _load_instance(args.source)
     target = _load_instance(args.target)
-    result = solve(setting, source, target, method=args.method)
+    budget = _build_budget(args)
+    result = solve(setting, source, target, method=args.method, budget=budget)
     print(f"solution exists: {result.exists}  (method: {result.method})")
+    if not result.decided:
+        print(f"status: {result.status}  ({result.reason})")
     for key, value in sorted(result.stats.items()):
         print(f"  {key}: {value}")
     if result.exists:
@@ -112,6 +149,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             print(dumps_instance(result.solution, indent=2))
         else:
             print(f"witness: {result.solution.pretty()}")
+    if not result.decided:
+        return EXIT_DEGRADED
     return 0 if result.exists else 1
 
 
@@ -130,8 +169,14 @@ def _cmd_certain(args: argparse.Namespace) -> int:
     source = _load_instance(args.source)
     target = _load_instance(args.target)
     query = parse_query(args.query)
-    result = certain_answers(setting, query, source, target)
-    if not result.solutions_exist:
+    budget = _build_budget(args)
+    result = certain_answers(setting, query, source, target, budget=budget)
+    if not result.decided:
+        print(
+            f"status: {result.status}  ({result.reason}); answers below are "
+            "the tuples confirmed certain before the budget ran out"
+        )
+    if not result.solutions_exist and result.decided:
         print("no solution exists; certain answers are vacuous")
     if query.arity == 0:
         print(f"certain({query}) = {result.boolean_value}")
@@ -139,7 +184,7 @@ def _cmd_certain(args: argparse.Namespace) -> int:
         print(f"{len(result.answers)} certain answers of {query}:")
         for row in sorted(result.answers, key=str):
             print("  (" + ", ".join(str(value) for value in row) + ")")
-    return 0
+    return 0 if result.decided else EXIT_DEGRADED
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -153,6 +198,47 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     else:
         print(describe_setting(setting), end="")
     return 0
+
+
+def _cmd_sync(args: argparse.Namespace) -> int:
+    from repro.sync import SyncSession
+
+    journal = SessionJournal(args.journal) if args.journal else None
+    retry = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+    if journal is not None and journal.exists():
+        session = SyncSession.resume(journal)
+        session.retry = retry
+        print(f"resumed from journal at round {session.rounds}")
+    else:
+        setting = _load_setting(args.setting)
+        pinned = _load_instance(args.pinned)
+        session = SyncSession(setting, pinned=pinned, journal=journal, retry=retry)
+
+    any_rejected = False
+    any_degraded = False
+    for path in args.snapshots:
+        snapshot = _load_instance(path)
+        budget = _build_budget(args)  # fresh per round: counters reset
+        outcome = session.sync(snapshot, budget=budget)
+        if outcome.ok:
+            print(
+                f"round {session.rounds}: ok  "
+                f"+{len(outcome.added)} -{len(outcome.retracted)} "
+                f"(state: {len(outcome.state)} facts, "
+                f"attempts: {outcome.attempts})"
+            )
+        elif outcome.degraded:
+            any_degraded = True
+            print(
+                f"round (degraded): {outcome.status}  [{outcome.reason}] "
+                f"(attempts: {outcome.attempts}; state unchanged)"
+            )
+        else:
+            any_rejected = True
+            print(f"round (rejected): {outcome.reason} (state unchanged)")
+    if any_degraded:
+        return EXIT_DEGRADED
+    return 1 if any_rejected else 0
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
@@ -201,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
     )
     solve_cmd.add_argument("--json", action="store_true", help="JSON witness output")
+    _add_budget_options(solve_cmd)
     solve_cmd.set_defaults(handler=_cmd_solve)
 
     explain_cmd = commands.add_parser("explain", help="explain the outcome")
@@ -214,7 +301,24 @@ def build_parser() -> argparse.ArgumentParser:
     certain_cmd.add_argument("source")
     certain_cmd.add_argument("target", nargs="?")
     certain_cmd.add_argument("--query", required=True)
+    _add_budget_options(certain_cmd)
     certain_cmd.set_defaults(handler=_cmd_certain)
+
+    sync_cmd = commands.add_parser(
+        "sync", help="replay sync rounds (exit 0 ok / 1 rejected / 4 degraded)"
+    )
+    sync_cmd.add_argument("setting")
+    sync_cmd.add_argument("snapshots", nargs="+", help="source snapshots, in order")
+    sync_cmd.add_argument("--pinned", help="target peer's own facts")
+    sync_cmd.add_argument(
+        "--journal", help="crash-safe journal file; resumes when it exists"
+    )
+    sync_cmd.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts per round, with budget escalation (default: 1)",
+    )
+    _add_budget_options(sync_cmd)
+    sync_cmd.set_defaults(handler=_cmd_sync)
 
     describe_cmd = commands.add_parser(
         "describe", help="markdown analysis report / DOT graphs"

@@ -21,7 +21,10 @@ length bounds and which makes chase output debuggable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # import-light: repro.runtime pulls repro.io at import time
+    from repro.runtime.budget import Budget
 
 from repro.core.atoms import Atom, Fact
 from repro.core.dependencies import EGD, TGD, Dependency
@@ -230,6 +233,7 @@ def chase(
     dependencies: Iterable[Dependency],
     null_factory: NullFactory | None = None,
     max_steps: int = DEFAULT_MAX_STEPS,
+    budget: Budget | None = None,
 ) -> ChaseResult:
     """Chase ``instance`` with ``dependencies`` to a fixpoint.
 
@@ -243,6 +247,9 @@ def chase(
         null_factory: source of fresh nulls; defaults to a factory labeling
             above every null already in ``instance``.
         max_steps: hard budget guarding against non-terminating sets.
+        budget: optional :class:`repro.runtime.Budget`; charged one
+            chase step per applied step and one fact per added fact, with
+            deadline/cancellation checkpoints between dependency passes.
 
     Returns:
         a :class:`ChaseResult` with the chased instance and provenance.
@@ -251,6 +258,9 @@ def chase(
         ChaseFailure: if an egd step fails (the ``⊥`` outcome); this
             certifies that no solution containing the instance exists.
         ChaseNonTermination: if ``max_steps`` is exceeded.
+        BudgetExceeded: if ``budget`` runs out (a cap, the deadline, or
+            cancellation); governed solver entry points convert this into
+            a degraded result when the budget is not strict.
     """
     dependencies = list(dependencies)
     for dependency in dependencies:
@@ -269,6 +279,8 @@ def chase(
         changed = False
         rounds += 1
         for dependency in dependencies:
+            if budget is not None:
+                budget.checkpoint()
             if isinstance(dependency, TGD):
                 # Enumerate all body matches against a stable snapshot,
                 # then re-check applicability just before firing each one;
@@ -281,10 +293,13 @@ def chase(
                         raise ChaseNonTermination(max_steps)
                     if _head_satisfied(current, dependency, assignment):
                         continue
-                    steps.append(
-                        _apply_tgd_step(current, dependency, assignment, null_factory)
-                    )
+                    step = _apply_tgd_step(current, dependency, assignment, null_factory)
+                    steps.append(step)
                     changed = True
+                    if budget is not None:
+                        budget.charge_chase_step()
+                        if step.added_facts:
+                            budget.charge_facts(len(step.added_facts))
             else:
                 while True:
                     if len(steps) >= max_steps:
@@ -295,6 +310,8 @@ def chase(
                     current, step = _apply_egd_step(current, dependency, assignment)
                     steps.append(step)
                     changed = True
+                    if budget is not None:
+                        budget.charge_chase_step()
     return ChaseResult(instance=current, steps=steps, rounds=rounds)
 
 

@@ -15,6 +15,9 @@ __all__ = [
     "ChaseFailure",
     "ChaseNonTermination",
     "SolverError",
+    "BudgetExceeded",
+    "InvariantViolation",
+    "JournalError",
     "NotWeaklyAcyclicError",
 ]
 
@@ -92,6 +95,45 @@ class SolverError(ReproError):
 
     Example: running the Figure 3 tractable algorithm on a setting that is
     not in C_tract without explicitly forcing it.
+    """
+
+
+class BudgetExceeded(SolverError):
+    """Raised when a governed computation runs out of resource budget.
+
+    Carries the degradation ``status`` — one of the string values of
+    :class:`repro.runtime.SolveStatus` (``"budget-exhausted"``,
+    ``"deadline"``, ``"cancelled"``) — so entry points can convert the
+    exception into a structured partial result.  Subclasses
+    :class:`SolverError` so legacy callers catching budget exhaustion
+    keep working; with a non-strict :class:`repro.runtime.Budget` the
+    solver entry points catch this internally and return a degraded
+    result instead of letting it escape.
+    """
+
+    def __init__(self, message: str, status: str = "budget-exhausted"):
+        self.status = status
+        super().__init__(message)
+
+
+class InvariantViolation(ReproError):
+    """Raised when an internal consistency invariant of the library fails.
+
+    Example: a witness produced by solving a merged multi-PDE setting is
+    rejected by one of the member settings, contradicting the Section 2
+    equivalence.  Signals a library bug rather than bad input, but derives
+    from :class:`ReproError` so callers relying on the module contract
+    ("every deliberate failure is a ReproError") still catch it.
+    """
+
+
+class JournalError(ReproError):
+    """Raised when a sync-session journal cannot be read or replayed.
+
+    A truncated *final* record (the signature of a crash mid-write) is
+    tolerated by the loader and does not raise; this error signals real
+    corruption — an unreadable header, a damaged interior record, or a
+    journal written for a different setting than the one restoring it.
     """
 
 

@@ -1,0 +1,44 @@
+"""Resource governance and fault tolerance for the solver runtime.
+
+The production-scale north star means the solvers run unattended, under
+deadlines, against inputs that can trigger the exponential worst case
+Theorem 3 promises.  This package is the layer that keeps that survivable:
+
+* :class:`Budget` / :class:`SolveStatus` / :class:`CancellationToken`
+  (:mod:`repro.runtime.budget`) — one budget object threaded through
+  every solver: wall-clock deadline, node / chase-step / fact caps, and
+  cooperative cancellation, with graceful degradation into partial
+  results (or the legacy raise behavior under ``strict=True``);
+* :class:`RetryPolicy` (:mod:`repro.runtime.retry`) — budget escalation
+  and deterministic jittered backoff for sync rounds;
+* :class:`SessionJournal` (:mod:`repro.runtime.journal`) — crash-safe
+  write-ahead journaling so a :class:`~repro.sync.SyncSession` survives
+  process death;
+* :mod:`repro.runtime.faults` — the deterministic fault-injection
+  harness (manual clocks, stall/cancel probes, faulty snapshot feeds)
+  that proves the degradation paths actually work.
+"""
+
+from repro.runtime.budget import (
+    DEFAULT_NODE_CAP,
+    Budget,
+    CancellationToken,
+    SolveStatus,
+)
+from repro.runtime.journal import JournalState, SessionJournal
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.faults import FaultClock, cancel_after, faulty_feed, stall_after
+
+__all__ = [
+    "Budget",
+    "CancellationToken",
+    "SolveStatus",
+    "DEFAULT_NODE_CAP",
+    "RetryPolicy",
+    "SessionJournal",
+    "JournalState",
+    "FaultClock",
+    "stall_after",
+    "cancel_after",
+    "faulty_feed",
+]

@@ -1,0 +1,311 @@
+"""Unified resource governance for the solver runtime.
+
+Every NP surface in this library (the branching chase, the valuation
+search, solution enumeration, and the chase itself) can consume unbounded
+time and memory on adversarial inputs — Theorem 3 makes the exponential
+worst case unavoidable.  Historically each surface enforced its own ad-hoc
+cap (a ``node_budget`` int here, a ``max_steps`` int there) and *raised*
+on exhaustion, so callers could not distinguish "no solution exists" (a
+theorem, per Lemma 2) from "the solver gave up".
+
+:class:`Budget` replaces those scattered caps with one object that is
+threaded through every solver:
+
+* a wall-clock **deadline** (checked cooperatively, every
+  ``check_interval`` charges, against an injectable ``clock``);
+* **node / chase-step / materialized-fact caps**;
+* a cooperative :class:`CancellationToken`;
+* a ``strict`` flag selecting between the legacy raise-on-exhaustion
+  behavior and graceful degradation into a partial
+  :class:`~repro.solver.results.SolveResult` with a
+  :class:`SolveStatus` describing what ran out.
+
+Exhaustion always surfaces internally as
+:class:`~repro.exceptions.BudgetExceeded`; with ``strict=False`` the
+solver entry points catch it and return a structured result, with
+``strict=True`` (the behavior of the legacy ``node_budget`` parameters)
+it escapes to the caller as a :class:`~repro.exceptions.SolverError`
+subclass.
+
+The ``probe`` hook — called with ``(kind, budget)`` on every charge — is
+the integration point for the deterministic fault-injection harness in
+:mod:`repro.runtime.faults`.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+from typing import Callable
+
+from repro.exceptions import BudgetExceeded
+
+__all__ = [
+    "SolveStatus",
+    "CancellationToken",
+    "Budget",
+    "DEFAULT_NODE_CAP",
+]
+
+#: Default ceiling on search nodes for the NP solvers (the single home of
+#: the value previously triplicated across the solver modules).
+DEFAULT_NODE_CAP = 500_000
+
+
+class SolveStatus(str, Enum):
+    """How a governed computation ended.
+
+    ``DECIDED`` means the result is a theorem (existence decided, answers
+    exact); every other status marks a *partial* result: the computation
+    was stopped early and the accompanying data reflects only the work
+    done so far.
+    """
+
+    DECIDED = "decided"
+    BUDGET_EXHAUSTED = "budget-exhausted"
+    DEADLINE = "deadline"
+    CANCELLED = "cancelled"
+
+    def __str__(self) -> str:  # stable rendering across Python versions
+        return self.value
+
+
+class CancellationToken:
+    """A cooperative cancellation flag shared between threads.
+
+    The producer calls :meth:`cancel`; governed computations observe the
+    flag at their next budget checkpoint and unwind with status
+    :attr:`SolveStatus.CANCELLED`.  Setting a bool is atomic in CPython,
+    so no lock is needed.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request cancellation; observed at the next checkpoint."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:
+        return f"CancellationToken(cancelled={self._cancelled})"
+
+
+class Budget:
+    """A unified resource budget for one governed computation.
+
+    Args:
+        wall_time_s: relative deadline in seconds from now (on ``clock``).
+        deadline: absolute deadline on ``clock``; overrides ``wall_time_s``.
+        node_cap: ceiling on search nodes (branching chase, valuation
+            search, per-block embedding tests).
+        chase_step_cap: ceiling on applied chase steps.
+        fact_cap: ceiling on materialized facts charged by the chase.
+        token: cooperative cancellation token.
+        strict: when True, exhaustion raises
+            :class:`~repro.exceptions.BudgetExceeded` out of the solver
+            (legacy behavior); when False, solver entry points degrade
+            into a partial result carrying the status.
+        clock: monotone time source; injectable for deterministic tests.
+        check_interval: charges between deadline/cancellation checks; the
+            caps themselves are checked on every charge.
+        probe: optional hook ``probe(kind, budget)`` invoked on every
+            charge with ``kind`` in ``{"node", "chase-step", "fact"}`` —
+            the fault-injection seam (see :mod:`repro.runtime.faults`).
+
+    A budget accumulates its counters across the computation it governs;
+    use :meth:`scaled` for a fresh (optionally escalated) budget when
+    retrying.
+    """
+
+    __slots__ = (
+        "deadline",
+        "node_cap",
+        "chase_step_cap",
+        "fact_cap",
+        "token",
+        "strict",
+        "clock",
+        "check_interval",
+        "probe",
+        "nodes",
+        "chase_steps",
+        "facts",
+        "_tick",
+        "_watched",
+    )
+
+    def __init__(
+        self,
+        *,
+        wall_time_s: float | None = None,
+        deadline: float | None = None,
+        node_cap: int | None = None,
+        chase_step_cap: int | None = None,
+        fact_cap: int | None = None,
+        token: CancellationToken | None = None,
+        strict: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+        check_interval: int = 64,
+        probe: Callable[[str, "Budget"], None] | None = None,
+    ) -> None:
+        self.clock = clock
+        if deadline is None and wall_time_s is not None:
+            deadline = clock() + wall_time_s
+        self.deadline = deadline
+        self.node_cap = node_cap
+        self.chase_step_cap = chase_step_cap
+        self.fact_cap = fact_cap
+        self.token = token
+        self.strict = strict
+        self.check_interval = max(1, check_interval)
+        self.probe = probe
+        self.nodes = 0
+        self.chase_steps = 0
+        self.facts = 0
+        self._tick = 0
+        # Deadline/cancellation checks are skipped entirely when neither
+        # is configured, keeping the uncapped hot path to one comparison.
+        self._watched = deadline is not None or token is not None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_legacy(
+        cls, node_budget: int | None, default: int | None = None
+    ) -> "Budget | None":
+        """Adapt a legacy ``node_budget`` parameter to a strict budget.
+
+        Returns None when neither ``node_budget`` nor ``default`` caps
+        anything, preserving the historical "unlimited" default of the
+        valuation search.
+        """
+        cap = node_budget if node_budget is not None else default
+        if cap is None:
+            return None
+        return cls(node_cap=cap, strict=True)
+
+    def scaled(self, factor: float) -> "Budget":
+        """A fresh budget with counters reset and caps scaled by ``factor``.
+
+        The deadline, token, clock, strictness, and probe are shared with
+        this budget (a deadline is a fact about the world, not a cap to
+        escalate).  Used by :class:`repro.runtime.RetryPolicy` to escalate
+        budgets across attempts.
+        """
+
+        def scale(cap: int | None) -> int | None:
+            return None if cap is None else max(1, int(cap * factor))
+
+        return Budget(
+            deadline=self.deadline,
+            node_cap=scale(self.node_cap),
+            chase_step_cap=scale(self.chase_step_cap),
+            fact_cap=scale(self.fact_cap),
+            token=self.token,
+            strict=self.strict,
+            clock=self.clock,
+            check_interval=self.check_interval,
+            probe=self.probe,
+        )
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+
+    def charge_node(self) -> None:
+        """Charge one search node; raise when the node cap is exhausted."""
+        self.nodes += 1
+        if self.probe is not None:
+            self.probe("node", self)
+        if self.node_cap is not None and self.nodes > self.node_cap:
+            raise BudgetExceeded(
+                f"node budget exhausted after {self.node_cap} search nodes",
+                SolveStatus.BUDGET_EXHAUSTED,
+            )
+        self._maybe_checkpoint()
+
+    def charge_chase_step(self) -> None:
+        """Charge one applied chase step."""
+        self.chase_steps += 1
+        if self.probe is not None:
+            self.probe("chase-step", self)
+        if self.chase_step_cap is not None and self.chase_steps > self.chase_step_cap:
+            raise BudgetExceeded(
+                f"chase-step budget exhausted after {self.chase_step_cap} steps",
+                SolveStatus.BUDGET_EXHAUSTED,
+            )
+        self._maybe_checkpoint()
+
+    def charge_facts(self, count: int = 1) -> None:
+        """Charge ``count`` newly materialized facts."""
+        self.facts += count
+        if self.probe is not None:
+            self.probe("fact", self)
+        if self.fact_cap is not None and self.facts > self.fact_cap:
+            raise BudgetExceeded(
+                f"materialized-fact budget exhausted after {self.fact_cap} facts",
+                SolveStatus.BUDGET_EXHAUSTED,
+            )
+        self._maybe_checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        if not self._watched:
+            return
+        self._tick += 1
+        if self._tick >= self.check_interval:
+            self._tick = 0
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Check the deadline and cancellation token immediately.
+
+        Called automatically every ``check_interval`` charges; long
+        uncharged stretches (e.g. a large homomorphism scan) may call it
+        directly to stay responsive.
+        """
+        token = self.token
+        if token is not None and token.cancelled:
+            raise BudgetExceeded("computation cancelled", SolveStatus.CANCELLED)
+        if self.deadline is not None and self.clock() > self.deadline:
+            raise BudgetExceeded(
+                "wall-clock deadline exceeded", SolveStatus.DEADLINE
+            )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, int]:
+        """The accumulated charge counters, for merging into result stats."""
+        return {
+            "budget_nodes": self.nodes,
+            "budget_chase_steps": self.chase_steps,
+            "budget_facts": self.facts,
+        }
+
+    def __repr__(self) -> str:
+        caps = ", ".join(
+            f"{name}={value}"
+            for name, value in (
+                ("nodes", self.node_cap),
+                ("chase_steps", self.chase_step_cap),
+                ("facts", self.fact_cap),
+            )
+            if value is not None
+        )
+        parts = [caps or "uncapped"]
+        if self.deadline is not None:
+            parts.append("deadline")
+        if self.token is not None:
+            parts.append("token")
+        if self.strict:
+            parts.append("strict")
+        return f"Budget({', '.join(parts)})"

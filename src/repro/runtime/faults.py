@@ -1,0 +1,125 @@
+"""Deterministic fault injection for the resilient runtime.
+
+Degradation paths are only as trustworthy as the tests that exercise
+them, and the failures they guard against — stalls, crashes, flaky
+delivery — are exactly the ones that are hard to produce on demand.
+This module makes them reproducible:
+
+* :class:`FaultClock` — a manual monotone clock.  A :class:`~repro.runtime.Budget`
+  built on it has a fully deterministic deadline: tests advance the clock
+  instead of sleeping.
+* :func:`stall_after` — a budget probe simulating a chase (or search)
+  stall: after N charges of a kind, the fault clock jumps forward, so the
+  next deadline checkpoint fires.
+* :func:`cancel_after` — a budget probe that trips a
+  :class:`~repro.runtime.CancellationToken` mid-computation, simulating
+  an operator abort or a peer hanging up.
+* :func:`faulty_feed` — a snapshot delivery schedule with dropped and
+  duplicated deliveries by index, for sync-session convergence tests.
+
+Everything here is pure and parameter-driven — no randomness, no real
+time — so a failing degradation test replays byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.runtime.budget import Budget, CancellationToken
+
+__all__ = ["FaultClock", "stall_after", "cancel_after", "faulty_feed"]
+
+T = TypeVar("T")
+
+#: Budget charge kinds mapped to the counter they increment.
+_COUNTERS = {"node": "nodes", "chase-step": "chase_steps", "fact": "facts"}
+
+
+class FaultClock:
+    """A deterministic monotone clock, advanced manually.
+
+    Pass as the ``clock`` of a :class:`~repro.runtime.Budget` to make its
+    deadline independent of real time.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("a monotone clock cannot go backwards")
+        self._now += seconds
+
+
+def _counter(kind: str) -> str:
+    try:
+        return _COUNTERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown charge kind {kind!r}; expected one of {sorted(_COUNTERS)}"
+        )
+
+
+def stall_after(
+    clock: FaultClock,
+    kind: str = "chase-step",
+    after: int = 0,
+    advance: float = 3600.0,
+) -> Callable[[str, Budget], None]:
+    """A budget probe simulating a stalled step.
+
+    Once ``after`` charges of ``kind`` have accumulated, every further
+    charge of that kind advances ``clock`` by ``advance`` seconds — as if
+    the step wedged — so a deadline on the same clock fires at the next
+    checkpoint.
+    """
+    counter = _counter(kind)
+
+    def probe(charged_kind: str, budget: Budget) -> None:
+        if charged_kind == kind and getattr(budget, counter) > after:
+            clock.advance(advance)
+
+    return probe
+
+
+def cancel_after(
+    token: CancellationToken, kind: str = "node", after: int = 0
+) -> Callable[[str, Budget], None]:
+    """A budget probe cancelling ``token`` after ``after`` charges of ``kind``.
+
+    Simulates a mid-search abort: the computation keeps running until its
+    next cooperative checkpoint, then unwinds with status ``CANCELLED``.
+    """
+    counter = _counter(kind)
+
+    def probe(charged_kind: str, budget: Budget) -> None:
+        if charged_kind == kind and getattr(budget, counter) > after:
+            token.cancel()
+
+    return probe
+
+
+def faulty_feed(
+    snapshots: Sequence[T] | Iterable[T],
+    drop: Iterable[int] = (),
+    duplicate: Iterable[int] = (),
+) -> Iterator[T]:
+    """Deliver ``snapshots`` with deterministic faults by index.
+
+    Indices in ``drop`` are never delivered (the peer missed a publish);
+    indices in ``duplicate`` are delivered twice in a row (an at-least-once
+    transport redelivered).  Sync sessions must converge under both: a
+    duplicated round is a no-op, and a dropped round is absorbed by the
+    next snapshot, since each snapshot is authoritative.
+    """
+    dropped = set(drop)
+    duplicated = set(duplicate)
+    for index, snapshot in enumerate(snapshots):
+        if index in dropped:
+            continue
+        yield snapshot
+        if index in duplicated:
+            yield snapshot

@@ -1,0 +1,190 @@
+"""Crash-safe journaling for long-lived sync sessions.
+
+A :class:`~repro.sync.SyncSession` is the library's only long-lived
+stateful object: its materialized imports accumulate across rounds, and
+losing them to a process death forces a full re-import.  The journal
+makes the session durable with the standard write-ahead pattern:
+
+* an append-only JSONL file, one record per line;
+* a ``header`` record pinning the format version, the setting, and the
+  pinned facts;
+* one ``commit`` record per successful round, carrying the round number
+  and the full imported instance (sessions materialize small deltas, so
+  full-state commits are cheap and make replay trivial — the last commit
+  wins, no log folding needed);
+* every append is flushed and fsynced before the in-memory state is
+  considered durable.
+
+Recovery tolerates exactly the failure it is designed for: a crash
+mid-append leaves a truncated final line, which :meth:`SessionJournal.load`
+silently drops (the round it described never committed).  Damage anywhere
+else raises :class:`~repro.exceptions.JournalError`.
+
+Instances and settings round-trip through :mod:`repro.io.serialization`,
+so journals are portable, diffable artifacts like every other on-disk
+format in this library.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.exceptions import JournalError
+from repro.io.serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    setting_from_dict,
+    setting_to_dict,
+)
+
+__all__ = ["SessionJournal", "JournalState"]
+
+_VERSION = 1
+
+
+@dataclass
+class JournalState:
+    """The durable state recovered from a journal.
+
+    Attributes:
+        setting: the PDE setting recorded in the header.
+        pinned: the target peer's pinned facts.
+        imported: the imported facts as of the last committed round.
+        rounds: the last committed round number (0 when no round ever
+            committed).
+    """
+
+    setting: PDESetting
+    pinned: Instance
+    imported: Instance
+    rounds: int
+
+
+class SessionJournal:
+    """An append-only, fsynced journal for one sync session."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """True when the journal file exists and is non-empty."""
+        try:
+            return self.path.stat().st_size > 0
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def ensure_header(self, setting: PDESetting, pinned: Instance) -> None:
+        """Write the header record, unless a valid one is already present."""
+        if self.exists():
+            self._read_records()  # validates the existing header
+            return
+        self._append(
+            {
+                "type": "header",
+                "version": _VERSION,
+                "setting": setting_to_dict(setting),
+                "pinned": instance_to_dict(pinned),
+            }
+        )
+
+    def record_round(
+        self,
+        round_number: int,
+        imported: Instance,
+        added: Instance,
+        retracted: Instance,
+    ) -> None:
+        """Durably commit one successful round.
+
+        Called *before* the in-memory session state is updated, so a crash
+        between commit and update replays to the committed state.
+        """
+        self._append(
+            {
+                "type": "commit",
+                "round": round_number,
+                "imported": instance_to_dict(imported),
+                "added": instance_to_dict(added),
+                "retracted": instance_to_dict(retracted),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def _read_records(self) -> list[dict[str, Any]]:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise JournalError(f"cannot read sync journal {self.path}: {error}")
+        lines = text.split("\n")
+        # A trailing newline leaves one empty chunk; a crash mid-append
+        # leaves a non-empty, probably unparsable final chunk instead.
+        tail_committed = lines and lines[-1] == ""
+        if tail_committed:
+            lines = lines[:-1]
+        records: list[dict[str, Any]] = []
+        for index, line in enumerate(lines):
+            is_last = index == len(lines) - 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if is_last and not tail_committed:
+                    break  # torn final write: the record never committed
+                raise JournalError(
+                    f"sync journal {self.path} corrupt at line {index + 1}"
+                )
+            records.append(record)
+        if not records or records[0].get("type") != "header":
+            raise JournalError(f"sync journal {self.path} has no header record")
+        if records[0].get("version") != _VERSION:
+            raise JournalError(
+                f"sync journal {self.path} has unsupported version "
+                f"{records[0].get('version')!r}"
+            )
+        return records
+
+    def load(self) -> JournalState:
+        """Recover the durable session state (last committed round wins)."""
+        records = self._read_records()
+        header = records[0]
+        try:
+            setting = setting_from_dict(header["setting"])
+        except Exception as error:  # noqa: BLE001 - wrap any decode failure
+            raise JournalError(
+                f"sync journal {self.path} header holds an unloadable setting: "
+                f"{error}"
+            )
+        pinned = instance_from_dict(
+            header.get("pinned", {}), schema=setting.target_schema
+        )
+        imported = Instance(schema=setting.target_schema)
+        rounds = 0
+        for record in records[1:]:
+            if record.get("type") != "commit":
+                continue
+            imported = instance_from_dict(
+                record.get("imported", {}), schema=setting.target_schema
+            )
+            rounds = int(record.get("round", rounds))
+        return JournalState(
+            setting=setting, pinned=pinned, imported=imported, rounds=rounds
+        )

@@ -1,0 +1,74 @@
+"""Retry policies with budget escalation and jittered backoff.
+
+Peer exchange is an ongoing interaction between autonomous peers, so a
+round that runs out of budget is not a verdict — it is a transient
+failure worth retrying with more resources.  :class:`RetryPolicy`
+packages the standard loop: escalate the budget caps geometrically,
+back off with deterministic jitter between attempts, give up after a
+bounded number of tries.
+
+Determinism matters for tests and reproducible experiment runs, so the
+jitter is derived from a seeded PRNG keyed on the attempt index rather
+than from global randomness, and the ``sleep`` callable is injectable.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.runtime.budget import Budget
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry a governed operation that degraded or failed.
+
+    Attributes:
+        max_attempts: total attempts, including the first (1 = no retry).
+        base_delay: backoff before the second attempt, in seconds.
+        backoff: geometric factor applied to the delay per attempt.
+        max_delay: ceiling on any single backoff delay.
+        jitter: fraction of the delay added as deterministic jitter in
+            ``[0, jitter * delay)``.
+        escalation: factor applied to every budget *cap* per retry (the
+            deadline and cancellation token are carried over unscaled).
+        seed: PRNG seed for the jitter, for reproducible schedules.
+        sleep: injectable sleep function (tests pass a recorder).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    escalation: float = 4.0
+    seed: int = 0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def delay(self, attempt: int) -> float:
+        """The backoff delay after failed attempt ``attempt`` (0-based)."""
+        raw = min(self.base_delay * (self.backoff ** attempt), self.max_delay)
+        if self.jitter <= 0:
+            return raw
+        rng = random.Random(self.seed * 1_000_003 + attempt)
+        return raw + rng.random() * self.jitter * raw
+
+    def escalate(self, budget: Budget | None, attempt: int) -> Budget | None:
+        """A fresh budget for attempt ``attempt`` (0-based).
+
+        Attempt 0 gets a reset copy of ``budget``; each later attempt
+        multiplies the caps by another ``escalation`` factor.  Returns
+        None when there is no budget to govern with.
+        """
+        if budget is None:
+            return None
+        return budget.scaled(self.escalation ** attempt)
+
+    def pause(self, attempt: int) -> None:
+        """Sleep the jittered backoff after failed attempt ``attempt``."""
+        self.sleep(self.delay(attempt))

@@ -49,13 +49,14 @@ from repro.core.terms import (
     is_variable,
     term_sort_key,
 )
-from repro.exceptions import SolverError
+from repro.exceptions import BudgetExceeded, SolverError
+from repro.runtime.budget import DEFAULT_NODE_CAP, Budget, SolveStatus
 from repro.solver.results import SolveResult
 
 __all__ = ["BranchingChaseSolver", "exists_solution_branching"]
 
-#: Default ceiling on search nodes.
-DEFAULT_NODE_BUDGET = 500_000
+#: Default ceiling on search nodes (one shared home: :mod:`repro.runtime`).
+DEFAULT_NODE_BUDGET = DEFAULT_NODE_CAP
 
 
 def _instantiate(atoms: tuple[Atom, ...], assignment: dict[Variable, InstanceTerm]) -> list[Fact]:
@@ -77,8 +78,9 @@ class BranchingChaseSolver:
         setting: PDESetting,
         source: Instance,
         target: Instance,
-        node_budget: int = DEFAULT_NODE_BUDGET,
+        node_budget: int | None = DEFAULT_NODE_BUDGET,
         require_weak_acyclicity: bool = True,
+        budget: Budget | None = None,
     ):
         setting.validate_source_instance(source)
         setting.validate_target_instance(target)
@@ -91,7 +93,9 @@ class BranchingChaseSolver:
         self.setting = setting
         self.source = source
         self.target = target
-        self.node_budget = node_budget
+        if budget is None:
+            budget = Budget.from_legacy(node_budget)
+        self.budget = budget
         self.stats: dict[str, int] = {"nodes": 0, "egd_merges": 0, "branch_failures": 0}
         self._nulls = NullFactory.above(target.nulls())
         self._failed: set[frozenset] = set()
@@ -204,10 +208,8 @@ class BranchingChaseSolver:
 
     def _expand(self, k: Instance) -> Iterator[Instance]:
         self.stats["nodes"] += 1
-        if self.stats["nodes"] > self.node_budget:
-            raise SolverError(
-                f"branching chase exceeded node budget {self.node_budget}"
-            )
+        if self.budget is not None:
+            self.budget.charge_node()
         merged = self._apply_egds(k)
         if merged is None:
             return
@@ -261,13 +263,20 @@ def exists_solution_branching(
     setting: PDESetting,
     source: Instance,
     target: Instance,
-    node_budget: int = DEFAULT_NODE_BUDGET,
+    node_budget: int | None = DEFAULT_NODE_BUDGET,
     require_weak_acyclicity: bool = True,
+    budget: Budget | None = None,
 ) -> SolveResult:
     """Decide ``SOL(P)(I, J)`` with the branching-chase solver.
 
     Complete for ``Σ_t`` = egds + weakly acyclic tgds (and, a fortiori,
     ``Σ_t = ∅``, though the valuation search is faster there).
+
+    With a non-strict ``budget``, exhaustion (caps, deadline, or
+    cancellation) degrades into a partial :class:`SolveResult` whose
+    ``status`` names what ran out; the legacy ``node_budget`` path (and
+    any ``strict`` budget) raises :class:`~repro.exceptions.BudgetExceeded`
+    instead.
     """
     solver = BranchingChaseSolver(
         setting,
@@ -275,12 +284,31 @@ def exists_solution_branching(
         target,
         node_budget=node_budget,
         require_weak_acyclicity=require_weak_acyclicity,
+        budget=budget,
     )
-    for solution in solver.iter_solutions():
+
+    def stats() -> dict:
+        merged = dict(solver.stats)
+        if solver.budget is not None:
+            merged.update(solver.budget.snapshot())
+        return merged
+
+    try:
+        for solution in solver.iter_solutions():
+            return SolveResult(
+                exists=True,
+                solution=solution,
+                method="branching-chase",
+                stats=stats(),
+            )
+    except BudgetExceeded as exhausted:
+        if solver.budget is None or solver.budget.strict:
+            raise
         return SolveResult(
-            exists=True,
-            solution=solution,
+            exists=False,
             method="branching-chase",
-            stats=dict(solver.stats),
+            stats=stats(),
+            status=SolveStatus(exhausted.status),
+            reason=str(exhausted),
         )
-    return SolveResult(exists=False, method="branching-chase", stats=dict(solver.stats))
+    return SolveResult(exists=False, method="branching-chase", stats=stats())

@@ -28,6 +28,8 @@ from repro.core.instance import Instance
 from repro.core.query import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.core.setting import PDESetting
 from repro.core.terms import InstanceTerm
+from repro.exceptions import BudgetExceeded
+from repro.runtime.budget import DEFAULT_NODE_CAP, Budget, SolveStatus
 from repro.solver.branching_chase import BranchingChaseSolver
 from repro.solver.results import CertainAnswerResult
 from repro.solver.valuation_search import ValuationSearch, supports_valuation_search
@@ -43,16 +45,24 @@ def _minimal_solutions(
     target: Instance,
     node_budget: int | None,
     query: Query | None = None,
+    budget: Budget | None = None,
 ) -> Iterator[Instance]:
     """Yield a family of solutions containing a sub-instance of every
     solution (up to renaming of nulls invisible to ``Σ_ts`` and ``query``)."""
     if supports_valuation_search(setting):
         relevant = (query,) if query is not None else ()
-        search = ValuationSearch(setting, source, target, relevant_queries=relevant)
+        search = ValuationSearch(
+            setting, source, target, relevant_queries=relevant, budget=budget
+        )
         yield from search.iter_valuations(node_budget=node_budget)
     else:
-        budget = node_budget if node_budget is not None else 500_000
-        solver = BranchingChaseSolver(setting, source, target, node_budget=budget)
+        solver = BranchingChaseSolver(
+            setting,
+            source,
+            target,
+            node_budget=node_budget if node_budget is not None else DEFAULT_NODE_CAP,
+            budget=budget,
+        )
         yield from solver.iter_solutions()
 
 
@@ -63,24 +73,33 @@ def is_certain(
     target: Instance,
     answer: tuple[InstanceTerm, ...] = (),
     node_budget: int | None = None,
+    budget: Budget | None = None,
 ) -> bool:
     """Is ``answer`` a certain answer of ``query`` on ``(source, target)``?
 
     For a Boolean query pass the empty tuple.  Vacuously True when no
     solution exists.  ``query`` must be monotone (conjunctive queries and
     UCQs are); the procedure is unsound for non-monotone queries.
+
+    A Boolean answer cannot express partiality, so budget exhaustion
+    always raises :class:`~repro.exceptions.BudgetExceeded` here (strict
+    or not); :func:`certain_answers` catches it and degrades.
     """
     if supports_valuation_search(setting):
         # Push the falsification test into the valuation search so its
         # pruning applies: accept only valuations falsifying q[answer].
-        search = ValuationSearch(setting, source, target, relevant_queries=(query,))
+        search = ValuationSearch(
+            setting, source, target, relevant_queries=(query,), budget=budget
+        )
         for _falsifier in search.iter_valuations(
             leaf_predicate=lambda candidate: not query.holds(candidate, answer),
             node_budget=node_budget,
         ):
             return False
         return True
-    for solution in _minimal_solutions(setting, source, target, node_budget, query=query):
+    for solution in _minimal_solutions(
+        setting, source, target, node_budget, query=query, budget=budget
+    ):
         if not query.holds(solution, answer):
             return False
     return True
@@ -92,6 +111,7 @@ def certain_answers(
     source: Instance,
     target: Instance,
     node_budget: int | None = None,
+    budget: Budget | None = None,
 ) -> CertainAnswerResult:
     """Compute the certain answers of ``query`` on ``(source, target)``.
 
@@ -102,6 +122,12 @@ def certain_answers(
     For a Boolean query the result's :attr:`boolean_value` is the certain
     truth value.
 
+    A single ``budget`` governs the whole computation (candidate discovery
+    plus every per-candidate check).  With a non-strict budget, exhaustion
+    degrades into a partial result: ``answers`` then holds only the tuples
+    *confirmed* certain before the budget ran out (a sound
+    under-approximation) and ``status`` names what ran out.
+
     Returns:
         a :class:`CertainAnswerResult`.  When no solution exists,
         ``solutions_exist`` is False and, per the standard convention,
@@ -109,12 +135,35 @@ def certain_answers(
         the empty set otherwise (there are no candidate tuples to report).
     """
     stats: dict = {}
+
+    def degraded(
+        certain: set[tuple], solutions_exist: bool, exhausted: BudgetExceeded
+    ) -> CertainAnswerResult:
+        assert budget is not None
+        stats.update(budget.snapshot())
+        return CertainAnswerResult(
+            answers=certain,
+            solutions_exist=solutions_exist,
+            stats=stats,
+            status=SolveStatus(exhausted.status),
+            reason=str(exhausted),
+        )
+
     first_solution: Instance | None = None
-    for solution in _minimal_solutions(setting, source, target, node_budget, query=query):
-        first_solution = solution
-        break
+    try:
+        for solution in _minimal_solutions(
+            setting, source, target, node_budget, query=query, budget=budget
+        ):
+            first_solution = solution
+            break
+    except BudgetExceeded as exhausted:
+        if budget is None or budget.strict:
+            raise
+        return degraded(set(), False, exhausted)
     if first_solution is None:
         vacuous: set[tuple] = {()} if query.arity == 0 else set()
+        if budget is not None:
+            stats.update(budget.snapshot())
         return CertainAnswerResult(answers=vacuous, solutions_exist=False, stats=stats)
 
     candidates: list[tuple[InstanceTerm, ...]]
@@ -125,7 +174,22 @@ def certain_answers(
     stats["candidates"] = len(candidates)
 
     certain: set[tuple] = set()
-    for candidate in candidates:
-        if is_certain(setting, query, source, target, candidate, node_budget=node_budget):
-            certain.add(candidate)
+    try:
+        for candidate in candidates:
+            if is_certain(
+                setting,
+                query,
+                source,
+                target,
+                candidate,
+                node_budget=node_budget,
+                budget=budget,
+            ):
+                certain.add(candidate)
+    except BudgetExceeded as exhausted:
+        if budget is None or budget.strict:
+            raise
+        return degraded(certain, True, exhausted)
+    if budget is not None:
+        stats.update(budget.snapshot())
     return CertainAnswerResult(answers=certain, solutions_exist=True, stats=stats)

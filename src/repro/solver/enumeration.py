@@ -17,6 +17,7 @@ from repro.core.atoms import Fact
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
 from repro.core.terms import Constant, InstanceTerm, term_sort_key
+from repro.runtime.budget import DEFAULT_NODE_CAP, Budget
 from repro.solver.branching_chase import BranchingChaseSolver
 from repro.solver.valuation_search import (
     iter_minimal_solutions,
@@ -32,20 +33,26 @@ def enumerate_solutions(
     target: Instance,
     limit: int | None = None,
     node_budget: int | None = None,
+    budget: Budget | None = None,
 ) -> Iterator[Instance]:
     """Yield (deduplicated) minimal solutions for ``(source, target)``.
 
     For ``Σ_t = ∅`` these are the consistent valuations of the nulls of
     ``J_can``; otherwise they are the terminal instances of the branching
     chase.  ``limit`` caps the number of yielded solutions.
+
+    Generators cannot return a partial result, so budget exhaustion always
+    raises :class:`~repro.exceptions.BudgetExceeded`, strict or not.
     """
     if supports_valuation_search(setting):
         iterator: Iterator[Instance] = iter_minimal_solutions(
-            setting, source, target, node_budget=node_budget
+            setting, source, target, node_budget=node_budget, budget=budget
         )
     else:
-        budget = node_budget if node_budget is not None else 500_000
-        solver = BranchingChaseSolver(setting, source, target, node_budget=budget)
+        legacy_cap = node_budget if node_budget is not None else DEFAULT_NODE_CAP
+        solver = BranchingChaseSolver(
+            setting, source, target, node_budget=legacy_cap, budget=budget
+        )
 
         def deduplicated() -> Iterator[Instance]:
             seen: set[frozenset] = set()

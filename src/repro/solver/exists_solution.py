@@ -16,6 +16,16 @@ codes (``PDE101``...) that pushed the setting off the polynomial path; the
 same explanation is attached to the :class:`SolverError` raised when the
 tractable algorithm is forced on a setting outside ``C_tract``.
 
+Resource governance: every route accepts a
+:class:`~repro.runtime.Budget`.  With a non-strict budget, exhaustion —
+a cap, the wall-clock deadline, or cooperative cancellation — degrades
+into a :class:`SolveResult` whose ``status`` says what ran out instead
+of raising; a chase that exceeds its step ceiling
+(:class:`~repro.exceptions.ChaseNonTermination`) degrades the same way,
+since under governance "the chase did not finish" is a budget fact, not
+a crash.  The legacy ``node_budget`` int keeps its historical
+raise-on-exhaustion contract.
+
 ``find_solution`` additionally returns a witness solution.
 """
 
@@ -23,7 +33,8 @@ from __future__ import annotations
 
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
-from repro.exceptions import SolverError
+from repro.exceptions import BudgetExceeded, ChaseNonTermination, SolverError
+from repro.runtime.budget import DEFAULT_NODE_CAP, Budget, SolveStatus
 from repro.solver.branching_chase import exists_solution_branching
 from repro.solver.results import SolveResult
 from repro.solver.tractable import exists_solution_tractable
@@ -36,12 +47,39 @@ from repro.tractability.classifier import classify
 __all__ = ["solve", "find_solution"]
 
 
+def _governed(result_method: str, budget: Budget | None, run) -> SolveResult:
+    """Run ``run()`` and degrade exhaustion when ``budget`` is non-strict."""
+    try:
+        return run()
+    except BudgetExceeded as exhausted:
+        if budget is None or budget.strict:
+            raise
+        return SolveResult(
+            exists=False,
+            method=result_method,
+            stats=dict(budget.snapshot()),
+            status=SolveStatus(exhausted.status),
+            reason=str(exhausted),
+        )
+    except ChaseNonTermination as overrun:
+        if budget is None or budget.strict:
+            raise
+        return SolveResult(
+            exists=False,
+            method=result_method,
+            stats=dict(budget.snapshot()),
+            status=SolveStatus.BUDGET_EXHAUSTED,
+            reason=str(overrun),
+        )
+
+
 def solve(
     setting: PDESetting,
     source: Instance,
     target: Instance,
     method: str = "auto",
     node_budget: int | None = None,
+    budget: Budget | None = None,
 ) -> SolveResult:
     """Decide whether a solution exists for ``(source, target)`` in ``setting``.
 
@@ -52,15 +90,20 @@ def solve(
         target: the target instance ``J``.
         method: ``"auto"`` (default dispatch), or force one of
             ``"tractable"``, ``"valuation"``, ``"branching"``.
-        node_budget: optional cap on search nodes for the NP procedures.
+        node_budget: legacy cap on search nodes for the NP procedures;
+            exhaustion raises.  Ignored when ``budget`` is given.
+        budget: a :class:`~repro.runtime.Budget` governing the whole
+            solve.  Non-strict budgets degrade gracefully: the returned
+            result carries ``status`` / ``reason`` instead of raising.
 
     Returns:
         a :class:`SolveResult`; ``result.solution`` is a witness when one
-        exists.
+        exists and ``result.status`` says whether the answer is a theorem
+        (``DECIDED``) or a partial, budget-bounded attempt.
 
     Raises:
         SolverError: if a forced method is unsound/unsupported for the
-            setting, or a node budget is exhausted.
+            setting, or a strict/legacy budget is exhausted.
     """
     # Imported lazily: repro.analysis depends on the tractability layer, and
     # keeping it out of module import time keeps the solver import-light.
@@ -73,26 +116,60 @@ def solve(
                 "C_tract settings "
                 f"[{dispatch_explanation(setting, in_ctract=False)}]"
             )
-        return exists_solution_tractable(setting, source, target, check_membership=False)
+        return _governed(
+            "tractable",
+            budget,
+            lambda: exists_solution_tractable(
+                setting, source, target, check_membership=False, budget=budget
+            ),
+        )
     if method == "valuation":
-        return exists_solution_valuation(setting, source, target, node_budget=node_budget)
+        return _governed(
+            "valuation-search",
+            budget,
+            lambda: exists_solution_valuation(
+                setting, source, target, node_budget=node_budget, budget=budget
+            ),
+        )
     if method == "branching":
-        budget = node_budget if node_budget is not None else 500_000
-        return exists_solution_branching(setting, source, target, node_budget=budget)
+        legacy_cap = node_budget if node_budget is not None else DEFAULT_NODE_CAP
+        return _governed(
+            "branching-chase",
+            budget,
+            lambda: exists_solution_branching(
+                setting, source, target, node_budget=legacy_cap, budget=budget
+            ),
+        )
     if method != "auto":
         raise ValueError(f"unknown method {method!r}")
 
     report = classify(setting)
     if report.in_ctract:
-        return exists_solution_tractable(setting, source, target, check_membership=False)
+        return _governed(
+            "tractable",
+            budget,
+            lambda: exists_solution_tractable(
+                setting, source, target, check_membership=False, budget=budget
+            ),
+        )
     explanation = dispatch_explanation(setting, in_ctract=False)
     if supports_valuation_search(setting):
-        result = exists_solution_valuation(
-            setting, source, target, node_budget=node_budget
+        result = _governed(
+            "valuation-search",
+            budget,
+            lambda: exists_solution_valuation(
+                setting, source, target, node_budget=node_budget, budget=budget
+            ),
         )
     else:
-        budget = node_budget if node_budget is not None else 500_000
-        result = exists_solution_branching(setting, source, target, node_budget=budget)
+        legacy_cap = node_budget if node_budget is not None else DEFAULT_NODE_CAP
+        result = _governed(
+            "branching-chase",
+            budget,
+            lambda: exists_solution_branching(
+                setting, source, target, node_budget=legacy_cap, budget=budget
+            ),
+        )
     result.stats.setdefault("dispatch", explanation)
     return result
 
@@ -103,10 +180,14 @@ def find_solution(
     target: Instance,
     method: str = "auto",
     node_budget: int | None = None,
+    budget: Budget | None = None,
 ) -> Instance | None:
     """Return a witness solution for ``(source, target)``, or None.
 
     Thin wrapper over :func:`solve` for callers that only need the witness.
+    Degraded (non-``DECIDED``) results report None: no witness was found.
     """
-    result = solve(setting, source, target, method=method, node_budget=node_budget)
+    result = solve(
+        setting, source, target, method=method, node_budget=node_budget, budget=budget
+    )
     return result.solution if result.exists else None

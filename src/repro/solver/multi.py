@@ -12,9 +12,10 @@ from typing import Sequence
 
 from repro.core.instance import Instance
 from repro.core.setting import MultiPDESetting
+from repro.runtime.budget import Budget
 from repro.solver.exists_solution import solve
 from repro.solver.results import SolveResult
-from repro.exceptions import DependencyError
+from repro.exceptions import DependencyError, InvariantViolation
 
 __all__ = ["solve_multi"]
 
@@ -25,6 +26,7 @@ def solve_multi(
     target: Instance,
     method: str = "auto",
     node_budget: int | None = None,
+    budget: Budget | None = None,
 ) -> SolveResult:
     """Decide solution existence for a multi-PDE setting.
 
@@ -32,12 +34,17 @@ def solve_multi(
         multi: the family of member settings (shared target schema).
         sources: one source instance per member, in member order.
         target: the target peer's instance ``J``.
-        method, node_budget: forwarded to :func:`repro.solver.solve`.
+        method, node_budget, budget: forwarded to :func:`repro.solver.solve`.
 
     Returns:
         the merged-setting :class:`SolveResult`; when a witness exists it
         is additionally verified against every member setting (defense in
         depth for the Section 2 equivalence).
+
+    Raises:
+        InvariantViolation: if the merged-setting witness is rejected by a
+            member setting — the Section 2 equivalence failed, which
+            signals a library bug, never bad input.
     """
     if len(sources) != len(multi.members):
         raise DependencyError(
@@ -45,10 +52,12 @@ def solve_multi(
         )
     merged = multi.merge()
     union = multi.combine_sources(sources)
-    result = solve(merged, union, target, method=method, node_budget=node_budget)
+    result = solve(
+        merged, union, target, method=method, node_budget=node_budget, budget=budget
+    )
     if result.exists and result.solution is not None:
         if not multi.is_solution(list(sources), target, result.solution):
-            raise AssertionError(
+            raise InvariantViolation(
                 "merged-setting witness failed a member setting: the "
                 "Section 2 equivalence was violated (library bug)"
             )

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.instance import Instance
+from repro.runtime.budget import SolveStatus
 
 __all__ = ["SolveResult", "CertainAnswerResult"]
 
@@ -16,6 +17,9 @@ class SolveResult:
 
     Attributes:
         exists: whether a solution exists for the given ``(I, J)``.
+            Meaningful only when ``status`` is ``DECIDED``; a degraded
+            result reports False here because no witness was found, not
+            because non-existence was proved.
         solution: a witness solution when one exists and the solver can
             produce one cheaply (all solvers in this library can); None
             when ``exists`` is False.
@@ -23,12 +27,26 @@ class SolveResult:
             ``"valuation-search"``, or ``"branching-chase"``).
         stats: solver-specific counters (chase steps, blocks, nulls per
             block, search nodes, ...), useful for the benchmark harness.
+            On a degraded result these reflect the work done before the
+            budget ran out.
+        status: a :class:`~repro.runtime.SolveStatus`.  ``DECIDED`` means
+            the answer is definitive; ``BUDGET_EXHAUSTED`` / ``DEADLINE``
+            / ``CANCELLED`` mean the governed solver stopped early and
+            this is a partial result.
+        reason: human-readable detail for non-``DECIDED`` statuses.
     """
 
     exists: bool
     solution: Instance | None = None
     method: str = ""
     stats: dict[str, Any] = field(default_factory=dict)
+    status: SolveStatus = SolveStatus.DECIDED
+    reason: str = ""
+
+    @property
+    def decided(self) -> bool:
+        """True when the outcome is definitive (not a degraded partial)."""
+        return self.status is SolveStatus.DECIDED
 
     def __bool__(self) -> bool:
         return self.exists
@@ -40,17 +58,30 @@ class CertainAnswerResult:
 
     Attributes:
         answers: the set of certain answer tuples (for a Boolean query,
-            either ``{()}`` for true or ``set()`` for false).
+            either ``{()}`` for true or ``set()`` for false).  On a
+            degraded result (``status`` not ``DECIDED``) this holds only
+            the tuples *confirmed* certain before the budget ran out — a
+            sound under-approximation.
         solutions_exist: whether any solution exists at all.  When False,
             the certain answers are vacuously "everything"; ``answers``
             then holds the candidate tuples that were requested (or ``{()}``
             for Boolean queries), and callers should consult this flag.
         stats: solver counters.
+        status: a :class:`~repro.runtime.SolveStatus`; anything but
+            ``DECIDED`` marks a partial computation.
+        reason: human-readable detail for non-``DECIDED`` statuses.
     """
 
     answers: set[tuple]
     solutions_exist: bool
     stats: dict[str, Any] = field(default_factory=dict)
+    status: SolveStatus = SolveStatus.DECIDED
+    reason: str = ""
+
+    @property
+    def decided(self) -> bool:
+        """True when the outcome is definitive (not a degraded partial)."""
+        return self.status is SolveStatus.DECIDED
 
     @property
     def boolean_value(self) -> bool:

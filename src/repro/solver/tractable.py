@@ -28,31 +28,36 @@ from repro.core.chase import chase
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
 from repro.core.terms import InstanceTerm, Null
+from repro.runtime.budget import Budget, SolveStatus
 from repro.solver.results import SolveResult
 from repro.tractability.classifier import classify
-from repro.exceptions import SolverError
+from repro.exceptions import BudgetExceeded, SolverError
 
 __all__ = ["canonical_instances", "exists_solution_tractable"]
 
 
 def canonical_instances(
-    setting: PDESetting, source: Instance, target: Instance
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    budget: Budget | None = None,
 ) -> tuple[Instance, Instance, dict]:
     """Compute ``(J_can, I_can)`` for ``(source, target)``.
 
     ``J_can`` is the result of chasing ``(I, J)`` with ``Σ_st`` (target
     part); ``I_can`` is the result of chasing ``(J_can, ∅)`` with ``Σ_ts``
-    (source part).  Also returns chase statistics.
+    (source part).  Also returns chase statistics.  Both chases charge
+    ``budget`` when one is given.
     """
     combined = setting.combine(source, target)
-    st_result = chase(combined, setting.sigma_st)
+    st_result = chase(combined, setting.sigma_st, budget=budget)
     j_can = st_result.instance.restrict_to(setting.target_schema)
 
     # Chase (J_can, ∅): start from J_can alone over the combined schema so
     # the Σ_ts heads land in (what becomes) I_can, not in I.
     j_can_combined = Instance(schema=setting.combined_schema)
     j_can_combined.add_all(j_can)
-    ts_result = chase(j_can_combined, setting.sigma_ts)
+    ts_result = chase(j_can_combined, setting.sigma_ts, budget=budget)
     i_can = ts_result.instance.restrict_to(setting.source_schema)
 
     stats = {
@@ -86,6 +91,7 @@ def exists_solution_tractable(
     source: Instance,
     target: Instance,
     check_membership: bool = True,
+    budget: Budget | None = None,
 ) -> SolveResult:
     """Run the ``ExistsSolution`` algorithm of Figure 3.
 
@@ -97,6 +103,9 @@ def exists_solution_tractable(
         check_membership: verify ``C_tract`` membership first and raise
             :class:`SolverError` otherwise.  Disable only for experiments
             that deliberately run the algorithm outside its class.
+        budget: optional :class:`~repro.runtime.Budget`.  The algorithm is
+            polynomial, but governed deployments still deadline it; a
+            non-strict budget degrades into a partial result on exhaustion.
 
     Returns:
         a :class:`SolveResult`; when a solution exists, ``solution`` holds
@@ -112,21 +121,41 @@ def exists_solution_tractable(
     setting.validate_source_instance(source)
     setting.validate_target_instance(target)
 
-    j_can, i_can, stats = canonical_instances(setting, source, target)
-    blocks = decompose_into_blocks(i_can)
-    stats["blocks"] = len(blocks)
-    stats["max_nulls_per_block"] = max((block.null_count for block in blocks), default=0)
+    try:
+        j_can, i_can, stats = canonical_instances(setting, source, target, budget=budget)
+        blocks = decompose_into_blocks(i_can)
+        stats["blocks"] = len(blocks)
+        stats["max_nulls_per_block"] = max(
+            (block.null_count for block in blocks), default=0
+        )
 
-    # Import locally to avoid a hard cycle with the homomorphism helpers.
-    from repro.core.homomorphism import find_instance_homomorphism
+        # Import locally to avoid a hard cycle with the homomorphism helpers.
+        from repro.core.homomorphism import find_instance_homomorphism
 
-    combined_mapping: dict[Null, InstanceTerm] = {}
-    for block in blocks:
-        mapping = find_instance_homomorphism(block.facts, source)
-        if mapping is None:
-            return SolveResult(exists=False, method="tractable", stats=stats)
-        combined_mapping.update(mapping)
+        combined_mapping: dict[Null, InstanceTerm] = {}
+        for block in blocks:
+            if budget is not None:
+                budget.charge_node()  # one per-block embedding test
+            mapping = find_instance_homomorphism(block.facts, source)
+            if mapping is None:
+                if budget is not None:
+                    stats.update(budget.snapshot())
+                return SolveResult(exists=False, method="tractable", stats=stats)
+            combined_mapping.update(mapping)
+    except BudgetExceeded as exhausted:
+        if budget is None or budget.strict:
+            raise
+        stats = dict(budget.snapshot())
+        return SolveResult(
+            exists=False,
+            method="tractable",
+            stats=stats,
+            status=SolveStatus(exhausted.status),
+            reason=str(exhausted),
+        )
 
+    if budget is not None:
+        stats.update(budget.snapshot())
     solution = _assemble_solution(j_can, i_can, combined_mapping)
     return SolveResult(
         exists=True, solution=solution, method="tractable", stats=stats

@@ -47,7 +47,8 @@ from repro.core.homomorphism import find_homomorphism, iter_homomorphisms
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
 from repro.core.terms import InstanceTerm, Null, Variable, is_variable, term_sort_key
-from repro.exceptions import SolverError
+from repro.exceptions import BudgetExceeded, SolverError
+from repro.runtime.budget import Budget, SolveStatus
 from repro.solver.results import SolveResult
 
 __all__ = [
@@ -79,6 +80,7 @@ class ValuationSearch:
         source: Instance,
         target: Instance,
         relevant_queries: Sequence = (),
+        budget: Budget | None = None,
     ):
         if not supports_valuation_search(setting):
             raise SolverError(
@@ -91,12 +93,13 @@ class ValuationSearch:
         self.setting = setting
         self.source = source
         self.target = target
+        self.budget = budget
         self._egds = setting.target_egds()
         self._full_tgds = setting.target_tgds()
         self.stats: dict[str, int] = {"nodes": 0, "violations": 0}
 
         combined = setting.combine(source, target)
-        st_result = chase(combined, setting.sigma_st)
+        st_result = chase(combined, setting.sigma_st, budget=budget)
         self.j_can = st_result.instance.restrict_to(setting.target_schema)
         self.stats["st_chase_steps"] = st_result.step_count
         self.stats["j_can_size"] = len(self.j_can)
@@ -398,9 +401,15 @@ class ValuationSearch:
             leaf_predicate: optional extra acceptance test on the candidate
                 solution; valuations failing it are skipped (but the search
                 continues).
-            node_budget: optional cap on visited search nodes; exceeded
-                budgets raise :class:`SolverError`.
+            node_budget: optional cap on visited search nodes (legacy;
+                ignored when the search was built with a ``budget``);
+                exhaustion raises :class:`~repro.exceptions.BudgetExceeded`,
+                a :class:`SolverError`.
         """
+        budget = self.budget
+        if budget is None:
+            budget = Budget.from_legacy(node_budget)
+            self.budget = budget
         decided = Instance(schema=self.setting.target_schema)
         pending = list(self._pending)
         valuation: dict[Null, InstanceTerm] = {}
@@ -415,7 +424,7 @@ class ValuationSearch:
                         return
 
         yield from self._search(
-            0, decided, pending, valuation, leaf_predicate, node_budget
+            0, decided, pending, valuation, leaf_predicate, budget
         )
 
     def _leaf(
@@ -439,11 +448,11 @@ class ValuationSearch:
         pending: list[int],
         valuation: dict[Null, InstanceTerm],
         leaf_predicate: Callable[[Instance], bool] | None,
-        node_budget: int | None,
+        budget: Budget | None,
     ) -> Iterator[Instance]:
         self.stats["nodes"] += 1
-        if node_budget is not None and self.stats["nodes"] > node_budget:
-            raise SolverError(f"valuation search exceeded node budget {node_budget}")
+        if budget is not None:
+            budget.charge_node()
         if depth == len(self.nulls):
             yield from self._leaf(decided, leaf_predicate)
             return
@@ -472,7 +481,7 @@ class ValuationSearch:
                             break
             if consistent:
                 yield from self._search(
-                    depth + 1, decided, pending, valuation, leaf_predicate, node_budget
+                    depth + 1, decided, pending, valuation, leaf_predicate, budget
                 )
             # Undo.
             for fact in completed:
@@ -487,22 +496,59 @@ def exists_solution_valuation(
     source: Instance,
     target: Instance,
     node_budget: int | None = None,
+    budget: Budget | None = None,
 ) -> SolveResult:
     """Decide ``SOL(P)(I, J)`` when ``Σ_t`` has only egds and full tgds.
 
     Complete for arbitrary ``Σ_st`` tgds and arbitrary (possibly
     disjunctive) ``Σ_ts`` tgds.  Worst-case exponential, as Theorem 3 says
     it must be (unless P = NP).
+
+    With a non-strict ``budget``, exhaustion (caps, deadline, or
+    cancellation) degrades into a partial :class:`SolveResult` whose
+    ``status`` names what ran out; the legacy ``node_budget`` path (and
+    any ``strict`` budget) raises :class:`~repro.exceptions.BudgetExceeded`
+    instead.
     """
-    search = ValuationSearch(setting, source, target)
-    for candidate in search.iter_valuations(node_budget=node_budget):
+
+    def degraded(search: "ValuationSearch | None", exhausted: BudgetExceeded) -> SolveResult:
+        stats = dict(search.stats) if search is not None else {}
+        if budget is not None:
+            stats.update(budget.snapshot())
         return SolveResult(
-            exists=True,
-            solution=candidate,
+            exists=False,
             method="valuation-search",
-            stats=dict(search.stats),
+            stats=stats,
+            status=SolveStatus(exhausted.status),
+            reason=str(exhausted),
         )
-    return SolveResult(exists=False, method="valuation-search", stats=dict(search.stats))
+
+    try:
+        search = ValuationSearch(setting, source, target, budget=budget)
+    except BudgetExceeded as exhausted:
+        # The Σ_st chase that builds J_can is itself governed.
+        if budget is None or budget.strict:
+            raise
+        return degraded(None, exhausted)
+    try:
+        for candidate in search.iter_valuations(node_budget=node_budget):
+            stats = dict(search.stats)
+            if search.budget is not None:
+                stats.update(search.budget.snapshot())
+            return SolveResult(
+                exists=True,
+                solution=candidate,
+                method="valuation-search",
+                stats=stats,
+            )
+    except BudgetExceeded as exhausted:
+        if search.budget is None or search.budget.strict:
+            raise
+        return degraded(search, exhausted)
+    stats = dict(search.stats)
+    if search.budget is not None:
+        stats.update(search.budget.snapshot())
+    return SolveResult(exists=False, method="valuation-search", stats=stats)
 
 
 def iter_minimal_solutions(
@@ -511,6 +557,7 @@ def iter_minimal_solutions(
     target: Instance,
     node_budget: int | None = None,
     relevant_queries: Sequence = (),
+    budget: Budget | None = None,
 ) -> Iterator[Instance]:
     """Yield the canonical minimal solutions (duplicates suppressed).
 
@@ -521,8 +568,14 @@ def iter_minimal_solutions(
     evaluate a query over the yielded solutions must list it in
     ``relevant_queries`` so the sensitivity analysis keeps the nulls it can
     observe unfixed.
+
+    Generators cannot return a partial result, so budget exhaustion always
+    raises :class:`~repro.exceptions.BudgetExceeded` here, strict or not;
+    governed callers catch it and degrade.
     """
-    search = ValuationSearch(setting, source, target, relevant_queries=relevant_queries)
+    search = ValuationSearch(
+        setting, source, target, relevant_queries=relevant_queries, budget=budget
+    )
     seen: set[frozenset] = set()
     for candidate in search.iter_valuations(node_budget=node_budget):
         key = frozenset((fact.relation, fact.args) for fact in candidate)

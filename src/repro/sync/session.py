@@ -24,6 +24,21 @@ The incremental trick: imported facts that are still consistent with
 ``I_t`` are passed as part of the target instance, so the solver's chase
 starts from the previous materialization instead of from scratch; facts
 that lost their justification are retracted first (and reported).
+
+Resilience (the :mod:`repro.runtime` integration):
+
+* a round may be governed by a :class:`~repro.runtime.Budget`; when the
+  budget runs out the round *degrades* — the outcome reports a
+  non-``DECIDED`` :class:`~repro.runtime.SolveStatus` and the state stays
+  unchanged — instead of corrupting the materialization;
+* a :class:`~repro.runtime.RetryPolicy` re-attempts budget-exhausted
+  rounds with escalated caps and jittered backoff (deadline expiry and
+  cancellation are never retried: the deadline is shared by all attempts,
+  and cancellation is a directive);
+* a :class:`~repro.runtime.SessionJournal` makes the session crash-safe:
+  each successful round is committed to the journal *before* the
+  in-memory state is updated, and :meth:`SyncSession.resume` rebuilds a
+  session from the journal after a crash.
 """
 
 from __future__ import annotations
@@ -31,9 +46,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.chase import satisfies
+from repro.core.dependencies import TGD
+from repro.core.homomorphism import find_homomorphism, iter_homomorphisms
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
-from repro.exceptions import SolverError
+from repro.exceptions import BudgetExceeded, SolverError
+from repro.runtime.budget import Budget, SolveStatus
+from repro.runtime.journal import SessionJournal
+from repro.runtime.retry import RetryPolicy
 from repro.solver.exists_solution import solve
 
 __all__ = ["SyncOutcome", "SyncSession"]
@@ -49,7 +69,15 @@ class SyncOutcome:
         retracted: previously imported facts dropped because the source no
             longer vouches for them.
         state: the materialized target state after the round.
-        reason: when ``ok`` is False, why the round was rejected.
+        reason: when ``ok`` is False, why the round was rejected (or what
+            budget ran out, for degraded rounds).
+        status: ``DECIDED`` when the round ran to completion (successfully
+            or as a definitive rejection); a degraded status
+            (``BUDGET_EXHAUSTED`` / ``DEADLINE`` / ``CANCELLED``) when the
+            governed solve gave up — the state is untouched and the round
+            may simply be re-run later.
+        attempts: how many solve attempts the round used (> 1 when a
+            :class:`~repro.runtime.RetryPolicy` escalated a budget).
     """
 
     ok: bool
@@ -57,11 +85,18 @@ class SyncOutcome:
     retracted: Instance
     state: Instance
     reason: str = ""
+    status: SolveStatus = SolveStatus.DECIDED
+    attempts: int = 1
 
     @property
     def changed(self) -> bool:
         """Did the round modify the materialized state?"""
         return bool(len(self.added) or len(self.retracted))
+
+    @property
+    def degraded(self) -> bool:
+        """True when the round gave up on a budget rather than deciding."""
+        return self.status is not SolveStatus.DECIDED
 
 
 @dataclass
@@ -72,12 +107,34 @@ class SyncSession:
         setting: the PDE setting governing the exchange.
         pinned: the target peer's own facts — the ``J`` of Definition 2;
             every materialization must contain them.
+        journal: optional :class:`~repro.runtime.SessionJournal`; when
+            given, every successful round is durably committed before the
+            in-memory state changes, and :meth:`resume` can rebuild the
+            session after a crash.
+        retry: optional :class:`~repro.runtime.RetryPolicy` applied to
+            budget-exhausted rounds.
     """
 
     setting: PDESetting
     pinned: Instance = field(default_factory=Instance)
+    journal: SessionJournal | None = None
+    retry: RetryPolicy | None = None
     _imported: Instance = field(default_factory=Instance)
     rounds: int = 0
+
+    @classmethod
+    def resume(cls, journal: SessionJournal) -> "SyncSession":
+        """Rebuild a session from its journal (after a crash or restart).
+
+        The restored session has the setting, pinned facts, imported
+        facts, and round counter of the last durably committed round;
+        un-committed work is simply re-run by the next :meth:`sync`.
+        """
+        state = journal.load()
+        session = cls(setting=state.setting, pinned=state.pinned, journal=journal)
+        session._imported = state.imported
+        session.rounds = state.rounds
+        return session
 
     def state(self) -> Instance:
         """The current materialized target state (pinned + imported)."""
@@ -102,9 +159,6 @@ class SyncSession:
             if satisfies(combined, self.setting.sigma_ts):
                 break
             # Drop one imported fact from some violated premise and retry.
-            from repro.core.homomorphism import iter_homomorphisms
-            from repro.core.dependencies import TGD
-
             for dependency in self.setting.sigma_ts:
                 for assignment in iter_homomorphisms(dependency.body, survivors):
                     exported = {
@@ -112,8 +166,6 @@ class SyncSession:
                         for v, value in assignment.items()
                         if v in dependency.body_variables()
                     }
-                    from repro.core.homomorphism import find_homomorphism
-
                     satisfied = False
                     if isinstance(dependency, TGD):
                         used = set()
@@ -165,36 +217,84 @@ class SyncSession:
                 kept.add(fact)
         return kept, retracted
 
-    def sync(self, source: Instance, node_budget: int | None = None) -> SyncOutcome:
+    def _unchanged(
+        self, reason: str, status: SolveStatus, attempts: int
+    ) -> SyncOutcome:
+        """A failed/degraded outcome leaving the materialization untouched."""
+        empty = Instance(schema=self.setting.target_schema)
+        return SyncOutcome(
+            ok=False,
+            added=empty,
+            retracted=empty.copy(),
+            state=self.state(),
+            reason=reason,
+            status=status,
+            attempts=attempts,
+        )
+
+    def sync(
+        self,
+        source: Instance,
+        node_budget: int | None = None,
+        budget: Budget | None = None,
+    ) -> SyncOutcome:
         """Run one synchronization round against a new source snapshot.
 
         Returns a :class:`SyncOutcome`; when the round is rejected (the
-        *pinned* facts themselves are incompatible with the new source),
-        the materialized state is left unchanged.
+        *pinned* facts themselves are incompatible with the new source) or
+        degraded (a governed solve ran out of budget), the materialized
+        state is left unchanged.
+
+        With a non-strict ``budget`` and a session ``retry`` policy,
+        budget-exhausted attempts are re-run with escalated caps after a
+        jittered backoff; deadline and cancellation degradations are
+        returned immediately.
         """
-        self.rounds += 1
         kept, retracted = self._still_justified(source)
         seed = self.pinned.union(kept)
-        try:
-            result = solve(self.setting, source, seed, node_budget=node_budget)
-        except SolverError as error:
-            return SyncOutcome(
-                ok=False,
-                added=Instance(),
-                retracted=Instance(),
-                state=self.state(),
-                reason=str(error),
-            )
+
+        max_attempts = self.retry.max_attempts if self.retry is not None else 1
+        attempt = 0
+        while True:
+            attempt_budget = budget
+            if attempt > 0 and self.retry is not None and budget is not None:
+                attempt_budget = self.retry.escalate(budget, attempt)
+            try:
+                result = solve(
+                    self.setting,
+                    source,
+                    seed,
+                    node_budget=node_budget,
+                    budget=attempt_budget,
+                )
+            except BudgetExceeded as exhausted:
+                # Strict/legacy budgets raise; treat the raise like a
+                # degraded attempt so the retry policy still applies.
+                result = None
+                status = SolveStatus(exhausted.status)
+                reason = str(exhausted)
+            except SolverError as error:
+                return self._unchanged(
+                    str(error), SolveStatus.DECIDED, attempts=attempt + 1
+                )
+            if result is not None:
+                if result.decided:
+                    break
+                status = result.status
+                reason = result.reason
+            retriable = status is SolveStatus.BUDGET_EXHAUSTED
+            if not retriable or attempt + 1 >= max_attempts:
+                return self._unchanged(reason, status, attempts=attempt + 1)
+            assert self.retry is not None
+            self.retry.pause(attempt)
+            attempt += 1
+
         if not result.exists:
-            return SyncOutcome(
-                ok=False,
-                added=Instance(),
-                retracted=Instance(),
-                state=self.state(),
-                reason=(
-                    "the target's pinned facts are incompatible with the new "
-                    "source snapshot"
-                ),
+            return self._unchanged(
+                "the target's pinned facts are incompatible with the new "
+                "source snapshot",
+                SolveStatus.DECIDED,
+                attempts=attempt + 1,
             )
 
         new_state = result.solution
@@ -203,13 +303,22 @@ class SyncSession:
         for fact in new_state:
             if fact not in previous:
                 added.add(fact)
-        self._imported = Instance(schema=self.setting.target_schema)
+        imported = Instance(schema=self.setting.target_schema)
         for fact in new_state:
             if fact not in self.pinned:
-                self._imported.add(fact)
+                imported.add(fact)
+        round_number = self.rounds + 1
+        if self.journal is not None:
+            # Commit durably before mutating in-memory state: a crash
+            # between the two replays to the committed round.
+            self.journal.ensure_header(self.setting, self.pinned)
+            self.journal.record_round(round_number, imported, added, retracted)
+        self.rounds = round_number
+        self._imported = imported
         return SyncOutcome(
             ok=True,
             added=added,
             retracted=retracted,
             state=self.state(),
+            attempts=attempt + 1,
         )

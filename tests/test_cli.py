@@ -137,3 +137,131 @@ class TestDescribeCommand:
         main(["describe", str(setting), "--dot", "positions"])
         out = capsys.readouterr().out
         assert out.startswith("digraph positions {")
+
+
+@pytest.fixture
+def governance_files(tmp_path):
+    """A C_tract LAV setting whose solves charge one node per null block."""
+    from repro.core.setting import PDESetting
+
+    setting = PDESetting.from_text(
+        source={"A": 1, "R": 2},
+        target={"T": 2},
+        st="A(x) -> T(x, y)",
+        ts="T(x, y) -> R(x, y)",
+        name="governed",
+    )
+    setting_path = tmp_path / "setting.json"
+    setting_path.write_text(dumps_setting(setting, indent=2))
+    source = tmp_path / "source.txt"
+    source.write_text(
+        "; ".join(f"A(a{i})" for i in range(3))
+        + "; "
+        + "; ".join(f"R(a{i}, b{i})" for i in range(3))
+    )
+    return setting_path, source
+
+
+class TestBudgetOptions:
+    def test_solve_budget_exhaustion_exits_degraded(
+        self, governance_files, capsys
+    ):
+        setting, source = governance_files
+        code = main(["solve", str(setting), str(source), "--budget", "1"])
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "status: budget-exhausted" in out
+
+    def test_solve_expired_deadline_exits_degraded(self, governance_files, capsys):
+        setting, source = governance_files
+        code = main(["solve", str(setting), str(source), "--deadline", "0"])
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "status: deadline" in out
+
+    def test_solve_with_generous_budget_succeeds(self, governance_files, capsys):
+        setting, source = governance_files
+        code = main(["solve", str(setting), str(source), "--budget", "100000"])
+        assert code == 0
+        assert "solution exists: True" in capsys.readouterr().out
+
+    def test_certain_budget_exhaustion_exits_degraded(
+        self, governance_files, capsys
+    ):
+        setting, source = governance_files
+        code = main(
+            ["certain", str(setting), str(source), "--query", "T(x, y)",
+             "--budget", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "status: budget-exhausted" in out
+        assert "confirmed certain before the budget ran out" in out
+
+
+class TestSyncCommand:
+    @pytest.fixture
+    def registry_files(self, tmp_path):
+        from repro.core.setting import PDESetting
+
+        setting = PDESetting.from_text(
+            source={"reg": 2},
+            target={"db": 2},
+            st="reg(k, v) -> db(k, v)",
+            ts="db(k, v) -> reg(k, v)",
+            name="registry",
+        )
+        setting_path = tmp_path / "registry.json"
+        setting_path.write_text(dumps_setting(setting, indent=2))
+        snap1 = tmp_path / "snap1.txt"
+        snap1.write_text("reg(a, 1)")
+        snap2 = tmp_path / "snap2.txt"
+        snap2.write_text("reg(a, 1); reg(b, 2)")
+        return setting_path, snap1, snap2
+
+    def test_successful_rounds_exit_zero(self, registry_files, capsys):
+        setting, snap1, snap2 = registry_files
+        code = main(["sync", str(setting), str(snap1), str(snap2)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "round 1: ok" in out
+        assert "round 2: ok" in out
+
+    def test_rejected_round_exits_one(self, registry_files, tmp_path, capsys):
+        setting, snap1, _snap2 = registry_files
+        pinned = tmp_path / "pinned.txt"
+        pinned.write_text("db(own, data)")  # snap1 does not vouch for it
+        code = main(["sync", str(setting), str(snap1), "--pinned", str(pinned)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "rejected" in out
+
+    def test_degraded_round_exits_four(self, governance_files, capsys):
+        setting, source = governance_files
+        code = main(["sync", str(setting), str(source), "--budget", "1"])
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "degraded" in out
+        assert "budget-exhausted" in out
+
+    def test_retries_escalate_the_budget(self, governance_files, capsys):
+        setting, source = governance_files
+        code = main(
+            ["sync", str(setting), str(source), "--budget", "1", "--retries", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "attempts: 2" in out
+
+    def test_journal_resume_continues_the_round_counter(
+        self, registry_files, tmp_path, capsys
+    ):
+        setting, snap1, snap2 = registry_files
+        journal = tmp_path / "session.journal"
+        assert main(["sync", str(setting), str(snap1), "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        code = main(["sync", str(setting), str(snap2), "--journal", str(journal)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed from journal at round 1" in out
+        assert "round 2: ok" in out

@@ -129,3 +129,27 @@ class TestSolveMulti:
         multi = MultiPDESetting(make_members())
         with pytest.raises(DependencyError):
             solve_multi(multi, [parse_instance("A(a, b)")], Instance())
+
+    def test_bogus_witness_raises_invariant_violation(self, monkeypatch):
+        # If the merged-setting solve ever returned a witness that a member
+        # setting rejects, the Section 2 equivalence would be violated — a
+        # library bug, reported as InvariantViolation rather than a bare
+        # AssertionError so callers can catch it under ReproError.
+        import repro.solver.multi as multi_module
+        from repro.exceptions import InvariantViolation, ReproError, SolverError
+        from repro.solver.multi import solve_multi
+        from repro.solver.results import SolveResult
+
+        assert issubclass(InvariantViolation, ReproError)
+        assert not issubclass(InvariantViolation, SolverError)
+
+        bogus = parse_instance("H(x, x); H(y, y)")
+        monkeypatch.setattr(
+            multi_module,
+            "solve",
+            lambda *args, **kwargs: SolveResult(exists=True, solution=bogus),
+        )
+        multi = MultiPDESetting(make_members())
+        sources = [parse_instance("A(a, b)"), parse_instance("B(b, a)")]
+        with pytest.raises(InvariantViolation, match="Section 2 equivalence"):
+            solve_multi(multi, sources, Instance())

@@ -5,6 +5,7 @@ import pytest
 from repro.core.instance import Instance
 from repro.core.parser import parse_instance
 from repro.core.setting import PDESetting
+from repro.runtime import Budget, SolveStatus
 from repro.sync import SyncSession
 from repro.workloads import generate_genomics_data, genomics_setting
 
@@ -114,6 +115,49 @@ class TestSolutionInvariant:
         assert outcome1.ok and outcome2.ok
         assert len(outcome2.added) > 0
         assert setting.is_solution(second, Instance(), session.state())
+
+    def test_disjunctive_ts_any_satisfied_disjunct_justifies(self):
+        # Σ_ts with a disjunctive head: an imported fact stays justified as
+        # long as *some* disjunct holds in the new source, and is retracted
+        # only when every disjunct fails.
+        setting = PDESetting.from_text(
+            source={"reg": 2, "alt": 2},
+            target={"db": 2},
+            st="reg(k, v) -> db(k, v)",
+            ts="db(k, v) -> (reg(k, v)) | (alt(k, v))",
+            name="mirrored-registry",
+        )
+        session = SyncSession(setting)
+        first = session.sync(parse_instance("reg(a, 1); reg(b, 2)"))
+        assert first.ok
+        assert session.state() == parse_instance("db(a, 1); db(b, 2)")
+
+        # reg withdraws both rows, but alt still vouches for (a, 1): only
+        # db(b, 2) loses its justification.
+        second = session.sync(parse_instance("alt(a, 1)"))
+        assert second.ok
+        assert second.retracted == parse_instance("db(b, 2)")
+        assert session.state() == parse_instance("db(a, 1)")
+
+        # Now neither disjunct vouches for (a, 1) either.
+        third = session.sync(parse_instance("alt(z, 9)"))
+        assert third.ok
+        assert third.retracted == parse_instance("db(a, 1)")
+        assert session.state() == Instance(schema=setting.target_schema)
+
+    def test_budget_exhausted_round_degrades(self, registry_setting):
+        session = SyncSession(registry_setting)
+        assert session.sync(parse_instance("reg(a, 1)")).ok
+        before = session.state()
+        outcome = session.sync(
+            parse_instance("reg(a, 1); reg(b, 2); reg(c, 3)"),
+            budget=Budget(chase_step_cap=1),
+        )
+        assert not outcome.ok
+        assert outcome.degraded
+        assert outcome.status is SolveStatus.BUDGET_EXHAUSTED
+        assert session.state() == before
+        assert session.rounds == 1
 
     def test_incremental_matches_from_scratch(self, registry_setting):
         from repro.solver import solve
