@@ -4,11 +4,26 @@ Each ``bench_*.py`` module regenerates one experiment from DESIGN.md's
 per-experiment index.  Benchmarks print the table rows they produce (run
 with ``-s`` to see them); ``pytest-benchmark`` captures the timing
 distributions.
+
+Benchmarks that also want a machine-readable record use the ``record``
+fixture: each ``record(name, payload)`` call appends one measurement, and
+when at least one was recorded the session writes ``BENCH_obs.json`` at
+the repository root — a schema-versioned document CI can diff or chart
+without scraping the printed tables.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+#: Measurements recorded via the ``record`` fixture this session.
+_RECORDED: list[dict] = []
+
+#: Schema version of ``BENCH_obs.json``; bump when the layout changes.
+BENCH_SCHEMA_VERSION = 1
 
 
 def print_table(title: str, header: list[str], rows: list[list]) -> None:
@@ -28,3 +43,30 @@ def print_table(title: str, header: list[str], rows: list[list]) -> None:
 def table():
     """Fixture handing the table printer to benchmark bodies."""
     return print_table
+
+
+@pytest.fixture
+def record():
+    """Fixture recording one named measurement into ``BENCH_obs.json``.
+
+    Call as ``record("bench_obs.tracer_overhead", {...})`` with a
+    JSON-serializable payload; the file is written once at session end.
+    """
+
+    def _record(name: str, payload: dict) -> None:
+        _RECORDED.append({"name": name, **payload})
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_obs.json`` when any benchmark recorded measurements."""
+    if not _RECORDED:
+        return
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "format": "repro-bench",
+        "results": _RECORDED,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

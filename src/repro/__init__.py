@@ -70,6 +70,14 @@ from repro.exceptions import (
     ReproError,
     SchemaError,
     SolverError,
+    TraceError,
+)
+from repro.obs import (
+    MetricsRegistry,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
 )
 from repro.runtime import (
     Budget,
@@ -141,6 +149,12 @@ __all__ = [
     "ReproError",
     "SchemaError",
     "SolverError",
+    "TraceError",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
     "Budget",
     "CancellationToken",
     "RetryPolicy",

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli certain   setting.json source.txt --query "H(x, y)"
     python -m repro.cli chase     setting.json source.txt [target.txt]
     python -m repro.cli sync      setting.json snap1.txt [snap2.txt ...]
+    python -m repro.cli profile   clique [--size N] [--top K] [--trace out.jsonl]
 
 Setting files use the JSON format of :mod:`repro.io.serialization`;
 instance files use the parser's text syntax (``E(a, b); E(b, c)`` — with
@@ -27,6 +28,17 @@ from 1 (a definitive negative answer).  ``sync`` replays one round per
 snapshot file, optionally journaling to ``--journal`` for crash-safe
 resumption, and exits 4 when any round degraded, else 1 when any round
 was rejected, else 0.
+
+Observability: ``solve``, ``certain``, and ``sync`` accept ``--trace
+PATH`` (record a span tree to a JSONL file readable with
+:mod:`repro.obs`) and ``--metrics`` (print the metrics summary after the
+result).  ``profile`` runs a named workload from
+:mod:`repro.workloads` under a tracer and prints the hottest spans::
+
+    python -m repro.cli profile clique --top 10
+    python -m repro.cli profile genomics --trace out.jsonl --chrome out.json
+    python -m repro.cli profile --list
+    python -m repro.cli profile --check   # smoke-run every workload
 """
 
 from __future__ import annotations
@@ -92,6 +104,44 @@ def _add_budget_options(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace", metavar="PATH",
+        help="record a span trace of the run to a JSONL file",
+    )
+    command.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics summary after the result",
+    )
+
+
+def _build_obs(args: argparse.Namespace):
+    """(tracer, registry) from ``--trace`` / ``--metrics``, each optional."""
+    tracer = registry = None
+    if getattr(args, "trace", None):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    if getattr(args, "metrics", False):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    return tracer, registry
+
+
+def _finish_obs(args: argparse.Namespace, tracer, registry) -> None:
+    """Flush the trace file and print the metrics summary, if requested."""
+    if tracer is not None:
+        from repro.obs import write_trace_jsonl
+
+        spans = write_trace_jsonl(tracer, args.trace)
+        print(f"trace: {spans} spans written to {args.trace}", file=sys.stderr)
+    if registry is not None:
+        print("metrics:")
+        summary = registry.summary()
+        print("  " + summary.replace("\n", "\n  ") if summary else "  (empty)")
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     setting = _load_setting(args.setting)
     report = classify(setting)
@@ -138,7 +188,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     source = _load_instance(args.source)
     target = _load_instance(args.target)
     budget = _build_budget(args)
-    result = solve(setting, source, target, method=args.method, budget=budget)
+    tracer, registry = _build_obs(args)
+    result = solve(
+        setting, source, target, method=args.method, budget=budget,
+        tracer=tracer, metrics=registry,
+    )
     print(f"solution exists: {result.exists}  (method: {result.method})")
     if not result.decided:
         print(f"status: {result.status}  ({result.reason})")
@@ -149,6 +203,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             print(dumps_instance(result.solution, indent=2))
         else:
             print(f"witness: {result.solution.pretty()}")
+    _finish_obs(args, tracer, registry)
     if not result.decided:
         return EXIT_DEGRADED
     return 0 if result.exists else 1
@@ -170,7 +225,11 @@ def _cmd_certain(args: argparse.Namespace) -> int:
     target = _load_instance(args.target)
     query = parse_query(args.query)
     budget = _build_budget(args)
-    result = certain_answers(setting, query, source, target, budget=budget)
+    tracer, registry = _build_obs(args)
+    result = certain_answers(
+        setting, query, source, target, budget=budget,
+        tracer=tracer, metrics=registry,
+    )
     if not result.decided:
         print(
             f"status: {result.status}  ({result.reason}); answers below are "
@@ -184,6 +243,7 @@ def _cmd_certain(args: argparse.Namespace) -> int:
         print(f"{len(result.answers)} certain answers of {query}:")
         for row in sorted(result.answers, key=str):
             print("  (" + ", ".join(str(value) for value in row) + ")")
+    _finish_obs(args, tracer, registry)
     return 0 if result.decided else EXIT_DEGRADED
 
 
@@ -214,12 +274,13 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         pinned = _load_instance(args.pinned)
         session = SyncSession(setting, pinned=pinned, journal=journal, retry=retry)
 
+    tracer, registry = _build_obs(args)
     any_rejected = False
     any_degraded = False
     for path in args.snapshots:
         snapshot = _load_instance(path)
         budget = _build_budget(args)  # fresh per round: counters reset
-        outcome = session.sync(snapshot, budget=budget)
+        outcome = session.sync(snapshot, budget=budget, tracer=tracer, metrics=registry)
         if outcome.ok:
             print(
                 f"round {session.rounds}: ok  "
@@ -236,9 +297,90 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         else:
             any_rejected = True
             print(f"round (rejected): {outcome.reason} (state unchanged)")
+    _finish_obs(args, tracer, registry)
     if any_degraded:
         return EXIT_DEGRADED
     return 1 if any_rejected else 0
+
+
+def _profile_run(workload, size: int):
+    """Run one profiling workload under a fresh tracer.
+
+    Returns ``(tracer, result)`` where ``result`` is the
+    :class:`repro.solver.results.SolveResult` of the traced solve.
+    """
+    from repro.obs import MetricsRegistry, Tracer
+
+    setting, source, target = workload.build(size)
+    tracer = Tracer()
+    result = solve(setting, source, target, tracer=tracer, metrics=MetricsRegistry())
+    return tracer, result
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import aggregate_spans, render_span_tree, write_chrome_trace, write_trace_jsonl
+    from repro.workloads import profile_workloads
+
+    registry = profile_workloads()
+    if args.list:
+        for workload in registry.values():
+            print(
+                f"{workload.name:<14s} [{workload.kind}] "
+                f"size={workload.default_size}  {workload.description}"
+            )
+        return 0
+
+    if args.check:
+        # Smoke-run every workload at its tiny size; fail loudly if any
+        # solve errors or produces an empty trace.
+        for workload in registry.values():
+            tracer, result = _profile_run(workload, workload.smoke_size)
+            spans = sum(1 for root in tracer.roots for _ in root.walk())
+            print(
+                f"{workload.name}: ok  method={result.method} "
+                f"exists={result.exists} spans={spans}"
+            )
+            if spans == 0:
+                print(f"{workload.name}: empty trace", file=sys.stderr)
+                return 2
+        return 0
+
+    if not args.workload:
+        print(
+            "profile: a workload name is required (or --list / --check)",
+            file=sys.stderr,
+        )
+        return 2
+    workload = registry.get(args.workload)
+    if workload is None:
+        known = ", ".join(sorted(registry))
+        print(f"profile: unknown workload {args.workload!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+
+    size = args.size if args.size is not None else workload.default_size
+    tracer, result = _profile_run(workload, size)
+    print(f"workload: {workload.name} (size {size}) — {workload.description}")
+    print(f"solution exists: {result.exists}  (method: {result.method})")
+    print()
+    print(render_span_tree(tracer))
+    print()
+    entries = aggregate_spans(tracer, top=args.top)
+    width = max((len(entry["name"]) for entry in entries), default=4)
+    print(f"top {len(entries)} spans by self time:")
+    print(f"  {'span':<{width}s}  count  total(ms)  self(ms)")
+    for entry in entries:
+        print(
+            f"  {entry['name']:<{width}s}  {entry['count']:5d}  "
+            f"{entry['total_s'] * 1000:9.2f}  {entry['self_s'] * 1000:8.2f}"
+        )
+    if args.trace:
+        spans = write_trace_jsonl(tracer, args.trace)
+        print(f"trace: {spans} spans written to {args.trace}", file=sys.stderr)
+    if args.chrome:
+        write_chrome_trace(tracer, args.chrome)
+        print(f"chrome trace written to {args.chrome}", file=sys.stderr)
+    return 0
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
@@ -288,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve_cmd.add_argument("--json", action="store_true", help="JSON witness output")
     _add_budget_options(solve_cmd)
+    _add_obs_options(solve_cmd)
     solve_cmd.set_defaults(handler=_cmd_solve)
 
     explain_cmd = commands.add_parser("explain", help="explain the outcome")
@@ -302,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
     certain_cmd.add_argument("target", nargs="?")
     certain_cmd.add_argument("--query", required=True)
     _add_budget_options(certain_cmd)
+    _add_obs_options(certain_cmd)
     certain_cmd.set_defaults(handler=_cmd_certain)
 
     sync_cmd = commands.add_parser(
@@ -318,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="attempts per round, with budget escalation (default: 1)",
     )
     _add_budget_options(sync_cmd)
+    _add_obs_options(sync_cmd)
     sync_cmd.set_defaults(handler=_cmd_sync)
 
     describe_cmd = commands.add_parser(
@@ -329,6 +474,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a Graphviz graph instead of the markdown report",
     )
     describe_cmd.set_defaults(handler=_cmd_describe)
+
+    profile_cmd = commands.add_parser(
+        "profile", help="run a named workload under the tracer"
+    )
+    profile_cmd.add_argument(
+        "workload", nargs="?",
+        help="workload name (see --list): genomics, procurement, clique",
+    )
+    profile_cmd.add_argument(
+        "--size", type=int, help="workload size (default: per-workload)",
+    )
+    profile_cmd.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="show the K hottest spans by self time (default: 10)",
+    )
+    profile_cmd.add_argument(
+        "--trace", metavar="PATH", help="also write the JSONL trace to PATH",
+    )
+    profile_cmd.add_argument(
+        "--chrome", metavar="PATH",
+        help="also write a Chrome trace-event file (chrome://tracing)",
+    )
+    profile_cmd.add_argument(
+        "--list", action="store_true", help="list the known workloads and exit",
+    )
+    profile_cmd.add_argument(
+        "--check", action="store_true",
+        help="smoke-run every workload at its smallest size",
+    )
+    profile_cmd.set_defaults(handler=_cmd_profile)
 
     chase_cmd = commands.add_parser("chase", help="show J_can and I_can")
     chase_cmd.add_argument("setting")

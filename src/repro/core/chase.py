@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:  # import-light: repro.runtime pulls repro.io at import time
     from repro.runtime.budget import Budget
+    from repro.obs.tracer import Span, Tracer
 
 from repro.core.atoms import Atom, Fact
 from repro.core.dependencies import EGD, TGD, Dependency
@@ -39,6 +40,7 @@ from repro.core.terms import (
     is_variable,
 )
 from repro.exceptions import ChaseFailure, ChaseNonTermination, DependencyError
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["ChaseStep", "ChaseResult", "chase", "solution_aware_chase", "satisfies"]
 
@@ -228,12 +230,40 @@ def _find_applicable_egd_assignment(
     return None
 
 
+def _note_chase_span(span: "Span", steps: Sequence[ChaseStep], rounds: int) -> None:
+    """Fold chase provenance into a span: per-dependency fires, facts, merges.
+
+    Runs once per chase, after the fixpoint, so tracing adds no work to
+    the chase loop itself.  Fire counts are grouped by dependency object
+    identity and rendered once per unique dependency.
+    """
+    fires: dict[int, int] = {}
+    rendered: dict[int, str] = {}
+    facts_created = 0
+    egd_merges = 0
+    for step in steps:
+        key = id(step.dependency)
+        fires[key] = fires.get(key, 0) + 1
+        if key not in rendered:
+            rendered[key] = str(step.dependency)
+        if step.merged is not None:
+            egd_merges += 1
+        else:
+            facts_created += len(step.added_facts)
+    span.set("rounds", rounds)
+    span.set("fires", {rendered[key]: count for key, count in fires.items()})
+    span.add("steps", len(steps))
+    span.add("facts_created", facts_created)
+    span.add("egd_merges", egd_merges)
+
+
 def chase(
     instance: Instance,
     dependencies: Iterable[Dependency],
     null_factory: NullFactory | None = None,
     max_steps: int = DEFAULT_MAX_STEPS,
     budget: Budget | None = None,
+    tracer: "Tracer | None" = None,
 ) -> ChaseResult:
     """Chase ``instance`` with ``dependencies`` to a fixpoint.
 
@@ -250,6 +280,10 @@ def chase(
         budget: optional :class:`repro.runtime.Budget`; charged one
             chase step per applied step and one fact per added fact, with
             deadline/cancellation checkpoints between dependency passes.
+        tracer: optional :class:`repro.obs.Tracer`; records one ``chase``
+            span whose counters (steps, facts created, egd merges) and
+            per-dependency fire counts are derived from the provenance
+            after the fixpoint, so the chase loop itself is untouched.
 
     Returns:
         a :class:`ChaseResult` with the chased instance and provenance.
@@ -270,48 +304,53 @@ def chase(
             )
     if null_factory is None:
         null_factory = NullFactory.above(instance.nulls())
+    if tracer is None:
+        tracer = NULL_TRACER
 
-    current = instance.copy()
-    steps: list[ChaseStep] = []
-    rounds = 0
-    changed = True
-    while changed:
-        changed = False
-        rounds += 1
-        for dependency in dependencies:
-            if budget is not None:
-                budget.checkpoint()
-            if isinstance(dependency, TGD):
-                # Enumerate all body matches against a stable snapshot,
-                # then re-check applicability just before firing each one;
-                # this keeps the restricted-chase semantics while touching
-                # each match once per round instead of re-enumerating the
-                # whole match set after every step.
-                matches = list(iter_homomorphisms(dependency.body, current))
-                for assignment in matches:
-                    if len(steps) >= max_steps:
-                        raise ChaseNonTermination(max_steps)
-                    if _head_satisfied(current, dependency, assignment):
-                        continue
-                    step = _apply_tgd_step(current, dependency, assignment, null_factory)
-                    steps.append(step)
-                    changed = True
-                    if budget is not None:
-                        budget.charge_chase_step()
-                        if step.added_facts:
-                            budget.charge_facts(len(step.added_facts))
-            else:
-                while True:
-                    if len(steps) >= max_steps:
-                        raise ChaseNonTermination(max_steps)
-                    assignment = _find_applicable_egd_assignment(current, dependency)
-                    if assignment is None:
-                        break
-                    current, step = _apply_egd_step(current, dependency, assignment)
-                    steps.append(step)
-                    changed = True
-                    if budget is not None:
-                        budget.charge_chase_step()
+    with tracer.span("chase", dependencies=len(dependencies)) as span:
+        current = instance.copy()
+        steps: list[ChaseStep] = []
+        rounds = 0
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            for dependency in dependencies:
+                if budget is not None:
+                    budget.checkpoint()
+                if isinstance(dependency, TGD):
+                    # Enumerate all body matches against a stable snapshot,
+                    # then re-check applicability just before firing each one;
+                    # this keeps the restricted-chase semantics while touching
+                    # each match once per round instead of re-enumerating the
+                    # whole match set after every step.
+                    matches = list(iter_homomorphisms(dependency.body, current))
+                    for assignment in matches:
+                        if len(steps) >= max_steps:
+                            raise ChaseNonTermination(max_steps)
+                        if _head_satisfied(current, dependency, assignment):
+                            continue
+                        step = _apply_tgd_step(current, dependency, assignment, null_factory)
+                        steps.append(step)
+                        changed = True
+                        if budget is not None:
+                            budget.charge_chase_step()
+                            if step.added_facts:
+                                budget.charge_facts(len(step.added_facts))
+                else:
+                    while True:
+                        if len(steps) >= max_steps:
+                            raise ChaseNonTermination(max_steps)
+                        assignment = _find_applicable_egd_assignment(current, dependency)
+                        if assignment is None:
+                            break
+                        current, step = _apply_egd_step(current, dependency, assignment)
+                        steps.append(step)
+                        changed = True
+                        if budget is not None:
+                            budget.charge_chase_step()
+        if tracer.enabled:
+            _note_chase_span(span, steps, rounds)
     return ChaseResult(instance=current, steps=steps, rounds=rounds)
 
 
@@ -320,6 +359,7 @@ def solution_aware_chase(
     dependencies: Iterable[Dependency],
     solution: Instance,
     max_steps: int = DEFAULT_MAX_STEPS,
+    tracer: "Tracer | None" = None,
 ) -> ChaseResult:
     """Chase ``instance`` taking existential witnesses from ``solution``.
 
@@ -338,49 +378,56 @@ def solution_aware_chase(
     dependencies = list(dependencies)
     if not solution.contains_instance(instance):
         raise ChaseFailure("solution-aware chase requires solution ⊇ instance")
+    if tracer is None:
+        tracer = NULL_TRACER
 
-    current = instance.copy()
-    steps: list[ChaseStep] = []
-    rounds = 0
-    changed = True
-    while changed:
-        changed = False
-        rounds += 1
-        for dependency in dependencies:
-            while True:
-                if len(steps) >= max_steps:
-                    raise ChaseNonTermination(max_steps)
-                if isinstance(dependency, TGD):
-                    assignment = _find_applicable_tgd_assignment(current, dependency)
-                    if assignment is None:
-                        break
-                    frontier = _frontier_assignment(dependency, assignment)
-                    witness = find_homomorphism(dependency.head, solution, frontier)
-                    if witness is None:
-                        raise ChaseFailure(
-                            f"given solution does not satisfy tgd {dependency} "
-                            f"under {assignment}"
+    with tracer.span(
+        "solution-aware-chase", dependencies=len(dependencies)
+    ) as span:
+        current = instance.copy()
+        steps: list[ChaseStep] = []
+        rounds = 0
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            for dependency in dependencies:
+                while True:
+                    if len(steps) >= max_steps:
+                        raise ChaseNonTermination(max_steps)
+                    if isinstance(dependency, TGD):
+                        assignment = _find_applicable_tgd_assignment(current, dependency)
+                        if assignment is None:
+                            break
+                        frontier = _frontier_assignment(dependency, assignment)
+                        witness = find_homomorphism(dependency.head, solution, frontier)
+                        if witness is None:
+                            raise ChaseFailure(
+                                f"given solution does not satisfy tgd {dependency} "
+                                f"under {assignment}"
+                            )
+                        facts = _instantiate_head(dependency.head, witness)
+                        added = tuple(fact for fact in facts if current.add(fact))
+                        steps.append(
+                            ChaseStep(
+                                dependency=dependency,
+                                assignment=dict(assignment),
+                                added_facts=added,
+                            )
                         )
-                    facts = _instantiate_head(dependency.head, witness)
-                    added = tuple(fact for fact in facts if current.add(fact))
-                    steps.append(
-                        ChaseStep(
-                            dependency=dependency,
-                            assignment=dict(assignment),
-                            added_facts=added,
+                    elif isinstance(dependency, EGD):
+                        assignment = _find_applicable_egd_assignment(current, dependency)
+                        if assignment is None:
+                            break
+                        current, step = _apply_egd_step(current, dependency, assignment)
+                        steps.append(step)
+                    else:
+                        raise DependencyError(
+                            f"cannot chase non-deterministic dependency {dependency}"
                         )
-                    )
-                elif isinstance(dependency, EGD):
-                    assignment = _find_applicable_egd_assignment(current, dependency)
-                    if assignment is None:
-                        break
-                    current, step = _apply_egd_step(current, dependency, assignment)
-                    steps.append(step)
-                else:
-                    raise DependencyError(
-                        f"cannot chase non-deterministic dependency {dependency}"
-                    )
-                changed = True
+                    changed = True
+        if tracer.enabled:
+            _note_chase_span(span, steps, rounds)
     return ChaseResult(instance=current, steps=steps, rounds=rounds)
 
 

@@ -18,6 +18,7 @@ __all__ = [
     "BudgetExceeded",
     "InvariantViolation",
     "JournalError",
+    "TraceError",
     "NotWeaklyAcyclicError",
 ]
 
@@ -134,6 +135,16 @@ class JournalError(ReproError):
     tolerated by the loader and does not raise; this error signals real
     corruption — an unreadable header, a damaged interior record, or a
     journal written for a different setting than the one restoring it.
+    """
+
+
+class TraceError(ReproError):
+    """Raised when a trace file cannot be parsed.
+
+    Mirrors :class:`JournalError`'s crash contract: a truncated *final*
+    line (a process died mid-write) is tolerated by the reader and does
+    not raise; this error signals real damage — a missing or wrong-format
+    header, an unsupported schema version, or a corrupt interior record.
     """
 
 

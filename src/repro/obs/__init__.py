@@ -1,0 +1,61 @@
+"""Observability: hierarchical tracing, metrics, and trace exporters.
+
+``repro.obs`` is the measurement substrate for the solver stack.  It is
+zero-dependency and pay-nothing by default: every instrumented entry
+point (``chase``, ``solve``, ``certain_answers``, ``SyncSession.sync``)
+accepts ``tracer=None`` and substitutes :data:`NULL_TRACER`, whose spans
+are shared no-op objects.
+
+* :class:`Tracer` / :class:`Span` — hierarchical wall-time spans with
+  attributes, counters, and point-in-time events
+  (:mod:`repro.obs.tracer`);
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` — structured instruments carried by result objects
+  as an optional ``metrics`` payload (:mod:`repro.obs.metrics`);
+* exporters — schema-versioned JSONL trace files (crash-tolerant like
+  the sync journal), a human-readable span tree, and Chrome
+  ``trace_event`` dumps (:mod:`repro.obs.exporters`).
+
+CLI integration: ``--trace PATH`` / ``--metrics`` on ``solve`` /
+``certain`` / ``sync``, and ``repro.cli profile`` for running a
+:mod:`repro.workloads` profile workload under the tracer.
+"""
+
+from repro.obs.exporters import (
+    TRACE_SCHEMA_VERSION,
+    aggregate_spans,
+    chrome_trace,
+    read_trace_jsonl,
+    render_span_tree,
+    trace_records,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_DURATION_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_DURATION_BUCKETS_MS",
+    "TRACE_SCHEMA_VERSION",
+    "trace_records",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "render_span_tree",
+    "chrome_trace",
+    "write_chrome_trace",
+    "aggregate_spans",
+]

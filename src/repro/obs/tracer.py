@@ -1,0 +1,295 @@
+"""Hierarchical tracing with a pay-nothing no-op default.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one per
+instrumented region, nested by dynamic extent::
+
+    tracer = Tracer()
+    with tracer.span("solve", method="auto") as span:
+        with tracer.span("chase"):
+            ...
+        span.set("exists", True)
+
+Each span carries wall time (measured on an injectable clock), free-form
+``attributes``, integer ``counters``, and point-in-time ``events``.  The
+tree is an in-memory artifact; :mod:`repro.obs.exporters` turns it into
+JSONL trace files, a human-readable tree, or a Chrome ``trace_event``
+dump.
+
+Untraced runs must pay ~nothing, so every instrumented entry point
+accepts ``tracer=None`` and substitutes :data:`NULL_TRACER` — a
+:class:`NullTracer` whose ``span()`` returns a shared, stateless context
+manager and whose other methods are empty.  Instrumented code guards any
+*expensive* attribute computation behind ``tracer.enabled``; the cheap
+calls themselves cost one no-op method dispatch at span granularity
+(never per chase step or per search node — those are aggregated into
+counters from data the solvers already keep).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed region of a traced computation.
+
+    Attributes:
+        name: the region's name (``"solve"``, ``"chase"``, ...).
+        attributes: free-form key/value annotations (JSON-sanitized on
+            export; values may be any Python object in memory).
+        counters: integer/float deltas accumulated via :meth:`add`.
+        events: point-in-time records ``{"name", "at", "attributes"}``.
+        children: sub-spans, in start order.
+        start: clock reading when the span opened.
+        end: clock reading when the span closed (== ``start`` while open).
+    """
+
+    __slots__ = ("name", "attributes", "counters", "events", "children", "start", "end")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: dict[str, Any] | None = None,
+        start: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.attributes: dict[str, Any] = dict(attributes) if attributes else {}
+        self.counters: dict[str, int | float] = {}
+        self.events: list[dict[str, Any]] = []
+        self.children: list[Span] = []
+        self.start = start
+        self.end = start
+
+    @property
+    def duration(self) -> float:
+        """Wall time spent inside the span, in clock units (seconds)."""
+        return max(0.0, self.end - self.start)
+
+    @property
+    def self_duration(self) -> float:
+        """Duration minus the time spent in direct children."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def set(self, key: str, value: Any) -> None:
+        """Set one attribute on the span."""
+        self.attributes[key] = value
+
+    def add(self, counter: str, delta: int | float = 1) -> None:
+        """Accumulate ``delta`` into a named counter."""
+        self.counters[counter] = self.counters.get(counter, 0) + delta
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Yield ``(depth, span)`` over the subtree, depth-first preorder."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> "Span | None":
+        """The first span named ``name`` in the subtree (preorder), or None."""
+        for _depth, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def total(self, counter: str) -> int | float:
+        """Sum a counter over the whole subtree."""
+        return sum(span.counters.get(counter, 0) for _d, span in self.walk())
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration * 1000:.2f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _SpanContext:
+    """Context manager opening one span on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self.span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._push(self._name, self._attributes)
+        return self.span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        assert self.span is not None
+        if exc_type is not None:
+            self.span.set("error", exc_type.__name__)
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Records a forest of spans with a stack-shaped open-span state.
+
+    Args:
+        clock: monotone time source; injectable for deterministic tests.
+            Defaults to :func:`time.perf_counter`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.roots: list[Span] = []
+        self.orphan_events: list[dict[str, Any]] = []
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a span as a context manager; yields the :class:`Span`."""
+        return _SpanContext(self, name, attributes)
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time event on the current span.
+
+        Events outside any span are kept in :attr:`orphan_events` (they
+        still export, parentless).
+        """
+        record = {"name": name, "at": self.clock(), "attributes": attributes}
+        if self._stack:
+            self._stack[-1].events.append(record)
+        else:
+            self.orphan_events.append(record)
+
+    def add(self, counter: str, delta: int | float = 1) -> None:
+        """Accumulate a counter on the current span (no-op outside spans)."""
+        if self._stack:
+            self._stack[-1].add(counter, delta)
+
+    def annotate(self, **attributes: Any) -> None:
+        """Set attributes on the current span (no-op outside spans)."""
+        if self._stack:
+            self._stack[-1].attributes.update(attributes)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def spans(self) -> Iterator[Span]:
+        """All recorded spans, depth-first preorder across roots."""
+        for root in self.roots:
+            for _depth, span in root.walk():
+                yield span
+
+    def find(self, name: str) -> Span | None:
+        """The first recorded span named ``name``, or None."""
+        for span in self.spans():
+            if span.name == name:
+                return span
+        return None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _push(self, name: str, attributes: dict[str, Any]) -> Span:
+        span = Span(name, attributes, start=self.clock())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        span.end = self.clock()
+        # Tolerate mispaired exits instead of corrupting the stack.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            while self._stack and self._stack.pop() is not span:
+                pass
+
+
+class _NullSpan:
+    """The span handed out by :class:`NullTracer`: every method is a no-op.
+
+    Doubles as its own context manager so ``with tracer.span(...) as s``
+    costs two attribute lookups and nothing else on the no-op path.
+    """
+
+    __slots__ = ()
+    name = ""
+    attributes: dict[str, Any] = {}
+    counters: dict[str, int | float] = {}
+    events: list[dict[str, Any]] = []
+    children: list["Span"] = []
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    self_duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def add(self, counter: str, delta: int | float = 1) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing; the default for untraced runs.
+
+    Instrumentation checks :attr:`enabled` before computing expensive
+    attributes, so the no-op path pays one method call per *span*, not
+    per unit of solver work.
+    """
+
+    enabled = False
+    roots: list[Span] = []
+    orphan_events: list[dict[str, Any]] = []
+
+    def __init__(self) -> None:  # deliberately stateless
+        pass
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def add(self, counter: str, delta: int | float = 1) -> None:
+        pass
+
+    def annotate(self, **attributes: Any) -> None:
+        pass
+
+    @property
+    def current(self) -> Span | None:
+        return None
+
+    def spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> Span | None:
+        return None
+
+
+#: Shared no-op tracer; instrumented entry points substitute it for None.
+NULL_TRACER = NullTracer()

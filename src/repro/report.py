@@ -4,7 +4,11 @@
 statically from a setting — classification against Definition 9, marked
 positions/variables, dependency-graph shape, weak acyclicity of the
 target constraints, recommended solver — into a markdown document, for
-documentation or code review of a deployed exchange.
+documentation or code review of a deployed exchange.  When a recorded
+trace is supplied (a :class:`repro.obs.Tracer`, a span list, or the path
+of a ``--trace`` JSONL file), the report gains a "Last run" section
+showing the dispatched solver, the rendered span tree, and aggregated
+counters from that run.
 
 ``position_graph_dot`` and ``relation_graph_dot`` render the two
 dependency graphs (Definition 5's position graph with its special edges,
@@ -12,6 +16,8 @@ and the PDMS-style relation graph of Section 3.2) in Graphviz DOT syntax.
 """
 
 from __future__ import annotations
+
+from os import PathLike
 
 from repro.core.dependency_graph import is_acyclic, relation_dependency_graph
 from repro.core.setting import PDESetting
@@ -24,6 +30,76 @@ from repro.solver.valuation_search import supports_valuation_search
 __all__ = ["describe_setting", "position_graph_dot", "relation_graph_dot"]
 
 
+def _trace_roots(trace) -> list:
+    """Normalize a trace argument into a list of root spans.
+
+    Accepts a :class:`repro.obs.Tracer`, an iterable of spans, or a path
+    to a ``--trace`` JSONL file.
+    """
+    from repro.obs.exporters import read_trace_jsonl
+    from repro.obs.tracer import Tracer
+
+    if isinstance(trace, Tracer):
+        return list(trace.roots)
+    if isinstance(trace, (str, PathLike)):
+        return read_trace_jsonl(trace)
+    return list(trace)
+
+
+def _last_run_section(trace) -> list[str]:
+    from repro.obs.exporters import aggregate_spans, render_span_tree
+
+    roots = _trace_roots(trace)
+    lines = ["## Last run", ""]
+    if not roots:
+        lines.append("*(trace is empty)*")
+        lines.append("")
+        return lines
+    solve_span = None
+    for root in roots:
+        solve_span = root.find("solve")
+        if solve_span is not None:
+            break
+    if solve_span is not None:
+        dispatched = solve_span.attributes.get("dispatched", "?")
+        exists = solve_span.attributes.get("exists", "?")
+        status = solve_span.attributes.get("status", "?")
+        lines.append(
+            f"* dispatched solver: **{dispatched}** "
+            f"(exists: {exists}, status: {status}, "
+            f"{solve_span.duration * 1000:.2f} ms)"
+        )
+        lines.append("")
+    lines.append("### Span tree")
+    lines.append("")
+    lines.append("```")
+    lines.append(render_span_tree(roots))
+    lines.append("```")
+    lines.append("")
+    lines.append("### Aggregated spans")
+    lines.append("")
+    lines.append("| span | count | total (ms) | self (ms) |")
+    lines.append("| --- | ---: | ---: | ---: |")
+    for entry in aggregate_spans(roots):
+        lines.append(
+            f"| {entry['name']} | {entry['count']} "
+            f"| {entry['total_s'] * 1000:.2f} | {entry['self_s'] * 1000:.2f} |"
+        )
+    counters: dict[str, float] = {}
+    for root in roots:
+        for _depth, span in root.walk():
+            for name, value in span.counters.items():
+                counters[name] = counters.get(name, 0) + value
+    if counters:
+        lines.append("")
+        lines.append("### Counters")
+        lines.append("")
+        for name in sorted(counters):
+            lines.append(f"* {name}: {counters[name]}")
+    lines.append("")
+    return lines
+
+
 def _solver_for(setting: PDESetting) -> str:
     report = classify(setting)
     if report.in_ctract:
@@ -33,8 +109,18 @@ def _solver_for(setting: PDESetting) -> str:
     return "branching-chase (complete for egds + weakly acyclic target tgds)"
 
 
-def describe_setting(setting: PDESetting) -> str:
-    """Return a markdown analysis report for ``setting``."""
+def describe_setting(setting: PDESetting, trace=None) -> str:
+    """Return a markdown analysis report for ``setting``.
+
+    Args:
+        setting: the PDE setting to analyze.
+        trace: optional record of a run against this setting — a
+            :class:`repro.obs.Tracer`, an iterable of root
+            :class:`repro.obs.Span` objects, or the path of a JSONL trace
+            file written by ``--trace``.  When given, the report ends with
+            a "Last run" section (dispatched solver, span tree, aggregated
+            counters).
+    """
     report = classify(setting)
     positions = marked_positions(setting.sigma_st)
     lines: list[str] = []
@@ -101,6 +187,11 @@ def describe_setting(setting: PDESetting) -> str:
     lines.append("## Recommended solver")
     lines.append("")
     lines.append(f"* `solve()` will dispatch to: {_solver_for(setting)}")
+    if trace is not None:
+        lines.append("")
+        lines.extend(_last_run_section(trace))
+        while lines and lines[-1] == "":
+            lines.pop()
     return "\n".join(lines) + "\n"
 
 

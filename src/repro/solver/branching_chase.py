@@ -50,6 +50,7 @@ from repro.core.terms import (
     term_sort_key,
 )
 from repro.exceptions import BudgetExceeded, SolverError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.budget import DEFAULT_NODE_CAP, Budget, SolveStatus
 from repro.solver.results import SolveResult
 
@@ -266,6 +267,7 @@ def exists_solution_branching(
     node_budget: int | None = DEFAULT_NODE_BUDGET,
     require_weak_acyclicity: bool = True,
     budget: Budget | None = None,
+    tracer: Tracer | None = None,
 ) -> SolveResult:
     """Decide ``SOL(P)(I, J)`` with the branching-chase solver.
 
@@ -277,7 +279,13 @@ def exists_solution_branching(
     ``status`` names what ran out; the legacy ``node_budget`` path (and
     any ``strict`` budget) raises :class:`~repro.exceptions.BudgetExceeded`
     instead.
+
+    A ``tracer`` records one ``branching-chase`` span; the solver's
+    counters (nodes, egd merges, branch failures) are folded into the
+    span at exit.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     solver = BranchingChaseSolver(
         setting,
         source,
@@ -293,22 +301,34 @@ def exists_solution_branching(
             merged.update(solver.budget.snapshot())
         return merged
 
-    try:
-        for solution in solver.iter_solutions():
+    def note(span, exists: bool | None) -> None:
+        if not tracer.enabled:
+            return
+        for key, value in solver.stats.items():
+            span.add(key, value)
+        if exists is not None:
+            span.set("exists", exists)
+
+    with tracer.span("branching-chase") as span:
+        try:
+            for solution in solver.iter_solutions():
+                note(span, True)
+                return SolveResult(
+                    exists=True,
+                    solution=solution,
+                    method="branching-chase",
+                    stats=stats(),
+                )
+        except BudgetExceeded as exhausted:
+            note(span, None)
+            if solver.budget is None or solver.budget.strict:
+                raise
             return SolveResult(
-                exists=True,
-                solution=solution,
+                exists=False,
                 method="branching-chase",
                 stats=stats(),
+                status=SolveStatus(exhausted.status),
+                reason=str(exhausted),
             )
-    except BudgetExceeded as exhausted:
-        if solver.budget is None or solver.budget.strict:
-            raise
-        return SolveResult(
-            exists=False,
-            method="branching-chase",
-            stats=stats(),
-            status=SolveStatus(exhausted.status),
-            reason=str(exhausted),
-        )
-    return SolveResult(exists=False, method="branching-chase", stats=stats())
+        note(span, False)
+        return SolveResult(exists=False, method="branching-chase", stats=stats())

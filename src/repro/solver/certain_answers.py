@@ -22,6 +22,7 @@ this case so callers can distinguish it.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Iterator
 
 from repro.core.instance import Instance
@@ -29,6 +30,8 @@ from repro.core.query import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.core.setting import PDESetting
 from repro.core.terms import InstanceTerm
 from repro.exceptions import BudgetExceeded
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.budget import DEFAULT_NODE_CAP, Budget, SolveStatus
 from repro.solver.branching_chase import BranchingChaseSolver
 from repro.solver.results import CertainAnswerResult
@@ -46,13 +49,19 @@ def _minimal_solutions(
     node_budget: int | None,
     query: Query | None = None,
     budget: Budget | None = None,
+    tracer: Tracer | None = None,
 ) -> Iterator[Instance]:
     """Yield a family of solutions containing a sub-instance of every
     solution (up to renaming of nulls invisible to ``Σ_ts`` and ``query``)."""
     if supports_valuation_search(setting):
         relevant = (query,) if query is not None else ()
         search = ValuationSearch(
-            setting, source, target, relevant_queries=relevant, budget=budget
+            setting,
+            source,
+            target,
+            relevant_queries=relevant,
+            budget=budget,
+            tracer=tracer,
         )
         yield from search.iter_valuations(node_budget=node_budget)
     else:
@@ -74,6 +83,7 @@ def is_certain(
     answer: tuple[InstanceTerm, ...] = (),
     node_budget: int | None = None,
     budget: Budget | None = None,
+    tracer: Tracer | None = None,
 ) -> bool:
     """Is ``answer`` a certain answer of ``query`` on ``(source, target)``?
 
@@ -89,7 +99,12 @@ def is_certain(
         # Push the falsification test into the valuation search so its
         # pruning applies: accept only valuations falsifying q[answer].
         search = ValuationSearch(
-            setting, source, target, relevant_queries=(query,), budget=budget
+            setting,
+            source,
+            target,
+            relevant_queries=(query,),
+            budget=budget,
+            tracer=tracer,
         )
         for _falsifier in search.iter_valuations(
             leaf_predicate=lambda candidate: not query.holds(candidate, answer),
@@ -98,7 +113,7 @@ def is_certain(
             return False
         return True
     for solution in _minimal_solutions(
-        setting, source, target, node_budget, query=query, budget=budget
+        setting, source, target, node_budget, query=query, budget=budget, tracer=tracer
     ):
         if not query.holds(solution, answer):
             return False
@@ -112,6 +127,8 @@ def certain_answers(
     target: Instance,
     node_budget: int | None = None,
     budget: Budget | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> CertainAnswerResult:
     """Compute the certain answers of ``query`` on ``(source, target)``.
 
@@ -135,6 +152,25 @@ def certain_answers(
         the empty set otherwise (there are no candidate tuples to report).
     """
     stats: dict = {}
+    if tracer is None:
+        tracer = NULL_TRACER
+    started = time.perf_counter() if metrics is not None else 0.0
+
+    # As in solve(): when the caller supplies no budget, thread a strict
+    # accounting substitute through the search so successful results still
+    # carry the final node/step/fact consumption.  Raise-vs-degrade stays
+    # keyed on the caller's ``budget``.  The substitute must never change
+    # exhaustion behavior, so it is only used where it cannot raise: an
+    # uncapped budget on the valuation route with no legacy cap.  With a
+    # legacy ``node_budget`` (a *per-search* cap that a shared budget would
+    # turn cumulative) or on the branching route (per-search default cap),
+    # the historical plumbing is kept and no snapshot is recorded.
+    if budget is not None:
+        accounting: Budget | None = budget
+    elif node_budget is None and supports_valuation_search(setting):
+        accounting = Budget(strict=True)
+    else:
+        accounting = None
 
     def degraded(
         certain: set[tuple], solutions_exist: bool, exhausted: BudgetExceeded
@@ -149,47 +185,75 @@ def certain_answers(
             reason=str(exhausted),
         )
 
-    first_solution: Instance | None = None
-    try:
-        for solution in _minimal_solutions(
-            setting, source, target, node_budget, query=query, budget=budget
-        ):
-            first_solution = solution
-            break
-    except BudgetExceeded as exhausted:
-        if budget is None or budget.strict:
-            raise
-        return degraded(set(), False, exhausted)
-    if first_solution is None:
-        vacuous: set[tuple] = {()} if query.arity == 0 else set()
-        if budget is not None:
-            stats.update(budget.snapshot())
-        return CertainAnswerResult(answers=vacuous, solutions_exist=False, stats=stats)
+    def finish(result: CertainAnswerResult) -> CertainAnswerResult:
+        if metrics is not None:
+            metrics.annotate("certain.status", result.status.value)
+            metrics.gauge("certain.solutions_exist").set(int(result.solutions_exist))
+            metrics.counter("certain.answers").inc(len(result.answers))
+            metrics.absorb(result.stats, prefix="certain.")
+            metrics.histogram("certain.duration_ms").observe(
+                (time.perf_counter() - started) * 1000.0
+            )
+            result.metrics = metrics
+        return result
 
-    candidates: list[tuple[InstanceTerm, ...]]
-    if query.arity == 0:
-        candidates = [()] if query.holds(first_solution) else []
-    else:
-        candidates = sorted(query.answers(first_solution, allow_nulls=False))
-    stats["candidates"] = len(candidates)
-
-    certain: set[tuple] = set()
-    try:
-        for candidate in candidates:
-            if is_certain(
-                setting,
-                query,
-                source,
-                target,
-                candidate,
-                node_budget=node_budget,
-                budget=budget,
+    with tracer.span("certain-answers", arity=query.arity) as span:
+        first_solution: Instance | None = None
+        try:
+            for solution in _minimal_solutions(
+                setting, source, target, node_budget, query=query,
+                budget=accounting, tracer=tracer,
             ):
-                certain.add(candidate)
-    except BudgetExceeded as exhausted:
-        if budget is None or budget.strict:
-            raise
-        return degraded(certain, True, exhausted)
-    if budget is not None:
-        stats.update(budget.snapshot())
-    return CertainAnswerResult(answers=certain, solutions_exist=True, stats=stats)
+                first_solution = solution
+                break
+        except BudgetExceeded as exhausted:
+            if budget is None or budget.strict:
+                raise
+            return finish(degraded(set(), False, exhausted))
+        if first_solution is None:
+            vacuous: set[tuple] = {()} if query.arity == 0 else set()
+            if accounting is not None:
+                stats.update(accounting.snapshot())
+            if tracer.enabled:
+                span.set("solutions_exist", False)
+            return finish(
+                CertainAnswerResult(
+                    answers=vacuous, solutions_exist=False, stats=stats
+                )
+            )
+
+        candidates: list[tuple[InstanceTerm, ...]]
+        if query.arity == 0:
+            candidates = [()] if query.holds(first_solution) else []
+        else:
+            candidates = sorted(query.answers(first_solution, allow_nulls=False))
+        stats["candidates"] = len(candidates)
+        if tracer.enabled:
+            span.set("solutions_exist", True)
+            span.set("candidates", len(candidates))
+
+        certain: set[tuple] = set()
+        try:
+            for candidate in candidates:
+                if is_certain(
+                    setting,
+                    query,
+                    source,
+                    target,
+                    candidate,
+                    node_budget=node_budget,
+                    budget=accounting,
+                    tracer=tracer,
+                ):
+                    certain.add(candidate)
+        except BudgetExceeded as exhausted:
+            if budget is None or budget.strict:
+                raise
+            return finish(degraded(certain, True, exhausted))
+        if accounting is not None:
+            stats.update(accounting.snapshot())
+        if tracer.enabled:
+            span.set("certain", len(certain))
+        return finish(
+            CertainAnswerResult(answers=certain, solutions_exist=True, stats=stats)
+        )

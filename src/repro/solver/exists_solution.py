@@ -31,9 +31,13 @@ raise-on-exhaustion contract.
 
 from __future__ import annotations
 
+import time
+
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
 from repro.exceptions import BudgetExceeded, ChaseNonTermination, SolverError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.budget import DEFAULT_NODE_CAP, Budget, SolveStatus
 from repro.solver.branching_chase import exists_solution_branching
 from repro.solver.results import SolveResult
@@ -80,6 +84,8 @@ def solve(
     method: str = "auto",
     node_budget: int | None = None,
     budget: Budget | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SolveResult:
     """Decide whether a solution exists for ``(source, target)`` in ``setting``.
 
@@ -95,6 +101,17 @@ def solve(
         budget: a :class:`~repro.runtime.Budget` governing the whole
             solve.  Non-strict budgets degrade gracefully: the returned
             result carries ``status`` / ``reason`` instead of raising.
+            When no budget is given, an uncapped strict accounting budget
+            is still threaded through the chosen route, so every result's
+            ``stats`` carry the final node/step/fact consumption.
+        tracer: optional :class:`repro.obs.Tracer`; records a ``solve``
+            span (dispatched solver, outcome, status) over the route's
+            own spans, plus a ``dispatch`` event on the auto path.
+        metrics: optional :class:`repro.obs.MetricsRegistry`; populated
+            with the run's labels (solver, status), counters (absorbed
+            from the result's stats under a ``solve.`` prefix), and a
+            ``solve.duration_ms`` histogram observation.  The same
+            registry is attached to the result as ``result.metrics``.
 
     Returns:
         a :class:`SolveResult`; ``result.solution`` is a witness when one
@@ -109,6 +126,50 @@ def solve(
     # keeping it out of module import time keeps the solver import-light.
     from repro.analysis import dispatch_explanation
 
+    if tracer is None:
+        tracer = NULL_TRACER
+    started = time.perf_counter() if metrics is not None else 0.0
+
+    with tracer.span("solve", method=method) as span:
+        result = _solve_routed(
+            setting, source, target, method, node_budget, budget, tracer,
+            dispatch_explanation,
+        )
+        if tracer.enabled:
+            span.set("dispatched", result.method)
+            span.set("exists", result.exists)
+            span.set("status", result.status.value)
+    if metrics is not None:
+        metrics.annotate("solve.solver", result.method)
+        metrics.annotate("solve.status", result.status.value)
+        metrics.absorb(result.stats, prefix="solve.")
+        metrics.histogram("solve.duration_ms").observe(
+            (time.perf_counter() - started) * 1000.0
+        )
+        result.metrics = metrics
+    return result
+
+
+def _solve_routed(
+    setting: PDESetting,
+    source: Instance,
+    target: Instance,
+    method: str,
+    node_budget: int | None,
+    budget: Budget | None,
+    tracer: Tracer,
+    dispatch_explanation,
+) -> SolveResult:
+    """Route one solve call; ``budget`` is the caller's (possibly None).
+
+    Each route passes the solver an *accounting* budget: the caller's
+    when one was given, otherwise a strict substitute that never changes
+    raise-vs-degrade behavior — uncapped for the polynomial routes, the
+    legacy node cap for the NP ones — so ``Budget.snapshot()`` counters
+    reach the stats of *successful* results too.  :func:`_governed`'s
+    degrade-vs-raise decision stays keyed on the caller's ``budget``.
+    """
+
     if method == "tractable":
         if not classify(setting).in_ctract:
             raise SolverError(
@@ -116,28 +177,38 @@ def solve(
                 "C_tract settings "
                 f"[{dispatch_explanation(setting, in_ctract=False)}]"
             )
+        accounting = budget if budget is not None else Budget(strict=True)
         return _governed(
             "tractable",
             budget,
             lambda: exists_solution_tractable(
-                setting, source, target, check_membership=False, budget=budget
+                setting, source, target, check_membership=False,
+                budget=accounting, tracer=tracer,
             ),
         )
     if method == "valuation":
+        accounting = (
+            budget
+            if budget is not None
+            else Budget.from_legacy(node_budget) or Budget(strict=True)
+        )
         return _governed(
             "valuation-search",
             budget,
             lambda: exists_solution_valuation(
-                setting, source, target, node_budget=node_budget, budget=budget
+                setting, source, target, budget=accounting, tracer=tracer
             ),
         )
     if method == "branching":
         legacy_cap = node_budget if node_budget is not None else DEFAULT_NODE_CAP
+        accounting = (
+            budget if budget is not None else Budget(node_cap=legacy_cap, strict=True)
+        )
         return _governed(
             "branching-chase",
             budget,
             lambda: exists_solution_branching(
-                setting, source, target, node_budget=legacy_cap, budget=budget
+                setting, source, target, budget=accounting, tracer=tracer
             ),
         )
     if method != "auto":
@@ -145,29 +216,42 @@ def solve(
 
     report = classify(setting)
     if report.in_ctract:
+        tracer.event("dispatch", chosen="tractable", reason="setting is in C_tract")
+        accounting = budget if budget is not None else Budget(strict=True)
         return _governed(
             "tractable",
             budget,
             lambda: exists_solution_tractable(
-                setting, source, target, check_membership=False, budget=budget
+                setting, source, target, check_membership=False,
+                budget=accounting, tracer=tracer,
             ),
         )
     explanation = dispatch_explanation(setting, in_ctract=False)
     if supports_valuation_search(setting):
+        tracer.event("dispatch", chosen="valuation-search", reason=explanation)
+        accounting = (
+            budget
+            if budget is not None
+            else Budget.from_legacy(node_budget) or Budget(strict=True)
+        )
         result = _governed(
             "valuation-search",
             budget,
             lambda: exists_solution_valuation(
-                setting, source, target, node_budget=node_budget, budget=budget
+                setting, source, target, budget=accounting, tracer=tracer
             ),
         )
     else:
+        tracer.event("dispatch", chosen="branching-chase", reason=explanation)
         legacy_cap = node_budget if node_budget is not None else DEFAULT_NODE_CAP
+        accounting = (
+            budget if budget is not None else Budget(node_cap=legacy_cap, strict=True)
+        )
         result = _governed(
             "branching-chase",
             budget,
             lambda: exists_solution_branching(
-                setting, source, target, node_budget=legacy_cap, budget=budget
+                setting, source, target, budget=accounting, tracer=tracer
             ),
         )
     result.stats.setdefault("dispatch", explanation)
@@ -181,6 +265,7 @@ def find_solution(
     method: str = "auto",
     node_budget: int | None = None,
     budget: Budget | None = None,
+    tracer: Tracer | None = None,
 ) -> Instance | None:
     """Return a witness solution for ``(source, target)``, or None.
 
@@ -188,6 +273,12 @@ def find_solution(
     Degraded (non-``DECIDED``) results report None: no witness was found.
     """
     result = solve(
-        setting, source, target, method=method, node_budget=node_budget, budget=budget
+        setting,
+        source,
+        target,
+        method=method,
+        node_budget=node_budget,
+        budget=budget,
+        tracer=tracer,
     )
     return result.solution if result.exists else None

@@ -14,7 +14,8 @@ explanations:
   facts (often facts of ``J`` itself) whose conclusion the source does not
   contain; such a premise can never be repaired, whatever the valuation;
 * ``exhausted-search`` — the NP search ruled out every candidate; the
-  explanation carries the search statistics.
+  explanation carries the search statistics, drawn from the
+  :class:`repro.obs.MetricsRegistry` the solve is run under.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ from repro.core.dependencies import TGD, DisjunctiveTGD
 from repro.core.homomorphism import find_homomorphism, has_instance_homomorphism, iter_homomorphisms
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
+from repro.obs.metrics import MetricsRegistry
 from repro.solver.exists_solution import solve
 from repro.solver.tractable import canonical_instances
 from repro.tractability.classifier import classify
@@ -100,9 +102,12 @@ def explain(setting: PDESetting, source: Instance, target: Instance) -> Explanat
     For ``C_tract`` settings, failures come with the Theorem 5 certificate
     (the non-embeddable block of ``I_can``); otherwise the explanation
     reports a definitive ground premise violation when one exists, or the
-    exhausted-search statistics.
+    exhausted-search statistics (taken from the
+    :class:`repro.obs.MetricsRegistry` the solve runs under, so they are
+    the same instruments a traced run would report).
     """
-    result = solve(setting, source, target)
+    registry = MetricsRegistry()
+    result = solve(setting, source, target, metrics=registry)
     if result.exists:
         return Explanation(
             exists=True,
@@ -169,14 +174,16 @@ def explain(setting: PDESetting, source: Instance, target: Instance) -> Explanat
             details={"dependency": dependency, "premise": bound},
         )
 
+    snapshot = registry.snapshot()
     narrative = (
         "No solution exists: the search ruled out every way of completing "
         "the canonical target instance "
-        f"({result.stats.get('nodes', '?')} search nodes explored)."
+        f"({snapshot['counters'].get('solve.nodes', '?')} search nodes "
+        "explored)."
     )
     return Explanation(
         exists=False,
         reason="exhausted-search",
         narrative=narrative,
-        details={"stats": result.stats},
+        details={"stats": result.stats, "metrics": snapshot},
     )

@@ -34,6 +34,10 @@ class SolveResult:
             / ``CANCELLED`` mean the governed solver stopped early and
             this is a partial result.
         reason: human-readable detail for non-``DECIDED`` statuses.
+        metrics: the :class:`repro.obs.MetricsRegistry` the caller passed
+            into :func:`~repro.solver.solve`, populated with the run's
+            instruments; None when no registry was supplied.  Typed
+            loosely so this module stays import-light.
     """
 
     exists: bool
@@ -42,6 +46,7 @@ class SolveResult:
     stats: dict[str, Any] = field(default_factory=dict)
     status: SolveStatus = SolveStatus.DECIDED
     reason: str = ""
+    metrics: Any | None = None
 
     @property
     def decided(self) -> bool:
@@ -70,6 +75,9 @@ class CertainAnswerResult:
         status: a :class:`~repro.runtime.SolveStatus`; anything but
             ``DECIDED`` marks a partial computation.
         reason: human-readable detail for non-``DECIDED`` statuses.
+        metrics: the :class:`repro.obs.MetricsRegistry` supplied by the
+            caller, populated with the run's instruments; None when no
+            registry was supplied.
     """
 
     answers: set[tuple]
@@ -77,6 +85,7 @@ class CertainAnswerResult:
     stats: dict[str, Any] = field(default_factory=dict)
     status: SolveStatus = SolveStatus.DECIDED
     reason: str = ""
+    metrics: Any | None = None
 
     @property
     def decided(self) -> bool:

@@ -28,6 +28,7 @@ from repro.core.chase import chase
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
 from repro.core.terms import InstanceTerm, Null
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.budget import Budget, SolveStatus
 from repro.solver.results import SolveResult
 from repro.tractability.classifier import classify
@@ -41,23 +42,29 @@ def canonical_instances(
     source: Instance,
     target: Instance,
     budget: Budget | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[Instance, Instance, dict]:
     """Compute ``(J_can, I_can)`` for ``(source, target)``.
 
     ``J_can`` is the result of chasing ``(I, J)`` with ``Σ_st`` (target
     part); ``I_can`` is the result of chasing ``(J_can, ∅)`` with ``Σ_ts``
     (source part).  Also returns chase statistics.  Both chases charge
-    ``budget`` when one is given.
+    ``budget`` when one is given, and record ``sigma-st-chase`` /
+    ``sigma-ts-chase`` spans on ``tracer``.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     combined = setting.combine(source, target)
-    st_result = chase(combined, setting.sigma_st, budget=budget)
+    with tracer.span("sigma-st-chase"):
+        st_result = chase(combined, setting.sigma_st, budget=budget, tracer=tracer)
     j_can = st_result.instance.restrict_to(setting.target_schema)
 
     # Chase (J_can, ∅): start from J_can alone over the combined schema so
     # the Σ_ts heads land in (what becomes) I_can, not in I.
     j_can_combined = Instance(schema=setting.combined_schema)
     j_can_combined.add_all(j_can)
-    ts_result = chase(j_can_combined, setting.sigma_ts, budget=budget)
+    with tracer.span("sigma-ts-chase"):
+        ts_result = chase(j_can_combined, setting.sigma_ts, budget=budget, tracer=tracer)
     i_can = ts_result.instance.restrict_to(setting.source_schema)
 
     stats = {
@@ -92,6 +99,7 @@ def exists_solution_tractable(
     target: Instance,
     check_membership: bool = True,
     budget: Budget | None = None,
+    tracer: Tracer | None = None,
 ) -> SolveResult:
     """Run the ``ExistsSolution`` algorithm of Figure 3.
 
@@ -106,6 +114,9 @@ def exists_solution_tractable(
         budget: optional :class:`~repro.runtime.Budget`.  The algorithm is
             polynomial, but governed deployments still deadline it; a
             non-strict budget degrades into a partial result on exhaustion.
+        tracer: optional :class:`repro.obs.Tracer`; records a
+            ``tractable`` span covering both chases plus a ``hom_tests``
+            counter, one per block embedding test.
 
     Returns:
         a :class:`SolveResult`; when a solution exists, ``solution`` holds
@@ -120,43 +131,54 @@ def exists_solution_tractable(
             )
     setting.validate_source_instance(source)
     setting.validate_target_instance(target)
+    if tracer is None:
+        tracer = NULL_TRACER
 
-    try:
-        j_can, i_can, stats = canonical_instances(setting, source, target, budget=budget)
-        blocks = decompose_into_blocks(i_can)
-        stats["blocks"] = len(blocks)
-        stats["max_nulls_per_block"] = max(
-            (block.null_count for block in blocks), default=0
-        )
+    with tracer.span("tractable") as span:
+        try:
+            j_can, i_can, stats = canonical_instances(
+                setting, source, target, budget=budget, tracer=tracer
+            )
+            blocks = decompose_into_blocks(i_can)
+            stats["blocks"] = len(blocks)
+            stats["max_nulls_per_block"] = max(
+                (block.null_count for block in blocks), default=0
+            )
+            if tracer.enabled:
+                span.set("blocks", len(blocks))
+                span.set("max_nulls_per_block", stats["max_nulls_per_block"])
 
-        # Import locally to avoid a hard cycle with the homomorphism helpers.
-        from repro.core.homomorphism import find_instance_homomorphism
+            # Import locally to avoid a hard cycle with the homomorphism helpers.
+            from repro.core.homomorphism import find_instance_homomorphism
 
-        combined_mapping: dict[Null, InstanceTerm] = {}
-        for block in blocks:
-            if budget is not None:
-                budget.charge_node()  # one per-block embedding test
-            mapping = find_instance_homomorphism(block.facts, source)
-            if mapping is None:
+            combined_mapping: dict[Null, InstanceTerm] = {}
+            for block in blocks:
                 if budget is not None:
-                    stats.update(budget.snapshot())
-                return SolveResult(exists=False, method="tractable", stats=stats)
-            combined_mapping.update(mapping)
-    except BudgetExceeded as exhausted:
-        if budget is None or budget.strict:
-            raise
-        stats = dict(budget.snapshot())
-        return SolveResult(
-            exists=False,
-            method="tractable",
-            stats=stats,
-            status=SolveStatus(exhausted.status),
-            reason=str(exhausted),
-        )
+                    budget.charge_node()  # one per-block embedding test
+                span.add("hom_tests")
+                mapping = find_instance_homomorphism(block.facts, source)
+                if mapping is None:
+                    if budget is not None:
+                        stats.update(budget.snapshot())
+                    span.set("exists", False)
+                    return SolveResult(exists=False, method="tractable", stats=stats)
+                combined_mapping.update(mapping)
+        except BudgetExceeded as exhausted:
+            if budget is None or budget.strict:
+                raise
+            stats = dict(budget.snapshot())
+            return SolveResult(
+                exists=False,
+                method="tractable",
+                stats=stats,
+                status=SolveStatus(exhausted.status),
+                reason=str(exhausted),
+            )
 
-    if budget is not None:
-        stats.update(budget.snapshot())
-    solution = _assemble_solution(j_can, i_can, combined_mapping)
-    return SolveResult(
-        exists=True, solution=solution, method="tractable", stats=stats
-    )
+        if budget is not None:
+            stats.update(budget.snapshot())
+        span.set("exists", True)
+        solution = _assemble_solution(j_can, i_can, combined_mapping)
+        return SolveResult(
+            exists=True, solution=solution, method="tractable", stats=stats
+        )

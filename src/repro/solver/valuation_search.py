@@ -48,6 +48,7 @@ from repro.core.instance import Instance
 from repro.core.setting import PDESetting
 from repro.core.terms import InstanceTerm, Null, Variable, is_variable, term_sort_key
 from repro.exceptions import BudgetExceeded, SolverError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.budget import Budget, SolveStatus
 from repro.solver.results import SolveResult
 
@@ -81,6 +82,7 @@ class ValuationSearch:
         target: Instance,
         relevant_queries: Sequence = (),
         budget: Budget | None = None,
+        tracer: Tracer | None = None,
     ):
         if not supports_valuation_search(setting):
             raise SolverError(
@@ -94,12 +96,16 @@ class ValuationSearch:
         self.source = source
         self.target = target
         self.budget = budget
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._egds = setting.target_egds()
         self._full_tgds = setting.target_tgds()
-        self.stats: dict[str, int] = {"nodes": 0, "violations": 0}
+        self.stats: dict[str, int] = {"nodes": 0, "violations": 0, "backtracks": 0}
 
         combined = setting.combine(source, target)
-        st_result = chase(combined, setting.sigma_st, budget=budget)
+        with self.tracer.span("sigma-st-chase"):
+            st_result = chase(
+                combined, setting.sigma_st, budget=budget, tracer=self.tracer
+            )
         self.j_can = st_result.instance.restrict_to(setting.target_schema)
         self.stats["st_chase_steps"] = st_result.step_count
         self.stats["j_can_size"] = len(self.j_can)
@@ -484,6 +490,7 @@ class ValuationSearch:
                     depth + 1, decided, pending, valuation, leaf_predicate, budget
                 )
             # Undo.
+            self.stats["backtracks"] += 1
             for fact in completed:
                 decided.discard(fact)
             for index in self._facts_of_null[null]:
@@ -497,6 +504,7 @@ def exists_solution_valuation(
     target: Instance,
     node_budget: int | None = None,
     budget: Budget | None = None,
+    tracer: Tracer | None = None,
 ) -> SolveResult:
     """Decide ``SOL(P)(I, J)`` when ``Σ_t`` has only egds and full tgds.
 
@@ -509,7 +517,13 @@ def exists_solution_valuation(
     ``status`` names what ran out; the legacy ``node_budget`` path (and
     any ``strict`` budget) raises :class:`~repro.exceptions.BudgetExceeded`
     instead.
+
+    A ``tracer`` records one ``valuation-search`` span covering the
+    ``Σ_st`` chase and the search itself; the search's counters (nodes,
+    backtracks, violations) are folded into the span at exit.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
 
     def degraded(search: "ValuationSearch | None", exhausted: BudgetExceeded) -> SolveResult:
         stats = dict(search.stats) if search is not None else {}
@@ -523,32 +537,48 @@ def exists_solution_valuation(
             reason=str(exhausted),
         )
 
-    try:
-        search = ValuationSearch(setting, source, target, budget=budget)
-    except BudgetExceeded as exhausted:
-        # The Σ_st chase that builds J_can is itself governed.
-        if budget is None or budget.strict:
-            raise
-        return degraded(None, exhausted)
-    try:
-        for candidate in search.iter_valuations(node_budget=node_budget):
-            stats = dict(search.stats)
-            if search.budget is not None:
-                stats.update(search.budget.snapshot())
-            return SolveResult(
-                exists=True,
-                solution=candidate,
-                method="valuation-search",
-                stats=stats,
+    def note(span, search: "ValuationSearch | None", exists: bool | None) -> None:
+        if not tracer.enabled:
+            return
+        if search is not None:
+            for key, value in search.stats.items():
+                if isinstance(value, (int, float)):
+                    span.add(key, value)
+        if exists is not None:
+            span.set("exists", exists)
+
+    with tracer.span("valuation-search") as span:
+        try:
+            search = ValuationSearch(
+                setting, source, target, budget=budget, tracer=tracer
             )
-    except BudgetExceeded as exhausted:
-        if search.budget is None or search.budget.strict:
-            raise
-        return degraded(search, exhausted)
-    stats = dict(search.stats)
-    if search.budget is not None:
-        stats.update(search.budget.snapshot())
-    return SolveResult(exists=False, method="valuation-search", stats=stats)
+        except BudgetExceeded as exhausted:
+            # The Σ_st chase that builds J_can is itself governed.
+            if budget is None or budget.strict:
+                raise
+            return degraded(None, exhausted)
+        try:
+            for candidate in search.iter_valuations(node_budget=node_budget):
+                stats = dict(search.stats)
+                if search.budget is not None:
+                    stats.update(search.budget.snapshot())
+                note(span, search, True)
+                return SolveResult(
+                    exists=True,
+                    solution=candidate,
+                    method="valuation-search",
+                    stats=stats,
+                )
+        except BudgetExceeded as exhausted:
+            note(span, search, None)
+            if search.budget is None or search.budget.strict:
+                raise
+            return degraded(search, exhausted)
+        stats = dict(search.stats)
+        if search.budget is not None:
+            stats.update(search.budget.snapshot())
+        note(span, search, False)
+        return SolveResult(exists=False, method="valuation-search", stats=stats)
 
 
 def iter_minimal_solutions(
@@ -558,6 +588,7 @@ def iter_minimal_solutions(
     node_budget: int | None = None,
     relevant_queries: Sequence = (),
     budget: Budget | None = None,
+    tracer: Tracer | None = None,
 ) -> Iterator[Instance]:
     """Yield the canonical minimal solutions (duplicates suppressed).
 
@@ -574,7 +605,12 @@ def iter_minimal_solutions(
     governed callers catch it and degrade.
     """
     search = ValuationSearch(
-        setting, source, target, relevant_queries=relevant_queries, budget=budget
+        setting,
+        source,
+        target,
+        relevant_queries=relevant_queries,
+        budget=budget,
+        tracer=tracer,
     )
     seen: set[frozenset] = set()
     for candidate in search.iter_valuations(node_budget=node_budget):

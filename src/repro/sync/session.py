@@ -51,6 +51,8 @@ from repro.core.homomorphism import find_homomorphism, iter_homomorphisms
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
 from repro.exceptions import BudgetExceeded, SolverError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.budget import Budget, SolveStatus
 from repro.runtime.journal import SessionJournal
 from repro.runtime.retry import RetryPolicy
@@ -78,6 +80,9 @@ class SyncOutcome:
             may simply be re-run later.
         attempts: how many solve attempts the round used (> 1 when a
             :class:`~repro.runtime.RetryPolicy` escalated a budget).
+        metrics: the :class:`repro.obs.MetricsRegistry` the caller passed
+            into :meth:`SyncSession.sync`, populated with the round's
+            instruments; None when no registry was supplied.
     """
 
     ok: bool
@@ -87,6 +92,7 @@ class SyncOutcome:
     reason: str = ""
     status: SolveStatus = SolveStatus.DECIDED
     attempts: int = 1
+    metrics: MetricsRegistry | None = None
 
     @property
     def changed(self) -> bool:
@@ -237,6 +243,8 @@ class SyncSession:
         source: Instance,
         node_budget: int | None = None,
         budget: Budget | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> SyncOutcome:
         """Run one synchronization round against a new source snapshot.
 
@@ -249,76 +257,123 @@ class SyncSession:
         budget-exhausted attempts are re-run with escalated caps after a
         jittered backoff; deadline and cancellation degradations are
         returned immediately.
+
+        A ``tracer`` records one ``sync-round`` span per call, with a
+        ``retraction-scan`` sub-span, one ``solve-attempt`` sub-span per
+        attempt, a ``retry`` event before each backoff pause, and a
+        ``journal-commit`` event after the durable commit.  A ``metrics``
+        registry accumulates round/added/retracted counters and is
+        attached to the outcome.
         """
-        kept, retracted = self._still_justified(source)
-        seed = self.pinned.union(kept)
+        if tracer is None:
+            tracer = NULL_TRACER
 
-        max_attempts = self.retry.max_attempts if self.retry is not None else 1
-        attempt = 0
-        while True:
-            attempt_budget = budget
-            if attempt > 0 and self.retry is not None and budget is not None:
-                attempt_budget = self.retry.escalate(budget, attempt)
-            try:
-                result = solve(
-                    self.setting,
-                    source,
-                    seed,
-                    node_budget=node_budget,
-                    budget=attempt_budget,
-                )
-            except BudgetExceeded as exhausted:
-                # Strict/legacy budgets raise; treat the raise like a
-                # degraded attempt so the retry policy still applies.
-                result = None
-                status = SolveStatus(exhausted.status)
-                reason = str(exhausted)
-            except SolverError as error:
-                return self._unchanged(
-                    str(error), SolveStatus.DECIDED, attempts=attempt + 1
-                )
-            if result is not None:
-                if result.decided:
-                    break
-                status = result.status
-                reason = result.reason
-            retriable = status is SolveStatus.BUDGET_EXHAUSTED
-            if not retriable or attempt + 1 >= max_attempts:
-                return self._unchanged(reason, status, attempts=attempt + 1)
-            assert self.retry is not None
-            self.retry.pause(attempt)
-            attempt += 1
+        def finish(outcome: SyncOutcome, span) -> SyncOutcome:
+            if tracer.enabled:
+                span.set("ok", outcome.ok)
+                span.set("status", outcome.status.value)
+                span.set("attempts", outcome.attempts)
+                span.add("added", len(outcome.added))
+                span.add("retracted", len(outcome.retracted))
+            if metrics is not None:
+                metrics.counter("sync.rounds").inc()
+                metrics.counter("sync.added").inc(len(outcome.added))
+                metrics.counter("sync.retracted").inc(len(outcome.retracted))
+                metrics.counter("sync.attempts").inc(outcome.attempts)
+                metrics.annotate("sync.status", outcome.status.value)
+                metrics.gauge("sync.state_size").set(len(outcome.state))
+                outcome.metrics = metrics
+            return outcome
 
-        if not result.exists:
-            return self._unchanged(
-                "the target's pinned facts are incompatible with the new "
-                "source snapshot",
-                SolveStatus.DECIDED,
-                attempts=attempt + 1,
+        with tracer.span("sync-round", round=self.rounds + 1) as round_span:
+            with tracer.span("retraction-scan"):
+                kept, retracted = self._still_justified(source)
+            seed = self.pinned.union(kept)
+
+            max_attempts = self.retry.max_attempts if self.retry is not None else 1
+            attempt = 0
+            while True:
+                attempt_budget = budget
+                if attempt > 0 and self.retry is not None and budget is not None:
+                    attempt_budget = self.retry.escalate(budget, attempt)
+                try:
+                    with tracer.span("solve-attempt", attempt=attempt + 1):
+                        result = solve(
+                            self.setting,
+                            source,
+                            seed,
+                            node_budget=node_budget,
+                            budget=attempt_budget,
+                            tracer=tracer,
+                        )
+                except BudgetExceeded as exhausted:
+                    # Strict/legacy budgets raise; treat the raise like a
+                    # degraded attempt so the retry policy still applies.
+                    result = None
+                    status = SolveStatus(exhausted.status)
+                    reason = str(exhausted)
+                except SolverError as error:
+                    return finish(
+                        self._unchanged(
+                            str(error), SolveStatus.DECIDED, attempts=attempt + 1
+                        ),
+                        round_span,
+                    )
+                if result is not None:
+                    if result.decided:
+                        break
+                    status = result.status
+                    reason = result.reason
+                retriable = status is SolveStatus.BUDGET_EXHAUSTED
+                if not retriable or attempt + 1 >= max_attempts:
+                    return finish(
+                        self._unchanged(reason, status, attempts=attempt + 1),
+                        round_span,
+                    )
+                assert self.retry is not None
+                tracer.event("retry", attempt=attempt + 1, status=status.value)
+                if metrics is not None:
+                    metrics.counter("sync.retries").inc()
+                self.retry.pause(attempt)
+                attempt += 1
+
+            if not result.exists:
+                return finish(
+                    self._unchanged(
+                        "the target's pinned facts are incompatible with the "
+                        "new source snapshot",
+                        SolveStatus.DECIDED,
+                        attempts=attempt + 1,
+                    ),
+                    round_span,
+                )
+
+            new_state = result.solution
+            added = Instance(schema=self.setting.target_schema)
+            previous = self.state()
+            for fact in new_state:
+                if fact not in previous:
+                    added.add(fact)
+            imported = Instance(schema=self.setting.target_schema)
+            for fact in new_state:
+                if fact not in self.pinned:
+                    imported.add(fact)
+            round_number = self.rounds + 1
+            if self.journal is not None:
+                # Commit durably before mutating in-memory state: a crash
+                # between the two replays to the committed round.
+                self.journal.ensure_header(self.setting, self.pinned)
+                self.journal.record_round(round_number, imported, added, retracted)
+                tracer.event("journal-commit", round=round_number)
+            self.rounds = round_number
+            self._imported = imported
+            return finish(
+                SyncOutcome(
+                    ok=True,
+                    added=added,
+                    retracted=retracted,
+                    state=self.state(),
+                    attempts=attempt + 1,
+                ),
+                round_span,
             )
-
-        new_state = result.solution
-        added = Instance(schema=self.setting.target_schema)
-        previous = self.state()
-        for fact in new_state:
-            if fact not in previous:
-                added.add(fact)
-        imported = Instance(schema=self.setting.target_schema)
-        for fact in new_state:
-            if fact not in self.pinned:
-                imported.add(fact)
-        round_number = self.rounds + 1
-        if self.journal is not None:
-            # Commit durably before mutating in-memory state: a crash
-            # between the two replays to the committed round.
-            self.journal.ensure_header(self.setting, self.pinned)
-            self.journal.record_round(round_number, imported, added, retracted)
-        self.rounds = round_number
-        self._imported = imported
-        return SyncOutcome(
-            ok=True,
-            added=added,
-            retracted=retracted,
-            state=self.state(),
-            attempts=attempt + 1,
-        )

@@ -1,5 +1,6 @@
 """Synthetic workload generators: graphs, random settings, random
-instances, and the genomics scenario of the paper's Introduction."""
+instances, the genomics scenario of the paper's Introduction, and the
+named profiling workloads behind ``repro.cli profile``."""
 
 from repro.workloads.graphs import (
     bipartite_graph,
@@ -15,6 +16,7 @@ from repro.workloads.instances import (
     random_instance,
     random_source,
 )
+from repro.workloads.profiles import ProfileWorkload, profile_workloads
 from repro.workloads.scenarios import (
     generate_genomics_data,
     generate_procurement_data,
@@ -39,6 +41,8 @@ __all__ = [
     "instance_family",
     "random_instance",
     "random_source",
+    "ProfileWorkload",
+    "profile_workloads",
     "generate_genomics_data",
     "generate_procurement_data",
     "genomics_setting",

@@ -1,0 +1,119 @@
+"""Named workloads for ``repro.cli profile``.
+
+Each :class:`ProfileWorkload` bundles a setting + instance generator with
+a size knob, so the profiler CLI (and the observability tests) can run a
+known-shape solve under a tracer by name:
+
+* ``genomics`` — the paper's Introduction scenario; in ``C_tract``, so it
+  profiles the two chases and the per-block homomorphism tests of the
+  polynomial Figure 3 algorithm;
+* ``procurement`` — audit-backed procurement; outside ``C_tract`` (its
+  ``Σ_ts`` conclusions export unmarked variables), so it dispatches to
+  the NP valuation search, though the search itself is easy (``J_can``
+  is null-free);
+* ``clique`` — the Theorem 3 clique reduction on a triangle-free cycle,
+  an *unsatisfiable* NP instance: the valuation search must rule out
+  every candidate, so the trace shows real nodes-expanded/backtrack
+  counts.
+
+Sizes are small integers scaling the generator (proteins, suppliers,
+cycle length); every workload also declares a ``smoke_size`` cheap
+enough for ``profile --check`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+
+__all__ = ["ProfileWorkload", "profile_workloads"]
+
+Workload = tuple[PDESetting, Instance, Instance]
+
+
+@dataclass(frozen=True)
+class ProfileWorkload:
+    """One named, size-parameterized profiling workload.
+
+    Attributes:
+        name: registry key (``repro.cli profile NAME``).
+        description: one-line summary shown in ``profile --list``.
+        kind: ``"tractable"`` or ``"np"`` — which solver family the
+            workload exercises.
+        default_size: size used when the CLI gets no ``--size``.
+        smoke_size: tiny size for ``profile --check`` smoke runs.
+        builder: maps a size to ``(setting, source, target)``.
+    """
+
+    name: str
+    description: str
+    kind: str
+    default_size: int
+    smoke_size: int
+    builder: Callable[[int], Workload]
+
+    def build(self, size: int | None = None) -> Workload:
+        """Build ``(setting, source, target)`` at ``size`` (or the default)."""
+        return self.builder(size if size is not None else self.default_size)
+
+
+def _genomics(size: int) -> Workload:
+    from repro.workloads.scenarios import generate_genomics_data, genomics_setting
+
+    source, target = generate_genomics_data(proteins=size, seed=7)
+    return genomics_setting(), source, target
+
+
+def _procurement(size: int) -> Workload:
+    from repro.workloads.scenarios import (
+        generate_procurement_data,
+        procurement_setting,
+    )
+
+    source, target = generate_procurement_data(suppliers=size, seed=7)
+    return procurement_setting(), source, target
+
+
+def _clique(size: int) -> Workload:
+    from repro.reductions.clique import clique_setting, clique_source_instance
+    from repro.workloads.graphs import cycle_graph
+
+    # A cycle of length >= 4 is triangle-free, so asking for a 3-clique is
+    # unsatisfiable and the valuation search must exhaust its space.
+    nodes, edges = cycle_graph(max(size, 4))
+    source = clique_source_instance(nodes, edges, k=3)
+    return clique_setting(), source, Instance()
+
+
+def profile_workloads() -> dict[str, ProfileWorkload]:
+    """The registry of named profiling workloads, keyed by name."""
+    workloads = [
+        ProfileWorkload(
+            name="genomics",
+            description="C_tract genomics sync (chases + per-block hom tests)",
+            kind="tractable",
+            default_size=20,
+            smoke_size=3,
+            builder=_genomics,
+        ),
+        ProfileWorkload(
+            name="procurement",
+            description="NP-dispatched procurement audit (easy search)",
+            kind="np",
+            default_size=10,
+            smoke_size=2,
+            builder=_procurement,
+        ),
+        ProfileWorkload(
+            name="clique",
+            description="Theorem 3 clique reduction, unsatisfiable (real search)",
+            kind="np",
+            default_size=5,
+            smoke_size=4,
+            builder=_clique,
+        ),
+    ]
+    return {workload.name: workload for workload in workloads}

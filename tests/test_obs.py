@@ -1,0 +1,497 @@
+"""Tests for the observability layer: tracer, metrics, exporters, hooks."""
+
+import json
+import time
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance, parse_query
+from repro.core.setting import PDESetting
+from repro.exceptions import TraceError
+from repro.obs import (
+    DEFAULT_DURATION_BUCKETS_MS,
+    MetricsRegistry,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    aggregate_spans,
+    chrome_trace,
+    read_trace_jsonl,
+    render_span_tree,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.runtime import Budget, RetryPolicy, SolveStatus
+from repro.solver import certain_answers, solve
+from repro.sync import SyncSession
+
+
+@pytest.fixture
+def example_setting() -> PDESetting:
+    return PDESetting.from_text(
+        source={"E": 2},
+        target={"H": 2},
+        st="E(x, z), E(z, y) -> H(x, y)",
+        ts="H(x, y) -> E(x, y)",
+        name="composition",
+    )
+
+
+@pytest.fixture
+def np_workload():
+    """An unsatisfiable valuation-search workload (triangle-free cycle)."""
+    from repro.reductions.clique import clique_setting, clique_source_instance
+    from repro.workloads import cycle_graph
+
+    nodes, edges = cycle_graph(4)
+    source = clique_source_instance(nodes, edges, k=3)
+    return clique_setting(), source, Instance()
+
+
+class FakeClock:
+    """Deterministic clock for span-duration assertions."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTracer:
+    def test_nesting_and_durations(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer", kind="demo") as outer:
+            clock.tick(1.0)
+            with tracer.span("inner"):
+                clock.tick(2.0)
+            clock.tick(0.5)
+            outer.set("done", True)
+        assert [root.name for root in tracer.roots] == ["outer"]
+        assert outer.attributes == {"kind": "demo", "done": True}
+        assert outer.duration == pytest.approx(3.5)
+        assert outer.self_duration == pytest.approx(1.5)
+        inner = outer.children[0]
+        assert inner.name == "inner"
+        assert inner.duration == pytest.approx(2.0)
+
+    def test_counters_events_and_orphans(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.event("early")  # outside any span
+        with tracer.span("work") as span:
+            tracer.add("units", 3)
+            tracer.add("units", 2)
+            tracer.event("milestone", at_step=5)
+            tracer.annotate(phase="late")
+        assert span.counters == {"units": 5}
+        assert span.attributes["phase"] == "late"
+        assert [event["name"] for event in span.events] == ["milestone"]
+        assert [event["name"] for event in tracer.orphan_events] == ["early"]
+
+    def test_exception_marks_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        assert tracer.roots[0].attributes["error"] == "ValueError"
+        assert tracer.current is None  # stack unwound
+
+    def test_walk_find_total(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                tracer.add("n", 1)
+            with tracer.span("b"):
+                tracer.add("n", 2)
+        assert [span.name for _d, span in a.walk()] == ["a", "b", "b"]
+        assert a.find("b") is a.children[0]
+        assert a.total("n") == 3
+        assert tracer.find("missing") is None
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("anything", key="value") as span:
+            span.set("ignored", 1)
+            span.add("ignored", 1)
+            tracer.event("ignored")
+            tracer.add("ignored")
+            tracer.annotate(ignored=True)
+        assert not tracer.enabled
+        assert tracer.roots == []
+        assert tracer.orphan_events == []
+        assert tracer.current is None
+        assert list(tracer.spans()) == []
+        # The shared singleton stayed clean too.
+        assert NULL_TRACER.roots == []
+
+    def test_noop_span_overhead_is_trivial(self):
+        # The no-op path must not allocate, time, or record: entering a
+        # quarter-million null spans should take well under a second even
+        # on a loaded CI machine (a real Tracer doing real work would not).
+        started = time.perf_counter()
+        for _ in range(250_000):
+            with NULL_TRACER.span("hot"):
+                pass
+        elapsed = time.perf_counter() - started
+        assert elapsed < 1.0, f"no-op span path took {elapsed:.2f}s"
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc()
+        registry.counter("steps").inc(4)
+        registry.gauge("depth").set(7)
+        histogram = registry.histogram("latency_ms")
+        for value in (0.5, 3.0, 700.0, 99999.0):
+            histogram.observe(value)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["steps"] == 5
+        assert snapshot["gauges"]["depth"] == 7
+        assert snapshot["histograms"]["latency_ms"]["count"] == 4
+        assert snapshot["histograms"]["latency_ms"]["sum"] == pytest.approx(100702.5)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_absorb_and_summary(self):
+        registry = MetricsRegistry()
+        registry.absorb({"nodes": 12, "exists": True, "method": "tractable"},
+                        prefix="solve.")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["solve.nodes"] == 12
+        assert snapshot["gauges"]["solve.exists"] == 1
+        assert snapshot["labels"]["solve.method"] == "tractable"
+        summary = registry.summary()
+        assert "solve.nodes = 12" in summary
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_DURATION_BUCKETS_MS) == sorted(DEFAULT_DURATION_BUCKETS_MS)
+
+
+class TestJsonlRoundTrip:
+    def _record_solve(self, setting, source) -> Tracer:
+        tracer = Tracer()
+        result = solve(setting, source, Instance(), tracer=tracer)
+        assert result.decided
+        return tracer
+
+    def test_write_read_render(self, tmp_path, example_setting):
+        tracer = self._record_solve(
+            example_setting, parse_instance("E(a, b); E(b, c); E(a, c)")
+        )
+        path = tmp_path / "trace.jsonl"
+        written = write_trace_jsonl(tracer, path)
+        assert written == sum(1 for _ in tracer.spans())
+
+        # Every line is standalone JSON; the first is the versioned header.
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0] == {
+            "type": "header", "version": TRACE_SCHEMA_VERSION,
+            "format": "repro-trace",
+        }
+
+        roots = read_trace_jsonl(path)
+        assert [root.name for root in roots] == [r.name for r in tracer.roots]
+        original = [(d, s.name, s.counters) for root in tracer.roots
+                    for d, s in root.walk()]
+        recovered = [(d, s.name, s.counters) for root in roots
+                     for d, s in root.walk()]
+        assert recovered == original
+
+        # The reread forest renders the same tree shape as the live one.
+        rendered = render_span_tree(roots)
+        assert [line.split()[0] for line in rendered.splitlines()] == [
+            line.split()[0] for line in render_span_tree(tracer).splitlines()
+        ]
+        assert "solve" in rendered
+
+    def test_trace_names_solver_and_chase_fires(self, tmp_path, example_setting):
+        tracer = self._record_solve(
+            example_setting, parse_instance("E(a, b); E(b, c); E(a, c)")
+        )
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(tracer, path)
+        roots = read_trace_jsonl(path)
+        solve_span = roots[0].find("solve")
+        assert solve_span.attributes["dispatched"] == "tractable"
+        chase_span = roots[0].find("chase")
+        fires = chase_span.attributes["fires"]
+        assert fires and all(count >= 1 for count in fires.values())
+        assert any("->" in rendered for rendered in fires)
+
+    def test_torn_final_line_is_dropped(self, tmp_path, example_setting):
+        tracer = self._record_solve(
+            example_setting, parse_instance("E(a, b); E(b, c); E(a, c)")
+        )
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(tracer, path)
+        text = path.read_text()
+        torn = text.rstrip("\n")
+        path.write_text(torn[: len(torn) - 20])  # crash mid-record
+        roots = read_trace_jsonl(path)
+        assert sum(1 for root in roots for _ in root.walk()) \
+            == sum(1 for _ in tracer.spans()) - 1
+
+    def test_interior_corruption_raises(self, tmp_path, example_setting):
+        tracer = self._record_solve(
+            example_setting, parse_instance("E(a, b); E(b, c); E(a, c)")
+        )
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(tracer, path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]  # corrupt a committed interior record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError):
+            read_trace_jsonl(path)
+
+    def test_header_validation(self, tmp_path):
+        missing = tmp_path / "missing.jsonl"
+        with pytest.raises(TraceError):
+            read_trace_jsonl(missing)
+
+        no_header = tmp_path / "no_header.jsonl"
+        no_header.write_text('{"type": "span", "id": 0, "parent": null}\n')
+        with pytest.raises(TraceError):
+            read_trace_jsonl(no_header)
+
+        bad_version = tmp_path / "bad_version.jsonl"
+        bad_version.write_text(
+            '{"type": "header", "format": "repro-trace", "version": 999}\n'
+        )
+        with pytest.raises(TraceError):
+            read_trace_jsonl(bad_version)
+
+
+class TestChromeTrace:
+    def test_valid_trace_event_document(self, tmp_path, example_setting):
+        tracer = Tracer()
+        solve(example_setting,
+              parse_instance("E(a, b); E(b, c); E(a, c)"), Instance(),
+              tracer=tracer)
+        document = chrome_trace(tracer)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert events
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in spans} >= {"solve", "chase"}
+        for event in events:
+            assert event["ts"] >= 0.0
+            json.dumps(event)  # every record is JSON-serializable
+        assert min(e["ts"] for e in events) == 0.0  # origin-relative
+
+        path = tmp_path / "chrome.json"
+        write_chrome_trace(tracer, path)
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestAggregation:
+    def test_aggregate_spans_self_time(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            clock.tick(1.0)
+            with tracer.span("leaf"):
+                clock.tick(3.0)
+            with tracer.span("leaf"):
+                clock.tick(2.0)
+        entries = {entry["name"]: entry for entry in aggregate_spans(tracer)}
+        assert entries["leaf"]["count"] == 2
+        assert entries["leaf"]["total_s"] == pytest.approx(5.0)
+        assert entries["outer"]["self_s"] == pytest.approx(1.0)
+        assert aggregate_spans(tracer, top=1)[0]["name"] == "leaf"
+
+
+class TestSolverInstrumentation:
+    def test_solve_span_tree_tractable(self, example_setting):
+        tracer = Tracer()
+        result = solve(example_setting,
+                       parse_instance("E(a, b); E(b, c); E(a, c)"),
+                       Instance(), tracer=tracer)
+        assert result.exists
+        solve_span = tracer.find("solve")
+        assert solve_span.attributes["dispatched"] == "tractable"
+        assert solve_span.attributes["exists"] is True
+        assert [e["name"] for e in solve_span.events] == ["dispatch"]
+        tractable_span = solve_span.find("tractable")
+        assert tractable_span.counters["hom_tests"] >= 1
+        assert tractable_span.attributes["blocks"] >= 1
+
+    def test_solve_span_tree_np(self, np_workload):
+        setting, source, target = np_workload
+        tracer = Tracer()
+        result = solve(setting, source, target, tracer=tracer)
+        assert not result.exists
+        search_span = tracer.find("valuation-search")
+        assert search_span.counters["nodes"] > 0
+        assert search_span.counters["backtracks"] > 0
+        assert search_span.attributes["exists"] is False
+
+    def test_solve_metrics_attachment(self, example_setting):
+        registry = MetricsRegistry()
+        result = solve(example_setting,
+                       parse_instance("E(a, b); E(b, c); E(a, c)"),
+                       Instance(), metrics=registry)
+        assert result.metrics is registry
+        snapshot = registry.snapshot()
+        assert snapshot["labels"]["solve.solver"] == "tractable"
+        assert snapshot["histograms"]["solve.duration_ms"]["count"] == 1
+
+    def test_untraced_result_has_no_metrics(self, example_setting):
+        result = solve(example_setting,
+                       parse_instance("E(a, b); E(b, c); E(a, c)"), Instance())
+        assert result.metrics is None
+
+    def test_budget_snapshot_on_success(self, example_setting, np_workload):
+        # Successful results now carry the final budget snapshot too, not
+        # just degraded ones — on both the tractable and the NP path.
+        result = solve(example_setting,
+                       parse_instance("E(a, b); E(b, c); E(a, c)"), Instance())
+        assert result.exists
+        assert result.stats["budget_chase_steps"] > 0
+        setting, source, target = np_workload
+        result = solve(setting, source, target)
+        assert result.decided
+        assert result.stats["budget_nodes"] > 0
+
+    def test_certain_answers_trace_and_metrics(self, example_setting):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        result = certain_answers(
+            example_setting, parse_query("q(x, y) :- H(x, y)"),
+            parse_instance("E(a, b); E(b, c); E(a, c)"), Instance(),
+            tracer=tracer, metrics=registry,
+        )
+        assert result.decided
+        span = tracer.find("certain-answers")
+        assert span.attributes["certain"] == len(result.answers)
+        assert result.metrics is registry
+        assert registry.snapshot()["counters"]["certain.answers"] \
+            == len(result.answers)
+
+    def test_explain_exhausted_search_reports_metrics(self, np_workload):
+        from repro.solver.explain import explain
+
+        setting, source, target = np_workload
+        explanation = explain(setting, source, target)
+        assert not explanation.exists
+        assert explanation.reason == "exhausted-search"
+        assert explanation.details["metrics"]["counters"]["solve.nodes"] > 0
+        assert "search nodes explored" in explanation.narrative
+
+
+class TestSyncInstrumentation:
+    @pytest.fixture
+    def registry_setting(self) -> PDESetting:
+        return PDESetting.from_text(
+            source={"reg": 2},
+            target={"db": 2},
+            st="reg(k, v) -> db(k, v)",
+            ts="db(k, v) -> reg(k, v)",
+            name="registry",
+        )
+
+    def test_sync_round_spans(self, registry_setting):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        session = SyncSession(registry_setting)
+        outcome = session.sync(parse_instance("reg(a, 1); reg(b, 2)"),
+                               tracer=tracer, metrics=registry)
+        assert outcome.ok
+        round_span = tracer.find("sync-round")
+        assert round_span.attributes["round"] == 1
+        assert round_span.attributes["ok"] is True
+        assert round_span.counters["added"] == 2
+        names = [span.name for _d, span in round_span.walk()]
+        assert "retraction-scan" in names
+        assert "solve-attempt" in names
+        assert "solve" in names  # the solver trace nests under the attempt
+        assert outcome.metrics is registry
+        assert registry.snapshot()["counters"]["sync.added"] == 2
+
+    def test_retry_events_recorded(self, registry_setting):
+        # First attempt exhausts a one-chase-step budget; escalation (4x)
+        # lets the retry succeed.  The trace must show both attempts and a
+        # retry event, and the metrics must count the retry.
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        sleeps: list[float] = []
+        session = SyncSession(
+            registry_setting,
+            retry=RetryPolicy(max_attempts=3, jitter=0.0,
+                              sleep=sleeps.append),
+        )
+        outcome = session.sync(
+            parse_instance("reg(a, 1); reg(b, 2); reg(c, 3)"),
+            budget=Budget(chase_step_cap=1),
+            tracer=tracer, metrics=registry,
+        )
+        assert outcome.ok
+        assert outcome.attempts >= 2
+        round_span = tracer.find("sync-round")
+        attempts = [span for _d, span in round_span.walk()
+                    if span.name == "solve-attempt"]
+        assert len(attempts) == outcome.attempts
+        retries = [e for e in round_span.events if e["name"] == "retry"]
+        assert len(retries) == outcome.attempts - 1
+        assert retries[0]["attributes"]["status"] \
+            == SolveStatus.BUDGET_EXHAUSTED.value
+        assert registry.snapshot()["counters"]["sync.retries"] \
+            == outcome.attempts - 1
+        assert sleeps  # the policy's backoff path ran
+
+    def test_journal_commit_event(self, registry_setting, tmp_path):
+        from repro.runtime import SessionJournal
+
+        tracer = Tracer()
+        session = SyncSession(
+            registry_setting, journal=SessionJournal(tmp_path / "sync.jsonl")
+        )
+        assert session.sync(parse_instance("reg(a, 1)"), tracer=tracer).ok
+        round_span = tracer.find("sync-round")
+        commits = [e for e in round_span.events if e["name"] == "journal-commit"]
+        assert len(commits) == 1
+        assert commits[0]["attributes"]["round"] == 1
+
+
+class TestReportIntegration:
+    def test_describe_setting_with_tracer(self, example_setting):
+        from repro.report import describe_setting
+
+        tracer = Tracer()
+        solve(example_setting, parse_instance("E(a, b); E(b, c); E(a, c)"),
+              Instance(), tracer=tracer)
+        report = describe_setting(example_setting, trace=tracer)
+        assert "## Last run" in report
+        assert "dispatched solver: **tractable**" in report
+        assert "### Span tree" in report
+        assert "### Aggregated spans" in report
+
+    def test_describe_setting_with_trace_file(self, example_setting, tmp_path):
+        from repro.report import describe_setting
+
+        tracer = Tracer()
+        solve(example_setting, parse_instance("E(a, b); E(b, c); E(a, c)"),
+              Instance(), tracer=tracer)
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(tracer, path)
+        report = describe_setting(example_setting, trace=str(path))
+        assert "## Last run" in report
+        assert "dispatched solver: **tractable**" in report
+
+    def test_describe_setting_without_trace_unchanged(self, example_setting):
+        from repro.report import describe_setting
+
+        report = describe_setting(example_setting)
+        assert "## Last run" not in report

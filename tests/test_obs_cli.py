@@ -1,0 +1,147 @@
+"""CLI tests for the observability surface: --trace, --metrics, profile."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import dumps_setting
+from repro.obs import read_trace_jsonl
+
+
+@pytest.fixture
+def example1_files(tmp_path, example1_setting):
+    setting_path = tmp_path / "setting.json"
+    setting_path.write_text(dumps_setting(example1_setting, indent=2))
+    good = tmp_path / "good.txt"
+    good.write_text("E(a, b); E(b, c); E(a, c)")
+    return setting_path, good
+
+
+class TestSolveTrace:
+    def test_trace_file_is_parseable_and_names_solver(
+        self, example1_files, tmp_path, capsys
+    ):
+        # The PR's acceptance criterion: `solve --trace out.jsonl` writes
+        # parseable JSONL whose span tree names the dispatched solver and
+        # the per-dependency chase fire counts.
+        setting, good = example1_files
+        trace_path = tmp_path / "out.jsonl"
+        code = main(["solve", str(setting), str(good),
+                     "--trace", str(trace_path)])
+        assert code == 0
+
+        for line in trace_path.read_text().splitlines():
+            json.loads(line)  # every line is standalone JSON
+        roots = read_trace_jsonl(trace_path)
+        solve_span = roots[0].find("solve")
+        assert solve_span.attributes["dispatched"] == "tractable"
+        chase_span = roots[0].find("chase")
+        assert chase_span.attributes["fires"]  # per-dependency fire counts
+
+    def test_trace_records_np_nodes(self, tmp_path, capsys):
+        # On an NP-dispatched setting the trace shows nodes expanded.
+        from repro.core.instance import Instance
+        from repro.io import dumps_instance
+        from repro.reductions.clique import clique_setting, clique_source_instance
+        from repro.workloads import cycle_graph
+
+        nodes, edges = cycle_graph(4)
+        setting_path = tmp_path / "clique.json"
+        setting_path.write_text(dumps_setting(clique_setting()))
+        source_path = tmp_path / "source.json"
+        source_path.write_text(
+            dumps_instance(clique_source_instance(nodes, edges, k=3))
+        )
+        trace_path = tmp_path / "out.jsonl"
+        code = main(["solve", str(setting_path), str(source_path),
+                     "--trace", str(trace_path)])
+        assert code == 1  # triangle-free cycle: no 3-clique, no solution
+        roots = read_trace_jsonl(trace_path)
+        search = roots[0].find("valuation-search")
+        assert search.counters["nodes"] > 0
+
+    def test_metrics_flag_prints_summary(self, example1_files, capsys):
+        setting, good = example1_files
+        code = main(["solve", str(setting), str(good), "--metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "metrics:" in out
+        assert "solve.solver = tractable" in out
+        assert "solve.duration_ms" in out
+
+
+class TestCertainAndSyncTrace:
+    def test_certain_trace(self, example1_files, tmp_path, capsys):
+        setting, good = example1_files
+        trace_path = tmp_path / "certain.jsonl"
+        code = main(["certain", str(setting), str(good),
+                     "--query", "q(x, y) :- H(x, y)",
+                     "--trace", str(trace_path), "--metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        roots = read_trace_jsonl(trace_path)
+        assert roots[0].find("certain-answers") is not None
+        assert "certain.answers" in out
+
+    def test_sync_trace_spans_per_round(self, example1_files, tmp_path, capsys):
+        setting, good = example1_files
+        second = tmp_path / "second.txt"
+        second.write_text(
+            "E(a, b); E(b, c); E(a, c); E(c, d); E(b, d); E(a, d)"
+        )
+        trace_path = tmp_path / "sync.jsonl"
+        code = main(["sync", str(setting), str(good), str(second),
+                     "--trace", str(trace_path)])
+        assert code == 0
+        roots = read_trace_jsonl(trace_path)
+        rounds = [root for root in roots if root.name == "sync-round"]
+        assert [span.attributes["round"] for span in rounds] == [1, 2]
+        assert all(span.find("solve-attempt") is not None for span in rounds)
+
+
+class TestProfileCommand:
+    def test_profile_lists_workloads(self, capsys):
+        code = main(["profile", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("genomics", "procurement", "clique"):
+            assert name in out
+
+    def test_profile_check_smoke(self, capsys):
+        # The suite's smoke invocation of `repro.cli profile --check`.
+        code = main(["profile", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "genomics: ok" in out
+        assert "clique: ok" in out
+
+    def test_profile_renders_top_spans(self, capsys):
+        code = main(["profile", "clique", "--size", "4", "--top", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "method: valuation-search" in out
+        assert "spans by self time" in out
+        assert "valuation-search" in out
+
+    def test_profile_writes_trace_and_chrome(self, tmp_path, capsys):
+        trace_path = tmp_path / "p.jsonl"
+        chrome_path = tmp_path / "p.json"
+        code = main(["profile", "genomics", "--size", "3",
+                     "--trace", str(trace_path), "--chrome", str(chrome_path)])
+        assert code == 0
+        roots = read_trace_jsonl(trace_path)
+        assert roots[0].find("solve") is not None
+        document = json.loads(chrome_path.read_text())
+        assert document["traceEvents"]
+
+    def test_profile_unknown_workload(self, capsys):
+        code = main(["profile", "nonsense"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown workload" in err
+
+    def test_profile_requires_a_selector(self, capsys):
+        code = main(["profile"])
+        assert code == 2
+        assert "workload name is required" in capsys.readouterr().err
