@@ -1,0 +1,103 @@
+"""Experiment — simulator overhead over direct sync rounds.
+
+The :mod:`repro.net` simulator wraps every snapshot ingestion in a
+transport hop (fault decision, heap scheduling, stamp bookkeeping) and a
+driver step.  The protocol machinery should be cheap relative to the
+sync rounds themselves — the solver work dominates, not the simulated
+network.  This bench measures:
+
+* **direct**: the publisher's snapshots fed straight into one
+  :class:`repro.sync.SyncSession` per peer (the work a perfect network
+  would cause);
+* **simulated**: the same snapshots run through
+  :class:`repro.net.NetworkSimulator` on fault-free links (same solver
+  work, plus all transport/driver overhead);
+* **faulty**: the shipped ``registry`` scenario with its seeded
+  drop/duplicate/reorder schedules and partition/heal — the full
+  robustness path, including stale rejections and anti-entropy.
+
+The record lands in ``BENCH_net.json`` (via the grouped ``record``
+fixture).  The assertion keeps the fault-free simulator within a
+generous multiple of direct rounds; the real number is in the table.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.net import NetworkSimulator, Scenario, registry_scenario
+from repro.net.scenarios import _registry_snapshots, registry_setting
+from repro.sync import SyncSession
+
+
+def _direct_rounds() -> None:
+    setting = registry_setting()
+    snapshots = _registry_snapshots()
+    for _peer in range(3):
+        session = SyncSession(setting)
+        for snapshot in snapshots:
+            assert session.sync(snapshot).ok
+
+
+def _fault_free_scenario() -> Scenario:
+    return Scenario(
+        name="perfect",
+        description="registry mirrored over perfect links",
+        setting=registry_setting(),
+        snapshots=_registry_snapshots(),
+        peers=["peer-a", "peer-b", "peer-c"],
+    )
+
+
+def _simulated(scenario_builder) -> None:
+    report = NetworkSimulator(scenario_builder()).run()
+    assert report.converged
+
+
+def test_simulator_overhead(benchmark, table, record):
+    """Simulator driver + transport cost vs direct sync rounds."""
+    repeats = 5
+    variants = [
+        ("direct", _direct_rounds),
+        ("simulated", lambda: _simulated(_fault_free_scenario)),
+        ("faulty", lambda: _simulated(lambda: registry_scenario(7))),
+    ]
+
+    def run():
+        timings = {}
+        for name, body in variants:
+            samples = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                body()
+                samples.append(time.perf_counter() - started)
+            timings[name] = min(samples)  # best-of-N: isolate overhead
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=3, iterations=1)
+    base = timings["direct"]
+    rows = [
+        [name, f"{timings[name] * 1000:.1f} ms", f"{timings[name] / base:.2f}x"]
+        for name, _ in variants
+    ]
+    table(
+        "Network simulator overhead (registry scenario, 6 rounds x 3 peers)",
+        ["variant", "time", "vs direct"],
+        rows,
+    )
+    ratio = timings["simulated"] / base
+    record(
+        "bench_net.simulator_overhead",
+        {
+            "scenario": "registry",
+            "peers": 3,
+            "rounds": 6,
+            "direct_ms": base * 1000,
+            "simulated_ms": timings["simulated"] * 1000,
+            "faulty_ms": timings["faulty"] * 1000,
+            "simulated_over_direct": ratio,
+        },
+    )
+    # The convergence check replays a fault-free oracle (~one extra peer's
+    # worth of sync rounds), so ~1.3x is inherent; 3x is the flake ceiling.
+    assert ratio < 3.0, f"simulator overhead {ratio:.2f}x exceeds the 3x ceiling"

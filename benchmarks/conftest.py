@@ -7,9 +7,12 @@ distributions.
 
 Benchmarks that also want a machine-readable record use the ``record``
 fixture: each ``record(name, payload)`` call appends one measurement, and
-when at least one was recorded the session writes ``BENCH_obs.json`` at
-the repository root — a schema-versioned document CI can diff or chart
-without scraping the printed tables.
+at session end every group of measurements is written to a
+``BENCH_<group>.json`` file at the repository root — a schema-versioned
+document CI can diff or chart without scraping the printed tables.  The
+group is the measurement name's ``bench_<group>.`` prefix, so
+``record("bench_obs.tracer_overhead", ...)`` lands in ``BENCH_obs.json``
+and ``record("bench_net.sim_overhead", ...)`` in ``BENCH_net.json``.
 """
 
 from __future__ import annotations
@@ -19,10 +22,12 @@ from pathlib import Path
 
 import pytest
 
-#: Measurements recorded via the ``record`` fixture this session.
-_RECORDED: list[dict] = []
+#: Measurements recorded via the ``record`` fixture this session, grouped
+#: by output file stem (``obs`` → ``BENCH_obs.json``).
+_RECORDED: dict[str, list[dict]] = {}
 
-#: Schema version of ``BENCH_obs.json``; bump when the layout changes.
+#: Schema version of the ``BENCH_*.json`` files; bump when the layout
+#: changes.
 BENCH_SCHEMA_VERSION = 1
 
 
@@ -45,28 +50,42 @@ def table():
     return print_table
 
 
+def _group_of(name: str) -> str:
+    """The output-file group of a measurement name.
+
+    ``bench_net.sim_overhead`` → ``net``; names without the
+    ``bench_<group>.`` shape fall back to the ``obs`` group (the original
+    single-file behavior).
+    """
+    head, _, _ = name.partition(".")
+    if head.startswith("bench_") and len(head) > len("bench_"):
+        return head[len("bench_"):]
+    return "obs"
+
+
 @pytest.fixture
 def record():
-    """Fixture recording one named measurement into ``BENCH_obs.json``.
+    """Fixture recording one named measurement into ``BENCH_<group>.json``.
 
     Call as ``record("bench_obs.tracer_overhead", {...})`` with a
-    JSON-serializable payload; the file is written once at session end.
+    JSON-serializable payload; one file per group is written at session
+    end.
     """
 
     def _record(name: str, payload: dict) -> None:
-        _RECORDED.append({"name": name, **payload})
+        _RECORDED.setdefault(_group_of(name), []).append({"name": name, **payload})
 
     return _record
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Write ``BENCH_obs.json`` when any benchmark recorded measurements."""
-    if not _RECORDED:
-        return
-    document = {
-        "schema_version": BENCH_SCHEMA_VERSION,
-        "format": "repro-bench",
-        "results": _RECORDED,
-    }
-    out = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
-    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    """Write one ``BENCH_<group>.json`` per group that recorded measurements."""
+    root = Path(__file__).resolve().parent.parent
+    for group, results in sorted(_RECORDED.items()):
+        document = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "format": "repro-bench",
+            "results": results,
+        }
+        out = root / f"BENCH_{group}.json"
+        out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -100,7 +100,7 @@ from repro.solver import (
     is_certain,
     solve,
 )
-from repro.sync import SyncOutcome, SyncSession
+from repro.sync import Stamp, SyncOutcome, SyncSession
 from repro.tractability import CtractReport, classify, is_in_ctract
 
 __version__ = "1.0.0"
@@ -167,6 +167,7 @@ __all__ = [
     "find_solution",
     "is_certain",
     "solve",
+    "Stamp",
     "SyncOutcome",
     "SyncSession",
     "CtractReport",

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli certain   setting.json source.txt --query "H(x, y)"
     python -m repro.cli chase     setting.json source.txt [target.txt]
     python -m repro.cli sync      setting.json snap1.txt [snap2.txt ...]
+    python -m repro.cli simulate  [registry|genomics|crash] [--seed N] [--log]
     python -m repro.cli profile   clique [--size N] [--top K] [--trace out.jsonl]
 
 Setting files use the JSON format of :mod:`repro.io.serialization`;
@@ -28,6 +29,14 @@ from 1 (a definitive negative answer).  ``sync`` replays one round per
 snapshot file, optionally journaling to ``--journal`` for crash-safe
 resumption, and exits 4 when any round degraded, else 1 when any round
 was rejected, else 0.
+
+``simulate`` runs a named :mod:`repro.net` scenario — a multi-peer sync
+over a seeded unreliable network with drops, duplicates, reordering, and
+partitions — to quiescence and checks convergence against the fault-free
+oracle.  It exits 0 when every reachable peer converged and 4 when any
+diverged (the degraded-result convention); ``--log`` prints the
+deterministic event log, and ``--journal-dir`` gives crash scenarios a
+durable directory to resume from.
 
 Observability: ``solve``, ``certain``, and ``sync`` accept ``--trace
 PATH`` (record a span tree to a JSONL file readable with
@@ -303,6 +312,58 @@ def _cmd_sync(args: argparse.Namespace) -> int:
     return 1 if any_rejected else 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.net import NetworkSimulator, scenario_registry
+
+    registry = scenario_registry()
+    if args.list:
+        for name, builder in registry.items():
+            print(f"{name:<10s} {builder(0).description}")
+        return 0
+    builder = registry.get(args.scenario)
+    if builder is None:
+        known = ", ".join(sorted(registry))
+        print(
+            f"simulate: unknown scenario {args.scenario!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = builder(args.seed)
+    tracer, metrics = _build_obs(args)
+    simulator = NetworkSimulator(
+        scenario, journal_dir=args.journal_dir, tracer=tracer, metrics=metrics
+    )
+    report = simulator.run()
+    if args.log:
+        for line in report.log:
+            print(line)
+        print()
+    print(f"scenario: {report.scenario} (seed {report.seed}) — {scenario.description}")
+    print(
+        f"published {report.published} snapshots to {len(scenario.peers)} peers; "
+        f"final stamp {report.final_stamp}"
+    )
+    stats = report.stats
+    print(
+        f"transport: sent={stats['sent']} delivered={stats['delivered']} "
+        f"dropped={stats['dropped']} partition_dropped={stats['partition_dropped']} "
+        f"duplicated={stats['duplicated']} reordered={stats['reordered']}"
+    )
+    print(
+        f"protocol: applied={stats['applied']} stale={stats['stale']} "
+        f"rejected={stats['rejected']} degraded={stats['degraded']} "
+        f"anti_entropy={stats['anti_entropy']}"
+    )
+    convergence = report.convergence
+    for peer, ok in sorted(convergence.peers.items()):
+        print(f"  {peer}: {'converged' if ok else 'DIVERGED'}")
+    for peer in convergence.unreachable:
+        print(f"  {peer}: unreachable (excluded)")
+    print(f"converged: {report.converged}")
+    _finish_obs(args, tracer, metrics)
+    return 0 if report.converged else EXIT_DEGRADED
+
+
 def _profile_run(workload, size: int):
     """Run one profiling workload under a fresh tracer.
 
@@ -464,6 +525,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_options(sync_cmd)
     _add_obs_options(sync_cmd)
     sync_cmd.set_defaults(handler=_cmd_sync)
+
+    simulate_cmd = commands.add_parser(
+        "simulate",
+        help="run a peer-network scenario to convergence (exit 0 / 4 diverged)",
+    )
+    simulate_cmd.add_argument(
+        "scenario", nargs="?", default="registry",
+        help="scenario name (see --list; default: registry)",
+    )
+    simulate_cmd.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="scenario seed; same seed replays byte-for-byte (default: 0)",
+    )
+    simulate_cmd.add_argument(
+        "--log", action="store_true", help="print the deterministic event log",
+    )
+    simulate_cmd.add_argument(
+        "--journal-dir", metavar="DIR",
+        help="directory for per-peer journals (crash scenarios resume from it)",
+    )
+    simulate_cmd.add_argument(
+        "--list", action="store_true", help="list the known scenarios and exit",
+    )
+    _add_obs_options(simulate_cmd)
+    simulate_cmd.set_defaults(handler=_cmd_simulate)
 
     describe_cmd = commands.add_parser(
         "describe", help="markdown analysis report / DOT graphs"

@@ -150,3 +150,14 @@ class TraceError(ReproError):
 
 class NotWeaklyAcyclicError(ReproError):
     """Raised when an operation requires a weakly acyclic set of tgds."""
+
+
+class SimulationError(ReproError):
+    """Raised when a peer-network simulation is driven incorrectly.
+
+    Signals misuse of the :mod:`repro.net` machinery — delivering to a
+    crashed peer, restarting a live one, or a scenario whose events
+    reference unknown peers — never a fault *injected by* the scenario
+    (injected faults are the simulation working as intended and surface
+    in the :class:`repro.net.SimulationReport` instead).
+    """

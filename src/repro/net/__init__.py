@@ -1,0 +1,64 @@
+"""Peer network simulator: unreliable transport, partitions, and
+convergent multi-peer sync.
+
+The paper's exchange protocol is defined between one source and one
+target; this package stretches it across a simulated network.  A
+publisher peer streams authoritative snapshots to subscriber peers over
+a :class:`SimTransport` whose links drop, duplicate, reorder, and delay
+messages under seeded, replayable :class:`~repro.runtime.FaultSchedule`\\ s,
+and whose topology can partition and heal mid-run.  Each
+:class:`PeerNode` wraps a :class:`~repro.sync.SyncSession` behind an
+idempotent at-least-once protocol keyed by a monotone
+:class:`~repro.sync.Stamp` ``(epoch, seq)`` watermark, so redelivery and
+reordering are harmless and a journal-backed peer can crash and resume
+mid-simulation.  The :class:`NetworkSimulator` runs a scripted
+:class:`Scenario` to quiescence, performs an anti-entropy catch-up
+round, and checks **convergence**: every reachable peer's materialized
+state must equal the fault-free oracle run.
+
+Everything is deterministic given the scenario seed — the simulator's
+event log replays byte-for-byte.
+"""
+
+from repro.net.node import PeerNode
+from repro.net.scenarios import (
+    BumpEpoch,
+    Crash,
+    Heal,
+    NetworkEvent,
+    Partition,
+    Restart,
+    Scenario,
+    crash_scenario,
+    genomics_scenario,
+    registry_scenario,
+    registry_setting,
+    scenario_registry,
+)
+from repro.net.simulator import (
+    ConvergenceReport,
+    NetworkSimulator,
+    SimulationReport,
+)
+from repro.net.transport import Message, SimTransport
+
+__all__ = [
+    "BumpEpoch",
+    "ConvergenceReport",
+    "Crash",
+    "Heal",
+    "Message",
+    "NetworkEvent",
+    "NetworkSimulator",
+    "Partition",
+    "PeerNode",
+    "Restart",
+    "Scenario",
+    "SimTransport",
+    "SimulationReport",
+    "crash_scenario",
+    "genomics_scenario",
+    "registry_scenario",
+    "registry_setting",
+    "scenario_registry",
+]

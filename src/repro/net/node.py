@@ -1,0 +1,163 @@
+"""A peer node: a sync session behind an idempotent message protocol.
+
+:class:`PeerNode` is the per-peer actor of the simulator.  It owns a
+:class:`~repro.sync.SyncSession` and exposes exactly one ingress —
+:meth:`receive` — which ingests a stamped snapshot :class:`.Message`
+under at-least-once semantics:
+
+* *idempotence* — a duplicated or out-of-order message whose
+  :class:`~repro.sync.Stamp` is at or below the session watermark is
+  skipped as stale, never re-applied;
+* *monotone epochs* — stamps order lexicographically by ``(epoch,
+  seq)``, so a publisher restart (higher epoch, reset seq) still wins
+  over any message from the old epoch;
+* *crash safety* — with a :class:`~repro.runtime.SessionJournal`, the
+  watermark and materialized state commit atomically per round, so
+  :meth:`restart` resumes mid-simulation from the last durable round and
+  redelivered messages replay as stale no-ops.
+
+A crashed node holds no session object at all (crash = memory loss);
+delivering to it is a driver bug and raises
+:class:`~repro.exceptions.SimulationError`.
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SimulationError
+from repro.net.transport import Message
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.runtime.budget import Budget
+from repro.runtime.journal import SessionJournal
+from repro.runtime.retry import RetryPolicy
+from repro.sync.session import Stamp, SyncOutcome, SyncSession
+
+__all__ = ["PeerNode"]
+
+
+class PeerNode:
+    """One peer in a simulated network.
+
+    Args:
+        name: the peer's network name.
+        setting: the PDE setting governing its exchange with the
+            publisher.
+        pinned: the peer's own facts (Definition 2's ``J``); every
+            materialization must contain them.
+        journal: optional :class:`~repro.runtime.SessionJournal`; without
+            one, a crash loses all state and :meth:`restart` begins from
+            scratch (anti-entropy then re-imports everything).
+        retry: optional :class:`~repro.runtime.RetryPolicy` for
+            budget-exhausted rounds.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        setting: PDESetting,
+        pinned: Instance | None = None,
+        journal: SessionJournal | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.name = name
+        self.setting = setting
+        self.pinned = pinned if pinned is not None else Instance()
+        self.journal = journal
+        self.retry = retry
+        self.session: SyncSession | None = SyncSession(
+            setting, pinned=self.pinned, journal=journal, retry=retry
+        )
+        self.stats: dict[str, int] = {
+            "applied": 0, "stale": 0, "rejected": 0, "degraded": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self.session is None
+
+    def crash(self) -> None:
+        """Simulate process death: all in-memory state is lost.
+
+        Only the journal (if any) survives; :meth:`restart` rebuilds from
+        it.
+        """
+        if self.crashed:
+            raise SimulationError(f"peer {self.name!r} is already crashed")
+        self.session = None
+
+    def restart(self) -> None:
+        """Bring a crashed peer back, resuming from its journal if present."""
+        if not self.crashed:
+            raise SimulationError(f"peer {self.name!r} is not crashed")
+        if self.journal is not None and self.journal.exists():
+            self.session = SyncSession.resume(self.journal)
+            self.session.retry = self.retry
+        else:
+            # No durable state: restart empty and rely on anti-entropy.
+            self.session = SyncSession(
+                self.setting, pinned=self.pinned,
+                journal=self.journal, retry=self.retry,
+            )
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def stamp(self) -> Stamp | None:
+        """The watermark of the newest snapshot applied, or None."""
+        if self.session is None:
+            return None
+        return self.session.last_stamp
+
+    def behind(self, stamp: Stamp | None) -> bool:
+        """Has this (live) peer not yet applied ``stamp``?"""
+        if stamp is None or self.crashed:
+            return False
+        return self.stamp is None or self.stamp < stamp
+
+    def state(self) -> Instance:
+        """The peer's current materialized target state."""
+        if self.session is None:
+            raise SimulationError(f"peer {self.name!r} is crashed; no state")
+        return self.session.state()
+
+    def receive(
+        self,
+        message: Message,
+        budget: Budget | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> SyncOutcome:
+        """Ingest one delivered message through the stamped protocol."""
+        if self.session is None:
+            raise SimulationError(
+                f"delivered to crashed peer {self.name!r}: the driver must "
+                "drop deliveries to crashed peers"
+            )
+        outcome = self.session.sync(
+            message.payload,
+            stamp=message.stamp,
+            budget=budget,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        if outcome.stale:
+            self.stats["stale"] += 1
+        elif outcome.degraded:
+            self.stats["degraded"] += 1
+        elif outcome.ok:
+            self.stats["applied"] += 1
+        else:
+            self.stats["rejected"] += 1
+        return outcome
+
+    def __repr__(self) -> str:
+        status = "crashed" if self.crashed else f"stamp={self.stamp}"
+        return f"PeerNode({self.name!r}, {status})"

@@ -1,0 +1,308 @@
+"""Scripted network scenarios: timelines of publishes, faults, and events.
+
+A :class:`Scenario` is a fully deterministic description of one
+simulation: the PDE setting, the publisher's snapshot sequence, the
+subscriber peers, per-link :class:`~repro.runtime.FaultSchedule`\\ s, and
+a timeline of control events (:class:`Partition` / :class:`Heal` /
+:class:`Crash` / :class:`Restart` / :class:`BumpEpoch`).  Builders take
+a ``seed`` and derive every random choice from it, so a scenario value
+is replayable by construction.
+
+Shipped scenarios (see :func:`scenario_registry`):
+
+* ``registry`` — a small key/value registry mirrored to three peers
+  under drops, duplicates, reordering, and one partition/heal.  The
+  default of ``repro.cli simulate``.
+* ``genomics`` — the paper's Swiss-Prot feed
+  (:func:`repro.workloads.generate_genomics_feed`) mirrored to three
+  university peers over a lossy network.
+* ``crash`` — the registry scenario plus one journal-backed peer crashing
+  mid-simulation and resuming two publishes later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SimulationError
+from repro.runtime.faults import FaultSchedule
+from repro.workloads.scenarios import generate_genomics_feed, genomics_setting
+
+__all__ = [
+    "BumpEpoch",
+    "Crash",
+    "Heal",
+    "Partition",
+    "Restart",
+    "Scenario",
+    "crash_scenario",
+    "genomics_scenario",
+    "registry_scenario",
+    "registry_setting",
+    "scenario_registry",
+]
+
+
+# ----------------------------------------------------------------------
+# timeline events
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Split the network into isolated groups at virtual time ``at``."""
+
+    at: float
+    groups: tuple[frozenset[str], ...]
+
+    def __init__(self, at: float, *groups: object) -> None:
+        object.__setattr__(self, "at", at)
+        object.__setattr__(
+            self, "groups", tuple(frozenset(group) for group in groups)
+        )
+
+
+@dataclass(frozen=True)
+class Heal:
+    """Restore full connectivity at virtual time ``at``."""
+
+    at: float
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Kill ``peer`` at virtual time ``at`` (in-memory state is lost)."""
+
+    at: float
+    peer: str
+
+
+@dataclass(frozen=True)
+class Restart:
+    """Bring ``peer`` back at virtual time ``at`` (journal resume)."""
+
+    at: float
+    peer: str
+
+
+@dataclass(frozen=True)
+class BumpEpoch:
+    """The publisher restarts at ``at``: epoch increments, seq resets."""
+
+    at: float
+
+
+#: Every control-event type a scenario timeline may contain.
+NetworkEvent = Partition | Heal | Crash | Restart | BumpEpoch
+
+
+# ----------------------------------------------------------------------
+# the scenario value
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Scenario:
+    """One deterministic simulation script.
+
+    Attributes:
+        name: registry name (also the default journal-file prefix).
+        description: one-line human description.
+        setting: the PDE setting every peer syncs under.
+        snapshots: the publisher's authoritative snapshots, in publish
+            order; snapshot ``i`` publishes at ``i * interval``.
+        peers: subscriber peer names (the publisher is not a peer).
+        publisher: the publishing peer's network name.
+        interval: virtual seconds between publishes.
+        latency: base link latency handed to the transport.
+        reorder_delay: extra latency a reordered message suffers; must
+            exceed ``interval`` for reordering to actually overtake the
+            next publish (None keeps the transport default, ``4 *
+            latency``).
+        faults: per directed link ``(sender, recipient)``, the
+            :class:`~repro.runtime.FaultSchedule` afflicting it.
+        events: control events, any order (the simulator sorts by time).
+        pinned: optional per-peer pinned facts.
+        seed: the seed the builder derived the scenario from (recorded
+            for reports; all randomness is already baked in).
+    """
+
+    name: str
+    description: str
+    setting: PDESetting
+    snapshots: list[Instance]
+    peers: list[str]
+    publisher: str = "origin"
+    interval: float = 1.0
+    latency: float = 0.05
+    reorder_delay: float | None = None
+    faults: Mapping[tuple[str, str], FaultSchedule] = field(default_factory=dict)
+    events: list[NetworkEvent] = field(default_factory=list)
+    pinned: Mapping[str, Instance] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.snapshots:
+            raise SimulationError(f"scenario {self.name!r} publishes nothing")
+        if not self.peers:
+            raise SimulationError(f"scenario {self.name!r} has no peers")
+        if self.publisher in self.peers:
+            raise SimulationError(
+                f"scenario {self.name!r}: publisher {self.publisher!r} cannot "
+                "also be a subscriber peer"
+            )
+        known = set(self.peers) | {self.publisher}
+        for event in self.events:
+            peer = getattr(event, "peer", None)
+            if peer is not None and peer not in self.peers:
+                raise SimulationError(
+                    f"scenario {self.name!r}: event {event} references unknown "
+                    f"peer {peer!r}"
+                )
+        for link in self.faults:
+            for end in link:
+                if end not in known:
+                    raise SimulationError(
+                        f"scenario {self.name!r}: fault link {link} references "
+                        f"unknown peer {end!r}"
+                    )
+
+    @property
+    def duration(self) -> float:
+        """Virtual time of the last publish."""
+        return (len(self.snapshots) - 1) * self.interval
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+
+
+def registry_setting() -> PDESetting:
+    """The tiny key/value registry PDE used by the shipped scenarios."""
+    return PDESetting.from_text(
+        source={"reg": 2},
+        target={"db": 2},
+        st="reg(k, v) -> db(k, v)",
+        ts="db(k, v) -> reg(k, v)",
+        name="registry",
+    )
+
+
+def _registry_snapshots() -> list[Instance]:
+    """Six authoritative registry snapshots with adds and withdrawals."""
+    return [
+        parse_instance(text)
+        for text in (
+            "reg(a, 1)",
+            "reg(a, 1); reg(b, 2)",
+            "reg(a, 1); reg(b, 2); reg(c, 3)",
+            "reg(b, 2); reg(c, 3); reg(d, 4)",  # a withdrawn
+            "reg(b, 2); reg(c, 3); reg(d, 4); reg(e, 5)",
+            "reg(c, 3); reg(d, 4); reg(e, 5); reg(f, 6)",  # b withdrawn
+        )
+    ]
+
+
+def _lossy_links(
+    publisher: str, peers: list[str], seed: int,
+    drop: float, duplicate: float, reorder: float,
+) -> dict[tuple[str, str], FaultSchedule]:
+    """One seeded schedule per publisher→peer link, seeds derived per link."""
+    return {
+        (publisher, peer): FaultSchedule.seeded(
+            seed=seed * 1000 + offset,
+            drop=drop, duplicate=duplicate, reorder=reorder,
+        )
+        for offset, peer in enumerate(peers)
+    }
+
+
+def registry_scenario(seed: int = 0) -> Scenario:
+    """Three registry mirrors under every fault class plus one partition.
+
+    Links drop, duplicate, and reorder at seeded rates; between the third
+    and fifth publish, ``peer-c`` is partitioned away from the publisher
+    and must catch up through anti-entropy after the heal.
+    """
+    peers = ["peer-a", "peer-b", "peer-c"]
+    publisher = "origin"
+    return Scenario(
+        name="registry",
+        description=(
+            "3 registry mirrors; seeded drop/dup/reorder on every link; "
+            "peer-c partitioned for 2 publishes, then healed"
+        ),
+        setting=registry_setting(),
+        snapshots=_registry_snapshots(),
+        peers=peers,
+        publisher=publisher,
+        # A reordered message overtakes the next publish: 1.2 > interval.
+        reorder_delay=1.2,
+        faults=_lossy_links(
+            publisher, peers, seed, drop=0.25, duplicate=0.25, reorder=0.25
+        ),
+        events=[
+            Partition(2.5, {publisher, "peer-a", "peer-b"}, {"peer-c"}),
+            Heal(4.5),
+        ],
+        seed=seed,
+    )
+
+
+def genomics_scenario(seed: int = 0) -> Scenario:
+    """The Swiss-Prot feed mirrored to three universities over a lossy net."""
+    peers = ["uni-basel", "uni-geneva", "uni-zurich"]
+    publisher = "swissprot"
+    return Scenario(
+        name="genomics",
+        description=(
+            "5-round Swiss-Prot feed (adds + curation withdrawals) to 3 "
+            "university mirrors; lossy links; one mid-feed partition"
+        ),
+        setting=genomics_setting(),
+        snapshots=generate_genomics_feed(rounds=5, proteins=8, seed=seed),
+        peers=peers,
+        publisher=publisher,
+        reorder_delay=1.2,
+        faults=_lossy_links(
+            publisher, peers, seed, drop=0.2, duplicate=0.2, reorder=0.2
+        ),
+        events=[
+            Partition(1.5, {publisher, "uni-basel", "uni-geneva"}, {"uni-zurich"}),
+            Heal(3.5),
+        ],
+        seed=seed,
+    )
+
+
+def crash_scenario(seed: int = 0) -> Scenario:
+    """The registry scenario plus a journal-backed crash and resume.
+
+    ``peer-b`` dies just after the third publish and restarts after the
+    fifth; with a journal directory the restart resumes from the last
+    committed round, and redeliveries replay as stale no-ops.
+    """
+    scenario = registry_scenario(seed)
+    scenario.name = "crash"
+    scenario.description = (
+        scenario.description + "; peer-b crashes at t=2.6 and restarts at t=4.6"
+    )
+    scenario.events = list(scenario.events) + [
+        Crash(2.6, "peer-b"),
+        Restart(4.6, "peer-b"),
+    ]
+    return scenario
+
+
+def scenario_registry() -> dict[str, Callable[[int], Scenario]]:
+    """The named scenario builders, keyed as the CLI spells them."""
+    return {
+        "registry": registry_scenario,
+        "genomics": genomics_scenario,
+        "crash": crash_scenario,
+    }

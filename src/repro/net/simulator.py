@@ -1,0 +1,444 @@
+"""The network simulator: run a scenario to quiescence, check convergence.
+
+:class:`NetworkSimulator` executes a :class:`~repro.net.Scenario` as a
+discrete-event loop on a virtual :class:`~repro.runtime.FaultClock`:
+publishes, control events (partition / heal / crash / restart / epoch
+bump), and transport deliveries interleave in time order with
+deterministic tie-breaking, so the same scenario replays byte-for-byte —
+:attr:`SimulationReport.log` is the replayable record, and a test can
+assert two runs produce identical logs.
+
+After the timeline drains (quiescence), an **anti-entropy** phase
+repairs whatever the faults left behind: every reachable peer whose
+:class:`~repro.sync.Stamp` watermark trails the publisher's latest is
+re-offered the newest snapshot over a reliable repair channel (modeling
+the explicit fetch a re-joined peer performs after a partition heals).
+Unreachable peers — crashed, or still partitioned from the publisher —
+are left alone and excluded from the convergence check.
+
+:meth:`NetworkSimulator.check_convergence` then compares every reachable
+peer's materialization against the **fault-free oracle**: a fresh
+:class:`~repro.sync.SyncSession` (with the same pinned facts) that
+ingested every snapshot in order with nothing dropped, duplicated,
+reordered, or delayed.  Convergence of all reachable peers is the
+invariant the whole protocol stack — authoritative snapshots, stamped
+idempotent ingestion, journal-backed resume, anti-entropy — exists to
+guarantee.
+"""
+
+from __future__ import annotations
+
+import heapq
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.homomorphism import has_instance_homomorphism
+from repro.core.instance import Instance
+from repro.net.node import PeerNode
+from repro.net.scenarios import (
+    BumpEpoch,
+    Crash,
+    Heal,
+    Partition,
+    Restart,
+    Scenario,
+)
+from repro.net.transport import Message, SimTransport
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.runtime.faults import FaultClock
+from repro.runtime.journal import SessionJournal
+from repro.sync.session import Stamp, SyncSession
+
+__all__ = ["ConvergenceReport", "NetworkSimulator", "SimulationReport"]
+
+
+@dataclass
+class ConvergenceReport:
+    """The verdict of :meth:`NetworkSimulator.check_convergence`.
+
+    Attributes:
+        converged: every reachable peer's state equals its oracle state.
+        peers: per reachable peer, whether it matches the oracle.
+        unreachable: peers excluded from the check (crashed, or
+            partitioned away from the publisher at quiescence).
+        oracle_size: facts in the (unpinned) oracle materialization, as a
+            quick summary statistic.
+    """
+
+    converged: bool
+    peers: dict[str, bool]
+    unreachable: list[str]
+    oracle_size: int
+
+    def __bool__(self) -> bool:
+        return self.converged
+
+
+@dataclass
+class SimulationReport:
+    """Everything one simulation run produced.
+
+    Attributes:
+        scenario: the scenario name.
+        seed: the seed the scenario was built from.
+        published: snapshots the publisher sent.
+        final_stamp: the publisher's last stamp.
+        stats: transport delivery counters plus per-protocol totals
+            (``applied`` / ``stale`` / ``rejected`` / ``degraded``
+            summed over peers, and ``crash_dropped`` deliveries).
+        log: the deterministic event log, one line per simulation event,
+            in execution order — two runs of the same scenario produce
+            identical logs.
+        convergence: the convergence verdict at quiescence.
+    """
+
+    scenario: str
+    seed: int
+    published: int
+    final_stamp: Stamp | None
+    stats: dict[str, int]
+    log: list[str] = field(repr=False, default_factory=list)
+    convergence: ConvergenceReport | None = None
+
+    @property
+    def converged(self) -> bool:
+        return self.convergence is not None and self.convergence.converged
+
+
+def _states_agree(actual: Instance, expected: Instance) -> bool:
+    """Instance equality up to renaming of labeled nulls.
+
+    Sync rounds invent fresh nulls, so two histories that converge on
+    the same snapshot can number their nulls differently.  Exact
+    equality first (the common, all-constants case), then homomorphic
+    equivalence: a constant-preserving homomorphism each way.
+    """
+    if actual == expected:
+        return True
+    return (
+        len(actual) == len(expected)
+        and has_instance_homomorphism(actual, expected)
+        and has_instance_homomorphism(expected, actual)
+    )
+
+
+#: Tie-break ranks for simultaneous timeline entries: control events
+#: apply before publishes, publishes before deliveries.
+_CONTROL, _PUBLISH, _DELIVERY = 0, 1, 2
+
+
+class NetworkSimulator:
+    """Drive one scenario to quiescence on a virtual clock.
+
+    Args:
+        scenario: the script to execute.
+        journal_dir: directory for per-peer session journals.  Required
+            for meaningful :class:`~repro.net.Crash` recovery; when None
+            and the scenario contains crash events, a temporary directory
+            is created (and reported in the log).  When None otherwise,
+            peers run journal-free.
+        tracer: optional :class:`~repro.obs.Tracer`; the run is wrapped
+            in a ``simulate`` span and the transport emits ``net.*``
+            events inside it.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` accumulating
+            ``net.*`` delivery counters and per-round sync instruments.
+        anti_entropy_limit: maximum repair rounds after quiescence.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        journal_dir: str | Path | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        anti_entropy_limit: int = 8,
+    ) -> None:
+        self.scenario = scenario
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.anti_entropy_limit = anti_entropy_limit
+        self.clock = FaultClock()
+        self.transport = SimTransport(
+            clock=self.clock,
+            latency=scenario.latency,
+            reorder_delay=scenario.reorder_delay,
+            tracer=self.tracer,
+            metrics=metrics,
+        )
+        for link, schedule in scenario.faults.items():
+            self.transport.set_schedule(link[0], link[1], schedule)
+
+        needs_journals = any(
+            isinstance(event, (Crash, Restart)) for event in scenario.events
+        )
+        if journal_dir is None and needs_journals:
+            journal_dir = tempfile.mkdtemp(prefix=f"repro-net-{scenario.name}-")
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+
+        self.nodes: dict[str, PeerNode] = {}
+        for name in scenario.peers:
+            journal = (
+                SessionJournal(self.journal_dir / f"{name}.journal")
+                if self.journal_dir is not None
+                else None
+            )
+            self.nodes[name] = PeerNode(
+                name,
+                scenario.setting,
+                pinned=scenario.pinned.get(name),
+                journal=journal,
+            )
+
+        self.log: list[str] = []
+        self.stats: dict[str, int] = {"crash_dropped": 0, "anti_entropy": 0}
+        self._epoch = 1
+        self._seq = 0
+        self._published = 0
+        self.latest_stamp: Stamp | None = None
+        self.latest_snapshot: Instance | None = None
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+
+    def _note(self, text: str) -> None:
+        self.log.append(f"t={self.clock():07.3f} {text}")
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+
+    def _timeline(self) -> list[tuple[float, int, int, object]]:
+        """The scripted (non-delivery) timeline as a sorted heap."""
+        entries: list[tuple[float, int, int, object]] = []
+        order = 0
+        for index in range(len(self.scenario.snapshots)):
+            entries.append(
+                (index * self.scenario.interval, _PUBLISH, order, index)
+            )
+            order += 1
+        for event in self.scenario.events:
+            entries.append((event.at, _CONTROL, order, event))
+            order += 1
+        heapq.heapify(entries)
+        return entries
+
+    def run(self) -> SimulationReport:
+        """Execute the scenario to quiescence and check convergence."""
+        if self._ran:
+            raise RuntimeError("a NetworkSimulator instance runs exactly once")
+        self._ran = True
+        with self.tracer.span(
+            "simulate", scenario=self.scenario.name, seed=self.scenario.seed
+        ):
+            timeline = self._timeline()
+            while timeline or self.transport.pending():
+                next_scripted = timeline[0][0] if timeline else None
+                next_delivery = self.transport.next_delivery_at()
+                # Scripted entries win ties: a partition (or crash) that
+                # coincides with a delivery instant applies first.
+                take_scripted = next_delivery is None or (
+                    next_scripted is not None and next_scripted <= next_delivery
+                )
+                if take_scripted:
+                    at, kind, _order, payload = heapq.heappop(timeline)
+                    self._advance(at)
+                    if kind == _PUBLISH:
+                        self._publish(payload)
+                    else:
+                        self._control(payload)
+                else:
+                    at, message = self.transport.pop_delivery()
+                    self._advance(at)
+                    self._deliver(message)
+            self._note("quiescent")
+            self._anti_entropy()
+            convergence = self.check_convergence()
+        report = SimulationReport(
+            scenario=self.scenario.name,
+            seed=self.scenario.seed,
+            published=self._published,
+            final_stamp=self.latest_stamp,
+            stats=self._aggregate_stats(),
+            log=self.log,
+            convergence=convergence,
+        )
+        return report
+
+    def _advance(self, to: float) -> None:
+        now = self.clock()
+        if to > now:
+            self.clock.advance(to - now)
+
+    def _publish(self, index: int) -> None:
+        snapshot = self.scenario.snapshots[index]
+        self._seq += 1
+        stamp = Stamp(self._epoch, self._seq)
+        self.latest_stamp = stamp
+        self.latest_snapshot = snapshot
+        self._published += 1
+        self._note(f"publish stamp={stamp} facts={len(snapshot)}")
+        for peer in self.scenario.peers:
+            self.transport.send(
+                Message(self.scenario.publisher, peer, stamp, snapshot)
+            )
+
+    def _control(self, event: object) -> None:
+        if isinstance(event, Partition):
+            groups = [",".join(sorted(group)) for group in event.groups]
+            self._note(f"partition {'|'.join(groups)}")
+            self.transport.partition(event.groups)
+        elif isinstance(event, Heal):
+            self._note("heal")
+            self.transport.heal()
+        elif isinstance(event, Crash):
+            self._note(f"crash {event.peer}")
+            self.nodes[event.peer].crash()
+        elif isinstance(event, Restart):
+            node = self.nodes[event.peer]
+            node.restart()
+            self._note(f"restart {event.peer} stamp={node.stamp}")
+        elif isinstance(event, BumpEpoch):
+            self._epoch += 1
+            self._seq = 0
+            self._note(f"epoch-bump epoch={self._epoch}")
+        else:  # pragma: no cover - scenarios validate their events
+            raise RuntimeError(f"unknown control event {event!r}")
+
+    def _deliver(self, message: Message) -> None:
+        node = self.nodes[message.recipient]
+        if node.crashed:
+            self.stats["crash_dropped"] += 1
+            self._note(f"deliver {message.describe()} -> peer crashed, dropped")
+            self.tracer.event(
+                "net.drop", reason="crashed", message=message.describe()
+            )
+            return
+        outcome = node.receive(message, tracer=self.tracer, metrics=self.metrics)
+        verdict = (
+            "stale"
+            if outcome.stale
+            else "applied"
+            if outcome.ok
+            else f"degraded:{outcome.status}"
+            if outcome.degraded
+            else "rejected"
+        )
+        self._note(
+            f"deliver {message.describe()} -> {verdict} "
+            f"state={len(outcome.state)}"
+        )
+
+    # ------------------------------------------------------------------
+    # repair + convergence
+    # ------------------------------------------------------------------
+
+    def reachable(self, peer: str) -> bool:
+        """Is ``peer`` live and connected to the publisher right now?"""
+        node = self.nodes[peer]
+        return not node.crashed and self.transport.connected(
+            self.scenario.publisher, peer
+        )
+
+    def _anti_entropy(self) -> None:
+        """Re-offer the latest snapshot to lagging reachable peers.
+
+        Models the catch-up fetch a re-joined peer performs: reliable
+        (no fault schedule), bounded, and idempotent — an up-to-date
+        peer is never contacted.
+        """
+        if self.latest_snapshot is None:
+            return
+        for round_number in range(1, self.anti_entropy_limit + 1):
+            lagging = [
+                name
+                for name in self.scenario.peers
+                if self.reachable(name) and self.nodes[name].behind(self.latest_stamp)
+            ]
+            if not lagging:
+                break
+            for name in lagging:
+                self.stats["anti_entropy"] += 1
+                message = Message(
+                    self.scenario.publisher, name, self.latest_stamp,
+                    self.latest_snapshot,
+                )
+                outcome = self.nodes[name].receive(
+                    message, tracer=self.tracer, metrics=self.metrics
+                )
+                self._note(
+                    f"anti-entropy round={round_number} {message.describe()} "
+                    f"-> {'applied' if outcome.ok and not outcome.stale else outcome.reason}"
+                )
+
+    def check_convergence(self) -> ConvergenceReport:
+        """Compare every reachable peer against the fault-free oracle.
+
+        The oracle replays *all* snapshots, in order, through a fresh
+        session with the peer's pinned facts — the run a perfect network
+        would have produced.  Oracle sessions are cached per distinct
+        pinned instance, since most peers pin nothing.
+
+        States are compared up to renaming of labeled nulls: each sync
+        round invents fresh nulls, so a peer that skipped a since-
+        superseded snapshot numbers its nulls differently from the
+        oracle while representing the same instance.  Equality is exact
+        fact-set equality, with bidirectional constant-preserving
+        homomorphism as the fallback (homomorphic equivalence — the same
+        certain answers).
+        """
+        oracles: list[tuple[Instance, Instance]] = []
+
+        def oracle_state(pinned: Instance | None) -> Instance:
+            pinned = pinned if pinned is not None else Instance()
+            for known_pinned, state in oracles:
+                if known_pinned == pinned:
+                    return state
+            session = SyncSession(self.scenario.setting, pinned=pinned.copy())
+            for index, snapshot in enumerate(self.scenario.snapshots):
+                outcome = session.sync(snapshot, stamp=Stamp(1, index + 1))
+                if not outcome.ok:
+                    raise RuntimeError(
+                        f"the fault-free oracle run rejected snapshot {index}: "
+                        f"{outcome.reason}"
+                    )
+            state = session.state()
+            oracles.append((pinned, state))
+            return state
+
+        peers: dict[str, bool] = {}
+        unreachable: list[str] = []
+        for name in self.scenario.peers:
+            if not self.reachable(name):
+                unreachable.append(name)
+                continue
+            expected = oracle_state(self.scenario.pinned.get(name))
+            peers[name] = _states_agree(self.nodes[name].state(), expected)
+        converged = all(peers.values()) if peers else False
+        report = ConvergenceReport(
+            converged=converged,
+            peers=peers,
+            unreachable=unreachable,
+            oracle_size=len(oracle_state(None)),
+        )
+        self._note(
+            "convergence "
+            + " ".join(
+                f"{name}={'ok' if ok else 'DIVERGED'}"
+                for name, ok in sorted(peers.items())
+            )
+            + (f" unreachable={','.join(unreachable)}" if unreachable else "")
+        )
+        return report
+
+    def _aggregate_stats(self) -> dict[str, int]:
+        totals = dict(self.transport.stats)
+        totals.update(self.stats)
+        for key in ("applied", "stale", "rejected", "degraded"):
+            totals[key] = sum(node.stats[key] for node in self.nodes.values())
+        return totals

@@ -1,0 +1,226 @@
+"""A deterministic simulated transport between peers.
+
+:class:`SimTransport` is the wire of the :mod:`repro.net` simulator: a
+priority queue of in-flight :class:`Message` objects on a virtual
+:class:`~repro.runtime.FaultClock` timeline.  Per directed link it
+consults a :class:`~repro.runtime.FaultSchedule` — the multi-link
+generalization of :func:`~repro.runtime.faulty_feed` — to decide, for
+each send, whether the message is dropped, duplicated, reordered
+(overtaken by later sends), or delayed.
+
+Partitions are modeled as a send-time property of the network: while a
+partition is active, a message whose sender and recipient sit in
+different groups is dropped at the sender (the connection refuses), and
+:meth:`SimTransport.heal` restores full connectivity.  Messages already
+in flight when a partition starts still deliver — exactly the window
+that makes stale-snapshot rejection necessary.
+
+Everything is deterministic: virtual time only advances when the driver
+advances it, fault decisions hash a seed per send index, and queue ties
+break on a monotone enqueue counter — so the same scenario replays
+byte-for-byte (the property :meth:`NetworkSimulator.run` asserts via its
+event log).
+
+Observability: sends, deliveries, drops, and partition changes emit
+``net.send`` / ``net.deliver`` / ``net.drop`` / ``net.partition`` /
+``net.heal`` tracer events and ``net.*`` delivery counters on an
+optional :class:`~repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.instance import Instance
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.runtime.faults import FaultClock, FaultSchedule
+from repro.sync.session import Stamp
+
+__all__ = ["Message", "SimTransport"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One stamped snapshot offer in flight from ``sender`` to ``recipient``.
+
+    The payload is a full authoritative source snapshot (the protocol is
+    state-transfer, not operation-shipping), so redelivery is harmless:
+    the recipient's :class:`~repro.sync.Stamp` watermark makes ingestion
+    idempotent.
+    """
+
+    sender: str
+    recipient: str
+    stamp: Stamp
+    payload: Instance
+
+    @property
+    def link(self) -> tuple[str, str]:
+        return (self.sender, self.recipient)
+
+    def describe(self) -> str:
+        return f"{self.sender}->{self.recipient} stamp={self.stamp}"
+
+
+class SimTransport:
+    """A seeded, replayable unreliable transport on a virtual clock.
+
+    Args:
+        clock: the simulation's :class:`~repro.runtime.FaultClock`; the
+            transport never advances it (the driver owns time).
+        latency: base link latency in virtual seconds.
+        reorder_delay: extra latency applied to a reordered message, on
+            top of ``latency``; defaults to ``4 * latency``, enough to be
+            overtaken by the next few sends on the link.
+        duplicate_lag: how far behind the original a duplicated delivery
+            arrives (an at-least-once retransmit); defaults to
+            ``latency / 2``.
+        tracer: optional :class:`~repro.obs.Tracer` for ``net.*`` events.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` for
+            ``net.*`` delivery counters.
+    """
+
+    def __init__(
+        self,
+        clock: FaultClock,
+        latency: float = 0.05,
+        reorder_delay: float | None = None,
+        duplicate_lag: float | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if latency <= 0:
+            raise ValueError(f"latency must be positive, got {latency}")
+        self.clock = clock
+        self.latency = latency
+        self.reorder_delay = reorder_delay if reorder_delay is not None else 4 * latency
+        self.duplicate_lag = duplicate_lag if duplicate_lag is not None else latency / 2
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self._queue: list[tuple[float, int, Message]] = []
+        self._enqueued = 0
+        self._send_index: dict[tuple[str, str], int] = {}
+        self._schedules: dict[tuple[str, str], FaultSchedule] = {}
+        self._groups: tuple[frozenset[str], ...] | None = None
+        self.stats: dict[str, int] = {
+            "sent": 0,
+            "delivered": 0,
+            "dropped": 0,
+            "partition_dropped": 0,
+            "duplicated": 0,
+            "reordered": 0,
+            "delayed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def set_schedule(
+        self, sender: str, recipient: str, schedule: FaultSchedule
+    ) -> None:
+        """Attach a fault schedule to the directed link ``sender → recipient``."""
+        self._schedules[(sender, recipient)] = schedule
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network into isolated groups (send-time enforcement).
+
+        Peers named in no group form an implicit extra group together.
+        """
+        normalized = tuple(frozenset(group) for group in groups)
+        self._groups = normalized
+        rendered = [",".join(sorted(group)) for group in normalized]
+        self.tracer.event("net.partition", groups=rendered)
+        if self.metrics is not None:
+            self.metrics.counter("net.partitions").inc()
+
+    def heal(self) -> None:
+        """Restore full connectivity."""
+        self._groups = None
+        self.tracer.event("net.heal")
+        if self.metrics is not None:
+            self.metrics.counter("net.heals").inc()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._groups is not None
+
+    def connected(self, a: str, b: str) -> bool:
+        """Can ``a`` currently reach ``b``? (Trivially yes when healed.)"""
+        if self._groups is None or a == b:
+            return True
+        group_of_a = group_of_b = None
+        for group in self._groups:
+            if a in group:
+                group_of_a = group
+            if b in group:
+                group_of_b = group
+        # Unnamed peers share the implicit remainder group (both None).
+        return group_of_a is group_of_b
+
+    # ------------------------------------------------------------------
+    # sending / delivering
+    # ------------------------------------------------------------------
+
+    def _count(self, counter: str, delta: int = 1) -> None:
+        self.stats[counter] += delta
+        if self.metrics is not None:
+            self.metrics.counter(f"net.{counter}").inc(delta)
+
+    def send(self, message: Message) -> None:
+        """Send one message, applying partitions and the link's faults."""
+        link = message.link
+        index = self._send_index.get(link, 0)
+        self._send_index[link] = index + 1
+        self._count("sent")
+        if not self.connected(message.sender, message.recipient):
+            self._count("partition_dropped")
+            self.tracer.event(
+                "net.drop", reason="partition", message=message.describe()
+            )
+            return
+        schedule = self._schedules.get(link)
+        decision = schedule.decide(index) if schedule is not None else None
+        if decision is not None and decision.drop:
+            self._count("dropped")
+            self.tracer.event("net.drop", reason="fault", message=message.describe())
+            return
+        deliver_at = self.clock() + self.latency
+        if decision is not None:
+            if decision.delay > 0:
+                deliver_at += decision.delay
+                self._count("delayed")
+            if decision.reorder:
+                deliver_at += self.reorder_delay
+                self._count("reordered")
+        self._enqueue(deliver_at, message)
+        self.tracer.event("net.send", message=message.describe(), at=deliver_at)
+        if decision is not None and decision.duplicate:
+            self._enqueue(deliver_at + self.duplicate_lag, message)
+            self._count("duplicated")
+
+    def _enqueue(self, deliver_at: float, message: Message) -> None:
+        heapq.heappush(self._queue, (deliver_at, self._enqueued, message))
+        self._enqueued += 1
+
+    def pending(self) -> int:
+        """Messages still in flight."""
+        return len(self._queue)
+
+    def next_delivery_at(self) -> float | None:
+        """Virtual time of the next delivery, or None when idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def pop_delivery(self) -> tuple[float, Message]:
+        """Dequeue the next delivery (earliest time, then send order).
+
+        The driver is responsible for advancing the clock to the returned
+        time before handing the message to the recipient.
+        """
+        deliver_at, _order, message = heapq.heappop(self._queue)
+        self._count("delivered")
+        self.tracer.event("net.deliver", message=message.describe())
+        return deliver_at, message

@@ -27,7 +27,14 @@ from repro.runtime.budget import (
 )
 from repro.runtime.journal import JournalState, SessionJournal
 from repro.runtime.retry import RetryPolicy
-from repro.runtime.faults import FaultClock, cancel_after, faulty_feed, stall_after
+from repro.runtime.faults import (
+    FaultClock,
+    FaultDecision,
+    FaultSchedule,
+    cancel_after,
+    faulty_feed,
+    stall_after,
+)
 
 __all__ = [
     "Budget",
@@ -38,6 +45,8 @@ __all__ = [
     "SessionJournal",
     "JournalState",
     "FaultClock",
+    "FaultDecision",
+    "FaultSchedule",
     "stall_after",
     "cancel_after",
     "faulty_feed",

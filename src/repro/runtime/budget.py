@@ -178,19 +178,24 @@ class Budget:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_legacy(
+    def from_node_budget(
         cls, node_budget: int | None, default: int | None = None
     ) -> "Budget | None":
         """Adapt a legacy ``node_budget`` parameter to a strict budget.
 
-        Returns None when neither ``node_budget`` nor ``default`` caps
-        anything, preserving the historical "unlimited" default of the
-        valuation search.
+        The ``node_budget`` ints raised on exhaustion, so the adapted
+        budget is strict.  Returns None when neither ``node_budget`` nor
+        ``default`` caps anything, preserving the historical "unlimited"
+        default of the valuation search.
         """
         cap = node_budget if node_budget is not None else default
         if cap is None:
             return None
         return cls(node_cap=cap, strict=True)
+
+    # Historical name of :meth:`from_node_budget`, kept for callers that
+    # predate the rename.
+    from_legacy = from_node_budget
 
     def scaled(self, factor: float) -> "Budget":
         """A fresh budget with counters reset and caps scaled by ``factor``.

@@ -14,20 +14,38 @@ This module makes them reproducible:
 * :func:`cancel_after` — a budget probe that trips a
   :class:`~repro.runtime.CancellationToken` mid-computation, simulating
   an operator abort or a peer hanging up.
-* :func:`faulty_feed` — a snapshot delivery schedule with dropped and
-  duplicated deliveries by index, for sync-session convergence tests.
+* :class:`FaultSchedule` — per-delivery fault decisions (drop, duplicate,
+  reorder, extra delay) for one link, either from explicit index sets or
+  drawn from a seed, index by index, so decisions are independent of
+  evaluation order;
+* :func:`faulty_feed` — the degenerate single-link case: a snapshot
+  delivery schedule with dropped, duplicated, and reordered deliveries by
+  index, for sync-session convergence tests.
 
-Everything here is pure and parameter-driven — no randomness, no real
-time — so a failing degradation test replays byte-for-byte.
+Everything here is pure and parameter-driven — randomness only ever
+enters through an explicit seed hashed per delivery index, never through
+global RNG state or real time — so a failing degradation test replays
+byte-for-byte.  The multi-link peer network simulator
+(:mod:`repro.net`) builds its per-link fault timelines out of
+:class:`FaultSchedule` objects.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence, TypeVar
 
 from repro.runtime.budget import Budget, CancellationToken
 
-__all__ = ["FaultClock", "stall_after", "cancel_after", "faulty_feed"]
+__all__ = [
+    "FaultClock",
+    "FaultDecision",
+    "FaultSchedule",
+    "stall_after",
+    "cancel_after",
+    "faulty_feed",
+]
 
 T = TypeVar("T")
 
@@ -102,24 +120,162 @@ def cancel_after(
     return probe
 
 
+@dataclass(frozen=True)
+class FaultDecision:
+    """The faults afflicting one delivery on one link.
+
+    Attributes:
+        drop: the delivery is lost entirely.
+        duplicate: the delivery arrives twice (at-least-once redelivery).
+        reorder: the delivery is held back past the link's next in-order
+            delivery (overtaken by a later send).
+        delay: extra latency, in (virtual) seconds, on top of the link's
+            base latency.
+    """
+
+    drop: bool = False
+    duplicate: bool = False
+    reorder: bool = False
+    delay: float = 0.0
+
+    @property
+    def faulty(self) -> bool:
+        return self.drop or self.duplicate or self.reorder or self.delay > 0.0
+
+
+#: The decision for a fault-free delivery, shared by every clean index.
+_CLEAN = FaultDecision()
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Deterministic per-delivery fault decisions for one link.
+
+    Two construction styles, freely combinable:
+
+    * *explicit* — index sets (``drop`` / ``duplicate`` / ``reorder``) and
+      a ``delay`` mapping name exactly which deliveries misbehave, for
+      tests that script a precise failure;
+    * *seeded* — :meth:`seeded` draws each index's decisions from a seed
+      hashed **per index** (``Random(f"{seed}:{index}")``), so the
+      schedule is replayable and the decision for delivery *i* does not
+      depend on how many earlier deliveries were inspected.
+
+    :meth:`decide` is the primitive (the peer network transport consults
+    it per send); :meth:`apply` is the stream view (the degenerate
+    single-link case used by :func:`faulty_feed`): dropped items vanish,
+    duplicated items repeat back-to-back, and a reordered item is held
+    back until after the link's next in-order delivery (items still held
+    at stream end flush in hold order).
+    """
+
+    drop: frozenset[int] = frozenset()
+    duplicate: frozenset[int] = frozenset()
+    reorder: frozenset[int] = frozenset()
+    delay: Mapping[int, float] = field(default_factory=dict)
+    seed: int | None = None
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        # Normalize the index collections so equality and hashing behave.
+        object.__setattr__(self, "drop", frozenset(self.drop))
+        object.__setattr__(self, "duplicate", frozenset(self.duplicate))
+        object.__setattr__(self, "reorder", frozenset(self.reorder))
+        object.__setattr__(self, "delay", dict(self.delay))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        delay: float = 0.0,
+        max_delay: float = 0.0,
+    ) -> "FaultSchedule":
+        """A schedule drawing faults at the given rates from ``seed``."""
+        return cls(
+            seed=seed,
+            drop_rate=drop,
+            duplicate_rate=duplicate,
+            reorder_rate=reorder,
+            delay_rate=delay,
+            max_delay=max_delay,
+        )
+
+    def decide(self, index: int) -> FaultDecision:
+        """The faults afflicting delivery ``index`` on this link."""
+        drop = index in self.drop
+        duplicate = index in self.duplicate
+        reorder = index in self.reorder
+        extra = float(self.delay.get(index, 0.0))
+        if self.seed is not None:
+            rng = random.Random(f"{self.seed}:{index}")
+            # Fixed draw order keeps decisions stable across rate changes
+            # of *later* draws (adding a delay rate never flips drops).
+            drop = drop or rng.random() < self.drop_rate
+            duplicate = duplicate or rng.random() < self.duplicate_rate
+            reorder = reorder or rng.random() < self.reorder_rate
+            if rng.random() < self.delay_rate:
+                extra += rng.random() * self.max_delay
+        if not (drop or duplicate or reorder or extra):
+            return _CLEAN
+        return FaultDecision(drop=drop, duplicate=duplicate, reorder=reorder, delay=extra)
+
+    def apply(self, items: Sequence[T] | Iterable[T]) -> Iterator[T]:
+        """Deliver ``items`` under this schedule (single-link stream view)."""
+        held: list[tuple[T, bool]] = []
+        for index, item in enumerate(items):
+            decision = self.decide(index)
+            if decision.drop:
+                continue
+            if decision.reorder:
+                held.append((item, decision.duplicate))
+                continue
+            yield item
+            if decision.duplicate:
+                yield item
+            while held:
+                overtaken, redeliver = held.pop(0)
+                yield overtaken
+                if redeliver:
+                    yield overtaken
+        for overtaken, redeliver in held:
+            yield overtaken
+            if redeliver:
+                yield overtaken
+
+
 def faulty_feed(
     snapshots: Sequence[T] | Iterable[T],
     drop: Iterable[int] = (),
     duplicate: Iterable[int] = (),
+    reorder: Iterable[int] = (),
 ) -> Iterator[T]:
     """Deliver ``snapshots`` with deterministic faults by index.
 
     Indices in ``drop`` are never delivered (the peer missed a publish);
     indices in ``duplicate`` are delivered twice in a row (an at-least-once
-    transport redelivered).  Sync sessions must converge under both: a
-    duplicated round is a no-op, and a dropped round is absorbed by the
-    next snapshot, since each snapshot is authoritative.
+    transport redelivered); indices in ``reorder`` are overtaken by the
+    next delivered snapshot (a stale snapshot arriving late).  Sync
+    sessions must converge under all three: a duplicated round is a
+    no-op, a dropped round is absorbed by the next snapshot, and a
+    stamped session rejects the overtaken snapshot as stale — each
+    snapshot is authoritative.
+
+    This is the degenerate single-link case of :class:`FaultSchedule`
+    (``FaultSchedule(drop=..., duplicate=..., reorder=...).apply(...)``);
+    the multi-link generalization drives :mod:`repro.net`.
     """
-    dropped = set(drop)
-    duplicated = set(duplicate)
-    for index, snapshot in enumerate(snapshots):
-        if index in dropped:
-            continue
-        yield snapshot
-        if index in duplicated:
-            yield snapshot
+    schedule = FaultSchedule(
+        drop=frozenset(drop), duplicate=frozenset(duplicate), reorder=frozenset(reorder)
+    )
+    return schedule.apply(snapshots)

@@ -58,12 +58,16 @@ class JournalState:
         imported: the imported facts as of the last committed round.
         rounds: the last committed round number (0 when no round ever
             committed).
+        stamp: the ``(epoch, seq)`` snapshot stamp of the last committed
+            round, or None when the session never synced a stamped
+            snapshot (see :class:`repro.sync.Stamp`).
     """
 
     setting: PDESetting
     pinned: Instance
     imported: Instance
     rounds: int
+    stamp: tuple[int, int] | None = None
 
 
 class SessionJournal:
@@ -110,21 +114,26 @@ class SessionJournal:
         imported: Instance,
         added: Instance,
         retracted: Instance,
+        stamp: tuple[int, int] | None = None,
     ) -> None:
         """Durably commit one successful round.
 
         Called *before* the in-memory session state is updated, so a crash
-        between commit and update replays to the committed state.
+        between commit and update replays to the committed state.  When
+        the round ingested a stamped snapshot, ``stamp`` rides in the same
+        commit record, so the duplicate-rejection watermark survives a
+        crash atomically with the state it protects.
         """
-        self._append(
-            {
-                "type": "commit",
-                "round": round_number,
-                "imported": instance_to_dict(imported),
-                "added": instance_to_dict(added),
-                "retracted": instance_to_dict(retracted),
-            }
-        )
+        record = {
+            "type": "commit",
+            "round": round_number,
+            "imported": instance_to_dict(imported),
+            "added": instance_to_dict(added),
+            "retracted": instance_to_dict(retracted),
+        }
+        if stamp is not None:
+            record["stamp"] = [int(stamp[0]), int(stamp[1])]
+        self._append(record)
 
     # ------------------------------------------------------------------
     # recovery
@@ -178,6 +187,7 @@ class SessionJournal:
         )
         imported = Instance(schema=setting.target_schema)
         rounds = 0
+        stamp: tuple[int, int] | None = None
         for record in records[1:]:
             if record.get("type") != "commit":
                 continue
@@ -185,6 +195,10 @@ class SessionJournal:
                 record.get("imported", {}), schema=setting.target_schema
             )
             rounds = int(record.get("round", rounds))
+            raw_stamp = record.get("stamp")
+            if raw_stamp is not None:
+                stamp = (int(raw_stamp[0]), int(raw_stamp[1]))
         return JournalState(
-            setting=setting, pinned=pinned, imported=imported, rounds=rounds
+            setting=setting, pinned=pinned, imported=imported, rounds=rounds,
+            stamp=stamp,
         )

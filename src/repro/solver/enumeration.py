@@ -11,6 +11,7 @@ bounded value pool and tests Definition 2 directly.
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import Iterator
 
 from repro.core.atoms import Fact
@@ -43,15 +44,30 @@ def enumerate_solutions(
 
     Generators cannot return a partial result, so budget exhaustion always
     raises :class:`~repro.exceptions.BudgetExceeded`, strict or not.
+
+    .. deprecated::
+        ``node_budget`` — pass ``budget=Budget(node_cap=..., strict=True)``
+        (or :meth:`Budget.from_node_budget`) instead.  When both are given,
+        ``budget`` wins.
     """
+    if node_budget is not None:
+        warnings.warn(
+            "enumerate_solutions(node_budget=...) is deprecated; pass "
+            "budget=Budget.from_node_budget(node_budget) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if budget is None:
+            budget = Budget.from_node_budget(node_budget)
     if supports_valuation_search(setting):
         iterator: Iterator[Instance] = iter_minimal_solutions(
-            setting, source, target, node_budget=node_budget, budget=budget
+            setting, source, target, budget=budget
         )
     else:
-        legacy_cap = node_budget if node_budget is not None else DEFAULT_NODE_CAP
         solver = BranchingChaseSolver(
-            setting, source, target, node_budget=legacy_cap, budget=budget
+            setting, source, target,
+            budget=budget if budget is not None
+            else Budget.from_node_budget(DEFAULT_NODE_CAP),
         )
 
         def deduplicated() -> Iterator[Instance]:

@@ -8,6 +8,7 @@ verify per member) behind one call.
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from repro.core.instance import Instance
@@ -34,7 +35,10 @@ def solve_multi(
         multi: the family of member settings (shared target schema).
         sources: one source instance per member, in member order.
         target: the target peer's instance ``J``.
-        method, node_budget, budget: forwarded to :func:`repro.solver.solve`.
+        method, budget: forwarded to :func:`repro.solver.solve`.
+        node_budget: deprecated — pass ``budget=Budget(node_cap=...,
+            strict=True)`` (or :meth:`Budget.from_node_budget`) instead.
+            When both are given, ``budget`` wins.
 
     Returns:
         the merged-setting :class:`SolveResult`; when a witness exists it
@@ -46,15 +50,22 @@ def solve_multi(
             member setting — the Section 2 equivalence failed, which
             signals a library bug, never bad input.
     """
+    if node_budget is not None:
+        warnings.warn(
+            "solve_multi(node_budget=...) is deprecated; pass "
+            "budget=Budget.from_node_budget(node_budget) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if budget is None:
+            budget = Budget.from_node_budget(node_budget)
     if len(sources) != len(multi.members):
         raise DependencyError(
             f"expected {len(multi.members)} source instances, got {len(sources)}"
         )
     merged = multi.merge()
     union = multi.combine_sources(sources)
-    result = solve(
-        merged, union, target, method=method, node_budget=node_budget, budget=budget
-    )
+    result = solve(merged, union, target, method=method, budget=budget)
     if result.exists and result.solution is not None:
         if not multi.is_solution(list(sources), target, result.solution):
             raise InvariantViolation(

@@ -1,6 +1,10 @@
 """Incremental peer synchronization: periodic sync sessions over a PDE
-setting, per the paper's motivating Swiss-Prot scenario."""
+setting, per the paper's motivating Swiss-Prot scenario.  Sessions are
+epoch-aware (:class:`Stamp`) so the peer network simulator in
+:mod:`repro.net` can feed them over an at-least-once, reordering
+transport without re-applying duplicates or regressing to stale
+snapshots."""
 
-from repro.sync.session import SyncOutcome, SyncSession
+from repro.sync.session import Stamp, SyncOutcome, SyncSession
 
-__all__ = ["SyncOutcome", "SyncSession"]
+__all__ = ["Stamp", "SyncOutcome", "SyncSession"]

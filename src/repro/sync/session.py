@@ -39,11 +39,24 @@ Resilience (the :mod:`repro.runtime` integration):
   each successful round is committed to the journal *before* the
   in-memory state is updated, and :meth:`SyncSession.resume` rebuilds a
   session from the journal after a crash.
+
+Epoch-aware ingestion (the :mod:`repro.net` integration): real peer
+transports deliver at-least-once and out of order, so a session fed from
+a network must not re-apply a duplicated snapshot or regress to a stale
+one.  A publisher stamps each snapshot with a :class:`Stamp` — a
+``(epoch, seq)`` pair, ordered lexicographically: ``seq`` increments per
+publish, ``epoch`` increments when the publisher restarts (resetting
+``seq``).  ``sync(..., stamp=...)`` ingests a snapshot only when its
+stamp is *strictly newer* than the session's watermark; otherwise the
+round is a stale no-op (``outcome.stale``), which makes stamped ingestion
+idempotent.  The watermark commits to the journal atomically with the
+round it protects, so it survives crashes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.core.chase import satisfies
 from repro.core.dependencies import TGD
@@ -58,7 +71,23 @@ from repro.runtime.journal import SessionJournal
 from repro.runtime.retry import RetryPolicy
 from repro.solver.exists_solution import solve
 
-__all__ = ["SyncOutcome", "SyncSession"]
+__all__ = ["Stamp", "SyncOutcome", "SyncSession"]
+
+
+class Stamp(NamedTuple):
+    """A monotone snapshot stamp: ``(epoch, seq)``, lexicographic order.
+
+    ``seq`` increments with every publish; ``epoch`` increments when the
+    publisher restarts or re-baselines (``seq`` restarts at 0, and the
+    higher epoch still wins).  Tuple comparison gives exactly the
+    protocol order, so ``stamp <= watermark`` means *stale*.
+    """
+
+    epoch: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"{self.epoch}.{self.seq}"
 
 
 @dataclass
@@ -83,6 +112,11 @@ class SyncOutcome:
         metrics: the :class:`repro.obs.MetricsRegistry` the caller passed
             into :meth:`SyncSession.sync`, populated with the round's
             instruments; None when no registry was supplied.
+        stale: the snapshot's :class:`Stamp` was not newer than the
+            session's watermark, so the round was skipped as a duplicate
+            or out-of-order redelivery (``ok`` is True — rejecting a
+            replay is the protocol working, not an error — and the state
+            is untouched).
     """
 
     ok: bool
@@ -93,6 +127,7 @@ class SyncOutcome:
     status: SolveStatus = SolveStatus.DECIDED
     attempts: int = 1
     metrics: MetricsRegistry | None = None
+    stale: bool = False
 
     @property
     def changed(self) -> bool:
@@ -127,19 +162,25 @@ class SyncSession:
     retry: RetryPolicy | None = None
     _imported: Instance = field(default_factory=Instance)
     rounds: int = 0
+    #: Watermark of the newest stamped snapshot ever ingested; None until
+    #: the first stamped round.  Snapshots at or below it are stale.
+    last_stamp: Stamp | None = None
 
     @classmethod
     def resume(cls, journal: SessionJournal) -> "SyncSession":
         """Rebuild a session from its journal (after a crash or restart).
 
         The restored session has the setting, pinned facts, imported
-        facts, and round counter of the last durably committed round;
-        un-committed work is simply re-run by the next :meth:`sync`.
+        facts, round counter, and stamp watermark of the last durably
+        committed round; un-committed work is simply re-run by the next
+        :meth:`sync` (stamped ingestion makes the re-run idempotent).
         """
         state = journal.load()
         session = cls(setting=state.setting, pinned=state.pinned, journal=journal)
         session._imported = state.imported
         session.rounds = state.rounds
+        if state.stamp is not None:
+            session.last_stamp = Stamp(*state.stamp)
         return session
 
     def state(self) -> Instance:
@@ -245,6 +286,7 @@ class SyncSession:
         budget: Budget | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        stamp: Stamp | tuple[int, int] | None = None,
     ) -> SyncOutcome:
         """Run one synchronization round against a new source snapshot.
 
@@ -252,6 +294,13 @@ class SyncSession:
         *pinned* facts themselves are incompatible with the new source) or
         degraded (a governed solve ran out of budget), the materialized
         state is left unchanged.
+
+        ``stamp`` marks the snapshot's position in the publisher's
+        timeline (see :class:`Stamp`).  A stamped snapshot at or below
+        the session's watermark returns a ``stale`` no-op outcome without
+        solving; a newer one advances the watermark atomically with the
+        journal commit.  Unstamped calls (the historical API) skip the
+        check entirely.
 
         With a non-strict ``budget`` and a session ``retry`` policy,
         budget-exhausted attempts are re-run with escalated caps after a
@@ -267,6 +316,8 @@ class SyncSession:
         """
         if tracer is None:
             tracer = NULL_TRACER
+        if stamp is not None and not isinstance(stamp, Stamp):
+            stamp = Stamp(*stamp)
 
         def finish(outcome: SyncOutcome, span) -> SyncOutcome:
             if tracer.enabled:
@@ -283,6 +334,32 @@ class SyncSession:
                 metrics.annotate("sync.status", outcome.status.value)
                 metrics.gauge("sync.state_size").set(len(outcome.state))
                 outcome.metrics = metrics
+            return outcome
+
+        if (
+            stamp is not None
+            and self.last_stamp is not None
+            and stamp <= self.last_stamp
+        ):
+            # Duplicate or out-of-order redelivery: the watermark already
+            # covers this snapshot, so re-applying it could only regress
+            # the materialization.  Skip without solving.
+            tracer.event("stale-snapshot", stamp=str(stamp), watermark=str(self.last_stamp))
+            if metrics is not None:
+                metrics.counter("sync.stale").inc()
+            empty = Instance(schema=self.setting.target_schema)
+            outcome = SyncOutcome(
+                ok=True,
+                added=empty,
+                retracted=empty.copy(),
+                state=self.state(),
+                reason=(
+                    f"stale snapshot {stamp} at or below watermark "
+                    f"{self.last_stamp}; round skipped"
+                ),
+                stale=True,
+                metrics=metrics,
+            )
             return outcome
 
         with tracer.span("sync-round", round=self.rounds + 1) as round_span:
@@ -363,10 +440,14 @@ class SyncSession:
                 # Commit durably before mutating in-memory state: a crash
                 # between the two replays to the committed round.
                 self.journal.ensure_header(self.setting, self.pinned)
-                self.journal.record_round(round_number, imported, added, retracted)
+                self.journal.record_round(
+                    round_number, imported, added, retracted, stamp=stamp
+                )
                 tracer.event("journal-commit", round=round_number)
             self.rounds = round_number
             self._imported = imported
+            if stamp is not None:
+                self.last_stamp = stamp
             return finish(
                 SyncOutcome(
                     ok=True,

@@ -19,6 +19,7 @@ from repro.workloads.instances import (
 from repro.workloads.profiles import ProfileWorkload, profile_workloads
 from repro.workloads.scenarios import (
     generate_genomics_data,
+    generate_genomics_feed,
     generate_procurement_data,
     genomics_setting,
     procurement_setting,
@@ -44,6 +45,7 @@ __all__ = [
     "ProfileWorkload",
     "profile_workloads",
     "generate_genomics_data",
+    "generate_genomics_feed",
     "generate_procurement_data",
     "genomics_setting",
     "procurement_setting",

@@ -42,6 +42,7 @@ from repro.core.setting import PDESetting
 __all__ = [
     "genomics_setting",
     "generate_genomics_data",
+    "generate_genomics_feed",
     "procurement_setting",
     "generate_procurement_data",
 ]
@@ -127,6 +128,71 @@ def generate_genomics_data(
         Instance.from_tuples(source_rows),
         Instance.from_tuples(target_rows),
     )
+
+
+def generate_genomics_feed(
+    rounds: int = 5,
+    proteins: int = 10,
+    churn: float = 0.2,
+    annotations_per_protein: int = 1,
+    seed: int = 0,
+) -> list[Instance]:
+    """A sequence of authoritative source snapshots for multi-round sync.
+
+    Models the paper's periodic-publication scenario over time: the
+    authority starts with ``proteins`` curated entries and, each round,
+    withdraws a ``churn`` fraction of the live entries (curation removes
+    them) and publishes roughly ``proteins / rounds`` new ones.  Every
+    snapshot is the authority's *full* current state — exactly what a
+    :class:`~repro.sync.SyncSession` (or a :mod:`repro.net` peer) ingests
+    per round — so later snapshots absorb dropped earlier ones.
+
+    A protein's facts are derived from its index alone (seeded per
+    entry), so an entry publishes identically in every snapshot that
+    contains it; only membership churns.
+
+    Returns:
+        one source :class:`Instance` per round, for
+        :func:`genomics_setting`.
+    """
+    if rounds < 1:
+        raise ValueError("a feed needs at least one round")
+    if not 0.0 <= churn <= 1.0:
+        raise ValueError(f"churn must be in [0, 1], got {churn}")
+    rng = random.Random(seed)
+    organisms = ["human", "mouse", "yeast", "ecoli"]
+
+    def entry_rows(index: int) -> dict[str, list[tuple]]:
+        entry_rng = random.Random(f"{seed}:protein:{index}")
+        acc = f"P{index:05d}"
+        rows: dict[str, list[tuple]] = {
+            "protein": [(acc, f"PROT_{index}", entry_rng.choice(organisms))],
+            "annotation": [],
+            "citation": [(acc, f"PMID{entry_rng.randint(10_000, 99_999)}")],
+        }
+        for _ in range(annotations_per_protein):
+            rows["annotation"].append((acc, f"GO:{entry_rng.randint(1000, 9999):07d}"))
+        return rows
+
+    live = list(range(proteins))
+    next_index = proteins
+    additions_per_round = max(1, proteins // rounds)
+    feed: list[Instance] = []
+    for round_number in range(rounds):
+        if round_number > 0:
+            withdrawn = rng.sample(live, k=min(len(live) - 1, int(len(live) * churn)))
+            live = [index for index in live if index not in set(withdrawn)]
+            for _ in range(additions_per_round):
+                live.append(next_index)
+                next_index += 1
+        snapshot_rows: dict[str, list[tuple]] = {
+            "protein": [], "annotation": [], "citation": [],
+        }
+        for index in live:
+            for relation, rows in entry_rows(index).items():
+                snapshot_rows[relation].extend(rows)
+        feed.append(Instance.from_tuples(snapshot_rows))
+    return feed
 
 
 def procurement_setting() -> PDESetting:

@@ -5,6 +5,7 @@ import pytest
 from repro.core.instance import Instance
 from repro.core.parser import parse_instance
 from repro.core.setting import PDESetting
+from repro.runtime import Budget
 from repro.solver import (
     brute_force_exists,
     enumerate_solutions,
@@ -70,11 +71,24 @@ class TestEnumerateSolutions:
         )
         source = parse_instance("A(a); R(a, b)")
         solutions = list(
-            enumerate_solutions(setting, source, Instance(), node_budget=50_000)
+            enumerate_solutions(
+                setting, source, Instance(),
+                budget=Budget(node_cap=50_000, strict=True),
+            )
         )
         assert solutions
         for solution in solutions:
             assert setting.is_solution(source, Instance(), solution)
+
+    def test_node_budget_is_deprecated_but_still_caps(self, choice_setting):
+        source = parse_instance("A(a); R(a, b)")
+        with pytest.warns(DeprecationWarning, match="node_budget"):
+            solutions = list(
+                enumerate_solutions(
+                    choice_setting, source, Instance(), node_budget=50_000
+                )
+            )
+        assert solutions
 
 
 class TestLemma2Sizes:

@@ -130,6 +130,15 @@ class TestSolveMulti:
         with pytest.raises(DependencyError):
             solve_multi(multi, [parse_instance("A(a, b)")], Instance())
 
+    def test_node_budget_is_deprecated_but_still_works(self):
+        from repro.solver.multi import solve_multi
+
+        multi = MultiPDESetting(make_members())
+        sources = [parse_instance("A(a, b)"), parse_instance("B(b, a)")]
+        with pytest.warns(DeprecationWarning, match="node_budget"):
+            result = solve_multi(multi, sources, Instance(), node_budget=10_000)
+        assert result.exists
+
     def test_bogus_witness_raises_invariant_violation(self, monkeypatch):
         # If the merged-setting solve ever returned a witness that a member
         # setting rejects, the Section 2 equivalence would be violated — a

@@ -1,0 +1,304 @@
+"""Tests for the network-simulator building blocks.
+
+Fault schedules (the multi-link generalization of ``faulty_feed``), the
+stamped idempotent ingestion protocol on :class:`SyncSession`, the
+simulated transport, and peer nodes.  End-to-end scenario runs live in
+``test_net_sim.py``.
+"""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.setting import PDESetting
+from repro.exceptions import SimulationError
+from repro.net import Message, PeerNode, Scenario, SimTransport
+from repro.net.scenarios import Heal, Partition, registry_setting
+from repro.runtime import FaultClock, FaultSchedule, SessionJournal, faulty_feed
+from repro.sync import Stamp, SyncSession
+
+
+@pytest.fixture
+def setting() -> PDESetting:
+    return registry_setting()
+
+
+SNAPSHOTS = [
+    parse_instance("reg(a, 1)"),
+    parse_instance("reg(a, 1); reg(b, 2)"),
+    parse_instance("reg(b, 2); reg(c, 3)"),
+    parse_instance("reg(c, 3); reg(d, 4)"),
+]
+
+
+class TestFaultSchedule:
+    def test_explicit_indices(self):
+        schedule = FaultSchedule(drop=[1], duplicate=[2], reorder=[0], delay={3: 0.5})
+        assert schedule.decide(1).drop
+        assert schedule.decide(2).duplicate
+        assert schedule.decide(0).reorder
+        assert schedule.decide(3).delay == 0.5
+        assert not schedule.decide(4).faulty
+
+    def test_seeded_is_deterministic_and_order_independent(self):
+        schedule = FaultSchedule.seeded(seed=7, drop=0.3, duplicate=0.3, reorder=0.3)
+        forward = [schedule.decide(i) for i in range(50)]
+        backward = [schedule.decide(i) for i in reversed(range(50))]
+        assert forward == list(reversed(backward))
+        again = FaultSchedule.seeded(seed=7, drop=0.3, duplicate=0.3, reorder=0.3)
+        assert forward == [again.decide(i) for i in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule.seeded(seed=1, drop=0.5)
+        b = FaultSchedule.seeded(seed=2, drop=0.5)
+        decisions_a = [a.decide(i).drop for i in range(64)]
+        decisions_b = [b.decide(i).drop for i in range(64)]
+        assert decisions_a != decisions_b
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.seeded(seed=0, drop=1.5)
+        with pytest.raises(ValueError):
+            FaultSchedule.seeded(seed=0, duplicate=-0.1)
+
+    def test_apply_reorders_adjacent_items(self):
+        items = list(range(5))
+        schedule = FaultSchedule(reorder=[1])
+        assert list(schedule.apply(items)) == [0, 2, 1, 3, 4]
+
+    def test_apply_flushes_held_items_at_stream_end(self):
+        schedule = FaultSchedule(reorder=[2])
+        assert list(schedule.apply([0, 1, 2])) == [0, 1, 2]
+
+
+class TestFaultyFeedReorder:
+    def test_reorder_swaps_delivery_order(self):
+        delivered = list(faulty_feed(SNAPSHOTS, reorder=[1]))
+        assert delivered == [SNAPSHOTS[0], SNAPSHOTS[2], SNAPSHOTS[1], SNAPSHOTS[3]]
+
+    def test_sync_converges_under_reordering(self, setting):
+        # An authoritative-snapshot session converges even when deliveries
+        # swap, because the final snapshot always lands last... unless the
+        # reordered one IS the final snapshot, which apply() flushes last
+        # anyway — here the stale-rejection protocol is not even needed.
+        faulty = SyncSession(setting)
+        for snapshot in faulty_feed(SNAPSHOTS, drop=[0], duplicate=[3], reorder=[1]):
+            assert faulty.sync(snapshot).ok
+        clean = SyncSession(setting)
+        assert clean.sync(SNAPSHOTS[-1]).ok
+        assert faulty.state() == clean.state()
+
+
+class TestStampedIngestion:
+    def test_stamps_order_lexicographically(self):
+        assert Stamp(1, 2) < Stamp(1, 3) < Stamp(2, 1)
+        assert str(Stamp(2, 7)) == "2.7"
+
+    def test_stale_stamp_is_skipped(self, setting):
+        session = SyncSession(setting)
+        assert session.sync(SNAPSHOTS[1], stamp=Stamp(1, 2)).ok
+        before = session.state()
+        outcome = session.sync(SNAPSHOTS[0], stamp=Stamp(1, 1))
+        assert outcome.ok and outcome.stale
+        assert session.state() == before
+        assert session.last_stamp == Stamp(1, 2)
+
+    def test_duplicate_stamp_is_skipped(self, setting):
+        session = SyncSession(setting)
+        assert session.sync(SNAPSHOTS[0], stamp=Stamp(1, 1)).ok
+        outcome = session.sync(SNAPSHOTS[0], stamp=Stamp(1, 1))
+        assert outcome.stale
+        assert session.rounds == 1  # a skipped replay is not a round
+
+    def test_higher_epoch_wins_over_higher_seq(self, setting):
+        # A publisher restart resets seq but bumps epoch; its messages must
+        # not be mistaken for stale ones.
+        session = SyncSession(setting)
+        assert session.sync(SNAPSHOTS[0], stamp=Stamp(1, 9)).ok
+        outcome = session.sync(SNAPSHOTS[1], stamp=Stamp(2, 1))
+        assert outcome.ok and not outcome.stale
+        assert session.last_stamp == Stamp(2, 1)
+
+    def test_unstamped_rounds_still_work(self, setting):
+        session = SyncSession(setting)
+        assert session.sync(SNAPSHOTS[0]).ok
+        assert session.last_stamp is None
+
+    def test_watermark_survives_resume(self, tmp_path, setting):
+        journal = SessionJournal(tmp_path / "peer.journal")
+        session = SyncSession(setting, journal=journal)
+        assert session.sync(SNAPSHOTS[1], stamp=Stamp(1, 2)).ok
+        del session
+
+        restored = SyncSession.resume(journal)
+        assert restored.last_stamp == Stamp(1, 2)
+        # A redelivery from before the crash replays as a stale no-op.
+        assert restored.sync(SNAPSHOTS[0], stamp=Stamp(1, 1)).stale
+
+
+class TestSimTransport:
+    def make(self, **kwargs):
+        clock = FaultClock()
+        return clock, SimTransport(clock, latency=0.1, **kwargs)
+
+    def message(self, seq: int, recipient: str = "peer") -> Message:
+        return Message("origin", recipient, Stamp(1, seq), SNAPSHOTS[0])
+
+    def drain(self, transport) -> list[tuple[float, Message]]:
+        out = []
+        while transport.pending():
+            out.append(transport.pop_delivery())
+        return out
+
+    def test_fifo_delivery_after_latency(self):
+        clock, transport = self.make()
+        transport.send(self.message(1))
+        transport.send(self.message(2))
+        deliveries = self.drain(transport)
+        assert [m.stamp.seq for _, m in deliveries] == [1, 2]
+        assert all(at == pytest.approx(0.1) for at, _ in deliveries)
+
+    def test_reorder_is_overtaking(self):
+        clock, transport = self.make()
+        transport.set_schedule("origin", "peer", FaultSchedule(reorder=[0]))
+        transport.send(self.message(1))  # reordered: +4x latency
+        transport.send(self.message(2))
+        assert [m.stamp.seq for _, m in self.drain(transport)] == [2, 1]
+        assert transport.stats["reordered"] == 1
+
+    def test_duplicate_arrives_twice(self):
+        clock, transport = self.make()
+        transport.set_schedule("origin", "peer", FaultSchedule(duplicate=[0]))
+        transport.send(self.message(1))
+        deliveries = self.drain(transport)
+        assert [m.stamp.seq for _, m in deliveries] == [1, 1]
+        assert deliveries[0][0] < deliveries[1][0]
+
+    def test_drop_never_delivers(self):
+        clock, transport = self.make()
+        transport.set_schedule("origin", "peer", FaultSchedule(drop=[0]))
+        transport.send(self.message(1))
+        assert transport.pending() == 0
+        assert transport.stats["dropped"] == 1
+
+    def test_partition_drops_at_send_time(self):
+        clock, transport = self.make()
+        transport.partition([{"origin"}, {"peer"}])
+        transport.send(self.message(1))
+        assert transport.pending() == 0
+        assert transport.stats["partition_dropped"] == 1
+        transport.heal()
+        transport.send(self.message(2))
+        assert transport.pending() == 1
+
+    def test_in_flight_messages_survive_a_partition(self):
+        # Partition semantics are send-time: a message already on the wire
+        # still arrives (the window stale rejection exists for).
+        clock, transport = self.make()
+        transport.send(self.message(1))
+        transport.partition([{"origin"}, {"peer"}])
+        assert [m.stamp.seq for _, m in self.drain(transport)] == [1]
+
+    def test_unlisted_peers_share_the_remainder_group(self):
+        clock, transport = self.make()
+        transport.partition([{"origin"}])
+        assert not transport.connected("origin", "peer")
+        assert transport.connected("peer", "other")  # both unlisted
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SimTransport(FaultClock(), latency=0.0)
+
+
+class TestPeerNode:
+    def offer(self, node, seq: int, snapshot) -> object:
+        return node.receive(Message("origin", node.name, Stamp(1, seq), snapshot))
+
+    def test_receive_applies_and_counts(self, setting):
+        node = PeerNode("peer", setting)
+        assert self.offer(node, 1, SNAPSHOTS[0]).ok
+        assert self.offer(node, 1, SNAPSHOTS[0]).stale
+        assert node.stats == {"applied": 1, "stale": 1, "rejected": 0, "degraded": 0}
+        assert node.stamp == Stamp(1, 1)
+
+    def test_behind_tracks_the_watermark(self, setting):
+        node = PeerNode("peer", setting)
+        assert node.behind(Stamp(1, 1))
+        self.offer(node, 1, SNAPSHOTS[0])
+        assert not node.behind(Stamp(1, 1))
+        assert node.behind(Stamp(1, 2))
+
+    def test_crash_loses_memory_and_restart_resumes_from_journal(
+        self, tmp_path, setting
+    ):
+        journal = SessionJournal(tmp_path / "peer.journal")
+        node = PeerNode("peer", setting, journal=journal)
+        self.offer(node, 1, SNAPSHOTS[1])
+        state = node.state()
+        node.crash()
+        assert node.crashed
+        node.restart()
+        assert node.state() == state
+        assert node.stamp == Stamp(1, 1)
+
+    def test_journal_free_restart_starts_empty(self, setting):
+        node = PeerNode("peer", setting)
+        self.offer(node, 1, SNAPSHOTS[1])
+        node.crash()
+        node.restart()
+        assert node.stamp is None
+        assert len(node.state()) == 0
+
+    def test_misuse_raises_simulation_error(self, setting):
+        node = PeerNode("peer", setting)
+        with pytest.raises(SimulationError):
+            node.restart()  # not crashed
+        node.crash()
+        with pytest.raises(SimulationError):
+            node.crash()  # already crashed
+        with pytest.raises(SimulationError):
+            node.state()
+        with pytest.raises(SimulationError):
+            self.offer(node, 1, SNAPSHOTS[0])
+
+
+class TestScenarioValidation:
+    def test_publisher_cannot_subscribe(self, setting):
+        with pytest.raises(SimulationError, match="publisher"):
+            Scenario(
+                name="bad", description="", setting=setting,
+                snapshots=SNAPSHOTS, peers=["origin"], publisher="origin",
+            )
+
+    def test_events_must_reference_known_peers(self, setting):
+        from repro.net import Crash
+
+        with pytest.raises(SimulationError, match="unknown peer"):
+            Scenario(
+                name="bad", description="", setting=setting,
+                snapshots=SNAPSHOTS, peers=["peer"],
+                events=[Crash(1.0, "ghost")],
+            )
+
+    def test_fault_links_must_reference_known_peers(self, setting):
+        with pytest.raises(SimulationError, match="fault link"):
+            Scenario(
+                name="bad", description="", setting=setting,
+                snapshots=SNAPSHOTS, peers=["peer"],
+                faults={("origin", "ghost"): FaultSchedule(drop=[0])},
+            )
+
+    def test_empty_snapshots_rejected(self, setting):
+        with pytest.raises(SimulationError, match="publishes nothing"):
+            Scenario(
+                name="bad", description="", setting=setting,
+                snapshots=[], peers=["peer"],
+            )
+
+    def test_partition_and_heal_accept_any_groups(self, setting):
+        scenario = Scenario(
+            name="ok", description="", setting=setting,
+            snapshots=SNAPSHOTS, peers=["p1", "p2"],
+            events=[Partition(1.0, {"origin", "p1"}, {"p2"}), Heal(2.0)],
+        )
+        assert scenario.duration == pytest.approx(3.0)

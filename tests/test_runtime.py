@@ -181,6 +181,14 @@ class TestBudgetConstructors:
         assert budget.node_cap == 7
         assert budget.strict
 
+    def test_from_node_budget_is_the_canonical_name(self):
+        # from_legacy is the historical alias of from_node_budget.
+        assert Budget.from_legacy.__func__ is Budget.from_node_budget.__func__
+        budget = Budget.from_node_budget(7)
+        assert budget.node_cap == 7
+        assert budget.strict
+        assert Budget.from_node_budget(None) is None
+
     def test_scaled_resets_counters_and_scales_caps(self):
         token = CancellationToken()
         budget = Budget(node_cap=10, fact_cap=3, token=token, wall_time_s=100.0)

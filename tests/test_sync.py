@@ -171,3 +171,65 @@ class TestSolutionInvariant:
             Instance(),
         ).solution
         assert session.state() == fresh
+
+
+class TestResumeWithRetractions:
+    def test_resume_after_a_retraction_round(self, tmp_path, registry_setting):
+        # The last committed round withdrew facts; the resumed session must
+        # reproduce the post-retraction state, not resurrect the imports.
+        from repro.runtime import SessionJournal
+
+        journal = SessionJournal(tmp_path / "session.journal")
+        session = SyncSession(registry_setting, journal=journal)
+        assert session.sync(parse_instance("reg(a, 1); reg(b, 2)")).ok
+        outcome = session.sync(parse_instance("reg(b, 2)"))  # a withdrawn
+        assert outcome.ok
+        assert outcome.retracted == parse_instance("db(a, 1)")
+        killed_state = session.state()
+        del session
+
+        restored = SyncSession.resume(journal)
+        assert restored.state() == killed_state
+        assert restored.state() == parse_instance("db(b, 2)")
+
+    def test_resumed_session_retracts_pending_withdrawals(
+        self, tmp_path, registry_setting
+    ):
+        # The withdrawal arrives only *after* the crash: the resumed
+        # session must still honor it against its re-imported facts.
+        from repro.runtime import SessionJournal
+
+        journal = SessionJournal(tmp_path / "session.journal")
+        session = SyncSession(registry_setting, journal=journal)
+        assert session.sync(parse_instance("reg(a, 1); reg(b, 2)")).ok
+        del session
+
+        restored = SyncSession.resume(journal)
+        outcome = restored.sync(parse_instance("reg(b, 2)"))
+        assert outcome.ok
+        assert outcome.retracted == parse_instance("db(a, 1)")
+        assert restored.state() == parse_instance("db(b, 2)")
+
+    def test_stamped_retraction_round_resumes_with_watermark(
+        self, tmp_path, registry_setting
+    ):
+        # Retraction + stamp in the same committed round: both survive.
+        from repro.runtime import SessionJournal
+        from repro.sync import Stamp
+
+        journal = SessionJournal(tmp_path / "session.journal")
+        session = SyncSession(registry_setting, journal=journal)
+        assert session.sync(
+            parse_instance("reg(a, 1); reg(b, 2)"), stamp=Stamp(1, 1)
+        ).ok
+        assert session.sync(parse_instance("reg(b, 2)"), stamp=Stamp(1, 2)).ok
+        del session
+
+        restored = SyncSession.resume(journal)
+        assert restored.last_stamp == Stamp(1, 2)
+        assert restored.state() == parse_instance("db(b, 2)")
+        # Redelivering the pre-retraction snapshot must not resurrect a.
+        assert restored.sync(
+            parse_instance("reg(a, 1); reg(b, 2)"), stamp=Stamp(1, 1)
+        ).stale
+        assert restored.state() == parse_instance("db(b, 2)")
