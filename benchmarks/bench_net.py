@@ -1,10 +1,10 @@
-"""Experiment — simulator overhead over direct sync rounds.
+"""Experiment — simulator overhead, and delta-transfer wire reduction.
 
 The :mod:`repro.net` simulator wraps every snapshot ingestion in a
 transport hop (fault decision, heap scheduling, stamp bookkeeping) and a
 driver step.  The protocol machinery should be cheap relative to the
 sync rounds themselves — the solver work dominates, not the simulated
-network.  This bench measures:
+network.  The overhead bench measures:
 
 * **direct**: the publisher's snapshots fed straight into one
   :class:`repro.sync.SyncSession` per peer (the work a perfect network
@@ -16,7 +16,15 @@ network.  This bench measures:
   drop/duplicate/reorder schedules and partition/heal — the full
   robustness path, including stale rejections and anti-entropy.
 
-The record lands in ``BENCH_net.json`` (via the grouped ``record``
+The delta bench measures the wire win of delta transfer on the
+``genomics-churn`` scenario (the paper's periodic re-ingestion at
+production shape: big mostly-unchanged snapshots, mild faults): facts
+sent with full state transfer vs ``deltas=True``, asserting the ≥ 2x
+reduction the protocol exists for — and, across every shipped scenario,
+that the delta run converges to a state identical to the snapshot-only
+run (deltas are a pure wire optimization).
+
+The records land in ``BENCH_net.json`` (via the grouped ``record``
 fixture).  The assertion keeps the fault-free simulator within a
 generous multiple of direct rounds; the real number is in the table.
 """
@@ -26,7 +34,13 @@ from __future__ import annotations
 import time
 
 from repro.net import NetworkSimulator, Scenario, registry_scenario
-from repro.net.scenarios import _registry_snapshots, registry_setting
+from repro.net.scenarios import (
+    _registry_snapshots,
+    genomics_churn_scenario,
+    registry_setting,
+    scenario_registry,
+)
+from repro.net.simulator import _states_agree
 from repro.sync import SyncSession
 
 
@@ -101,3 +115,71 @@ def test_simulator_overhead(benchmark, table, record):
     # The convergence check replays a fault-free oracle (~one extra peer's
     # worth of sync rounds), so ~1.3x is inherent; 3x is the flake ceiling.
     assert ratio < 3.0, f"simulator overhead {ratio:.2f}x exceeds the 3x ceiling"
+
+
+def test_delta_transfer_reduction(table, record, tmp_path):
+    """Facts-on-wire with deltas on vs off; states must be identical."""
+    runs = {}
+    sims = {}
+    for mode, deltas in (("snapshot", False), ("delta", True)):
+        sim = NetworkSimulator(genomics_churn_scenario(0), deltas=deltas)
+        report = sim.run()
+        assert report.converged, "\n".join(report.log)
+        runs[mode], sims[mode] = report, sim
+    for peer in sims["snapshot"].scenario.peers:
+        assert _states_agree(
+            sims["snapshot"].nodes[peer].state(), sims["delta"].nodes[peer].state()
+        ), f"{peer} reached a different state with deltas enabled"
+
+    full = runs["snapshot"].stats["facts_sent"]
+    wire = runs["delta"].stats["facts_sent"]
+    reduction = full / wire
+    table(
+        "Delta transfer (genomics-churn, 8 rounds x 3 peers, seed 0)",
+        ["variant", "facts on wire", "reduction"],
+        [
+            ["snapshot", full, "1.00x"],
+            ["delta", wire, f"{reduction:.2f}x"],
+        ],
+    )
+
+    # Deltas are a pure optimization: every shipped scenario must reach
+    # the identical converged state with deltas on and off.
+    for name, builder in sorted(scenario_registry().items()):
+        for seed in (0, 7):
+            plain = NetworkSimulator(
+                builder(seed), journal_dir=tmp_path / f"{name}-{seed}-plain"
+            )
+            delta = NetworkSimulator(
+                builder(seed),
+                journal_dir=tmp_path / f"{name}-{seed}-delta",
+                deltas=True,
+            )
+            plain_report, delta_report = plain.run(), delta.run()
+            assert plain_report.converged and delta_report.converged, (
+                f"{name} seed {seed} diverged"
+            )
+            for peer in plain.scenario.peers:
+                if plain.reachable(peer) and delta.reachable(peer):
+                    assert _states_agree(
+                        plain.nodes[peer].state(), delta.nodes[peer].state()
+                    ), f"{name} seed {seed}: {peer} differs with deltas on"
+
+    record(
+        "bench_net.delta_transfer",
+        {
+            "scenario": "genomics-churn",
+            "seed": 0,
+            "peers": 3,
+            "rounds": 8,
+            "facts_sent_snapshot": full,
+            "facts_sent_delta": wire,
+            "reduction": reduction,
+            "delta_published": runs["delta"].stats["delta_published"],
+            "delta_applied": runs["delta"].stats["delta_applied"],
+            "delta_fallback": runs["delta"].stats["delta_fallback"],
+        },
+    )
+    assert reduction >= 2.0, (
+        f"delta transfer saved only {reduction:.2f}x on the churn workload"
+    )

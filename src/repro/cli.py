@@ -9,8 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli explain   setting.json source.txt [target.txt]
     python -m repro.cli certain   setting.json source.txt --query "H(x, y)"
     python -m repro.cli chase     setting.json source.txt [target.txt]
-    python -m repro.cli sync      setting.json snap1.txt [snap2.txt ...]
-    python -m repro.cli simulate  [registry|genomics|crash] [--seed N] [--log]
+    python -m repro.cli sync      setting.json snap1.txt [snap2.txt ...] [--delta]
+    python -m repro.cli simulate  [registry|genomics|genomics-churn|crash] [--seed N] [--delta] [--log]
     python -m repro.cli profile   clique [--size N] [--top K] [--trace out.jsonl]
 
 Setting files use the JSON format of :mod:`repro.io.serialization`;
@@ -37,6 +37,16 @@ oracle.  It exits 0 when every reachable peer converged and 4 when any
 diverged (the degraded-result convention); ``--log`` prints the
 deterministic event log, and ``--journal-dir`` gives crash scenarios a
 durable directory to resume from.
+
+Delta transfer: both ``sync`` and ``simulate`` accept ``--delta``.
+``sync --delta`` stamps each round and ships only the ``(added,
+withdrawn)`` difference against the previous snapshot file (the first
+round, and any round whose delta chain broke, falls back to the full
+snapshot) and reports the facts-on-wire saving.  ``simulate --delta``
+enables the same protocol inside the network simulator: publishes carry
+deltas keyed on the previous stamp, chain breaks trigger per-peer
+full-snapshot fallbacks, and the transport's ``facts_sent`` counter
+shows the wire reduction.
 
 Observability: ``solve``, ``certain``, and ``sync`` accept ``--trace
 PATH`` (record a span tree to a JSONL file readable with
@@ -270,7 +280,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_sync(args: argparse.Namespace) -> int:
-    from repro.sync import SyncSession
+    from repro.sync import Stamp, SyncSession
 
     journal = SessionJournal(args.journal) if args.journal else None
     retry = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
@@ -286,11 +296,57 @@ def _cmd_sync(args: argparse.Namespace) -> int:
     tracer, registry = _build_obs(args)
     any_rejected = False
     any_degraded = False
+    # Delta mode: stamp every round (continuing a resumed watermark) and
+    # ship only the difference against the previously applied snapshot;
+    # the first round — and any round whose chain broke — goes as a full
+    # snapshot.
+    epoch, seq = (1, 0)
+    if args.delta and session.last_stamp is not None:
+        epoch, seq = session.last_stamp
+    previous: tuple[Instance, Stamp] | None = None
+    wire_facts = 0
+    full_facts = 0
     for path in args.snapshots:
         snapshot = _load_instance(path)
         budget = _build_budget(args)  # fresh per round: counters reset
-        outcome = session.sync(snapshot, budget=budget, tracer=tracer, metrics=registry)
-        if outcome.ok:
+        if not args.delta:
+            outcome = session.sync(
+                snapshot, budget=budget, tracer=tracer, metrics=registry
+            )
+        else:
+            seq += 1
+            stamp = Stamp(epoch, seq)
+            full_facts += len(snapshot)
+            if previous is None:
+                wire_facts += len(snapshot)
+                outcome = session.sync(
+                    snapshot, budget=budget, tracer=tracer,
+                    metrics=registry, stamp=stamp,
+                )
+            else:
+                base_snapshot, base_stamp = previous
+                added = snapshot - base_snapshot
+                withdrawn = base_snapshot - snapshot
+                wire_facts += len(added) + len(withdrawn)
+                outcome = session.sync_delta(
+                    added, withdrawn, base=base_stamp, stamp=stamp,
+                    budget=budget, tracer=tracer, metrics=registry,
+                )
+                if outcome.chain_broken:
+                    print(
+                        f"round: delta chain broken at base {base_stamp}; "
+                        "falling back to full snapshot"
+                    )
+                    wire_facts += len(snapshot)
+                    outcome = session.sync(
+                        snapshot, budget=_build_budget(args), tracer=tracer,
+                        metrics=registry, stamp=stamp,
+                    )
+            if outcome.ok and not outcome.stale:
+                previous = (snapshot, stamp)
+        if outcome.stale:
+            print(f"round (stale): {outcome.reason}")
+        elif outcome.ok:
             print(
                 f"round {session.rounds}: ok  "
                 f"+{len(outcome.added)} -{len(outcome.retracted)} "
@@ -306,6 +362,12 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         else:
             any_rejected = True
             print(f"round (rejected): {outcome.reason} (state unchanged)")
+    if args.delta and full_facts:
+        saving = (1 - wire_facts / full_facts) * 100
+        print(
+            f"delta transfer: {wire_facts} facts on wire vs {full_facts} "
+            f"full-snapshot ({saving:.0f}% saved)"
+        )
     _finish_obs(args, tracer, registry)
     if any_degraded:
         return EXIT_DEGRADED
@@ -331,7 +393,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     scenario = builder(args.seed)
     tracer, metrics = _build_obs(args)
     simulator = NetworkSimulator(
-        scenario, journal_dir=args.journal_dir, tracer=tracer, metrics=metrics
+        scenario, journal_dir=args.journal_dir, tracer=tracer, metrics=metrics,
+        deltas=args.delta,
     )
     report = simulator.run()
     if args.log:
@@ -347,19 +410,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(
         f"transport: sent={stats['sent']} delivered={stats['delivered']} "
         f"dropped={stats['dropped']} partition_dropped={stats['partition_dropped']} "
-        f"duplicated={stats['duplicated']} reordered={stats['reordered']}"
+        f"duplicated={stats['duplicated']} reordered={stats['reordered']} "
+        f"facts_sent={stats['facts_sent']}"
     )
     print(
         f"protocol: applied={stats['applied']} stale={stats['stale']} "
         f"rejected={stats['rejected']} degraded={stats['degraded']} "
         f"anti_entropy={stats['anti_entropy']}"
     )
+    if args.delta:
+        print(
+            f"deltas: published={stats['delta_published']} "
+            f"applied={stats['delta_applied']} "
+            f"chain_broken={stats['chain_broken']} "
+            f"fallback={stats['delta_fallback']}"
+        )
     convergence = report.convergence
     for peer, ok in sorted(convergence.peers.items()):
         print(f"  {peer}: {'converged' if ok else 'DIVERGED'}")
     for peer in convergence.unreachable:
         print(f"  {peer}: unreachable (excluded)")
-    print(f"converged: {report.converged}")
+    verdict = str(report.converged)
+    if convergence.vacuous:
+        verdict += " (vacuously: no reachable peers)"
+    print(f"converged: {verdict}")
     _finish_obs(args, tracer, metrics)
     return 0 if report.converged else EXIT_DEGRADED
 
@@ -522,6 +596,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1, metavar="N",
         help="attempts per round, with budget escalation (default: 1)",
     )
+    sync_cmd.add_argument(
+        "--delta", action="store_true",
+        help=(
+            "stamp rounds and ship only the (added, withdrawn) difference "
+            "between consecutive snapshots, with full-snapshot fallback"
+        ),
+    )
     _add_budget_options(sync_cmd)
     _add_obs_options(sync_cmd)
     sync_cmd.set_defaults(handler=_cmd_sync)
@@ -537,6 +618,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument(
         "--seed", type=int, default=0, metavar="N",
         help="scenario seed; same seed replays byte-for-byte (default: 0)",
+    )
+    simulate_cmd.add_argument(
+        "--delta", action="store_true",
+        help=(
+            "enable delta transfer: publishes ship (added, withdrawn) keyed "
+            "on the previous stamp, falling back to full snapshots on a "
+            "broken chain"
+        ),
     )
     simulate_cmd.add_argument(
         "--log", action="store_true", help="print the deterministic event log",

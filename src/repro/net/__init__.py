@@ -16,6 +16,14 @@ mid-simulation.  The :class:`NetworkSimulator` runs a scripted
 round, and checks **convergence**: every reachable peer's materialized
 state must equal the fault-free oracle run.
 
+With delta transfer enabled (``NetworkSimulator(..., deltas=True)``),
+publishes ship a :class:`Delta` — ``(added, withdrawn)`` keyed on the
+previous publish's :class:`~repro.sync.Stamp` — whenever that beats the
+full snapshot; a recipient whose watermark is not the delta's base
+reports a broken chain and the publisher falls back to a full snapshot
+for that peer.  Deltas are a pure wire optimization: converged states
+are identical with deltas on or off.
+
 Everything is deterministic given the scenario seed — the simulator's
 event log replays byte-for-byte.
 """
@@ -30,6 +38,7 @@ from repro.net.scenarios import (
     Restart,
     Scenario,
     crash_scenario,
+    genomics_churn_scenario,
     genomics_scenario,
     registry_scenario,
     registry_setting,
@@ -40,12 +49,13 @@ from repro.net.simulator import (
     NetworkSimulator,
     SimulationReport,
 )
-from repro.net.transport import Message, SimTransport
+from repro.net.transport import Delta, Message, SimTransport
 
 __all__ = [
     "BumpEpoch",
     "ConvergenceReport",
     "Crash",
+    "Delta",
     "Heal",
     "Message",
     "NetworkEvent",
@@ -57,6 +67,7 @@ __all__ = [
     "SimTransport",
     "SimulationReport",
     "crash_scenario",
+    "genomics_churn_scenario",
     "genomics_scenario",
     "registry_scenario",
     "registry_setting",

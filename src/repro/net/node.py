@@ -26,7 +26,7 @@ from __future__ import annotations
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
 from repro.exceptions import SimulationError
-from repro.net.transport import Message
+from repro.net.transport import Delta, Message
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.runtime.budget import Budget
@@ -63,7 +63,12 @@ class PeerNode:
     ) -> None:
         self.name = name
         self.setting = setting
-        self.pinned = pinned if pinned is not None else Instance()
+        # Copy at the node boundary: the caller (a Scenario, typically)
+        # shares one pinned instance across nodes and the convergence
+        # oracle, and a journal-free restart re-seeds a session from
+        # self.pinned — aliasing the caller's instance would let any
+        # mutation of it leak into the resumed session.
+        self.pinned = pinned.copy() if pinned is not None else Instance()
         self.journal = journal
         self.retry = retry
         self.session: SyncSession | None = SyncSession(
@@ -71,6 +76,7 @@ class PeerNode:
         )
         self.stats: dict[str, int] = {
             "applied": 0, "stale": 0, "rejected": 0, "degraded": 0,
+            "chain_broken": 0,
         }
 
     # ------------------------------------------------------------------
@@ -135,21 +141,41 @@ class PeerNode:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> SyncOutcome:
-        """Ingest one delivered message through the stamped protocol."""
+        """Ingest one delivered message through the stamped protocol.
+
+        A :class:`~repro.net.Delta` payload routes through
+        :meth:`~repro.sync.SyncSession.sync_delta`: it applies only when
+        the session's watermark equals the delta's base stamp, and
+        otherwise reports a broken chain (``outcome.chain_broken``) so the
+        sender can fall back to a full snapshot.
+        """
         if self.session is None:
             raise SimulationError(
                 f"delivered to crashed peer {self.name!r}: the driver must "
                 "drop deliveries to crashed peers"
             )
-        outcome = self.session.sync(
-            message.payload,
-            stamp=message.stamp,
-            budget=budget,
-            tracer=tracer,
-            metrics=metrics,
-        )
+        if isinstance(message.payload, Delta):
+            outcome = self.session.sync_delta(
+                message.payload.added,
+                message.payload.withdrawn,
+                base=message.payload.base,
+                stamp=message.stamp,
+                budget=budget,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        else:
+            outcome = self.session.sync(
+                message.payload,
+                stamp=message.stamp,
+                budget=budget,
+                tracer=tracer,
+                metrics=metrics,
+            )
         if outcome.stale:
             self.stats["stale"] += 1
+        elif outcome.chain_broken:
+            self.stats["chain_broken"] += 1
         elif outcome.degraded:
             self.stats["degraded"] += 1
         elif outcome.ok:

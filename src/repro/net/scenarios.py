@@ -16,6 +16,9 @@ Shipped scenarios (see :func:`scenario_registry`):
 * ``genomics`` — the paper's Swiss-Prot feed
   (:func:`repro.workloads.generate_genomics_feed`) mirrored to three
   university peers over a lossy network.
+* ``genomics-churn`` — a larger, longer Swiss-Prot feed with low churn
+  over mildly lossy links: the periodic-re-ingestion workload delta
+  transfer (``simulate --delta``) exists to optimize.
 * ``crash`` — the registry scenario plus one journal-backed peer crashing
   mid-simulation and resuming two publishes later.
 """
@@ -40,6 +43,7 @@ __all__ = [
     "Restart",
     "Scenario",
     "crash_scenario",
+    "genomics_churn_scenario",
     "genomics_scenario",
     "registry_scenario",
     "registry_setting",
@@ -280,6 +284,39 @@ def genomics_scenario(seed: int = 0) -> Scenario:
     )
 
 
+def genomics_churn_scenario(seed: int = 0) -> Scenario:
+    """A large, low-churn Swiss-Prot feed: the delta-transfer showcase.
+
+    Models the paper's periodic re-ingestion at production shape: each
+    interval the authority re-publishes a big mostly-unchanged snapshot
+    (32 proteins, ~12% churn per round, 8 rounds) over links with mild
+    real-world fault rates.  Full state transfer re-ships every fact
+    every round; ``NetworkSimulator(..., deltas=True)`` ships only the
+    churn, so this scenario is where the facts-on-wire reduction is
+    measured (``benchmarks/bench_net.py``).
+    """
+    peers = ["uni-basel", "uni-geneva", "uni-zurich"]
+    publisher = "swissprot"
+    return Scenario(
+        name="genomics-churn",
+        description=(
+            "8-round, 32-protein Swiss-Prot feed (~12% churn/round) to 3 "
+            "mirrors over mildly lossy links; the delta-transfer workload"
+        ),
+        setting=genomics_setting(),
+        snapshots=generate_genomics_feed(
+            rounds=8, proteins=32, churn=0.12, seed=seed
+        ),
+        peers=peers,
+        publisher=publisher,
+        reorder_delay=1.2,
+        faults=_lossy_links(
+            publisher, peers, seed, drop=0.05, duplicate=0.05, reorder=0.05
+        ),
+        seed=seed,
+    )
+
+
 def crash_scenario(seed: int = 0) -> Scenario:
     """The registry scenario plus a journal-backed crash and resume.
 
@@ -304,5 +341,6 @@ def scenario_registry() -> dict[str, Callable[[int], Scenario]]:
     return {
         "registry": registry_scenario,
         "genomics": genomics_scenario,
+        "genomics-churn": genomics_churn_scenario,
         "crash": crash_scenario,
     }

@@ -24,17 +24,30 @@ reordered, or delayed.  Convergence of all reachable peers is the
 invariant the whole protocol stack — authoritative snapshots, stamped
 idempotent ingestion, journal-backed resume, anti-entropy — exists to
 guarantee.
+
+Delta transfer (``deltas=True``): instead of shipping the full snapshot
+on every publish, the publisher ships a :class:`~repro.net.Delta` —
+``(added, withdrawn)`` keyed on the previous publish's stamp — whenever
+that is smaller than the snapshot itself (and always a full snapshot on
+the first publish of an epoch).  A peer whose watermark is not exactly
+the delta's base reports a broken chain, and the publisher falls back by
+re-sending the *latest* full snapshot to that peer over the same faulty
+link.  Anti-entropy always repairs with full snapshots.  Deltas are a
+pure wire optimization: every scenario must converge to the identical
+state with deltas on or off.
 """
 
 from __future__ import annotations
 
 import heapq
+import shutil
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.homomorphism import has_instance_homomorphism
 from repro.core.instance import Instance
+from repro.exceptions import SimulationError
 from repro.net.node import PeerNode
 from repro.net.scenarios import (
     BumpEpoch,
@@ -44,7 +57,7 @@ from repro.net.scenarios import (
     Restart,
     Scenario,
 )
-from repro.net.transport import Message, SimTransport
+from repro.net.transport import Delta, Message, SimTransport
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.faults import FaultClock
@@ -60,17 +73,23 @@ class ConvergenceReport:
 
     Attributes:
         converged: every reachable peer's state equals its oracle state.
+            Vacuously True when *no* peer is reachable — unreachable
+            peers are excluded from the check, and an all-crashed (or
+            all-partitioned) endgame leaves nothing to diverge.
         peers: per reachable peer, whether it matches the oracle.
         unreachable: peers excluded from the check (crashed, or
             partitioned away from the publisher at quiescence).
         oracle_size: facts in the (unpinned) oracle materialization, as a
             quick summary statistic.
+        vacuous: True when the verdict covered no peers (``peers`` is
+            empty because every peer was unreachable).
     """
 
     converged: bool
     peers: dict[str, bool]
     unreachable: list[str]
     oracle_size: int
+    vacuous: bool = False
 
     def __bool__(self) -> bool:
         return self.converged
@@ -137,14 +156,19 @@ class NetworkSimulator:
         journal_dir: directory for per-peer session journals.  Required
             for meaningful :class:`~repro.net.Crash` recovery; when None
             and the scenario contains crash events, a temporary directory
-            is created (and reported in the log).  When None otherwise,
-            peers run journal-free.
+            is created (and removed again when the run completes).  When
+            None otherwise, peers run journal-free.
         tracer: optional :class:`~repro.obs.Tracer`; the run is wrapped
             in a ``simulate`` span and the transport emits ``net.*``
             events inside it.
         metrics: optional :class:`~repro.obs.MetricsRegistry` accumulating
             ``net.*`` delivery counters and per-round sync instruments.
         anti_entropy_limit: maximum repair rounds after quiescence.
+        deltas: enable delta transfer — publishes ship ``(added,
+            withdrawn)`` keyed on the previous stamp when smaller than
+            the full snapshot, with per-peer full-snapshot fallback on a
+            broken chain.  Purely a wire optimization: convergence and
+            final states are identical with or without it.
     """
 
     def __init__(
@@ -154,11 +178,13 @@ class NetworkSimulator:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         anti_entropy_limit: int = 8,
+        deltas: bool = False,
     ) -> None:
         self.scenario = scenario
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.anti_entropy_limit = anti_entropy_limit
+        self.deltas = deltas
         self.clock = FaultClock()
         self.transport = SimTransport(
             clock=self.clock,
@@ -173,7 +199,8 @@ class NetworkSimulator:
         needs_journals = any(
             isinstance(event, (Crash, Restart)) for event in scenario.events
         )
-        if journal_dir is None and needs_journals:
+        self._owns_journal_dir = journal_dir is None and needs_journals
+        if self._owns_journal_dir:
             journal_dir = tempfile.mkdtemp(prefix=f"repro-net-{scenario.name}-")
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         if self.journal_dir is not None:
@@ -194,12 +221,24 @@ class NetworkSimulator:
             )
 
         self.log: list[str] = []
-        self.stats: dict[str, int] = {"crash_dropped": 0, "anti_entropy": 0}
+        self.stats: dict[str, int] = {
+            "crash_dropped": 0,
+            "anti_entropy": 0,
+            "delta_published": 0,
+            "delta_applied": 0,
+            "delta_fallback": 0,
+        }
         self._epoch = 1
         self._seq = 0
         self._published = 0
         self.latest_stamp: Stamp | None = None
         self.latest_snapshot: Instance | None = None
+        #: The previous publish of the current epoch — the base the next
+        #: delta is keyed on; None before the first publish and right
+        #: after an epoch bump (a restarted publisher re-baselines with a
+        #: full snapshot).
+        self._previous_stamp: Stamp | None = None
+        self._previous_snapshot: Instance | None = None
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -268,6 +307,10 @@ class NetworkSimulator:
             log=self.log,
             convergence=convergence,
         )
+        if self._owns_journal_dir and self.journal_dir is not None:
+            # The temp dir was provisioned for this run only; a caller
+            # who wants to inspect journals passes an explicit dir.
+            shutil.rmtree(self.journal_dir, ignore_errors=True)
         return report
 
     def _advance(self, to: float) -> None:
@@ -282,11 +325,31 @@ class NetworkSimulator:
         self.latest_stamp = stamp
         self.latest_snapshot = snapshot
         self._published += 1
-        self._note(f"publish stamp={stamp} facts={len(snapshot)}")
+        payload: Instance | Delta = snapshot
+        if self.deltas and self._previous_snapshot is not None:
+            delta = Delta(
+                base=self._previous_stamp,
+                added=snapshot - self._previous_snapshot,
+                withdrawn=self._previous_snapshot - snapshot,
+            )
+            # Ship the delta only when it actually beats the snapshot; a
+            # near-total churn round is cheaper as state transfer.
+            if len(delta) < len(snapshot):
+                payload = delta
+                self.stats["delta_published"] += 1
+        if isinstance(payload, Delta):
+            self._note(
+                f"publish stamp={stamp} facts={len(snapshot)} "
+                f"{payload.describe()}"
+            )
+        else:
+            self._note(f"publish stamp={stamp} facts={len(snapshot)}")
         for peer in self.scenario.peers:
             self.transport.send(
-                Message(self.scenario.publisher, peer, stamp, snapshot)
+                Message(self.scenario.publisher, peer, stamp, payload)
             )
+        self._previous_stamp = stamp
+        self._previous_snapshot = snapshot
 
     def _control(self, event: object) -> None:
         if isinstance(event, Partition):
@@ -306,9 +369,30 @@ class NetworkSimulator:
         elif isinstance(event, BumpEpoch):
             self._epoch += 1
             self._seq = 0
+            # A restarted publisher re-baselines: its first publish is
+            # always a full snapshot, never a cross-epoch delta.
+            self._previous_stamp = None
+            self._previous_snapshot = None
             self._note(f"epoch-bump epoch={self._epoch}")
         else:  # pragma: no cover - scenarios validate their events
             raise RuntimeError(f"unknown control event {event!r}")
+
+    @staticmethod
+    def _verdict(outcome) -> str:
+        """One word (or ``kind:detail``) describing a sync outcome.
+
+        Shared by delivery and anti-entropy logging so both spell
+        verdicts identically in the event log.
+        """
+        if outcome.stale:
+            return "stale"
+        if outcome.chain_broken:
+            return "delta-chain-broken"
+        if outcome.ok:
+            return "applied"
+        if outcome.degraded:
+            return f"degraded:{outcome.status}"
+        return "rejected"
 
     def _deliver(self, message: Message) -> None:
         node = self.nodes[message.recipient]
@@ -320,19 +404,36 @@ class NetworkSimulator:
             )
             return
         outcome = node.receive(message, tracer=self.tracer, metrics=self.metrics)
-        verdict = (
-            "stale"
-            if outcome.stale
-            else "applied"
-            if outcome.ok
-            else f"degraded:{outcome.status}"
-            if outcome.degraded
-            else "rejected"
-        )
         self._note(
-            f"deliver {message.describe()} -> {verdict} "
+            f"deliver {message.describe()} -> {self._verdict(outcome)} "
             f"state={len(outcome.state)}"
         )
+        if not message.is_delta:
+            return
+        if outcome.chain_broken:
+            # The peer cannot patch from this base: fall back to state
+            # transfer of the *latest* snapshot (authoritative, and the
+            # next delta may chain from it), over the same faulty link —
+            # a lost fallback is repaired by anti-entropy like any drop.
+            self.stats["delta_fallback"] += 1
+            self.tracer.event(
+                "net.delta_fallback", message=message.describe()
+            )
+            if self.metrics is not None:
+                self.metrics.counter("net.delta_fallback").inc()
+            fallback = Message(
+                self.scenario.publisher,
+                message.recipient,
+                self.latest_stamp,
+                self.latest_snapshot,
+            )
+            self._note(f"delta-fallback {fallback.describe()}")
+            self.transport.send(fallback)
+        elif outcome.ok and not outcome.stale:
+            self.stats["delta_applied"] += 1
+            self.tracer.event("net.delta_applied", message=message.describe())
+            if self.metrics is not None:
+                self.metrics.counter("net.delta_applied").inc()
 
     # ------------------------------------------------------------------
     # repair + convergence
@@ -373,7 +474,7 @@ class NetworkSimulator:
                 )
                 self._note(
                     f"anti-entropy round={round_number} {message.describe()} "
-                    f"-> {'applied' if outcome.ok and not outcome.stale else outcome.reason}"
+                    f"-> {self._verdict(outcome)}"
                 )
 
     def check_convergence(self) -> ConvergenceReport:
@@ -382,7 +483,13 @@ class NetworkSimulator:
         The oracle replays *all* snapshots, in order, through a fresh
         session with the peer's pinned facts — the run a perfect network
         would have produced.  Oracle sessions are cached per distinct
-        pinned instance, since most peers pin nothing.
+        pinned instance, since most peers pin nothing.  A replay the
+        protocol itself refuses (rejected or degraded snapshot) raises
+        :class:`~repro.exceptions.SimulationError` naming the snapshot.
+
+        Unreachable peers are excluded; when *every* peer is unreachable
+        the verdict is vacuously converged (``vacuous=True``) with the
+        full unreachable list, not a divergence.
 
         States are compared up to renaming of labeled nulls: each sync
         round invents fresh nulls, so a peer that skipped a since-
@@ -402,9 +509,16 @@ class NetworkSimulator:
             session = SyncSession(self.scenario.setting, pinned=pinned.copy())
             for index, snapshot in enumerate(self.scenario.snapshots):
                 outcome = session.sync(snapshot, stamp=Stamp(1, index + 1))
-                if not outcome.ok:
-                    raise RuntimeError(
-                        f"the fault-free oracle run rejected snapshot {index}: "
+                if not outcome.ok or outcome.degraded:
+                    # Not a simulator bug but a scenario whose inputs the
+                    # protocol itself refuses (e.g. pinned facts no
+                    # snapshot vouches for): diagnose it instead of
+                    # crashing with a bare RuntimeError.
+                    verb = "degraded on" if outcome.degraded else "rejected"
+                    raise SimulationError(
+                        f"scenario {self.scenario.name!r} has no fault-free "
+                        f"oracle: the perfect-network replay {verb} snapshot "
+                        f"{index} (stamp {Stamp(1, index + 1)}): "
                         f"{outcome.reason}"
                     )
             state = session.state()
@@ -419,18 +533,26 @@ class NetworkSimulator:
                 continue
             expected = oracle_state(self.scenario.pinned.get(name))
             peers[name] = _states_agree(self.nodes[name].state(), expected)
-        converged = all(peers.values()) if peers else False
+        # Unreachable peers are excluded from the check, so a run whose
+        # every peer ended crashed or partitioned converges *vacuously*:
+        # nothing reachable diverged.  (all() of an empty dict is True.)
+        converged = all(peers.values())
         report = ConvergenceReport(
             converged=converged,
             peers=peers,
             unreachable=unreachable,
             oracle_size=len(oracle_state(None)),
+            vacuous=not peers,
         )
         self._note(
             "convergence "
-            + " ".join(
-                f"{name}={'ok' if ok else 'DIVERGED'}"
-                for name, ok in sorted(peers.items())
+            + (
+                " ".join(
+                    f"{name}={'ok' if ok else 'DIVERGED'}"
+                    for name, ok in sorted(peers.items())
+                )
+                if peers
+                else "vacuous (no reachable peers)"
             )
             + (f" unreachable={','.join(unreachable)}" if unreachable else "")
         )
@@ -439,6 +561,6 @@ class NetworkSimulator:
     def _aggregate_stats(self) -> dict[str, int]:
         totals = dict(self.transport.stats)
         totals.update(self.stats)
-        for key in ("applied", "stale", "rejected", "degraded"):
+        for key in ("applied", "stale", "rejected", "degraded", "chain_broken"):
             totals[key] = sum(node.stats[key] for node in self.nodes.values())
         return totals

@@ -39,30 +39,67 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.faults import FaultClock, FaultSchedule
 from repro.sync.session import Stamp
 
-__all__ = ["Message", "SimTransport"]
+__all__ = ["Delta", "Message", "SimTransport"]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """An incremental payload: patch the snapshot at ``base`` into the next.
+
+    The snapshot stamped :attr:`Message.stamp` is reconstructed by the
+    recipient as ``(base snapshot - withdrawn) ∪ added``.  A recipient
+    whose watermark is not exactly ``base`` cannot apply it and reports a
+    broken chain (see :meth:`repro.sync.SyncSession.sync_delta`); the
+    sender then falls back to a full snapshot.  ``len()`` is the payload's
+    wire size in facts — the number the delta protocol exists to shrink.
+    """
+
+    base: Stamp
+    added: Instance
+    withdrawn: Instance
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.withdrawn)
+
+    def describe(self) -> str:
+        return f"delta(base={self.base} +{len(self.added)} -{len(self.withdrawn)})"
 
 
 @dataclass(frozen=True)
 class Message:
     """One stamped snapshot offer in flight from ``sender`` to ``recipient``.
 
-    The payload is a full authoritative source snapshot (the protocol is
-    state-transfer, not operation-shipping), so redelivery is harmless:
-    the recipient's :class:`~repro.sync.Stamp` watermark makes ingestion
-    idempotent.
+    The payload is either a full authoritative source snapshot (state
+    transfer) or a :class:`Delta` keyed on the previous stamp.  Redelivery
+    is harmless either way: the recipient's :class:`~repro.sync.Stamp`
+    watermark makes snapshot ingestion idempotent, and a redelivered
+    delta is either stale (below the watermark) or chain-broken (the
+    watermark moved past its base) — never applied twice.
     """
 
     sender: str
     recipient: str
     stamp: Stamp
-    payload: Instance
+    payload: Instance | Delta
 
     @property
     def link(self) -> tuple[str, str]:
         return (self.sender, self.recipient)
 
+    @property
+    def is_delta(self) -> bool:
+        return isinstance(self.payload, Delta)
+
+    @property
+    def wire_facts(self) -> int:
+        """Facts this message puts on the wire (the delta-protocol metric)."""
+        return len(self.payload)
+
     def describe(self) -> str:
-        return f"{self.sender}->{self.recipient} stamp={self.stamp}"
+        text = f"{self.sender}->{self.recipient} stamp={self.stamp}"
+        if self.is_delta:
+            text += f" {self.payload.describe()}"
+        return text
 
 
 class SimTransport:
@@ -113,6 +150,7 @@ class SimTransport:
             "duplicated": 0,
             "reordered": 0,
             "delayed": 0,
+            "facts_sent": 0,
         }
 
     # ------------------------------------------------------------------
@@ -182,6 +220,10 @@ class SimTransport:
                 "net.drop", reason="partition", message=message.describe()
             )
             return
+        # Facts-on-wire: everything that leaves the sender, including
+        # in-transit losses below (a partition refuses at connect time, so
+        # nothing was transmitted and nothing was counted above).
+        self._count("facts_sent", message.wire_facts)
         schedule = self._schedules.get(link)
         decision = schedule.decide(index) if schedule is not None else None
         if decision is not None and decision.drop:
@@ -201,6 +243,7 @@ class SimTransport:
         if decision is not None and decision.duplicate:
             self._enqueue(deliver_at + self.duplicate_lag, message)
             self._count("duplicated")
+            self._count("facts_sent", message.wire_facts)
 
     def _enqueue(self, deliver_at: float, message: Message) -> None:
         heapq.heappush(self._queue, (deliver_at, self._enqueued, message))

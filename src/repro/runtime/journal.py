@@ -61,6 +61,11 @@ class JournalState:
         stamp: the ``(epoch, seq)`` snapshot stamp of the last committed
             round, or None when the session never synced a stamped
             snapshot (see :class:`repro.sync.Stamp`).
+        source: the source snapshot the last committed stamped round
+            ingested — the base a delta round patches — or None when the
+            last commit predates delta support or was unstamped (the
+            resumed session then reports a broken delta chain and the
+            sender falls back to a full snapshot).
     """
 
     setting: PDESetting
@@ -68,6 +73,7 @@ class JournalState:
     imported: Instance
     rounds: int
     stamp: tuple[int, int] | None = None
+    source: Instance | None = None
 
 
 class SessionJournal:
@@ -115,6 +121,7 @@ class SessionJournal:
         added: Instance,
         retracted: Instance,
         stamp: tuple[int, int] | None = None,
+        source: Instance | None = None,
     ) -> None:
         """Durably commit one successful round.
 
@@ -122,7 +129,9 @@ class SessionJournal:
         between commit and update replays to the committed state.  When
         the round ingested a stamped snapshot, ``stamp`` rides in the same
         commit record, so the duplicate-rejection watermark survives a
-        crash atomically with the state it protects.
+        crash atomically with the state it protects; ``source`` (the
+        ingested source snapshot) rides along too, keeping the delta-chain
+        base durable with the watermark that anchors it.
         """
         record = {
             "type": "commit",
@@ -133,6 +142,8 @@ class SessionJournal:
         }
         if stamp is not None:
             record["stamp"] = [int(stamp[0]), int(stamp[1])]
+        if source is not None:
+            record["source"] = instance_to_dict(source)
         self._append(record)
 
     # ------------------------------------------------------------------
@@ -188,6 +199,7 @@ class SessionJournal:
         imported = Instance(schema=setting.target_schema)
         rounds = 0
         stamp: tuple[int, int] | None = None
+        source: Instance | None = None
         for record in records[1:]:
             if record.get("type") != "commit":
                 continue
@@ -198,7 +210,14 @@ class SessionJournal:
             raw_stamp = record.get("stamp")
             if raw_stamp is not None:
                 stamp = (int(raw_stamp[0]), int(raw_stamp[1]))
+            raw_source = record.get("source")
+            if raw_source is not None:
+                # Sticky, like the stamp: an unstamped commit leaves the
+                # retained delta base (and the watermark) in place.
+                source = instance_from_dict(
+                    raw_source, schema=setting.source_schema
+                )
         return JournalState(
             setting=setting, pinned=pinned, imported=imported, rounds=rounds,
-            stamp=stamp,
+            stamp=stamp, source=source,
         )

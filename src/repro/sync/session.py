@@ -51,6 +51,23 @@ stamp is *strictly newer* than the session's watermark; otherwise the
 round is a stale no-op (``outcome.stale``), which makes stamped ingestion
 idempotent.  The watermark commits to the journal atomically with the
 round it protects, so it survives crashes.
+
+Delta rounds: the motivating scenario is periodic, so consecutive
+snapshots overlap heavily and shipping the full snapshot every interval
+wastes the wire.  :meth:`SyncSession.sync_delta` ingests an incremental
+``(added, withdrawn)`` payload keyed on the *base* stamp of the snapshot
+it patches: the session reconstructs ``I_t = (I_{t-1} - withdrawn) ∪
+added`` from its retained copy of the last ingested source and runs the
+ordinary stamped round on the result — the delta is pure wire-format
+optimization, invisible to the solver.  The chain is validated first: a
+delta applies only when the session's watermark equals the base stamp
+and the base snapshot is retained; otherwise the round reports
+``outcome.reason == DELTA_CHAIN_BROKEN`` (and ``outcome.chain_broken``)
+without touching any state, telling the sender to fall back to a full
+snapshot.  The retained source commits to the journal with its round, so
+a resumed session keeps its delta chain intact across crashes; journals
+written before delta support load with no retained source and simply
+break the chain once, forcing one full-snapshot refresh.
 """
 
 from __future__ import annotations
@@ -71,7 +88,12 @@ from repro.runtime.journal import SessionJournal
 from repro.runtime.retry import RetryPolicy
 from repro.solver.exists_solution import solve
 
-__all__ = ["Stamp", "SyncOutcome", "SyncSession"]
+__all__ = ["DELTA_CHAIN_BROKEN", "Stamp", "SyncOutcome", "SyncSession"]
+
+#: The :attr:`SyncOutcome.reason` reported when a delta's base stamp does
+#: not match the session's watermark (or no base snapshot is retained).
+#: The sender's contract: on this reason, fall back to a full snapshot.
+DELTA_CHAIN_BROKEN = "delta-chain-broken"
 
 
 class Stamp(NamedTuple):
@@ -117,6 +139,9 @@ class SyncOutcome:
             or out-of-order redelivery (``ok`` is True — rejecting a
             replay is the protocol working, not an error — and the state
             is untouched).
+        delta: the round ingested an incremental ``(added, withdrawn)``
+            payload via :meth:`SyncSession.sync_delta` rather than a full
+            snapshot.
     """
 
     ok: bool
@@ -128,6 +153,7 @@ class SyncOutcome:
     attempts: int = 1
     metrics: MetricsRegistry | None = None
     stale: bool = False
+    delta: bool = False
 
     @property
     def changed(self) -> bool:
@@ -138,6 +164,15 @@ class SyncOutcome:
     def degraded(self) -> bool:
         """True when the round gave up on a budget rather than deciding."""
         return self.status is not SolveStatus.DECIDED
+
+    @property
+    def chain_broken(self) -> bool:
+        """True when a delta round's base did not match the watermark.
+
+        The state is untouched; the sender should re-offer a full
+        snapshot (the stamped protocol makes the re-offer idempotent).
+        """
+        return self.reason == DELTA_CHAIN_BROKEN
 
 
 @dataclass
@@ -165,6 +200,10 @@ class SyncSession:
     #: Watermark of the newest stamped snapshot ever ingested; None until
     #: the first stamped round.  Snapshots at or below it are stale.
     last_stamp: Stamp | None = None
+    #: The source snapshot of the last *applied* stamped round — the base
+    #: a subsequent delta patches.  None until a stamped round applies
+    #: (deltas are keyed on stamps, so unstamped rounds retain nothing).
+    _last_source: Instance | None = None
 
     @classmethod
     def resume(cls, journal: SessionJournal) -> "SyncSession":
@@ -181,6 +220,7 @@ class SyncSession:
         session.rounds = state.rounds
         if state.stamp is not None:
             session.last_stamp = Stamp(*state.stamp)
+        session._last_source = state.source
         return session
 
     def state(self) -> Instance:
@@ -440,14 +480,19 @@ class SyncSession:
                 # Commit durably before mutating in-memory state: a crash
                 # between the two replays to the committed round.
                 self.journal.ensure_header(self.setting, self.pinned)
+                # Stamped rounds commit the ingested source alongside the
+                # round: a resumed session then still holds the delta base,
+                # so a crash does not break the delta chain.
                 self.journal.record_round(
-                    round_number, imported, added, retracted, stamp=stamp
+                    round_number, imported, added, retracted, stamp=stamp,
+                    source=source if stamp is not None else None,
                 )
                 tracer.event("journal-commit", round=round_number)
             self.rounds = round_number
             self._imported = imported
             if stamp is not None:
                 self.last_stamp = stamp
+                self._last_source = source.copy()
             return finish(
                 SyncOutcome(
                     ok=True,
@@ -458,3 +503,99 @@ class SyncSession:
                 ),
                 round_span,
             )
+
+    def sync_delta(
+        self,
+        added: Instance,
+        withdrawn: Instance,
+        base: Stamp | tuple[int, int],
+        stamp: Stamp | tuple[int, int],
+        node_budget: int | None = None,
+        budget: Budget | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> SyncOutcome:
+        """Run one round from an incremental ``(added, withdrawn)`` payload.
+
+        The delta patches the source snapshot stamped ``base`` into the
+        snapshot stamped ``stamp``: the session reconstructs ``I_t =
+        (I_{t-1} - withdrawn) ∪ added`` from its retained base and runs
+        the ordinary stamped round on the result, so a delta round and a
+        full-snapshot round of the same ``I_t`` commit identical state —
+        the delta only shrinks the wire.
+
+        Ordering mirrors :meth:`sync`: a stamp at or below the watermark
+        is a stale no-op *before* any chain check (redelivered deltas are
+        idempotent, like redelivered snapshots).  A live stamp whose
+        ``base`` differs from the watermark — the session missed (or
+        never saw) the base snapshot, or crashed without a journal —
+        breaks the chain: the round returns ``ok=False`` with
+        :data:`DELTA_CHAIN_BROKEN` as the reason, leaving all state
+        untouched, and the sender is expected to fall back to a full
+        snapshot.
+        """
+        if tracer is None:
+            tracer = NULL_TRACER
+        if not isinstance(stamp, Stamp):
+            stamp = Stamp(*stamp)
+        if not isinstance(base, Stamp):
+            base = Stamp(*base)
+
+        if self.last_stamp is not None and stamp <= self.last_stamp:
+            tracer.event(
+                "stale-snapshot", stamp=str(stamp), watermark=str(self.last_stamp)
+            )
+            if metrics is not None:
+                metrics.counter("sync.stale").inc()
+            empty = Instance(schema=self.setting.target_schema)
+            return SyncOutcome(
+                ok=True,
+                added=empty,
+                retracted=empty.copy(),
+                state=self.state(),
+                reason=(
+                    f"stale delta {stamp} at or below watermark "
+                    f"{self.last_stamp}; round skipped"
+                ),
+                stale=True,
+                delta=True,
+                metrics=metrics,
+            )
+
+        if self.last_stamp != base or self._last_source is None:
+            tracer.event(
+                "delta-chain-broken",
+                base=str(base),
+                stamp=str(stamp),
+                watermark=str(self.last_stamp),
+            )
+            if metrics is not None:
+                metrics.counter("sync.delta_broken").inc()
+            empty = Instance(schema=self.setting.target_schema)
+            return SyncOutcome(
+                ok=False,
+                added=empty,
+                retracted=empty.copy(),
+                state=self.state(),
+                reason=DELTA_CHAIN_BROKEN,
+                delta=True,
+                metrics=metrics,
+            )
+
+        if metrics is not None:
+            metrics.counter("sync.delta_rounds").inc()
+        source = self._last_source.copy()
+        for fact in withdrawn:
+            source.discard(fact)
+        for fact in added:
+            source.add(fact)
+        outcome = self.sync(
+            source,
+            node_budget=node_budget,
+            budget=budget,
+            tracer=tracer,
+            metrics=metrics,
+            stamp=stamp,
+        )
+        outcome.delta = True
+        return outcome

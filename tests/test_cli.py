@@ -253,6 +253,41 @@ class TestSyncCommand:
         assert code == 0
         assert "attempts: 2" in out
 
+    def test_delta_flag_ships_only_the_churn(self, registry_files, capsys):
+        setting, snap1, snap2 = registry_files
+        code = main(["sync", str(setting), str(snap1), str(snap2), "--delta"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "round 1: ok" in out
+        assert "round 2: ok" in out
+        # snap2 adds one fact to snap1's one: 1 + 1 on the wire vs 1 + 2.
+        assert "delta transfer: 2 facts on wire vs 3 full-snapshot" in out
+
+    def test_delta_resume_continues_the_chain(
+        self, registry_files, tmp_path, capsys
+    ):
+        setting, snap1, snap2 = registry_files
+        journal = tmp_path / "session.journal"
+        assert main(
+            ["sync", str(setting), str(snap1), "--delta",
+             "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["sync", str(setting), str(snap2), "--delta",
+             "--journal", str(journal)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed from journal at round 1" in out
+        # The resumed run continues the journalled watermark (its first
+        # round re-baselines with a full snapshot at the next stamp), so
+        # the stamped round applies instead of breaking or going stale.
+        assert "round 2: ok" in out
+        assert "chain broken" not in out
+        assert "(stale)" not in out
+        assert "delta transfer:" in out
+
     def test_journal_resume_continues_the_round_counter(
         self, registry_files, tmp_path, capsys
     ):

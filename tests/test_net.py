@@ -12,7 +12,7 @@ from repro.core.instance import Instance
 from repro.core.parser import parse_instance
 from repro.core.setting import PDESetting
 from repro.exceptions import SimulationError
-from repro.net import Message, PeerNode, Scenario, SimTransport
+from repro.net import Delta, Message, PeerNode, Scenario, SimTransport
 from repro.net.scenarios import Heal, Partition, registry_setting
 from repro.runtime import FaultClock, FaultSchedule, SessionJournal, faulty_feed
 from repro.sync import Stamp, SyncSession
@@ -209,6 +209,31 @@ class TestSimTransport:
         with pytest.raises(ValueError):
             SimTransport(FaultClock(), latency=0.0)
 
+    def test_facts_sent_counts_payload_sizes(self):
+        clock, transport = self.make()
+        transport.send(self.message(1))  # SNAPSHOTS[0]: 1 fact
+        delta = Delta(
+            base=Stamp(1, 1),
+            added=parse_instance("reg(b, 2)"),
+            withdrawn=parse_instance("reg(a, 1)"),
+        )
+        transport.send(Message("origin", "peer", Stamp(1, 2), delta))
+        assert transport.stats["facts_sent"] == 1 + 2  # |added| + |withdrawn|
+
+    def test_facts_sent_includes_fault_losses_but_not_partitions(self):
+        # A dropped message was transmitted (and wasted the wire); a
+        # partitioned one never left the sender.
+        clock, transport = self.make()
+        transport.set_schedule(
+            "origin", "peer", FaultSchedule(drop=[0], duplicate=[1])
+        )
+        transport.send(self.message(1))  # dropped in transit: counted
+        transport.send(self.message(2))  # duplicated: counted twice
+        assert transport.stats["facts_sent"] == 3
+        transport.partition([{"origin"}, {"peer"}])
+        transport.send(self.message(3))  # refused at connect time
+        assert transport.stats["facts_sent"] == 3
+
 
 class TestPeerNode:
     def offer(self, node, seq: int, snapshot) -> object:
@@ -218,7 +243,10 @@ class TestPeerNode:
         node = PeerNode("peer", setting)
         assert self.offer(node, 1, SNAPSHOTS[0]).ok
         assert self.offer(node, 1, SNAPSHOTS[0]).stale
-        assert node.stats == {"applied": 1, "stale": 1, "rejected": 0, "degraded": 0}
+        assert node.stats == {
+            "applied": 1, "stale": 1, "rejected": 0, "degraded": 0,
+            "chain_broken": 0,
+        }
         assert node.stamp == Stamp(1, 1)
 
     def test_behind_tracks_the_watermark(self, setting):
@@ -260,6 +288,45 @@ class TestPeerNode:
             node.state()
         with pytest.raises(SimulationError):
             self.offer(node, 1, SNAPSHOTS[0])
+
+    def test_delta_payload_routes_through_sync_delta(self, setting):
+        node = PeerNode("peer", setting)
+        assert self.offer(node, 1, SNAPSHOTS[1]).ok  # reg(a,1); reg(b,2)
+        delta = Delta(
+            base=Stamp(1, 1),
+            added=parse_instance("reg(c, 3)"),
+            withdrawn=parse_instance("reg(a, 1)"),
+        )
+        outcome = node.receive(Message("origin", "peer", Stamp(1, 2), delta))
+        assert outcome.ok and outcome.delta
+        assert node.state() == parse_instance("db(b, 2); db(c, 3)")
+        assert node.stamp == Stamp(1, 2)
+        assert node.stats["applied"] == 2
+
+    def test_broken_chain_is_counted_not_applied(self, setting):
+        node = PeerNode("peer", setting)
+        assert self.offer(node, 1, SNAPSHOTS[1]).ok
+        stranded = Delta(
+            base=Stamp(1, 2),  # the peer never saw 1.2
+            added=parse_instance("reg(d, 4)"),
+            withdrawn=Instance(),
+        )
+        outcome = node.receive(Message("origin", "peer", Stamp(1, 3), stranded))
+        assert outcome.chain_broken and not outcome.ok
+        assert node.stats["chain_broken"] == 1
+        assert node.stats["rejected"] == 0
+        assert node.stamp == Stamp(1, 1)  # nothing committed
+
+    def test_pinned_instance_is_copied_at_the_boundary(self, setting):
+        # Scenarios hand the same pinned Instance to the node and the
+        # convergence oracle; the node must not alias the caller's copy.
+        pinned = parse_instance("db(z, 9)")
+        node = PeerNode("peer", setting, pinned=pinned)
+        for fact in parse_instance("db(q, 7)"):
+            pinned.add(fact)
+        assert node.pinned == parse_instance("db(z, 9)")
+        for fact in parse_instance("db(q, 7)"):
+            assert fact not in node.state()
 
 
 class TestScenarioValidation:

@@ -9,6 +9,8 @@ excluded from the tier-1 run.
 import pytest
 
 from repro.cli import main
+from repro.core.parser import parse_instance
+from repro.exceptions import SimulationError
 from repro.net import (
     Crash,
     Heal,
@@ -22,6 +24,7 @@ from repro.net import (
     scenario_registry,
 )
 from repro.net.scenarios import _registry_snapshots, registry_setting
+from repro.net.simulator import _states_agree
 from repro.runtime import FaultSchedule
 
 
@@ -159,6 +162,147 @@ class TestCrashResume:
         assert report.converged, "\n".join(report.log)
 
 
+class TestDeltaTransfer:
+    """Delta publishes: wire savings, fallback, and state identity."""
+
+    def test_delta_run_converges_to_the_snapshot_run_state(self):
+        plain = NetworkSimulator(registry_scenario(7))
+        delta = NetworkSimulator(registry_scenario(7), deltas=True)
+        plain_report, delta_report = plain.run(), delta.run()
+        assert plain_report.converged, "\n".join(plain_report.log)
+        assert delta_report.converged, "\n".join(delta_report.log)
+        assert delta_report.stats["delta_published"] > 0
+        for peer in plain.scenario.peers:
+            assert _states_agree(
+                plain.nodes[peer].state(), delta.nodes[peer].state()
+            ), f"{peer} differs with deltas enabled"
+
+    def test_dropped_delta_breaks_the_chain_and_falls_back(self):
+        # Perfect links except one scripted drop: publish #2's delta to
+        # peer-a is lost, so publish #3's delta (base 1.3) cannot chain
+        # from peer-a's 1.2 watermark — the publisher must fall back to a
+        # full snapshot for that peer, and only that peer.
+        peers = ["peer-a", "peer-b"]
+        scenario = Scenario(
+            name="delta-break",
+            description="one dropped delta forces a snapshot fallback",
+            setting=registry_setting(),
+            snapshots=_registry_snapshots(),
+            peers=peers,
+            faults={("origin", "peer-a"): FaultSchedule(drop=[2])},
+        )
+        simulator = NetworkSimulator(scenario, deltas=True)
+        report = simulator.run()
+        assert report.converged, "\n".join(report.log)
+        assert report.stats["chain_broken"] == 1
+        assert report.stats["delta_fallback"] == 1
+        assert any("delta-chain-broken" in line for line in report.log)
+        assert any("delta-fallback" in line for line in report.log)
+        # peer-b's chain never broke.
+        assert simulator.nodes["peer-b"].stats["chain_broken"] == 0
+
+    def test_duplicated_and_reordered_deltas_stay_idempotent(self):
+        scenario = lossy_registry(
+            "delta-dup-reorder",
+            FaultSchedule.seeded(seed=5, duplicate=0.4, reorder=0.4),
+        )
+        report = NetworkSimulator(scenario, deltas=True).run()
+        assert report.converged, "\n".join(report.log)
+        assert report.stats["duplicated"] > 0
+        assert report.stats["reordered"] > 0
+        # Redelivered / overtaken deltas replay as stale no-ops.
+        assert report.stats["stale"] > 0
+
+    def test_crash_resume_mid_delta_chain(self, tmp_path):
+        # The journal retains the delta base with the watermark, so the
+        # restarted peer either chains on or falls back — both converge.
+        plain = NetworkSimulator(
+            crash_scenario(7), journal_dir=tmp_path / "plain"
+        )
+        delta = NetworkSimulator(
+            crash_scenario(7), journal_dir=tmp_path / "delta", deltas=True
+        )
+        plain_report, delta_report = plain.run(), delta.run()
+        assert plain_report.converged and delta_report.converged
+        assert delta_report.stats["crash_dropped"] > 0
+        for peer in plain.scenario.peers:
+            assert _states_agree(
+                plain.nodes[peer].state(), delta.nodes[peer].state()
+            )
+
+    def test_delta_runs_replay_byte_for_byte(self):
+        first = NetworkSimulator(registry_scenario(7), deltas=True).run()
+        second = NetworkSimulator(registry_scenario(7), deltas=True).run()
+        assert first.log == second.log
+        assert first.stats == second.stats
+
+
+class TestVacuousConvergence:
+    def test_all_peers_unreachable_converges_vacuously(self):
+        # Every peer partitioned away at quiescence: nothing reachable
+        # diverged, so the verdict is converged — flagged vacuous, not a
+        # spurious failure.
+        scenario = lossy_registry(
+            "all-partitioned", FaultSchedule(),
+            events=[Partition(1.5, {"origin"}, {"peer-a", "peer-b", "peer-c"})],
+        )
+        report = NetworkSimulator(scenario).run()
+        assert report.converged
+        assert report.convergence.vacuous
+        assert report.convergence.peers == {}
+        assert sorted(report.convergence.unreachable) == [
+            "peer-a", "peer-b", "peer-c",
+        ]
+        assert any(
+            "vacuous (no reachable peers)" in line for line in report.log
+        )
+
+    def test_reachable_peers_keep_the_verdict_non_vacuous(self):
+        report = NetworkSimulator(registry_scenario(0)).run()
+        assert report.converged
+        assert not report.convergence.vacuous
+
+
+class TestOracleValidation:
+    def test_unsolvable_pinned_facts_raise_a_named_simulation_error(self):
+        # A pinned fact no snapshot vouches for makes the fault-free
+        # oracle itself refuse the replay; that is a scenario bug and
+        # must surface as a SimulationError naming the snapshot, not a
+        # bare RuntimeError.
+        scenario = Scenario(
+            name="bad-pin",
+            description="peer-a pins a fact the feed never vouches for",
+            setting=registry_setting(),
+            snapshots=_registry_snapshots(),
+            peers=["peer-a"],
+            pinned={"peer-a": parse_instance("db(z, 9)")},
+        )
+        simulator = NetworkSimulator(scenario)
+        with pytest.raises(SimulationError, match="snapshot 0"):
+            simulator.run()
+        # Deliveries and anti-entropy ran before the oracle check, and
+        # both spell the refusal the same way in the event log.
+        rejected = [line for line in simulator.log if "-> rejected" in line]
+        assert any("deliver" in line for line in rejected)
+        assert any("anti-entropy" in line for line in rejected)
+
+
+class TestJournalDirCleanup:
+    def test_owned_temp_dir_is_removed_after_the_run(self):
+        simulator = NetworkSimulator(crash_scenario(0))
+        assert simulator._owns_journal_dir
+        path = simulator.journal_dir
+        assert path is not None and path.exists()
+        assert simulator.run().converged
+        assert not path.exists()
+
+    def test_explicit_journal_dir_is_kept(self, tmp_path):
+        simulator = NetworkSimulator(crash_scenario(0), journal_dir=tmp_path)
+        assert not simulator._owns_journal_dir
+        assert simulator.run().converged
+        assert (tmp_path / "peer-b.journal").exists()
+
+
 @pytest.mark.slow
 class TestSoak:
     def test_randomized_seeds_always_converge(self, tmp_path):
@@ -172,6 +316,29 @@ class TestSoak:
             assert report.converged, (
                 f"seed {seed} diverged:\n" + "\n".join(report.log)
             )
+
+    def test_deltas_and_snapshots_agree_across_seeds(self, tmp_path):
+        # Deltas are a pure wire optimization: under every seeded fault
+        # mix (including crash/resume), the delta run must reach states
+        # identical to the snapshot-only run, peer for peer.
+        for seed in range(12):
+            plain = NetworkSimulator(
+                crash_scenario(seed), journal_dir=tmp_path / f"{seed}-plain"
+            )
+            delta = NetworkSimulator(
+                crash_scenario(seed),
+                journal_dir=tmp_path / f"{seed}-delta",
+                deltas=True,
+            )
+            plain_report, delta_report = plain.run(), delta.run()
+            assert plain_report.converged and delta_report.converged, (
+                f"seed {seed} diverged"
+            )
+            for peer in plain.scenario.peers:
+                if plain.reachable(peer) and delta.reachable(peer):
+                    assert _states_agree(
+                        plain.nodes[peer].state(), delta.nodes[peer].state()
+                    ), f"seed {seed}: {peer} differs with deltas enabled"
 
 
 class TestSimulateCli:
@@ -207,3 +374,10 @@ class TestSimulateCli:
         assert main(["simulate", "--seed", "7", "--metrics"]) == 0
         out = capsys.readouterr().out
         assert "net.sent" in out
+
+    def test_delta_flag_reports_delta_counters(self, capsys):
+        assert main(["simulate", "--seed", "7", "--delta"]) == 0
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+        assert "deltas: published=" in out
+        assert "facts_sent=" in out

@@ -233,3 +233,166 @@ class TestResumeWithRetractions:
             parse_instance("reg(a, 1); reg(b, 2)"), stamp=Stamp(1, 1)
         ).stale
         assert restored.state() == parse_instance("db(b, 2)")
+
+
+class TestDeltaRounds:
+    """Incremental ``(added, withdrawn)`` rounds via ``sync_delta``."""
+
+    def seeded(self, setting, journal=None) -> "SyncSession":
+        from repro.sync import Stamp
+
+        session = SyncSession(setting, journal=journal)
+        outcome = session.sync(
+            parse_instance("reg(a, 1); reg(b, 2)"), stamp=Stamp(1, 1)
+        )
+        assert outcome.ok
+        return session
+
+    def test_delta_commits_the_same_state_as_the_full_snapshot(
+        self, registry_setting
+    ):
+        from repro.sync import Stamp
+
+        # Patch reg(a,1);reg(b,2) into reg(b,2);reg(c,3) incrementally...
+        patched = self.seeded(registry_setting)
+        outcome = patched.sync_delta(
+            added=parse_instance("reg(c, 3)"),
+            withdrawn=parse_instance("reg(a, 1)"),
+            base=Stamp(1, 1),
+            stamp=Stamp(1, 2),
+        )
+        assert outcome.ok and outcome.delta and not outcome.chain_broken
+        assert outcome.added == parse_instance("db(c, 3)")
+        assert outcome.retracted == parse_instance("db(a, 1)")
+        # ...and it must equal the full-snapshot round of the same I_t.
+        full = self.seeded(registry_setting)
+        assert full.sync(
+            parse_instance("reg(b, 2); reg(c, 3)"), stamp=Stamp(1, 2)
+        ).ok
+        assert patched.state() == full.state()
+        assert patched.last_stamp == Stamp(1, 2)
+
+    def test_fresh_session_breaks_the_chain(self, registry_setting):
+        from repro.sync import DELTA_CHAIN_BROKEN, Stamp
+
+        session = SyncSession(registry_setting)
+        outcome = session.sync_delta(
+            added=parse_instance("reg(c, 3)"),
+            withdrawn=Instance(),
+            base=Stamp(1, 1),
+            stamp=Stamp(1, 2),
+        )
+        assert not outcome.ok
+        assert outcome.chain_broken and outcome.delta
+        assert outcome.reason == DELTA_CHAIN_BROKEN
+        assert len(session.state()) == 0
+        assert session.last_stamp is None  # nothing committed
+
+    def test_mismatched_base_breaks_the_chain_and_leaves_state_alone(
+        self, registry_setting
+    ):
+        from repro.sync import Stamp
+
+        session = self.seeded(registry_setting)
+        before = session.state()
+        outcome = session.sync_delta(
+            added=parse_instance("reg(d, 4)"),
+            withdrawn=Instance(),
+            base=Stamp(1, 2),  # watermark is 1.1: the 1.2 delta was missed
+            stamp=Stamp(1, 3),
+        )
+        assert outcome.chain_broken
+        assert session.state() == before
+        assert session.last_stamp == Stamp(1, 1)
+
+    def test_full_snapshot_repairs_a_broken_chain(self, registry_setting):
+        from repro.sync import Stamp
+
+        session = self.seeded(registry_setting)
+        assert session.sync_delta(
+            added=Instance(), withdrawn=Instance(),
+            base=Stamp(1, 2), stamp=Stamp(1, 3),
+        ).chain_broken
+        # The sender's fallback: a full snapshot at the latest stamp...
+        assert session.sync(
+            parse_instance("reg(b, 2); reg(c, 3)"), stamp=Stamp(1, 3)
+        ).ok
+        # ...after which the next delta chains from it again.
+        outcome = session.sync_delta(
+            added=parse_instance("reg(d, 4)"),
+            withdrawn=parse_instance("reg(b, 2)"),
+            base=Stamp(1, 3),
+            stamp=Stamp(1, 4),
+        )
+        assert outcome.ok and not outcome.chain_broken
+        assert session.state() == parse_instance("db(c, 3); db(d, 4)")
+
+    def test_stale_delta_is_a_no_op_before_any_chain_check(
+        self, registry_setting
+    ):
+        from repro.sync import Stamp
+
+        session = self.seeded(registry_setting)
+        before = session.state()
+        # Redelivered delta at the watermark, with a base that would break
+        # the chain: staleness must win (redelivery is always harmless).
+        outcome = session.sync_delta(
+            added=parse_instance("reg(z, 9)"),
+            withdrawn=Instance(),
+            base=Stamp(1, 7),
+            stamp=Stamp(1, 1),
+        )
+        assert outcome.ok and outcome.stale and outcome.delta
+        assert not outcome.chain_broken
+        assert session.state() == before
+        assert session.rounds == 1
+
+    def test_resume_restores_the_delta_base(self, tmp_path, registry_setting):
+        from repro.runtime import SessionJournal
+        from repro.sync import Stamp
+
+        journal = SessionJournal(tmp_path / "session.journal")
+        session = self.seeded(registry_setting, journal=journal)
+        del session
+
+        restored = SyncSession.resume(journal)
+        outcome = restored.sync_delta(
+            added=parse_instance("reg(c, 3)"),
+            withdrawn=parse_instance("reg(a, 1)"),
+            base=Stamp(1, 1),
+            stamp=Stamp(1, 2),
+        )
+        assert outcome.ok and not outcome.chain_broken
+        assert restored.state() == parse_instance("db(b, 2); db(c, 3)")
+
+    def test_legacy_journal_without_source_breaks_then_recovers(
+        self, tmp_path, registry_setting
+    ):
+        import json
+
+        from repro.runtime import SessionJournal
+        from repro.sync import Stamp
+
+        path = tmp_path / "session.journal"
+        session = self.seeded(registry_setting, journal=SessionJournal(path))
+        del session
+        # A journal written before delta support has no retained source.
+        lines = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            record.pop("source", None)
+            lines.append(json.dumps(record))
+        path.write_text("\n".join(lines) + "\n")
+
+        restored = SyncSession.resume(SessionJournal(path))
+        assert restored.last_stamp == Stamp(1, 1)  # watermark survives
+        outcome = restored.sync_delta(
+            added=parse_instance("reg(c, 3)"),
+            withdrawn=Instance(),
+            base=Stamp(1, 1),
+            stamp=Stamp(1, 2),
+        )
+        assert outcome.chain_broken  # no base: one full refresh needed
+        assert restored.sync(
+            parse_instance("reg(a, 1); reg(b, 2); reg(c, 3)"), stamp=Stamp(1, 2)
+        ).ok
