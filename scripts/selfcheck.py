@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Self-check: every shipped fixture must pass the static analyzer.
+
+Lints all example setting files, all example scenario files, and every
+registered scenario (in both snapshot and delta-transfer mode), and
+exits non-zero on any finding a fixture does not explicitly suppress
+via ``lint_ignore``.  CI and the test suite run this as a smoke test so
+a new rule (or a broken fixture) is caught the moment it lands.
+
+Usage::
+
+    PYTHONPATH=src python scripts/selfcheck.py [-q]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis import analyze_scenario, analyze_scenario_text, analyze_text
+from repro.net import scenario_registry
+
+
+def run_selfcheck(quiet: bool = False) -> int:
+    """Lint every shipped fixture; return the number of offending inputs."""
+
+    def note(message: str) -> None:
+        if not quiet:
+            print(message)
+
+    failures = 0
+
+    setting_files = sorted((REPO / "examples" / "settings").glob("*.json"))
+    scenario_files = sorted((REPO / "examples" / "scenarios").glob("*.json"))
+    for path in setting_files:
+        report = analyze_text(path.read_text())
+        if report.clean:
+            note(f"ok      setting  {path.relative_to(REPO)}")
+        else:
+            failures += 1
+            for diagnostic in report:
+                print(f"FAIL    {path.relative_to(REPO)}: {diagnostic.render()}")
+    for path in scenario_files:
+        report = analyze_scenario_text(path.read_text(), deltas=True)
+        if report.clean:
+            note(f"ok      scenario {path.relative_to(REPO)}")
+        else:
+            failures += 1
+            for diagnostic in report:
+                print(f"FAIL    {path.relative_to(REPO)}: {diagnostic.render()}")
+
+    for name, builder in sorted(scenario_registry().items()):
+        scenario = builder(0)
+        for deltas in (False, True):
+            report = analyze_scenario(scenario, deltas=deltas)
+            mode = "delta" if deltas else "snap"
+            if report.clean:
+                note(f"ok      registry {name} [{mode}]")
+            else:
+                failures += 1
+                for diagnostic in report:
+                    print(f"FAIL    {name} [{mode}]: {diagnostic.render()}")
+
+    checked = len(setting_files) + len(scenario_files) + 2 * len(scenario_registry())
+    note(f"{checked} fixture(s) checked, {failures} with findings")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="print failures only"
+    )
+    args = parser.parse_args(argv)
+    return 1 if run_selfcheck(quiet=args.quiet) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

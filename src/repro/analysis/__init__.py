@@ -14,6 +14,15 @@ severities, source spans, and fix hints, exposed three ways:
 * the solver hook: :func:`dispatch_explanation`, quoted in
   ``solve()``'s stats and errors to explain NP fallbacks.
 
+Beyond settings, the same engine statically analyzes network
+*scenarios*: :func:`analyze_scenario` (see :mod:`repro.analysis.netlint`)
+abstractly interprets a :class:`~repro.net.Scenario`'s timeline and
+reports schedule mistakes (``PDE3xx``) and multi-publisher merge
+ambiguities (``PDE4xx``) before a single virtual second is simulated —
+``simulate --lint`` runs it as a pre-flight check.  Findings with an
+obvious remedy carry machine-applicable fixes (:class:`Fix`), which
+``lint --fix`` applies to the file via :func:`apply_fixes`.
+
 See :mod:`repro.analysis.codes` for the full code table.
 """
 
@@ -24,6 +33,13 @@ from repro.analysis.engine import (
     analyze_dict,
     analyze_text,
     dispatch_explanation,
+    expand_ignore,
+)
+from repro.analysis.fixes import Fix, JsonEdit, SpanEdit, apply_fixes, fix_diff
+from repro.analysis.netlint import (
+    analyze_scenario,
+    analyze_scenario_dict,
+    analyze_scenario_text,
 )
 from repro.analysis.render import LintRun, render_json, render_text
 from repro.analysis.rules import RULES, Rule, RuleContext
@@ -34,16 +50,25 @@ __all__ = [
     "CodeInfo",
     "Diagnostic",
     "ERROR",
+    "Fix",
     "INFO",
+    "JsonEdit",
     "LintRun",
     "RULES",
     "Rule",
     "RuleContext",
+    "SpanEdit",
     "WARNING",
     "analyze",
     "analyze_dict",
+    "analyze_scenario",
+    "analyze_scenario_dict",
+    "analyze_scenario_text",
     "analyze_text",
+    "apply_fixes",
     "dispatch_explanation",
+    "expand_ignore",
+    "fix_diff",
     "render_json",
     "render_text",
 ]

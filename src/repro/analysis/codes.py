@@ -11,6 +11,16 @@ Codes are grouped by hundreds band:
   code, as do the two Definition 9 condition failures.
 * ``PDE2xx`` — hygiene: the setting works, but carries dead weight
   (duplicate, subsumed, or unfireable dependencies; unused relations).
+* ``PDE3xx`` — scenario-timeline findings from the abstract interpreter
+  of :mod:`repro.analysis.netlint`: partitions that never heal, crashes
+  without restarts, statically dead links, reorder windows that cannot
+  overtake a publish, delta chains guaranteed to break.  Errors in this
+  band mean the simulation either raises at runtime or proves nothing
+  (vacuous convergence); ``simulate --lint`` refuses to run them.
+* ``PDE4xx`` — merge-ambiguity findings over multi-publisher scenarios,
+  grounded in the Bertossi–Bravo trust semantics: equal stamps from
+  different publishers must resolve by a declared trust order, with a
+  repair-style fallback when target egds make conflicts possible.
 
 Codes are append-only: once released, a code keeps its meaning forever so
 CI suppressions (``lint_ignore``) and tooling stay stable across versions.
@@ -101,4 +111,45 @@ CODES: dict[str, CodeInfo] = _table([
     ("PDE204", "dead-rule", INFO,
      "a dependency reads a target relation that no tgd head writes, so it "
      "can only fire on facts preloaded in the target instance J"),
+    # -- scenario timeline (abstract interpreter) -------------------------
+    ("PDE301", "unhealed-partition", WARNING,
+     "a partition is still active at the end of the timeline; the isolated "
+     "peers are excluded from the convergence check"),
+    ("PDE302", "crash-without-restart", WARNING,
+     "a peer is still crashed at the end of the timeline and is excluded "
+     "from the convergence check"),
+    ("PDE303", "invalid-lifecycle", ERROR,
+     "the crash/restart schedule is impossible (restart of a live peer, or "
+     "crash of an already-crashed peer); the simulator raises at runtime"),
+    ("PDE304", "vacuous-convergence", ERROR,
+     "no peer is reachable at quiescence, so the convergence check is "
+     "vacuous and the simulation proves nothing"),
+    ("PDE305", "dead-link", WARNING,
+     "a publisher link drops every delivery; the subscriber statically "
+     "receives nothing and converges only through post-run anti-entropy"),
+    ("PDE306", "isolated-epoch-bump", WARNING,
+     "the publisher bumps its epoch while partitioned from every peer; the "
+     "re-baselined publishes are all dropped at send"),
+    ("PDE307", "reorder-noop", INFO,
+     "reorder faults are scheduled but the reorder delay does not exceed "
+     "the publish interval, so no message can overtake the next publish"),
+    ("PDE308", "delta-chain-doomed", WARNING,
+     "in delta mode the crash/partition schedule guarantees a broken delta "
+     "chain: a peer provably misses a publish, so every later delta it "
+     "receives arrives chain-broken and falls back to a full snapshot"),
+    # -- merge ambiguity (multi-publisher) --------------------------------
+    ("PDE401", "ambiguous-merge", ERROR,
+     "two publishers could issue equal stamps for conflicting facts and no "
+     "trust order is declared; the merge is ambiguous"),
+    ("PDE402", "incomplete-trust-order", ERROR,
+     "the declared trust order does not rank every publisher exactly once, "
+     "or ranks a name that is not a publisher"),
+    ("PDE403", "merge-without-repair", WARNING,
+     "target egds make conflicting facts possible across publishers, and "
+     "no repair rule is declared as the trust-order fallback"),
+    ("PDE404", "trust-unused", INFO,
+     "a trust order or repair rule is declared but the scenario has a "
+     "single publisher; the declaration is dead"),
+    ("PDE405", "unknown-repair-rule", ERROR,
+     "the declared repair rule is not one the merge semantics define"),
 ])

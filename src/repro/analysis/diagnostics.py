@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.analysis.codes import CODES, ERROR, INFO, SEVERITY_RANK, WARNING
+from repro.analysis.fixes import Fix
 from repro.core.dependencies import Provenance
 
 __all__ = ["Diagnostic", "AnalysisReport"]
@@ -32,6 +33,8 @@ class Diagnostic:
         span: where — the provenance of the offending dependency, when
             known.
         hint: how to fix or silence the finding, when the rule has advice.
+        fixes: machine-applicable remedies (``lint --fix`` applies them;
+            see :mod:`repro.analysis.fixes`).
     """
 
     code: str
@@ -40,6 +43,7 @@ class Diagnostic:
     rule: str = ""
     span: Provenance | None = None
     hint: str = ""
+    fixes: tuple[Fix, ...] = ()
 
     def __post_init__(self) -> None:
         info = CODES.get(self.code)
@@ -59,6 +63,8 @@ class Diagnostic:
         line = f"{self.location()}: {self.severity} {self.code} [{self.rule}] {self.message}"
         if self.hint:
             line += f"\n    hint: {self.hint}"
+        for fix in self.fixes:
+            line += f"\n    fix: {fix.description}"
         return line
 
     def to_dict(self) -> dict[str, Any]:
@@ -78,6 +84,8 @@ class Diagnostic:
             }
         if self.hint:
             encoded["hint"] = self.hint
+        if self.fixes:
+            encoded["fixes"] = [fix.to_dict() for fix in self.fixes]
         return encoded
 
 
@@ -150,6 +158,10 @@ class AnalysisReport:
     def infos(self) -> list[Diagnostic]:
         """The info-severity findings."""
         return [d for d in self.diagnostics if d.severity == INFO]
+
+    def fixable(self) -> list[Diagnostic]:
+        """The findings that carry machine-applicable fixes."""
+        return [d for d in self.diagnostics if d.fixes]
 
     def codes(self) -> list[str]:
         """The distinct codes present, in severity order."""

@@ -29,7 +29,29 @@ __all__ = [
     "analyze_dict",
     "analyze_text",
     "dispatch_explanation",
+    "expand_ignore",
 ]
+
+
+def expand_ignore(value: Any) -> set[str]:
+    """Normalize an ignore declaration into a set of codes.
+
+    Accepts a single code (``"PDE101"``), the comma-separated shorthand
+    (``"PDE101,PDE203"`` — what CI passes to ``lint --ignore``), or any
+    iterable of either form.  Whitespace around commas is forgiven; empty
+    fragments are dropped.
+    """
+    if value is None:
+        return set()
+    if isinstance(value, str):
+        value = (value,)
+    codes: set[str] = set()
+    for entry in value:
+        for fragment in str(entry).split(","):
+            fragment = fragment.strip()
+            if fragment:
+                codes.add(fragment)
+    return codes
 
 
 def analyze(
@@ -73,12 +95,9 @@ def analyze_dict(
     become ``PDE000``/``PDE006`` diagnostics.  Codes listed under the
     dict's ``lint_ignore`` key are suppressed in addition to ``ignore``.
     """
-    declared = encoded.get("lint_ignore", ())
-    if isinstance(declared, str):
-        # "lint_ignore": "PDE101" — accept the obvious shorthand instead of
-        # silently iterating the string character by character.
-        declared = (declared,)
-    ignore = set(ignore) | set(declared)
+    # "lint_ignore": "PDE101,PDE203" — the comma shorthand and the plain
+    # list are both accepted, here and from ``lint --ignore``.
+    ignore = expand_ignore(ignore) | expand_ignore(encoded.get("lint_ignore", ()))
     try:
         setting = setting_from_dict(encoded, validate=False)
     except ParseError as error:

@@ -1,0 +1,324 @@
+"""Machine-applicable fixes: structural edits resolved to text spans.
+
+A rule with an obvious remedy attaches a :class:`Fix` to its diagnostic:
+a human-readable description plus one or more :class:`JsonEdit`\\ s — JSON
+*path* edits (``remove`` / ``replace`` / ``append``) into the setting or
+scenario document the diagnostic came from.  Because lint inputs are JSON
+files whose decoded dicts carry no positions, this module re-derives the
+byte span of any JSON path with a small offset-tracking scanner, so an
+edit becomes a genuine ``(start, end, replacement)`` splice into the
+original text — untouched regions keep their formatting byte-for-byte.
+
+Entry points:
+
+* :func:`resolve_edits` — turn a report's edits into text splices;
+* :func:`apply_fixes` — apply every applicable fix and return the new
+  text (``lint --fix``);
+* :func:`fix_diff` — a unified diff preview (``lint --diff``).
+
+Edits whose path no longer resolves (the key was already removed, the
+file changed underneath) are skipped, never guessed at.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "Fix",
+    "JsonEdit",
+    "SpanEdit",
+    "apply_fixes",
+    "fix_diff",
+    "resolve_edits",
+]
+
+#: A path into a JSON document: object keys (str) and array indexes (int).
+JsonPath = tuple  # tuple[str | int, ...]
+
+
+@dataclass(frozen=True)
+class JsonEdit:
+    """One structural edit into a JSON document.
+
+    Attributes:
+        op: ``"remove"`` (delete the element/member at ``path``),
+            ``"replace"`` (substitute ``value`` for it), or ``"append"``
+            (add ``value`` at the end of the array at ``path``).
+        path: where — object keys and array indexes from the root.
+        value: the JSON value for ``replace``/``append``.
+    """
+
+    op: str
+    path: JsonPath
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("remove", "replace", "append"):
+            raise ValueError(f"unknown edit op {self.op!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        encoded: dict[str, Any] = {"op": self.op, "path": list(self.path)}
+        if self.op != "remove":
+            encoded["value"] = self.value
+        return encoded
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A machine-applicable remedy attached to a diagnostic."""
+
+    description: str
+    edits: tuple[JsonEdit, ...] = field(default=())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "description": self.description,
+            "edits": [edit.to_dict() for edit in self.edits],
+        }
+
+
+@dataclass(frozen=True)
+class SpanEdit:
+    """A resolved splice: replace ``text[start:end]`` with ``replacement``."""
+
+    start: int
+    end: int
+    replacement: str
+
+
+# ---------------------------------------------------------------------------
+# the span scanner
+# ---------------------------------------------------------------------------
+
+
+class _PathNotFound(Exception):
+    """The edit's path does not exist in this document."""
+
+
+def _skip_ws(text: str, i: int) -> int:
+    while i < len(text) and text[i] in " \t\n\r":
+        i += 1
+    return i
+
+
+def _scan_string(text: str, i: int) -> int:
+    """``i`` points at the opening quote; return the index past the close."""
+    i += 1
+    while i < len(text):
+        if text[i] == "\\":
+            i += 2
+        elif text[i] == '"':
+            return i + 1
+        else:
+            i += 1
+    raise _PathNotFound("unterminated string")
+
+
+def _scan_value(text: str, i: int) -> int:
+    """``i`` points at a value's first character; return the index past it."""
+    char = text[i]
+    if char == '"':
+        return _scan_string(text, i)
+    if char in "{[":
+        close = "}" if char == "{" else "]"
+        depth = 0
+        while i < len(text):
+            if text[i] == '"':
+                i = _scan_string(text, i)
+                continue
+            if text[i] in "{[":
+                depth += 1
+            elif text[i] in "}]":
+                depth -= 1
+                if depth == 0:
+                    if text[i] != close:
+                        raise _PathNotFound("mismatched brackets")
+                    return i + 1
+            i += 1
+        raise _PathNotFound("unterminated container")
+    # literal: number, true, false, null
+    start = i
+    while i < len(text) and text[i] not in ",}] \t\n\r":
+        i += 1
+    if i == start:
+        raise _PathNotFound(f"no value at offset {start}")
+    return i
+
+
+def _object_members(text: str, i: int):
+    """Yield ``(key, key_start, value_start, value_end)`` for the object at ``i``."""
+    i = _skip_ws(text, i)
+    if i >= len(text) or text[i] != "{":
+        raise _PathNotFound("expected an object")
+    i = _skip_ws(text, i + 1)
+    if i < len(text) and text[i] == "}":
+        return
+    while True:
+        key_start = i
+        if text[i] != '"':
+            raise _PathNotFound("expected an object key")
+        key_end = _scan_string(text, i)
+        key = json.loads(text[key_start:key_end])
+        i = _skip_ws(text, key_end)
+        if i >= len(text) or text[i] != ":":
+            raise _PathNotFound("expected ':' after key")
+        value_start = _skip_ws(text, i + 1)
+        value_end = _scan_value(text, value_start)
+        yield key, key_start, value_start, value_end
+        i = _skip_ws(text, value_end)
+        if i < len(text) and text[i] == ",":
+            i = _skip_ws(text, i + 1)
+            continue
+        if i < len(text) and text[i] == "}":
+            return
+        raise _PathNotFound("malformed object")
+
+
+def _array_items(text: str, i: int):
+    """Yield ``(start, end)`` for each item of the array at ``i``."""
+    i = _skip_ws(text, i)
+    if i >= len(text) or text[i] != "[":
+        raise _PathNotFound("expected an array")
+    i = _skip_ws(text, i + 1)
+    if i < len(text) and text[i] == "]":
+        return
+    while True:
+        start = i
+        end = _scan_value(text, start)
+        yield start, end
+        i = _skip_ws(text, end)
+        if i < len(text) and text[i] == ",":
+            i = _skip_ws(text, i + 1)
+            continue
+        if i < len(text) and text[i] == "]":
+            return
+        raise _PathNotFound("malformed array")
+
+
+def _locate(text: str, path: JsonPath) -> tuple[int, int, int]:
+    """Resolve ``path`` to ``(anchor, start, end)`` offsets in ``text``.
+
+    ``start:end`` spans the value; ``anchor`` is where its removal must
+    begin — the key string for an object member, the value itself for an
+    array item.
+    """
+    start = _skip_ws(text, 0)
+    anchor, end = start, _scan_value(text, start)
+    for step in path:
+        if isinstance(step, int):
+            for index, (item_start, item_end) in enumerate(_array_items(text, start)):
+                if index == step:
+                    anchor, start, end = item_start, item_start, item_end
+                    break
+            else:
+                raise _PathNotFound(f"array index {step} out of range")
+        else:
+            for key, key_start, value_start, value_end in _object_members(text, start):
+                if key == step:
+                    anchor, start, end = key_start, value_start, value_end
+                    break
+            else:
+                raise _PathNotFound(f"no member {step!r}")
+    return anchor, start, end
+
+
+def _removal_span(text: str, anchor: int, end: int) -> tuple[int, int]:
+    """Extend a member/item span over its separating comma and whitespace."""
+    after = _skip_ws(text, end)
+    if after < len(text) and text[after] == ",":
+        # Consume the trailing comma and run up to the next element.
+        return anchor, _skip_ws(text, after + 1)
+    # Last element: consume the preceding comma instead, if any.
+    before = anchor
+    while before > 0 and text[before - 1] in " \t\n\r":
+        before -= 1
+    if before > 0 and text[before - 1] == ",":
+        return before - 1, end
+    return anchor, end
+
+
+def _resolve_one(text: str, edit: JsonEdit) -> SpanEdit:
+    if edit.op == "append":
+        _anchor, start, end = _locate(text, edit.path)
+        if text[start] != "[":
+            raise _PathNotFound("append target is not an array")
+        items = list(_array_items(text, start))
+        rendered = json.dumps(edit.value, sort_keys=True)
+        if not items:
+            return SpanEdit(start + 1, end - 1, rendered)
+        last_end = items[-1][1]
+        return SpanEdit(last_end, last_end, ", " + rendered)
+    anchor, start, end = _locate(text, edit.path)
+    if edit.op == "replace":
+        return SpanEdit(start, end, json.dumps(edit.value, sort_keys=True))
+    removal_start, removal_end = _removal_span(text, anchor, end)
+    return SpanEdit(removal_start, removal_end, "")
+
+
+def resolve_edits(
+    text: str, edits: Iterable[JsonEdit]
+) -> tuple[list[SpanEdit], int]:
+    """Resolve ``edits`` against ``text``; unresolvable ones are skipped.
+
+    Returns the resolved span edits (unordered) and the skipped count.
+    Overlapping resolutions keep the first and skip the rest, so two
+    fixes fighting over one region never corrupt the document.
+    """
+    resolved: list[SpanEdit] = []
+    skipped = 0
+    for edit in edits:
+        try:
+            candidate = _resolve_one(text, edit)
+        except _PathNotFound:
+            skipped += 1
+            continue
+        overlaps = any(
+            candidate.start < other.end and other.start < candidate.end
+            and not (candidate.start == candidate.end == other.start == other.end)
+            for other in resolved
+        )
+        if overlaps:
+            skipped += 1
+        else:
+            resolved.append(candidate)
+    return resolved, skipped
+
+
+def apply_fixes(text: str, diagnostics: Iterable) -> tuple[str, int, int]:
+    """Apply every fix carried by ``diagnostics`` to ``text``.
+
+    Returns ``(new_text, applied, skipped)`` where ``applied`` counts the
+    *fixes* (not individual edits) whose every edit resolved.  Spans are
+    resolved against the original text and applied back-to-front, so
+    earlier splices never shift later offsets.
+    """
+    edits: list[JsonEdit] = []
+    fix_sizes: list[int] = []
+    for diagnostic in diagnostics:
+        for fix in getattr(diagnostic, "fixes", ()):
+            edits.extend(fix.edits)
+            fix_sizes.append(len(fix.edits))
+    resolved, skipped_edits = resolve_edits(text, edits)
+    for span in sorted(resolved, key=lambda s: s.start, reverse=True):
+        text = text[: span.start] + span.replacement + text[span.end :]
+    total_fixes = len(fix_sizes)
+    # Attribute skips to whole fixes, conservatively: each skipped edit
+    # fails at most one fix.
+    applied = max(0, total_fixes - skipped_edits)
+    return text, applied, total_fixes - applied
+
+
+def fix_diff(path: str, old: str, new: str) -> str:
+    """A unified diff of a fix application, for ``lint --diff``."""
+    return "".join(
+        difflib.unified_diff(
+            old.splitlines(keepends=True),
+            new.splitlines(keepends=True),
+            fromfile=path,
+            tofile=f"{path} (fixed)",
+        )
+    )

@@ -24,6 +24,7 @@ from typing import Callable, Iterator
 
 from repro.analysis.codes import CODES
 from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.fixes import Fix, JsonEdit
 from repro.core.chase import chase
 from repro.core.dependencies import EGD, TGD, Dependency, DisjunctiveTGD
 from repro.core.homomorphism import has_homomorphism
@@ -87,6 +88,7 @@ class RuleContext:
         message: str,
         dependency: Dependency | None = None,
         hint: str = "",
+        fixes: tuple[Fix, ...] = (),
     ) -> Diagnostic:
         """Build a diagnostic, deriving severity/rule from the code table
         and the span from the dependency's provenance."""
@@ -98,6 +100,7 @@ class RuleContext:
             rule=info.rule,
             span=dependency.provenance if dependency is not None else None,
             hint=hint,
+            fixes=fixes,
         )
 
     # -- cached structure ---------------------------------------------------
@@ -408,6 +411,12 @@ def duplicate_dependency(ctx: RuleContext) -> Iterator[Diagnostic]:
                     f"{dependency}",
                     dependency,
                     hint="delete the duplicate",
+                    fixes=(
+                        Fix(
+                            f"delete the duplicate at {block}[{index}]",
+                            (JsonEdit("remove", (block, index)),),
+                        ),
+                    ),
                 )
             else:
                 first_seen[dependency] = index
@@ -489,6 +498,13 @@ def unused_relation(ctx: RuleContext) -> Iterator[Diagnostic]:
                     f"dependency; it never participates in the exchange",
                     hint="remove the declaration, or add the missing "
                     "dependency",
+                    fixes=(
+                        Fix(
+                            f"remove the unused {schema_name} relation "
+                            f"{relation.name!r}",
+                            (JsonEdit("remove", (schema_name, relation.name)),),
+                        ),
+                    ),
                 )
 
 

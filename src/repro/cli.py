@@ -3,14 +3,14 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro.cli classify  setting.json
-    python -m repro.cli lint      setting.json [more.json ...] [--format text|json]
+    python -m repro.cli lint      setting.json [scenario.json|name ...] [--fix | --diff] [--ignore CODES]
     python -m repro.cli describe  setting.json [--dot relations|positions]
     python -m repro.cli solve     setting.json source.txt [target.txt]
     python -m repro.cli explain   setting.json source.txt [target.txt]
     python -m repro.cli certain   setting.json source.txt --query "H(x, y)"
     python -m repro.cli chase     setting.json source.txt [target.txt]
     python -m repro.cli sync      setting.json snap1.txt [snap2.txt ...] [--delta]
-    python -m repro.cli simulate  [registry|genomics|genomics-churn|crash] [--seed N] [--delta] [--log]
+    python -m repro.cli simulate  [name|scenario.json] [--seed N] [--delta] [--log] [--lint [--force]]
     python -m repro.cli profile   clique [--size N] [--top K] [--trace out.jsonl]
 
 Setting files use the JSON format of :mod:`repro.io.serialization`;
@@ -19,7 +19,17 @@ instance files use the parser's text syntax (``E(a, b); E(b, c)`` — with
 case-insensitively, so ``SETTING.JSON`` works too).
 
 ``lint`` exits 0 on clean settings, 1 when the worst finding is a
-warning, and 2 on errors — the CI convention.
+warning, and 2 on errors — the CI convention.  Inputs may be setting
+files, scenario files (``"kind": "scenario"``), or registered scenario
+names; scenarios get the timeline/merge analysis (``PDE3xx``/``PDE4xx``)
+on top of the setting rules.  ``--ignore PDE101,PDE203`` suppresses
+codes, ``--fix`` applies the machine-applicable fixes in place, and
+``--diff`` previews them as a unified diff.
+
+``simulate --lint`` pre-flights the scenario with the same analyzer and
+refuses to run (exit 1) on error findings — a statically-divergent
+scenario would raise mid-run or vacuously "converge" while proving
+nothing; ``--force`` overrides the refusal.
 
 Governance: ``solve``, ``certain``, and ``sync`` accept ``--deadline
 SECONDS`` and ``--budget NODES``, building a non-strict
@@ -178,23 +188,89 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import LintRun, analyze_text, render_json, render_text
+    import json
 
+    from repro.analysis import (
+        CODES,
+        AnalysisReport,
+        Diagnostic,
+        LintRun,
+        analyze_scenario,
+        analyze_scenario_text,
+        analyze_text,
+        apply_fixes,
+        expand_ignore,
+        fix_diff,
+        render_json,
+        render_text,
+    )
+    from repro.net import is_scenario_dict, scenario_registry
+
+    ignore = expand_ignore(args.ignore)
+    registry = scenario_registry()
     run = LintRun()
-    for path in args.settings:
-        try:
-            text = Path(path).read_text()
-        except OSError as error:
-            from repro.analysis import AnalysisReport, Diagnostic
-
+    texts: dict[str, str] = {}
+    for target in args.settings:
+        builder = registry.get(target)
+        if builder is not None and not Path(target).exists():
+            # A registered scenario name: lint the built scenario (no file
+            # to fix, but the findings and exit code are the same).
             run.add(
-                path,
+                target,
+                analyze_scenario(builder(0), deltas=args.delta, ignore=ignore),
+            )
+            continue
+        try:
+            text = Path(target).read_text()
+        except OSError as error:
+            run.add(
+                target,
                 AnalysisReport.build(
-                    "", [Diagnostic("PDE000", "error", f"cannot read file: {error}")]
+                    "",
+                    [
+                        Diagnostic(
+                            "PDE000",
+                            "error",
+                            f"cannot read file: {error}",
+                            rule=CODES["PDE000"].rule,
+                        )
+                    ],
+                    ignore=ignore,
                 ),
             )
             continue
-        run.add(path, analyze_text(text))
+        texts[target] = text
+        try:
+            encoded = json.loads(text)
+        except json.JSONDecodeError:
+            encoded = None
+        if isinstance(encoded, dict) and is_scenario_dict(encoded):
+            run.add(
+                target, analyze_scenario_text(text, deltas=args.delta, ignore=ignore)
+            )
+        else:
+            run.add(target, analyze_text(text, ignore=ignore))
+
+    if args.fix or args.diff:
+        for path, report in run.reports:
+            text = texts.get(path)
+            if text is None or not report.fixable():
+                continue
+            fixed, applied, skipped = apply_fixes(text, report.diagnostics)
+            if skipped:
+                print(
+                    f"{path}: note: {skipped} fix(es) skipped "
+                    "(overlapping or unlocatable)",
+                    file=sys.stderr,
+                )
+            if not applied:
+                continue
+            if args.diff:
+                print(fix_diff(path, text, fixed), end="")
+            if args.fix:
+                Path(path).write_text(fixed)
+                print(f"{path}: applied {applied} fix(es)", file=sys.stderr)
+
     if args.format == "json":
         print(render_json(run))
     else:
@@ -375,7 +451,8 @@ def _cmd_sync(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.net import NetworkSimulator, scenario_registry
+    from repro.exceptions import ReproError
+    from repro.net import NetworkSimulator, loads_scenario, scenario_registry
 
     registry = scenario_registry()
     if args.list:
@@ -383,19 +460,64 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"{name:<10s} {builder(0).description}")
         return 0
     builder = registry.get(args.scenario)
-    if builder is None:
+    if builder is not None and not Path(args.scenario).exists():
+        scenario = builder(args.seed)
+    elif Path(args.scenario).exists():
+        try:
+            scenario = loads_scenario(Path(args.scenario).read_text())
+        except (ReproError, ValueError, KeyError, TypeError) as error:
+            print(
+                f"simulate: cannot load scenario file {args.scenario!r}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
         known = ", ".join(sorted(registry))
         print(
-            f"simulate: unknown scenario {args.scenario!r} (known: {known})",
+            f"simulate: unknown scenario {args.scenario!r} (known: {known}, "
+            "or a scenario JSON file)",
             file=sys.stderr,
         )
         return 2
-    scenario = builder(args.seed)
+
+    if args.lint or args.force:
+        # Pre-flight: abstractly interpret the timeline before spending any
+        # simulation time.  Error findings mean the run would raise or
+        # vacuously "pass" while proving nothing — refuse unless --force.
+        from repro.analysis import analyze_scenario
+
+        preflight = analyze_scenario(scenario, deltas=args.delta)
+        for diagnostic in preflight:
+            print(f"pre-flight: {diagnostic.render()}", file=sys.stderr)
+        errors = preflight.errors()
+        if errors:
+            if args.force:
+                print(
+                    f"pre-flight: {len(errors)} error(s) overridden by --force",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"pre-flight: refusing to run {scenario.name!r}: "
+                    f"{len(errors)} error finding(s) (override with --force)",
+                    file=sys.stderr,
+                )
+                return 1
+        else:
+            print(
+                f"pre-flight: ok ({len(preflight.warnings())} warning(s), "
+                f"{len(preflight.infos())} info(s))",
+                file=sys.stderr,
+            )
     tracer, metrics = _build_obs(args)
-    simulator = NetworkSimulator(
-        scenario, journal_dir=args.journal_dir, tracer=tracer, metrics=metrics,
-        deltas=args.delta,
-    )
+    try:
+        simulator = NetworkSimulator(
+            scenario, journal_dir=args.journal_dir, tracer=tracer,
+            metrics=metrics, deltas=args.delta,
+        )
+    except ReproError as error:
+        print(f"simulate: {error}", file=sys.stderr)
+        return 2
     report = simulator.run()
     if args.log:
         for line in report.log:
@@ -545,12 +667,31 @@ def build_parser() -> argparse.ArgumentParser:
     classify_cmd.set_defaults(handler=_cmd_classify)
 
     lint_cmd = commands.add_parser(
-        "lint", help="static diagnostics for setting files (exit 0/1/2)"
+        "lint", help="static diagnostics for settings and scenarios (exit 0/1/2)"
     )
-    lint_cmd.add_argument("settings", nargs="+", help="setting JSON files")
+    lint_cmd.add_argument(
+        "settings", nargs="+",
+        help="setting JSON files, scenario JSON files, or scenario names",
+    )
     lint_cmd.add_argument(
         "--format", choices=["text", "json"], default="text",
         help="output format (default: text)",
+    )
+    lint_cmd.add_argument(
+        "--ignore", default="", metavar="CODES",
+        help="comma-separated diagnostic codes to suppress (e.g. PDE101,PDE203)",
+    )
+    lint_cmd.add_argument(
+        "--fix", action="store_true",
+        help="apply the machine-applicable fixes in place",
+    )
+    lint_cmd.add_argument(
+        "--diff", action="store_true",
+        help="print a unified diff of the fixes without applying them",
+    )
+    lint_cmd.add_argument(
+        "--delta", action="store_true",
+        help="also check delta-transfer consequences of scenarios (PDE308)",
     )
     lint_cmd.set_defaults(handler=_cmd_lint)
 
@@ -613,7 +754,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate_cmd.add_argument(
         "scenario", nargs="?", default="registry",
-        help="scenario name (see --list; default: registry)",
+        help="scenario name or scenario JSON file (see --list; default: registry)",
+    )
+    simulate_cmd.add_argument(
+        "--lint", action="store_true",
+        help=(
+            "pre-flight the scenario with the static analyzer; error "
+            "findings refuse the run with exit 1"
+        ),
+    )
+    simulate_cmd.add_argument(
+        "--force", action="store_true",
+        help="run despite pre-flight error findings",
     )
     simulate_cmd.add_argument(
         "--seed", type=int, default=0, metavar="N",

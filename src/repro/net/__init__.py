@@ -29,7 +29,15 @@ event log replays byte-for-byte.
 """
 
 from repro.net.node import PeerNode
+from repro.net.scenario_io import (
+    dumps_scenario,
+    is_scenario_dict,
+    loads_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
 from repro.net.scenarios import (
+    REPAIR_RULES,
     BumpEpoch,
     Crash,
     Heal,
@@ -62,14 +70,20 @@ __all__ = [
     "NetworkSimulator",
     "Partition",
     "PeerNode",
+    "REPAIR_RULES",
     "Restart",
     "Scenario",
     "SimTransport",
     "SimulationReport",
     "crash_scenario",
+    "dumps_scenario",
     "genomics_churn_scenario",
     "genomics_scenario",
+    "is_scenario_dict",
+    "loads_scenario",
     "registry_scenario",
     "registry_setting",
+    "scenario_from_dict",
     "scenario_registry",
+    "scenario_to_dict",
 ]

@@ -1,0 +1,231 @@
+"""JSON serialization for :class:`~repro.net.Scenario` values.
+
+Gives scenarios the same on-disk interchange format settings already
+have, so a simulation script can be saved, linted (``repro.cli lint
+scenario.json``), pre-flighted (``simulate scenario.json --lint``), and
+auto-fixed (``lint --fix``) like any other fixture.  The format marks
+itself with ``"kind": "scenario"`` and embeds the setting in the
+:func:`~repro.io.serialization.setting_to_dict` format:
+
+* ``snapshots`` entries are either instance dicts
+  (:func:`~repro.io.serialization.instance_to_dict`) or, for hand-written
+  fixtures, parser-syntax strings (``"reg(a, 1); reg(b, 2)"``);
+* ``faults`` is a list of per-link schedules: ``{"from", "to"}`` plus the
+  :class:`~repro.runtime.FaultSchedule` fields (seeded rates and/or
+  explicit index sets);
+* ``events`` is the timeline: ``{"event": "partition" | "heal" | "crash"
+  | "restart" | "bump-epoch", "at": t, ...}``;
+* the optional multi-publisher declaration rides along as
+  ``co_publishers`` / ``trust`` / ``repair``, and a ``lint_ignore`` key
+  suppresses diagnostic codes exactly as in setting files.
+
+Everything round-trips: ``scenario_from_dict(scenario_to_dict(s))``
+rebuilds an equivalent scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.exceptions import ParseError, SimulationError
+from repro.io.serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    setting_from_dict,
+    setting_to_dict,
+)
+from repro.net.scenarios import (
+    BumpEpoch,
+    Crash,
+    Heal,
+    NetworkEvent,
+    Partition,
+    Restart,
+    Scenario,
+)
+from repro.runtime.faults import FaultSchedule
+
+__all__ = [
+    "dumps_scenario",
+    "is_scenario_dict",
+    "loads_scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
+]
+
+
+def is_scenario_dict(encoded: Mapping[str, Any]) -> bool:
+    """Does this decoded JSON document describe a scenario (not a setting)?"""
+    return encoded.get("kind") == "scenario" or "snapshots" in encoded
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def _schedule_to_dict(link: tuple[str, str], schedule: FaultSchedule) -> dict:
+    encoded: dict[str, Any] = {"from": link[0], "to": link[1]}
+    if schedule.seed is not None:
+        encoded["seed"] = schedule.seed
+    for name in ("drop_rate", "duplicate_rate", "reorder_rate", "delay_rate"):
+        rate = getattr(schedule, name)
+        if rate:
+            encoded[name] = rate
+    if schedule.max_delay:
+        encoded["max_delay"] = schedule.max_delay
+    for name in ("drop", "duplicate", "reorder"):
+        indexes = getattr(schedule, name)
+        if indexes:
+            encoded[name] = sorted(indexes)
+    if schedule.delay:
+        encoded["delay"] = {str(index): value for index, value in schedule.delay.items()}
+    return encoded
+
+
+def _event_to_dict(event: NetworkEvent) -> dict:
+    if isinstance(event, Partition):
+        return {
+            "event": "partition",
+            "at": event.at,
+            "groups": [sorted(group) for group in event.groups],
+        }
+    if isinstance(event, Heal):
+        return {"event": "heal", "at": event.at}
+    if isinstance(event, Crash):
+        return {"event": "crash", "at": event.at, "peer": event.peer}
+    if isinstance(event, Restart):
+        return {"event": "restart", "at": event.at, "peer": event.peer}
+    if isinstance(event, BumpEpoch):
+        return {"event": "bump-epoch", "at": event.at}
+    raise SimulationError(f"cannot serialize event {event!r}")
+
+
+def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
+    """Encode a scenario as a plain dict (JSON-ready)."""
+    encoded: dict[str, Any] = {
+        "kind": "scenario",
+        "name": scenario.name,
+        "description": scenario.description,
+        "setting": setting_to_dict(scenario.setting),
+        "snapshots": [instance_to_dict(snapshot) for snapshot in scenario.snapshots],
+        "peers": list(scenario.peers),
+        "publisher": scenario.publisher,
+        "interval": scenario.interval,
+        "latency": scenario.latency,
+        "events": [_event_to_dict(event) for event in scenario.events],
+        "seed": scenario.seed,
+    }
+    if scenario.reorder_delay is not None:
+        encoded["reorder_delay"] = scenario.reorder_delay
+    if scenario.faults:
+        encoded["faults"] = [
+            _schedule_to_dict(link, schedule)
+            for link, schedule in sorted(scenario.faults.items())
+        ]
+    if scenario.pinned:
+        encoded["pinned"] = {
+            peer: instance_to_dict(instance)
+            for peer, instance in sorted(scenario.pinned.items())
+        }
+    if scenario.co_publishers:
+        encoded["co_publishers"] = list(scenario.co_publishers)
+    if scenario.trust:
+        encoded["trust"] = list(scenario.trust)
+    if scenario.repair:
+        encoded["repair"] = scenario.repair
+    return encoded
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+
+def _instance_from_json(encoded: Any) -> Instance:
+    if isinstance(encoded, str):
+        return parse_instance(encoded)
+    if isinstance(encoded, dict):
+        return instance_from_dict(encoded)
+    raise ParseError(
+        f"a snapshot must be an instance dict or parser text, got "
+        f"{type(encoded).__name__}"
+    )
+
+
+def _schedule_from_dict(encoded: Mapping[str, Any]) -> tuple[tuple[str, str], FaultSchedule]:
+    link = (encoded["from"], encoded["to"])
+    schedule = FaultSchedule(
+        drop=frozenset(encoded.get("drop", ())),
+        duplicate=frozenset(encoded.get("duplicate", ())),
+        reorder=frozenset(encoded.get("reorder", ())),
+        delay={int(index): value for index, value in encoded.get("delay", {}).items()},
+        seed=encoded.get("seed"),
+        drop_rate=encoded.get("drop_rate", 0.0),
+        duplicate_rate=encoded.get("duplicate_rate", 0.0),
+        reorder_rate=encoded.get("reorder_rate", 0.0),
+        delay_rate=encoded.get("delay_rate", 0.0),
+        max_delay=encoded.get("max_delay", 0.0),
+    )
+    return link, schedule
+
+
+def _event_from_dict(encoded: Mapping[str, Any]) -> NetworkEvent:
+    kind = encoded.get("event")
+    at = encoded["at"]
+    if kind == "partition":
+        return Partition(at, *encoded["groups"])
+    if kind == "heal":
+        return Heal(at)
+    if kind == "crash":
+        return Crash(at, encoded["peer"])
+    if kind == "restart":
+        return Restart(at, encoded["peer"])
+    if kind == "bump-epoch":
+        return BumpEpoch(at)
+    raise ParseError(f"unknown scenario event kind {kind!r}")
+
+
+def scenario_from_dict(encoded: Mapping[str, Any], validate: bool = True) -> Scenario:
+    """Decode a scenario from :func:`scenario_to_dict` output.
+
+    With ``validate=False`` the embedded setting skips well-formedness
+    checks, so :func:`repro.analysis.analyze_scenario` can lint scenarios
+    whose settings are themselves broken.
+    """
+    return Scenario(
+        name=encoded.get("name", ""),
+        description=encoded.get("description", ""),
+        setting=setting_from_dict(encoded["setting"], validate=validate),
+        snapshots=[_instance_from_json(s) for s in encoded["snapshots"]],
+        peers=list(encoded["peers"]),
+        publisher=encoded.get("publisher", "origin"),
+        interval=encoded.get("interval", 1.0),
+        latency=encoded.get("latency", 0.05),
+        reorder_delay=encoded.get("reorder_delay"),
+        faults=dict(
+            _schedule_from_dict(entry) for entry in encoded.get("faults", ())
+        ),
+        events=[_event_from_dict(entry) for entry in encoded.get("events", ())],
+        pinned={
+            peer: _instance_from_json(instance)
+            for peer, instance in encoded.get("pinned", {}).items()
+        },
+        seed=encoded.get("seed", 0),
+        co_publishers=tuple(encoded.get("co_publishers", ())),
+        trust=tuple(encoded.get("trust", ())),
+        repair=encoded.get("repair", ""),
+    )
+
+
+def dumps_scenario(scenario: Scenario, indent: int | None = None) -> str:
+    """Serialize a scenario to a JSON string."""
+    return json.dumps(scenario_to_dict(scenario), indent=indent, sort_keys=False)
+
+
+def loads_scenario(text: str, validate: bool = True) -> Scenario:
+    """Deserialize a scenario from :func:`dumps_scenario` output."""
+    return scenario_from_dict(json.loads(text), validate=validate)

@@ -40,6 +40,7 @@ __all__ = [
     "Crash",
     "Heal",
     "Partition",
+    "REPAIR_RULES",
     "Restart",
     "Scenario",
     "crash_scenario",
@@ -103,6 +104,11 @@ class BumpEpoch:
 #: Every control-event type a scenario timeline may contain.
 NetworkEvent = Partition | Heal | Crash | Restart | BumpEpoch
 
+#: The repair rules the trust-ordered merge semantics define (cf.
+#: *Exchange-Repairs*, ten Cate et al.): what happens when a merge of
+#: equally-trusted facts still violates a Σ_t egd.
+REPAIR_RULES = ("prefer-trusted", "drop-conflicts", "reject-publish")
+
 
 # ----------------------------------------------------------------------
 # the scenario value
@@ -133,6 +139,16 @@ class Scenario:
         pinned: optional per-peer pinned facts.
         seed: the seed the builder derived the scenario from (recorded
             for reports; all randomness is already baked in).
+        co_publishers: additional publishers for the *same* setting.
+            Declarative for now: the simulator refuses to run
+            multi-publisher scenarios until the trust-ordered merge
+            lands, but :func:`repro.analysis.analyze_scenario` already
+            checks the declaration (PDE4xx).
+        trust: the trust order over publishers, most-trusted first — the
+            Bertossi–Bravo resolution for equal stamps issued by
+            different publishers.
+        repair: the fallback when a trust-ordered merge still violates
+            Σ_t egds; one of :data:`REPAIR_RULES` (empty = undeclared).
     """
 
     name: str
@@ -148,12 +164,23 @@ class Scenario:
     events: list[NetworkEvent] = field(default_factory=list)
     pinned: Mapping[str, Instance] = field(default_factory=dict)
     seed: int = 0
+    co_publishers: tuple[str, ...] = ()
+    trust: tuple[str, ...] = ()
+    repair: str = ""
 
     def __post_init__(self) -> None:
+        self.co_publishers = tuple(self.co_publishers)
+        self.trust = tuple(self.trust)
         if not self.snapshots:
             raise SimulationError(f"scenario {self.name!r} publishes nothing")
         if not self.peers:
             raise SimulationError(f"scenario {self.name!r} has no peers")
+        for name in self.co_publishers:
+            if name in self.peers or name == self.publisher:
+                raise SimulationError(
+                    f"scenario {self.name!r}: co-publisher {name!r} is "
+                    "already a peer or the primary publisher"
+                )
         if self.publisher in self.peers:
             raise SimulationError(
                 f"scenario {self.name!r}: publisher {self.publisher!r} cannot "
@@ -179,6 +206,11 @@ class Scenario:
     def duration(self) -> float:
         """Virtual time of the last publish."""
         return (len(self.snapshots) - 1) * self.interval
+
+    @property
+    def publishers(self) -> tuple[str, ...]:
+        """Every declared publisher, primary first."""
+        return (self.publisher, *self.co_publishers)
 
 
 # ----------------------------------------------------------------------

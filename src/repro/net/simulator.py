@@ -180,6 +180,16 @@ class NetworkSimulator:
         anti_entropy_limit: int = 8,
         deltas: bool = False,
     ) -> None:
+        if scenario.co_publishers:
+            # The multi-publisher merge (trust-ordered, cf. the Scenario
+            # docstring) is declarative-only for now; refuse loudly rather
+            # than silently ignore the extra publishers.
+            raise SimulationError(
+                f"scenario {scenario.name!r} declares co-publishers "
+                f"{scenario.co_publishers}; the simulator does not implement "
+                "the trust-ordered merge yet (lint checks the declaration "
+                "with the PDE4xx rules)"
+            )
         self.scenario = scenario
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics

@@ -390,9 +390,14 @@ class TestCodeTable:
             assert info.rule and info.summary
 
     def test_error_band_and_warning_band(self):
+        # Band 0 is load/well-formedness: always errors.  Bands 1-2
+        # (boundary, hygiene) never block.  Bands 3-4 (timeline, merge)
+        # mix severities: statically-certain divergence is an error.
         for code, info in CODES.items():
             band = int(code[3])
             if band == 0:
                 assert info.severity == "error"
-            else:
+            elif band in (1, 2):
                 assert info.severity in {"warning", "info"}
+            else:
+                assert band in (3, 4)

@@ -1,0 +1,190 @@
+"""Tests for the fixit engine: JSON span resolution and fix application.
+
+The engine turns structural :class:`~repro.analysis.JsonEdit` paths into
+genuine text splices with an offset-tracking scanner; these tests pin the
+span semantics (comma handling, formatting preservation, skip-don't-guess
+on stale paths) and the ``lint --fix`` round-trip the acceptance criteria
+require: a fixture carrying a duplicate-dependency and an
+unhealed-partition finding re-lints clean after applying its fixes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    Fix,
+    JsonEdit,
+    analyze_scenario_text,
+    analyze_text,
+    apply_fixes,
+    fix_diff,
+)
+from repro.analysis.fixes import resolve_edits
+
+DOC = json.dumps(
+    {
+        "name": "t",
+        "source": {"E": 2, "F": 1},
+        "sigma_st": ["a", "b", "c"],
+        "empty": [],
+    },
+    indent=2,
+)
+
+
+def _apply(text: str, *edits: JsonEdit) -> str:
+    spans, skipped = resolve_edits(text, edits)
+    assert skipped == 0
+    for span in sorted(spans, key=lambda s: s.start, reverse=True):
+        text = text[: span.start] + span.replacement + text[span.end :]
+    return text
+
+
+class TestSpanResolution:
+    def test_remove_middle_array_item(self):
+        fixed = json.loads(_apply(DOC, JsonEdit("remove", ("sigma_st", 1))))
+        assert fixed["sigma_st"] == ["a", "c"]
+
+    def test_remove_last_array_item_eats_preceding_comma(self):
+        fixed = _apply(DOC, JsonEdit("remove", ("sigma_st", 2)))
+        decoded = json.loads(fixed)
+        assert decoded["sigma_st"] == ["a", "b"]
+
+    def test_remove_first_array_item(self):
+        fixed = json.loads(_apply(DOC, JsonEdit("remove", ("sigma_st", 0))))
+        assert fixed["sigma_st"] == ["b", "c"]
+
+    def test_remove_object_member(self):
+        fixed = json.loads(_apply(DOC, JsonEdit("remove", ("source", "E"))))
+        assert fixed["source"] == {"F": 1}
+
+    def test_remove_last_object_member(self):
+        fixed = json.loads(_apply(DOC, JsonEdit("remove", ("source", "F"))))
+        assert fixed["source"] == {"E": 2}
+
+    def test_replace_value(self):
+        fixed = json.loads(_apply(DOC, JsonEdit("replace", ("source", "E"), 3)))
+        assert fixed["source"]["E"] == 3
+
+    def test_append_to_array(self):
+        fixed = json.loads(_apply(DOC, JsonEdit("append", ("sigma_st",), "d")))
+        assert fixed["sigma_st"] == ["a", "b", "c", "d"]
+
+    def test_append_to_empty_array(self):
+        fixed = json.loads(_apply(DOC, JsonEdit("append", ("empty",), {"x": 1})))
+        assert fixed["empty"] == [{"x": 1}]
+
+    def test_untouched_formatting_is_preserved(self):
+        fixed = _apply(DOC, JsonEdit("remove", ("sigma_st", 1)))
+        # Everything before the edited array keeps its bytes.
+        prefix = DOC[: DOC.index('"sigma_st"')]
+        assert fixed.startswith(prefix)
+
+    def test_stale_path_is_skipped_not_guessed(self):
+        spans, skipped = resolve_edits(DOC, [JsonEdit("remove", ("nope", 0))])
+        assert spans == [] and skipped == 1
+        spans, skipped = resolve_edits(
+            DOC, [JsonEdit("remove", ("sigma_st", 9))]
+        )
+        assert spans == [] and skipped == 1
+
+    def test_overlapping_edits_keep_first(self):
+        spans, skipped = resolve_edits(
+            DOC,
+            [
+                JsonEdit("remove", ("source",)),
+                JsonEdit("replace", ("source", "E"), 9),
+            ],
+        )
+        assert len(spans) == 1 and skipped == 1
+
+
+class TestApplyFixes:
+    def test_apply_counts_fixes(self):
+        diagnostic = Diagnostic(
+            "PDE201",
+            "warning",
+            "dup",
+            fixes=(Fix("drop it", (JsonEdit("remove", ("sigma_st", 1)),)),),
+        )
+        fixed, applied, skipped = apply_fixes(DOC, [diagnostic])
+        assert applied == 1 and skipped == 0
+        assert json.loads(fixed)["sigma_st"] == ["a", "c"]
+
+    def test_diagnostics_without_fixes_are_noops(self):
+        diagnostic = Diagnostic("PDE101", "warning", "boundary")
+        fixed, applied, skipped = apply_fixes(DOC, [diagnostic])
+        assert fixed == DOC and applied == 0 and skipped == 0
+
+    def test_fix_diff_has_headers(self):
+        new = _apply(DOC, JsonEdit("remove", ("sigma_st", 1)))
+        diff = fix_diff("doc.json", DOC, new)
+        assert diff.startswith("--- doc.json")
+        assert "(fixed)" in diff and '-    "b",' in diff
+
+
+@pytest.fixture
+def broken_scenario_text() -> str:
+    """A scenario with a PDE201 (duplicate dep) and PDE301 (unhealed
+    partition) finding — both carrying fixes."""
+    return json.dumps(
+        {
+            "kind": "scenario",
+            "name": "broken",
+            "setting": {
+                "name": "registry",
+                "source": {"reg": 2},
+                "target": {"db": 2},
+                "sigma_st": ["reg(k, v) -> db(k, v)", "reg(k, v) -> db(k, v)"],
+                "sigma_ts": ["db(k, v) -> reg(k, v)"],
+            },
+            "snapshots": ["reg(a, 1)", "reg(a, 1); reg(b, 2)"],
+            "peers": ["p1", "p2"],
+            "publisher": "pub",
+            "events": [
+                {
+                    "event": "partition",
+                    "at": 0.5,
+                    "groups": [["pub", "p1"], ["p2"]],
+                }
+            ],
+        },
+        indent=2,
+    )
+
+
+class TestFixRoundTrip:
+    """The acceptance criterion: fixes re-lint clean."""
+
+    def test_broken_scenario_relints_clean_after_fixes(
+        self, broken_scenario_text
+    ):
+        report = analyze_scenario_text(broken_scenario_text)
+        assert set(report.codes()) == {"PDE201", "PDE301"}
+        assert len(report.fixable()) == 2
+        fixed, applied, skipped = apply_fixes(
+            broken_scenario_text, report.diagnostics
+        )
+        assert applied == 2 and skipped == 0
+        assert analyze_scenario_text(fixed).clean
+
+    def test_setting_fix_roundtrip(self):
+        text = json.dumps(
+            {
+                "name": "dup",
+                "source": {"E": 2},
+                "target": {"H": 2},
+                "sigma_st": ["E(x, y) -> H(x, y)", "E(x, y) -> H(x, y)"],
+            },
+            indent=2,
+        )
+        report = analyze_text(text)
+        assert "PDE201" in report.codes()
+        fixed, applied, _skipped = apply_fixes(text, report.diagnostics)
+        assert applied >= 1
+        after = analyze_text(fixed)
+        assert "PDE201" not in after.codes()

@@ -128,3 +128,190 @@ class TestFileSniffing:
         )
         assert main(["solve", str(setting_path), str(source)]) == 0
         assert "solution exists: True" in capsys.readouterr().out
+
+
+@pytest.fixture
+def broken_scenario_path(tmp_path):
+    """A scenario file with a fixable warning in the setting (PDE201) and
+    one in the timeline (PDE301)."""
+    path = tmp_path / "scenario.json"
+    path.write_text(
+        json.dumps(
+            {
+                "kind": "scenario",
+                "name": "broken",
+                "setting": {
+                    "name": "registry",
+                    "source": {"reg": 2},
+                    "target": {"db": 2},
+                    "sigma_st": [
+                        "reg(k, v) -> db(k, v)",
+                        "reg(k, v) -> db(k, v)",
+                    ],
+                    "sigma_ts": ["db(k, v) -> reg(k, v)"],
+                },
+                "snapshots": ["reg(a, 1)", "reg(a, 1); reg(b, 2)"],
+                "peers": ["p1", "p2"],
+                "publisher": "pub",
+                "events": [
+                    {
+                        "event": "partition",
+                        "at": 0.5,
+                        "groups": [["pub", "p1"], ["p2"]],
+                    }
+                ],
+            },
+            indent=2,
+        )
+    )
+    return path
+
+
+@pytest.fixture
+def divergent_scenario_path(tmp_path):
+    """Statically divergent: nobody is reachable at quiescence (PDE304)."""
+    path = tmp_path / "divergent.json"
+    path.write_text(
+        json.dumps(
+            {
+                "kind": "scenario",
+                "name": "divergent",
+                "setting": {
+                    "name": "registry",
+                    "source": {"reg": 2},
+                    "target": {"db": 2},
+                    "sigma_st": ["reg(k, v) -> db(k, v)"],
+                    "sigma_ts": ["db(k, v) -> reg(k, v)"],
+                },
+                "snapshots": ["reg(a, 1)", "reg(a, 1); reg(b, 2)"],
+                "peers": ["p1", "p2"],
+                "publisher": "pub",
+                "events": [
+                    {
+                        "event": "partition",
+                        "at": 0.5,
+                        "groups": [["pub"], ["p1", "p2"]],
+                    }
+                ],
+            }
+        )
+    )
+    return path
+
+
+class TestIgnoreFlag:
+    def test_ignore_suppresses_to_clean(self, warning_path):
+        assert main(["lint", str(warning_path)]) == 1
+        assert main(["lint", str(warning_path), "--ignore", "PDE101"]) == 0
+
+    def test_comma_shorthand(self, warning_path, capsys):
+        code = main(["lint", str(warning_path), "--ignore", "PDE101, PDE203"])
+        assert code == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_missing_file_diagnostic_carries_rule(self, tmp_path, capsys):
+        # Regression: the unreadable-file Diagnostic used to omit rule=,
+        # which ValueError'd once Diagnostic began requiring a known code.
+        code = main(["lint", "--format", "json", str(tmp_path / "nope.json")])
+        assert code == 2
+        decoded = json.loads(capsys.readouterr().out)
+        [entry] = decoded["files"]
+        [diagnostic] = entry["diagnostics"]
+        assert diagnostic["code"] == "PDE000"
+        assert diagnostic["rule"] == "load-failure"
+
+
+class TestScenarioInputs:
+    def test_registered_scenario_name_lints_clean(self, capsys):
+        assert main(["lint", "registry", "crash"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_scenario_file_reports_timeline_findings(
+        self, broken_scenario_path, capsys
+    ):
+        assert main(["lint", str(broken_scenario_path)]) == 1
+        out = capsys.readouterr().out
+        assert "PDE301" in out and "PDE201" in out
+
+    def test_fix_round_trips_clean(self, broken_scenario_path, capsys):
+        assert main(["lint", str(broken_scenario_path), "--fix"]) == 1
+        capsys.readouterr()
+        assert main(["lint", str(broken_scenario_path)]) == 0
+
+    def test_diff_previews_without_writing(self, broken_scenario_path, capsys):
+        before = broken_scenario_path.read_text()
+        main(["lint", str(broken_scenario_path), "--diff"])
+        out = capsys.readouterr().out
+        assert "(fixed)" in out and "heal" in out
+        assert broken_scenario_path.read_text() == before
+
+    def test_delta_flag_checks_chain_dooming(self, tmp_path, capsys):
+        path = tmp_path / "doomed.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "scenario",
+                    "name": "doomed",
+                    "setting": {
+                        "name": "registry",
+                        "source": {"reg": 2},
+                        "target": {"db": 2},
+                        "sigma_st": ["reg(k, v) -> db(k, v)"],
+                        "sigma_ts": ["db(k, v) -> reg(k, v)"],
+                    },
+                    "snapshots": [
+                        "reg(a, 1)",
+                        "reg(a, 1); reg(b, 2)",
+                        "reg(a, 1); reg(b, 2); reg(c, 3)",
+                    ],
+                    "peers": ["p1"],
+                    "publisher": "pub",
+                    "events": [
+                        {"event": "partition", "at": 0.5, "groups": [["pub"], ["p1"]]},
+                        {"event": "heal", "at": 1.5},
+                    ],
+                }
+            )
+        )
+        assert main(["lint", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(path), "--delta"]) == 1
+        assert "PDE308" in capsys.readouterr().out
+
+
+class TestSimulatePreflight:
+    def test_divergent_scenario_refused_without_running(
+        self, divergent_scenario_path, capsys
+    ):
+        assert main(["simulate", str(divergent_scenario_path), "--lint"]) == 1
+        captured = capsys.readouterr()
+        assert "PDE304" in captured.err
+        assert "refusing" in captured.err
+        # The run never started: no simulation report was printed.
+        assert "scenario:" not in captured.out
+
+    def test_force_overrides_refusal(self, divergent_scenario_path, capsys):
+        assert main(["simulate", str(divergent_scenario_path), "--force"]) == 0
+        captured = capsys.readouterr()
+        assert "overridden by --force" in captured.err
+        assert "converged: True (vacuously" in captured.out
+
+    def test_shipped_scenarios_pass_preflight(self, capsys):
+        from repro.net import scenario_registry
+
+        for name in scenario_registry():
+            assert main(["simulate", name, "--lint"]) == 0, name
+            captured = capsys.readouterr()
+            assert "pre-flight: ok" in captured.err, name
+
+    def test_scenario_file_simulates(self, broken_scenario_path, capsys):
+        # Warnings do not block the pre-flight; the file runs to
+        # convergence despite its unhealed partition (p2 is excluded).
+        assert main(["simulate", str(broken_scenario_path), "--lint"]) == 0
+        captured = capsys.readouterr()
+        assert "PDE301" in captured.err
+        assert "converged: True" in captured.out
+
+    def test_unknown_scenario_still_errors(self, capsys):
+        assert main(["simulate", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

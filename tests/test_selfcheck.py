@@ -1,0 +1,36 @@
+"""Smoke test: the fixture self-check script passes on the shipped tree.
+
+``scripts/selfcheck.py`` lints every example setting, every example
+scenario, and every registered scenario (both transfer modes); running it
+here means a rule change that breaks a shipped fixture — or a fixture
+change that introduces a finding — fails the suite, not just CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "selfcheck.py"
+
+
+def _load_selfcheck():
+    spec = importlib.util.spec_from_file_location("selfcheck", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_selfcheck_script_exists():
+    assert SCRIPT.exists()
+
+
+def test_all_shipped_fixtures_are_lint_clean(capsys):
+    module = _load_selfcheck()
+    failures = module.run_selfcheck(quiet=True)
+    assert failures == 0, capsys.readouterr().out
+
+
+def test_selfcheck_main_exit_code():
+    module = _load_selfcheck()
+    assert module.main(["-q"]) == 0
