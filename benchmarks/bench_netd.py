@@ -1,0 +1,138 @@
+"""Experiment — real-socket daemon round latency and wire parity.
+
+Two questions about :mod:`repro.netd`, answered on the loopback:
+
+* **round latency** — how long one stamped publish → solve → ACK round
+  takes through the full stack (frame codec, TCP, bounded queues, a
+  journaled :class:`~repro.sync.SyncSession` solving in a worker
+  thread), measured per round over a fresh daemon;
+* **wire parity** — the daemon must inherit the simulator's delta-transfer
+  win: facts-on-wire for the registry scenario, snapshot mode vs delta
+  mode, over real sockets (clean links) side by side with the
+  :class:`~repro.net.SimTransport` baseline of the very same scenario.
+  The counts differ slightly (the clean-socket run skips the scenario's
+  partitions and repairs lag with anti-entropy instead of refusing sends)
+  but the delta reduction itself must survive the move to real sockets.
+
+Records land in ``BENCH_netd.json`` via the grouped ``record`` fixture
+(same schema as ``BENCH_net.json``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.net import NetworkSimulator, registry_scenario
+from repro.net.scenarios import _registry_snapshots, registry_setting
+from repro.netd import PublisherClient, SyncDaemon, run_scenario_netd
+from repro.sync import Stamp
+
+
+def _loopback_rounds(rounds: int) -> list[float]:
+    """Per-round publish→ACK latencies through a fresh loopback daemon.
+
+    Journal-free on purpose: the benchmark repeats the body, and a
+    resumed journal would turn later repeats into stale replays.
+    """
+
+    async def run() -> list[float]:
+        daemon = SyncDaemon(registry_setting(), ["peer-a"])
+        await daemon.start()
+        client = PublisherClient(daemon.address, "peer-a", ack_timeout=5.0)
+        await client.start()
+        snapshots = _registry_snapshots()
+        latencies = []
+        try:
+            for index in range(rounds):
+                snapshot = snapshots[index % len(snapshots)]
+                started = time.perf_counter()
+                outcome = await client.publish(Stamp(1, index + 1), snapshot)
+                latencies.append(time.perf_counter() - started)
+                assert outcome == "applied"
+        finally:
+            await client.close()
+            await daemon.stop()
+        return latencies
+
+    return asyncio.run(run())
+
+
+def test_loopback_round_latency(benchmark, table, record):
+    """One publish→solve→ACK round through the real socket stack."""
+    rounds = 12
+
+    def run():
+        return _loopback_rounds(rounds)
+
+    latencies = benchmark.pedantic(run, rounds=3, iterations=1)
+    best = min(latencies)
+    mean = sum(latencies) / len(latencies)
+    table(
+        f"netd loopback round latency ({rounds} rounds, registry setting)",
+        ["statistic", "latency"],
+        [
+            ["best", f"{best * 1000:.1f} ms"],
+            ["mean", f"{mean * 1000:.1f} ms"],
+            ["worst", f"{max(latencies) * 1000:.1f} ms"],
+        ],
+    )
+    record(
+        "bench_netd.loopback_latency",
+        {
+            "setting": "registry",
+            "rounds": rounds,
+            "best_ms": best * 1000,
+            "mean_ms": mean * 1000,
+            "worst_ms": max(latencies) * 1000,
+        },
+    )
+    # The publish path polls outcomes on a 10 ms tick, so anything under
+    # a second means the stack itself is healthy; this is a hang guard,
+    # not a performance ceiling.
+    assert mean < 1.0, f"loopback round took {mean:.2f}s on average"
+
+
+def test_facts_on_wire_vs_simulator(table, record, tmp_path):
+    """Same scenario, same protocol: the delta win survives real sockets."""
+    seed = 7
+    wire = {}
+    for mode, deltas in (("snapshot", False), ("delta", True)):
+        report = run_scenario_netd(
+            registry_scenario(seed=seed),
+            deltas=deltas,
+            use_chaos=False,  # clean links: wire counts are deterministic
+            journal_dir=tmp_path / f"netd-{mode}",
+        )
+        assert report.converged
+        sim_report = NetworkSimulator(
+            registry_scenario(seed=seed), deltas=deltas
+        ).run()
+        assert sim_report.converged
+        wire[mode] = {
+            "netd": report.stats["facts_sent"],
+            "sim": sim_report.stats["facts_sent"],
+        }
+
+    reduction = wire["snapshot"]["netd"] / wire["delta"]["netd"]
+    table(
+        f"Facts on wire, registry scenario seed {seed} (clean links)",
+        ["mode", "netd", "simulator"],
+        [
+            ["snapshot", wire["snapshot"]["netd"], wire["snapshot"]["sim"]],
+            ["delta", wire["delta"]["netd"], wire["delta"]["sim"]],
+        ],
+    )
+    record(
+        "bench_netd.facts_on_wire",
+        {
+            "scenario": "registry",
+            "seed": seed,
+            "snapshot_netd": wire["snapshot"]["netd"],
+            "snapshot_sim": wire["snapshot"]["sim"],
+            "delta_netd": wire["delta"]["netd"],
+            "delta_sim": wire["delta"]["sim"],
+            "reduction": reduction,
+        },
+    )
+    assert reduction > 1.0, "delta mode failed to reduce the wire at all"

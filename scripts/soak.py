@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Soak: sweep seeds through simulator and real-socket runs, keep repros.
+
+For every registered scenario x seed x wire mode the soak runs the
+in-memory :class:`~repro.net.NetworkSimulator` and (unless ``--sim-only``)
+the real-socket :func:`~repro.netd.run_scenario_netd` twin, then checks
+
+* both runs converge (each against the shared oracle), and
+* every reachable peer's final state agrees across the two transports
+  (:func:`~repro.net.states_agree` — homomorphic, null-safe).
+
+Any failure writes a standalone repro fixture into ``--out``
+(default ``soak_failures/``): the serialized scenario plus the seed,
+mode, and per-peer verdicts, so a developer (or CI) can replay the exact
+divergence with ``repro.cli simulate`` or ``run_scenario_netd`` without
+re-running the sweep.  With ``--pytest`` the slow/chaos pytest lanes run
+first and count toward the exit status.
+
+Usage::
+
+    PYTHONPATH=src python scripts/soak.py [--seeds 0:8] [--scenarios registry]
+                                          [--sim-only] [--pytest] [-q]
+
+Exit status is the number of failing combinations (0 = clean soak).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.net import (
+    NetworkSimulator,
+    dumps_scenario,
+    scenario_registry,
+    states_agree,
+)
+from repro.netd import run_scenario_netd
+
+FIXTURE_SCHEMA_VERSION = 1
+
+
+def _parse_seeds(text: str) -> list[int]:
+    """``0:8`` → range, ``3,7,11`` → list, ``5`` → one seed."""
+    if ":" in text:
+        lo, _, hi = text.partition(":")
+        return list(range(int(lo), int(hi)))
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _simulate(builder, seed: int, deltas: bool):
+    simulator = NetworkSimulator(builder(seed=seed), deltas=deltas)
+    report = simulator.run()
+    unreachable = set(report.convergence.unreachable)
+    states = {
+        name: node.state()
+        for name, node in simulator.nodes.items()
+        if name not in unreachable
+    }
+    return report, states
+
+
+def _soak_one(name: str, builder, seed: int, deltas: bool, sim_only: bool):
+    """Run one combination; returns a list of failure strings (empty = ok)."""
+    failures: list[str] = []
+    sim_report, sim_states = _simulate(builder, seed, deltas)
+    if not sim_report.converged:
+        failures.append("simulator run did not converge")
+    if sim_only:
+        return failures, None
+
+    netd_report = run_scenario_netd(builder(seed=seed), deltas=deltas)
+    if not netd_report.converged:
+        failures.append("netd run did not converge")
+    if not netd_report.drained:
+        failures.append("netd daemon missed its drain deadline")
+    if sorted(netd_report.unreachable) != sorted(
+        sim_report.convergence.unreachable
+    ):
+        failures.append(
+            f"unreachable sets differ: netd={sorted(netd_report.unreachable)} "
+            f"sim={sorted(sim_report.convergence.unreachable)}"
+        )
+    for peer, state in sorted(netd_report.states.items()):
+        if peer in sim_states and not states_agree(state, sim_states[peer]):
+            failures.append(f"peer {peer!r} diverged between transports")
+    return failures, netd_report
+
+
+def _write_fixture(
+    out_dir: Path, name: str, builder, seed: int, deltas: bool,
+    failures: list[str],
+) -> Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    mode = "delta" if deltas else "snapshot"
+    path = out_dir / f"{name}-seed{seed}-{mode}.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema_version": FIXTURE_SCHEMA_VERSION,
+                "format": "repro-soak-fixture",
+                "scenario": name,
+                "seed": seed,
+                "deltas": deltas,
+                "failures": failures,
+                "scenario_document": json.loads(dumps_scenario(builder(seed=seed))),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    return path
+
+
+def _run_pytest_lanes(quiet: bool) -> int:
+    """The heavy pytest lanes: slow soak suites + socket chaos suites."""
+    command = [
+        sys.executable, "-m", "pytest", "-m", "slow or chaos", "-q",
+    ]
+    if not quiet:
+        print(f"$ {' '.join(command)}")
+    completed = subprocess.run(command, cwd=REPO)
+    return completed.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds", default="0:6",
+        help="seed sweep: 'LO:HI' half-open range or comma list (default 0:6)",
+    )
+    parser.add_argument(
+        "--scenarios", default=None,
+        help="comma list of scenario names (default: every registered one)",
+    )
+    parser.add_argument(
+        "--sim-only", action="store_true",
+        help="skip the real-socket twin (fast smoke of the sweep itself)",
+    )
+    parser.add_argument(
+        "--pytest", action="store_true",
+        help="also run the slow/chaos pytest lanes before the sweep",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO / "soak_failures"),
+        help="directory for divergence repro fixtures",
+    )
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    def note(message: str) -> None:
+        if not args.quiet:
+            print(message)
+
+    registry = scenario_registry()
+    if args.scenarios:
+        names = [part.strip() for part in args.scenarios.split(",") if part.strip()]
+        unknown = [name for name in names if name not in registry]
+        if unknown:
+            print(
+                f"soak: unknown scenarios {unknown}; "
+                f"registered: {sorted(registry)}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        names = sorted(registry)
+    seeds = _parse_seeds(args.seeds)
+    out_dir = Path(args.out)
+
+    failing = 0
+    if args.pytest:
+        lane_status = _run_pytest_lanes(args.quiet)
+        if lane_status != 0:
+            failing += 1
+            print(f"FAIL    pytest slow/chaos lanes (exit {lane_status})")
+
+    for name in names:
+        builder = registry[name]
+        for seed in seeds:
+            for deltas in (False, True):
+                mode = "delta" if deltas else "snap"
+                failures, _report = _soak_one(
+                    name, builder, seed, deltas, args.sim_only
+                )
+                if failures:
+                    failing += 1
+                    fixture = _write_fixture(
+                        out_dir, name, builder, seed, deltas, failures
+                    )
+                    print(
+                        f"FAIL    {name} seed {seed} {mode}: "
+                        f"{'; '.join(failures)} "
+                        f"[repro: {fixture.relative_to(REPO)}]"
+                    )
+                else:
+                    note(f"ok      {name} seed {seed} {mode}")
+
+    note(
+        f"soak: {failing} failing combination(s) across "
+        f"{len(names)} scenario(s) x {len(seeds)} seed(s) x 2 modes"
+    )
+    return failing
+
+
+if __name__ == "__main__":
+    sys.exit(main())

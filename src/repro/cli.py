@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli chase     setting.json source.txt [target.txt]
     python -m repro.cli sync      setting.json snap1.txt [snap2.txt ...] [--delta]
     python -m repro.cli simulate  [name|scenario.json] [--seed N] [--delta] [--log] [--lint [--force]]
+    python -m repro.cli serve     setting.json --peers a,b,c --journal-dir DIR [--listen HOST:PORT|unix:PATH]
+    python -m repro.cli connect   ADDR setting.json snap1.txt [snap2.txt ...] --peer NAME [--delta]
     python -m repro.cli profile   clique [--size N] [--top K] [--trace out.jsonl]
 
 Setting files use the JSON format of :mod:`repro.io.serialization`;
@@ -57,6 +59,18 @@ enables the same protocol inside the network simulator: publishes carry
 deltas keyed on the previous stamp, chain breaks trigger per-peer
 full-snapshot fallbacks, and the transport's ``facts_sent`` counter
 shows the wire reduction.
+
+``serve`` runs the :mod:`repro.netd` daemon: one journaled sync session
+per ``--peers`` name behind a TCP or unix socket (``--listen``; port 0
+picks a free port and the bound address is printed on startup).
+``SIGTERM``/``SIGINT`` trigger the graceful drain — in-flight rounds
+finish under ``--drain`` seconds, journals commit, connections get a
+``BYE`` — and the process exits 0 when the drain completed, 4 when the
+deadline expired with rounds still queued.  ``connect`` is the
+publisher: it replays snapshot files against a running daemon as
+stamped rounds (``--delta`` ships increments with full-snapshot
+fallback) and exits 0 when every round applied (or replayed stale), 1
+when any was rejected, 4 when any degraded or never got through.
 
 Observability: ``solve``, ``certain``, and ``sync`` accept ``--trace
 PATH`` (record a span tree to a JSONL file readable with
@@ -560,6 +574,132 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if report.converged else EXIT_DEGRADED
 
 
+def _parse_address(text: str):
+    """``HOST:PORT`` → a TCP pair, ``unix:PATH`` → a unix-socket path."""
+    if text.startswith("unix:"):
+        return text[len("unix:"):]
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(
+            f"address {text!r} is neither HOST:PORT nor unix:PATH"
+        )
+    return (host, int(port))
+
+
+def _format_address(address) -> str:
+    if isinstance(address, str):
+        return f"unix:{address}"
+    return f"{address[0]}:{address[1]}"
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.netd import SyncDaemon
+
+    try:
+        listen = _parse_address(args.listen)
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    peers = [name.strip() for name in args.peers.split(",") if name.strip()]
+    if not peers:
+        print("serve: --peers needs at least one peer name", file=sys.stderr)
+        return 2
+    setting = _load_setting(args.setting)
+    tracer, registry = _build_obs(args)
+
+    async def serve() -> bool:
+        daemon = SyncDaemon(
+            setting,
+            peers,
+            listen=listen,
+            journal_dir=args.journal_dir,
+            node_cap=args.budget,
+            round_deadline=args.deadline,
+            heartbeat_interval=args.heartbeat,
+            idle_timeout=args.idle_timeout,
+            max_queue=args.max_queue,
+            drain_deadline=args.drain,
+            tracer=tracer,
+            metrics=registry,
+        )
+        await daemon.start()
+        for name in peers:
+            watermark = daemon.watermark(name)
+            if watermark is not None:
+                print(f"resumed {name} at stamp {watermark}", flush=True)
+        # Last line before readiness, parseable by scripts (and the CLI
+        # tests): the bound address.
+        print(f"serving on {_format_address(daemon.address)}", flush=True)
+
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stopping.set)
+        await stopping.wait()
+        print("draining...", flush=True)
+        return await daemon.stop(drain=True)
+
+    drained = asyncio.run(serve())
+    print(f"stopped ({'drained' if drained else 'drain deadline exceeded'})")
+    _finish_obs(args, tracer, registry)
+    return 0 if drained else EXIT_DEGRADED
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.exceptions import ReproError
+    from repro.netd import PublisherClient
+    from repro.sync import Stamp
+
+    try:
+        address = _parse_address(args.address)
+    except ValueError as error:
+        print(f"connect: {error}", file=sys.stderr)
+        return 2
+    # The setting is loaded for validation parity with the daemon side
+    # (and to fail fast on a bad file before dialing).
+    _load_setting(args.setting)
+    snapshots = [_load_instance(path) for path in args.snapshots]
+    tracer, registry = _build_obs(args)
+
+    async def publish() -> list[str]:
+        client = PublisherClient(
+            address,
+            args.peer,
+            sender=args.sender,
+            deltas=args.delta,
+            ack_timeout=args.ack_timeout,
+            tracer=tracer,
+            metrics=registry,
+        )
+        await client.start()
+        outcomes = []
+        try:
+            for index, snapshot in enumerate(snapshots):
+                stamp = Stamp(args.epoch, index + 1)
+                outcome = await client.publish(stamp, snapshot)
+                outcomes.append(outcome)
+                print(f"round stamp={stamp}: {outcome}", flush=True)
+        finally:
+            await client.close()
+        return outcomes
+
+    try:
+        outcomes = asyncio.run(publish())
+    except ReproError as error:
+        print(f"connect: {error}", file=sys.stderr)
+        return EXIT_DEGRADED
+    _finish_obs(args, tracer, registry)
+    if any(outcome not in ("applied", "stale") for outcome in outcomes):
+        rejected = any(outcome == "rejected" for outcome in outcomes)
+        return 1 if rejected else EXIT_DEGRADED
+    return 0
+
+
 def _profile_run(workload, size: int):
     """Run one profiling workload under a fresh tracer.
 
@@ -791,6 +931,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_options(simulate_cmd)
     simulate_cmd.set_defaults(handler=_cmd_simulate)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the netd sync daemon (exit 0 drained / 4 drain expired)",
+    )
+    serve_cmd.add_argument("setting")
+    serve_cmd.add_argument(
+        "--peers", required=True, metavar="A,B,C",
+        help="comma-separated names of the hosted subscriber peers",
+    )
+    serve_cmd.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT|unix:PATH",
+        help=(
+            "listen address; port 0 picks a free port, printed on startup "
+            "(default: 127.0.0.1:0)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--journal-dir", metavar="DIR",
+        help="per-peer journal directory; existing journals are resumed",
+    )
+    serve_cmd.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="SECONDS",
+        help="heartbeat interval on idle connections (default: 1.0)",
+    )
+    serve_cmd.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="close connections silent this long (default: 4x heartbeat)",
+    )
+    serve_cmd.add_argument(
+        "--max-queue", type=int, default=32, metavar="N",
+        help="bound on send and ingest queues per connection (default: 32)",
+    )
+    serve_cmd.add_argument(
+        "--drain", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-shutdown deadline for in-flight rounds (default: 5.0)",
+    )
+    _add_budget_options(serve_cmd)
+    _add_obs_options(serve_cmd)
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    connect_cmd = commands.add_parser(
+        "connect",
+        help="publish snapshots to a running daemon (exit 0/1/4)",
+    )
+    connect_cmd.add_argument("address", metavar="HOST:PORT|unix:PATH")
+    connect_cmd.add_argument("setting")
+    connect_cmd.add_argument(
+        "snapshots", nargs="+", help="source snapshots, in publish order"
+    )
+    connect_cmd.add_argument(
+        "--peer", required=True, help="the hosted peer to publish to"
+    )
+    connect_cmd.add_argument(
+        "--sender", default="origin", help="publisher name (default: origin)"
+    )
+    connect_cmd.add_argument(
+        "--epoch", type=int, default=1, metavar="N",
+        help="stamp epoch; bump after a publisher restart (default: 1)",
+    )
+    connect_cmd.add_argument(
+        "--delta", action="store_true",
+        help="ship (added, withdrawn) increments with snapshot fallback",
+    )
+    connect_cmd.add_argument(
+        "--ack-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-round wait for the daemon's ACK (default: 5.0)",
+    )
+    _add_obs_options(connect_cmd)
+    connect_cmd.set_defaults(handler=_cmd_connect)
 
     describe_cmd = commands.add_parser(
         "describe", help="markdown analysis report / DOT graphs"

@@ -20,6 +20,7 @@ __all__ = [
     "JournalError",
     "TraceError",
     "NotWeaklyAcyclicError",
+    "ProtocolError",
 ]
 
 
@@ -160,4 +161,17 @@ class SimulationError(ReproError):
     reference unknown peers — never a fault *injected by* the scenario
     (injected faults are the simulation working as intended and surface
     in the :class:`repro.net.SimulationReport` instead).
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a :mod:`repro.netd` wire frame violates the protocol.
+
+    Covers structural damage the codec refuses to guess about: a bad
+    magic/version byte, an unknown frame type, a frame larger than the
+    negotiated maximum, or a payload that is not the UTF-8 JSON object
+    the frame type requires.  The daemon's contract is *close, don't
+    corrupt*: a connection that raises this is torn down and the peer
+    reconnects from its journal-committed watermark — it is never fed
+    into a :class:`~repro.sync.SyncSession`.
     """

@@ -56,6 +56,9 @@ from repro.net.simulator import (
     ConvergenceReport,
     NetworkSimulator,
     SimulationReport,
+    check_convergence,
+    oracle_state,
+    states_agree,
 )
 from repro.net.transport import Delta, Message, SimTransport
 
@@ -75,15 +78,18 @@ __all__ = [
     "Scenario",
     "SimTransport",
     "SimulationReport",
+    "check_convergence",
     "crash_scenario",
     "dumps_scenario",
     "genomics_churn_scenario",
     "genomics_scenario",
     "is_scenario_dict",
     "loads_scenario",
+    "oracle_state",
     "registry_scenario",
     "registry_setting",
     "scenario_from_dict",
     "scenario_registry",
     "scenario_to_dict",
+    "states_agree",
 ]

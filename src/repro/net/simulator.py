@@ -64,7 +64,14 @@ from repro.runtime.faults import FaultClock
 from repro.runtime.journal import SessionJournal
 from repro.sync.session import Stamp, SyncSession
 
-__all__ = ["ConvergenceReport", "NetworkSimulator", "SimulationReport"]
+__all__ = [
+    "ConvergenceReport",
+    "NetworkSimulator",
+    "SimulationReport",
+    "check_convergence",
+    "oracle_state",
+    "states_agree",
+]
 
 
 @dataclass
@@ -126,7 +133,7 @@ class SimulationReport:
         return self.convergence is not None and self.convergence.converged
 
 
-def _states_agree(actual: Instance, expected: Instance) -> bool:
+def states_agree(actual: Instance, expected: Instance) -> bool:
     """Instance equality up to renaming of labeled nulls.
 
     Sync rounds invent fresh nulls, so two histories that converge on
@@ -140,6 +147,89 @@ def _states_agree(actual: Instance, expected: Instance) -> bool:
         len(actual) == len(expected)
         and has_instance_homomorphism(actual, expected)
         and has_instance_homomorphism(expected, actual)
+    )
+
+
+#: Backwards-compatible alias (the helper predates the public name).
+_states_agree = states_agree
+
+
+def oracle_state(scenario: Scenario, pinned: Instance | None = None) -> Instance:
+    """The fault-free oracle materialization for one peer of ``scenario``.
+
+    Replays *all* of the scenario's snapshots, in order, through a fresh
+    :class:`~repro.sync.SyncSession` holding ``pinned`` — the run a
+    perfect network would have produced.  A replay the protocol itself
+    refuses (rejected or degraded snapshot) raises
+    :class:`~repro.exceptions.SimulationError` naming the snapshot.
+    """
+    pinned = pinned if pinned is not None else Instance()
+    session = SyncSession(scenario.setting, pinned=pinned.copy())
+    for index, snapshot in enumerate(scenario.snapshots):
+        outcome = session.sync(snapshot, stamp=Stamp(1, index + 1))
+        if not outcome.ok or outcome.degraded:
+            # Not a driver bug but a scenario whose inputs the protocol
+            # itself refuses (e.g. pinned facts no snapshot vouches
+            # for): diagnose it instead of crashing with a bare
+            # RuntimeError.
+            verb = "degraded on" if outcome.degraded else "rejected"
+            raise SimulationError(
+                f"scenario {scenario.name!r} has no fault-free oracle: "
+                f"the perfect-network replay {verb} snapshot {index} "
+                f"(stamp {Stamp(1, index + 1)}): {outcome.reason}"
+            )
+    return session.state()
+
+
+def check_convergence(
+    scenario: Scenario,
+    states: dict[str, Instance],
+    unreachable: list[str] | None = None,
+) -> ConvergenceReport:
+    """Compare reached peer states against the fault-free oracle.
+
+    ``states`` maps each *reachable* peer to its final materialization;
+    ``unreachable`` names the peers excluded from the verdict (crashed,
+    or partitioned away from the publisher at quiescence).  This is the
+    transport-independent core of the convergence invariant: the
+    :class:`NetworkSimulator` calls it on its in-memory
+    :class:`~repro.net.PeerNode`\\ s, and the :mod:`repro.netd` chaos
+    harness calls it on states collected from real daemons over real
+    sockets — the same oracle judges both.
+
+    Oracle sessions are cached per distinct pinned instance, since most
+    peers pin nothing.  When *every* peer is unreachable the verdict is
+    vacuously converged (``vacuous=True``), not a divergence.
+    """
+    unreachable = list(unreachable) if unreachable is not None else []
+    oracles: list[tuple[Instance, Instance]] = []
+
+    def cached_oracle(pinned: Instance | None) -> Instance:
+        pinned = pinned if pinned is not None else Instance()
+        for known_pinned, state in oracles:
+            if known_pinned == pinned:
+                return state
+        state = oracle_state(scenario, pinned)
+        oracles.append((pinned, state))
+        return state
+
+    peers: dict[str, bool] = {}
+    for name in scenario.peers:
+        if name not in states:
+            if name not in unreachable:
+                unreachable.append(name)
+            continue
+        expected = cached_oracle(scenario.pinned.get(name))
+        peers[name] = states_agree(states[name], expected)
+    # Unreachable peers are excluded from the check, so a run whose
+    # every peer ended crashed or partitioned converges *vacuously*:
+    # nothing reachable diverged.  (all() of an empty dict is True.)
+    return ConvergenceReport(
+        converged=all(peers.values()),
+        peers=peers,
+        unreachable=unreachable,
+        oracle_size=len(cached_oracle(None)),
+        vacuous=not peers,
     )
 
 
@@ -169,6 +259,9 @@ class NetworkSimulator:
             the full snapshot, with per-peer full-snapshot fallback on a
             broken chain.  Purely a wire optimization: convergence and
             final states are identical with or without it.
+        max_queue: per-recipient in-flight bound handed to the
+            :class:`~repro.net.SimTransport` (see its ``max_queue``);
+            None keeps the transport unbounded.
     """
 
     def __init__(
@@ -179,6 +272,7 @@ class NetworkSimulator:
         metrics: MetricsRegistry | None = None,
         anti_entropy_limit: int = 8,
         deltas: bool = False,
+        max_queue: int | None = None,
     ) -> None:
         if scenario.co_publishers:
             # The multi-publisher merge (trust-ordered, cf. the Scenario
@@ -202,6 +296,7 @@ class NetworkSimulator:
             reorder_delay=scenario.reorder_delay,
             tracer=self.tracer,
             metrics=metrics,
+            max_queue=max_queue,
         )
         for link, schedule in scenario.faults.items():
             self.transport.set_schedule(link[0], link[1], schedule)
@@ -490,16 +585,9 @@ class NetworkSimulator:
     def check_convergence(self) -> ConvergenceReport:
         """Compare every reachable peer against the fault-free oracle.
 
-        The oracle replays *all* snapshots, in order, through a fresh
-        session with the peer's pinned facts — the run a perfect network
-        would have produced.  Oracle sessions are cached per distinct
-        pinned instance, since most peers pin nothing.  A replay the
-        protocol itself refuses (rejected or degraded snapshot) raises
-        :class:`~repro.exceptions.SimulationError` naming the snapshot.
-
-        Unreachable peers are excluded; when *every* peer is unreachable
-        the verdict is vacuously converged (``vacuous=True``) with the
-        full unreachable list, not a divergence.
+        Delegates to the module-level :func:`check_convergence` — the
+        transport-independent core shared with the :mod:`repro.netd`
+        chaos harness — on this run's reachable peer states.
 
         States are compared up to renaming of labeled nulls: each sync
         round invents fresh nulls, so a peer that skipped a since-
@@ -509,51 +597,15 @@ class NetworkSimulator:
         homomorphism as the fallback (homomorphic equivalence — the same
         certain answers).
         """
-        oracles: list[tuple[Instance, Instance]] = []
-
-        def oracle_state(pinned: Instance | None) -> Instance:
-            pinned = pinned if pinned is not None else Instance()
-            for known_pinned, state in oracles:
-                if known_pinned == pinned:
-                    return state
-            session = SyncSession(self.scenario.setting, pinned=pinned.copy())
-            for index, snapshot in enumerate(self.scenario.snapshots):
-                outcome = session.sync(snapshot, stamp=Stamp(1, index + 1))
-                if not outcome.ok or outcome.degraded:
-                    # Not a simulator bug but a scenario whose inputs the
-                    # protocol itself refuses (e.g. pinned facts no
-                    # snapshot vouches for): diagnose it instead of
-                    # crashing with a bare RuntimeError.
-                    verb = "degraded on" if outcome.degraded else "rejected"
-                    raise SimulationError(
-                        f"scenario {self.scenario.name!r} has no fault-free "
-                        f"oracle: the perfect-network replay {verb} snapshot "
-                        f"{index} (stamp {Stamp(1, index + 1)}): "
-                        f"{outcome.reason}"
-                    )
-            state = session.state()
-            oracles.append((pinned, state))
-            return state
-
-        peers: dict[str, bool] = {}
+        states: dict[str, Instance] = {}
         unreachable: list[str] = []
         for name in self.scenario.peers:
             if not self.reachable(name):
                 unreachable.append(name)
                 continue
-            expected = oracle_state(self.scenario.pinned.get(name))
-            peers[name] = _states_agree(self.nodes[name].state(), expected)
-        # Unreachable peers are excluded from the check, so a run whose
-        # every peer ended crashed or partitioned converges *vacuously*:
-        # nothing reachable diverged.  (all() of an empty dict is True.)
-        converged = all(peers.values())
-        report = ConvergenceReport(
-            converged=converged,
-            peers=peers,
-            unreachable=unreachable,
-            oracle_size=len(oracle_state(None)),
-            vacuous=not peers,
-        )
+            states[name] = self.nodes[name].state()
+        report = check_convergence(self.scenario, states, unreachable)
+        peers = report.peers
         self._note(
             "convergence "
             + (

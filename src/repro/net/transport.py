@@ -118,6 +118,17 @@ class SimTransport:
         tracer: optional :class:`~repro.obs.Tracer` for ``net.*`` events.
         metrics: optional :class:`~repro.obs.MetricsRegistry` for
             ``net.*`` delivery counters.
+        max_queue: per-recipient bound on in-flight messages.  A
+            subscriber that never drains (a stalled driver, a crashed
+            peer nobody garbage-collects) must not grow the publisher's
+            memory without bound: when a send would leave more than
+            ``max_queue`` messages queued for one recipient, the *oldest*
+            in-flight message to that recipient is evicted (degrading the
+            stream to its newest snapshots — every snapshot is
+            authoritative, so dropping a superseded one loses nothing
+            anti-entropy cannot repair) and a ``net.queue_evicted`` event
+            and counter fire.  None (the default) keeps the historical
+            unbounded behavior.
     """
 
     def __init__(
@@ -128,15 +139,19 @@ class SimTransport:
         duplicate_lag: float | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        max_queue: int | None = None,
     ) -> None:
         if latency <= 0:
             raise ValueError(f"latency must be positive, got {latency}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
         self.clock = clock
         self.latency = latency
         self.reorder_delay = reorder_delay if reorder_delay is not None else 4 * latency
         self.duplicate_lag = duplicate_lag if duplicate_lag is not None else latency / 2
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.max_queue = max_queue
         self._queue: list[tuple[float, int, Message]] = []
         self._enqueued = 0
         self._send_index: dict[tuple[str, str], int] = {}
@@ -151,6 +166,7 @@ class SimTransport:
             "reordered": 0,
             "delayed": 0,
             "facts_sent": 0,
+            "queue_evicted": 0,
         }
 
     # ------------------------------------------------------------------
@@ -248,6 +264,27 @@ class SimTransport:
     def _enqueue(self, deliver_at: float, message: Message) -> None:
         heapq.heappush(self._queue, (deliver_at, self._enqueued, message))
         self._enqueued += 1
+        if self.max_queue is None:
+            return
+        backlog = [
+            entry for entry in self._queue
+            if entry[2].recipient == message.recipient
+        ]
+        if len(backlog) <= self.max_queue:
+            return
+        # Degrade to the newest snapshots: evict the recipient's oldest
+        # in-flight message (earliest delivery, then send order).  The
+        # evicted snapshot is superseded by what remains queued, so the
+        # recipient converges exactly as if the link had dropped it.
+        victim = min(backlog)
+        self._queue.remove(victim)
+        heapq.heapify(self._queue)
+        self._count("queue_evicted")
+        self.tracer.event(
+            "net.queue_evicted",
+            message=victim[2].describe(),
+            depth=self.max_queue,
+        )
 
     def pending(self) -> int:
         """Messages still in flight."""

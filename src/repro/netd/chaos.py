@@ -1,0 +1,348 @@
+"""A socket-level fault proxy: the simulator's chaos, on real sockets.
+
+:class:`ChaosProxy` sits between a :class:`~repro.netd.PublisherClient`
+and a :class:`~repro.netd.SyncDaemon` and afflicts the *data* frames
+flowing upstream exactly the way :class:`~repro.net.SimTransport`
+afflicts simulated sends: per frame it consults a seeded
+:class:`~repro.runtime.FaultSchedule` — the same object, with the same
+``Random(f"{seed}:{index}")`` per-index draws — and **drops**,
+**delays**, **reorders** (a held-back frame is overtaken by later ones),
+or **duplicates** the frame.  A ``sever`` index set additionally kills
+the TCP connection outright when that frame crosses, and
+:meth:`partition` / :meth:`heal` model network splits (new connections
+refused, existing ones severed).
+
+Determinism contract: only ``SNAPSHOT`` / ``DELTA`` frames consume
+schedule indices, and the per-link frame counter persists across
+reconnects — so publish *i* on a link meets the same
+:class:`~repro.runtime.FaultDecision` the simulator's send *i* meets,
+regardless of how many handshakes, heartbeats, or reconnects happen in
+between.  That is what lets the chaos harness re-run a simulator
+scenario against real sockets and compare final states byte for byte.
+
+Control frames (``HELLO``/``HEARTBEAT``/``BYE``…) pass through
+unafflicted and uncounted: faulting the handshake tests asyncio's
+reconnect plumbing, not the sync protocol.  The downstream direction
+(ACKs, heartbeats) is a transparent byte pipe — the simulator has no
+ACK channel, so chaos there would make the runs incomparable (lost ACKs
+are still exercised: a dropped upstream frame never gets ACKed and the
+client times out).
+
+Virtual fault-schedule seconds are scaled to wall-clock by
+``time_scale`` so a scenario scripted in simulator time runs in
+milliseconds of real time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Iterable
+
+from repro.netd.daemon import open_stream
+from repro.netd.frames import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    FrameKind,
+    encode_frame,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.runtime.faults import FaultSchedule
+
+__all__ = ["ChaosProxy"]
+
+#: Frame kinds the fault schedule applies to (and counts indices for).
+_DATA_KINDS = (FrameKind.SNAPSHOT, FrameKind.DELTA)
+
+
+class ChaosProxy:
+    """A seeded fault-injecting TCP/unix proxy for one publisher link.
+
+    Args:
+        upstream: the daemon's address — ``(host, port)`` or unix path.
+        schedule: the link's :class:`~repro.runtime.FaultSchedule`; None
+            forwards everything cleanly (a pure latency proxy).
+        listen: the proxy's own listen address (TCP port 0 by default).
+        latency: base one-way latency for afflicted-direction data
+            frames, in virtual seconds (mirrors ``SimTransport.latency``).
+        reorder_delay: extra virtual seconds a reordered frame is held;
+            defaults to ``4 * latency`` like the simulator.
+        duplicate_lag: how far behind the original a duplicate trails;
+            defaults to ``latency / 2`` like the simulator.
+        time_scale: wall-clock seconds per virtual second.
+        sever: data-frame indices at which the connection is killed
+            (the frame itself is lost with it).
+        tracer / metrics: optional ``chaos.*`` instrumentation.
+    """
+
+    def __init__(
+        self,
+        upstream: Any,
+        schedule: FaultSchedule | None = None,
+        listen: Any = ("127.0.0.1", 0),
+        latency: float = 0.05,
+        reorder_delay: float | None = None,
+        duplicate_lag: float | None = None,
+        time_scale: float = 0.02,
+        sever: Iterable[int] = (),
+        max_frame: int = DEFAULT_MAX_FRAME,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.upstream = upstream
+        self.schedule = schedule
+        self.listen = listen
+        self.latency = latency
+        self.reorder_delay = (
+            reorder_delay if reorder_delay is not None else 4 * latency
+        )
+        self.duplicate_lag = (
+            duplicate_lag if duplicate_lag is not None else latency / 2
+        )
+        self.time_scale = time_scale
+        self.sever = frozenset(sever)
+        self.max_frame = max_frame
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.partitioned = False
+        # Persists across reconnects: publish i always meets decision i.
+        self._data_index = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._links: set["_ProxyLink"] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self.stats: dict[str, int] = {
+            "connections": 0, "refused": 0, "forwarded": 0, "dropped": 0,
+            "delayed": 0, "reordered": 0, "duplicated": 0, "severed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        if isinstance(self.listen, str):
+            self._server = await asyncio.start_unix_server(
+                self._accept, path=self.listen
+            )
+        else:
+            host, port = self.listen
+            self._server = await asyncio.start_server(
+                self._accept, host=host, port=port
+            )
+
+    @property
+    def address(self):
+        """Where clients should connect (the proxy's bound address)."""
+        if isinstance(self.listen, str):
+            return self.listen
+        assert self._server is not None, "proxy not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._tasks):
+            task.cancel()
+        for link in list(self._links):
+            link.abort()
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+
+    def partition(self) -> None:
+        """Split the link: refuse new connections, sever existing ones."""
+        self.partitioned = True
+        self.tracer.event("chaos.partition", upstream=str(self.upstream))
+        for link in list(self._links):
+            link.abort()
+            self.stats["severed"] += 1
+
+    def heal(self) -> None:
+        self.partitioned = False
+        self.tracer.event("chaos.heal", upstream=str(self.upstream))
+
+    # ------------------------------------------------------------------
+    # the proxy machinery
+    # ------------------------------------------------------------------
+
+    def _count(self, counter: str) -> None:
+        self.stats[counter] += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"chaos.{counter}").inc()
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.partitioned:
+            self._count("refused")
+            writer.close()
+            return
+        try:
+            up_reader, up_writer = await open_stream(self.upstream)
+        except (ConnectionError, OSError):
+            self._count("refused")
+            writer.close()
+            return
+        self._count("connections")
+        link = _ProxyLink(self, reader, writer, up_reader, up_writer)
+        self._links.add(link)
+        try:
+            await link.run()
+        finally:
+            self._links.discard(link)
+
+    def _spawn(self, coroutine) -> None:
+        task = asyncio.create_task(coroutine)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+
+class _ProxyLink:
+    """One proxied connection: chaotic upstream pump, clean downstream."""
+
+    def __init__(
+        self,
+        proxy: ChaosProxy,
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+        daemon_reader: asyncio.StreamReader,
+        daemon_writer: asyncio.StreamWriter,
+    ) -> None:
+        self.proxy = proxy
+        self.client_reader = client_reader
+        self.client_writer = client_writer
+        self.daemon_reader = daemon_reader
+        self.daemon_writer = daemon_writer
+        self.decoder = FrameDecoder(max_frame=proxy.max_frame)
+        # Serializes upstream writes; a delayed frame releases the lock
+        # while sleeping, so later frames overtake it (reordering).
+        self.write_lock = asyncio.Lock()
+        self.dead = False
+
+    async def run(self) -> None:
+        upstream = asyncio.create_task(self._pump_upstream())
+        downstream = asyncio.create_task(self._pump_downstream())
+        try:
+            done, pending = await asyncio.wait(
+                {upstream, downstream}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+        finally:
+            self.abort()
+
+    def abort(self) -> None:
+        """Kill both directions abruptly (sever / partition / teardown)."""
+        if self.dead:
+            return
+        self.dead = True
+        for writer in (self.client_writer, self.daemon_writer):
+            transport = writer.transport
+            try:
+                if transport is not None:
+                    transport.abort()
+                else:
+                    writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _pump_downstream(self) -> None:
+        """daemon → client: a transparent byte pipe (no chaos on ACKs)."""
+        try:
+            while not self.dead:
+                data = await self.daemon_reader.read(64 * 1024)
+                if not data:
+                    return
+                self.client_writer.write(data)
+                await self.client_writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            return
+
+    async def _pump_upstream(self) -> None:
+        """client → daemon: frame-aware, fault-schedule-driven."""
+        proxy = self.proxy
+        try:
+            while not self.dead:
+                data = await self.client_reader.read(64 * 1024)
+                if not data:
+                    return
+                for frame in self.decoder.feed(data):
+                    encoded = encode_frame(
+                        frame.kind, frame.payload, proxy.max_frame
+                    )
+                    if frame.kind not in _DATA_KINDS:
+                        await self._write(encoded)
+                        continue
+                    if not await self._afflict(encoded, frame):
+                        return  # severed
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            return
+
+    async def _afflict(self, encoded: bytes, frame) -> bool:
+        """Apply the schedule to one data frame; False when severed."""
+        proxy = self.proxy
+        index = proxy._data_index
+        proxy._data_index += 1
+        if index in proxy.sever:
+            proxy._count("severed")
+            proxy.tracer.event(
+                "chaos.sever", index=index, frame=frame.describe()
+            )
+            self.abort()
+            return False
+        decision = (
+            proxy.schedule.decide(index)
+            if proxy.schedule is not None
+            else None
+        )
+        if decision is not None and decision.drop:
+            proxy._count("dropped")
+            proxy.tracer.event(
+                "chaos.drop", index=index, frame=frame.describe()
+            )
+            return True
+        hold = proxy.latency
+        if decision is not None:
+            if decision.delay > 0:
+                hold += decision.delay
+                proxy._count("delayed")
+            if decision.reorder:
+                hold += proxy.reorder_delay
+                proxy._count("reordered")
+        await self._deliver(encoded, hold * proxy.time_scale)
+        proxy._count("forwarded")
+        if decision is not None and decision.duplicate:
+            proxy._count("duplicated")
+            proxy.tracer.event("chaos.duplicate", index=index)
+            proxy._spawn(
+                self._deliver_later(
+                    encoded, (hold + proxy.duplicate_lag) * proxy.time_scale
+                )
+            )
+        return True
+
+    async def _deliver(self, encoded: bytes, hold_s: float) -> None:
+        """Forward after ``hold_s``; long holds detach so later frames pass."""
+        if hold_s > self.proxy.latency * self.proxy.time_scale:
+            self.proxy._spawn(self._deliver_later(encoded, hold_s))
+            return
+        if hold_s > 0:
+            await asyncio.sleep(hold_s)
+        await self._write(encoded)
+
+    async def _deliver_later(self, encoded: bytes, hold_s: float) -> None:
+        try:
+            await asyncio.sleep(hold_s)
+            await self._write(encoded)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            return
+
+    async def _write(self, encoded: bytes) -> None:
+        if self.dead:
+            return
+        async with self.write_lock:
+            if self.dead:
+                return
+            self.daemon_writer.write(encoded)
+            await self.daemon_writer.drain()

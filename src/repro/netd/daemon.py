@@ -1,0 +1,757 @@
+"""The crash-tolerant asyncio sync daemon.
+
+:class:`SyncDaemon` is the serving half of :mod:`repro.netd`: one
+asyncio process hosting one journal-backed
+:class:`~repro.sync.SyncSession` per subscriber peer, multiplexing any
+number of publisher connections over TCP or unix sockets.  It is the
+:class:`~repro.net.PeerNode` contract made real: stamped idempotent
+ingestion, per-peer write-ahead journals, and graceful degradation under
+per-peer :class:`~repro.runtime.Budget`\\ s — which together make a
+``kill -9`` at *any* instant recoverable by restarting the daemon on the
+same journal directory (un-acked rounds are simply redelivered and
+replay as stale or apply once, never twice).
+
+Robustness machinery, per connection:
+
+* **framed protocol** — every byte is parsed by the
+  :class:`~repro.netd.FrameDecoder`; structural damage raises
+  :class:`~repro.exceptions.ProtocolError`, is answered with an
+  ``ERROR`` frame, and closes the connection (*close, don't corrupt*);
+* **heartbeats + idle timeout** — the daemon emits ``HEARTBEAT`` frames
+  while idle and tears down connections that go silent for
+  ``idle_timeout`` seconds, so half-open TCP connections cannot pin
+  resources forever;
+* **bounded send queues** — outbound frames pass through a
+  :class:`SendQueue` whose depth never exceeds its configuration:
+  overflow waits briefly for the consumer (backpressure) and then
+  evicts the oldest evictable frame (degrade — the client treats a
+  missing ACK as a timeout and the journal keeps the truth);
+* **per-peer serial workers** — each peer's rounds run on a dedicated
+  worker (solves in a thread via :func:`asyncio.to_thread`, so one slow
+  chase never stalls another peer's ingestion or the heartbeats), with a
+  bounded ingest queue whose fullness propagates TCP backpressure by
+  pausing the reader.
+
+Lifecycle: ``STARTING → SERVING → DRAINING → STOPPED``
+(:class:`DaemonState`).  :meth:`SyncDaemon.stop` performs the graceful
+drain — stop accepting, finish queued rounds under ``drain_deadline``,
+journal-commit, ``BYE``, exit — while :meth:`SyncDaemon.abort` is the
+in-process equivalent of ``kill -9`` for crash tests: everything is
+dropped on the floor except what the journals already hold.
+
+Observability: ``netd.*`` spans and instruments throughout — per-round
+``netd.ingest`` spans, frame encode/decode spans, a ``netd.queue_depth``
+gauge (with ``netd.queue_peak`` proving the bound held), reconnect and
+drain counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from enum import Enum
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.core.instance import Instance
+from repro.core.setting import PDESetting
+from repro.exceptions import ProtocolError, SimulationError
+from repro.net.transport import Message
+from repro.netd.frames import (
+    DEFAULT_MAX_FRAME,
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_frame,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.runtime.budget import Budget
+from repro.runtime.journal import SessionJournal
+from repro.runtime.retry import RetryPolicy
+from repro.sync.session import Stamp, SyncSession
+
+__all__ = ["Address", "DaemonState", "SendQueue", "SyncDaemon", "open_stream"]
+
+#: A listen/connect address: ``(host, port)`` for TCP, a filesystem path
+#: (string or :class:`~pathlib.Path`) for a unix socket.
+Address = tuple[str, int] | str | Path
+
+
+class DaemonState(str, Enum):
+    """The daemon lifecycle (documented in ``docs/api.md``)."""
+
+    STARTING = "starting"
+    SERVING = "serving"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+
+
+async def open_stream(address) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a client stream to a TCP ``(host, port)`` or unix-path address."""
+    if isinstance(address, (str, Path)):
+        return await asyncio.open_unix_connection(str(address))
+    host, port = address
+    return await asyncio.open_connection(host, port)
+
+
+class SendQueue:
+    """A bounded outbound frame queue: backpressure, then degrade.
+
+    ``put`` appends an encoded frame.  When the queue is full it first
+    waits up to ``wait`` seconds for the writer to free a slot (genuine
+    backpressure on the producer); if the queue is *still* full it
+    evicts the oldest **evictable** entry — one enqueued with
+    ``evictable=True``, which senders use for frames whose loss the
+    protocol already tolerates (heartbeats, ACKs the client treats as
+    timeouts, superseded snapshots) — and counts a
+    ``netd.queue_evicted``.  Frames enqueued with ``evictable=False``
+    (handshakes, ``BYE``) are never evicted; if nothing is evictable the
+    *new* frame is the one dropped, so the depth bound holds
+    unconditionally (asserted by the ``netd.queue_peak`` gauge).
+    """
+
+    def __init__(
+        self,
+        depth: int = 32,
+        wait: float = 0.05,
+        metrics: MetricsRegistry | None = None,
+        name: str = "netd",
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be positive, got {depth}")
+        self.depth = depth
+        self.wait = wait
+        self.metrics = metrics
+        self.name = name
+        self._items: deque[tuple[bytes, bool]] = deque()
+        self._ready = asyncio.Event()
+        self._space = asyncio.Event()
+        self._space.set()
+        self.evicted = 0
+        self.peak = 0
+        self.closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _record_depth(self) -> None:
+        depth = len(self._items)
+        self.peak = max(self.peak, depth)
+        if self.metrics is not None:
+            self.metrics.gauge("netd.queue_depth").set(depth)
+            peak = self.metrics.gauge("netd.queue_peak")
+            peak.set(max(self.peak, peak.value or 0))
+
+    async def put(self, data: bytes, evictable: bool = True) -> None:
+        """Enqueue one encoded frame under the bounded-depth contract."""
+        if self.closed:
+            return
+        if len(self._items) >= self.depth:
+            # Backpressure: give the writer one chance to drain a slot.
+            self._space.clear()
+            try:
+                await asyncio.wait_for(self._space.wait(), timeout=self.wait)
+            except asyncio.TimeoutError:
+                pass
+        if len(self._items) >= self.depth:
+            # Degrade: shed the oldest evictable frame (or the new one).
+            self.evicted += 1
+            if self.metrics is not None:
+                self.metrics.counter("netd.queue_evicted").inc()
+            for index, (_, old_evictable) in enumerate(self._items):
+                if old_evictable:
+                    del self._items[index]
+                    break
+            else:
+                if evictable:
+                    self._record_depth()
+                    return  # nothing sheddable queued: shed the newcomer
+        self._items.append((data, evictable))
+        self._record_depth()
+        self._ready.set()
+
+    async def get(self) -> bytes | None:
+        """Dequeue the next frame; None once closed and empty."""
+        while not self._items:
+            if self.closed:
+                return None
+            self._ready.clear()
+            await self._ready.wait()
+        data, _ = self._items.popleft()
+        self._record_depth()
+        self._space.set()
+        return data
+
+    def close(self) -> None:
+        self.closed = True
+        self._ready.set()
+
+
+class _PeerHost:
+    """One hosted peer: its session, journal, and serial ingest worker."""
+
+    def __init__(
+        self,
+        name: str,
+        setting: PDESetting,
+        pinned: Instance | None,
+        journal: SessionJournal | None,
+        retry: RetryPolicy | None,
+        queue_depth: int,
+    ) -> None:
+        self.name = name
+        self.setting = setting
+        # Copy at the boundary, like PeerNode: a journal-free restart
+        # re-seeds from self.pinned and must not alias caller state.
+        self.pinned = pinned.copy() if pinned is not None else Instance()
+        self.journal = journal
+        self.retry = retry
+        self.session: SyncSession | None = None
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        self.worker: asyncio.Task | None = None
+        self.stats: dict[str, int] = {
+            "applied": 0, "stale": 0, "rejected": 0, "degraded": 0,
+            "chain_broken": 0, "unavailable": 0,
+        }
+
+    def open_session(self) -> None:
+        """(Re)build the session, resuming from the journal if present."""
+        if self.journal is not None and self.journal.exists():
+            self.session = SyncSession.resume(self.journal)
+            self.session.retry = self.retry
+        else:
+            self.session = SyncSession(
+                self.setting, pinned=self.pinned,
+                journal=self.journal, retry=self.retry,
+            )
+
+    @property
+    def watermark(self) -> Stamp | None:
+        return self.session.last_stamp if self.session is not None else None
+
+
+class SyncDaemon:
+    """An asyncio daemon hosting stamped sync sessions behind sockets.
+
+    Args:
+        setting: the PDE setting every hosted peer syncs under.
+        peers: names of the hosted subscriber peers.
+        listen: ``(host, port)`` for TCP (port 0 picks a free port) or a
+            path for a unix socket.
+        journal_dir: directory holding one ``<peer>.journal`` per peer;
+            sessions resume from existing journals at :meth:`start`.
+            None runs journal-free (a crash then loses all state).
+        pinned: optional per-peer pinned facts.
+        node_cap / round_deadline: per-round :class:`~repro.runtime.Budget`
+            caps applied to every peer's rounds (non-strict: a round that
+            runs out degrades, the state stays untouched).
+        peer_node_caps: per-peer ``node_cap`` overrides.
+        retry: optional :class:`~repro.runtime.RetryPolicy` for
+            budget-exhausted rounds (its blocking ``pause`` runs on the
+            worker thread, never the event loop).
+        heartbeat_interval: seconds between ``HEARTBEAT`` frames on an
+            otherwise idle connection.
+        idle_timeout: close a connection silent for this long (default
+            ``4 * heartbeat_interval``).
+        max_queue: depth bound for every outbound :class:`SendQueue` and
+            per-peer ingest queue.
+        max_frame: frame-size ceiling handed to codec and decoder.
+        drain_deadline: seconds :meth:`stop` waits for in-flight rounds.
+        tracer / metrics: optional :mod:`repro.obs` instrumentation
+            (``netd.*`` spans, counters, and gauges).
+    """
+
+    def __init__(
+        self,
+        setting: PDESetting,
+        peers: Iterable[str],
+        listen: Any = ("127.0.0.1", 0),
+        journal_dir: str | Path | None = None,
+        pinned: Mapping[str, Instance] | None = None,
+        node_cap: int | None = None,
+        round_deadline: float | None = None,
+        peer_node_caps: Mapping[str, int] | None = None,
+        retry: RetryPolicy | None = None,
+        heartbeat_interval: float = 1.0,
+        idle_timeout: float | None = None,
+        max_queue: int = 32,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        drain_deadline: float = 5.0,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.setting = setting
+        self.listen = listen
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.node_cap = node_cap
+        self.round_deadline = round_deadline
+        self.peer_node_caps = dict(peer_node_caps or {})
+        self.heartbeat_interval = heartbeat_interval
+        self.idle_timeout = (
+            idle_timeout if idle_timeout is not None else 4 * heartbeat_interval
+        )
+        self.max_queue = max_queue
+        self.max_frame = max_frame
+        self.drain_deadline = drain_deadline
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.state = DaemonState.STARTING
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+        pinned = pinned or {}
+        self.hosts: dict[str, _PeerHost] = {}
+        for name in peers:
+            journal = (
+                SessionJournal(self.journal_dir / f"{name}.journal")
+                if self.journal_dir is not None
+                else None
+            )
+            self.hosts[name] = _PeerHost(
+                name, setting, pinned.get(name), journal, retry, max_queue,
+            )
+        if not self.hosts:
+            raise SimulationError("a SyncDaemon needs at least one hosted peer")
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set["_Connection"] = set()
+        self._stopped = asyncio.Event()
+        self.stats: dict[str, int] = {
+            "connections": 0, "frames_received": 0, "acks_sent": 0,
+            "protocol_errors": 0, "idle_closed": 0, "heartbeats_sent": 0,
+            "drained_rounds": 0, "drain_dropped": 0, "queue_evicted": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open sessions (journal resume) and start listening."""
+        for host in self.hosts.values():
+            host.open_session()
+            host.worker = asyncio.create_task(
+                self._worker(host), name=f"netd-worker-{host.name}"
+            )
+        if isinstance(self.listen, (str, Path)):
+            self._server = await asyncio.start_unix_server(
+                self._serve_connection, path=str(self.listen)
+            )
+        else:
+            host_addr, port = self.listen
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=host_addr, port=port
+            )
+        self.state = DaemonState.SERVING
+        self.tracer.event("netd.serving", address=str(self.address))
+
+    @property
+    def address(self):
+        """The bound address: ``(host, port)`` for TCP, the path for unix."""
+        if isinstance(self.listen, (str, Path)):
+            return str(self.listen)
+        assert self._server is not None, "daemon not started"
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` (or :meth:`abort`) completes."""
+        await self._stopped.wait()
+
+    async def stop(self, drain: bool = True) -> bool:
+        """Graceful shutdown: drain in-flight rounds, commit, BYE, exit.
+
+        Returns True when every queued round finished inside
+        ``drain_deadline`` — journal commits happen per round, so
+        whatever drained is durable and whatever did not is redelivered
+        by the publisher after restart (and replays idempotently).
+        """
+        if self.state in (DaemonState.STOPPED,):
+            return True
+        self.state = DaemonState.DRAINING
+        self.tracer.event("netd.draining")
+        if self._server is not None:
+            self._server.close()
+        drained = True
+        if drain:
+            drained = await self._drain()
+        for host in self.hosts.values():
+            if host.worker is not None:
+                host.worker.cancel()
+        for connection in list(self._connections):
+            await connection.close(send_bye=True, reason="drain")
+        self.state = DaemonState.STOPPED
+        self.tracer.event("netd.stopped", drained=drained)
+        if self.metrics is not None:
+            self.metrics.counter("netd.drained_rounds").inc(
+                self.stats["drained_rounds"]
+            )
+        self._stopped.set()
+        return drained
+
+    async def _drain(self) -> bool:
+        """Wait for every ingest queue to empty, bounded by the deadline."""
+
+        async def queues_empty() -> None:
+            while any(not host.queue.empty() for host in self.hosts.values()):
+                await asyncio.sleep(0.01)
+            # One final tick so a worker mid-round can finish and ACK.
+            await asyncio.sleep(0.01)
+
+        try:
+            await asyncio.wait_for(queues_empty(), timeout=self.drain_deadline)
+            return True
+        except asyncio.TimeoutError:
+            dropped = sum(host.queue.qsize() for host in self.hosts.values())
+            self.stats["drain_dropped"] += dropped
+            self.tracer.event("netd.drain_deadline", dropped=dropped)
+            return False
+
+    def abort(self) -> None:
+        """``kill -9`` in process form: no drain, no BYE, no commits.
+
+        Everything in memory is discarded; only the fsynced journals
+        survive.  Crash tests restart a fresh daemon on the same
+        ``journal_dir`` and assert the resumed watermarks make every
+        redelivery a stale no-op.
+        """
+        if self._server is not None:
+            self._server.close()
+        for host in self.hosts.values():
+            if host.worker is not None:
+                host.worker.cancel()
+            host.session = None
+        for connection in list(self._connections):
+            connection.abort()
+        self.state = DaemonState.STOPPED
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # hosted peers
+    # ------------------------------------------------------------------
+
+    def watermark(self, peer: str) -> Stamp | None:
+        return self._host(peer).watermark
+
+    def peer_state(self, peer: str) -> Instance:
+        host = self._host(peer)
+        if host.session is None:
+            raise SimulationError(f"peer {peer!r} is crashed; no state")
+        return host.session.state()
+
+    def peer_stats(self, peer: str) -> dict[str, int]:
+        return dict(self._host(peer).stats)
+
+    def crash_peer(self, peer: str) -> None:
+        """Simulate one hosted peer's process death (memory loss)."""
+        host = self._host(peer)
+        if host.session is None:
+            raise SimulationError(f"peer {peer!r} is already crashed")
+        host.session = None
+
+    def restart_peer(self, peer: str) -> None:
+        """Bring a crashed hosted peer back, resuming from its journal."""
+        host = self._host(peer)
+        if host.session is not None:
+            raise SimulationError(f"peer {peer!r} is not crashed")
+        host.open_session()
+
+    def _host(self, peer: str) -> _PeerHost:
+        try:
+            return self.hosts[peer]
+        except KeyError:
+            raise SimulationError(
+                f"daemon hosts no peer {peer!r} "
+                f"(hosted: {', '.join(sorted(self.hosts))})"
+            )
+
+    # ------------------------------------------------------------------
+    # per-peer ingestion
+    # ------------------------------------------------------------------
+
+    def _budget(self, peer: str) -> Budget | None:
+        cap = self.peer_node_caps.get(peer, self.node_cap)
+        if cap is None and self.round_deadline is None:
+            return None
+        return Budget(
+            wall_time_s=self.round_deadline, node_cap=cap, strict=False
+        )
+
+    async def _worker(self, host: _PeerHost) -> None:
+        """Serially ingest this peer's messages; solves run in a thread."""
+        while True:
+            message, connection = await host.queue.get()
+            try:
+                outcome_payload = await self._ingest(host, message)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 - answer, don't die
+                outcome_payload = {
+                    "recipient": host.name,
+                    "stamp": [message.stamp.epoch, message.stamp.seq],
+                    "outcome": "error",
+                    "reason": str(error),
+                }
+            if self.state is DaemonState.DRAINING:
+                self.stats["drained_rounds"] += 1
+            if connection is not None and not connection.closed:
+                await connection.send(
+                    encode_frame(FrameKind.ACK, outcome_payload, self.max_frame)
+                )
+                self.stats["acks_sent"] += 1
+
+    async def _ingest(self, host: _PeerHost, message: Message) -> dict[str, Any]:
+        """Run one stamped round for ``host``; returns the ACK payload."""
+        if host.session is None:
+            host.stats["unavailable"] += 1
+            return {
+                "recipient": host.name,
+                "stamp": [message.stamp.epoch, message.stamp.seq],
+                "outcome": "unavailable",
+                "reason": f"peer {host.name!r} is crashed",
+            }
+        session = host.session
+        budget = self._budget(host.name)
+        with self.tracer.span(
+            "netd.ingest", peer=host.name, stamp=str(message.stamp)
+        ) as span:
+            if message.is_delta:
+                delta = message.payload
+                outcome = await asyncio.to_thread(
+                    session.sync_delta,
+                    delta.added,
+                    delta.withdrawn,
+                    base=delta.base,
+                    stamp=message.stamp,
+                    budget=budget,
+                    metrics=self.metrics,
+                )
+            else:
+                outcome = await asyncio.to_thread(
+                    session.sync,
+                    message.payload,
+                    stamp=message.stamp,
+                    budget=budget,
+                    metrics=self.metrics,
+                )
+            if outcome.stale:
+                verdict = "stale"
+            elif outcome.chain_broken:
+                verdict = "chain-broken"
+            elif outcome.degraded:
+                verdict = "degraded"
+            elif outcome.ok:
+                verdict = "applied"
+            else:
+                verdict = "rejected"
+            key = verdict.replace("-", "_")
+            host.stats[key] = host.stats.get(key, 0) + 1
+            if self.tracer.enabled:
+                span.set("outcome", verdict)
+        if self.metrics is not None:
+            self.metrics.counter(f"netd.rounds.{key}").inc()
+        watermark = host.watermark
+        return {
+            "recipient": host.name,
+            "stamp": [message.stamp.epoch, message.stamp.seq],
+            "outcome": verdict,
+            "reason": outcome.reason,
+            "state": len(outcome.state),
+            "watermark": (
+                [watermark.epoch, watermark.seq] if watermark is not None else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(self, reader, writer)
+        self._connections.add(connection)
+        self.stats["connections"] += 1
+        if self.metrics is not None:
+            self.metrics.counter("netd.connections").inc()
+        try:
+            await connection.run()
+        finally:
+            self._connections.discard(connection)
+
+
+class _Connection:
+    """One accepted publisher connection: reader, writer, heartbeats."""
+
+    def __init__(
+        self,
+        daemon: SyncDaemon,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.daemon = daemon
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder(max_frame=daemon.max_frame)
+        self.send_queue = SendQueue(
+            depth=daemon.max_queue, metrics=daemon.metrics
+        )
+        self.peer_name = "?"
+        self.closed = False
+        self.last_received = asyncio.get_running_loop().time()
+        self._writer_task: asyncio.Task | None = None
+        self._heartbeat_task: asyncio.Task | None = None
+
+    async def run(self) -> None:
+        self._writer_task = asyncio.create_task(self._write_loop())
+        self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
+        try:
+            await self._read_loop()
+        except ProtocolError as error:
+            self.daemon.stats["protocol_errors"] += 1
+            self.daemon.tracer.event("netd.protocol_error", error=str(error))
+            if self.daemon.metrics is not None:
+                self.daemon.metrics.counter("netd.protocol_errors").inc()
+            await self.send(
+                encode_frame(FrameKind.ERROR, {"error": str(error)}),
+                evictable=False,
+            )
+            await asyncio.sleep(0)  # let the writer flush the ERROR frame
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            await self.close(send_bye=False)
+
+    async def _read_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self.closed:
+            try:
+                data = await asyncio.wait_for(
+                    self.reader.read(64 * 1024),
+                    timeout=self.daemon.idle_timeout,
+                )
+            except asyncio.TimeoutError:
+                # Silent for a full idle window: treat as half-open.
+                self.daemon.stats["idle_closed"] += 1
+                self.daemon.tracer.event("netd.idle_closed", peer=self.peer_name)
+                return
+            if not data:
+                return  # orderly EOF
+            self.last_received = loop.time()
+            if self.daemon.tracer.enabled:
+                with self.daemon.tracer.span(
+                    "netd.frame-decode", bytes=len(data)
+                ):
+                    frames = self.decoder.feed(data)
+            else:
+                frames = self.decoder.feed(data)
+            for frame in frames:
+                self.daemon.stats["frames_received"] += 1
+                await self._handle(frame)
+
+    async def _handle(self, frame: Frame) -> None:
+        daemon = self.daemon
+        if frame.kind is FrameKind.HELLO:
+            self.peer_name = str(frame.payload.get("peer", "?"))
+            version = frame.payload.get("protocol")
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"peer {self.peer_name!r} speaks protocol {version!r}, "
+                    f"daemon speaks {PROTOCOL_VERSION}"
+                )
+            watermark = None
+            if self.peer_name in daemon.hosts:
+                stamp = daemon.hosts[self.peer_name].watermark
+                watermark = [stamp.epoch, stamp.seq] if stamp is not None else None
+            await self.send(
+                encode_frame(
+                    FrameKind.WELCOME,
+                    {
+                        "protocol": PROTOCOL_VERSION,
+                        "peer": self.peer_name,
+                        "watermark": watermark,
+                        "peers": sorted(daemon.hosts),
+                        "state": daemon.state.value,
+                    },
+                ),
+                evictable=False,
+            )
+        elif frame.kind in (FrameKind.SNAPSHOT, FrameKind.DELTA):
+            message = decode_message(
+                frame, schema=daemon.setting.source_schema
+            )
+            host = daemon.hosts.get(message.recipient)
+            if host is None:
+                raise ProtocolError(
+                    f"frame addressed to unhosted peer {message.recipient!r}"
+                )
+            # Bounded ingest queue: awaiting put() pauses this reader,
+            # which stops draining the socket — TCP backpressure reaches
+            # the publisher instead of the daemon buffering unboundedly.
+            await host.queue.put((message, self))
+        elif frame.kind is FrameKind.HEARTBEAT:
+            pass  # already refreshed last_received
+        elif frame.kind is FrameKind.BYE:
+            await self.close(send_bye=False)
+        else:
+            raise ProtocolError(
+                f"daemon cannot accept a {frame.kind.name} frame"
+            )
+
+    async def _heartbeat_loop(self) -> None:
+        while not self.closed:
+            await asyncio.sleep(self.daemon.heartbeat_interval)
+            if self.closed:
+                return
+            await self.send(encode_frame(FrameKind.HEARTBEAT, {}))
+            self.daemon.stats["heartbeats_sent"] += 1
+
+    async def _write_loop(self) -> None:
+        try:
+            while True:
+                data = await self.send_queue.get()
+                if data is None:
+                    return
+                self.writer.write(data)
+                await self.writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def send(self, data: bytes, evictable: bool = True) -> None:
+        await self.send_queue.put(data, evictable=evictable)
+
+    async def close(self, send_bye: bool, reason: str = "") -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if send_bye:
+            try:
+                self.writer.write(
+                    encode_frame(FrameKind.BYE, {"reason": reason})
+                )
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        self.daemon.stats["queue_evicted"] += self.send_queue.evicted
+        self.send_queue.close()
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+        try:
+            self.writer.close()
+        except (ConnectionError, OSError):
+            pass
+
+    def abort(self) -> None:
+        """Tear down with no goodbye (the kill-9 path)."""
+        self.closed = True
+        self.send_queue.close()
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+        transport = self.writer.transport
+        if transport is not None:
+            transport.abort()

@@ -1,0 +1,276 @@
+"""The :mod:`repro.netd` wire codec: length-prefixed, versioned frames.
+
+Everything the daemon and its clients exchange travels as *frames* on a
+byte stream (TCP or a unix socket).  A frame is an 8-byte header plus a
+UTF-8 JSON object payload::
+
+    offset  size  field
+    0       4     payload length N, big-endian unsigned  (header excluded)
+    4       1     protocol version  (currently 1)
+    5       1     frame kind        (see the FrameKind table)
+    6       2     reserved, must be zero
+
+    8       N     payload: one UTF-8-encoded JSON object
+
+Data frames (``SNAPSHOT`` / ``DELTA``) carry the same
+:class:`~repro.net.Message` / :class:`~repro.sync.Stamp` /
+:class:`~repro.net.Delta` values the in-memory simulator exchanges,
+serialized through :mod:`repro.io.serialization` — the wire format is
+the journal/scenario interchange format framed for a socket, so every
+payload is diffable with the rest of the library's on-disk artifacts.
+
+The codec is deliberately paranoid: a frame longer than ``max_frame``, a
+wrong version, an unknown kind, nonzero reserved bytes, or a payload
+that is not a JSON object raises
+:class:`~repro.exceptions.ProtocolError` — and the connection is then
+*closed*, never resynchronized (guessing at a framing boundary is how a
+codec corrupts a journal).  Because ingestion is stamped and journaled,
+closing is always safe: the peer reconnects and the watermark makes any
+replay a no-op.
+
+:class:`FrameDecoder` is a push parser: feed it whatever ``recv``
+returned and it yields every complete frame, buffering partial ones —
+usable identically from asyncio protocols, blocking sockets, and tests.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.exceptions import ProtocolError
+from repro.io.serialization import instance_from_dict, instance_to_dict
+from repro.net.transport import Delta, Message
+from repro.sync.session import Stamp
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "Frame",
+    "FrameDecoder",
+    "FrameKind",
+    "PROTOCOL_VERSION",
+    "decode_message",
+    "encode_frame",
+    "encode_message",
+]
+
+#: Wire protocol version; bump on any incompatible frame/payload change.
+PROTOCOL_VERSION = 1
+
+#: Default ceiling on one frame's payload, in bytes.  Generous for the
+#: library's fact sizes (a 10k-fact genomics snapshot is ~1 MiB) while
+#: bounding what one misbehaving peer can make the daemon buffer.
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+_HEADER = struct.Struct("!IBBH")
+
+
+class FrameKind(IntEnum):
+    """Every frame type the protocol defines."""
+
+    HELLO = 1      #: client → daemon: identify peer + role, open session
+    WELCOME = 2    #: daemon → client: handshake reply with the watermark
+    SNAPSHOT = 3   #: full stamped source snapshot (state transfer)
+    DELTA = 4      #: incremental ``(added, withdrawn)`` keyed on a base
+    ACK = 5        #: daemon → client: per-message ingestion outcome
+    HEARTBEAT = 6  #: either direction: liveness while otherwise idle
+    BYE = 7        #: orderly close (drain complete / client done)
+    ERROR = 8      #: daemon → client: protocol failure before closing
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its kind and its JSON-object payload."""
+
+    kind: FrameKind
+    payload: dict[str, Any]
+
+    def describe(self) -> str:
+        return f"{self.kind.name.lower()}({', '.join(sorted(self.payload))})"
+
+
+def encode_frame(
+    kind: FrameKind | int,
+    payload: dict[str, Any],
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> bytes:
+    """Encode one frame; raises :class:`ProtocolError` when oversized."""
+    kind = FrameKind(kind)
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    if len(body) > max_frame:
+        raise ProtocolError(
+            f"{kind.name} frame payload of {len(body)} bytes exceeds the "
+            f"{max_frame}-byte frame ceiling"
+        )
+    return _HEADER.pack(len(body), PROTOCOL_VERSION, int(kind), 0) + body
+
+
+class FrameDecoder:
+    """An incremental frame parser over an untrusted byte stream.
+
+    Feed it arbitrary chunks; it returns every frame completed so far and
+    keeps the partial tail buffered.  All structural damage raises
+    :class:`~repro.exceptions.ProtocolError` — the caller's contract is
+    to close the connection, not to resynchronize.
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+        self.bytes_decoded = 0
+
+    def pending(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Consume ``data``, returning every frame it completed."""
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        while True:
+            frame = self._next()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next(self) -> Frame | None:
+        if len(self._buffer) < _HEADER.size:
+            return None
+        length, version, kind, reserved = _HEADER.unpack_from(self._buffer)
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version} "
+                f"(this codec speaks {PROTOCOL_VERSION})"
+            )
+        if reserved != 0:
+            raise ProtocolError(
+                f"reserved header bytes must be zero, got {reserved:#06x}"
+            )
+        if length > self.max_frame:
+            # Refuse *before* buffering the body: the guard exists so a
+            # hostile or corrupt length prefix cannot balloon memory.
+            raise ProtocolError(
+                f"frame announces {length} payload bytes, exceeding the "
+                f"{self.max_frame}-byte frame ceiling"
+            )
+        try:
+            kind = FrameKind(kind)
+        except ValueError:
+            raise ProtocolError(f"unknown frame kind {kind}")
+        if len(self._buffer) < _HEADER.size + length:
+            return None
+        body = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
+        del self._buffer[:_HEADER.size + length]
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"undecodable {kind.name} frame payload: {error}")
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"{kind.name} frame payload must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        self.frames_decoded += 1
+        self.bytes_decoded += _HEADER.size + length
+        return Frame(kind, payload)
+
+
+# ----------------------------------------------------------------------
+# message-level codec (SNAPSHOT / DELTA frames)
+# ----------------------------------------------------------------------
+
+
+def _stamp_to_json(stamp: Stamp) -> list[int]:
+    return [int(stamp.epoch), int(stamp.seq)]
+
+
+def _stamp_from_json(encoded: Any, field: str) -> Stamp:
+    if (
+        not isinstance(encoded, (list, tuple))
+        or len(encoded) != 2
+        or not all(isinstance(part, int) for part in encoded)
+    ):
+        raise ProtocolError(f"malformed {field} stamp {encoded!r}")
+    return Stamp(encoded[0], encoded[1])
+
+
+def encode_message(message: Message, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Frame one :class:`~repro.net.Message` for the wire.
+
+    Full snapshots become ``SNAPSHOT`` frames, :class:`~repro.net.Delta`
+    payloads become ``DELTA`` frames; either way the recipient's
+    :func:`decode_message` reconstructs an equal message.
+    """
+    common = {
+        "sender": message.sender,
+        "recipient": message.recipient,
+        "stamp": _stamp_to_json(message.stamp),
+    }
+    if isinstance(message.payload, Delta):
+        payload = dict(
+            common,
+            base=_stamp_to_json(message.payload.base),
+            added=instance_to_dict(message.payload.added),
+            withdrawn=instance_to_dict(message.payload.withdrawn),
+        )
+        return encode_frame(FrameKind.DELTA, payload, max_frame)
+    payload = dict(common, instance=instance_to_dict(message.payload))
+    return encode_frame(FrameKind.SNAPSHOT, payload, max_frame)
+
+
+def decode_message(frame: Frame, schema: Schema | None = None) -> Message:
+    """Rebuild the :class:`~repro.net.Message` a data frame carries.
+
+    ``schema`` (the setting's source schema, typically) validates the
+    decoded facts; decoding errors surface as
+    :class:`~repro.exceptions.ProtocolError` like every other malformed
+    frame.
+    """
+    if frame.kind not in (FrameKind.SNAPSHOT, FrameKind.DELTA):
+        raise ProtocolError(
+            f"cannot decode a message from a {frame.kind.name} frame"
+        )
+    payload = frame.payload
+    try:
+        sender = payload["sender"]
+        recipient = payload["recipient"]
+    except KeyError as missing:
+        raise ProtocolError(
+            f"{frame.kind.name} frame is missing the {missing.args[0]!r} field"
+        )
+    if not isinstance(sender, str) or not isinstance(recipient, str):
+        raise ProtocolError(f"{frame.kind.name} frame names must be strings")
+    stamp = _stamp_from_json(payload.get("stamp"), "stamp")
+
+    def decode_instance(field: str) -> Instance:
+        encoded = payload.get(field)
+        if not isinstance(encoded, dict):
+            raise ProtocolError(
+                f"{frame.kind.name} frame field {field!r} must be an "
+                f"instance object, got {type(encoded).__name__}"
+            )
+        try:
+            return instance_from_dict(encoded, schema=schema)
+        except Exception as error:  # noqa: BLE001 - wrap any decode failure
+            raise ProtocolError(
+                f"{frame.kind.name} frame field {field!r} holds an "
+                f"undecodable instance: {error}"
+            )
+
+    if frame.kind is FrameKind.DELTA:
+        body: Instance | Delta = Delta(
+            base=_stamp_from_json(payload.get("base"), "base"),
+            added=decode_instance("added"),
+            withdrawn=decode_instance("withdrawn"),
+        )
+    else:
+        body = decode_instance("instance")
+    return Message(sender, recipient, stamp, body)

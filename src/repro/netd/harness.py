@@ -1,0 +1,398 @@
+"""Run simulator scenarios against the real daemon over real sockets.
+
+:func:`run_scenario_netd` takes the *same* :class:`~repro.net.Scenario`
+values the in-memory :class:`~repro.net.NetworkSimulator` executes and
+replays them against live machinery: one :class:`~repro.netd.SyncDaemon`
+hosting every subscriber peer, one :class:`~repro.netd.ChaosProxy` per
+publisher→peer link carrying that link's seeded
+:class:`~repro.runtime.FaultSchedule`, and one
+:class:`~repro.netd.PublisherClient` per link walking the scenario's
+publish timeline (scaled from virtual seconds to wall clock by
+``time_scale``).  Control events map one-to-one:
+:class:`~repro.net.Partition` / :class:`~repro.net.Heal` become proxy
+partitions, :class:`~repro.net.Crash` / :class:`~repro.net.Restart`
+crash and journal-resume the daemon-hosted peer, and
+:class:`~repro.net.BumpEpoch` bumps the stamp epoch and re-baselines
+every client's delta chain.
+
+After the timeline drains the harness runs the same bounded
+**anti-entropy** repair the simulator runs — lagging reachable peers are
+re-offered the latest snapshot over a clean connection (no proxy) — and
+then judges the final states with the very same transport-independent
+:func:`~repro.net.check_convergence` oracle.  That shared oracle is the
+point: a scenario that converges in simulation must converge over real
+sockets, and the chaos integration tests additionally assert the final
+states *agree* (:func:`~repro.net.states_agree`) between the two runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.instance import Instance
+from repro.net.scenarios import (
+    BumpEpoch,
+    Crash,
+    Heal,
+    Partition,
+    Restart,
+    Scenario,
+)
+from repro.net.simulator import ConvergenceReport, check_convergence
+from repro.netd.chaos import ChaosProxy
+from repro.netd.client import PublisherClient
+from repro.netd.daemon import SyncDaemon
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.runtime.retry import RetryPolicy
+from repro.sync.session import Stamp
+
+__all__ = ["NetdReport", "run_scenario_netd"]
+
+#: Tie-break ranks matching the simulator: control events before
+#: publishes at the same timeline instant.
+_CONTROL, _PUBLISH = 0, 1
+
+
+@dataclass
+class NetdReport:
+    """Everything one real-socket scenario run produced.
+
+    The socket twin of :class:`~repro.net.SimulationReport`: the same
+    identifying fields, a convergence verdict from the same oracle, the
+    final per-peer states (so tests can compare them against a
+    simulator run of the same scenario), and merged ``netd.*`` /
+    ``chaos.*`` counters.
+    """
+
+    scenario: str
+    seed: int
+    published: int
+    final_stamp: Stamp | None
+    states: dict[str, Instance]
+    unreachable: list[str]
+    stats: dict[str, int]
+    convergence: ConvergenceReport | None = None
+    drained: bool = True
+    log: list[str] = field(repr=False, default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        return self.convergence is not None and self.convergence.converged
+
+
+def run_scenario_netd(
+    scenario: Scenario,
+    deltas: bool = False,
+    journal_dir: str | Path | None = None,
+    time_scale: float = 0.02,
+    use_chaos: bool = True,
+    max_queue: int = 32,
+    ack_timeout: float = 0.3,
+    anti_entropy_limit: int = 8,
+    node_cap: int | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> NetdReport:
+    """Execute ``scenario`` over real sockets; blocking wrapper.
+
+    Args:
+        scenario: the same scenario value the simulator runs.
+        deltas: ship incremental payloads when they beat the snapshot.
+        journal_dir: per-peer journal directory (a temp dir when None,
+            removed after the run).
+        time_scale: wall-clock seconds per virtual scenario second.
+        use_chaos: route each link through a fault-injecting
+            :class:`~repro.netd.ChaosProxy`; False connects directly
+            (a clean-network baseline, also used by the benchmarks).
+        max_queue: bound for client pending queues and daemon queues.
+        ack_timeout: per-message ACK wait before the client moves on.
+        anti_entropy_limit: bounded repair rounds after the timeline.
+        node_cap: optional per-round node cap on the daemon's budgets.
+        tracer / metrics: optional shared :mod:`repro.obs` sinks.
+    """
+    return asyncio.run(
+        _run(
+            scenario,
+            deltas=deltas,
+            journal_dir=journal_dir,
+            time_scale=time_scale,
+            use_chaos=use_chaos,
+            max_queue=max_queue,
+            ack_timeout=ack_timeout,
+            anti_entropy_limit=anti_entropy_limit,
+            node_cap=node_cap,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+            metrics=metrics,
+        )
+    )
+
+
+async def _run(
+    scenario: Scenario,
+    deltas: bool,
+    journal_dir: str | Path | None,
+    time_scale: float,
+    use_chaos: bool,
+    max_queue: int,
+    ack_timeout: float,
+    anti_entropy_limit: int,
+    node_cap: int | None,
+    tracer: Tracer,
+    metrics: MetricsRegistry | None,
+) -> NetdReport:
+    owns_journal_dir = journal_dir is None
+    if owns_journal_dir:
+        journal_dir = tempfile.mkdtemp(prefix=f"repro-netd-{scenario.name}-")
+    log: list[str] = []
+    virtual_now = 0.0
+
+    def note(text: str) -> None:
+        log.append(f"t={virtual_now:07.3f} {text}")
+
+    daemon = SyncDaemon(
+        scenario.setting,
+        scenario.peers,
+        journal_dir=journal_dir,
+        pinned=scenario.pinned,
+        node_cap=node_cap,
+        heartbeat_interval=5.0,
+        idle_timeout=60.0,
+        max_queue=max_queue,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    await daemon.start()
+    note(f"daemon serving {daemon.address}")
+
+    proxies: dict[str, ChaosProxy] = {}
+    clients: dict[str, PublisherClient] = {}
+    crashed: set[str] = set()
+    try:
+        for peer in scenario.peers:
+            address = daemon.address
+            if use_chaos:
+                proxy = ChaosProxy(
+                    upstream=daemon.address,
+                    schedule=scenario.faults.get((scenario.publisher, peer)),
+                    latency=scenario.latency,
+                    reorder_delay=scenario.reorder_delay,
+                    time_scale=time_scale,
+                    tracer=tracer,
+                    metrics=metrics,
+                )
+                await proxy.start()
+                proxies[peer] = proxy
+                address = proxy.address
+            client = PublisherClient(
+                address,
+                peer,
+                sender=scenario.publisher,
+                deltas=deltas,
+                retry=RetryPolicy(
+                    max_attempts=3,
+                    base_delay=0.02,
+                    max_delay=0.1,
+                    seed=scenario.seed,
+                ),
+                max_queue=max_queue,
+                ack_timeout=ack_timeout,
+                heartbeat_interval=1.0,
+                tracer=tracer,
+                metrics=metrics,
+            )
+            await client.start()
+            clients[peer] = client
+
+        # ---- the timeline: publishes + control events, simulator order
+        timeline: list[tuple[float, int, int, object]] = []
+        order = 0
+        for index in range(len(scenario.snapshots)):
+            timeline.append((index * scenario.interval, _PUBLISH, order, index))
+            order += 1
+        for event in scenario.events:
+            timeline.append((event.at, _CONTROL, order, event))
+            order += 1
+        timeline.sort()
+
+        epoch, seq = 1, 0
+        published = 0
+        latest_stamp: Stamp | None = None
+        latest_snapshot: Instance | None = None
+
+        for at, kind, _order, payload in timeline:
+            if at > virtual_now:
+                await asyncio.sleep((at - virtual_now) * time_scale)
+                virtual_now = at
+            if kind == _PUBLISH:
+                snapshot = scenario.snapshots[payload]
+                seq += 1
+                stamp = Stamp(epoch, seq)
+                latest_stamp, latest_snapshot = stamp, snapshot
+                published += 1
+                note(f"publish stamp={stamp} facts={len(snapshot)}")
+                for peer in scenario.peers:
+                    await clients[peer].offer(stamp, snapshot)
+            elif isinstance(payload, Partition):
+                rendered = [",".join(sorted(group)) for group in payload.groups]
+                note(f"partition {'|'.join(rendered)}")
+                for peer in scenario.peers:
+                    if peer in proxies:
+                        if _severed(scenario.publisher, peer, payload.groups):
+                            proxies[peer].partition()
+                        else:
+                            proxies[peer].heal()
+            elif isinstance(payload, Heal):
+                note("heal")
+                for proxy in proxies.values():
+                    proxy.heal()
+            elif isinstance(payload, Crash):
+                note(f"crash {payload.peer}")
+                daemon.crash_peer(payload.peer)
+                crashed.add(payload.peer)
+            elif isinstance(payload, Restart):
+                daemon.restart_peer(payload.peer)
+                crashed.discard(payload.peer)
+                note(
+                    f"restart {payload.peer} "
+                    f"stamp={daemon.watermark(payload.peer)}"
+                )
+            elif isinstance(payload, BumpEpoch):
+                epoch += 1
+                seq = 0
+                for client in clients.values():
+                    client.rebase()
+                note(f"epoch-bump epoch={epoch}")
+
+        # ---- quiescence: let every client finish its pending sends
+        for client in clients.values():
+            await client.drain(timeout=30.0)
+        note("quiescent")
+
+        # ---- anti-entropy over clean connections, like the simulator's
+        # reliable repair channel: bounded rounds, lagging peers only.
+        anti_entropy = 0
+        if latest_snapshot is not None:
+            for round_number in range(1, anti_entropy_limit + 1):
+                lagging = [
+                    peer
+                    for peer in scenario.peers
+                    if _reachable(peer, crashed, proxies)
+                    and _behind(daemon.watermark(peer), latest_stamp)
+                ]
+                if not lagging:
+                    break
+                for peer in lagging:
+                    anti_entropy += 1
+                    repair = PublisherClient(
+                        daemon.address,
+                        peer,
+                        sender=scenario.publisher,
+                        ack_timeout=max(1.0, ack_timeout),
+                        tracer=tracer,
+                        metrics=metrics,
+                    )
+                    await repair.start()
+                    outcome = await repair.publish(latest_stamp, latest_snapshot)
+                    await repair.close()
+                    note(
+                        f"anti-entropy round={round_number} peer={peer} "
+                        f"stamp={latest_stamp} -> {outcome}"
+                    )
+
+        # ---- collect final states and judge with the shared oracle
+        states: dict[str, Instance] = {}
+        unreachable: list[str] = []
+        for peer in scenario.peers:
+            if _reachable(peer, crashed, proxies):
+                states[peer] = daemon.peer_state(peer)
+            else:
+                unreachable.append(peer)
+        convergence = check_convergence(scenario, states, unreachable)
+        note(
+            "convergence "
+            + (
+                " ".join(
+                    f"{name}={'ok' if ok else 'DIVERGED'}"
+                    for name, ok in sorted(convergence.peers.items())
+                )
+                if convergence.peers
+                else "vacuous (no reachable peers)"
+            )
+        )
+
+        stats: dict[str, int] = {"anti_entropy": anti_entropy}
+        for peer, client in clients.items():
+            for key, value in client.stats.items():
+                stats[key] = stats.get(key, 0) + value
+        for proxy in proxies.values():
+            for key, value in proxy.stats.items():
+                stats[f"chaos_{key}"] = stats.get(f"chaos_{key}", 0) + value
+        for host in daemon.hosts.values():
+            for key, value in host.stats.items():
+                stats[f"daemon_{key}"] = stats.get(f"daemon_{key}", 0) + value
+
+        # Orderly teardown *inside* the run so the report can record
+        # whether the daemon drained cleanly (the finally below is an
+        # idempotent safety net for the exception paths).
+        for client in clients.values():
+            await client.close(bye=True)
+        drained = await daemon.stop(drain=True)
+        note(f"daemon stopped drained={drained}")
+
+        return NetdReport(
+            scenario=scenario.name,
+            seed=scenario.seed,
+            published=published,
+            final_stamp=latest_stamp,
+            states=states,
+            unreachable=unreachable,
+            stats=stats,
+            convergence=convergence,
+            drained=drained,
+            log=log,
+        )
+    finally:
+        for client in clients.values():
+            await client.close(bye=False)
+        for proxy in proxies.values():
+            await proxy.stop()
+        await daemon.stop(drain=False)
+        if owns_journal_dir:
+            shutil.rmtree(journal_dir, ignore_errors=True)
+
+
+def _severed(
+    publisher: str, peer: str, groups: tuple[frozenset[str], ...]
+) -> bool:
+    """Does this partition separate ``peer`` from ``publisher``?
+
+    Mirrors :meth:`repro.net.SimTransport.connected`: peers named in no
+    group share an implicit remainder group.
+    """
+    group_of_publisher = group_of_peer = None
+    for group in groups:
+        if publisher in group:
+            group_of_publisher = group
+        if peer in group:
+            group_of_peer = group
+    return group_of_publisher is not group_of_peer
+
+
+def _reachable(
+    peer: str, crashed: set[str], proxies: dict[str, ChaosProxy]
+) -> bool:
+    if peer in crashed:
+        return False
+    proxy = proxies.get(peer)
+    return proxy is None or not proxy.partitioned
+
+
+def _behind(watermark: Stamp | None, latest: Stamp | None) -> bool:
+    if latest is None:
+        return False
+    return watermark is None or watermark < latest

@@ -14,10 +14,11 @@ than from global randomness, and the ``sleep`` callable is injectable.
 
 from __future__ import annotations
 
+import asyncio
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Awaitable, Callable
 
 from repro.runtime.budget import Budget
 
@@ -72,3 +73,22 @@ class RetryPolicy:
     def pause(self, attempt: int) -> None:
         """Sleep the jittered backoff after failed attempt ``attempt``."""
         self.sleep(self.delay(attempt))
+
+    async def pause_async(
+        self,
+        attempt: int,
+        sleep: Callable[[float], "Awaitable[object]"] | None = None,
+    ) -> None:
+        """Awaitable :meth:`pause`: back off without blocking an event loop.
+
+        Shares :meth:`delay`'s deterministic schedule exactly — for a
+        given seed the sync and async variants pause for identical
+        durations attempt by attempt — but yields to the loop instead of
+        hard-blocking it (``time.sleep`` inside a coroutine would stall
+        every connection a :mod:`repro.netd` daemon is serving).  The
+        ``sleep`` coroutine function is injectable for tests; it defaults
+        to :func:`asyncio.sleep`.
+        """
+        if sleep is None:
+            sleep = asyncio.sleep
+        await sleep(self.delay(attempt))

@@ -220,6 +220,37 @@ class TestSimTransport:
         transport.send(Message("origin", "peer", Stamp(1, 2), delta))
         assert transport.stats["facts_sent"] == 1 + 2  # |added| + |withdrawn|
 
+    def test_bounded_queue_evicts_oldest_for_never_draining_subscriber(self):
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer, metrics = Tracer(), MetricsRegistry()
+        clock = FaultClock()
+        transport = SimTransport(
+            clock, latency=0.1, max_queue=3, tracer=tracer, metrics=metrics
+        )
+        # Nobody ever pops deliveries for "peer": the backlog must stay
+        # bounded, shedding the oldest (superseded) snapshots.
+        for seq in range(1, 11):
+            transport.send(self.message(seq))
+        assert transport.pending() == 3
+        assert transport.stats["queue_evicted"] == 7
+        assert metrics.counter("net.queue_evicted").value == 7
+        events = [
+            e for e in tracer.orphan_events if e["name"] == "net.queue_evicted"
+        ]
+        assert len(events) == 7
+        assert events[0]["attributes"]["depth"] == 3
+        # The newest snapshots survive — the stream degraded, not died.
+        assert [m.stamp.seq for _, m in self.drain(transport)] == [8, 9, 10]
+
+    def test_bounded_queue_is_per_recipient(self):
+        clock, transport = self.make(max_queue=2)
+        for seq in range(1, 4):
+            transport.send(self.message(seq, recipient="peer-a"))
+            transport.send(self.message(seq, recipient="peer-b"))
+        assert transport.pending() == 4  # two per recipient, not two total
+        assert transport.stats["queue_evicted"] == 2
+
     def test_facts_sent_includes_fault_losses_but_not_partitions(self):
         # A dropped message was transmitted (and wasted the wire); a
         # partitioned one never left the sender.

@@ -1,0 +1,429 @@
+"""The netd daemon and publisher client: loopback, crash, drain, bounds.
+
+Socket tests here run on the loopback in well under a second each; the
+heavy seeded chaos suites live in ``test_netd_chaos.py`` behind the
+``slow``/``chaos`` markers.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.parser import parse_instance
+from repro.exceptions import SimulationError
+from repro.net import registry_setting
+from repro.netd import (
+    DaemonState,
+    FrameDecoder,
+    FrameKind,
+    PROTOCOL_VERSION,
+    PublisherClient,
+    SendQueue,
+    SyncDaemon,
+    encode_frame,
+    open_stream,
+)
+from repro.net.transport import Message
+from repro.runtime import RetryPolicy
+from repro.sync import Stamp
+
+
+SNAPSHOTS = [
+    parse_instance("reg(a, 1)"),
+    parse_instance("reg(a, 1); reg(b, 2)"),
+    parse_instance("reg(b, 2); reg(c, 3)"),
+]
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _daemon(tmp_path, peers=("peer-a",), **kwargs):
+    daemon = SyncDaemon(
+        registry_setting(),
+        list(peers),
+        journal_dir=tmp_path / "journals",
+        **kwargs,
+    )
+    await daemon.start()
+    return daemon
+
+
+async def _client(daemon, peer="peer-a", **kwargs):
+    kwargs.setdefault("ack_timeout", 2.0)
+    client = PublisherClient(daemon.address, peer, **kwargs)
+    await client.start()
+    return client
+
+
+# ----------------------------------------------------------------------
+# loopback basics
+# ----------------------------------------------------------------------
+
+
+def test_loopback_publish_and_stale_replay(tmp_path):
+    async def scenario():
+        daemon = await _daemon(tmp_path)
+        client = await _client(daemon)
+        for index, snapshot in enumerate(SNAPSHOTS):
+            assert await client.publish(Stamp(1, index + 1), snapshot) == "applied"
+        # Redelivery of an old stamp is the protocol working, not an error.
+        assert await client.publish(Stamp(1, 2), SNAPSHOTS[1]) == "stale"
+        state = daemon.peer_state("peer-a")
+        assert state == parse_instance("db(b, 2); db(c, 3)")
+        await client.close()
+        assert await daemon.stop() is True
+        assert daemon.state is DaemonState.STOPPED
+
+    run(scenario())
+
+
+def test_delta_publish_with_chain_fallback(tmp_path):
+    async def scenario():
+        daemon = await _daemon(tmp_path)
+        client = await _client(daemon, deltas=True)
+        assert await client.publish(Stamp(1, 1), SNAPSHOTS[0]) == "applied"
+        assert await client.publish(Stamp(1, 2), SNAPSHOTS[1]) == "applied"
+        assert client.stats["sent_deltas"] == 1
+        # Forget the base: the next publish must fall back to a snapshot.
+        client.rebase()
+        assert await client.publish(Stamp(1, 3), SNAPSHOTS[2]) == "applied"
+        assert client.stats["sent_snapshots"] == 2
+        assert daemon.peer_state("peer-a") == parse_instance("db(b, 2); db(c, 3)")
+        await client.close()
+        await daemon.stop()
+
+    run(scenario())
+
+
+def test_unix_socket_transport(tmp_path):
+    async def scenario():
+        daemon = SyncDaemon(
+            registry_setting(),
+            ["peer-a"],
+            listen=str(tmp_path / "netd.sock"),
+            journal_dir=tmp_path / "journals",
+        )
+        await daemon.start()
+        client = await _client(daemon)
+        assert await client.publish(Stamp(1, 1), SNAPSHOTS[0]) == "applied"
+        await client.close()
+        await daemon.stop()
+
+    run(scenario())
+
+
+def test_welcome_reports_watermark_and_peers(tmp_path):
+    async def scenario():
+        daemon = await _daemon(tmp_path, peers=("peer-a", "peer-b"))
+        client = await _client(daemon)
+        await client.publish(Stamp(1, 1), SNAPSHOTS[0])
+        await client.close()
+        reader, writer = await open_stream(daemon.address)
+        writer.write(
+            encode_frame(
+                FrameKind.HELLO, {"peer": "peer-a", "protocol": PROTOCOL_VERSION}
+            )
+        )
+        await writer.drain()
+        decoder = FrameDecoder()
+        frames = []
+        while not frames:
+            frames = decoder.feed(await reader.read(4096))
+        welcome = frames[0]
+        assert welcome.kind is FrameKind.WELCOME
+        assert welcome.payload["watermark"] == [1, 1]
+        assert welcome.payload["peers"] == ["peer-a", "peer-b"]
+        writer.close()
+        await daemon.stop()
+
+    run(scenario())
+
+
+def test_protocol_error_answers_error_frame_and_closes(tmp_path):
+    async def scenario():
+        daemon = await _daemon(tmp_path)
+        reader, writer = await open_stream(daemon.address)
+        writer.write(b"\x00\x00\x00\x04\x63\x01\x00\x00GARB")  # bad version 0x63
+        await writer.drain()
+        data = await reader.read(4096)
+        frames = FrameDecoder().feed(data)
+        assert frames and frames[0].kind is FrameKind.ERROR
+        assert (await reader.read(4096)) == b""  # closed, not resynchronized
+        assert daemon.stats["protocol_errors"] == 1
+        await daemon.stop()
+
+    run(scenario())
+
+
+def test_hello_protocol_version_mismatch_refused(tmp_path):
+    async def scenario():
+        daemon = await _daemon(tmp_path)
+        reader, writer = await open_stream(daemon.address)
+        writer.write(
+            encode_frame(FrameKind.HELLO, {"peer": "peer-a", "protocol": 99})
+        )
+        await writer.drain()
+        frames = FrameDecoder().feed(await reader.read(4096))
+        assert frames[0].kind is FrameKind.ERROR
+        await daemon.stop()
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# crash / restart / kill-9
+# ----------------------------------------------------------------------
+
+
+def test_crashed_peer_acks_unavailable_until_restart(tmp_path):
+    async def scenario():
+        daemon = await _daemon(tmp_path)
+        client = await _client(daemon)
+        assert await client.publish(Stamp(1, 1), SNAPSHOTS[0]) == "applied"
+        daemon.crash_peer("peer-a")
+        assert await client.publish(Stamp(1, 2), SNAPSHOTS[1]) == "unavailable"
+        with pytest.raises(SimulationError, match="crashed"):
+            daemon.peer_state("peer-a")
+        daemon.restart_peer("peer-a")
+        assert daemon.watermark("peer-a") == Stamp(1, 1)  # journal resume
+        assert await client.publish(Stamp(1, 2), SNAPSHOTS[1]) == "applied"
+        await client.close()
+        await daemon.stop()
+
+    run(scenario())
+
+
+def test_abort_then_restart_resumes_with_zero_duplicate_application(tmp_path):
+    """kill -9 mid-run: the journal watermark proves redelivery is stale."""
+
+    async def scenario():
+        daemon = await _daemon(tmp_path)
+        client = await _client(daemon)
+        for index, snapshot in enumerate(SNAPSHOTS):
+            await client.publish(Stamp(1, index + 1), snapshot)
+        state_before = daemon.peer_state("peer-a")
+        daemon.abort()  # no drain, no BYE, no commits — memory is gone
+        await client.close(bye=False)
+
+        resumed = await _daemon(tmp_path)
+        assert resumed.watermark("peer-a") == Stamp(1, 3)
+        assert resumed.peer_state("peer-a") == state_before
+        replay = await _client(resumed)
+        # Redeliver every already-applied round: all stale, none applied.
+        for index, snapshot in enumerate(SNAPSHOTS):
+            assert await replay.publish(Stamp(1, index + 1), snapshot) == "stale"
+        assert resumed.peer_stats("peer-a")["applied"] == 0
+        assert resumed.peer_stats("peer-a")["stale"] == 3
+        assert await replay.publish(Stamp(1, 4), SNAPSHOTS[0]) == "applied"
+        await replay.close()
+        await resumed.stop()
+
+    run(scenario())
+
+
+def test_torn_journal_tail_resumes_at_last_committed_round(tmp_path):
+    """A crash mid-append leaves a torn final record: the daemon resumes
+    at the last *committed* round and the lost round simply re-applies."""
+
+    async def scenario():
+        daemon = await _daemon(tmp_path)
+        client = await _client(daemon)
+        for index, snapshot in enumerate(SNAPSHOTS):
+            assert await client.publish(Stamp(1, index + 1), snapshot) == "applied"
+        daemon.abort()
+        await client.close(bye=False)
+
+        # Tear the tail: the crash hit mid-way through fsyncing round 3.
+        journal_path = tmp_path / "journals" / "peer-a.journal"
+        text = journal_path.read_text(encoding="utf-8").rstrip("\n")
+        journal_path.write_text(text[:-20], encoding="utf-8")
+
+        resumed = await _daemon(tmp_path)
+        assert resumed.watermark("peer-a") == Stamp(1, 2)  # round 3 never durable
+        client = await _client(resumed)
+        # Redelivering the torn round applies (once); earlier rounds stay stale.
+        assert await client.publish(Stamp(1, 1), SNAPSHOTS[0]) == "stale"
+        assert await client.publish(Stamp(1, 3), SNAPSHOTS[2]) == "applied"
+        assert resumed.peer_stats("peer-a") == {
+            "applied": 1, "stale": 1, "rejected": 0, "degraded": 0,
+            "chain_broken": 0, "unavailable": 0,
+        }
+        assert resumed.peer_state("peer-a") == parse_instance("db(b, 2); db(c, 3)")
+        await client.close()
+        await resumed.stop()
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# drain-on-shutdown
+# ----------------------------------------------------------------------
+
+
+def test_graceful_drain_finishes_queued_rounds(tmp_path):
+    async def scenario():
+        daemon = await _daemon(tmp_path)
+        host = daemon.hosts["peer-a"]
+        for index, snapshot in enumerate(SNAPSHOTS):
+            message = Message("origin", "peer-a", Stamp(1, index + 1), snapshot)
+            host.queue.put_nowait((message, None))
+        assert await daemon.stop(drain=True) is True
+        # Every queued round committed before exit; the journal holds them.
+        assert daemon.stats["drained_rounds"] == 3
+        resumed = await _daemon(tmp_path)
+        assert resumed.watermark("peer-a") == Stamp(1, 3)
+        await resumed.stop()
+
+    run(scenario())
+
+
+def test_drain_deadline_expiry_reports_dropped_rounds(tmp_path):
+    async def scenario():
+        daemon = await _daemon(tmp_path, drain_deadline=0.0)
+        host = daemon.hosts["peer-a"]
+        for index, snapshot in enumerate(SNAPSHOTS):
+            message = Message("origin", "peer-a", Stamp(1, index + 1), snapshot)
+            host.queue.put_nowait((message, None))
+        assert await daemon.stop(drain=True) is False
+        assert daemon.stats["drain_dropped"] > 0
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# heartbeats and idle timeouts
+# ----------------------------------------------------------------------
+
+
+def test_idle_connection_is_closed_and_heartbeats_prevent_it(tmp_path):
+    async def scenario():
+        daemon = await _daemon(
+            tmp_path, heartbeat_interval=0.05, idle_timeout=0.2
+        )
+        # A silent connection is torn down after the idle window...
+        reader, writer = await open_stream(daemon.address)
+        writer.write(
+            encode_frame(
+                FrameKind.HELLO, {"peer": "peer-a", "protocol": PROTOCOL_VERSION}
+            )
+        )
+        await writer.drain()
+        deadline = asyncio.get_running_loop().time() + 2.0
+        while not daemon.stats["idle_closed"]:
+            assert asyncio.get_running_loop().time() < deadline
+            await asyncio.sleep(0.02)
+        # ...while a heartbeating client outlives many idle windows.
+        client = await _client(daemon, heartbeat_interval=0.05)
+        await asyncio.sleep(0.5)
+        assert await client.publish(Stamp(1, 1), SNAPSHOTS[0]) == "applied"
+        assert daemon.stats["idle_closed"] == 1
+        await client.close()
+        await daemon.stop()
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# bounded queues: backpressure, then degrade — never unbounded memory
+# ----------------------------------------------------------------------
+
+
+def test_send_queue_depth_never_exceeds_bound():
+    async def scenario():
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        queue = SendQueue(depth=4, wait=0.0, metrics=metrics)
+        for index in range(20):
+            await queue.put(bytes([index]))
+        assert len(queue) == 4
+        assert queue.peak <= 4
+        assert queue.evicted == 16
+        assert metrics.gauge("netd.queue_peak").value <= 4
+        assert metrics.counter("netd.queue_evicted").value == 16
+        # Oldest evictable frames went first: the newest four remain.
+        remaining = [await queue.get() for _ in range(4)]
+        assert remaining == [bytes([i]) for i in range(16, 20)]
+
+    run(scenario())
+
+
+def test_send_queue_never_evicts_protected_frames():
+    async def scenario():
+        queue = SendQueue(depth=2, wait=0.0)
+        await queue.put(b"bye-1", evictable=False)
+        await queue.put(b"bye-2", evictable=False)
+        await queue.put(b"heartbeat")  # nothing sheddable: newcomer dropped
+        assert len(queue) == 2
+        assert [await queue.get(), await queue.get()] == [b"bye-1", b"bye-2"]
+
+    run(scenario())
+
+
+def test_client_pending_queue_degrades_to_newest_snapshots(tmp_path):
+    """Overflowing offers supersede the oldest pending pair, bounded depth."""
+
+    async def scenario():
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        # No start(): the sender never drains, the queue must still bound.
+        client = PublisherClient(
+            ("127.0.0.1", 1), "peer-a", max_queue=8,
+            backpressure_wait=0.001, metrics=metrics,
+        )
+        for index in range(40):
+            await client.offer(Stamp(1, index + 1), SNAPSHOTS[0])
+        assert len(client._pending) == 8
+        assert client.queue_peak <= 8
+        assert client.stats["queue_evicted"] == 32
+        assert metrics.gauge("netd.queue_peak").value <= 8
+        assert metrics.counter("netd.queue_evicted").value == 32
+        # The evicted stamps resolved as superseded; the newest survive.
+        assert client.outcomes[Stamp(1, 1)] == "superseded"
+        assert client._pending[0][0] == Stamp(1, 33)
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# satellite: sync and async backoff share one deterministic schedule
+# ----------------------------------------------------------------------
+
+
+def test_async_backoff_schedule_identical_to_sync():
+    policy = RetryPolicy(max_attempts=6, seed=7)
+    expected = [policy.delay(attempt) for attempt in range(6)]
+
+    paused_sync: list[float] = []
+    recorder = RetryPolicy(max_attempts=6, seed=7, sleep=paused_sync.append)
+    for attempt in range(6):
+        recorder.pause(attempt)
+
+    paused_async: list[float] = []
+
+    async def fake_sleep(seconds: float) -> None:
+        paused_async.append(seconds)
+
+    async def pauses() -> None:
+        for attempt in range(6):
+            await policy.pause_async(attempt, sleep=fake_sleep)
+
+    run(pauses())
+    assert paused_sync == expected
+    assert paused_async == expected  # identical schedule, attempt by attempt
+
+    # And a different seed produces a different (still deterministic) one.
+    other = RetryPolicy(max_attempts=6, seed=8)
+    assert [other.delay(a) for a in range(6)] != expected
+
+
+def test_pause_async_defaults_to_asyncio_sleep():
+    policy = RetryPolicy(base_delay=0.001, jitter=0.0)
+
+    async def one_pause() -> None:
+        await policy.pause_async(0)
+
+    run(one_pause())  # must not raise (and must not block the loop)

@@ -1,0 +1,114 @@
+"""Chaos integration: simulator scenarios re-run over real sockets.
+
+Every test here executes the *same* seeded :class:`~repro.net.Scenario`
+twice — once on the in-memory :class:`~repro.net.NetworkSimulator`, once
+through :func:`~repro.netd.run_scenario_netd` (real TCP, fault-injecting
+:class:`~repro.netd.ChaosProxy`) — and asserts both converge *and* agree
+on the final per-peer states.  Agreement uses
+:func:`~repro.net.states_agree` (homomorphic equivalence) because the
+genomics setting's existential variables materialize as labeled nulls
+whose names legitimately differ between runs.
+
+The two registry smoke tests run in tier-1 (a couple of seconds each);
+the full scenario × mode × seed sweeps carry ``slow`` + ``chaos``.
+"""
+
+import pytest
+
+from repro.net import (
+    NetworkSimulator,
+    crash_scenario,
+    genomics_churn_scenario,
+    registry_scenario,
+    states_agree,
+)
+from repro.netd import run_scenario_netd
+from repro.obs import MetricsRegistry
+
+
+def _simulate(scenario, deltas):
+    """Run the simulator twin; returns (report, final per-peer states)."""
+    simulator = NetworkSimulator(scenario, deltas=deltas)
+    report = simulator.run()
+    unreachable = set(report.convergence.unreachable)
+    return report, {
+        name: node.state()
+        for name, node in simulator.nodes.items()
+        if name not in unreachable
+    }
+
+
+def _assert_twin_agreement(builder, seed, deltas, **netd_kwargs):
+    report = run_scenario_netd(builder(seed=seed), deltas=deltas, **netd_kwargs)
+    assert report.converged, report.convergence
+    assert report.drained
+    sim_report, sim_states = _simulate(builder(seed=seed), deltas)
+    assert sim_report.converged
+    assert sorted(report.unreachable) == sorted(
+        sim_report.convergence.unreachable
+    )
+    for peer, state in report.states.items():
+        assert states_agree(state, sim_states[peer]), (
+            f"{builder.__name__}(seed={seed}, deltas={deltas}): "
+            f"peer {peer!r} diverged between sockets and simulator"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# tier-1 smoke: registry over real sockets, both wire modes
+# ----------------------------------------------------------------------
+
+
+def test_registry_scenario_converges_on_real_sockets():
+    report = _assert_twin_agreement(registry_scenario, seed=3, deltas=False)
+    # The chaos proxy genuinely interfered — this was not a clean network.
+    assert report.stats.get("chaos_dropped", 0) > 0
+
+
+def test_registry_scenario_converges_with_deltas():
+    report = _assert_twin_agreement(registry_scenario, seed=3, deltas=True)
+    assert report.stats.get("sent_deltas", 0) > 0
+
+
+def test_queue_bound_holds_under_chaos():
+    metrics = MetricsRegistry()
+    report = run_scenario_netd(
+        registry_scenario(seed=3), max_queue=4, metrics=metrics
+    )
+    assert report.converged
+    peak = metrics.gauge("netd.queue_peak").value
+    assert peak is not None and peak <= 4  # the depth bound held throughout
+
+
+# ----------------------------------------------------------------------
+# the heavy sweeps: slow + chaos
+# ----------------------------------------------------------------------
+
+pytestmark_heavy = [pytest.mark.slow, pytest.mark.chaos]
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+@pytest.mark.parametrize("deltas", [False, True], ids=["snapshot", "delta"])
+def test_genomics_churn_agrees_across_transports(deltas):
+    # Epoch bumps, withdrawals, and labeled nulls — the hardest scenario.
+    _assert_twin_agreement(genomics_churn_scenario, seed=3, deltas=deltas)
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+def test_crash_scenario_agrees_across_transports():
+    _assert_twin_agreement(crash_scenario, seed=3, deltas=False)
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [1, 2, 5, 8])
+@pytest.mark.parametrize(
+    "builder",
+    [registry_scenario, genomics_churn_scenario, crash_scenario],
+    ids=lambda b: b.__name__.replace("_scenario", ""),
+)
+def test_seed_sweep_agrees_across_transports(builder, seed):
+    _assert_twin_agreement(builder, seed=seed, deltas=(seed % 2 == 0))

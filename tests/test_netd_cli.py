@@ -1,0 +1,136 @@
+"""The ``serve`` / ``connect`` CLI front door, including real signals.
+
+The daemon side runs as a genuine subprocess so SIGTERM (graceful drain)
+and SIGKILL (crash, journal resume on restart) exercise the same paths
+an operator's ``kill`` would.  The publisher side runs in-process via
+:func:`repro.cli.main` — it needs no signal handling, and in-process is
+faster and gives capsys the output.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.io import dumps_setting
+from repro.net import registry_setting
+
+
+@pytest.fixture
+def registry_files(tmp_path):
+    setting = tmp_path / "setting.json"
+    setting.write_text(dumps_setting(registry_setting(), indent=2))
+    snapshots = []
+    for index, text in enumerate(
+        ["reg(a, 1)", "reg(a, 1); reg(b, 2)", "reg(b, 2); reg(c, 3)"]
+    ):
+        path = tmp_path / f"snap{index + 1}.txt"
+        path.write_text(text)
+        snapshots.append(path)
+    return setting, snapshots
+
+
+def _spawn_serve(setting, journal_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", str(setting),
+            "--peers", "peer-a", "--listen", "127.0.0.1:0",
+            "--journal-dir", str(journal_dir), *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd="/root/repo",
+    )
+    lines = []
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"serve exited early (rc={process.poll()}): {''.join(lines)}"
+            )
+        lines.append(line)
+        if line.startswith("serving on "):
+            return process, line.split("serving on ", 1)[1].strip(), lines
+    process.kill()
+    raise AssertionError(f"serve never announced its address: {''.join(lines)}")
+
+
+def _connect(address, setting, snapshots, *extra):
+    return main(
+        [
+            "connect", address, str(setting), *map(str, snapshots),
+            "--peer", "peer-a", *extra,
+        ]
+    )
+
+
+def test_serve_connect_round_trip_then_sigterm_drains(
+    registry_files, tmp_path, capsys
+):
+    setting, snapshots = registry_files
+    process, address, _ = _spawn_serve(setting, tmp_path / "journals")
+    try:
+        code = _connect(address, setting, snapshots, "--delta")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count(": applied") == 3
+    finally:
+        process.send_signal(signal.SIGTERM)
+        remainder, _ = process.communicate(timeout=30)
+    assert process.returncode == 0
+    assert "draining..." in remainder
+    assert "stopped (drained)" in remainder
+
+
+def test_sigkill_then_restart_resumes_from_journal(
+    registry_files, tmp_path, capsys
+):
+    setting, snapshots = registry_files
+    journals = tmp_path / "journals"
+    process, address, _ = _spawn_serve(setting, journals)
+    try:
+        assert _connect(address, setting, snapshots) == 0
+        capsys.readouterr()
+    finally:
+        process.kill()  # SIGKILL: no drain, no goodbye — only the journal
+        process.communicate(timeout=30)
+
+    process, address, lines = _spawn_serve(setting, journals)
+    try:
+        assert any("resumed peer-a at stamp 1.3" in line for line in lines)
+        # Replaying the same rounds is a stale no-op, then new work applies.
+        assert _connect(address, setting, snapshots) == 0
+        assert capsys.readouterr().out.count(": stale") == 3
+        assert _connect(address, setting, snapshots[:1], "--epoch", "2") == 0
+        assert ": applied" in capsys.readouterr().out
+    finally:
+        process.send_signal(signal.SIGTERM)
+        remainder, _ = process.communicate(timeout=30)
+    assert process.returncode == 0
+    assert "stopped (drained)" in remainder
+
+
+def test_bad_addresses_are_usage_errors(registry_files, capsys):
+    setting, snapshots = registry_files
+    assert main(["serve", str(setting), "--peers", "peer-a",
+                 "--listen", "nonsense"]) == 2
+    assert _connect("nonsense", setting, snapshots[:1]) == 2
+    err = capsys.readouterr().err
+    assert "neither HOST:PORT nor unix:PATH" in err
+
+
+def test_connect_unreachable_daemon_exits_degraded(registry_files, capsys):
+    setting, snapshots = registry_files
+    code = _connect("127.0.0.1:1", setting, snapshots[:1])
+    assert code == 4  # EXIT_DEGRADED: unreachable, not a protocol rejection
+    assert "cannot reach daemon" in capsys.readouterr().err

@@ -1,0 +1,163 @@
+"""The repro.netd wire codec: framing, guards, message round trips."""
+
+import struct
+
+import pytest
+
+from repro.core.parser import parse_instance
+from repro.exceptions import ProtocolError
+from repro.net import Delta, Message, registry_setting
+from repro.netd import (
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+from repro.sync import Stamp
+
+
+def test_frame_round_trip():
+    payload = {"peer": "peer-a", "protocol": PROTOCOL_VERSION}
+    data = encode_frame(FrameKind.HELLO, payload)
+    frames = FrameDecoder().feed(data)
+    assert frames == [Frame(FrameKind.HELLO, payload)]
+
+
+def test_decoder_reassembles_byte_by_byte():
+    data = encode_frame(FrameKind.ACK, {"stamp": [1, 2], "outcome": "applied"})
+    decoder = FrameDecoder()
+    frames = []
+    for index in range(len(data)):
+        frames.extend(decoder.feed(data[index:index + 1]))
+    assert len(frames) == 1
+    assert frames[0].payload["outcome"] == "applied"
+    assert decoder.pending() == 0
+
+
+def test_decoder_splits_coalesced_frames():
+    data = encode_frame(FrameKind.HEARTBEAT, {}) + encode_frame(
+        FrameKind.BYE, {"reason": "done"}
+    )
+    frames = FrameDecoder().feed(data)
+    assert [frame.kind for frame in frames] == [
+        FrameKind.HEARTBEAT, FrameKind.BYE,
+    ]
+
+
+def test_wrong_version_raises():
+    data = bytearray(encode_frame(FrameKind.HEARTBEAT, {}))
+    data[4] = PROTOCOL_VERSION + 1
+    with pytest.raises(ProtocolError, match="version"):
+        FrameDecoder().feed(bytes(data))
+
+
+def test_nonzero_reserved_raises():
+    data = bytearray(encode_frame(FrameKind.HEARTBEAT, {}))
+    data[6] = 1
+    with pytest.raises(ProtocolError, match="reserved"):
+        FrameDecoder().feed(bytes(data))
+
+
+def test_unknown_kind_raises():
+    data = bytearray(encode_frame(FrameKind.HEARTBEAT, {}))
+    data[5] = 200
+    with pytest.raises(ProtocolError, match="unknown frame kind"):
+        FrameDecoder().feed(bytes(data))
+
+
+def test_oversized_announced_length_refused_before_buffering():
+    # A hostile length prefix must be refused from the header alone —
+    # the decoder never waits for (or buffers) the announced body.
+    header = struct.pack("!IBBH", 2 ** 31, PROTOCOL_VERSION, 6, 0)
+    decoder = FrameDecoder(max_frame=1024)
+    with pytest.raises(ProtocolError, match="ceiling"):
+        decoder.feed(header)
+
+
+def test_oversized_encode_refused():
+    with pytest.raises(ProtocolError, match="ceiling"):
+        encode_frame(FrameKind.SNAPSHOT, {"blob": "x" * 100}, max_frame=50)
+
+
+def test_non_object_payload_raises():
+    body = b'["not", "an", "object"]'
+    data = struct.pack("!IBBH", len(body), PROTOCOL_VERSION, 5, 0) + body
+    with pytest.raises(ProtocolError, match="JSON object"):
+        FrameDecoder().feed(data)
+
+
+def test_undecodable_payload_raises():
+    body = b"\xff\xfe not json"
+    data = struct.pack("!IBBH", len(body), PROTOCOL_VERSION, 5, 0) + body
+    with pytest.raises(ProtocolError, match="undecodable"):
+        FrameDecoder().feed(data)
+
+
+def test_snapshot_message_round_trip():
+    setting = registry_setting()
+    snapshot = parse_instance("reg(a, 1); reg(b, 2)")
+    message = Message("origin", "peer-a", Stamp(2, 7), snapshot)
+    frames = FrameDecoder().feed(encode_message(message))
+    assert frames[0].kind is FrameKind.SNAPSHOT
+    decoded = decode_message(frames[0], schema=setting.source_schema)
+    assert decoded == message
+
+
+def test_delta_message_round_trip():
+    setting = registry_setting()
+    delta = Delta(
+        base=Stamp(1, 3),
+        added=parse_instance("reg(c, 3)"),
+        withdrawn=parse_instance("reg(a, 1)"),
+    )
+    message = Message("origin", "peer-b", Stamp(1, 4), delta)
+    frames = FrameDecoder().feed(encode_message(message))
+    assert frames[0].kind is FrameKind.DELTA
+    decoded = decode_message(frames[0], schema=setting.source_schema)
+    assert decoded == message
+    assert decoded.is_delta and decoded.payload.base == Stamp(1, 3)
+
+
+def test_decode_message_rejects_control_frames():
+    frame = Frame(FrameKind.HELLO, {"peer": "x"})
+    with pytest.raises(ProtocolError, match="cannot decode"):
+        decode_message(frame)
+
+
+def test_decode_message_rejects_malformed_fields():
+    good = FrameDecoder().feed(
+        encode_message(
+            Message("origin", "peer-a", Stamp(1, 1), parse_instance("reg(a, 1)"))
+        )
+    )[0]
+    for field, value in [
+        ("stamp", [1]), ("stamp", "1.1"), ("sender", 3), ("instance", "nope"),
+    ]:
+        broken = Frame(good.kind, dict(good.payload, **{field: value}))
+        with pytest.raises(ProtocolError):
+            decode_message(broken)
+    missing = dict(good.payload)
+    del missing["recipient"]
+    with pytest.raises(ProtocolError, match="recipient"):
+        decode_message(Frame(good.kind, missing))
+
+
+def test_schema_validation_surfaces_as_protocol_error():
+    setting = registry_setting()
+    message = Message(
+        "origin", "peer-a", Stamp(1, 1), parse_instance("wrong(a, 1)")
+    )
+    frames = FrameDecoder().feed(encode_message(message))
+    with pytest.raises(ProtocolError, match="undecodable instance"):
+        decode_message(frames[0], schema=setting.source_schema)
+
+
+def test_decoder_counters_accumulate():
+    decoder = FrameDecoder()
+    data = encode_frame(FrameKind.HEARTBEAT, {}) * 3
+    decoder.feed(data)
+    assert decoder.frames_decoded == 3
+    assert decoder.bytes_decoded == len(data)
