@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 
 from repro import solve
+from repro.net import NetworkSimulator, scenario_registry
 from repro.obs import MetricsRegistry, Tracer
 from repro.workloads import generate_genomics_data, genomics_setting
 
@@ -99,4 +100,81 @@ def test_tracer_overhead(benchmark, table, record):
     # < 5%, the ceiling keeps preempted CI runners from flaking.
     assert aggregate < 15.0, (
         f"tracing overhead {aggregate:.1f}% exceeds the 15% ceiling"
+    )
+
+
+def test_context_propagation_overhead(benchmark, table, record):
+    """Wire trace-context propagation cost in the network simulator.
+
+    Every publish now mints a :class:`repro.obs.TraceContext` and every
+    delivery threads it through the apply path; under a live tracer the
+    publish/apply spans are annotated with it as well.  This bench runs
+    the same seeded scenario untraced (contexts minted, no spans) and
+    traced (contexts + annotated spans) and asserts the traced side
+    stays within the same 15% ceiling as the tracer bench — a fresh
+    simulator per run because a scenario runs exactly once.
+    """
+    builders = scenario_registry()
+    names = ["registry", "crash"]
+    repeats = 7
+
+    def run():
+        rows = []
+        total_plain = 0.0
+        total_traced = 0.0
+        for name in names:
+            plain: list[float] = []
+            traced: list[float] = []
+            for _ in range(repeats):
+                scenario = builders[name](0)
+                started = time.perf_counter()
+                NetworkSimulator(scenario).run()
+                plain.append(time.perf_counter() - started)
+
+                scenario = builders[name](0)
+                started = time.perf_counter()
+                NetworkSimulator(
+                    scenario, tracer=Tracer(), metrics=MetricsRegistry()
+                ).run()
+                traced.append(time.perf_counter() - started)
+            base = min(plain)
+            instrumented = min(traced)
+            total_plain += base
+            total_traced += instrumented
+            overhead = (instrumented / base - 1.0) * 100 if base > 0 else 0.0
+            rows.append(
+                [
+                    name,
+                    f"{base * 1000:.2f} ms",
+                    f"{instrumented * 1000:.2f} ms",
+                    f"{overhead:+.1f}%",
+                ]
+            )
+        rows.append(
+            [
+                "total",
+                f"{total_plain * 1000:.2f} ms",
+                f"{total_traced * 1000:.2f} ms",
+                f"{(total_traced / total_plain - 1.0) * 100:+.1f}%",
+            ]
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    table(
+        "Trace-context propagation overhead (network simulator)",
+        ["scenario", "untraced", "traced", "overhead"],
+        rows,
+    )
+    aggregate = float(rows[-1][3].rstrip("%"))
+    record(
+        "bench_obs.context_overhead",
+        {
+            "scenarios": names,
+            "rows": [[str(cell) for cell in row] for row in rows],
+            "aggregate_overhead_pct": aggregate,
+        },
+    )
+    assert aggregate < 15.0, (
+        f"context propagation overhead {aggregate:.1f}% exceeds the 15% ceiling"
     )

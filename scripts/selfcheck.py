@@ -4,8 +4,11 @@
 Lints all example setting files, all example scenario files, and every
 registered scenario (in both snapshot and delta-transfer mode), and
 exits non-zero on any finding a fixture does not explicitly suppress
-via ``lint_ignore``.  CI and the test suite run this as a smoke test so
-a new rule (or a broken fixture) is caught the moment it lands.
+via ``lint_ignore``.  An observability smoke then runs a tiny traced
+simulation, stitches the trace, and checks the metric names it emitted
+against the documented ``repro.obs.names`` table.  CI and the test
+suite run this as a smoke test so a new rule (or a broken fixture, or
+an undocumented metric) is caught the moment it lands.
 
 Usage::
 
@@ -65,8 +68,68 @@ def run_selfcheck(quiet: bool = False) -> int:
                 for diagnostic in report:
                     print(f"FAIL    {name} [{mode}]: {diagnostic.render()}")
 
+    failures += _obs_smoke(note)
+
     checked = len(setting_files) + len(scenario_files) + 2 * len(scenario_registry())
     note(f"{checked} fixture(s) checked, {failures} with findings")
+    return failures
+
+
+def _obs_smoke(note) -> int:
+    """Distributed-observability smoke: trace, stitch, and metric-name audit.
+
+    Runs one seeded simulator scenario under a tracer and a metrics
+    registry, writes and stitches the trace, asserts the publish trace
+    context linked spans across peers, and checks every ``net.*`` /
+    ``netd.*`` / ``chaos.*`` metric the run emitted against the
+    documented name table.
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.net import NetworkSimulator, scenario_registry as _registry
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        stitch,
+        undocumented,
+        write_trace_jsonl,
+    )
+
+    failures = 0
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    scenario = _registry()["registry"](0)
+    simulator = NetworkSimulator(scenario, tracer=tracer, metrics=metrics)
+    simulator.run()
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-smoke-") as tmp:
+        path = _Path(tmp) / "sim.jsonl"
+        write_trace_jsonl(tracer, path)
+        timeline = stitch({"sim": path})
+        linked = sum(
+            1
+            for trace_id, spans in timeline.traces().items()
+            if trace_id is not None and len({span.lane for span in spans}) >= 2
+        )
+    if linked == 0:
+        failures += 1
+        print("FAIL    obs smoke: no trace links spans across >= 2 lanes")
+    else:
+        note(f"ok      obs smoke: {linked} cross-lane trace(s) stitched")
+
+    snapshot = metrics.snapshot()
+    emitted = sorted(
+        set(snapshot.get("counters", {}))
+        | set(snapshot.get("gauges", {}))
+        | set(snapshot.get("histograms", {}))
+    )
+    unknown = undocumented(emitted)
+    if unknown:
+        failures += 1
+        print(f"FAIL    obs smoke: undocumented metric name(s): {', '.join(unknown)}")
+    else:
+        note(f"ok      obs smoke: {len(emitted)} metric name(s) all documented")
     return failures
 
 

@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli serve     setting.json --peers a,b,c --journal-dir DIR [--listen HOST:PORT|unix:PATH]
     python -m repro.cli connect   ADDR setting.json snap1.txt [snap2.txt ...] --peer NAME [--delta]
     python -m repro.cli profile   clique [--size N] [--top K] [--trace out.jsonl]
+    python -m repro.cli obs stitch [LABEL=]trace.jsonl ... [--chrome out.json]
+    python -m repro.cli obs postmortem peer.postmortem.jsonl [--last N]
+    python -m repro.cli obs top HOST:PORT [HOST:PORT ...] [--json]
 
 Setting files use the JSON format of :mod:`repro.io.serialization`;
 instance files use the parser's text syntax (``E(a, b); E(b, c)`` — with
@@ -74,9 +77,16 @@ when any was rejected, 4 when any degraded or never got through.
 
 Observability: ``solve``, ``certain``, and ``sync`` accept ``--trace
 PATH`` (record a span tree to a JSONL file readable with
-:mod:`repro.obs`) and ``--metrics`` (print the metrics summary after the
-result).  ``profile`` runs a named workload from
-:mod:`repro.workloads` under a tracer and prints the hottest spans::
+:mod:`repro.obs`), ``--chrome PATH`` (the same trace as a Chrome
+trace-event file), and ``--metrics`` (print the metrics summary after
+the result).  ``profile`` runs a named workload from
+:mod:`repro.workloads` under a tracer and prints the hottest spans.
+``obs`` is the fleet toolbox: ``obs stitch`` merges per-peer JSONL
+traces into one causally-ordered timeline (``--chrome`` exports it with
+one lane per peer), ``obs postmortem`` renders a crash flight-recorder
+file, and ``obs top`` polls running daemons over the ``STATS`` frame
+for live per-peer watermark/lag (exit 4 when any daemon is
+unreachable)::
 
     python -m repro.cli profile clique --top 10
     python -m repro.cli profile genomics --trace out.jsonl --chrome out.json
@@ -153,15 +163,19 @@ def _add_obs_options(command: argparse.ArgumentParser) -> None:
         help="record a span trace of the run to a JSONL file",
     )
     command.add_argument(
+        "--chrome", metavar="PATH",
+        help="also write a Chrome trace-event file (chrome://tracing)",
+    )
+    command.add_argument(
         "--metrics", action="store_true",
         help="print the metrics summary after the result",
     )
 
 
 def _build_obs(args: argparse.Namespace):
-    """(tracer, registry) from ``--trace`` / ``--metrics``, each optional."""
+    """(tracer, registry) from ``--trace``/``--chrome``/``--metrics``."""
     tracer = registry = None
-    if getattr(args, "trace", None):
+    if getattr(args, "trace", None) or getattr(args, "chrome", None):
         from repro.obs import Tracer
 
         tracer = Tracer()
@@ -173,12 +187,28 @@ def _build_obs(args: argparse.Namespace):
 
 
 def _finish_obs(args: argparse.Namespace, tracer, registry) -> None:
-    """Flush the trace file and print the metrics summary, if requested."""
-    if tracer is not None:
-        from repro.obs import write_trace_jsonl
+    """Flush the trace exports and print the metrics summary, if requested.
 
-        spans = write_trace_jsonl(tracer, args.trace)
-        print(f"trace: {spans} spans written to {args.trace}", file=sys.stderr)
+    The one exporter path every command shares: ``--trace`` writes the
+    JSONL span file, ``--chrome`` the Chrome trace-event file — the
+    ``profile`` command routes its exports through here too, so both
+    front doors produce byte-identical artifacts for the same tracer.
+    """
+    if tracer is not None:
+        trace_path = getattr(args, "trace", None)
+        if trace_path:
+            from repro.obs import write_trace_jsonl
+
+            spans = write_trace_jsonl(tracer, trace_path)
+            print(
+                f"trace: {spans} spans written to {trace_path}", file=sys.stderr
+            )
+        chrome_path = getattr(args, "chrome", None)
+        if chrome_path:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(tracer, chrome_path)
+            print(f"chrome trace written to {chrome_path}", file=sys.stderr)
     if registry is not None:
         print("metrics:")
         summary = registry.summary()
@@ -715,7 +745,7 @@ def _profile_run(workload, size: int):
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.obs import aggregate_spans, render_span_tree, write_chrome_trace, write_trace_jsonl
+    from repro.obs import aggregate_spans, render_span_tree
     from repro.workloads import profile_workloads
 
     registry = profile_workloads()
@@ -771,13 +801,119 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             f"  {entry['name']:<{width}s}  {entry['count']:5d}  "
             f"{entry['total_s'] * 1000:9.2f}  {entry['self_s'] * 1000:8.2f}"
         )
-    if args.trace:
-        spans = write_trace_jsonl(tracer, args.trace)
-        print(f"trace: {spans} spans written to {args.trace}", file=sys.stderr)
+    _finish_obs(args, tracer, None)
+    return 0
+
+
+def _cmd_obs_stitch(args: argparse.Namespace) -> int:
+    from repro.exceptions import TraceError
+    from repro.obs import stitch
+
+    traces: dict[str, str] = {}
+    for item in args.traces:
+        if "=" in item:
+            label, _, path = item.partition("=")
+        else:
+            label, path = Path(item).stem, item
+        base, suffix = label, 2
+        while label in traces:
+            label = f"{base}-{suffix}"
+            suffix += 1
+        traces[label] = path
+    try:
+        timeline = stitch(traces)
+    except TraceError as error:
+        print(f"obs stitch: {error}", file=sys.stderr)
+        return 2
+    print(timeline.render())
+    if timeline.corrupt_lines:
+        print(
+            f"({timeline.corrupt_lines} corrupt line(s) skipped)",
+            file=sys.stderr,
+        )
     if args.chrome:
-        write_chrome_trace(tracer, args.chrome)
+        timeline.write_chrome(args.chrome)
         print(f"chrome trace written to {args.chrome}", file=sys.stderr)
     return 0
+
+
+def _cmd_obs_postmortem(args: argparse.Namespace) -> int:
+    from repro.exceptions import TraceError
+    from repro.obs import read_postmortem
+
+    try:
+        postmortem = read_postmortem(args.file)
+    except TraceError as error:
+        print(f"obs postmortem: {error}", file=sys.stderr)
+        return 2
+    print(f"post-mortem: {postmortem.path}")
+    print(
+        f"reason: {postmortem.reason}  recorded: {postmortem.recorded}  "
+        f"dropped: {postmortem.dropped}"
+    )
+    events = postmortem.last(args.last)
+    if len(events) < len(postmortem.events):
+        print(f"(showing the last {len(events)} of {len(postmortem.events)})")
+    for event in events:
+        attributes = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(event["attributes"].items())
+        )
+        line = f"  t={event['at']:.3f} {event['name']}"
+        print(f"{line} {attributes}" if attributes else line)
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.netd import fetch_stats
+
+    addresses = []
+    for text in args.addresses:
+        try:
+            addresses.append((text, _parse_address(text)))
+        except ValueError as error:
+            print(f"obs top: {error}", file=sys.stderr)
+            return 2
+
+    async def probe() -> dict[str, dict]:
+        results: dict[str, dict] = {}
+        for text, address in addresses:
+            try:
+                results[text] = await fetch_stats(address, timeout=args.timeout)
+            except Exception as error:  # noqa: BLE001 - report, don't die
+                results[text] = {"unreachable": str(error) or type(error).__name__}
+        return results
+
+    results = asyncio.run(probe())
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    degraded = False
+    for text, payload in results.items():
+        if "unreachable" in payload:
+            degraded = True
+            if not args.json:
+                print(f"{text}: unreachable ({payload['unreachable']})")
+            continue
+        if args.json:
+            continue
+        print(f"{text}: state={payload.get('state', '?')}")
+        for name, peer in sorted(payload.get("peers", {}).items()):
+            watermark = peer.get("watermark")
+            mark = (
+                f"{watermark[0]}.{watermark[1]}"
+                if isinstance(watermark, list) and len(watermark) == 2
+                else "-"
+            )
+            flags = "  CRASHED" if peer.get("crashed") else ""
+            print(
+                f"  {name:<12s} watermark={mark:<8s} "
+                f"lag={peer.get('lag', 0):<4d} "
+                f"queue={peer.get('queue_depth', 0)}{flags}"
+            )
+    return EXIT_DEGRADED if degraded else 0
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
@@ -1041,6 +1177,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="smoke-run every workload at its smallest size",
     )
     profile_cmd.set_defaults(handler=_cmd_profile)
+
+    obs_cmd = commands.add_parser(
+        "obs", help="distributed-observability toolbox (stitch/postmortem/top)"
+    )
+    obs_commands = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    stitch_cmd = obs_commands.add_parser(
+        "stitch", help="merge per-peer JSONL traces into one timeline"
+    )
+    stitch_cmd.add_argument(
+        "traces", nargs="+", metavar="[LABEL=]PATH",
+        help="trace files; LABEL names the lane (default: the file stem)",
+    )
+    stitch_cmd.add_argument(
+        "--chrome", metavar="PATH",
+        help="also write the stitched Chrome trace (one lane per peer)",
+    )
+    stitch_cmd.set_defaults(handler=_cmd_obs_stitch)
+
+    postmortem_cmd = obs_commands.add_parser(
+        "postmortem", help="render a crash flight-recorder file"
+    )
+    postmortem_cmd.add_argument("file", help="a *.postmortem.jsonl file")
+    postmortem_cmd.add_argument(
+        "--last", type=int, default=50, metavar="N",
+        help="show the final N events (default: 50)",
+    )
+    postmortem_cmd.set_defaults(handler=_cmd_obs_postmortem)
+
+    top_cmd = obs_commands.add_parser(
+        "top", help="poll running daemons for live watermark/lag stats"
+    )
+    top_cmd.add_argument(
+        "addresses", nargs="+", metavar="HOST:PORT|unix:PATH",
+        help="daemon addresses to poll",
+    )
+    top_cmd.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-daemon STATS reply wait (default: 5.0)",
+    )
+    top_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output",
+    )
+    top_cmd.set_defaults(handler=_cmd_obs_top)
 
     chase_cmd = commands.add_parser("chase", help="show J_can and I_can")
     chase_cmd.add_argument("setting")

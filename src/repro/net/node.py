@@ -148,30 +148,49 @@ class PeerNode:
         the session's watermark equals the delta's base stamp, and
         otherwise reports a broken chain (``outcome.chain_broken``) so the
         sender can fall back to a full snapshot.
+
+        When the message carries a wire trace context and ``tracer`` is
+        enabled, the round runs inside a ``net.apply`` span annotated as
+        a child hop of the publish's trace — the simulator's twin of the
+        daemon's ``netd.ingest`` span.
         """
         if self.session is None:
             raise SimulationError(
                 f"delivered to crashed peer {self.name!r}: the driver must "
                 "drop deliveries to crashed peers"
             )
-        if isinstance(message.payload, Delta):
-            outcome = self.session.sync_delta(
-                message.payload.added,
-                message.payload.withdrawn,
-                base=message.payload.base,
-                stamp=message.stamp,
-                budget=budget,
-                tracer=tracer,
-                metrics=metrics,
-            )
-        else:
-            outcome = self.session.sync(
+
+        def ingest() -> SyncOutcome:
+            if isinstance(message.payload, Delta):
+                return self.session.sync_delta(
+                    message.payload.added,
+                    message.payload.withdrawn,
+                    base=message.payload.base,
+                    stamp=message.stamp,
+                    budget=budget,
+                    tracer=tracer,
+                    metrics=metrics,
+                )
+            return self.session.sync(
                 message.payload,
                 stamp=message.stamp,
                 budget=budget,
                 tracer=tracer,
                 metrics=metrics,
             )
+
+        if tracer is not None and tracer.enabled and message.context is not None:
+            with tracer.span(
+                "net.apply",
+                lane=self.name,
+                peer=self.name,
+                stamp=str(message.stamp),
+                delta=isinstance(message.payload, Delta),
+            ) as span:
+                message.context.child(f"{self.name}:apply").annotate(span)
+                outcome = ingest()
+        else:
+            outcome = ingest()
         if outcome.stale:
             self.stats["stale"] += 1
         elif outcome.chain_broken:

@@ -58,11 +58,12 @@ from repro.net.scenarios import (
     Scenario,
 )
 from repro.net.transport import Delta, Message, SimTransport
+from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.faults import FaultClock
 from repro.runtime.journal import SessionJournal
-from repro.sync.session import Stamp, SyncSession
+from repro.sync.session import Stamp, SyncSession, watermark_lag
 
 __all__ = [
     "ConvergenceReport",
@@ -90,6 +91,11 @@ class ConvergenceReport:
             quick summary statistic.
         vacuous: True when the verdict covered no peers (``peers`` is
             empty because every peer was unreachable).
+        lag: per reachable peer, the watermark lag — how many publishes
+            the peer's applied stamp trails the publisher's history by
+            (see :func:`repro.sync.watermark_lag`).  0 for every peer at
+            quiescence is the convergence invariant in stamp arithmetic;
+            empty when the caller supplied no watermark data.
     """
 
     converged: bool
@@ -97,6 +103,7 @@ class ConvergenceReport:
     unreachable: list[str]
     oracle_size: int
     vacuous: bool = False
+    lag: dict[str, int] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         return self.converged
@@ -185,6 +192,8 @@ def check_convergence(
     scenario: Scenario,
     states: dict[str, Instance],
     unreachable: list[str] | None = None,
+    watermarks: "dict[str, Stamp | tuple[int, int] | None] | None" = None,
+    published: "list[Stamp] | None" = None,
 ) -> ConvergenceReport:
     """Compare reached peer states against the fault-free oracle.
 
@@ -196,6 +205,13 @@ def check_convergence(
     :class:`~repro.net.PeerNode`\\ s, and the :mod:`repro.netd` chaos
     harness calls it on states collected from real daemons over real
     sockets — the same oracle judges both.
+
+    ``watermarks`` (per-peer applied stamps) and ``published`` (the
+    publisher's stamp history) additionally yield per-peer watermark lag
+    via :func:`repro.sync.watermark_lag` — the same stamp arithmetic in
+    both network stacks.  At quiescence every reachable peer's lag must
+    be 0; a nonzero lag names exactly how many publishes the peer is
+    missing.
 
     Oracle sessions are cached per distinct pinned instance, since most
     peers pin nothing.  When *every* peer is unreachable the verdict is
@@ -221,6 +237,12 @@ def check_convergence(
             continue
         expected = cached_oracle(scenario.pinned.get(name))
         peers[name] = states_agree(states[name], expected)
+    lag: dict[str, int] = {}
+    if watermarks is not None and published is not None:
+        lag = {
+            name: watermark_lag(published, watermarks.get(name))
+            for name in peers
+        }
     # Unreachable peers are excluded from the check, so a run whose
     # every peer ended crashed or partitioned converges *vacuously*:
     # nothing reachable diverged.  (all() of an empty dict is True.)
@@ -230,6 +252,7 @@ def check_convergence(
         unreachable=unreachable,
         oracle_size=len(cached_oracle(None)),
         vacuous=not peers,
+        lag=lag,
     )
 
 
@@ -338,6 +361,14 @@ class NetworkSimulator:
         self._published = 0
         self.latest_stamp: Stamp | None = None
         self.latest_snapshot: Instance | None = None
+        #: Every stamp published, in order — the history watermark lag
+        #: is measured against.
+        self.published_stamps: list[Stamp] = []
+        #: The wire trace context minted for each publish.  Anti-entropy
+        #: re-offers reuse the original context (deterministic ids), so
+        #: a repaired delivery stitches into the publish's own trace and
+        #: its latency histogram still measures publish→apply.
+        self._publish_contexts: dict[Stamp, TraceContext] = {}
         #: The previous publish of the current epoch — the base the next
         #: delta is keyed on; None before the first publish and right
         #: after an epoch bump (a restarted publisher re-baselines with a
@@ -430,6 +461,11 @@ class NetworkSimulator:
         self.latest_stamp = stamp
         self.latest_snapshot = snapshot
         self._published += 1
+        self.published_stamps.append(stamp)
+        context = TraceContext.for_publish(
+            self.scenario.publisher, stamp, at=self.clock()
+        )
+        self._publish_contexts[stamp] = context
         payload: Instance | Delta = snapshot
         if self.deltas and self._previous_snapshot is not None:
             delta = Delta(
@@ -449,10 +485,20 @@ class NetworkSimulator:
             )
         else:
             self._note(f"publish stamp={stamp} facts={len(snapshot)}")
-        for peer in self.scenario.peers:
-            self.transport.send(
-                Message(self.scenario.publisher, peer, stamp, payload)
-            )
+        with self.tracer.span(
+            "net.publish",
+            lane=self.scenario.publisher,
+            stamp=str(stamp),
+            facts=len(snapshot),
+        ) as span:
+            context.annotate(span)
+            for peer in self.scenario.peers:
+                self.transport.send(
+                    Message(
+                        self.scenario.publisher, peer, stamp, payload,
+                        context=context,
+                    )
+                )
         self._previous_stamp = stamp
         self._previous_snapshot = snapshot
 
@@ -513,6 +559,7 @@ class NetworkSimulator:
             f"deliver {message.describe()} -> {self._verdict(outcome)} "
             f"state={len(outcome.state)}"
         )
+        self._observe_apply(message, outcome)
         if not message.is_delta:
             return
         if outcome.chain_broken:
@@ -525,12 +572,13 @@ class NetworkSimulator:
                 "net.delta_fallback", message=message.describe()
             )
             if self.metrics is not None:
-                self.metrics.counter("net.delta_fallback").inc()
+                self.metrics.counter("net.delta_fallbacks").inc()
             fallback = Message(
                 self.scenario.publisher,
                 message.recipient,
                 self.latest_stamp,
                 self.latest_snapshot,
+                context=self._publish_contexts.get(self.latest_stamp),
             )
             self._note(f"delta-fallback {fallback.describe()}")
             self.transport.send(fallback)
@@ -539,6 +587,25 @@ class NetworkSimulator:
             self.tracer.event("net.delta_applied", message=message.describe())
             if self.metrics is not None:
                 self.metrics.counter("net.delta_applied").inc()
+
+    def _observe_apply(self, message: Message, outcome) -> None:
+        """Record end-to-end latency and chain-break telemetry for a round.
+
+        Publish→apply latency is virtual-clock milliseconds from the
+        stamp's original publish instant (carried in the wire context) to
+        the moment the peer applied it — the same arithmetic the real
+        daemon performs on wall clocks.
+        """
+        if outcome.chain_broken and self.metrics is not None:
+            self.metrics.counter("net.chain_broken").inc()
+        applied = outcome.ok and not outcome.stale and not outcome.chain_broken
+        if not applied or self.metrics is None:
+            return
+        context = message.context
+        if context is None or context.published_at is None:
+            return
+        elapsed_ms = max(0.0, (self.clock() - context.published_at) * 1000.0)
+        self.metrics.histogram("net.publish_apply_ms").observe(elapsed_ms)
 
     # ------------------------------------------------------------------
     # repair + convergence
@@ -570,9 +637,12 @@ class NetworkSimulator:
                 break
             for name in lagging:
                 self.stats["anti_entropy"] += 1
+                if self.metrics is not None:
+                    self.metrics.counter("net.anti_entropy").inc()
                 message = Message(
                     self.scenario.publisher, name, self.latest_stamp,
                     self.latest_snapshot,
+                    context=self._publish_contexts.get(self.latest_stamp),
                 )
                 outcome = self.nodes[name].receive(
                     message, tracer=self.tracer, metrics=self.metrics
@@ -581,6 +651,7 @@ class NetworkSimulator:
                     f"anti-entropy round={round_number} {message.describe()} "
                     f"-> {self._verdict(outcome)}"
                 )
+                self._observe_apply(message, outcome)
 
     def check_convergence(self) -> ConvergenceReport:
         """Compare every reachable peer against the fault-free oracle.
@@ -599,12 +670,17 @@ class NetworkSimulator:
         """
         states: dict[str, Instance] = {}
         unreachable: list[str] = []
+        watermarks: dict[str, Stamp | None] = {}
         for name in self.scenario.peers:
             if not self.reachable(name):
                 unreachable.append(name)
                 continue
             states[name] = self.nodes[name].state()
-        report = check_convergence(self.scenario, states, unreachable)
+            watermarks[name] = self.nodes[name].stamp
+        report = check_convergence(
+            self.scenario, states, unreachable,
+            watermarks=watermarks, published=self.published_stamps,
+        )
         peers = report.peers
         self._note(
             "convergence "

@@ -30,10 +30,11 @@ optional :class:`~repro.obs.MetricsRegistry`.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.instance import Instance
+from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.faults import FaultClock, FaultSchedule
@@ -75,12 +76,19 @@ class Message:
     watermark makes snapshot ingestion idempotent, and a redelivered
     delta is either stale (below the watermark) or chain-broken (the
     watermark moved past its base) — never applied twice.
+
+    ``context`` is the optional wire trace correlation
+    (:class:`~repro.obs.TraceContext`) riding alongside the stamp; it is
+    observability metadata, excluded from equality and repr so stamped
+    messages compare by what they *mean* regardless of how they are
+    traced.
     """
 
     sender: str
     recipient: str
     stamp: Stamp
     payload: Instance | Delta
+    context: TraceContext | None = field(default=None, compare=False, repr=False)
 
     @property
     def link(self) -> tuple[str, str]:

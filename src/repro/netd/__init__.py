@@ -29,7 +29,7 @@ The CLI front door is ``repro.cli serve`` / ``repro.cli connect``.
 """
 
 from repro.netd.chaos import ChaosProxy
-from repro.netd.client import PublisherClient
+from repro.netd.client import PublisherClient, fetch_stats
 from repro.netd.daemon import DaemonState, SendQueue, SyncDaemon, open_stream
 from repro.netd.frames import (
     DEFAULT_MAX_FRAME,
@@ -58,6 +58,7 @@ __all__ = [
     "decode_message",
     "encode_frame",
     "encode_message",
+    "fetch_stats",
     "open_stream",
     "run_scenario_netd",
 ]

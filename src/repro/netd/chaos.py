@@ -279,15 +279,34 @@ class _ProxyLink:
         except (ConnectionError, OSError, asyncio.CancelledError):
             return
 
+    @staticmethod
+    def _trace_of(frame) -> str | None:
+        """The wire trace id riding the frame's ``ctx`` key, if any."""
+        payload = frame.payload
+        if not isinstance(payload, dict):
+            return None
+        ctx = payload.get("ctx")
+        if not isinstance(ctx, dict):
+            return None
+        trace = ctx.get("t")
+        return trace if isinstance(trace, str) else None
+
     async def _afflict(self, encoded: bytes, frame) -> bool:
-        """Apply the schedule to one data frame; False when severed."""
+        """Apply the schedule to one data frame; False when severed.
+
+        Every fault emits a self-describing ``chaos.*`` trace event
+        carrying the schedule index, the frame description, and — when
+        the frame carries a wire trace context — the publish's trace id,
+        so a stitched timeline shows *which* publish each fault hit.
+        """
         proxy = self.proxy
         index = proxy._data_index
         proxy._data_index += 1
+        trace = self._trace_of(frame)
         if index in proxy.sever:
             proxy._count("severed")
             proxy.tracer.event(
-                "chaos.sever", index=index, frame=frame.describe()
+                "chaos.sever", index=index, frame=frame.describe(), trace=trace
             )
             self.abort()
             return False
@@ -299,7 +318,7 @@ class _ProxyLink:
         if decision is not None and decision.drop:
             proxy._count("dropped")
             proxy.tracer.event(
-                "chaos.drop", index=index, frame=frame.describe()
+                "chaos.drop", index=index, frame=frame.describe(), trace=trace
             )
             return True
         hold = proxy.latency
@@ -307,14 +326,25 @@ class _ProxyLink:
             if decision.delay > 0:
                 hold += decision.delay
                 proxy._count("delayed")
+                proxy.tracer.event(
+                    "chaos.delay", index=index, frame=frame.describe(),
+                    trace=trace, delay=decision.delay,
+                )
             if decision.reorder:
                 hold += proxy.reorder_delay
                 proxy._count("reordered")
+                proxy.tracer.event(
+                    "chaos.reorder", index=index, frame=frame.describe(),
+                    trace=trace, hold=proxy.reorder_delay,
+                )
         await self._deliver(encoded, hold * proxy.time_scale)
         proxy._count("forwarded")
         if decision is not None and decision.duplicate:
             proxy._count("duplicated")
-            proxy.tracer.event("chaos.duplicate", index=index)
+            proxy.tracer.event(
+                "chaos.duplicate", index=index, frame=frame.describe(),
+                trace=trace,
+            )
             proxy._spawn(
                 self._deliver_later(
                     encoded, (hold + proxy.duplicate_lag) * proxy.time_scale

@@ -33,6 +33,7 @@ asserts they converge to the same states.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from typing import Any
 
@@ -49,12 +50,13 @@ from repro.netd.frames import (
     encode_frame,
     encode_message,
 )
+from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.retry import RetryPolicy
 from repro.sync.session import Stamp
 
-__all__ = ["PublisherClient"]
+__all__ = ["PublisherClient", "fetch_stats"]
 
 #: ACK outcomes that advance the delta base: the daemon either applied
 #: the snapshot or already held it (stale) — either way its state now
@@ -420,7 +422,12 @@ class PublisherClient:
             self._note_depth()
             self._pending_space.set()
 
-    def _encode_payload(self, stamp: Stamp, snapshot: Instance) -> tuple[bytes, bool]:
+    def _encode_payload(
+        self,
+        stamp: Stamp,
+        snapshot: Instance,
+        context: TraceContext | None = None,
+    ) -> tuple[bytes, bool]:
         """Pick delta vs snapshot; returns (frame bytes, is_delta)."""
         if self.deltas and self._acked is not None:
             base_stamp, base_snapshot = self._acked
@@ -431,20 +438,44 @@ class PublisherClient:
                     message = Message(
                         self.sender, self.peer, stamp,
                         Delta(base=base_stamp, added=added, withdrawn=withdrawn),
+                        context=context,
                     )
                     return encode_message(message, self.max_frame), True
-        message = Message(self.sender, self.peer, stamp, snapshot)
+        message = Message(self.sender, self.peer, stamp, snapshot, context=context)
         return encode_message(message, self.max_frame), False
 
     async def _send_one(self, stamp: Stamp, snapshot: Instance) -> str:
-        """Deliver one stamped snapshot: send, await ACK, handle fallback."""
+        """Deliver one stamped snapshot inside a ``netd.publish`` span.
+
+        The span's trace context rides the wire (the frame's ``ctx``
+        key), so the daemon's ``netd.ingest`` span on the other side of
+        the socket stitches as this publish's child hop.
+        """
+        context = TraceContext.for_publish(self.sender, stamp, at=time.time())
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "netd.publish", lane=self.sender, peer=self.peer,
+                stamp=str(stamp), facts=len(snapshot),
+            ) as span:
+                context.annotate(span)
+                outcome = await self._deliver(stamp, snapshot, context)
+                span.set("outcome", outcome)
+            return outcome
+        return await self._deliver(stamp, snapshot, context)
+
+    async def _deliver(
+        self, stamp: Stamp, snapshot: Instance, context: TraceContext
+    ) -> str:
+        """Send, await ACK, handle fallback — until a verdict lands."""
         sent_full = False
         while True:
             if not self.connected:
                 await self._connect()
-            data, is_delta = self._encode_payload(stamp, snapshot)
+            data, is_delta = self._encode_payload(stamp, snapshot, context)
             if sent_full and is_delta:  # fallback pass must not re-delta
-                message = Message(self.sender, self.peer, stamp, snapshot)
+                message = Message(
+                    self.sender, self.peer, stamp, snapshot, context=context
+                )
                 data, is_delta = encode_message(message, self.max_frame), False
             if self.tracer.enabled:
                 with self.tracer.span(
@@ -544,3 +575,56 @@ class PublisherClient:
             self.stats["ack_unmatched"] += 1
             if self.metrics is not None:
                 self.metrics.counter("netd.ack_unmatched").inc()
+
+
+async def fetch_stats(address: Any, timeout: float = 5.0) -> dict[str, Any]:
+    """One-shot ops probe: dial ``address``, send ``STATS``, return the reply.
+
+    The exchange needs no ``HELLO`` — a ``STATS`` frame is answerable
+    before (or without) a peer handshake, so fleet tooling can poll a
+    daemon it does not publish to.  Returns the daemon's
+    :meth:`~repro.netd.SyncDaemon.stats_payload` dict.  Raises
+    :class:`ConnectionError` / :class:`OSError` when the daemon is
+    unreachable, :class:`asyncio.TimeoutError` when it stays silent, and
+    :class:`~repro.exceptions.ProtocolError` on an ``ERROR`` reply.
+    """
+    reader, writer = await open_stream(address)
+    decoder = FrameDecoder()
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    try:
+        writer.write(encode_frame(FrameKind.STATS, {}))
+        await writer.drain()
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError(
+                    f"daemon at {address!r} did not answer STATS in {timeout}s"
+                )
+            data = await asyncio.wait_for(
+                reader.read(64 * 1024), timeout=remaining
+            )
+            if not data:
+                raise ConnectionError(
+                    f"daemon at {address!r} closed before answering STATS"
+                )
+            for frame in decoder.feed(data):
+                if frame.kind is FrameKind.STATS:
+                    return dict(frame.payload)
+                if frame.kind is FrameKind.ERROR:
+                    raise ProtocolError(
+                        f"daemon error: {frame.payload.get('error', '?')}"
+                    )
+                if frame.kind is FrameKind.BYE:
+                    raise ConnectionError("daemon said BYE")
+                # HEARTBEAT (or anything else): not ours, keep waiting.
+    finally:
+        try:
+            writer.write(encode_frame(FrameKind.BYE, {}))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        try:
+            writer.close()
+        except (ConnectionError, OSError):
+            pass

@@ -48,6 +48,7 @@ drain counters.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from enum import Enum
 from pathlib import Path
@@ -67,11 +68,12 @@ from repro.netd.frames import (
     encode_frame,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.budget import Budget
 from repro.runtime.journal import SessionJournal
 from repro.runtime.retry import RetryPolicy
-from repro.sync.session import Stamp, SyncSession
+from repro.sync.session import Stamp, SyncSession, watermark_lag
 
 __all__ = ["Address", "DaemonState", "SendQueue", "SyncDaemon", "open_stream"]
 
@@ -322,6 +324,16 @@ class SyncDaemon:
             "protocol_errors": 0, "idle_closed": 0, "heartbeats_sent": 0,
             "drained_rounds": 0, "drain_dropped": 0, "queue_evicted": 0,
         }
+        # Flight recorder: always on (ring appends are cheap dict writes),
+        # flushed to a post-mortem file next to the journals on crash,
+        # abort, or stop.
+        self.recorder = FlightRecorder()
+        self.postmortems: list[Path] = []
+        # Every distinct stamp this daemon has seen, in arrival order —
+        # the daemon-side view of the publisher's history, used as the
+        # ``published`` side of per-peer watermark lag.
+        self._stamps_seen: list[Stamp] = []
+        self._stamp_set: set[Stamp] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -345,6 +357,7 @@ class SyncDaemon:
             )
         self.state = DaemonState.SERVING
         self.tracer.event("netd.serving", address=str(self.address))
+        self.recorder.record("netd.serving", address=str(self.address))
 
     @property
     def address(self):
@@ -383,10 +396,12 @@ class SyncDaemon:
             await connection.close(send_bye=True, reason="drain")
         self.state = DaemonState.STOPPED
         self.tracer.event("netd.stopped", drained=drained)
+        self.recorder.record("netd.stopped", drained=drained)
         if self.metrics is not None:
             self.metrics.counter("netd.drained_rounds").inc(
                 self.stats["drained_rounds"]
             )
+        self._flush_postmortem("daemon", reason="stop")
         self._stopped.set()
         return drained
 
@@ -418,6 +433,7 @@ class SyncDaemon:
         """
         if self._server is not None:
             self._server.close()
+        self.recorder.record("netd.abort")
         for host in self.hosts.values():
             if host.worker is not None:
                 host.worker.cancel()
@@ -425,6 +441,7 @@ class SyncDaemon:
         for connection in list(self._connections):
             connection.abort()
         self.state = DaemonState.STOPPED
+        self._flush_postmortem("daemon", reason="abort")
         self._stopped.set()
 
     # ------------------------------------------------------------------
@@ -443,12 +460,50 @@ class SyncDaemon:
     def peer_stats(self, peer: str) -> dict[str, int]:
         return dict(self._host(peer).stats)
 
+    def stats_payload(self) -> dict[str, Any]:
+        """The ops snapshot answered to a ``STATS`` frame.
+
+        Everything is JSON-clean: stamps flatten to ``[epoch, seq]``
+        pairs and per-peer watermark lag is computed against every stamp
+        the daemon has seen.
+        """
+        peers: dict[str, Any] = {}
+        for name, host in self.hosts.items():
+            watermark = host.watermark
+            peers[name] = {
+                "watermark": (
+                    [watermark.epoch, watermark.seq]
+                    if watermark is not None else None
+                ),
+                "lag": watermark_lag(self._stamps_seen, watermark),
+                "crashed": host.session is None,
+                "queue_depth": host.queue.qsize(),
+                "stats": dict(host.stats),
+            }
+        return {
+            "state": self.state.value,
+            "stats": dict(self.stats),
+            "peers": peers,
+        }
+
     def crash_peer(self, peer: str) -> None:
-        """Simulate one hosted peer's process death (memory loss)."""
+        """Simulate one hosted peer's process death (memory loss).
+
+        The flight recorder's ring is flushed to a post-mortem file
+        (``<peer>.postmortem.jsonl`` next to the journals) so the crash's
+        prelude survives for :func:`repro.obs.read_postmortem`.
+        """
         host = self._host(peer)
         if host.session is None:
             raise SimulationError(f"peer {peer!r} is already crashed")
+        watermark = host.watermark
         host.session = None
+        self.recorder.record(
+            "netd.peer_crashed",
+            peer=peer,
+            watermark=list(watermark) if watermark is not None else None,
+        )
+        self._flush_postmortem(peer, reason="crash")
 
     def restart_peer(self, peer: str) -> None:
         """Bring a crashed hosted peer back, resuming from its journal."""
@@ -456,6 +511,27 @@ class SyncDaemon:
         if host.session is not None:
             raise SimulationError(f"peer {peer!r} is not crashed")
         host.open_session()
+        watermark = host.watermark
+        self.recorder.record(
+            "netd.peer_restarted",
+            peer=peer,
+            watermark=list(watermark) if watermark is not None else None,
+        )
+
+    def _flush_postmortem(self, label: str, reason: str) -> Path | None:
+        """Flush the flight-recorder ring next to the journals.
+
+        No ``journal_dir`` means nowhere durable to write — the flush is
+        skipped (a journal-free daemon has already opted out of durable
+        state).
+        """
+        if self.journal_dir is None or not len(self.recorder):
+            return None
+        path = self.recorder.flush(
+            self.journal_dir / f"{label}.postmortem.jsonl", reason=reason
+        )
+        self.postmortems.append(path)
+        return path
 
     def _host(self, peer: str) -> _PeerHost:
         try:
@@ -501,10 +577,27 @@ class SyncDaemon:
                 )
                 self.stats["acks_sent"] += 1
 
+    def _observe_stamp(self, stamp: Stamp) -> None:
+        """Track every distinct stamp seen, in arrival order, for lag."""
+        if stamp not in self._stamp_set:
+            self._stamp_set.add(stamp)
+            self._stamps_seen.append(stamp)
+
+    def lag(self, peer: str) -> int:
+        """Stamps seen by the daemon but not yet applied by ``peer``."""
+        return watermark_lag(self._stamps_seen, self._host(peer).watermark)
+
     async def _ingest(self, host: _PeerHost, message: Message) -> dict[str, Any]:
         """Run one stamped round for ``host``; returns the ACK payload."""
+        self._observe_stamp(message.stamp)
         if host.session is None:
             host.stats["unavailable"] += 1
+            self.recorder.record(
+                "netd.ingest",
+                peer=host.name,
+                stamp=str(message.stamp),
+                outcome="unavailable",
+            )
             return {
                 "recipient": host.name,
                 "stamp": [message.stamp.epoch, message.stamp.seq],
@@ -513,9 +606,13 @@ class SyncDaemon:
             }
         session = host.session
         budget = self._budget(host.name)
+        context = message.context
         with self.tracer.span(
-            "netd.ingest", peer=host.name, stamp=str(message.stamp)
+            "netd.ingest", peer=host.name, lane=host.name,
+            stamp=str(message.stamp),
         ) as span:
+            if context is not None:
+                context.child(f"{host.name}:ingest").annotate(span)
             if message.is_delta:
                 delta = message.payload
                 outcome = await asyncio.to_thread(
@@ -549,8 +646,28 @@ class SyncDaemon:
             host.stats[key] = host.stats.get(key, 0) + 1
             if self.tracer.enabled:
                 span.set("outcome", verdict)
+        self.recorder.record(
+            "netd.ingest",
+            peer=host.name,
+            stamp=str(message.stamp),
+            outcome=verdict,
+            trace=context.trace_id if context is not None else None,
+        )
         if self.metrics is not None:
             self.metrics.counter(f"netd.rounds.{key}").inc()
+            if verdict == "chain-broken":
+                self.metrics.counter("netd.chain_broken").inc()
+            if (
+                verdict == "applied"
+                and context is not None
+                and context.published_at is not None
+            ):
+                self.metrics.histogram("netd.publish_apply_ms").observe(
+                    max(0.0, (time.time() - context.published_at) * 1000.0)
+                )
+            self.metrics.gauge(f"netd.lag.{host.name}").set(
+                self.lag(host.name)
+            )
         watermark = host.watermark
         return {
             "recipient": host.name,
@@ -611,6 +728,9 @@ class _Connection:
         except ProtocolError as error:
             self.daemon.stats["protocol_errors"] += 1
             self.daemon.tracer.event("netd.protocol_error", error=str(error))
+            self.daemon.recorder.record(
+                "netd.protocol_error", peer=self.peer_name, error=str(error)
+            )
             if self.daemon.metrics is not None:
                 self.daemon.metrics.counter("netd.protocol_errors").inc()
             await self.send(
@@ -690,6 +810,13 @@ class _Connection:
             # which stops draining the socket — TCP backpressure reaches
             # the publisher instead of the daemon buffering unboundedly.
             await host.queue.put((message, self))
+        elif frame.kind is FrameKind.STATS:
+            await self.send(
+                encode_frame(
+                    FrameKind.STATS, daemon.stats_payload(), daemon.max_frame
+                ),
+                evictable=False,
+            )
         elif frame.kind is FrameKind.HEARTBEAT:
             pass  # already refreshed last_received
         elif frame.kind is FrameKind.BYE:

@@ -46,6 +46,7 @@ from repro.core.schema import Schema
 from repro.exceptions import ProtocolError
 from repro.io.serialization import instance_from_dict, instance_to_dict
 from repro.net.transport import Delta, Message
+from repro.obs.context import TraceContext
 from repro.sync.session import Stamp
 
 __all__ = [
@@ -81,6 +82,7 @@ class FrameKind(IntEnum):
     HEARTBEAT = 6  #: either direction: liveness while otherwise idle
     BYE = 7        #: orderly close (drain complete / client done)
     ERROR = 8      #: daemon → client: protocol failure before closing
+    STATS = 9      #: request (client) / reply (daemon): ops snapshot
 
 
 @dataclass(frozen=True)
@@ -214,6 +216,10 @@ def encode_message(message: Message, max_frame: int = DEFAULT_MAX_FRAME) -> byte
         "recipient": message.recipient,
         "stamp": _stamp_to_json(message.stamp),
     }
+    if message.context is not None:
+        # Trace correlation rides alongside the stamp.  Optional and
+        # lenient on decode: the protocol version does not change.
+        common["ctx"] = message.context.to_wire()
     if isinstance(message.payload, Delta):
         payload = dict(
             common,
@@ -273,4 +279,7 @@ def decode_message(frame: Frame, schema: Schema | None = None) -> Message:
         )
     else:
         body = decode_instance("instance")
-    return Message(sender, recipient, stamp, body)
+    # Trace context is metadata, never a reason to refuse data:
+    # from_wire returns None on anything malformed.
+    context = TraceContext.from_wire(payload.get("ctx"))
+    return Message(sender, recipient, stamp, body, context=context)

@@ -46,6 +46,7 @@ from repro.net.simulator import ConvergenceReport, check_convergence
 from repro.netd.chaos import ChaosProxy
 from repro.netd.client import PublisherClient
 from repro.netd.daemon import SyncDaemon
+from repro.obs.exporters import write_trace_jsonl
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.retry import RetryPolicy
@@ -79,10 +80,17 @@ class NetdReport:
     convergence: ConvergenceReport | None = None
     drained: bool = True
     log: list[str] = field(repr=False, default_factory=list)
+    trace_files: dict[str, Path] = field(default_factory=dict)
+    postmortems: list[Path] = field(default_factory=list)
 
     @property
     def converged(self) -> bool:
         return self.convergence is not None and self.convergence.converged
+
+    @property
+    def lag(self) -> dict[str, int]:
+        """Per-peer watermark lag at the end of the run (0 = caught up)."""
+        return dict(self.convergence.lag) if self.convergence is not None else {}
 
 
 def run_scenario_netd(
@@ -97,6 +105,7 @@ def run_scenario_netd(
     node_cap: int | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    trace_dir: str | Path | None = None,
 ) -> NetdReport:
     """Execute ``scenario`` over real sockets; blocking wrapper.
 
@@ -114,6 +123,10 @@ def run_scenario_netd(
         anti_entropy_limit: bounded repair rounds after the timeline.
         node_cap: optional per-round node cap on the daemon's budgets.
         tracer / metrics: optional shared :mod:`repro.obs` sinks.
+        trace_dir: when set, the run records one distributed-tracing
+            lane per component — ``publisher.jsonl``, ``daemon.jsonl``,
+            and (under chaos) ``chaos.jsonl`` are written there for
+            :func:`repro.obs.stitch`; overrides ``tracer``.
     """
     return asyncio.run(
         _run(
@@ -128,6 +141,7 @@ def run_scenario_netd(
             node_cap=node_cap,
             tracer=tracer if tracer is not None else NULL_TRACER,
             metrics=metrics,
+            trace_dir=trace_dir,
         )
     )
 
@@ -144,12 +158,28 @@ async def _run(
     node_cap: int | None,
     tracer: Tracer,
     metrics: MetricsRegistry | None,
+    trace_dir: str | Path | None = None,
 ) -> NetdReport:
     owns_journal_dir = journal_dir is None
     if owns_journal_dir:
         journal_dir = tempfile.mkdtemp(prefix=f"repro-netd-{scenario.name}-")
     log: list[str] = []
     virtual_now = 0.0
+
+    # One tracer per component when trace_dir is set: each writes its own
+    # JSONL lane, and the three files stitch into one timeline because
+    # every lane shares this process's perf_counter clock.
+    lane_tracers: dict[str, Tracer] = {}
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        lane_tracers["publisher"] = Tracer()
+        lane_tracers["daemon"] = Tracer()
+        if use_chaos:
+            lane_tracers["chaos"] = Tracer()
+    publisher_tracer = lane_tracers.get("publisher", tracer)
+    daemon_tracer = lane_tracers.get("daemon", tracer)
+    chaos_tracer = lane_tracers.get("chaos", tracer)
 
     def note(text: str) -> None:
         log.append(f"t={virtual_now:07.3f} {text}")
@@ -163,7 +193,7 @@ async def _run(
         heartbeat_interval=5.0,
         idle_timeout=60.0,
         max_queue=max_queue,
-        tracer=tracer,
+        tracer=daemon_tracer,
         metrics=metrics,
     )
     await daemon.start()
@@ -182,7 +212,7 @@ async def _run(
                     latency=scenario.latency,
                     reorder_delay=scenario.reorder_delay,
                     time_scale=time_scale,
-                    tracer=tracer,
+                    tracer=chaos_tracer,
                     metrics=metrics,
                 )
                 await proxy.start()
@@ -202,7 +232,7 @@ async def _run(
                 max_queue=max_queue,
                 ack_timeout=ack_timeout,
                 heartbeat_interval=1.0,
-                tracer=tracer,
+                tracer=publisher_tracer,
                 metrics=metrics,
             )
             await client.start()
@@ -221,6 +251,7 @@ async def _run(
 
         epoch, seq = 1, 0
         published = 0
+        published_stamps: list[Stamp] = []
         latest_stamp: Stamp | None = None
         latest_snapshot: Instance | None = None
 
@@ -233,6 +264,7 @@ async def _run(
                 seq += 1
                 stamp = Stamp(epoch, seq)
                 latest_stamp, latest_snapshot = stamp, snapshot
+                published_stamps.append(stamp)
                 published += 1
                 note(f"publish stamp={stamp} facts={len(snapshot)}")
                 for peer in scenario.peers:
@@ -288,12 +320,14 @@ async def _run(
                     break
                 for peer in lagging:
                     anti_entropy += 1
+                    if metrics is not None:
+                        metrics.counter("netd.anti_entropy").inc()
                     repair = PublisherClient(
                         daemon.address,
                         peer,
                         sender=scenario.publisher,
                         ack_timeout=max(1.0, ack_timeout),
-                        tracer=tracer,
+                        tracer=publisher_tracer,
                         metrics=metrics,
                     )
                     await repair.start()
@@ -307,12 +341,17 @@ async def _run(
         # ---- collect final states and judge with the shared oracle
         states: dict[str, Instance] = {}
         unreachable: list[str] = []
+        watermarks: dict[str, Stamp | None] = {}
         for peer in scenario.peers:
+            watermarks[peer] = daemon.watermark(peer)
             if _reachable(peer, crashed, proxies):
                 states[peer] = daemon.peer_state(peer)
             else:
                 unreachable.append(peer)
-        convergence = check_convergence(scenario, states, unreachable)
+        convergence = check_convergence(
+            scenario, states, unreachable,
+            watermarks=watermarks, published=published_stamps,
+        )
         note(
             "convergence "
             + (
@@ -344,6 +383,10 @@ async def _run(
         drained = await daemon.stop(drain=True)
         note(f"daemon stopped drained={drained}")
 
+        trace_files = _write_lanes(lane_tracers, trace_dir)
+        for label, path in trace_files.items():
+            note(f"trace lane {label} -> {path}")
+
         return NetdReport(
             scenario=scenario.name,
             seed=scenario.seed,
@@ -355,6 +398,8 @@ async def _run(
             convergence=convergence,
             drained=drained,
             log=log,
+            trace_files=trace_files,
+            postmortems=list(daemon.postmortems),
         )
     finally:
         for client in clients.values():
@@ -362,8 +407,23 @@ async def _run(
         for proxy in proxies.values():
             await proxy.stop()
         await daemon.stop(drain=False)
+        _write_lanes(lane_tracers, trace_dir)
         if owns_journal_dir:
             shutil.rmtree(journal_dir, ignore_errors=True)
+
+
+def _write_lanes(
+    lane_tracers: dict[str, Tracer], trace_dir: str | Path | None
+) -> dict[str, Path]:
+    """Write one JSONL trace file per component lane (idempotent)."""
+    if trace_dir is None or not lane_tracers:
+        return {}
+    trace_files: dict[str, Path] = {}
+    for label, lane in lane_tracers.items():
+        path = Path(trace_dir) / f"{label}.jsonl"
+        write_trace_jsonl(lane, path)
+        trace_files[label] = path
+    return trace_files
 
 
 def _severed(

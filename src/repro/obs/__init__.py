@@ -16,11 +16,29 @@ are shared no-op objects.
   the sync journal), a human-readable span tree, and Chrome
   ``trace_event`` dumps (:mod:`repro.obs.exporters`).
 
-CLI integration: ``--trace PATH`` / ``--metrics`` on ``solve`` /
-``certain`` / ``sync``, and ``repro.cli profile`` for running a
-:mod:`repro.workloads` profile workload under the tracer.
+PR 8 grew it into a *distributed* observability plane:
+
+* :class:`TraceContext` — a compact wire-propagated correlation context
+  (deterministic trace id per publish) carried on ``netd`` frames and
+  simulator messages (:mod:`repro.obs.context`);
+* :func:`stitch` — merge per-peer JSONL trace files into one
+  causally-ordered :class:`StitchedTimeline` with a one-lane-per-peer
+  Chrome export (:mod:`repro.obs.stitch`);
+* :class:`FlightRecorder` / :func:`read_postmortem` — a bounded ring of
+  recent events flushed to a torn-tail-tolerant post-mortem file on
+  crash/abort/stop (:mod:`repro.obs.recorder`);
+* :data:`METRIC_NAME_TABLE` / :data:`DEPRECATED_METRICS` — the unified
+  ``net.*`` / ``netd.*`` / ``chaos.*`` metric vocabulary with rename
+  shims (:mod:`repro.obs.names`).
+
+CLI integration: ``--trace PATH`` / ``--chrome PATH`` / ``--metrics`` on
+``solve`` / ``certain`` / ``sync`` / ``simulate`` / ``profile``,
+``repro.cli profile`` for running a :mod:`repro.workloads` profile
+workload under the tracer, and ``repro.cli obs`` (``stitch`` /
+``postmortem`` / ``top``) for the distributed artifacts.
 """
 
+from repro.obs.context import TraceContext
 from repro.obs.exporters import (
     TRACE_SCHEMA_VERSION,
     aggregate_spans,
@@ -38,6 +56,20 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.names import (
+    DEPRECATED_METRICS,
+    METRIC_NAME_TABLE,
+    canonical_metric_name,
+    metric_documented,
+    undocumented,
+)
+from repro.obs.recorder import (
+    POSTMORTEM_SCHEMA_VERSION,
+    FlightRecorder,
+    Postmortem,
+    read_postmortem,
+)
+from repro.obs.stitch import StitchedEvent, StitchedSpan, StitchedTimeline, stitch
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -45,11 +77,17 @@ __all__ = [
     "Span",
     "NullTracer",
     "NULL_TRACER",
+    "TraceContext",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "DEFAULT_DURATION_BUCKETS_MS",
+    "METRIC_NAME_TABLE",
+    "DEPRECATED_METRICS",
+    "canonical_metric_name",
+    "metric_documented",
+    "undocumented",
     "TRACE_SCHEMA_VERSION",
     "trace_records",
     "write_trace_jsonl",
@@ -58,4 +96,12 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "aggregate_spans",
+    "stitch",
+    "StitchedTimeline",
+    "StitchedSpan",
+    "StitchedEvent",
+    "FlightRecorder",
+    "Postmortem",
+    "read_postmortem",
+    "POSTMORTEM_SCHEMA_VERSION",
 ]

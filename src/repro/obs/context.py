@@ -1,0 +1,144 @@
+"""Wire-propagated trace context: one correlation id per publish.
+
+A distributed sync round crosses process boundaries — the publisher's
+``netd.publish`` span, the daemon's ``netd.ingest`` span, and the peer's
+apply all belong to one causal story, but each process records its own
+trace file.  :class:`TraceContext` is the compact correlation record
+that ties them together on the wire:
+
+* ``trace_id`` — the publish's identity, shared by every span the
+  publish causes anywhere in the fleet.  It is **deterministic**:
+  ``sender:epoch.seq`` — the same :class:`~repro.sync.Stamp` arithmetic
+  that makes ingestion idempotent also names the trace, so two peers
+  (or two runs) ingesting the same publish agree on the id with no
+  coordination and no randomness;
+* ``span_id`` — this hop's own span (``<trace>:publish``,
+  ``<trace>:peer-a:ingest``, ...);
+* ``parent_id`` — the upstream hop's ``span_id``, None at the origin;
+* ``published_at`` — the publisher's clock at publish time, carried so
+  downstream hops can observe end-to-end publish→apply latency.
+
+On the wire the context is a small JSON object (see :meth:`to_wire`)
+riding in the optional ``"ctx"`` field of ``SNAPSHOT``/``DELTA`` frame
+payloads and on :class:`~repro.net.Message`.  Decoding is deliberately
+**lenient** (:meth:`from_wire` returns None on anything malformed):
+context is observability metadata, and a peer must never refuse a
+well-stamped snapshot because its tracing envelope is dented.
+
+In recorded spans the context lives in ordinary span *attributes*
+(``ctx.trace`` / ``ctx.span`` / ``ctx.parent``, via :meth:`annotate`),
+so the JSONL trace schema is unchanged and
+:func:`~repro.obs.stitch.stitch` can correlate spans across per-peer
+trace files written by processes that never shared a tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["TraceContext"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop's correlation context for a published snapshot.
+
+    Attributes:
+        trace_id: the publish's fleet-wide identity (``sender:epoch.seq``).
+        span_id: this hop's span identity within the trace.
+        parent_id: the upstream hop's ``span_id``, or None at the origin.
+        published_at: the publisher's clock reading at publish time
+            (wall clock for the daemon, virtual clock in the simulator),
+            or None when unknown.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    published_at: float | None = None
+
+    @classmethod
+    def for_publish(
+        cls,
+        sender: str,
+        stamp: tuple[int, int],
+        at: float | None = None,
+    ) -> "TraceContext":
+        """The origin context for one publish: deterministic trace id.
+
+        The id is pure stamp arithmetic — no randomness — so every
+        process that sees this publish derives the identical trace id.
+        ``stamp`` is any ``(epoch, seq)`` pair (duck-typed so this module
+        stays import-cycle-free of :mod:`repro.sync`).
+        """
+        epoch, seq = stamp
+        trace_id = f"{sender}:{int(epoch)}.{int(seq)}"
+        return cls(trace_id=trace_id, span_id=f"{trace_id}:publish", published_at=at)
+
+    def child(self, site: str) -> "TraceContext":
+        """A downstream hop's context: same trace, parented on this span."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=f"{self.trace_id}:{site}",
+            parent_id=self.span_id,
+            published_at=self.published_at,
+        )
+
+    # ------------------------------------------------------------------
+    # wire codec
+    # ------------------------------------------------------------------
+
+    def to_wire(self) -> dict[str, Any]:
+        """The compact JSON object carried in a frame's ``"ctx"`` field."""
+        encoded: dict[str, Any] = {"t": self.trace_id, "s": self.span_id}
+        if self.parent_id is not None:
+            encoded["p"] = self.parent_id
+        if self.published_at is not None:
+            encoded["at"] = self.published_at
+        return encoded
+
+    @classmethod
+    def from_wire(cls, encoded: Any) -> "TraceContext | None":
+        """Decode a wire context; None on anything malformed.
+
+        Lenient by contract: a missing or dented context must never
+        fail the frame it rides on — the snapshot is still perfectly
+        good data, it just goes untraced.
+        """
+        if not isinstance(encoded, dict):
+            return None
+        trace_id = encoded.get("t")
+        span_id = encoded.get("s")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        parent = encoded.get("p")
+        if parent is not None and not isinstance(parent, str):
+            parent = None
+        at = encoded.get("at")
+        if not isinstance(at, (int, float)) or isinstance(at, bool):
+            at = None
+        return cls(
+            trace_id=trace_id, span_id=span_id,
+            parent_id=parent, published_at=at,
+        )
+
+    # ------------------------------------------------------------------
+    # span integration
+    # ------------------------------------------------------------------
+
+    def annotate(self, span) -> None:
+        """Stamp this context into a span's attributes.
+
+        Uses plain attributes (``ctx.trace`` / ``ctx.span`` /
+        ``ctx.parent``) so the JSONL trace schema stays at version 1;
+        :func:`~repro.obs.stitch.stitch` reads them back to correlate
+        spans across files.
+        """
+        span.set("ctx.trace", self.trace_id)
+        span.set("ctx.span", self.span_id)
+        if self.parent_id is not None:
+            span.set("ctx.parent", self.parent_id)
+
+    def __str__(self) -> str:
+        return self.span_id

@@ -24,6 +24,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Any, Mapping
 
+from repro.obs.names import DEPRECATED_METRICS
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -125,9 +127,12 @@ class MetricsRegistry:
         self.labels: dict[str, str] = {}
 
     def _get(self, name: str, kind: type, factory) -> Any:
+        # Deprecated names alias their replacement: both address ONE
+        # instrument, so dashboards keyed on either agree mid-migration.
+        name = DEPRECATED_METRICS.get(name, name)
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = factory()
+            instrument = factory(name)
             self._instruments[name] = instrument
         elif not isinstance(instrument, kind):
             raise TypeError(
@@ -137,16 +142,16 @@ class MetricsRegistry:
         return instrument
 
     def counter(self, name: str) -> Counter:
-        return self._get(name, Counter, lambda: Counter(name))
+        return self._get(name, Counter, Counter)
 
     def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge, lambda: Gauge(name))
+        return self._get(name, Gauge, Gauge)
 
     def histogram(
         self, name: str, buckets: tuple[float, ...] = DEFAULT_DURATION_BUCKETS_MS
     ) -> Histogram:
         # First registration wins the bucket layout; later callers share it.
-        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+        return self._get(name, Histogram, lambda name: Histogram(name, buckets))
 
     def annotate(self, key: str, value: Any) -> None:
         """Record a string fact (solver chosen, dispatch explanation, ...)."""

@@ -1,0 +1,189 @@
+"""Crash flight recorder: a bounded ring of recent events, flushed on death.
+
+Traces answer "what happened during a run that *finished*"; the flight
+recorder answers "what were the last things a daemon did before it
+*died*".  A :class:`FlightRecorder` keeps a bounded in-memory ring of
+recent events — cheap dict appends, always on — and :meth:`~
+FlightRecorder.flush` writes the ring to a post-mortem file when the
+process is about to stop mattering: a simulated kill-9
+(``SyncDaemon.crash_peer`` / ``abort``), a graceful stop, a SIGTERM from
+the ``serve`` CLI.
+
+The post-mortem file is JSONL with the same crash discipline as every
+other on-disk artifact here: a schema-versioned header first, one event
+per line, fsynced, and a reader (:func:`read_postmortem`) that drops a
+torn final line — a crash *during* the flush still leaves a readable
+prefix.  The file lands next to the peer's sync journal, so the
+post-mortem workflow is: read the journal for the durable watermark,
+read the post-mortem for the last ``N`` events that led up to it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.exceptions import TraceError
+
+__all__ = [
+    "POSTMORTEM_SCHEMA_VERSION",
+    "FlightRecorder",
+    "Postmortem",
+    "read_postmortem",
+]
+
+#: Version stamped into every post-mortem file header.
+POSTMORTEM_SCHEMA_VERSION = 1
+
+
+class FlightRecorder:
+    """A bounded in-memory ring of recent events.
+
+    Recording is always-on and allocation-light (one small dict per
+    event); the ring holds the most recent ``capacity`` events and
+    silently evicts the oldest — :attr:`dropped` counts evictions so a
+    post-mortem says how much history it is missing.
+
+    Args:
+        capacity: ring size (events retained).
+        clock: timestamp source; wall time by default so post-mortems
+            are correlatable across machines, injectable for tests and
+            for the simulator's virtual clock.
+    """
+
+    def __init__(
+        self, capacity: int = 256, clock: Callable[[], float] = time.time
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"flight recorder capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self.recorded = 0
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    def record(self, name: str, **attributes: Any) -> None:
+        """Append one event to the ring (evicting the oldest when full)."""
+        self.recorded += 1
+        self._ring.append(
+            {"name": name, "at": self.clock(), "attributes": attributes}
+        )
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring so far."""
+        return self.recorded - len(self._ring)
+
+    def events(self) -> list[dict[str, Any]]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def flush(self, path: str | Path, reason: str) -> Path:
+        """Write the ring to a post-mortem file, fsynced; returns the path.
+
+        Overwrites any previous flush at ``path`` — the latest ring is
+        the one that describes the death.  The ring itself is left
+        intact, so a flush on crash followed by a flush on final stop
+        both see the full history.
+        """
+        from repro.obs.exporters import _jsonable
+
+        path = Path(path)
+        header = {
+            "type": "header",
+            "version": POSTMORTEM_SCHEMA_VERSION,
+            "format": "repro-postmortem",
+            "reason": reason,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "flushed_at": self.clock(),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in self._ring:
+                record = {
+                    "type": "event",
+                    "name": event["name"],
+                    "at": event["at"],
+                    "attributes": _jsonable(event["attributes"]),
+                }
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return path
+
+
+@dataclass
+class Postmortem:
+    """A recovered post-mortem record.
+
+    Attributes:
+        path: the file the record was read from.
+        reason: why the ring was flushed (``"crash"``, ``"abort"``,
+            ``"stop"``, ...).
+        recorded: total events the recorder ever saw.
+        dropped: events evicted before the flush (history not retained).
+        flushed_at: the recorder clock reading at flush time.
+        events: the retained events, oldest first.
+    """
+
+    path: Path
+    reason: str
+    recorded: int
+    dropped: int
+    flushed_at: float
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    def last(self, n: int) -> list[dict[str, Any]]:
+        """The final ``n`` events (fewer when the ring held fewer)."""
+        return self.events[-n:] if n > 0 else []
+
+
+def read_postmortem(path: str | Path) -> Postmortem:
+    """Read a post-mortem file written by :meth:`FlightRecorder.flush`.
+
+    Tolerates a torn final line (the flush itself died); raises
+    :class:`~repro.exceptions.TraceError` on a missing/invalid header or
+    interior damage.
+    """
+    # Function-level import: repro.runtime reaches repro.core, whose chase
+    # module imports repro.obs.tracer — a module-level import here would
+    # close that cycle during package init.
+    from repro.runtime.journal import read_jsonl_tolerant
+
+    path = Path(path)
+    records = read_jsonl_tolerant(path, label="post-mortem file", error=TraceError)
+    if not records or not isinstance(records[0], dict) or records[0].get("type") != "header":
+        raise TraceError(f"post-mortem file {path} has no header record")
+    header = records[0]
+    if header.get("format") != "repro-postmortem":
+        raise TraceError(f"post-mortem file {path} is not a repro post-mortem")
+    if header.get("version") != POSTMORTEM_SCHEMA_VERSION:
+        raise TraceError(
+            f"post-mortem file {path} has unsupported version "
+            f"{header.get('version')!r}"
+        )
+    events = [
+        {
+            "name": str(record.get("name", "?")),
+            "at": float(record.get("at", 0.0)),
+            "attributes": dict(record.get("attributes") or {}),
+        }
+        for record in records[1:]
+        if isinstance(record, dict) and record.get("type") == "event"
+    ]
+    return Postmortem(
+        path=path,
+        reason=str(header.get("reason", "?")),
+        recorded=int(header.get("recorded", len(events))),
+        dropped=int(header.get("dropped", 0)),
+        flushed_at=float(header.get("flushed_at", 0.0)),
+        events=events,
+    )

@@ -1,0 +1,369 @@
+"""Stitch per-peer JSONL trace files into one cross-peer timeline.
+
+Each process in a distributed run exports its own trace file; the wire
+context (:class:`~repro.obs.context.TraceContext`) leaves correlation
+breadcrumbs in span attributes (``ctx.trace`` / ``ctx.span`` /
+``ctx.parent``).  :func:`stitch` merges the files back into one
+:class:`StitchedTimeline`:
+
+* every span is tagged with its **lane** — the peer/process it came
+  from (the span's own ``lane`` attribute when set, else the file's
+  label);
+* spans sharing a ``ctx.trace`` id are grouped into one trace and
+  ordered **causally** (parent before child along ``ctx.parent`` links,
+  start time as the tiebreak), so a publish reads top-to-bottom:
+  publisher → daemon ingest → peer apply — even though the hops were
+  recorded by different tracers;
+* orphan events (chaos injections, queue evictions) ride along as
+  instants, carrying their lane and any ``trace`` correlation id.
+
+The reader here is deliberately **more lenient** than
+:func:`~repro.obs.exporters.read_trace_jsonl`: files written by
+concurrent daemons may interleave multiple header records (span ids
+restart after each) and tear arbitrary lines, not just the final one.
+Unparsable lines are skipped and counted (:attr:`StitchedTimeline.
+corrupt_lines`) rather than raised — a half-dead fleet's traces must
+still stitch.  Only an unreadable *file* raises
+:class:`~repro.exceptions.TraceError`.
+
+Exports: :meth:`StitchedTimeline.chrome` produces a Chrome
+``trace_event`` dump with **one lane per peer** (``tid`` per lane,
+thread-name metadata), and :meth:`StitchedTimeline.render` a text
+timeline grouped by trace id.
+
+Caveat: stitching compares raw clock readings across files, so it
+assumes the writers shared a clock domain (one test process, or
+wall-clock tracers).  Skew between machines skews lanes, not causality
+— the ctx links still order parent before child.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import TraceError
+
+__all__ = ["StitchedSpan", "StitchedEvent", "StitchedTimeline", "stitch"]
+
+
+@dataclass
+class StitchedSpan:
+    """One span from one lane's trace file, with its wire correlation."""
+
+    lane: str
+    name: str
+    start: float
+    end: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+    counters: dict[str, Any] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    @property
+    def trace_id(self) -> str | None:
+        value = self.attributes.get("ctx.trace")
+        return value if isinstance(value, str) else None
+
+    @property
+    def span_id(self) -> str | None:
+        value = self.attributes.get("ctx.span")
+        return value if isinstance(value, str) else None
+
+    @property
+    def parent_id(self) -> str | None:
+        value = self.attributes.get("ctx.parent")
+        return value if isinstance(value, str) else None
+
+
+@dataclass
+class StitchedEvent:
+    """One parentless instant (orphan event) from one lane's trace file."""
+
+    lane: str
+    name: str
+    at: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def trace_id(self) -> str | None:
+        value = self.attributes.get("trace")
+        return value if isinstance(value, str) else None
+
+
+@dataclass
+class StitchedTimeline:
+    """The merged, causally-ordered view over per-peer trace files.
+
+    Attributes:
+        spans: every span from every file, causally ordered — traces in
+            first-start order, and within a trace parents before
+            children along the ``ctx.parent`` links.
+        events: every orphan event, in time order.
+        lanes: the distinct lanes seen, sorted.
+        files: label → path for the stitched files.
+        corrupt_lines: unparsable lines skipped across all files.
+    """
+
+    spans: list[StitchedSpan] = field(default_factory=list)
+    events: list[StitchedEvent] = field(default_factory=list)
+    lanes: list[str] = field(default_factory=list)
+    files: dict[str, str] = field(default_factory=dict)
+    corrupt_lines: int = 0
+
+    def traces(self) -> dict[str | None, list[StitchedSpan]]:
+        """Spans grouped by correlation id (None = uncorrelated), in order."""
+        groups: dict[str | None, list[StitchedSpan]] = {}
+        for span in self.spans:
+            groups.setdefault(span.trace_id, []).append(span)
+        return groups
+
+    def trace_ids(self) -> list[str]:
+        """The correlation ids present, in first-start order."""
+        return [key for key in self.traces() if key is not None]
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+
+    def chrome(self) -> dict[str, Any]:
+        """A Chrome ``trace_event`` dump with one ``tid`` lane per peer.
+
+        Timestamps are microseconds relative to the earliest reading in
+        the timeline, so the dump loads with t=0 at the left edge.
+        """
+        from repro.obs.exporters import _jsonable
+
+        starts = [s.start for s in self.spans] + [e.at for e in self.events]
+        origin = min(starts, default=0.0)
+        tids = {lane: index + 1 for index, lane in enumerate(self.lanes)}
+        records: list[dict[str, Any]] = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+            for lane, tid in tids.items()
+        ]
+        for span in self.spans:
+            records.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": (span.start - origin) * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": 1,
+                    "tid": tids.get(span.lane, 0),
+                    "args": _jsonable({**span.attributes, **span.counters}),
+                }
+            )
+            for event in span.events:
+                records.append(
+                    {
+                        "name": str(event.get("name", "?")),
+                        "ph": "i",
+                        "s": "t",
+                        "ts": (float(event.get("at", span.start)) - origin) * 1e6,
+                        "pid": 1,
+                        "tid": tids.get(span.lane, 0),
+                        "args": _jsonable(event.get("attributes") or {}),
+                    }
+                )
+        for event in self.events:
+            records.append(
+                {
+                    "name": event.name,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": (event.at - origin) * 1e6,
+                    "pid": 1,
+                    "tid": tids.get(event.lane, 0),
+                    "args": _jsonable(event.attributes),
+                }
+            )
+        return {"traceEvents": records, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str | Path) -> None:
+        """Write the Chrome dump to ``path``."""
+        Path(path).write_text(json.dumps(self.chrome(), sort_keys=True), encoding="utf-8")
+
+    def render(self) -> str:
+        """A text timeline: one block per trace id, hops in causal order."""
+        starts = [s.start for s in self.spans] + [e.at for e in self.events]
+        origin = min(starts, default=0.0)
+        lines: list[str] = []
+        for trace_id, group in self.traces().items():
+            lines.append(f"trace {trace_id if trace_id is not None else '(uncorrelated)'}")
+            for span in group:
+                offset = (span.start - origin) * 1000
+                lines.append(
+                    f"  {offset:10.3f} ms  {span.lane:<12s} {span.name:<20s}"
+                    f" {span.duration * 1000:8.2f} ms"
+                )
+        if self.events:
+            lines.append("events")
+            for event in sorted(self.events, key=lambda e: e.at):
+                offset = (event.at - origin) * 1000
+                trace = event.trace_id
+                suffix = f"  trace={trace}" if trace else ""
+                lines.append(
+                    f"  {offset:10.3f} ms  {event.lane:<12s} {event.name}{suffix}"
+                )
+        return "\n".join(lines)
+
+
+def _read_lenient(path: Path) -> tuple[list[dict[str, Any]], int]:
+    """Read one trace file's records, skipping damage instead of raising.
+
+    Concurrent writers can tear *any* line, and a re-opened tracer
+    re-emits its header (span ids restart), so unlike
+    :func:`~repro.obs.exporters.read_trace_jsonl` this accepts multiple
+    headers and counts unparsable lines rather than raising.  Only an
+    unreadable file raises :class:`~repro.exceptions.TraceError`.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise TraceError(f"cannot read trace {path}: {error}")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines = lines[:-1]
+    records: list[dict[str, Any]] = []
+    corrupt = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            corrupt += 1
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            corrupt += 1
+    return records, corrupt
+
+
+def _causal_order(group: list[StitchedSpan]) -> list[StitchedSpan]:
+    """Parents before children along ctx links, start order as tiebreak."""
+    emitted: set[str] = set()
+    ordered: list[StitchedSpan] = []
+    known = {span.span_id for span in group if span.span_id is not None}
+    pending = sorted(group, key=lambda s: (s.start, s.lane, s.name))
+    while pending:
+        remaining: list[StitchedSpan] = []
+        progressed = False
+        for span in pending:
+            parent = span.parent_id
+            if parent is None or parent not in known or parent in emitted:
+                ordered.append(span)
+                if span.span_id is not None:
+                    emitted.add(span.span_id)
+                progressed = True
+            else:
+                remaining.append(span)
+        if not progressed:
+            # Broken or cyclic links (damaged files): start order wins.
+            ordered.extend(remaining)
+            break
+        pending = remaining
+    return ordered
+
+
+def stitch(
+    traces: Mapping[str, str | Path] | Iterable[str | Path],
+) -> StitchedTimeline:
+    """Merge per-peer JSONL trace files into one timeline.
+
+    Args:
+        traces: either a mapping of lane label → trace path, or an
+            iterable of paths (each file's stem becomes its label).  A
+            span's own ``lane`` attribute, when present, overrides the
+            file label — one file can carry several lanes.
+    """
+    if isinstance(traces, Mapping):
+        labelled = {str(label): Path(p) for label, p in traces.items()}
+    else:
+        labelled = {Path(p).stem: Path(p) for p in traces}
+
+    spans: list[StitchedSpan] = []
+    events: list[StitchedEvent] = []
+    corrupt = 0
+    for label, path in labelled.items():
+        records, bad = _read_lenient(path)
+        corrupt += bad
+        for record in records:
+            kind = record.get("type")
+            if kind == "span":
+                attributes = record.get("attributes")
+                counters = record.get("counters")
+                span_events = record.get("events")
+                attributes = dict(attributes) if isinstance(attributes, dict) else {}
+                lane = attributes.get("lane")
+                start = record.get("start", 0.0)
+                end = record.get("end", start)
+                try:
+                    start = float(start)
+                    end = float(end)
+                except (TypeError, ValueError):
+                    corrupt += 1
+                    continue
+                spans.append(
+                    StitchedSpan(
+                        lane=lane if isinstance(lane, str) else label,
+                        name=str(record.get("name", "?")),
+                        start=start,
+                        end=end,
+                        attributes=attributes,
+                        counters=dict(counters) if isinstance(counters, dict) else {},
+                        events=list(span_events) if isinstance(span_events, list) else [],
+                    )
+                )
+            elif kind == "event":
+                attributes = record.get("attributes")
+                attributes = dict(attributes) if isinstance(attributes, dict) else {}
+                lane = attributes.get("lane")
+                try:
+                    at = float(record.get("at", 0.0))
+                except (TypeError, ValueError):
+                    corrupt += 1
+                    continue
+                events.append(
+                    StitchedEvent(
+                        lane=lane if isinstance(lane, str) else label,
+                        name=str(record.get("name", "?")),
+                        at=at,
+                        attributes=attributes,
+                    )
+                )
+            # headers (including repeats from re-opened writers) and
+            # unknown record types are structural, not data — skip.
+
+    # Order: traces by first start, spans causally within each trace.
+    groups: dict[str | None, list[StitchedSpan]] = {}
+    for span in spans:
+        groups.setdefault(span.trace_id, []).append(span)
+    ranked = sorted(
+        groups.items(),
+        key=lambda item: (min(s.start for s in item[1]), item[0] is None, str(item[0])),
+    )
+    ordered: list[StitchedSpan] = []
+    for _trace_id, group in ranked:
+        ordered.extend(_causal_order(group))
+
+    lanes = sorted({s.lane for s in ordered} | {e.lane for e in events})
+    return StitchedTimeline(
+        spans=ordered,
+        events=sorted(events, key=lambda e: (e.at, e.lane, e.name)),
+        lanes=lanes,
+        files={label: str(path) for label, path in labelled.items()},
+        corrupt_lines=corrupt,
+    )

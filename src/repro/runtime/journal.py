@@ -43,9 +43,68 @@ from repro.io.serialization import (
     setting_to_dict,
 )
 
-__all__ = ["SessionJournal", "JournalState"]
+__all__ = [
+    "SessionJournal",
+    "JournalState",
+    "append_jsonl",
+    "read_jsonl_tolerant",
+]
 
 _VERSION = 1
+
+
+def append_jsonl(path: str | Path, record: dict[str, Any]) -> None:
+    """Append one JSONL record, flushed and fsynced before returning.
+
+    The durability primitive shared by every append-only artifact in the
+    library (sync journals, post-mortem flight-recorder files): once this
+    returns, the record survives a crash; a crash *during* the append
+    leaves at worst a torn final line, which :func:`read_jsonl_tolerant`
+    drops on recovery.
+    """
+    line = json.dumps(record, sort_keys=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_jsonl_tolerant(
+    path: str | Path,
+    *,
+    label: str,
+    error: type[Exception] = JournalError,
+) -> list[dict[str, Any]]:
+    """Read a JSONL file, dropping a torn final line.
+
+    The recovery primitive paired with :func:`append_jsonl`: a crash
+    mid-append leaves an unterminated (hence unparsable) final line, which
+    is silently dropped — that record never committed.  Damage anywhere
+    else raises ``error`` with ``label`` naming the artifact (so callers
+    keep their own exception types and message vocabulary).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise error(f"cannot read {label} {path}: {exc}")
+    lines = text.split("\n")
+    # A trailing newline leaves one empty chunk; a crash mid-append
+    # leaves a non-empty, probably unparsable final chunk instead.
+    tail_committed = lines and lines[-1] == ""
+    if tail_committed:
+        lines = lines[:-1]
+    records: list[dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        is_last = index == len(lines) - 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if is_last and not tail_committed:
+                break  # torn final write: the record never committed
+            raise error(f"{label} {path} corrupt at line {index + 1}")
+        records.append(record)
+    return records
 
 
 @dataclass
@@ -94,11 +153,7 @@ class SessionJournal:
     # ------------------------------------------------------------------
 
     def _append(self, record: dict[str, Any]) -> None:
-        line = json.dumps(record, sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        append_jsonl(self.path, record)
 
     def ensure_header(self, setting: PDESetting, pinned: Instance) -> None:
         """Write the header record, unless a valid one is already present."""
@@ -151,28 +206,9 @@ class SessionJournal:
     # ------------------------------------------------------------------
 
     def _read_records(self) -> list[dict[str, Any]]:
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except OSError as error:
-            raise JournalError(f"cannot read sync journal {self.path}: {error}")
-        lines = text.split("\n")
-        # A trailing newline leaves one empty chunk; a crash mid-append
-        # leaves a non-empty, probably unparsable final chunk instead.
-        tail_committed = lines and lines[-1] == ""
-        if tail_committed:
-            lines = lines[:-1]
-        records: list[dict[str, Any]] = []
-        for index, line in enumerate(lines):
-            is_last = index == len(lines) - 1
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                if is_last and not tail_committed:
-                    break  # torn final write: the record never committed
-                raise JournalError(
-                    f"sync journal {self.path} corrupt at line {index + 1}"
-                )
-            records.append(record)
+        records = read_jsonl_tolerant(
+            self.path, label="sync journal", error=JournalError
+        )
         if not records or records[0].get("type") != "header":
             raise JournalError(f"sync journal {self.path} has no header record")
         if records[0].get("version") != _VERSION:

@@ -5,6 +5,18 @@ epoch-aware (:class:`Stamp`) so the peer network simulator in
 transport without re-applying duplicates or regressing to stale
 snapshots."""
 
-from repro.sync.session import DELTA_CHAIN_BROKEN, Stamp, SyncOutcome, SyncSession
+from repro.sync.session import (
+    DELTA_CHAIN_BROKEN,
+    Stamp,
+    SyncOutcome,
+    SyncSession,
+    watermark_lag,
+)
 
-__all__ = ["DELTA_CHAIN_BROKEN", "Stamp", "SyncOutcome", "SyncSession"]
+__all__ = [
+    "DELTA_CHAIN_BROKEN",
+    "Stamp",
+    "SyncOutcome",
+    "SyncSession",
+    "watermark_lag",
+]

@@ -88,7 +88,13 @@ from repro.runtime.journal import SessionJournal
 from repro.runtime.retry import RetryPolicy
 from repro.solver.exists_solution import solve
 
-__all__ = ["DELTA_CHAIN_BROKEN", "Stamp", "SyncOutcome", "SyncSession"]
+__all__ = [
+    "DELTA_CHAIN_BROKEN",
+    "Stamp",
+    "SyncOutcome",
+    "SyncSession",
+    "watermark_lag",
+]
 
 #: The :attr:`SyncOutcome.reason` reported when a delta's base stamp does
 #: not match the session's watermark (or no base snapshot is retained).
@@ -110,6 +116,29 @@ class Stamp(NamedTuple):
 
     def __str__(self) -> str:
         return f"{self.epoch}.{self.seq}"
+
+
+def watermark_lag(
+    published: "list[Stamp] | list[tuple[int, int]]",
+    watermark: "Stamp | tuple[int, int] | None",
+) -> int:
+    """How many published stamps a peer's watermark has not yet absorbed.
+
+    The convergence-lag primitive shared by the simulator and the real
+    daemon: given the publisher's history of published stamps and one
+    peer's applied watermark, the lag is the number of publishes stamped
+    *strictly above* the watermark — publishes whose effect the peer has
+    not yet seen.  A peer that never applied anything (``watermark is
+    None``) lags by the full history; a peer at the head lags 0.  Pure
+    stamp arithmetic — lexicographic tuple comparison, the same order
+    that makes ingestion idempotent — so both network stacks compute the
+    identical number.
+    """
+    stamps = [Stamp(*stamp) for stamp in published]
+    if watermark is None:
+        return len(stamps)
+    mark = Stamp(*watermark)
+    return sum(1 for stamp in stamps if stamp > mark)
 
 
 @dataclass
