@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """Soak: sweep seeds through simulator and real-socket runs, keep repros.
 
-For every registered scenario x seed x wire mode the soak runs the
-in-memory :class:`~repro.net.NetworkSimulator` and (unless ``--sim-only``)
-the real-socket :func:`~repro.netd.run_scenario_netd` twin, then checks
+For every registered scenario x seed x wire mode — plus the synthetic
+``random-mesh`` family, a seeded random relay topology and timeline per
+seed (:func:`random_mesh_scenario`) — the soak runs the in-memory
+:class:`~repro.net.NetworkSimulator` and (unless ``--sim-only``) the
+real-socket :func:`~repro.netd.run_scenario_netd` twin, then checks
 
 * both runs converge (each against the shared oracle), and
 * every reachable peer's final state agrees across the two transports
@@ -28,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import subprocess
 import sys
 from pathlib import Path
@@ -35,15 +38,106 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.core.instance import Instance
 from repro.net import (
+    Crash,
+    Heal,
     NetworkSimulator,
+    Partition,
+    RelayLink,
+    Restart,
+    Scenario,
     dumps_scenario,
+    registry_setting,
     scenario_registry,
     states_agree,
 )
 from repro.netd import run_scenario_netd
+from repro.runtime.faults import FaultSchedule
 
 FIXTURE_SCHEMA_VERSION = 1
+
+
+def random_mesh_scenario(seed: int = 0) -> Scenario:
+    """A seeded random relay topology and timeline, convergence-expected.
+
+    Every draw comes from ``random.Random(seed)``, so the same seed
+    always yields the same scenario — a failing combination replays
+    byte-for-byte from its fixture.  The generator only emits runs the
+    protocol *must* survive: the topology is a layered DAG where every
+    peer has at least one upstream path from the publisher, every
+    partition heals, and every crash restarts.  Any divergence the sweep
+    finds is therefore a genuine protocol bug, not a scenario artifact.
+    """
+    rng = random.Random(seed)
+    publisher = "origin"
+    relays = [f"relay-{i}" for i in range(rng.randint(1, 2))]
+    leaves = [f"leaf-{i}" for i in range(rng.randint(1, 2))]
+    peers = relays + leaves
+    links = [RelayLink(publisher, relay) for relay in relays]
+    for leaf in leaves:
+        feeders = rng.sample(relays, rng.randint(1, len(relays)))
+        links.extend(RelayLink(feeder, leaf) for feeder in feeders)
+    if rng.random() < 0.5:
+        # A publisher shortcut to one leaf: a diamond with the relay path,
+        # so the same stamp arrives over two routes (idempotence workout).
+        shortcut = rng.choice(leaves)
+        links.append(RelayLink(publisher, shortcut))
+
+    # 4-6 authoritative rounds of random registry churn.
+    rows: dict[str, int] = {}
+    snapshots: list[Instance] = []
+    counter = 0
+    for _ in range(rng.randint(4, 6)):
+        for _ in range(rng.randint(1, 2)):
+            rows[f"k{counter}"] = counter
+            counter += 1
+        if len(rows) > 1 and rng.random() < 0.4:
+            del rows[rng.choice(sorted(rows))]
+        snapshots.append(
+            Instance.from_tuples(
+                {"reg": [(key, str(value)) for key, value in sorted(rows.items())]}
+            )
+        )
+
+    faults: dict[tuple[str, str], FaultSchedule] = {}
+    for offset, link in enumerate(links):
+        drop = rng.choice((0.0, 0.15, 0.3))
+        duplicate = rng.choice((0.0, 0.2))
+        if drop or duplicate:
+            faults[(link.sender, link.recipient)] = FaultSchedule.seeded(
+                seed=seed * 1000 + offset, drop=drop, duplicate=duplicate
+            )
+
+    events: list = []
+    duration = float(len(snapshots) - 1)
+    if rng.random() < 0.7:
+        cut = rng.choice(peers)
+        start = round(rng.uniform(0.5, duration - 1.0), 2)
+        rest = {publisher, *(peer for peer in peers if peer != cut)}
+        events.append(Partition(start, rest, {cut}))
+        events.append(Heal(round(start + 1.0, 2)))
+    if rng.random() < 0.5:
+        victim = rng.choice(peers)
+        start = round(rng.uniform(0.5, duration - 1.0), 2)
+        events.append(Crash(start, victim))
+        events.append(Restart(round(start + 1.0, 2), victim))
+
+    return Scenario(
+        name=f"random-mesh-{seed}",
+        description=(
+            f"seeded random relay mesh ({len(relays)} relay(s), "
+            f"{len(leaves)} leaf/leaves, {len(links)} links); every fault heals"
+        ),
+        setting=registry_setting(),
+        snapshots=snapshots,
+        peers=peers,
+        publisher=publisher,
+        topology=tuple(links),
+        faults=faults,
+        events=events,
+        seed=seed,
+    )
 
 
 def _parse_seeds(text: str) -> list[int]:
@@ -159,7 +253,8 @@ def main(argv: list[str] | None = None) -> int:
         if not args.quiet:
             print(message)
 
-    registry = scenario_registry()
+    registry = dict(scenario_registry())
+    registry["random-mesh"] = random_mesh_scenario
     if args.scenarios:
         names = [part.strip() for part in args.scenarios.split(",") if part.strip()]
         unknown = [name for name in names if name not in registry]

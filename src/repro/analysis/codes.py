@@ -137,6 +137,17 @@ CODES: dict[str, CodeInfo] = _table([
      "in delta mode the crash/partition schedule guarantees a broken delta "
      "chain: a peer provably misses a publish, so every later delta it "
      "receives arrives chain-broken and falls back to a full snapshot"),
+    ("PDE310", "relay-unreachable", WARNING,
+     "after the timeline's surviving faults a peer has no live relay path "
+     "from the publisher; it is excluded from the convergence check"),
+    ("PDE311", "relay-cycle", WARNING,
+     "the relay topology contains a directed cycle; stamp watermarks make "
+     "re-forwarding idempotent so the loop terminates, but every lap "
+     "spends wire traffic on deliveries that arrive stale"),
+    ("PDE312", "custody-gap", ERROR,
+     "custody restrictions leave a peer with no relay path that carries "
+     "the publisher's feed even on the fault-free topology, so the peer "
+     "can never receive a publish and convergence is impossible"),
     # -- merge ambiguity (multi-publisher) --------------------------------
     ("PDE401", "ambiguous-merge", ERROR,
      "two publishers could issue equal stamps for conflicting facts and no "

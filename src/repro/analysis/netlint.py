@@ -25,7 +25,18 @@ matter for soundness:
 * anti-entropy is reliable, so a lossy-but-connected link is a hygiene
   finding (``PDE305``), while a peer unreachable at quiescence makes the
   convergence check vacuous (``PDE304``) — an error, because the run
-  would "pass" while verifying nothing.
+  would "pass" while verifying nothing;
+* scenarios with a declared relay ``topology`` are judged path-wise: the
+  reachability behind ``PDE304`` walks the relay graph exactly as
+  :meth:`repro.net.NetworkSimulator._reachable_set` does, a live peer
+  severed from every relay route is ``PDE310``, a directed relay cycle
+  is ``PDE311`` (safe under stamp watermarks, but each lap is wasted
+  wire traffic), and a custody assignment that statically starves a peer
+  of the publisher's feed is ``PDE312`` — an error, since no amount of
+  healing can deliver a feed no path carries.  Star-only arguments
+  (``PDE307``'s overtake window and ``PDE308``'s certain-miss chain
+  dooming) assume the publisher is adjacent and are skipped for relay
+  topologies.
 
 Timeline findings are the ``PDE3xx`` band; the ``PDE4xx`` band checks
 the declarative multi-publisher merge contract (``co_publishers`` /
@@ -143,6 +154,71 @@ def _connected(
 
 
 # ---------------------------------------------------------------------------
+# relay-topology predicates (PDE31x)
+# ---------------------------------------------------------------------------
+
+
+def _relay_cycle(scenario: Scenario) -> tuple[str, ...] | None:
+    """A directed cycle in the declared topology (closed path), or None."""
+    adjacency: dict[str, list[str]] = {}
+    for link in scenario.topology:
+        adjacency.setdefault(link.sender, []).append(link.recipient)
+    state: dict[str, int] = {}  # 0 unvisited, 1 on path, 2 done
+    path: list[str] = []
+
+    def visit(node: str) -> tuple[str, ...] | None:
+        state[node] = 1
+        path.append(node)
+        for succ in sorted(adjacency.get(node, ())):
+            if state.get(succ, 0) == 1:
+                return tuple(path[path.index(succ):]) + (succ,)
+            if state.get(succ, 0) == 0:
+                cycle = visit(succ)
+                if cycle is not None:
+                    return cycle
+        path.pop()
+        state[node] = 2
+        return None
+
+    for name in sorted(adjacency):
+        if state.get(name, 0) == 0:
+            cycle = visit(name)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def _relay_reachable(
+    scenario: Scenario,
+    crashed: Iterable[str],
+    groups: tuple[frozenset[str], ...] | None,
+) -> set[str]:
+    """Peers a custody-carrying live path connects to the publisher.
+
+    Mirror of :meth:`repro.net.NetworkSimulator._reachable_set` under the
+    abstract end-of-timeline state: an edge is traversable when it
+    carries the publisher's feed, its recipient is not crashed, and the
+    surviving partition (if any) does not sever its ends.  With
+    ``crashed=()`` and ``groups=None`` this is the *fault-free* custody
+    reachability the PDE312 rule checks.
+    """
+    feed = scenario.publisher
+    down = set(crashed)
+    seen = {feed}
+    frontier = [feed]
+    while frontier:
+        current = frontier.pop(0)
+        for link in scenario.downstream(current, feed):
+            nxt = link.recipient
+            if nxt in seen or nxt in down or not _connected(groups, current, nxt):
+                continue
+            seen.add(nxt)
+            frontier.append(nxt)
+    seen.discard(feed)
+    return seen
+
+
+# ---------------------------------------------------------------------------
 # the timeline interpreter (PDE3xx)
 # ---------------------------------------------------------------------------
 
@@ -179,6 +255,7 @@ def _timeline_rules(scenario: Scenario, deltas: bool) -> list[Diagnostic]:
     diagnostics: list[Diagnostic] = []
     publisher = scenario.publisher
     peers = list(scenario.peers)
+    topology = bool(scenario.topology)
     latency = scenario.latency
     interval = scenario.interval
     reorder_delay = (
@@ -263,8 +340,12 @@ def _timeline_rules(scenario: Scenario, deltas: bool) -> list[Diagnostic]:
         index = payload
         if pending_bump is not None:
             epoch_starts.add(index)
-            if peers and all(
-                not _connected(groups, publisher, peer) for peer in peers
+            first_hop = [
+                link.recipient
+                for link in scenario.downstream(publisher, publisher)
+            ]
+            if first_hop and all(
+                not _connected(groups, publisher, peer) for peer in first_hop
             ):
                 diagnostics.append(
                     _diag(
@@ -272,13 +353,18 @@ def _timeline_rules(scenario: Scenario, deltas: bool) -> list[Diagnostic]:
                         WARNING,
                         f"epoch bumped at t={pending_bump} but at the next "
                         f"publish (t={at}) the publisher is partitioned from "
-                        "every peer: the re-baselining full snapshot reaches "
-                        "nobody",
+                        "every peer it feeds directly: the re-baselining full "
+                        "snapshot reaches nobody",
                         hint="heal the partition before the first "
                         "post-bump publish",
                     )
                 )
             pending_bump = None
+        if topology:
+            # Certain-miss tracking feeds PDE308, whose soundness argument
+            # assumes the publisher is adjacent; relay hops are repaired
+            # by the relays' own full-snapshot forwards instead.
+            continue
         for peer in peers:
             schedule = scenario.faults.get((publisher, peer))
             if not _connected(groups, publisher, peer):
@@ -350,11 +436,66 @@ def _timeline_rules(scenario: Scenario, deltas: bool) -> list[Diagnostic]:
             )
         )
 
-    reachable = [
-        peer
-        for peer in peers
-        if peer not in crashed and _connected(groups, publisher, peer)
-    ]
+    custody_gapped: set[str] = set()
+    if topology:
+        cycle = _relay_cycle(scenario)
+        if cycle is not None:
+            rendered = " -> ".join(cycle)
+            diagnostics.append(
+                _diag(
+                    "PDE311",
+                    WARNING,
+                    f"the relay topology contains a directed cycle "
+                    f"({rendered}): stamp watermarks keep re-forwarding "
+                    "idempotent so the loop terminates, but every lap costs "
+                    "deliveries that arrive stale",
+                    hint="break the cycle if the redundant path is "
+                    "unintentional; it is safe but wasteful",
+                )
+            )
+        custody_gapped = set(peers) - _relay_reachable(scenario, (), None)
+        for peer in sorted(custody_gapped):
+            diagnostics.append(
+                _diag(
+                    "PDE312",
+                    ERROR,
+                    f"peer {peer!r} has no relay path from {publisher!r} "
+                    "carrying the publisher's feed even on the fault-free "
+                    "topology: it can never receive a publish and "
+                    "convergence is impossible",
+                    hint="add a relay link reaching the peer, or widen "
+                    "custody on an existing path",
+                )
+            )
+
+    if topology:
+        relay_reachable = _relay_reachable(scenario, crashed, groups)
+        for peer in sorted(peers):
+            if (
+                peer in crashed  # already PDE302
+                or peer in custody_gapped  # already PDE312
+                or peer in relay_reachable
+            ):
+                continue
+            diagnostics.append(
+                _diag(
+                    "PDE310",
+                    WARNING,
+                    f"peer {peer!r} has no live relay path from "
+                    f"{publisher!r} after the timeline's surviving faults "
+                    "(crashed relays or unhealed partitions sever every "
+                    "route); it is excluded from the convergence check",
+                    hint="restart the crashed relays / heal the partition, "
+                    "or add a redundant relay link",
+                )
+            )
+        reachable = [peer for peer in peers if peer in relay_reachable]
+    else:
+        reachable = [
+            peer
+            for peer in peers
+            if peer not in crashed and _connected(groups, publisher, peer)
+        ]
     if not reachable:
         diagnostics.append(
             _diag(
@@ -367,23 +508,25 @@ def _timeline_rules(scenario: Scenario, deltas: bool) -> list[Diagnostic]:
             )
         )
 
-    for peer in peers:
-        schedule = scenario.faults.get((publisher, peer))
+    for link in scenario.relay_links:
+        schedule = scenario.faults.get((link.sender, link.recipient))
         if _always_drops(schedule):
             diagnostics.append(
                 _diag(
                     "PDE305",
                     WARNING,
-                    f"link {publisher!r} -> {peer!r} drops every message "
-                    "(drop_rate >= 1.0): the peer converges only through the "
-                    "post-run anti-entropy repair channel, so the run never "
-                    "exercises the sync protocol on that link",
-                    hint="lower drop_rate, or drop the peer from the scenario",
+                    f"link {link.sender!r} -> {link.recipient!r} drops every "
+                    "message (drop_rate >= 1.0): the recipient converges "
+                    "only through the post-run anti-entropy repair channel, "
+                    "so the run never exercises the sync protocol on that "
+                    "link",
+                    hint="lower drop_rate, or remove the dead link",
                 )
             )
 
     if (
-        n_publishes > 1
+        not topology
+        and n_publishes > 1
         and reorder_delay <= interval
         and any(
             _may_reorder(scenario.faults.get((publisher, peer)))
@@ -404,7 +547,10 @@ def _timeline_rules(scenario: Scenario, deltas: bool) -> list[Diagnostic]:
             )
         )
 
-    if deltas:
+    if deltas and not topology:
+        # PDE308's certain-miss argument assumes the publisher is adjacent
+        # to every peer; relays forward full snapshots, never deltas, so a
+        # relay hop cannot doom a delta chain.
         diagnostics.extend(
             _delta_chain_rules(
                 scenario, epoch_starts, certain_missed, reorder_delay

@@ -591,6 +591,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"chain_broken={stats['chain_broken']} "
             f"fallback={stats['delta_fallback']}"
         )
+    if scenario.topology:
+        print(f"relay: forwarded={stats.get('forwarded', 0)}")
+        for link, score in sorted(simulator.scorer.snapshot().items()):
+            print(f"  {link:<24s} score={score:.2f}")
     convergence = report.convergence
     for peer, ok in sorted(convergence.peers.items()):
         print(f"  {peer}: {'converged' if ok else 'DIVERGED'}")
@@ -913,6 +917,8 @@ def _cmd_obs_top(args: argparse.Namespace) -> int:
                 f"lag={peer.get('lag', 0):<4d} "
                 f"queue={peer.get('queue_depth', 0)}{flags}"
             )
+        for link, score in sorted(payload.get("scores", {}).items()):
+            print(f"  {link:<24s} score={score:.2f}")
     return EXIT_DEGRADED if degraded else 0
 
 

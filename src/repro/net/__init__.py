@@ -24,6 +24,15 @@ reports a broken chain and the publisher falls back to a full snapshot
 for that peer.  Deltas are a pure wire optimization: converged states
 are identical with deltas on or off.
 
+Scenarios may declare a relay ``topology`` — directed
+:class:`RelayLink` edges with optional per-feed custody — instead of the
+default publisher→subscriber star.  Peers then *forward* stamped
+snapshots they freshly apply down their out-links (watermarks make
+redelivery idempotent, so relay cycles and duplicate paths are safe),
+anti-entropy walks the relay graph instead of assuming the origin is
+adjacent, and a :class:`PeerScorer` ranks per-link health so catch-up
+re-routes around lossy links.
+
 Everything is deterministic given the scenario seed — the simulator's
 event log replays byte-for-byte.
 """
@@ -43,6 +52,7 @@ from repro.net.scenarios import (
     Heal,
     NetworkEvent,
     Partition,
+    RelayLink,
     Restart,
     Scenario,
     crash_scenario,
@@ -50,8 +60,11 @@ from repro.net.scenarios import (
     genomics_scenario,
     registry_scenario,
     registry_setting,
+    relay_chain_scenario,
+    relay_mesh_scenario,
     scenario_registry,
 )
+from repro.net.scoring import SCORE_WEIGHTS, PeerScorer
 from repro.net.simulator import (
     ConvergenceReport,
     NetworkSimulator,
@@ -73,8 +86,11 @@ __all__ = [
     "NetworkSimulator",
     "Partition",
     "PeerNode",
+    "PeerScorer",
     "REPAIR_RULES",
+    "RelayLink",
     "Restart",
+    "SCORE_WEIGHTS",
     "Scenario",
     "SimTransport",
     "SimulationReport",
@@ -88,6 +104,8 @@ __all__ = [
     "oracle_state",
     "registry_scenario",
     "registry_setting",
+    "relay_chain_scenario",
+    "relay_mesh_scenario",
     "scenario_from_dict",
     "scenario_registry",
     "scenario_to_dict",

@@ -16,8 +16,10 @@ itself with ``"kind": "scenario"`` and embeds the setting in the
 * ``events`` is the timeline: ``{"event": "partition" | "heal" | "crash"
   | "restart" | "bump-epoch", "at": t, ...}``;
 * the optional multi-publisher declaration rides along as
-  ``co_publishers`` / ``trust`` / ``repair``, and a ``lint_ignore`` key
-  suppresses diagnostic codes exactly as in setting files.
+  ``co_publishers`` / ``trust`` / ``repair``, a relay ``topology`` is a
+  list of ``{"from", "to"}`` edges with an optional ``custody`` feed
+  list, and a ``lint_ignore`` key suppresses diagnostic codes exactly
+  as in setting files.
 
 Everything round-trips: ``scenario_from_dict(scenario_to_dict(s))``
 rebuilds an equivalent scenario.
@@ -43,6 +45,7 @@ from repro.net.scenarios import (
     Heal,
     NetworkEvent,
     Partition,
+    RelayLink,
     Restart,
     Scenario,
 )
@@ -137,6 +140,15 @@ def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
         encoded["trust"] = list(scenario.trust)
     if scenario.repair:
         encoded["repair"] = scenario.repair
+    if scenario.topology:
+        encoded["topology"] = [
+            {
+                "from": link.sender,
+                "to": link.recipient,
+                **({"custody": sorted(link.custody)} if link.custody else {}),
+            }
+            for link in scenario.topology
+        ]
     return encoded
 
 
@@ -218,6 +230,10 @@ def scenario_from_dict(encoded: Mapping[str, Any], validate: bool = True) -> Sce
         co_publishers=tuple(encoded.get("co_publishers", ())),
         trust=tuple(encoded.get("trust", ())),
         repair=encoded.get("repair", ""),
+        topology=tuple(
+            RelayLink(entry["from"], entry["to"], entry.get("custody", ()))
+            for entry in encoded.get("topology", ())
+        ),
     )
 
 

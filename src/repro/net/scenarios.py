@@ -21,6 +21,11 @@ Shipped scenarios (see :func:`scenario_registry`):
   transfer (``simulate --delta``) exists to optimize.
 * ``crash`` — the registry scenario plus one journal-backed peer crashing
   mid-simulation and resuming two publishes later.
+* ``relay-chain`` — a 3-hop relay chain (origin→relay-a→relay-b→leaf)
+  with per-hop faults and a tail partition; only the first relay hears
+  the publisher directly.
+* ``relay-mesh`` — a diamond mesh whose lossy path is score-downgraded
+  so catch-up re-routes through the healthy hub.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ __all__ = [
     "Heal",
     "Partition",
     "REPAIR_RULES",
+    "RelayLink",
     "Restart",
     "Scenario",
     "crash_scenario",
@@ -48,6 +54,8 @@ __all__ = [
     "genomics_scenario",
     "registry_scenario",
     "registry_setting",
+    "relay_chain_scenario",
+    "relay_mesh_scenario",
     "scenario_registry",
 ]
 
@@ -104,6 +112,38 @@ class BumpEpoch:
 #: Every control-event type a scenario timeline may contain.
 NetworkEvent = Partition | Heal | Crash | Restart | BumpEpoch
 
+
+# ----------------------------------------------------------------------
+# relay topology
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RelayLink:
+    """One directed edge of a relay topology.
+
+    ``sender`` pushes stamped snapshots to ``recipient``; ``recipient``
+    in turn forwards what it applies down its own out-links.  ``custody``
+    names the feeds (publisher names) this link is responsible for
+    carrying — empty means *all* feeds, which is the common case while
+    the runtime has a single publisher per scenario.
+    """
+
+    sender: str
+    recipient: str
+    custody: frozenset[str] = frozenset()
+
+    def __init__(
+        self, sender: str, recipient: str, custody: object = ()
+    ) -> None:
+        object.__setattr__(self, "sender", sender)
+        object.__setattr__(self, "recipient", recipient)
+        object.__setattr__(self, "custody", frozenset(custody))
+
+    def carries(self, feed: str) -> bool:
+        """Whether this link has custody of ``feed`` (empty = all feeds)."""
+        return not self.custody or feed in self.custody
+
 #: The repair rules the trust-ordered merge semantics define (cf.
 #: *Exchange-Repairs*, ten Cate et al.): what happens when a merge of
 #: equally-trusted facts still violates a Σ_t egd.
@@ -149,6 +189,10 @@ class Scenario:
             different publishers.
         repair: the fallback when a trust-ordered merge still violates
             Σ_t egds; one of :data:`REPAIR_RULES` (empty = undeclared).
+        topology: directed :class:`RelayLink` edges forming the relay
+            graph.  Empty means the legacy star (the publisher feeds
+            every peer directly); non-empty means publishes flow only
+            along declared links and peers forward what they apply.
     """
 
     name: str
@@ -167,10 +211,12 @@ class Scenario:
     co_publishers: tuple[str, ...] = ()
     trust: tuple[str, ...] = ()
     repair: str = ""
+    topology: tuple[RelayLink, ...] = ()
 
     def __post_init__(self) -> None:
         self.co_publishers = tuple(self.co_publishers)
         self.trust = tuple(self.trust)
+        self.topology = tuple(self.topology)
         if not self.snapshots:
             raise SimulationError(f"scenario {self.name!r} publishes nothing")
         if not self.peers:
@@ -201,6 +247,37 @@ class Scenario:
                         f"scenario {self.name!r}: fault link {link} references "
                         f"unknown peer {end!r}"
                     )
+        seen_edges: set[tuple[str, str]] = set()
+        for relay in self.topology:
+            if relay.sender not in known:
+                raise SimulationError(
+                    f"scenario {self.name!r}: relay link {relay.sender!r}->"
+                    f"{relay.recipient!r} has unknown sender"
+                )
+            if relay.recipient not in self.peers:
+                raise SimulationError(
+                    f"scenario {self.name!r}: relay link {relay.sender!r}->"
+                    f"{relay.recipient!r} must end at a subscriber peer"
+                )
+            if relay.sender == relay.recipient:
+                raise SimulationError(
+                    f"scenario {self.name!r}: relay link {relay.sender!r} "
+                    "loops onto itself"
+                )
+            edge = (relay.sender, relay.recipient)
+            if edge in seen_edges:
+                raise SimulationError(
+                    f"scenario {self.name!r}: duplicate relay link "
+                    f"{relay.sender!r}->{relay.recipient!r}"
+                )
+            seen_edges.add(edge)
+            for feed in relay.custody:
+                if feed not in self.publishers:
+                    raise SimulationError(
+                        f"scenario {self.name!r}: relay link {relay.sender!r}->"
+                        f"{relay.recipient!r} claims custody of unknown feed "
+                        f"{feed!r}"
+                    )
 
     @property
     def duration(self) -> float:
@@ -211,6 +288,30 @@ class Scenario:
     def publishers(self) -> tuple[str, ...]:
         """Every declared publisher, primary first."""
         return (self.publisher, *self.co_publishers)
+
+    @property
+    def relay_links(self) -> tuple[RelayLink, ...]:
+        """The effective relay graph: the declared topology, or the
+        derived star (publisher → every peer) when none is declared."""
+        if self.topology:
+            return self.topology
+        return tuple(RelayLink(self.publisher, peer) for peer in self.peers)
+
+    def downstream(self, name: str, feed: str | None = None) -> tuple[RelayLink, ...]:
+        """Out-links of ``name`` (optionally only those carrying ``feed``)."""
+        return tuple(
+            link
+            for link in self.relay_links
+            if link.sender == name and (feed is None or link.carries(feed))
+        )
+
+    def upstreams(self, name: str, feed: str | None = None) -> tuple[RelayLink, ...]:
+        """In-links of ``name`` (optionally only those carrying ``feed``)."""
+        return tuple(
+            link
+            for link in self.relay_links
+            if link.recipient == name and (feed is None or link.carries(feed))
+        )
 
 
 # ----------------------------------------------------------------------
@@ -368,6 +469,80 @@ def crash_scenario(seed: int = 0) -> Scenario:
     return scenario
 
 
+def relay_chain_scenario(seed: int = 0) -> Scenario:
+    """A 3-hop relay chain: ``origin → relay-a → relay-b → leaf``.
+
+    Only ``relay-a`` hears the publisher directly; every other peer
+    receives state forwarded by its upstream relay.  Each hop drops and
+    duplicates at seeded rates, and the tail of the chain is partitioned
+    away for two publishes — path-aware anti-entropy must walk the chain
+    to repair it, because the origin is never directly reachable from
+    ``leaf``.
+    """
+    publisher = "origin"
+    peers = ["relay-a", "relay-b", "leaf"]
+    links = [(publisher, "relay-a"), ("relay-a", "relay-b"), ("relay-b", "leaf")]
+    return Scenario(
+        name="relay-chain",
+        description=(
+            "3-hop relay chain (origin→relay-a→relay-b→leaf); seeded "
+            "drop/dup per hop; tail partitioned for 2 publishes, then healed"
+        ),
+        setting=registry_setting(),
+        snapshots=_registry_snapshots(),
+        peers=peers,
+        publisher=publisher,
+        faults={
+            link: FaultSchedule.seeded(
+                seed=seed * 1000 + offset, drop=0.2, duplicate=0.2
+            )
+            for offset, link in enumerate(links)
+        },
+        events=[
+            Partition(2.5, {publisher, "relay-a", "relay-b"}, {"leaf"}),
+            Heal(4.5),
+        ],
+        topology=tuple(RelayLink(sender, recipient) for sender, recipient in links),
+        seed=seed,
+    )
+
+
+def relay_mesh_scenario(seed: int = 0) -> Scenario:
+    """A diamond mesh with one lossy path: the peer-scoring showcase.
+
+    ``origin`` feeds two hubs; both hubs feed ``leaf``.  The ``hub-a``
+    path drops most traffic, so its per-link score sinks while the clean
+    ``hub-b`` path stays healthy — catch-up for ``leaf`` re-routes
+    through ``hub-b`` (``net.score.*`` gauges make the ranking visible).
+    """
+    publisher = "origin"
+    peers = ["hub-a", "hub-b", "leaf"]
+    custody = frozenset({publisher})
+    return Scenario(
+        name="relay-mesh",
+        description=(
+            "diamond relay mesh (origin→{hub-a,hub-b}→leaf); the hub-a "
+            "path drops heavily, so scoring re-routes catch-up via hub-b"
+        ),
+        setting=registry_setting(),
+        snapshots=_registry_snapshots(),
+        peers=peers,
+        publisher=publisher,
+        faults={
+            ("hub-a", "leaf"): FaultSchedule.seeded(
+                seed=seed * 1000 + 1, drop=0.6
+            ),
+        },
+        topology=(
+            RelayLink(publisher, "hub-a", custody),
+            RelayLink(publisher, "hub-b", custody),
+            RelayLink("hub-a", "leaf", custody),
+            RelayLink("hub-b", "leaf", custody),
+        ),
+        seed=seed,
+    )
+
+
 def scenario_registry() -> dict[str, Callable[[int], Scenario]]:
     """The named scenario builders, keyed as the CLI spells them."""
     return {
@@ -375,4 +550,6 @@ def scenario_registry() -> dict[str, Callable[[int], Scenario]]:
         "genomics": genomics_scenario,
         "genomics-churn": genomics_churn_scenario,
         "crash": crash_scenario,
+        "relay-chain": relay_chain_scenario,
+        "relay-mesh": relay_mesh_scenario,
     }

@@ -1,0 +1,107 @@
+"""Per-link peer scoring for relay meshes.
+
+Every directed link in a relay topology accumulates a score from the
+outcomes observed on it: successful applies and deliveries push the
+score up, drops, timeouts, and chain breaks push it down.  Anti-entropy
+uses the scores to pick the healthiest live upstream when several paths
+could repair a lagging peer, so catch-up traffic routes around lossy
+links instead of retrying them forever.
+
+The design follows the PeerDAS peer-sampling guidance from the Ethereum
+consensus specs: scores are bounded (a link can neither be banished
+forever nor whitewash its history with one good round), updates are
+small relative to the range, and ranking ties break deterministically
+so replays stay byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["PeerScorer", "SCORE_WEIGHTS"]
+
+#: Score adjustment per observed outcome.  Positive outcomes are small
+#: relative to negative ones: a link must behave for several rounds to
+#: recover from a drop, which keeps anti-entropy off flapping links.
+SCORE_WEIGHTS: Mapping[str, float] = {
+    "applied": 0.10,
+    "stale": 0.02,
+    "delivered": 0.05,
+    "forwarded": 0.05,
+    "dropped": -0.20,
+    "partition_refused": -0.30,
+    "timeout": -0.25,
+    "lost": -0.25,
+    "chain_broken": -0.15,
+    "rejected": -0.10,
+    "degraded": -0.05,
+    "unreachable": -0.40,
+}
+
+_INITIAL = 1.0
+_FLOOR = 0.0
+_CEILING = 2.0
+
+
+@dataclass
+class PeerScorer:
+    """Tracks a health score per directed link ``(sender, recipient)``.
+
+    Scores start at ``1.0`` and are clamped to ``[0.0, 2.0]``.  Links the
+    scorer has never observed report the initial score, so a fresh link
+    always beats a known-lossy one and always loses to a proven one.
+
+    Args:
+        metrics: Optional registry; when present every update publishes
+            a ``{prefix}.score.{sender}->{recipient}`` gauge.
+        prefix: Metric family prefix — ``"net"`` for the simulator,
+            ``"netd"`` for the daemon stack.
+    """
+
+    metrics: MetricsRegistry | None = None
+    prefix: str = "net"
+    _scores: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def record(self, link: tuple[str, str], outcome: str) -> float:
+        """Fold ``outcome`` into the score for ``link`` and return it.
+
+        Unknown outcomes leave the score untouched (they still create
+        the link entry) so callers can pass verdict strings through
+        without pre-filtering.
+        """
+        weight = SCORE_WEIGHTS.get(outcome, 0.0)
+        score = self._scores.get(link, _INITIAL) + weight
+        score = max(_FLOOR, min(_CEILING, score))
+        self._scores[link] = score
+        if self.metrics is not None:
+            sender, recipient = link
+            self.metrics.gauge(f"{self.prefix}.score.{sender}->{recipient}").set(score)
+        return score
+
+    def score(self, link: tuple[str, str]) -> float:
+        """Current score for ``link`` (initial score if never observed)."""
+        return self._scores.get(link, _INITIAL)
+
+    def best_upstream(
+        self, recipient: str, candidates: Iterable[str]
+    ) -> str | None:
+        """The healthiest sender among ``candidates`` for ``recipient``.
+
+        Ranks by score descending with sender name as a deterministic
+        tie-break; returns ``None`` when there are no candidates.
+        """
+        ranked = sorted(
+            candidates,
+            key=lambda sender: (-self.score((sender, recipient)), sender),
+        )
+        return ranked[0] if ranked else None
+
+    def snapshot(self) -> dict[str, float]:
+        """Observed scores keyed ``"sender->recipient"`` (for stats payloads)."""
+        return {
+            f"{sender}->{recipient}": score
+            for (sender, recipient), score in sorted(self._scores.items())
+        }

@@ -57,6 +57,7 @@ from repro.net.scenarios import (
     Restart,
     Scenario,
 )
+from repro.net.scoring import PeerScorer
 from repro.net.transport import Delta, Message, SimTransport
 from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
@@ -313,6 +314,9 @@ class NetworkSimulator:
         self.anti_entropy_limit = anti_entropy_limit
         self.deltas = deltas
         self.clock = FaultClock()
+        #: Per-link health scores folded from every delivery outcome;
+        #: anti-entropy ranks repair upstreams with them.
+        self.scorer = PeerScorer(metrics=metrics, prefix="net")
         self.transport = SimTransport(
             clock=self.clock,
             latency=scenario.latency,
@@ -320,6 +324,7 @@ class NetworkSimulator:
             tracer=self.tracer,
             metrics=metrics,
             max_queue=max_queue,
+            scorer=self.scorer,
         )
         for link, schedule in scenario.faults.items():
             self.transport.set_schedule(link[0], link[1], schedule)
@@ -355,6 +360,7 @@ class NetworkSimulator:
             "delta_published": 0,
             "delta_applied": 0,
             "delta_fallback": 0,
+            "forwarded": 0,
         }
         self._epoch = 1
         self._seq = 0
@@ -492,10 +498,15 @@ class NetworkSimulator:
             facts=len(snapshot),
         ) as span:
             context.annotate(span)
-            for peer in self.scenario.peers:
+            # Publishes flow along the relay graph: every peer in the
+            # legacy star, only direct downstream links in a mesh (the
+            # rest of the graph hears forwarded copies).
+            for link in self.scenario.downstream(
+                self.scenario.publisher, self.scenario.publisher
+            ):
                 self.transport.send(
                     Message(
-                        self.scenario.publisher, peer, stamp, payload,
+                        self.scenario.publisher, link.recipient, stamp, payload,
                         context=context,
                     )
                 )
@@ -560,6 +571,9 @@ class NetworkSimulator:
             f"state={len(outcome.state)}"
         )
         self._observe_apply(message, outcome)
+        self.scorer.record(message.link, self._score_outcome(outcome))
+        if outcome.ok and not outcome.stale and not outcome.chain_broken:
+            self._forward(message.recipient, message)
         if not message.is_delta:
             return
         if outcome.chain_broken:
@@ -588,6 +602,49 @@ class NetworkSimulator:
             if self.metrics is not None:
                 self.metrics.counter("net.delta_applied").inc()
 
+    @staticmethod
+    def _score_outcome(outcome) -> str:
+        """The scoring-vocabulary word for a sync outcome."""
+        if outcome.stale:
+            return "stale"
+        if outcome.chain_broken:
+            return "chain_broken"
+        if outcome.ok:
+            return "applied"
+        if outcome.degraded:
+            return "degraded"
+        return "rejected"
+
+    def _forward(self, relay: str, message: Message) -> None:
+        """Push a freshly applied stamp down ``relay``'s out-links.
+
+        Relays re-publish the *source* snapshot they just applied
+        (:attr:`~repro.sync.SyncSession.last_source`), so every hop
+        exchanges authoritative source facts and computes the same
+        solutions as a direct subscriber.  Forwarding happens only on a
+        *fresh* apply — redeliveries are stale no-ops at the watermark —
+        so each node forwards each stamp at most once and relay cycles
+        terminate instead of echoing forever.
+        """
+        feed = self.scenario.publisher
+        links = self.scenario.downstream(relay, feed)
+        if not links:
+            return
+        session = self.nodes[relay].session
+        source = session.last_source if session is not None else None
+        if source is None:  # pragma: no cover - fresh apply set a source
+            return
+        for link in links:
+            self.stats["forwarded"] += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.forwarded").inc()
+            forwarded = Message(
+                relay, link.recipient, message.stamp, source.copy(),
+                context=message.context,
+            )
+            self._note(f"forward {forwarded.describe()}")
+            self.transport.send(forwarded)
+
     def _observe_apply(self, message: Message, outcome) -> None:
         """Record end-to-end latency and chain-break telemetry for a round.
 
@@ -612,21 +669,80 @@ class NetworkSimulator:
     # ------------------------------------------------------------------
 
     def reachable(self, peer: str) -> bool:
-        """Is ``peer`` live and connected to the publisher right now?"""
+        """Is ``peer`` live and connected to the feed right now?
+
+        In the legacy star this is the direct link to the publisher; in
+        a relay mesh the publisher need not be adjacent, so reachability
+        walks the relay graph (:meth:`_reachable_set`) — a peer is
+        reachable iff some custody-carrying path of connected links and
+        live relays leads from the publisher to it.
+        """
         node = self.nodes[peer]
-        return not node.crashed and self.transport.connected(
-            self.scenario.publisher, peer
-        )
+        if node.crashed:
+            return False
+        if not self.scenario.topology:
+            return self.transport.connected(self.scenario.publisher, peer)
+        return peer in self._reachable_set()
+
+    def _reachable_set(self) -> set[str]:
+        """Peers a custody-carrying live path connects to the publisher.
+
+        Breadth-first over the relay graph: an edge is traversable when
+        it carries the feed, its recipient is live, and the transport
+        currently connects its ends (partitions sever edges, not just
+        the publisher's own links).
+        """
+        feed = self.scenario.publisher
+        seen = {feed}
+        frontier = [feed]
+        while frontier:
+            current = frontier.pop(0)
+            for link in self.scenario.downstream(current, feed):
+                nxt = link.recipient
+                if (
+                    nxt in seen
+                    or self.nodes[nxt].crashed
+                    or not self.transport.connected(current, nxt)
+                ):
+                    continue
+                seen.add(nxt)
+                frontier.append(nxt)
+        seen.discard(feed)
+        return seen
+
+    def _repair_sources(self, name: str) -> list[str]:
+        """Upstream neighbors able to repair ``name`` right now.
+
+        A candidate holds the latest stamp (the publisher always does; a
+        relay does once its own watermark caught up), is live, and is
+        currently connected to ``name``.
+        """
+        feed = self.scenario.publisher
+        candidates = []
+        for link in self.scenario.upstreams(name, feed):
+            sender = link.sender
+            if sender != feed:
+                node = self.nodes[sender]
+                if node.crashed or node.behind(self.latest_stamp):
+                    continue
+            if self.transport.connected(sender, name):
+                candidates.append(sender)
+        return candidates
 
     def _anti_entropy(self) -> None:
         """Re-offer the latest snapshot to lagging reachable peers.
 
         Models the catch-up fetch a re-joined peer performs: reliable
         (no fault schedule), bounded, and idempotent — an up-to-date
-        peer is never contacted.
+        peer is never contacted.  In a relay mesh the repair is
+        *path-aware*: a lagging peer fetches from the healthiest caught-
+        up upstream neighbor (ranked by :class:`~repro.net.PeerScorer`),
+        not from the possibly-unreachable origin, and repairs cascade
+        down the graph round by round.
         """
         if self.latest_snapshot is None:
             return
+        feed = self.scenario.publisher
         for round_number in range(1, self.anti_entropy_limit + 1):
             lagging = [
                 name
@@ -635,13 +751,30 @@ class NetworkSimulator:
             ]
             if not lagging:
                 break
+            repaired_any = False
             for name in lagging:
+                if self.scenario.topology:
+                    sources = self._repair_sources(name)
+                    upstream = self.scorer.best_upstream(name, sources)
+                    if upstream is None:
+                        # No caught-up neighbor yet: a later round will
+                        # reach this peer once its upstream is repaired.
+                        continue
+                    if upstream == feed:
+                        payload = self.latest_snapshot
+                    else:
+                        source = self.nodes[upstream].session.last_source
+                        if source is None:  # pragma: no cover - caught up
+                            continue
+                        payload = source
+                else:
+                    upstream, payload = feed, self.latest_snapshot
                 self.stats["anti_entropy"] += 1
+                repaired_any = True
                 if self.metrics is not None:
                     self.metrics.counter("net.anti_entropy").inc()
                 message = Message(
-                    self.scenario.publisher, name, self.latest_stamp,
-                    self.latest_snapshot,
+                    upstream, name, self.latest_stamp, payload,
                     context=self._publish_contexts.get(self.latest_stamp),
                 )
                 outcome = self.nodes[name].receive(
@@ -652,6 +785,12 @@ class NetworkSimulator:
                     f"-> {self._verdict(outcome)}"
                 )
                 self._observe_apply(message, outcome)
+                self.scorer.record((upstream, name), self._score_outcome(outcome))
+            if self.scenario.topology and not repaired_any:
+                # Every lagging peer is waiting on an upstream that can
+                # no longer catch up (e.g. severed mid-graph): further
+                # rounds cannot make progress.
+                break
 
     def check_convergence(self) -> ConvergenceReport:
         """Compare every reachable peer against the fault-free oracle.

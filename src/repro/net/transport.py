@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.instance import Instance
+from repro.net.scoring import PeerScorer
 from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -137,6 +138,10 @@ class SimTransport:
             anti-entropy cannot repair) and a ``net.queue_evicted`` event
             and counter fire.  None (the default) keeps the historical
             unbounded behavior.
+        scorer: optional :class:`~repro.net.PeerScorer`; when present
+            every send folds its fate into the link's health score
+            (drops and partition refusals down, anything else is scored
+            by the recipient at delivery time).
     """
 
     def __init__(
@@ -148,12 +153,14 @@ class SimTransport:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         max_queue: int | None = None,
+        scorer: "PeerScorer | None" = None,
     ) -> None:
         if latency <= 0:
             raise ValueError(f"latency must be positive, got {latency}")
         if max_queue is not None and max_queue < 1:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
         self.clock = clock
+        self.scorer = scorer
         self.latency = latency
         self.reorder_delay = reorder_delay if reorder_delay is not None else 4 * latency
         self.duplicate_lag = duplicate_lag if duplicate_lag is not None else latency / 2
@@ -240,6 +247,8 @@ class SimTransport:
         self._count("sent")
         if not self.connected(message.sender, message.recipient):
             self._count("partition_dropped")
+            if self.scorer is not None:
+                self.scorer.record(link, "partition_refused")
             self.tracer.event(
                 "net.drop", reason="partition", message=message.describe()
             )
@@ -252,6 +261,8 @@ class SimTransport:
         decision = schedule.decide(index) if schedule is not None else None
         if decision is not None and decision.drop:
             self._count("dropped")
+            if self.scorer is not None:
+                self.scorer.record(link, "dropped")
             self.tracer.event("net.drop", reason="fault", message=message.describe())
             return
         deliver_at = self.clock() + self.latency

@@ -57,6 +57,7 @@ from typing import Any, Iterable, Mapping
 from repro.core.instance import Instance
 from repro.core.setting import PDESetting
 from repro.exceptions import ProtocolError, SimulationError
+from repro.net.scoring import PeerScorer
 from repro.net.transport import Message
 from repro.netd.frames import (
     DEFAULT_MAX_FRAME,
@@ -264,6 +265,15 @@ class SyncDaemon:
         drain_deadline: seconds :meth:`stop` waits for in-flight rounds.
         tracer / metrics: optional :mod:`repro.obs` instrumentation
             (``netd.*`` spans, counters, and gauges).
+        relays: the daemon's relay subscriptions — per hosted peer, the
+            downstream links it forwards freshly applied state to, as
+            ``{hosted_peer: [(downstream_peer, downstream_address), ...]}``.
+            Each link gets a long-lived
+            :class:`~repro.netd.PublisherClient` (``sender`` = the
+            hosted peer) pushing ``(stamp, applied source)`` pairs over
+            the ordinary frame protocol, so a chain of daemons relays
+            state hop by hop; ACK outcomes feed the per-link
+            :class:`~repro.net.PeerScorer` (``netd.score.*`` gauges).
     """
 
     def __init__(
@@ -284,6 +294,7 @@ class SyncDaemon:
         drain_deadline: float = 5.0,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        relays: Mapping[str, Iterable[tuple[str, Any]]] | None = None,
     ) -> None:
         self.setting = setting
         self.listen = listen
@@ -323,7 +334,24 @@ class SyncDaemon:
             "connections": 0, "frames_received": 0, "acks_sent": 0,
             "protocol_errors": 0, "idle_closed": 0, "heartbeats_sent": 0,
             "drained_rounds": 0, "drain_dropped": 0, "queue_evicted": 0,
+            "forwarded": 0,
         }
+        #: Relay subscriptions: hosted peer → downstream (peer, address)
+        #: links fed by the long-lived relay pumps started on demand.
+        self.relays: dict[str, list[tuple[str, Any]]] = {
+            name: list(links) for name, links in (relays or {}).items()
+        }
+        for name in self.relays:
+            if name not in self.hosts:
+                raise SimulationError(
+                    f"relay config names unhosted peer {name!r} "
+                    f"(hosted: {', '.join(sorted(self.hosts))})"
+                )
+        #: Per-link health folded from relay ACK outcomes.
+        self.scorer = PeerScorer(metrics=metrics, prefix="netd")
+        self._relay_queues: dict[tuple[str, str], asyncio.Queue] = {}
+        self._relay_tasks: list[asyncio.Task] = []
+        self._relay_clients: list[Any] = []
         # Flight recorder: always on (ring appends are cheap dict writes),
         # flushed to a post-mortem file next to the journals on crash,
         # abort, or stop.
@@ -392,6 +420,7 @@ class SyncDaemon:
         for host in self.hosts.values():
             if host.worker is not None:
                 host.worker.cancel()
+        await self._stop_relays()
         for connection in list(self._connections):
             await connection.close(send_bye=True, reason="drain")
         self.state = DaemonState.STOPPED
@@ -409,7 +438,9 @@ class SyncDaemon:
         """Wait for every ingest queue to empty, bounded by the deadline."""
 
         async def queues_empty() -> None:
-            while any(not host.queue.empty() for host in self.hosts.values()):
+            while any(not host.queue.empty() for host in self.hosts.values()) or any(
+                not queue.empty() for queue in self._relay_queues.values()
+            ):
                 await asyncio.sleep(0.01)
             # One final tick so a worker mid-round can finish and ACK.
             await asyncio.sleep(0.01)
@@ -438,6 +469,16 @@ class SyncDaemon:
             if host.worker is not None:
                 host.worker.cancel()
             host.session = None
+        for task in self._relay_tasks:
+            task.cancel()
+        self._relay_tasks.clear()
+        for client in self._relay_clients:
+            # No BYE, no drain — the relay connections just vanish, like
+            # every other socket this process held.
+            client.closed = True
+            client._teardown()
+        self._relay_clients.clear()
+        self._relay_queues.clear()
         for connection in list(self._connections):
             connection.abort()
         self.state = DaemonState.STOPPED
@@ -456,6 +497,12 @@ class SyncDaemon:
         if host.session is None:
             raise SimulationError(f"peer {peer!r} is crashed; no state")
         return host.session.state()
+
+    def peer_source(self, peer: str) -> Instance | None:
+        """The source snapshot ``peer`` last applied (what a relay
+        forwards, and what anti-entropy serves from this hop)."""
+        host = self._host(peer)
+        return host.session.last_source if host.session is not None else None
 
     def peer_stats(self, peer: str) -> dict[str, int]:
         return dict(self._host(peer).stats)
@@ -484,6 +531,7 @@ class SyncDaemon:
             "state": self.state.value,
             "stats": dict(self.stats),
             "peers": peers,
+            "scores": self.scorer.snapshot(),
         }
 
     def crash_peer(self, peer: str) -> None:
@@ -587,6 +635,116 @@ class SyncDaemon:
         """Stamps seen by the daemon but not yet applied by ``peer``."""
         return watermark_lag(self._stamps_seen, self._host(peer).watermark)
 
+    # ------------------------------------------------------------------
+    # relay forwarding
+    # ------------------------------------------------------------------
+
+    def _relay_enqueue(self, host: _PeerHost, stamp: Stamp) -> None:
+        """Queue a freshly applied round onto ``host``'s relay links.
+
+        Called only on an *applied* verdict — redeliveries are stale at
+        the watermark and never re-forwarded, which is what makes relay
+        cycles and duplicate paths terminate.  A full link queue drops
+        its oldest pending forward (the newer snapshot supersedes it;
+        the downstream watermark treats the gap like any lost message
+        and anti-entropy repairs it).
+        """
+        links = self.relays.get(host.name)
+        if not links:
+            return
+        source = host.session.last_source if host.session is not None else None
+        if source is None:  # pragma: no cover - applied rounds set a source
+            return
+        for downstream, address in links:
+            link = (host.name, downstream)
+            queue = self._relay_queues.get(link)
+            if queue is None:
+                queue = asyncio.Queue(maxsize=max(1, self.max_queue))
+                self._relay_queues[link] = queue
+                self._relay_tasks.append(
+                    asyncio.create_task(
+                        self._relay_pump(link, address, queue),
+                        name=f"netd-relay-{host.name}->{downstream}",
+                    )
+                )
+            if queue.full():
+                try:
+                    queue.get_nowait()
+                    self.stats["queue_evicted"] += 1
+                except asyncio.QueueEmpty:  # pragma: no cover - racefree loop
+                    pass
+            queue.put_nowait((stamp, source.copy()))
+            self.stats["forwarded"] += 1
+            if self.metrics is not None:
+                self.metrics.counter("netd.forwarded").inc()
+
+    async def _relay_pump(
+        self, link: tuple[str, str], address: Any, queue: asyncio.Queue
+    ) -> None:
+        """Drive one relay link: a long-lived client pushing applied state.
+
+        The downstream daemon may be dead for minutes (crash tests kill
+        it mid-chain): a failed dial scores the link ``unreachable`` and
+        drops the forward — the downstream watermark treats it as any
+        other loss, and anti-entropy (or the next forward after the
+        daemon returns) repairs the gap.
+        """
+        # Local import: repro.netd.client imports this module for
+        # open_stream, so the dependency must stay one-way at load time.
+        from repro.netd.client import PublisherClient
+
+        sender, downstream = link
+        client = None
+        while True:
+            stamp, snapshot = await queue.get()
+            if client is None:
+                candidate = PublisherClient(
+                    address,
+                    peer=downstream,
+                    sender=sender,
+                    max_frame=self.max_frame,
+                    tracer=self.tracer,
+                    metrics=self.metrics,
+                )
+                try:
+                    await candidate.start()
+                except (SimulationError, ConnectionError, OSError):
+                    self.scorer.record(link, "unreachable")
+                    self.recorder.record(
+                        "netd.relay_unreachable",
+                        link=f"{sender}->{downstream}",
+                        stamp=str(stamp),
+                    )
+                    continue
+                client = candidate
+                self._relay_clients.append(client)
+            outcome = await client.publish(stamp, snapshot)
+            self.scorer.record(link, outcome.replace("-", "_"))
+            self.recorder.record(
+                "netd.relay_forwarded",
+                link=f"{sender}->{downstream}",
+                stamp=str(stamp),
+                outcome=outcome,
+            )
+
+    async def _stop_relays(self) -> None:
+        """Cancel relay pumps and close their clients (orderly)."""
+        for task in self._relay_tasks:
+            task.cancel()
+        for task in self._relay_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._relay_tasks.clear()
+        for client in self._relay_clients:
+            try:
+                await client.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        self._relay_clients.clear()
+        self._relay_queues.clear()
+
     async def _ingest(self, host: _PeerHost, message: Message) -> dict[str, Any]:
         """Run one stamped round for ``host``; returns the ACK payload."""
         self._observe_stamp(message.stamp)
@@ -668,6 +826,8 @@ class SyncDaemon:
             self.metrics.gauge(f"netd.lag.{host.name}").set(
                 self.lag(host.name)
             )
+        if verdict == "applied":
+            self._relay_enqueue(host, message.stamp)
         watermark = host.watermark
         return {
             "recipient": host.name,

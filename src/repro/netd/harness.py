@@ -42,6 +42,7 @@ from repro.net.scenarios import (
     Restart,
     Scenario,
 )
+from repro.net.scoring import PeerScorer
 from repro.net.simulator import ConvergenceReport, check_convergence
 from repro.netd.chaos import ChaosProxy
 from repro.netd.client import PublisherClient
@@ -82,6 +83,10 @@ class NetdReport:
     log: list[str] = field(repr=False, default_factory=list)
     trace_files: dict[str, Path] = field(default_factory=dict)
     postmortems: list[Path] = field(default_factory=list)
+    #: Per-link peer scores (``"sender->recipient"``) merged from every
+    #: daemon's scorer plus the publisher's own links; empty for star runs
+    #: before any score-worthy traffic.
+    scores: dict[str, float] = field(default_factory=dict)
 
     @property
     def converged(self) -> bool:
@@ -160,6 +165,21 @@ async def _run(
     metrics: MetricsRegistry | None,
     trace_dir: str | Path | None = None,
 ) -> NetdReport:
+    if scenario.topology:
+        return await _run_mesh(
+            scenario,
+            deltas=deltas,
+            journal_dir=journal_dir,
+            time_scale=time_scale,
+            use_chaos=use_chaos,
+            max_queue=max_queue,
+            ack_timeout=ack_timeout,
+            anti_entropy_limit=anti_entropy_limit,
+            node_cap=node_cap,
+            tracer=tracer,
+            metrics=metrics,
+            trace_dir=trace_dir,
+        )
     owns_journal_dir = journal_dir is None
     if owns_journal_dir:
         journal_dir = tempfile.mkdtemp(prefix=f"repro-netd-{scenario.name}-")
@@ -410,6 +430,452 @@ async def _run(
         _write_lanes(lane_tracers, trace_dir)
         if owns_journal_dir:
             shutil.rmtree(journal_dir, ignore_errors=True)
+
+
+async def _run_mesh(
+    scenario: Scenario,
+    deltas: bool,
+    journal_dir: str | Path | None,
+    time_scale: float,
+    use_chaos: bool,
+    max_queue: int,
+    ack_timeout: float,
+    anti_entropy_limit: int,
+    node_cap: int | None,
+    tracer: Tracer,
+    metrics: MetricsRegistry | None,
+    trace_dir: str | Path | None = None,
+) -> NetdReport:
+    """Run a relay-topology scenario: one daemon *per peer*, real hops.
+
+    The mesh twin of the star path above.  Every peer runs in its own
+    :class:`~repro.netd.SyncDaemon` on a unix socket; relay links are
+    the daemons' own relay subscriptions (an applied round is pushed to
+    the downstream daemon over the frame protocol), so a 3-hop chain
+    exchanges state over three real socket connections.  Chaos proxies
+    sit on faulted links, :class:`~repro.net.Crash` maps to
+    :meth:`~repro.netd.SyncDaemon.abort` — ``kill -9`` of that whole
+    daemon — and :class:`~repro.net.Restart` boots a fresh daemon on the
+    same journals and socket path.  Anti-entropy is path-aware: a
+    lagging peer is repaired from its healthiest caught-up upstream
+    (per-link scores), never from an origin it may not be adjacent to.
+    """
+    owns_journal_dir = journal_dir is None
+    if owns_journal_dir:
+        journal_dir = tempfile.mkdtemp(prefix=f"repro-netd-{scenario.name}-")
+    journal_dir = Path(journal_dir)
+    journal_dir.mkdir(parents=True, exist_ok=True)
+    # Unix socket paths live in their own short-lived directory: journal
+    # dirs (pytest tmp paths) can exceed the ~100-char sun_path limit.
+    socket_dir = Path(tempfile.mkdtemp(prefix="repro-mesh-"))
+    log: list[str] = []
+    virtual_now = 0.0
+
+    lane_tracers: dict[str, Tracer] = {}
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        lane_tracers["publisher"] = Tracer()
+        lane_tracers["daemon"] = Tracer()
+        if use_chaos:
+            lane_tracers["chaos"] = Tracer()
+    publisher_tracer = lane_tracers.get("publisher", tracer)
+    daemon_tracer = lane_tracers.get("daemon", tracer)
+    chaos_tracer = lane_tracers.get("chaos", tracer)
+
+    def note(text: str) -> None:
+        log.append(f"t={virtual_now:07.3f} {text}")
+
+    feed = scenario.publisher
+    links = scenario.relay_links
+    socket_of = {peer: str(socket_dir / f"{peer}.sock") for peer in scenario.peers}
+
+    proxies: dict[tuple[str, str], ChaosProxy] = {}
+    daemons: dict[str, SyncDaemon] = {}
+    clients: dict[str, PublisherClient] = {}
+    crashed: set[str] = set()
+    groups: tuple[frozenset[str], ...] | None = None
+    scorer = PeerScorer(metrics=metrics, prefix="netd")
+    postmortems: list[Path] = []
+
+    def link_address(sender: str, recipient: str):
+        proxy = proxies.get((sender, recipient))
+        return proxy.address if proxy is not None else socket_of[recipient]
+
+    def relay_config(peer: str) -> dict[str, list[tuple[str, object]]]:
+        downstream = [
+            (link.recipient, link_address(peer, link.recipient))
+            for link in scenario.downstream(peer, feed)
+        ]
+        return {peer: downstream} if downstream else {}
+
+    async def boot_daemon(peer: str) -> SyncDaemon:
+        path = Path(socket_of[peer])
+        if path.exists():
+            # A previous incarnation's socket file; the new server must
+            # bind the same address relay pumps keep dialing.
+            path.unlink()
+        daemon = SyncDaemon(
+            scenario.setting,
+            [peer],
+            listen=socket_of[peer],
+            journal_dir=journal_dir / peer,
+            pinned={peer: scenario.pinned[peer]} if peer in scenario.pinned else None,
+            node_cap=node_cap,
+            heartbeat_interval=5.0,
+            idle_timeout=60.0,
+            max_queue=max_queue,
+            tracer=daemon_tracer,
+            metrics=metrics,
+            relays=relay_config(peer),
+        )
+        await daemon.start()
+        daemons[peer] = daemon
+        return daemon
+
+    try:
+        # Chaos proxies first: relay configs point at them.  Every link
+        # gets one under chaos (schedule may be None — the proxy still
+        # enforces partitions); clean runs dial daemons directly.
+        if use_chaos:
+            for link in links:
+                proxy = ChaosProxy(
+                    upstream=socket_of[link.recipient],
+                    schedule=scenario.faults.get((link.sender, link.recipient)),
+                    latency=scenario.latency,
+                    reorder_delay=scenario.reorder_delay,
+                    time_scale=time_scale,
+                    tracer=chaos_tracer,
+                    metrics=metrics,
+                )
+                await proxy.start()
+                proxies[(link.sender, link.recipient)] = proxy
+        for peer in scenario.peers:
+            await boot_daemon(peer)
+            note(f"daemon {peer} serving {socket_of[peer]}")
+        for link in scenario.downstream(feed, feed):
+            client = PublisherClient(
+                link_address(feed, link.recipient),
+                link.recipient,
+                sender=feed,
+                deltas=deltas,
+                retry=RetryPolicy(
+                    max_attempts=3,
+                    base_delay=0.02,
+                    max_delay=0.1,
+                    seed=scenario.seed,
+                ),
+                max_queue=max_queue,
+                ack_timeout=ack_timeout,
+                heartbeat_interval=1.0,
+                tracer=publisher_tracer,
+                metrics=metrics,
+            )
+            await client.start()
+            clients[link.recipient] = client
+
+        # ---- the timeline, in simulator order
+        timeline: list[tuple[float, int, int, object]] = []
+        order = 0
+        for index in range(len(scenario.snapshots)):
+            timeline.append((index * scenario.interval, _PUBLISH, order, index))
+            order += 1
+        for event in scenario.events:
+            timeline.append((event.at, _CONTROL, order, event))
+            order += 1
+        timeline.sort()
+
+        epoch, seq = 1, 0
+        published = 0
+        published_stamps: list[Stamp] = []
+        latest_stamp: Stamp | None = None
+        latest_snapshot: Instance | None = None
+
+        def apply_partition() -> None:
+            for (sender, recipient), proxy in proxies.items():
+                if groups is not None and _severed(sender, recipient, groups):
+                    proxy.partition()
+                else:
+                    proxy.heal()
+
+        for at, kind, _order, payload in timeline:
+            if at > virtual_now:
+                await asyncio.sleep((at - virtual_now) * time_scale)
+                virtual_now = at
+            if kind == _PUBLISH:
+                snapshot = scenario.snapshots[payload]
+                seq += 1
+                stamp = Stamp(epoch, seq)
+                latest_stamp, latest_snapshot = stamp, snapshot
+                published_stamps.append(stamp)
+                published += 1
+                note(f"publish stamp={stamp} facts={len(snapshot)}")
+                for peer, client in clients.items():
+                    await client.offer(stamp, snapshot)
+            elif isinstance(payload, Partition):
+                rendered = [",".join(sorted(group)) for group in payload.groups]
+                note(f"partition {'|'.join(rendered)}")
+                groups = payload.groups
+                apply_partition()
+            elif isinstance(payload, Heal):
+                note("heal")
+                groups = None
+                apply_partition()
+            elif isinstance(payload, Crash):
+                # kill -9 of that peer's whole daemon: no drain, no BYE;
+                # only its fsynced journal survives for the restart.
+                note(f"crash {payload.peer} (daemon abort)")
+                daemon = daemons[payload.peer]
+                daemon.abort()
+                postmortems.extend(daemon.postmortems)
+                crashed.add(payload.peer)
+            elif isinstance(payload, Restart):
+                daemon = await boot_daemon(payload.peer)
+                crashed.discard(payload.peer)
+                note(
+                    f"restart {payload.peer} "
+                    f"stamp={daemon.watermark(payload.peer)}"
+                )
+            elif isinstance(payload, BumpEpoch):
+                epoch += 1
+                seq = 0
+                for client in clients.values():
+                    client.rebase()
+                note(f"epoch-bump epoch={epoch}")
+
+        # ---- quiescence: drain the publisher, then let forwards settle
+        for client in clients.values():
+            await client.drain(timeout=30.0)
+        await _settle(daemons, crashed)
+        note("quiescent")
+
+        # Fold the publisher's own link outcomes into the mesh scorer so
+        # repair ranking sees first-hop health too.
+        for peer, client in clients.items():
+            for outcome in client.outcomes.values():
+                scorer.record((feed, peer), outcome.replace("-", "_"))
+
+        def link_score(sender: str, recipient: str) -> float:
+            if sender in daemons:
+                return daemons[sender].scorer.score((sender, recipient))
+            return scorer.score((sender, recipient))
+
+        # ---- path-aware anti-entropy: repair each lagging peer from its
+        # healthiest caught-up upstream neighbor, cascading hop by hop.
+        anti_entropy = 0
+        if latest_snapshot is not None:
+            for round_number in range(1, anti_entropy_limit + 1):
+                lagging = [
+                    peer
+                    for peer in scenario.peers
+                    if peer not in crashed
+                    and _mesh_reachable(scenario, peer, crashed, groups)
+                    and _behind(daemons[peer].watermark(peer), latest_stamp)
+                ]
+                if not lagging:
+                    break
+                repaired_any = False
+                for peer in lagging:
+                    candidates = []
+                    for link in scenario.upstreams(peer, feed):
+                        sender = link.sender
+                        if groups is not None and _severed(sender, peer, groups):
+                            continue
+                        if sender != feed:
+                            if sender in crashed or _behind(
+                                daemons[sender].watermark(sender), latest_stamp
+                            ):
+                                continue
+                        candidates.append(sender)
+                    if not candidates:
+                        continue
+                    upstream = sorted(
+                        candidates,
+                        key=lambda sender: (-link_score(sender, peer), sender),
+                    )[0]
+                    if upstream == feed:
+                        payload_snapshot = latest_snapshot
+                    else:
+                        payload_snapshot = daemons[upstream].peer_source(upstream)
+                        if payload_snapshot is None:
+                            continue
+                    anti_entropy += 1
+                    repaired_any = True
+                    if metrics is not None:
+                        metrics.counter("netd.anti_entropy").inc()
+                    repair = PublisherClient(
+                        socket_of[peer],
+                        peer,
+                        sender=upstream,
+                        ack_timeout=max(1.0, ack_timeout),
+                        tracer=publisher_tracer,
+                        metrics=metrics,
+                    )
+                    await repair.start()
+                    outcome = await repair.publish(latest_stamp, payload_snapshot)
+                    await repair.close()
+                    scorer.record((upstream, peer), outcome.replace("-", "_"))
+                    note(
+                        f"anti-entropy round={round_number} peer={peer} "
+                        f"via={upstream} stamp={latest_stamp} -> {outcome}"
+                    )
+                if not repaired_any:
+                    break
+
+        # ---- collect final states and judge with the shared oracle
+        states: dict[str, Instance] = {}
+        unreachable: list[str] = []
+        watermarks: dict[str, Stamp | None] = {}
+        for peer in scenario.peers:
+            watermarks[peer] = (
+                daemons[peer].watermark(peer) if peer not in crashed else None
+            )
+            if peer not in crashed and _mesh_reachable(
+                scenario, peer, crashed, groups
+            ):
+                states[peer] = daemons[peer].peer_state(peer)
+            else:
+                unreachable.append(peer)
+        convergence = check_convergence(
+            scenario, states, unreachable,
+            watermarks=watermarks, published=published_stamps,
+        )
+        note(
+            "convergence "
+            + (
+                " ".join(
+                    f"{name}={'ok' if ok else 'DIVERGED'}"
+                    for name, ok in sorted(convergence.peers.items())
+                )
+                if convergence.peers
+                else "vacuous (no reachable peers)"
+            )
+        )
+
+        stats: dict[str, int] = {"anti_entropy": anti_entropy}
+        for client in clients.values():
+            for key, value in client.stats.items():
+                stats[key] = stats.get(key, 0) + value
+        for proxy in proxies.values():
+            for key, value in proxy.stats.items():
+                stats[f"chaos_{key}"] = stats.get(f"chaos_{key}", 0) + value
+        for peer, daemon in daemons.items():
+            stats["forwarded"] = stats.get("forwarded", 0) + daemon.stats["forwarded"]
+            for host in daemon.hosts.values():
+                for key, value in host.stats.items():
+                    stats[f"daemon_{key}"] = stats.get(f"daemon_{key}", 0) + value
+
+        scores = scorer.snapshot()
+        for daemon in daemons.values():
+            scores.update(daemon.scorer.snapshot())
+
+        drained = True
+        for peer, client in clients.items():
+            await client.close(bye=True)
+        for peer, daemon in daemons.items():
+            if peer in crashed:
+                continue
+            drained = await daemon.stop(drain=True) and drained
+            postmortems.extend(
+                path for path in daemon.postmortems if path not in postmortems
+            )
+        note(f"daemons stopped drained={drained}")
+
+        trace_files = _write_lanes(lane_tracers, trace_dir)
+        for label, path in trace_files.items():
+            note(f"trace lane {label} -> {path}")
+
+        return NetdReport(
+            scenario=scenario.name,
+            seed=scenario.seed,
+            published=published,
+            final_stamp=latest_stamp,
+            states=states,
+            unreachable=unreachable,
+            stats=stats,
+            convergence=convergence,
+            drained=drained,
+            log=log,
+            trace_files=trace_files,
+            postmortems=postmortems,
+            scores=scores,
+        )
+    finally:
+        for client in clients.values():
+            await client.close(bye=False)
+        for proxy in proxies.values():
+            await proxy.stop()
+        for daemon in daemons.values():
+            await daemon.stop(drain=False)
+        _write_lanes(lane_tracers, trace_dir)
+        shutil.rmtree(socket_dir, ignore_errors=True)
+        if owns_journal_dir:
+            shutil.rmtree(journal_dir, ignore_errors=True)
+
+
+async def _settle(
+    daemons: dict[str, SyncDaemon], crashed: set[str], deadline: float = 5.0
+) -> None:
+    """Wait for relay forwards to stop propagating (watermarks stable).
+
+    The publisher's drain only covers first-hop deliveries; forwarded
+    rounds are still in flight down the mesh.  Settling = every live
+    daemon's relay queues empty and no watermark moved for a few ticks.
+    """
+    loop = asyncio.get_running_loop()
+    end = loop.time() + deadline
+    last: tuple = ()
+    stable = 0
+    while loop.time() < end:
+        snapshot = tuple(
+            (peer, daemon.watermark(peer))
+            for peer, daemon in sorted(daemons.items())
+            if peer not in crashed
+        )
+        busy = any(
+            not queue.empty()
+            for peer, daemon in daemons.items()
+            if peer not in crashed
+            for queue in daemon._relay_queues.values()
+        )
+        if snapshot == last and not busy:
+            stable += 1
+            if stable >= 3:
+                return
+        else:
+            stable = 0
+        last = snapshot
+        await asyncio.sleep(0.05)
+
+
+def _mesh_reachable(
+    scenario: Scenario,
+    peer: str,
+    crashed: set[str],
+    groups: tuple[frozenset[str], ...] | None,
+) -> bool:
+    """Does a live, unsevered relay path lead from the feed to ``peer``?
+
+    The harness twin of the simulator's path-based reachability: BFS
+    over custody-carrying links, skipping crashed daemons and links the
+    current partition severs.
+    """
+    feed = scenario.publisher
+    seen = {feed}
+    frontier = [feed]
+    while frontier:
+        current = frontier.pop(0)
+        for link in scenario.downstream(current, feed):
+            nxt = link.recipient
+            if nxt in seen or nxt in crashed:
+                continue
+            if groups is not None and _severed(current, nxt, groups):
+                continue
+            if nxt == peer:
+                return True
+            seen.add(nxt)
+            frontier.append(nxt)
+    return False
 
 
 def _write_lanes(

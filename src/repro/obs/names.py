@@ -54,6 +54,8 @@ METRIC_NAME_TABLE: dict[str, tuple[str, str]] = {
     "net.delta_fallbacks": ("counter", "chain-broken deltas resent as snapshots"),
     "net.anti_entropy": ("counter", "anti-entropy repair publishes"),
     "net.chain_broken": ("counter", "delta-chain breaks observed at peers"),
+    "net.forwarded": ("counter", "stamped snapshots relayed down a topology link"),
+    "net.score.*": ("gauge", "per-link peer health score (sender->recipient)"),
     "net.publish_apply_ms": ("histogram", "end-to-end publish→apply latency, ms"),
     # -- netd.* : the real asyncio daemon + publisher client ------------
     "netd.connections": ("counter", "connections accepted by the daemon"),
@@ -71,6 +73,8 @@ METRIC_NAME_TABLE: dict[str, tuple[str, str]] = {
     "netd.delta_fallbacks": ("counter", "chain-broken deltas resent as snapshots"),
     "netd.chain_broken": ("counter", "delta-chain breaks observed by the daemon"),
     "netd.anti_entropy": ("counter", "anti-entropy repair publishes"),
+    "netd.forwarded": ("counter", "applied rounds enqueued for relay forwarding"),
+    "netd.score.*": ("gauge", "per-link peer health score (sender->recipient)"),
     "netd.lag.*": ("gauge", "per-peer watermark lag (publishes not yet applied)"),
     "netd.publish_apply_ms": ("histogram", "end-to-end publish→apply latency, ms"),
     # -- chaos.* : the socket-level fault-injection proxy ---------------

@@ -256,6 +256,18 @@ class SyncSession:
         """The current materialized target state (pinned + imported)."""
         return self.pinned.union(self._imported)
 
+    @property
+    def last_source(self) -> Instance | None:
+        """The source snapshot of the last applied stamped round.
+
+        This is the snapshot a relay re-publishes downstream: forwarding
+        the applied source (rather than the materialized target) keeps
+        every hop exchanging *source* facts, so a chain of peers computes
+        the same solutions as direct subscribers of the origin.  ``None``
+        until a stamped round applies.
+        """
+        return self._last_source
+
     def _still_justified(self, source: Instance) -> tuple[Instance, Instance]:
         """Split imported facts into (still consistent, to retract).
 
