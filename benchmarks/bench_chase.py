@@ -6,18 +6,28 @@ instance size.  The bench measures chase length and wall time across
 growing instances for weakly acyclic sets (linear-to-polynomial growth),
 verifies the classifier on a catalogue of dependency sets, and shows the
 step budget catching a non-weakly-acyclic set.
+
+The second half benchmarks the incremental (semi-naive) chase on the
+sync hot path: a genomics churn feed replayed through ``sync_delta``
+with the warm incremental pipeline on and off, recorded to
+``BENCH_chase.json`` for the nightly lane to archive.
 """
 
 from __future__ import annotations
 
+import statistics
 import time
 
 import pytest
 
 from repro.core.chase import chase, solution_aware_chase
+from repro.core.homomorphism import has_instance_homomorphism
+from repro.core.instance import Instance
 from repro.core.parser import parse_dependencies, parse_instance
 from repro.core.weak_acyclicity import is_weakly_acyclic
 from repro.exceptions import ChaseNonTermination
+from repro.sync.session import Stamp, SyncSession
+from repro.workloads.scenarios import generate_genomics_feed, genomics_setting
 
 WEAKLY_ACYCLIC = parse_dependencies(
     """
@@ -148,3 +158,70 @@ def test_certified_budget(benchmark, table):
         ["|I|", "max rank", "actual steps", "certified budget"],
         rows,
     )
+
+
+def _drive_churn(feed, setting, incremental: bool) -> tuple[list[float], Instance]:
+    """Replay ``feed`` through ``sync_delta``; per-round latencies + state."""
+    schema = setting.source_schema
+    session = SyncSession(setting, incremental=incremental)
+    session.sync(feed[0], stamp=Stamp(0, 0))
+    latencies = []
+    prev = feed[0]
+    for index, snap in enumerate(feed[1:], 1):
+        added, withdrawn = snap.diff(prev)
+        added_instance = Instance(schema=schema)
+        added_instance.add_all(added)
+        withdrawn_instance = Instance(schema=schema)
+        withdrawn_instance.add_all(withdrawn)
+        started = time.perf_counter()
+        outcome = session.sync_delta(
+            added_instance,
+            withdrawn_instance,
+            base=Stamp(0, index - 1),
+            stamp=Stamp(0, index),
+        )
+        latencies.append(time.perf_counter() - started)
+        assert outcome.ok
+        prev = snap
+    return latencies, session.state()
+
+
+def test_incremental_chase_sync_hot_path(benchmark, table, record):
+    """Incremental (semi-naive) chase vs from-scratch on genomics churn.
+
+    ISSUE 10 acceptance: the warm pipeline must deliver at least a 5x
+    median round-latency improvement for ``sync_delta`` on the churn
+    feed, with both runs converging to hom-equivalent states.
+    """
+    setting = genomics_setting()
+    feed = generate_genomics_feed(rounds=10, proteins=120, churn=0.12, seed=7)
+
+    def run():
+        warm, warm_state = _drive_churn(feed, setting, incremental=True)
+        cold, cold_state = _drive_churn(feed, setting, incremental=False)
+        assert has_instance_homomorphism(warm_state, cold_state)
+        assert has_instance_homomorphism(cold_state, warm_state)
+        return warm, cold
+
+    warm, cold = benchmark.pedantic(run, rounds=3, iterations=1)
+    warm_ms = statistics.median(warm) * 1000
+    cold_ms = statistics.median(cold) * 1000
+    speedup = cold_ms / warm_ms
+    table(
+        "incremental chase: sync_delta round latency on genomics churn",
+        ["rounds", "incremental median", "scratch median", "speedup"],
+        [[len(warm), f"{warm_ms:.2f} ms", f"{cold_ms:.2f} ms", f"{speedup:.1f}x"]],
+    )
+    record(
+        "bench_chase.sync_delta_incremental",
+        {
+            "workload": "genomics-churn",
+            "rounds": len(warm),
+            "proteins": 120,
+            "churn": 0.12,
+            "incremental_median_ms": round(warm_ms, 3),
+            "scratch_median_ms": round(cold_ms, 3),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup >= 5.0

@@ -39,10 +39,22 @@ from repro.core.terms import (
     is_null,
     is_variable,
 )
-from repro.exceptions import ChaseFailure, ChaseNonTermination, DependencyError
+from repro.exceptions import (
+    ChaseFailure,
+    ChaseNonTermination,
+    DependencyError,
+    IncrementalChaseUnsupported,
+)
 from repro.obs.tracer import NULL_TRACER
 
-__all__ = ["ChaseStep", "ChaseResult", "chase", "solution_aware_chase", "satisfies"]
+__all__ = [
+    "ChaseStep",
+    "ChaseResult",
+    "chase",
+    "chase_incremental",
+    "solution_aware_chase",
+    "satisfies",
+]
 
 #: Default ceiling on chase steps; generous for every workload in this repo.
 DEFAULT_MAX_STEPS = 200_000
@@ -73,11 +85,27 @@ class ChaseResult:
         instance: the final instance (the chased fixpoint).
         steps: provenance, one entry per applied step.
         rounds: number of full passes over the dependency set.
+        incremental: True when produced by :func:`chase_incremental`.
+        retracted: facts of the prior result withdrawn by the incremental
+            run's provenance-guided retraction (net of re-derivations).
+        delta_added: facts of this result absent from the prior result
+            (incremental runs only; includes both delta inputs and facts
+            derived from them).
+        refired: number of chase steps the incremental run applied.
     """
 
     instance: Instance
     steps: list[ChaseStep] = field(default_factory=list)
     rounds: int = 0
+    incremental: bool = field(default=False, compare=False)
+    retracted: tuple[Fact, ...] = field(default=(), compare=False)
+    delta_added: tuple[Fact, ...] = field(default=(), compare=False)
+    refired: int = field(default=0, compare=False)
+    #: Memoized provenance support index (built lazily by
+    #: :func:`chase_incremental`; transferred to the successor result).
+    support: "_SupportIndex | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def step_count(self) -> int:
@@ -352,6 +380,452 @@ def chase(
         if tracer.enabled:
             _note_chase_span(span, steps, rounds)
     return ChaseResult(instance=current, steps=steps, rounds=rounds)
+
+
+# ---------------------------------------------------------------------------
+# incremental (semi-naive) chase
+# ---------------------------------------------------------------------------
+
+
+class _SupportIndex:
+    """Provenance support graph over a chase history.
+
+    Maps every justification fact to the steps it supports (``consumers``)
+    and every derived fact to the step that introduced it (``producer``),
+    so provenance-guided retraction walks the dependency cone of a
+    withdrawn fact instead of re-deriving the world.  The index is owned
+    by exactly one :class:`ChaseResult` at a time: :func:`chase_incremental`
+    takes it from the prior result, mutates it, and hands it to the
+    successor — rebuilding from ``steps`` when a result has none.
+    """
+
+    __slots__ = (
+        "ordered",
+        "dropped",
+        "by_id",
+        "justification",
+        "consumers",
+        "producer",
+    )
+
+    def __init__(self) -> None:
+        #: Steps in application order (may contain dropped entries until
+        #: :meth:`live_steps` compacts; their objects stay referenced here
+        #: so ``id()`` keys cannot be recycled mid-run).
+        self.ordered: list[ChaseStep] = []
+        self.dropped: set[int] = set()
+        self.by_id: dict[int, ChaseStep] = {}
+        self.justification: dict[int, tuple[Fact, ...]] = {}
+        self.consumers: dict[Fact, set[int]] = {}
+        self.producer: dict[Fact, int] = {}
+
+    @classmethod
+    def from_steps(cls, steps: Iterable[ChaseStep]) -> "_SupportIndex":
+        index = cls()
+        for step in steps:
+            index.add(step)
+        return index
+
+    def add(self, step: ChaseStep) -> None:
+        sid = id(step)
+        self.ordered.append(step)
+        self.by_id[sid] = step
+        body = _instantiate_body(step.dependency, step.assignment)
+        self.justification[sid] = body
+        for fact in body:
+            self.consumers.setdefault(fact, set()).add(sid)
+        for fact in step.added_facts:
+            self.producer.setdefault(fact, sid)
+
+    def drop(self, sid: int) -> ChaseStep | None:
+        step = self.by_id.pop(sid, None)
+        if step is None:
+            return None
+        self.dropped.add(sid)
+        for fact in self.justification.pop(sid, ()):
+            bucket = self.consumers.get(fact)
+            if bucket is not None:
+                bucket.discard(sid)
+                if not bucket:
+                    del self.consumers[fact]
+        for fact in step.added_facts:
+            if self.producer.get(fact) == sid:
+                del self.producer[fact]
+        return step
+
+    def live_steps(self) -> list[ChaseStep]:
+        """Compact away dropped entries and return the live steps in order."""
+        if self.dropped:
+            self.ordered = [s for s in self.ordered if id(s) not in self.dropped]
+            self.dropped = set()
+        return list(self.ordered)
+
+
+def _instantiate_body(
+    dependency: Dependency, assignment: Mapping[Variable, InstanceTerm]
+) -> tuple[Fact, ...]:
+    """Ground a dependency's body atoms under a total body assignment."""
+    facts = []
+    for atom in dependency.body:
+        args = tuple(
+            assignment[term] if is_variable(term) else term for term in atom.args
+        )
+        facts.append(Fact(atom.relation, args))
+    return tuple(facts)
+
+
+def _unify_row(
+    atom: Atom,
+    args: Sequence[InstanceTerm],
+    restrict: "frozenset[Variable] | set[Variable] | None" = None,
+) -> dict[Variable, InstanceTerm] | None:
+    """Match one atom against one row, returning the variable bindings.
+
+    With ``restrict``, only variables in the set are bound (used to unify
+    head atoms, whose existential variables are unconstrained); other
+    positions match anything.  Returns None on a constant or repeated-
+    variable mismatch.
+    """
+    binding: dict[Variable, InstanceTerm] = {}
+    for term, value in zip(atom.args, args):
+        if is_variable(term):
+            if restrict is not None and term not in restrict:
+                continue
+            bound = binding.get(term)  # type: ignore[arg-type]
+            if bound is None:
+                binding[term] = value  # type: ignore[index]
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return binding
+
+
+def _check_bound_match(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    assignment: Mapping[Variable, InstanceTerm],
+) -> bool:
+    """Verify a *total* assignment maps every atom to a fact (no search)."""
+    for atom in atoms:
+        args = tuple(
+            assignment[term] if is_variable(term) else term for term in atom.args
+        )
+        if Fact(atom.relation, args) not in instance:
+            return False
+    return True
+
+
+def _iter_delta_assignments(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    delta_rows: Mapping[str, set],
+    seen: set,
+    all_vars: "frozenset[Variable] | set[Variable]",
+) -> Iterable[dict[Variable, InstanceTerm]]:
+    """Semi-naive body matches: some atom is unified against a delta row.
+
+    For each body atom whose relation has delta rows, the atom is unified
+    with each delta row and the remaining atoms are matched with the
+    resulting bindings pre-bound, so enumeration cost scales with the
+    delta, not the relation.  ``seen`` dedupes assignments across atoms,
+    rows, and rounds (head satisfaction only grows during a run, so a
+    once-considered assignment never needs a second look).  When one
+    unification already binds every variable of the conjunction (the
+    single-atom-body common case), the backtracking matcher is skipped
+    entirely in favor of direct containment checks.
+    """
+    for atom in atoms:
+        rows = delta_rows.get(atom.relation)
+        if not rows:
+            continue
+        for args in rows:
+            partial = _unify_row(atom, args)
+            if partial is None:
+                continue
+            if len(partial) == len(all_vars):
+                # ``seen`` records only *successful* matches: a failed
+                # containment may succeed in a later round once a missing
+                # body fact is derived, and must then be re-considered.
+                key = frozenset(partial.items())
+                if key in seen:
+                    continue
+                if _check_bound_match(atoms, instance, partial):
+                    seen.add(key)
+                    yield partial
+                continue
+            for assignment in iter_homomorphisms(atoms, instance, partial):
+                key = frozenset(assignment.items())
+                if key not in seen:
+                    seen.add(key)
+                    yield assignment
+
+
+def _iter_head_removal_assignments(
+    tgd: TGD,
+    instance: Instance,
+    removed_rows: Mapping[str, set],
+    seen: set,
+) -> Iterable[dict[Variable, InstanceTerm]]:
+    """Body matches whose head witness may have been retracted.
+
+    The restricted chase fires a tgd only when the head is *not* already
+    witnessed, so removing facts can make old body matches applicable
+    again (their witness vanished) and can strand facts that are still
+    derivable (their recorded derivation was over-deleted but another
+    one survives).  Both cases are found the same way: unify each head
+    atom with each removed row — binding only the universal variables —
+    and enumerate body matches under those bindings.
+    """
+    body_vars = tgd.body_variables()
+    for atom in tgd.head:
+        rows = removed_rows.get(atom.relation)
+        if not rows:
+            continue
+        for args in rows:
+            partial = _unify_row(atom, args, restrict=body_vars)
+            if partial is None:
+                continue
+            if len(partial) == len(body_vars):
+                key = frozenset(partial.items())
+                if key in seen:
+                    continue
+                if _check_bound_match(tgd.body, instance, partial):
+                    seen.add(key)
+                    yield partial
+                continue
+            for assignment in iter_homomorphisms(tgd.body, instance, partial):
+                key = frozenset(assignment.items())
+                if key not in seen:
+                    seen.add(key)
+                    yield assignment
+
+
+def chase_incremental(
+    prior: ChaseResult,
+    added: Iterable[Fact],
+    withdrawn: Iterable[Fact],
+    dependencies: Iterable[Dependency],
+    null_factory: NullFactory | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    budget: Budget | None = None,
+    tracer: "Tracer | None" = None,
+    consume: bool = False,
+) -> ChaseResult:
+    """Chase a base delta on top of a prior chase result (semi-naive).
+
+    Given ``prior = chase(B, dependencies)`` and a delta turning the base
+    ``B`` into ``B' = (B - withdrawn) | added``, returns a fixpoint for
+    ``B'`` that is homomorphically equivalent to ``chase(B')`` — touching
+    only the dependency cone of the changed facts instead of re-running
+    the full match enumeration:
+
+    * **provenance-guided retraction** (DRed-style over-deletion): derived
+      facts whose recorded justification transitively involved a withdrawn
+      fact are retracted by walking the provenance support graph;
+    * **semi-naive re-firing**: tgd matches are enumerated only where a
+      body atom touches a changed fact, or where a head witness was
+      retracted — the latter also re-derives over-deleted facts that have
+      a surviving alternative justification (with fresh nulls for
+      existentials, hence equivalence *up to null renaming*).
+
+    Preconditions, enforced by raising :class:`IncrementalChaseUnsupported`
+    (callers fall back to the from-scratch :func:`chase`):
+
+    * the prior history contains no egd merges (a merge rewrites facts in
+      place, invalidating recorded provenance);
+    * the delta does not make an egd newly applicable.
+
+    By default ``prior`` is never semantically modified (its instance and
+    steps are untouched), but its memoized provenance ``support`` index is
+    transferred to the returned result; re-using ``prior`` later simply
+    rebuilds the index.  With ``consume=True`` the prior's *instance* is
+    also taken over and mutated in place — skipping the per-round copy on
+    hot loops where the caller discards ``prior`` anyway; a consumed prior
+    must not be used again.  ``prior`` must be a fixpoint (any result of
+    :func:`chase` or :func:`chase_incremental` is).
+
+    Budget and ``max_steps`` govern only the new work of this call; the
+    returned result's ``retracted`` / ``delta_added`` / ``refired`` fields
+    report the net effect, and a ``chase-incremental`` span records the
+    same counters on ``tracer``.
+    """
+    dependencies = list(dependencies)
+    tgds = [d for d in dependencies if isinstance(d, TGD)]
+    egds = [d for d in dependencies if isinstance(d, EGD)]
+    if len(tgds) + len(egds) != len(dependencies):
+        raise DependencyError(
+            "cannot chase non-deterministic dependencies incrementally"
+        )
+    if any(step.merged is not None for step in prior.steps):
+        raise IncrementalChaseUnsupported(
+            "prior chase history contains egd merges; re-chase from scratch"
+        )
+    added = list(added)
+    withdrawn = list(withdrawn)
+    if tracer is None:
+        tracer = NULL_TRACER
+    if null_factory is None:
+        seeded = set(prior.instance.nulls())
+        for fact in added:
+            seeded.update(arg for arg in fact.args if is_null(arg))
+        null_factory = NullFactory.above(seeded)
+
+    with tracer.span(
+        "chase-incremental",
+        dependencies=len(dependencies),
+        delta_in=len(added) + len(withdrawn),
+    ) as span:
+        current = prior.instance if consume else prior.instance.copy()
+        index = prior.support
+        prior.support = None  # ownership moves to the successor result
+        if index is None:
+            index = _SupportIndex.from_steps(prior.steps)
+        added_set = set(added)
+
+        # Facts arriving as *inputs* that the prior run derived lose their
+        # derived status: strip them from their producing step so a later
+        # withdrawal of that derivation cannot retract what is now input.
+        for fact in added_set:
+            sid = index.producer.get(fact)
+            if sid is not None:
+                step = index.by_id[sid]
+                kept = tuple(g for g in step.added_facts if g != fact)
+                index.drop(sid)
+                if kept:
+                    index.add(
+                        ChaseStep(
+                            dependency=step.dependency,
+                            assignment=step.assignment,
+                            added_facts=kept,
+                        )
+                    )
+
+        # --- provenance-guided retraction (over-deletion) --------------
+        removed: set[Fact] = set()
+        queue: list[Fact] = []
+        for fact in withdrawn:
+            if fact not in current or fact in added_set:
+                continue
+            if fact in index.producer:
+                # Derived, not input: the base never held it, so the
+                # withdrawal is vacuous — the fact keeps its derivation.
+                continue
+            queue.append(fact)
+        while queue:
+            fact = queue.pop()
+            if fact in removed or fact in added_set:
+                continue
+            removed.add(fact)
+            for sid in list(index.consumers.get(fact, ())):
+                step = index.drop(sid)
+                if step is not None:
+                    queue.extend(step.added_facts)
+
+        removed_rows: dict[str, set] = {}
+        for fact in removed:
+            current.discard(fact)
+            removed_rows.setdefault(fact.relation, set()).add(fact.args)
+
+        # --- apply the input delta --------------------------------------
+        delta_rows: dict[str, set] = {}
+        inserted_rows: dict[str, set] = {}
+        for fact in added:
+            if current.add(fact):
+                delta_rows.setdefault(fact.relation, set()).add(fact.args)
+                inserted_rows.setdefault(fact.relation, set()).add(fact.args)
+
+        # --- semi-naive fixpoint ----------------------------------------
+        new_steps: list[ChaseStep] = []
+        seen: list[set] = [set() for _ in tgds]
+        body_vars = [tgd.body_variables() for tgd in tgds]
+        rounds = 0
+        first = True
+        while True:
+            rounds += 1
+            next_rows: dict[str, set] = {}
+            for position, tgd in enumerate(tgds):
+                if budget is not None:
+                    budget.checkpoint()
+                # Materialize the candidate list before firing: firing
+                # mutates ``current`` and the matcher must not observe it.
+                matches = list(
+                    _iter_delta_assignments(
+                        tgd.body, current, delta_rows, seen[position],
+                        body_vars[position],
+                    )
+                )
+                if first:
+                    matches.extend(
+                        _iter_head_removal_assignments(
+                            tgd, current, removed_rows, seen[position]
+                        )
+                    )
+                for assignment in matches:
+                    if len(new_steps) >= max_steps:
+                        raise ChaseNonTermination(max_steps)
+                    if _head_satisfied(current, tgd, assignment):
+                        continue
+                    step = _apply_tgd_step(current, tgd, assignment, null_factory)
+                    new_steps.append(step)
+                    index.add(step)
+                    for fact in step.added_facts:
+                        next_rows.setdefault(fact.relation, set()).add(fact.args)
+                        inserted_rows.setdefault(fact.relation, set()).add(fact.args)
+                    if budget is not None:
+                        budget.charge_chase_step()
+                        if step.added_facts:
+                            budget.charge_facts(len(step.added_facts))
+            first = False
+            if not next_rows:
+                break
+            delta_rows = next_rows
+
+        # --- egds: delta-restricted applicability check -----------------
+        # The prior result is a fixpoint, so every egd was satisfied, and
+        # removals only shrink the match set; an egd can become applicable
+        # only through a match touching a fact inserted by this call.
+        for egd in egds:
+            if budget is not None:
+                budget.checkpoint()
+            seen_egd: set = set()
+            for assignment in _iter_delta_assignments(
+                egd.body, current, inserted_rows, seen_egd, egd.body_variables()
+            ):
+                if assignment[egd.left] != assignment[egd.right]:
+                    raise IncrementalChaseUnsupported(
+                        f"egd {egd} became applicable under the delta; "
+                        "re-chase from scratch"
+                    )
+
+        # --- assemble ----------------------------------------------------
+        # An inserted fact was absent when inserted, and insertion happens
+        # strictly after the removal phase, so it was absent from the
+        # post-removal state; it belonged to the *prior* fixpoint iff the
+        # retraction removed it first.  (No reference to ``prior.instance``
+        # here — under ``consume`` it aliases ``current``.)
+        net_removed = tuple(fact for fact in removed if fact not in current)
+        delta_added = tuple(
+            fact
+            for relation, rows in inserted_rows.items()
+            for fact in (Fact(relation, args) for args in rows)
+            if fact not in removed
+        )
+        if tracer.enabled:
+            span.set("rounds", rounds)
+            span.set("retracted", len(net_removed))
+            span.set("refired", len(new_steps))
+            span.set("delta_out", len(delta_added))
+    return ChaseResult(
+        instance=current,
+        steps=index.live_steps(),
+        rounds=rounds,
+        incremental=True,
+        retracted=net_removed,
+        delta_added=delta_added,
+        refired=len(new_steps),
+        support=index,
+    )
 
 
 def solution_aware_chase(

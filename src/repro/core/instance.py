@@ -11,7 +11,7 @@ fact sets, not identity.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import AbstractSet, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.atoms import Fact
 from repro.core.schema import Schema
@@ -20,8 +20,10 @@ from repro.core.terms import Constant, InstanceTerm, Null, is_null
 __all__ = ["Instance"]
 
 #: Shared empty row set returned by :meth:`Instance.rows` for absent
-#: relations; never mutated.
-_EMPTY_ROWS: set = set()
+#: relations.  A ``frozenset`` so that a caller that (wrongly) tries to
+#: mutate an empty result raises instead of silently poisoning every
+#: other instance that shares this sentinel.
+_EMPTY_ROWS: frozenset = frozenset()
 
 
 class Instance:
@@ -72,10 +74,20 @@ class Instance:
         return instance
 
     def copy(self) -> "Instance":
-        """Return an independent copy sharing no mutable state."""
+        """Return an independent copy sharing no mutable state.
+
+        A built positional index is copied bucket-by-bucket (set copies at
+        C speed) rather than discarded: the incremental chase copies the
+        prior fixpoint every round, and rebuilding the index through the
+        Python fact loop would cost more than the whole delta pass.
+        """
         clone = Instance(schema=self.schema)
         clone._relations = {name: set(rows) for name, rows in self._relations.items()}
         clone._size = self._size
+        if self._index is not None:
+            clone._index = {
+                key: set(bucket) for key, bucket in self._index.items()
+            }
         return clone
 
     # ------------------------------------------------------------------
@@ -86,6 +98,17 @@ class Instance:
         """Add a fact; return True if it was not already present."""
         if self.schema is not None:
             self.schema.validate_fact(fact)
+        return self._add_unchecked(fact)
+
+    def _add_unchecked(self, fact: Fact) -> bool:
+        """Add a fact known to satisfy the schema, skipping validation.
+
+        Internal fast path for rebuilds of already-validated facts
+        (``rename``, ``restrict_to``): renaming values or projecting
+        relations cannot change a fact's relation name or arity, so
+        re-validating every row on such rebuilds is pure overhead —
+        egd merges in the chase pay it once per merge otherwise.
+        """
         rows = self._relations.setdefault(fact.relation, set())
         if fact.args in rows:
             return False
@@ -103,17 +126,27 @@ class Instance:
         return sum(1 for fact in facts if self.add(fact))
 
     def discard(self, fact: Fact) -> bool:
-        """Remove a fact if present; return True if it was removed."""
+        """Remove a fact if present; return True if it was removed.
+
+        Emptied row sets and index buckets are pruned so that long
+        add/discard churn (sync sessions retracting imported facts round
+        after round) cannot grow ``_relations`` / ``_index`` unboundedly.
+        """
         rows = self._relations.get(fact.relation)
         if rows is None or fact.args not in rows:
             return False
         rows.remove(fact.args)
+        if not rows:
+            del self._relations[fact.relation]
         self._size -= 1
         if self._index is not None:
             for position, value in enumerate(fact.args):
-                bucket = self._index.get((fact.relation, position, value))
+                key = (fact.relation, position, value)
+                bucket = self._index.get(key)
                 if bucket is not None:
                     bucket.discard(fact.args)
+                    if not bucket:
+                        del self._index[key]
         return True
 
     def rename(self, mapping: Mapping[InstanceTerm, InstanceTerm]) -> "Instance":
@@ -122,10 +155,17 @@ class Instance:
         Values absent from the mapping are left unchanged.  This is how egd
         chase steps identify a null with another value, and how valuations
         of nulls are applied by the solvers.
+
+        Every fact of self already passed schema validation when it was
+        added, and renaming values preserves relation names and arities,
+        so the rebuild skips per-fact re-validation (egd merges in the
+        chase would otherwise pay O(n) validation per merge).
         """
+        if not mapping:
+            return self.copy()
         renamed = Instance(schema=self.schema)
         for fact in self:
-            renamed.add(fact.substitute(mapping))
+            renamed._add_unchecked(fact.substitute(mapping))
         return renamed
 
     # ------------------------------------------------------------------
@@ -172,7 +212,7 @@ class Instance:
 
     def candidate_rows(
         self, relation: str, position: int, value: InstanceTerm
-    ) -> set[tuple[InstanceTerm, ...]]:
+    ) -> AbstractSet[tuple[InstanceTerm, ...]]:
         """Rows of ``relation`` holding ``value`` at ``position`` (no copy).
 
         Backed by a lazily built positional index that ``add``/``discard``
@@ -190,14 +230,41 @@ class Instance:
             self._index = index
         return self._index.get((relation, position, value), _EMPTY_ROWS)
 
-    def rows(self, relation: str) -> set[tuple[InstanceTerm, ...]]:
+    def rows(self, relation: str) -> AbstractSet[tuple[InstanceTerm, ...]]:
         """Return the *live* row set of ``relation`` (no copy).
 
         Hot-path accessor for the homomorphism matcher; callers must treat
         the result as read-only and must not mutate the instance while
-        iterating it.
+        iterating it.  For an absent relation the shared immutable empty
+        set is returned, so an accidental mutation attempt raises rather
+        than corrupting unrelated instances.
         """
         return self._relations.get(relation, _EMPTY_ROWS)
+
+    def diff(self, other: "Instance") -> tuple[list[Fact], list[Fact]]:
+        """Return ``(added, removed)`` fact deltas of self relative to ``other``.
+
+        ``added`` holds the facts of self absent from ``other``; ``removed``
+        the facts of ``other`` absent from self.  Computed with per-relation
+        set differences, so diffing two mostly-overlapping snapshots (the
+        incremental-chase hot path) costs set arithmetic, not hashing every
+        fact through Python-level loops.
+        """
+        added: list[Fact] = []
+        removed: list[Fact] = []
+        for relation, rows in self._relations.items():
+            theirs = other._relations.get(relation)
+            if theirs is None:
+                added.extend(Fact(relation, row) for row in rows)
+            elif rows is not theirs:
+                added.extend(Fact(relation, row) for row in rows - theirs)
+        for relation, theirs in other._relations.items():
+            mine = self._relations.get(relation)
+            if mine is None:
+                removed.extend(Fact(relation, row) for row in theirs)
+            elif mine is not theirs:
+                removed.extend(Fact(relation, row) for row in theirs - mine)
+        return added, removed
 
     def facts(self, relation: str | None = None) -> list[Fact]:
         """Return facts of one relation, or all facts when ``relation`` is None."""
@@ -284,8 +351,13 @@ class Instance:
         """
         projected = Instance(schema=schema)
         for name in schema.names():
-            for row in self._relations.get(name, ()):
-                projected.add(Fact(name, row))
+            rows = self._relations.get(name)
+            if rows:
+                # Rows were validated when added to self, and projection
+                # keeps relation names and arities intact: copy them in
+                # bulk without per-fact re-validation.
+                projected._relations[name] = set(rows)
+                projected._size += len(rows)
         return projected
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ __all__ = [
     "DependencyError",
     "ChaseFailure",
     "ChaseNonTermination",
+    "IncrementalChaseUnsupported",
     "SolverError",
     "BudgetExceeded",
     "InvariantViolation",
@@ -90,6 +91,17 @@ class ChaseNonTermination(ReproError):
             f"chase did not terminate within {steps} steps; the dependency "
             f"set may not be weakly acyclic"
         )
+
+
+class IncrementalChaseUnsupported(ReproError):
+    """Raised when a delta cannot be chased incrementally.
+
+    The semi-naive incremental chase only handles histories free of egd
+    merges (a merge rewrites facts in place, invalidating the provenance
+    the retraction walk relies on) and deltas that do not make an egd
+    newly applicable.  Callers are expected to catch this and fall back
+    to the from-scratch :func:`repro.core.chase.chase`.
+    """
 
 
 class SolverError(ReproError):

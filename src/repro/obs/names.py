@@ -18,8 +18,9 @@ authority on what a network metric is called and what it means:
 
 Solver-side metrics (``solve.*``, ``certain.*``, ``sync.*``) are named
 by their result objects and documented in ``docs/api.md``; this table
-deliberately covers only the distributed namespaces, where the simulator
-and the daemon must agree on vocabulary to be comparable.
+covers the distributed namespaces, where the simulator and the daemon
+must agree on vocabulary to be comparable, plus the ``chase.*``
+incremental-chase counters shared by every sync stack.
 """
 
 from __future__ import annotations
@@ -77,6 +78,11 @@ METRIC_NAME_TABLE: dict[str, tuple[str, str]] = {
     "netd.score.*": ("gauge", "per-link peer health score (sender->recipient)"),
     "netd.lag.*": ("gauge", "per-peer watermark lag (publishes not yet applied)"),
     "netd.publish_apply_ms": ("histogram", "end-to-end publish→apply latency, ms"),
+    # -- chase.* : the incremental (semi-naive) chase on the sync path --
+    "chase.incremental": ("counter", "solve rounds served by the warm incremental pipeline"),
+    "chase.retracted": ("counter", "derived facts withdrawn by provenance-guided retraction"),
+    "chase.refired": ("counter", "chase steps re-fired by semi-naive delta matching"),
+    "chase.fallback": ("counter", "incremental rounds that fell back to a from-scratch chase"),
     # -- chaos.* : the socket-level fault-injection proxy ---------------
     "chaos.connections": ("counter", "connections the proxy accepted and linked"),
     "chaos.refused": ("counter", "connections refused (severed/partitioned)"),
@@ -105,11 +111,11 @@ def canonical_metric_name(name: str) -> str:
 def metric_documented(name: str) -> bool:
     """True when ``name`` (canonicalized) appears in the table.
 
-    Names outside the ``net.`` / ``netd.`` / ``chaos.`` namespaces are
-    not this table's business and always pass.
+    Names outside the ``net.`` / ``netd.`` / ``chaos.`` / ``chase.``
+    namespaces are not this table's business and always pass.
     """
     name = canonical_metric_name(name)
-    if not name.startswith(("net.", "netd.", "chaos.")):
+    if not name.startswith(("net.", "netd.", "chaos.", "chase.")):
         return True
     if name in METRIC_NAME_TABLE:
         return True

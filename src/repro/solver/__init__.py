@@ -18,6 +18,7 @@ from repro.solver.enumeration import (
     minimal_solution_sizes,
 )
 from repro.solver.exists_solution import find_solution, solve
+from repro.solver.incremental import IncrementalTractableSolver
 from repro.solver.explain import Explanation, explain
 from repro.solver.minimize import minimize_solution
 from repro.solver.multi import solve_multi
@@ -40,6 +41,7 @@ __all__ = [
     "minimal_solution_sizes",
     "find_solution",
     "solve",
+    "IncrementalTractableSolver",
     "Explanation",
     "explain",
     "naive_certain_answers",

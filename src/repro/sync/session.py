@@ -75,7 +75,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
-from repro.core.chase import satisfies
+from repro.core.chase import _unify_row, satisfies
 from repro.core.dependencies import TGD
 from repro.core.homomorphism import find_homomorphism, iter_homomorphisms
 from repro.core.instance import Instance
@@ -86,7 +86,8 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.budget import Budget, SolveStatus
 from repro.runtime.journal import SessionJournal
 from repro.runtime.retry import RetryPolicy
-from repro.solver.exists_solution import solve
+from repro.solver.exists_solution import _governed, solve
+from repro.solver.incremental import IncrementalTractableSolver
 
 __all__ = [
     "DELTA_CHAIN_BROKEN",
@@ -224,6 +225,11 @@ class SyncSession:
     pinned: Instance = field(default_factory=Instance)
     journal: SessionJournal | None = None
     retry: RetryPolicy | None = None
+    #: Solve rounds with the stateful semi-naive solver when the setting
+    #: allows it (C_tract).  Flipped off automatically for settings the
+    #: incremental pipeline cannot serve; flip off manually to force the
+    #: historical from-scratch solve on every round.
+    incremental: bool = True
     _imported: Instance = field(default_factory=Instance)
     rounds: int = 0
     #: Watermark of the newest stamped snapshot ever ingested; None until
@@ -233,6 +239,8 @@ class SyncSession:
     #: a subsequent delta patches.  None until a stamped round applies
     #: (deltas are keyed on stamps, so unstamped rounds retain nothing).
     _last_source: Instance | None = None
+    #: Lazily constructed incremental solver (see ``incremental``).
+    _solver: IncrementalTractableSolver | None = field(default=None, repr=False)
 
     @classmethod
     def resume(cls, journal: SessionJournal) -> "SyncSession":
@@ -345,6 +353,139 @@ class SyncSession:
                 kept.add(fact)
         return kept, retracted
 
+    def _still_justified_delta(
+        self, source: Instance, withdrawn: Instance
+    ) -> tuple[Instance, Instance] | None:
+        """Delta-narrowed retraction scan; None when the fast path is off.
+
+        Sound only under the delta-round invariant (which
+        :meth:`sync_delta` establishes before calling): the current state
+        was committed as part of a solution against the retained base
+        source, so every ``Σ_ts`` body match over it had a head witness
+        there.  A source differing only by ``(added, withdrawn)`` can
+        invalidate a match only if its head witness used a withdrawn
+        fact — so only body matches whose heads unify with withdrawn rows
+        are re-checked, instead of re-enumerating every match.
+        Disjunctive ``Σ_ts`` dependencies keep the full scan.
+        """
+        for dependency in self.setting.sigma_ts:
+            if not isinstance(dependency, TGD):
+                return None
+        retracted = Instance(schema=self.setting.target_schema)
+        withdrawn_rows: dict[str, set] = {}
+        for fact in withdrawn:
+            withdrawn_rows.setdefault(fact.relation, set()).add(fact.args)
+        if not withdrawn_rows:
+            # Additions alone cannot break a witness (Σ_ts heads only gain
+            # candidates), so everything imported stays justified.
+            return self._imported.copy(), retracted
+
+        state = self.pinned.union(self._imported)
+        for dependency in self.setting.sigma_ts:
+            body_vars = dependency.body_variables()
+            head_vars: set = set()
+            for atom in dependency.head:
+                head_vars |= atom.variables()
+            seen: set = set()
+            for atom in dependency.head:
+                rows = withdrawn_rows.get(atom.relation)
+                if not rows:
+                    continue
+                for args in rows:
+                    partial = _unify_row(atom, args, restrict=body_vars)
+                    if partial is None:
+                        continue
+                    for assignment in iter_homomorphisms(
+                        dependency.body, state, partial
+                    ):
+                        key = frozenset(assignment.items())
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        premise_facts = [
+                            body_atom.substitute(assignment).to_fact()
+                            for body_atom in dependency.body
+                        ]
+                        if any(fact in retracted for fact in premise_facts):
+                            continue  # the match already lost a premise
+                        relevant = {
+                            v: val
+                            for v, val in assignment.items()
+                            if v in head_vars
+                        }
+                        if (
+                            find_homomorphism(dependency.head, source, relevant)
+                            is not None
+                        ):
+                            continue  # witness survives in the new source
+                        for fact in premise_facts:
+                            if fact in self._imported and fact not in self.pinned:
+                                retracted.add(fact)
+                                break
+        kept = self._imported.copy()
+        for fact in retracted:
+            kept.discard(fact)
+        return kept, retracted
+
+    def _incremental_solver(self) -> IncrementalTractableSolver | None:
+        """The session's stateful solver, or None when unavailable."""
+        if not self.incremental:
+            return None
+        if self._solver is None:
+            try:
+                self._solver = IncrementalTractableSolver(self.setting)
+            except SolverError:
+                # Outside C_tract the incremental pipeline is unsound;
+                # remember that and keep the historical dispatch.
+                self.incremental = False
+                return None
+        return self._solver
+
+    def _attempt_solve(
+        self,
+        source: Instance,
+        seed: Instance,
+        node_budget: int | None,
+        budget: Budget | None,
+        tracer: Tracer,
+        metrics: MetricsRegistry | None,
+    ):
+        """One solve attempt, via the incremental solver when available.
+
+        Mirrors :func:`repro.solver.exists_solution.solve`'s governance:
+        with a non-strict budget, exhaustion and chase overruns degrade
+        into a result instead of raising.  A failed incremental attempt
+        resets the solver cache itself, so a retry rebuilds cold.
+        """
+        solver = self._incremental_solver()
+        if solver is None:
+            return solve(
+                self.setting,
+                source,
+                seed,
+                node_budget=node_budget,
+                budget=budget,
+                tracer=tracer,
+            )
+        accounting = budget if budget is not None else Budget(strict=True)
+        # Keep the historical ``solve`` span shape (method/dispatched/
+        # exists/status) so trace consumers see one solver span per
+        # attempt regardless of which pipeline served it.
+        with tracer.span("solve", method="incremental") as span:
+            result = _governed(
+                "tractable-incremental",
+                budget,
+                lambda: solver.solve(
+                    source, seed, budget=accounting, tracer=tracer,
+                    metrics=metrics,
+                ),
+            )
+            if tracer.enabled:
+                span.set("dispatched", result.method)
+                span.set("exists", result.exists)
+                span.set("status", result.status.value)
+        return result
+
     def _unchanged(
         self, reason: str, status: SolveStatus, attempts: int
     ) -> SyncOutcome:
@@ -368,6 +509,7 @@ class SyncSession:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         stamp: Stamp | tuple[int, int] | None = None,
+        _retraction: "tuple[Instance, Instance] | None" = None,
     ) -> SyncOutcome:
         """Run one synchronization round against a new source snapshot.
 
@@ -443,9 +585,25 @@ class SyncSession:
             )
             return outcome
 
+        if (
+            stamp is not None
+            and self.last_stamp is not None
+            and stamp.epoch != self.last_stamp.epoch
+            and self._solver is not None
+        ):
+            # Epoch bump: the publisher re-baselined, so the new snapshot
+            # shares no lineage with the cached pipeline state.  The diff
+            # would still be correct, but could be as large as the data;
+            # rebuild cold instead.
+            self._solver.reset()
+            tracer.event("incremental-reset", reason="epoch-bump")
+
         with tracer.span("sync-round", round=self.rounds + 1) as round_span:
             with tracer.span("retraction-scan"):
-                kept, retracted = self._still_justified(source)
+                if _retraction is not None:
+                    kept, retracted = _retraction
+                else:
+                    kept, retracted = self._still_justified(source)
             seed = self.pinned.union(kept)
 
             max_attempts = self.retry.max_attempts if self.retry is not None else 1
@@ -456,13 +614,13 @@ class SyncSession:
                     attempt_budget = self.retry.escalate(budget, attempt)
                 try:
                     with tracer.span("solve-attempt", attempt=attempt + 1):
-                        result = solve(
-                            self.setting,
+                        result = self._attempt_solve(
                             source,
                             seed,
-                            node_budget=node_budget,
-                            budget=attempt_budget,
-                            tracer=tracer,
+                            node_budget,
+                            attempt_budget,
+                            tracer,
+                            metrics,
                         )
                 except BudgetExceeded as exhausted:
                     # Strict/legacy budgets raise; treat the raise like a
@@ -612,6 +770,10 @@ class SyncSession:
             )
             if metrics is not None:
                 metrics.counter("sync.delta_broken").inc()
+            if self._solver is not None:
+                # The sender will fall back to a full snapshot of unknown
+                # lineage; start the next round from a cold pipeline.
+                self._solver.reset()
             empty = Instance(schema=self.setting.target_schema)
             return SyncOutcome(
                 ok=False,
@@ -630,6 +792,14 @@ class SyncSession:
             source.discard(fact)
         for fact in added:
             source.add(fact)
+        # The chain is intact, so the committed state solves the retained
+        # base — exactly the invariant the delta-narrowed retraction scan
+        # needs.  (Same-epoch deltas only: sync() resets the incremental
+        # pipeline on epoch bumps, but the scan invariant still holds.)
+        retraction = None
+        if self.incremental:
+            with tracer.span("retraction-scan-delta"):
+                retraction = self._still_justified_delta(source, withdrawn)
         outcome = self.sync(
             source,
             node_budget=node_budget,
@@ -637,6 +807,7 @@ class SyncSession:
             tracer=tracer,
             metrics=metrics,
             stamp=stamp,
+            _retraction=retraction,
         )
         outcome.delta = True
         return outcome

@@ -185,3 +185,63 @@ class TestSetOperations:
         first - second
         first & second
         assert len(first) == 1 and len(second) == 1
+
+
+class TestChurnRegressions:
+    """PR 10 bugfixes: long add/discard churn must not leak bookkeeping."""
+
+    def test_discard_prunes_empty_row_sets(self):
+        instance = Instance()
+        for i in range(50):
+            f = fact(f"R{i}", "a", "b")
+            instance.add(f)
+            instance.discard(f)
+        assert instance._relations == {}
+        assert len(instance) == 0
+
+    def test_discard_prunes_empty_index_buckets(self):
+        instance = Instance.from_tuples({"E": [("a", "b")]})
+        # Force the lazy positional index into existence.
+        assert instance.candidate_rows("E", 0, Constant("a"))
+        baseline = len(instance._index)
+        for i in range(50):
+            f = fact("E", f"x{i}", f"y{i}")
+            instance.add(f)
+            instance.discard(f)
+        assert len(instance._index) == baseline
+        assert instance.candidate_rows("E", 0, Constant("x0")) == frozenset()
+
+    def test_rename_matches_validated_rebuild(self):
+        schema = Schema.from_arities({"E": 2})
+        instance = Instance(schema=schema)
+        instance.add(fact("E", Null(0), "b"))
+        instance.add(fact("E", "a", Null(1)))
+        renamed = instance.rename({Null(0): Constant("c"), Null(1): Null(7)})
+        validated = Instance(schema=schema)
+        for f in instance:
+            validated.add(f.substitute({Null(0): Constant("c"), Null(1): Null(7)}))
+        assert renamed == validated
+        assert renamed.schema is schema
+
+    def test_rename_empty_mapping_returns_independent_copy(self):
+        instance = Instance.from_tuples({"E": [("a", "b")]})
+        clone = instance.rename({})
+        assert clone is not instance
+        clone.add(fact("E", "c", "d"))
+        assert len(instance) == 1
+
+    def test_empty_rows_view_is_immutable(self):
+        instance = Instance()
+        empty = instance.rows("missing")
+        with pytest.raises(AttributeError):
+            empty.add(("a",))  # type: ignore[attr-defined]
+        # The shared view cannot leak rows between instances.
+        other = Instance()
+        assert other.rows("missing") == frozenset()
+
+    def test_empty_candidate_rows_view_is_immutable(self):
+        instance = Instance.from_tuples({"E": [("a", "b")]})
+        empty = instance.candidate_rows("E", 0, Constant("zz"))
+        with pytest.raises(AttributeError):
+            empty.add(("zz", "zz"))  # type: ignore[attr-defined]
+        assert fact("E", "zz", "zz") not in instance
